@@ -1,0 +1,120 @@
+"""GRAN — ablation of the partial-bitstream granularity policy.
+
+DESIGN.md decision 1: partials default to **COLUMN** granularity (all 48
+frames of every touched column) instead of the minimal **FRAME** diff.
+This bench quantifies the trade:
+
+* FRAME partials are smaller (less download time), but are only valid
+  against the exact configuration they were diffed from;
+* COLUMN partials cost more bytes but are state-independent: the same
+  partial is correct no matter which version currently occupies the region
+  (what makes the Figure-4 "10 stock partials" usable at all).
+"""
+
+import pytest
+
+from repro.bitstream.reader import apply_bitstream
+from repro.core import Granularity, Jpg, JpgOptions
+from repro.jbits import JBits
+
+from .conftest import BENCH_PART
+
+
+def fresh_jpg(project):
+    return Jpg(project.part, project.base_bitfile, base_design=project.base_flow.design)
+
+
+class TestSizeTrade:
+    def test_frame_granularity_smaller(self, fig4_project):
+        mv = fig4_project.versions[("r1", "down")]
+        region = fig4_project.regions["r1"]
+        col = fresh_jpg(fig4_project).make_partial(mv.design, region=region)
+        frm = fresh_jpg(fig4_project).make_partial(
+            mv.design, region=region,
+            options=JpgOptions(granularity=Granularity.FRAME),
+        )
+        assert frm.size < col.size
+        assert len(frm.frames) < len(col.frames)
+
+    def test_one_lut_change_cost(self):
+        """Worst-case granularity gap: a single LUT edit needs 16 frames
+        (FRAME) vs 48 (COLUMN)."""
+        from repro.bitstream.frames import FrameMemory
+        from repro.devices import get_device
+        from repro.devices.resources import SLICE
+
+        jb = JBits(BENCH_PART)
+        jb.read(FrameMemory(get_device(BENCH_PART)))
+        jb.set(5, 5, SLICE[0].F, 0xFFFF)
+        assert len(jb.dirty_frames) == 16
+        g = get_device(BENCH_PART).geometry
+        base = g.frame_base(g.major_of_clb_col(5))
+        jb.touch_frames(range(base, base + 48))
+        assert len(jb.dirty_frames) == 48
+
+
+class TestValidityTrade:
+    def test_column_partial_valid_from_any_state(self, fig4_project):
+        """Apply r1/down's COLUMN partial on top of r1/step3: the result
+        must equal applying it on top of the base — state independence."""
+        region = fig4_project.regions["r1"]
+        down = fig4_project.generate_partial("r1", "down")
+        step3 = fig4_project.generate_partial("r1", "step3")
+
+        from_base = _frames(fig4_project)
+        apply_bitstream(from_base, down.data)
+
+        via_step3 = _frames(fig4_project)
+        apply_bitstream(via_step3, step3.data)
+        apply_bitstream(via_step3, down.data)
+
+        dev = fig4_project.device
+        g = dev.geometry
+        for col in down.columns:
+            base = g.frame_base(g.major_of_clb_col(col))
+            for f in range(base, base + 48):
+                assert from_base.frames_equal(via_step3, f), (col, f)
+
+    def test_frame_partial_corrupts_from_wrong_state(self, fig4_project):
+        """The hazard the COLUMN policy avoids: a FRAME-granularity diff
+        against base, applied while another version is loaded, leaves
+        stale bits behind."""
+        region = fig4_project.regions["r1"]
+        mv_down = fig4_project.versions[("r1", "down")]
+        frm = fresh_jpg(fig4_project).make_partial(
+            mv_down.design, region=region,
+            options=JpgOptions(granularity=Granularity.FRAME),
+        )
+        step3 = fig4_project.generate_partial("r1", "step3")
+
+        clean = _frames(fig4_project)
+        apply_bitstream(clean, frm.data)
+
+        dirty = _frames(fig4_project)
+        apply_bitstream(dirty, step3.data)   # another version loaded first
+        apply_bitstream(dirty, frm.data)     # then the stale diff
+
+        assert dirty.diff_frames(clean), (
+            "expected stale state to survive a FRAME-granularity partial"
+        )
+
+
+def _frames(project):
+    jb = JBits(project.part)
+    jb.read(project.base_bitfile)
+    return jb.frames
+
+
+class TestGenerationSpeed:
+    @pytest.mark.parametrize("granularity", [Granularity.COLUMN, Granularity.FRAME])
+    def test_generation(self, benchmark, fig4_project, granularity):
+        mv = fig4_project.versions[("r2", "taps_b")]
+        region = fig4_project.regions["r2"]
+
+        def gen():
+            return fresh_jpg(fig4_project).make_partial(
+                mv.design, region=region, options=JpgOptions(granularity=granularity)
+            )
+
+        result = benchmark(gen)
+        assert result.granularity is granularity

@@ -1,0 +1,81 @@
+"""DLOAD — §2.1: download/reconfiguration time, full vs partial.
+
+"The time involved in downloading the partial bitstream file and
+reconfiguring the device will be shorter as the size of the partial
+bitstream files will be smaller."  SelectMAP moves one byte per CCLK, so
+time is proportional to stream bytes; this bench measures the simulated
+port on full and partial streams across the family, plus the serial-mode
+penalty.
+"""
+
+import pytest
+
+from repro.bitstream.assembler import full_stream, partial_stream
+from repro.bitstream.frames import FrameMemory
+from repro.core.partial import clb_column_frames
+from repro.devices import get_device, part_names
+from repro.hwsim import Board, ConfigPort, PortMode
+
+
+def third_width_partial(part: str) -> tuple[bytes, bytes, object]:
+    dev = get_device(part)
+    fm = FrameMemory(dev)
+    full = full_stream(fm)
+    partial = partial_stream(fm, clb_column_frames(dev, range(dev.cols // 3)))
+    return full, partial, dev
+
+
+class TestProportionality:
+    @pytest.mark.parametrize("part", ["XCV50", "XCV300", "XCV1000"])
+    def test_partial_downloads_proportionally_faster(self, part):
+        full, partial, dev = third_width_partial(part)
+        board = Board(part)
+        t_full = board.download(full).seconds
+        t_partial = board.download(partial).seconds
+        assert t_partial / t_full == pytest.approx(len(partial) / len(full))
+        assert t_partial < t_full / 2
+
+    def test_cycles_equal_bytes_on_selectmap(self):
+        full, _, dev = third_width_partial("XCV300")
+        port = ConfigPort(FrameMemory(dev))
+        report = port.download(full)
+        assert report.cycles == len(full)
+
+    def test_serial_mode_8x_slower(self):
+        full, _, dev = third_width_partial("XCV100")
+        sm = ConfigPort(FrameMemory(dev), mode=PortMode.SELECTMAP)
+        ser = ConfigPort(FrameMemory(dev), mode=PortMode.SERIAL)
+        assert ser.download(full).cycles == 8 * sm.download(full).cycles
+
+    def test_family_sweep_full_config_time(self):
+        times = {}
+        for part in part_names():
+            fm = FrameMemory(get_device(part))
+            board = Board(part)
+            times[part] = board.download(full_stream(fm)).seconds
+        assert times["XCV1000"] > 5 * times["XCV50"]
+        ordered = [times[p] for p in part_names()]
+        assert ordered == sorted(ordered)
+
+
+class TestPortThroughput:
+    def test_download_full_xcv300(self, benchmark):
+        full, _, dev = third_width_partial("XCV300")
+
+        def run():
+            board = Board("XCV300")
+            return board.download(full)
+
+        report = benchmark(run)
+        assert report.frames_written == dev.geometry.total_frames
+
+    def test_download_partial_xcv300(self, benchmark):
+        full, partial, dev = third_width_partial("XCV300")
+        board = Board("XCV300")
+        board.download(full)
+
+        def run():
+            return board.port.download(partial)
+
+        report = benchmark(run)
+        assert report.frames_written > 0

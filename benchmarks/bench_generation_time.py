@@ -1,0 +1,128 @@
+"""TOOLS — §2.3: JPG vs PARBIT vs JBitsDiff on the same module swap.
+
+Same task — produce the configuration data that moves the device from the
+base design to a new module version — three ways:
+
+* **JPG**: parse XDL+UCF, verify, clear the region, merge, emit a partial;
+* **PARBIT**: extract the region's columns from an already-merged full
+  bitstream (needs the full bitstream of the *target* configuration, i.e.
+  a prior full implementation run — its real-world cost lives there);
+* **JBitsDiff**: diff the two full configurations into a replayable core.
+
+The bench times each tool and checks all three transformations land the
+device in configurations that behave identically.
+"""
+
+import pytest
+
+from repro.baselines.jbitsdiff import extract_core, replay_core
+from repro.baselines.parbit import ParbitOptions, parbit
+from repro.bitstream.bitgen import generate_frames
+from repro.core import Jpg
+from repro.jbits import JBits
+from repro.ucf.parser import parse_ucf
+from repro.xdl.parser import parse_xdl
+
+from .conftest import BENCH_PART
+
+
+@pytest.fixture(scope="module")
+def scenario(fig4_project):
+    mv = fig4_project.versions[("r1", "down")]
+    region = fig4_project.regions["r1"]
+    # the "target" full configuration (what PARBIT/JBitsDiff start from)
+    jpg = Jpg(fig4_project.part, fig4_project.base_bitfile,
+              base_design=fig4_project.base_flow.design)
+    jpg.make_partial(mv.design, region=region)
+    return {
+        "project": fig4_project,
+        "mv": mv,
+        "region": region,
+        "base_frames": _frames_of(fig4_project),
+        "target_full": jpg.full_bitstream(),
+        "target_frames": jpg.frames,
+    }
+
+
+def _frames_of(project):
+    jb = JBits(project.part)
+    jb.read(project.base_bitfile)
+    return jb.frames
+
+
+class TestGenerationTime:
+    def test_jpg(self, benchmark, scenario):
+        project, mv = scenario["project"], scenario["mv"]
+
+        def jpg_run():
+            tool = Jpg(project.part, project.base_bitfile,
+                       base_design=project.base_flow.design)
+            return tool.make_partial(
+                parse_xdl(mv.xdl), region=scenario["region"], ucf=parse_ucf(mv.ucf)
+            )
+
+        result = benchmark(jpg_run)
+        assert result.size > 0
+
+    def test_parbit(self, benchmark, scenario):
+        region = scenario["region"]
+        opts = ParbitOptions(clb_blocks=[(region.cmin, region.cmax)])
+        from repro.devices import get_device
+
+        dev = get_device(BENCH_PART)
+
+        def parbit_run():
+            return parbit(scenario["target_full"], opts, device=dev)
+
+        bf = benchmark(parbit_run)
+        assert bf.size > 0
+
+    def test_jbitsdiff(self, benchmark, scenario):
+        base = scenario["base_frames"]
+        target = scenario["target_frames"]
+
+        def diff_run():
+            return extract_core("swap", base, target)
+
+        core = benchmark(diff_run)
+        assert len(core) > 0
+
+
+class TestEquivalence:
+    def test_all_three_produce_equivalent_regions(self, scenario):
+        from repro.bitstream.reader import apply_bitstream
+        from repro.devices import get_device
+
+        project = scenario["project"]
+        region = scenario["region"]
+        dev = get_device(BENCH_PART)
+        target = scenario["target_frames"]
+
+        # JPG partial
+        tool = Jpg(project.part, project.base_bitfile,
+                   base_design=project.base_flow.design)
+        jpg_partial = tool.make_partial(scenario["mv"].design, region=region)
+        a = _frames_of(project)
+        apply_bitstream(a, jpg_partial.data)
+
+        # PARBIT extraction of the merged full stream
+        opts = ParbitOptions(clb_blocks=[(region.cmin, region.cmax)])
+        pb = parbit(scenario["target_full"], opts, device=dev)
+        b = _frames_of(project)
+        apply_bitstream(b, pb.config_bytes)
+
+        # JBitsDiff core replay
+        core = extract_core("swap", _frames_of(project), target)
+        jb = JBits(BENCH_PART)
+        jb.read(_frames_of(project))
+        replay_core(core, jb)
+        c = jb.frames
+
+        # all three must agree with the target on the region's columns
+        g = dev.geometry
+        for col in region.clb_columns():
+            base = g.frame_base(g.major_of_clb_col(col))
+            for f in range(base, base + 48):
+                assert a.frames_equal(target, f), ("jpg", col, f)
+                assert b.frames_equal(target, f), ("parbit", col, f)
+                assert c.frames_equal(target, f), ("jbitsdiff", col, f)

@@ -1,0 +1,70 @@
+"""SIZE — §2.1/§4.1: partial bitstream size vs region width and device.
+
+The paper's size claim is structural: a partial carries only its region's
+column frames, so its size is ~(region columns / device columns) of the
+complete bitstream plus a small packet overhead.  This bench measures the
+actual serialized sizes across widths and across the whole XCV family.
+"""
+
+import pytest
+
+from repro.bitstream.assembler import full_stream, partial_stream
+from repro.bitstream.frames import FrameMemory
+from repro.core.partial import clb_column_frames
+from repro.devices import get_device, part_names
+
+
+def sizes_for(part: str, n_cols: int) -> tuple[int, int]:
+    dev = get_device(part)
+    fm = FrameMemory(dev)
+    full = len(full_stream(fm))
+    frames = clb_column_frames(dev, range(min(n_cols, dev.cols)))
+    partial = len(partial_stream(fm, frames))
+    return partial, full
+
+
+class TestRatioVsWidth:
+    @pytest.mark.parametrize("fraction,expected", [(0.25, 0.25), (1 / 3, 1 / 3), (0.5, 0.5)])
+    def test_ratio_tracks_width_fraction(self, fraction, expected):
+        dev = get_device("XCV300")
+        n = round(dev.cols * fraction)
+        partial, full = sizes_for("XCV300", n)
+        # CLB columns hold most but not all frames (clock/IOB/BRAM columns
+        # dilute), so the ratio lands slightly below the width fraction
+        assert expected * 0.75 < partial / full < expected * 1.1
+
+    def test_monotonic_in_width(self):
+        sizes = [sizes_for("XCV300", n)[0] for n in (1, 4, 12, 24, 48)]
+        assert sizes == sorted(sizes)
+
+    def test_single_column_overhead_small(self):
+        partial, full = sizes_for("XCV300", 1)
+        dev = get_device("XCV300")
+        payload = 48 * dev.geometry.frame_words * 4
+        assert partial < payload * 1.2  # <20% packet overhead
+
+
+class TestAcrossFamily:
+    @pytest.mark.parametrize("part", part_names())
+    def test_third_width_is_about_a_third(self, part):
+        dev = get_device(part)
+        partial, full = sizes_for(part, dev.cols // 3)
+        assert 0.2 < partial / full < 0.4
+
+    def test_full_sizes_scale_with_device(self):
+        sizes = [sizes_for(p, 1)[1] for p in part_names()]
+        assert sizes == sorted(sizes)
+
+
+class TestSerializationSpeed:
+    def test_partial_stream_speed(self, benchmark):
+        dev = get_device("XCV300")
+        fm = FrameMemory(dev)
+        frames = clb_column_frames(dev, range(16))
+        data = benchmark(lambda: partial_stream(fm, frames))
+        assert len(data) > 0
+
+    def test_full_stream_speed(self, benchmark):
+        fm = FrameMemory(get_device("XCV300"))
+        data = benchmark(lambda: full_stream(fm))
+        assert len(data) > 100_000

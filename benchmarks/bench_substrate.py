@@ -1,0 +1,162 @@
+"""SUBST — substrate micro-benchmarks.
+
+The paper's P&R/size/time arguments are only as credible as the substrate
+they're measured on: these benches time the real algorithms (CRC, packet
+interpretation, annealing, PathFinder, frame decode, golden sim) so the
+top-level numbers can be sanity-checked against them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitstream.crc import ConfigCrc
+from repro.bitstream.frames import FrameMemory
+from repro.bitstream.reader import parse_bitstream
+from repro.devices import get_device
+from repro.flow.pack import pack
+from repro.flow.place import place
+from repro.flow.route import route
+from repro.flow.techmap import techmap
+from repro.hwsim.functional import HardwareModel
+from repro.netlist import NetlistSimulator
+from repro.workloads import ModuleSpec, build_module_netlist
+
+from .conftest import BENCH_PART
+
+
+class TestBitstreamSubstrate:
+    def test_crc_throughput(self, benchmark):
+        words = np.arange(50_000, dtype=np.uint32)
+
+        def run():
+            crc = ConfigCrc()
+            crc.update_words(2, words)
+            return crc.value
+
+        value = benchmark(run)
+        assert 0 <= value < (1 << 16)
+
+    def test_interpreter_full_bitstream(self, benchmark, module_bitfile):
+        dev = get_device(BENCH_PART)
+
+        def run():
+            return parse_bitstream(dev, module_bitfile.config_bytes)
+
+        fm, stats = benchmark(run)
+        assert stats.frames_written == dev.geometry.total_frames
+
+    def test_column_bits_decode(self, benchmark, module_frames):
+        def run():
+            return [module_frames.column_bits(c).sum() for c in range(10)]
+
+        sums = benchmark(run)
+        assert len(sums) == 10
+
+
+class TestFlowSubstrate:
+    @pytest.fixture(scope="class")
+    def packed(self):
+        nl = build_module_netlist("m", "r1", ModuleSpec("counter", 10, "up"))
+        techmap(nl)
+        return nl
+
+    def test_techmap(self, benchmark):
+        def run():
+            nl = build_module_netlist("m", "r1", ModuleSpec("counter", 10, "up"))
+            return techmap(nl)
+
+        stats = benchmark(run)
+        assert stats.luts_after <= stats.luts_before
+
+    def test_place(self, benchmark, packed):
+        import copy
+
+        def run():
+            design, _ = pack(copy.deepcopy(packed), BENCH_PART)
+            return place(design, seed=1)
+
+        stats = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert stats.final_cost <= stats.initial_cost
+
+    def test_route(self, benchmark, packed):
+        import copy
+
+        def run():
+            design, _ = pack(copy.deepcopy(packed), BENCH_PART)
+            place(design, seed=1)
+            return route(design, seed=1)
+
+        stats = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert stats.overused_final == 0
+
+
+class TestReadbackSubstrate:
+    def test_full_readback(self, benchmark, module_bitfile):
+        from repro.hwsim import Board
+
+        board = Board(BENCH_PART)
+        board.download(module_bitfile)
+        total = board.device.geometry.total_frames
+
+        def run():
+            return board.readback_frames(0, total)
+
+        data, report = benchmark(run)
+        assert report.frames == total
+
+    def test_verify_scan(self, benchmark, module_bitfile, module_frames):
+        from repro.hwsim import Board
+
+        board = Board(BENCH_PART)
+        board.download(module_bitfile)
+        mismatches = benchmark(lambda: board.verify(module_frames))
+        assert mismatches == []
+
+    def test_state_capture_snapshot(self, benchmark, module_bitfile, module_flow):
+        from repro.hwsim import Board, StateProbe
+
+        board = Board(BENCH_PART)
+        board.download(module_bitfile)
+        probe = StateProbe(board, module_flow.design)
+        snap = benchmark(probe.snapshot)
+        assert len(snap) == 8  # the 8-bit counter's flip-flops
+
+
+class TestJRouteSubstrate:
+    def test_incremental_route(self, benchmark, module_bitfile):
+        from repro.jbits import JBits, JRoute
+
+        jb = JBits(BENCH_PART)
+        jb.read(module_bitfile)
+
+        def run():
+            jr = JRoute(jb)
+            result = jr.route("R10C10.S0_X", "R10C14.S0_F1")
+            jr.unroute("R10C10.S0_X")
+            return result
+
+        result = benchmark(run)
+        assert result.hops > 0
+
+    def test_occupancy_scan(self, benchmark, module_bitfile):
+        from repro.jbits import JBits, JRoute
+
+        jb = JBits(BENCH_PART)
+        jb.read(module_bitfile)
+        jr = benchmark(lambda: JRoute(jb))
+        assert jr._occupied
+
+
+class TestSimulationSubstrate:
+    def test_hardware_model_build(self, benchmark, module_frames):
+        model = benchmark(lambda: HardwareModel(module_frames))
+        assert model.stats()["slices"] > 0
+
+    def test_hardware_model_clocking(self, benchmark, module_frames):
+        model = HardwareModel(module_frames)
+        benchmark(lambda: model.tick(10))
+
+    def test_golden_sim_clocking(self, benchmark):
+        nl = build_module_netlist("m", "r1", ModuleSpec("counter", 10, "up"))
+        sim = NetlistSimulator(nl)
+        benchmark(lambda: sim.tick(10))

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Bitstream-level circuit patching with JRoute (paper §2.2's ecosystem).
+
+JBits' companion JRoute routed nets at run time, directly in the
+bitstream.  This example builds and downloads a design, then — without
+touching the CAD flow — patches the live configuration:
+
+1. place a brand-new LUT (an AND of two existing signals) in an empty
+   tile by writing its truth table,
+2. route its inputs from the running design's wires and its output to a
+   spare pad, using only free routing resources,
+3. ship the whole patch as one small partial bitstream and watch the new
+   logic compute.
+
+Run:  python examples/jroute_patch.py
+"""
+
+from repro.bitstream.bitgen import bitgen
+from repro.devices.geometry import IobSite, Side
+from repro.flow import run_flow
+from repro.hwsim import Board, DesignHarness
+from repro.jbits import JBits, JRoute
+from repro.utils import si_bytes
+from repro.workloads import ModuleSpec, build_module_netlist
+
+
+def main() -> None:
+    part = "XCV50"
+    print("implementing a 4-bit counter and downloading it...")
+    netlist = build_module_netlist("dut", "m", ModuleSpec("counter", 4, "up"))
+    flow = run_flow(netlist, part, seed=13)
+    board = Board(part)
+    board.download(bitgen(flow.design))
+    h = DesignHarness(board, flow.design)
+
+    # locate the running counter's bit-1 and bit-2 flip-flop output wires
+    def q_wire(bit: int) -> str:
+        net = flow.design.nets[f"m/q{bit}_reg__q"]
+        comp = flow.design.slices[net.source.comp]
+        r, c, s = comp.site
+        return f"R{r + 1}C{c + 1}.S{s}_{net.source.pin}"
+
+    src1, src2 = q_wire(1), q_wire(2)
+    print(f"tapping live wires {src1} (q1) and {src2} (q2)")
+
+    # pick an empty tile and a free pad for the patch
+    jb = JBits(part)
+    jb.read(board.readback())
+    jr = JRoute(jb)
+    used_tiles = {(c.site[0], c.site[1]) for c in flow.design.slices.values()}
+    patch_tile = next(
+        (r, c)
+        for r in range(4, 12)
+        for c in range(4, 20)
+        if (r, c) not in used_tiles
+    )
+    pr, pc = patch_tile
+    pad = IobSite(Side.BOTTOM, pc, 0)
+    print(f"patch LUT at CLB_R{pr + 1}C{pc + 1}.S0, output pad {pad.name}")
+
+    # 1. the new logic: F-LUT computing F1 & F2 (address bits 0 and 1)
+    init = sum(1 << a for a in range(16) if (a & 1) and (a & 2))
+    jb.set_lut(pr, pc, 0, "F", init)
+    jb.set_iob(pad, 1, 1)  # enable the output pad
+
+    # 2. route: q1 -> F1, q2 -> F2, LUT out -> pad
+    r1 = jr.route(src1, f"R{pr + 1}C{pc + 1}.S0_F1")
+    r2 = jr.route(src2, f"R{pr + 1}C{pc + 1}.S0_F2")
+    iw = board.device.geometry.io_wire_index(pad)
+    tr, tc = board.device.geometry.iob_tile(pad)
+    r3 = jr.route(f"R{pr + 1}C{pc + 1}.S0_X", f"R{tr + 1}C{tc + 1}.IO_OUT{iw}")
+    print(f"routed 3 nets with {r1.hops + r2.hops + r3.hops} PIPs")
+
+    # 3. ship the patch
+    patch = jb.write_partial()
+    rep = board.download(patch)
+    print(f"patch partial: {si_bytes(rep.bytes)}, {rep.frames_written} frames")
+
+    # verify: the pad must read q1 & q2 as the counter runs
+    ok = True
+    for _ in range(12):
+        value = h.get_word([f"m_o{i}" for i in range(4)])
+        want = int(bool(value & 2) and bool(value & 4))
+        got = board.get_pad(pad.name)
+        ok &= got == want
+        print(f"  counter={value:2d}  q1&q2 expect={want} pad={got}")
+        h.clock()
+    assert ok
+    print("OK - live patch computes q1 & q2 without re-running the flow.")
+
+
+if __name__ == "__main__":
+    main()

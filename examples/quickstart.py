@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Figure-1 scenario in ~60 lines.
+
+A host processor (this script) holds a base design plus a library of
+partial bitstreams, downloads the base configuration to an FPGA board, and
+then swaps one region's module at run time while the rest of the device
+keeps running.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import render_floorplan
+from repro.hwsim import Board, DesignHarness
+from repro.jbits import SimulatedXhwif
+from repro.utils import si_bytes
+from repro.workloads import ModuleSpec, RegionPlan, make_project, slab_regions
+
+
+def main() -> None:
+    # ---- phase 1: partition the device and implement the base design ----
+    part = "XCV50"
+    rects = slab_regions(part, ["counter", "rotator"])
+    plans = [
+        RegionPlan(
+            "counter", rects[0],
+            ModuleSpec("counter", 4, "up"),
+            (ModuleSpec("counter", 4, "up"), ModuleSpec("counter", 4, "down")),
+        ),
+        RegionPlan(
+            "rotator", rects[1],
+            ModuleSpec("ring", 4, "left"),
+            (ModuleSpec("ring", 4, "left"), ModuleSpec("ring", 4, "right")),
+        ),
+    ]
+    print("implementing base design and module versions (map/place/route)...")
+    project = make_project("quickstart", part, plans, seed=42)
+    print("  base:", project.base_flow.summary())
+    print(render_floorplan(project.device, project.regions))
+
+    # ---- phase 2 artifacts: JPG partial bitstreams -----------------------
+    partials = project.generate_all_partials()
+    print(f"\ncomplete bitstream: {si_bytes(project.base_bitfile.size)}")
+    for (region, version), p in sorted(partials.items()):
+        print(
+            f"partial {region}/{version}: {si_bytes(p.size)} "
+            f"({100 * p.ratio:.0f}% of full, {len(p.columns)} columns)"
+        )
+
+    # ---- run time: configure the board and swap modules ------------------
+    board = Board(part)
+    report = board.download(project.base_bitfile)
+    print(f"\nfull download: {report.cycles} CCLK cycles = {report.seconds * 1e3:.2f} ms")
+    h = DesignHarness(board, project.base_flow.design)
+    host = SimulatedXhwif(board)
+
+    counter = [f"counter_o{i}" for i in range(4)]
+    ring = [f"rotator_o{i}" for i in range(4)]
+
+    h.clock(5)
+    print(f"\nafter 5 clocks: counter={h.get_word(counter)}  ring={h.get_word(ring):04b}")
+
+    record = project.swap("counter", "down", host)
+    print(
+        f"swapped counter->down: {si_bytes(record.bytes)} partial in "
+        f"{record.seconds * 1e6:.0f} us (device kept running)"
+    )
+    h.clock(3)
+    print(f"after 3 more clocks: counter={h.get_word(counter)} (counting down from 5)")
+    print(f"ring still rotating:  {h.get_word(ring):04b}")
+
+    assert h.get_word(counter) == 2, "down-counter should be at 5-3=2"
+    print("\nOK - partial reconfiguration behaved exactly as the paper describes.")
+
+
+if __name__ == "__main__":
+    main()

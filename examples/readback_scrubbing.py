@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Readback verify and SEU scrubbing — the reliability side of JBits.
+
+Configuration readback (CMD=RCFG + FDRO) streams frames back out of the
+device.  Era-typical uses, both shown here on a live design:
+
+1. **readback verify** — prove the device holds exactly the intended
+   configuration after a download;
+2. **scrubbing** — detect single-event upsets (radiation flipping SRAM
+   configuration bits) by comparing readback against the golden frames,
+   then repair by re-writing only the corrupted frames as a partial
+   bitstream, without stopping the design.
+
+Run:  python examples/readback_scrubbing.py
+"""
+
+import random
+
+from repro.bitstream.assembler import partial_stream
+from repro.bitstream.bitgen import bitgen, generate_frames
+from repro.flow import run_flow
+from repro.hwsim import Board, DesignHarness
+from repro.utils import si_bytes
+from repro.workloads import ModuleSpec, build_module_netlist
+
+
+def main() -> None:
+    part = "XCV50"
+    print("implementing an 8-bit counter...")
+    netlist = build_module_netlist("dut", "m", ModuleSpec("counter", 8, "up"))
+    flow = run_flow(netlist, part, seed=21)
+    golden = generate_frames(flow.design)
+
+    board = Board(part)
+    board.download(bitgen(flow.design))
+    h = DesignHarness(board, flow.design)
+    outs = [f"m_o{i}" for i in range(8)]
+
+    # -- 1. readback verify after configuration ---------------------------
+    data, report = board.readback_frames(0, board.device.geometry.total_frames)
+    mismatches = board.verify(golden)
+    print(
+        f"readback: {report.frames} frames, {si_bytes(report.data_bytes)} in "
+        f"{report.seconds * 1e3:.2f} ms -> {len(mismatches)} mismatching frames"
+    )
+    assert mismatches == []
+
+    h.clock(42)
+    print(f"counter running, value = {h.get_word(outs)}")
+
+    # -- 2. a radiation event flips configuration bits ----------------------
+    rng = random.Random(4)
+    upset_frames = []
+    for _ in range(3):
+        frame = rng.randrange(board.device.geometry.total_frames)
+        bit = rng.randrange(board.device.geometry.frame_bits)
+        board.frames.set_bit(frame, bit, 1 - board.frames.get_bit(frame, bit))
+        upset_frames.append(frame)
+    board._model = None  # the fabric now follows the corrupted SRAM
+    print(f"\ninjected SEUs into frames {sorted(upset_frames)}")
+
+    # -- 3. scrub: detect via readback, repair via partial bitstream ---------
+    detected = board.verify(golden)
+    print(f"scrubber detected corrupted frames: {detected}")
+    assert set(detected) == set(upset_frames)
+
+    repair = partial_stream(golden, detected)
+    rep = board.download(repair)
+    print(
+        f"repair partial: {si_bytes(rep.bytes)}, {rep.frames_written} frames, "
+        f"{rep.seconds * 1e6:.0f} us"
+    )
+    assert board.verify(golden) == []
+
+    h.clock(1)
+    print(
+        f"counter alive after scrub, value = {h.get_word(outs)} "
+        f"(flip-flop state restarted: this simulation rebuilds the fabric "
+        f"model after direct SRAM corruption)"
+    )
+    print("OK - detect-and-repair scrubbing loop closed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim so `pip install -e .` works on minimal/offline toolchains that
+lack the `wheel` package (falls back to setuptools' legacy develop path).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

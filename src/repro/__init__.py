@@ -1,0 +1,31 @@
+"""Reproduction of "JPG: A Partial Bitstream Generation Tool to Support
+Partial Reconfiguration in Virtex FPGAs" (Raghavan & Sutton, IPPS 2002).
+
+The package provides the paper's tool (``repro.core``) together with
+from-scratch simulated substrates for everything it depended on: a
+Virtex-class device model (``repro.devices``), the configuration bitstream
+format (``repro.bitstream``), a JBits-style API (``repro.jbits``), a full
+CAD flow (``repro.flow``), XDL/UCF front-ends (``repro.xdl``,
+``repro.ucf``), a hardware simulator (``repro.hwsim``), related-work
+baselines (``repro.baselines``) and workload generators
+(``repro.workloads``).  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the reproduced results.
+
+Quick taste::
+
+    from repro.workloads import figure4_plan, make_project
+    from repro.hwsim import Board
+    from repro.jbits import SimulatedXhwif
+
+    project = make_project("demo", "XCV300", figure4_plan())
+    board = Board("XCV300")
+    board.download(project.base_bitfile)
+    project.swap("r1", "down", SimulatedXhwif(board))
+"""
+
+__version__ = "1.0.0"
+
+from .devices import Device, get_device
+from .errors import ReproError
+
+__all__ = ["Device", "ReproError", "__version__", "get_device"]

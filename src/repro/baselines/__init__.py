@@ -1,0 +1,20 @@
+"""Related-work baselines: PARBIT (options-file frame extraction),
+JBitsDiff (bitstream diff -> replayable core), and the conventional
+one-complete-bitstream-per-combination flow."""
+
+from .fullflow import (
+    Combination,
+    FullFlowResult,
+    build_combination_netlist,
+    enumerate_combinations,
+    run_full_flow_baseline,
+)
+from .jbitsdiff import Core, CoreEdit, extract_core, replay_core
+from .parbit import ParbitOptions, block_frames, extract_region, parbit, parse_options
+
+__all__ = [
+    "Combination", "Core", "CoreEdit", "FullFlowResult", "ParbitOptions",
+    "block_frames", "build_combination_netlist", "enumerate_combinations",
+    "extract_core", "extract_region", "parbit", "parse_options",
+    "replay_core", "run_full_flow_baseline",
+]

@@ -1,0 +1,105 @@
+"""The conventional-flow baseline: one complete bitstream per combination.
+
+"In a conventional CAD flow, which can only produce complete bitstreams,
+36 runs of the CAD tool flow would be needed to produce the 36 different
+bitstreams" (§4.1).  This module is that flow: for every combination of
+module versions it assembles the corresponding full netlist, runs the
+complete implementation flow, and produces a complete bitstream — giving
+the FIG4 benchmark its baseline for tool runtime, storage, and download
+time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from ..bitstream.bitfile import BitFile
+from ..bitstream.bitgen import bitgen
+from ..core.project import JpgProject
+from ..flow.driver import run_flow
+from ..netlist.builder import NetlistBuilder
+from ..workloads.designs import RegionPlan, version_name
+from ..workloads.generators import attach_module
+
+
+@dataclass
+class Combination:
+    """One fully-implemented combination of module versions."""
+
+    versions: dict[str, str]              # region -> version name
+    bitfile: BitFile
+    flow_seconds: float
+
+    @property
+    def label(self) -> str:
+        return "+".join(f"{r}:{v}" for r, v in sorted(self.versions.items()))
+
+
+@dataclass
+class FullFlowResult:
+    """All combinations, with aggregate accounting."""
+
+    combinations: list[Combination] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.combinations)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(c.bitfile.size for c in self.combinations)
+
+    @property
+    def total_flow_seconds(self) -> float:
+        return sum(c.flow_seconds for c in self.combinations)
+
+
+def enumerate_combinations(plans: list[RegionPlan]) -> list[dict[str, str]]:
+    """Every combination of one variant per region (3x3x4 = 36 for the
+    paper's scenario)."""
+    axes = [
+        [(plan.name, version_name(spec)) for spec in plan.variants]
+        for plan in plans
+    ]
+    return [dict(combo) for combo in itertools.product(*axes)]
+
+
+def build_combination_netlist(name: str, plans: list[RegionPlan], choice: dict[str, str]):
+    """The full-chip netlist for one combination of versions."""
+    b = NetlistBuilder(name)
+    clk = b.clock("clk")
+    for plan in plans:
+        spec = next(
+            s for s in plan.variants if version_name(s) == choice[plan.name]
+        )
+        attach_module(b, plan.name, spec, clk)
+    return b.finish()
+
+
+def run_full_flow_baseline(
+    part: str,
+    plans: list[RegionPlan],
+    *,
+    limit: int | None = None,
+    seed: int | None = 0,
+    effort: float = 1.0,
+) -> FullFlowResult:
+    """Run the conventional flow for every (or the first ``limit``)
+    combination(s); each run is an independent full-chip implementation."""
+    project = JpgProject("fullflow_constraints", part)
+    for plan in plans:
+        project.add_region(plan.name, plan.rect)
+    constraints = project.constraints()
+
+    result = FullFlowResult()
+    for choice in enumerate_combinations(plans)[:limit]:
+        label = "_".join(f"{r}-{v}" for r, v in sorted(choice.items()))
+        netlist = build_combination_netlist(f"combo_{label}", plans, choice)
+        t0 = time.perf_counter()
+        flow = run_flow(netlist, part, constraints, seed=seed, effort=effort)
+        bitfile = bitgen(flow.design)
+        seconds = time.perf_counter() - t0
+        result.combinations.append(Combination(choice, bitfile, seconds))
+    return result

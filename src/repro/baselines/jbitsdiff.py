@@ -1,0 +1,137 @@
+"""JBitsDiff-style core extraction (James-Roxby & Guccione, FCCM 1999).
+
+The paper's other §2.3 comparator: instead of emitting a partial
+*bitstream*, JBitsDiff compares two full bitstreams and produces a **core**
+— a replayable sequence of JBits calls that turns one configuration into
+the other, optionally relocated to a different row/column origin.  It is
+the "run-time parameterisable core" counterpart to JPG's flow-integrated
+approach.
+
+Here a core is a list of tile-bit edits.  Extraction diffs frame memories
+through the same resource map everything else uses; replaying pushes the
+edits through a :class:`~repro.jbits.api.JBits` instance, so cores compose
+with JPG-generated state and dirty-frame tracking keeps working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bitstream.frames import FrameMemory
+from ..devices import Device
+from ..devices.geometry import BITS_PER_ROW, CLB_FRAMES
+from ..devices.resources import BitCoord
+from ..errors import ReproError
+from ..jbits.api import JBits
+
+
+class CoreError(ReproError):
+    """Invalid core extraction or replay."""
+
+
+@dataclass(frozen=True)
+class CoreEdit:
+    """One configuration-bit difference, tile-relative."""
+
+    drow: int          # row offset from the core origin
+    dcol: int          # column offset from the core origin
+    minor: int
+    rowbit: int
+    value: int
+
+
+@dataclass
+class Core:
+    """A relocatable set of tile edits extracted from a bitstream diff."""
+
+    name: str
+    part: str
+    origin: tuple[int, int]              # (row, col) the edits were extracted at
+    height: int
+    width: int
+    edits: list[CoreEdit] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.edits)
+
+
+def extract_core(
+    name: str,
+    before: FrameMemory,
+    after: FrameMemory,
+    *,
+    region: tuple[int, int, int, int] | None = None,
+) -> Core:
+    """Diff two configurations into a relocatable core.
+
+    ``region`` is (rmin, cmin, rmax, cmax); by default the whole CLB array
+    is scanned and the core's bounding box is the extent of the diff.
+    """
+    if before.device != after.device:
+        raise CoreError("cannot diff configurations of different parts")
+    device: Device = before.device
+    rmin, cmin, rmax, cmax = region or (0, 0, device.rows - 1, device.cols - 1)
+
+    raw_edits: list[tuple[int, int, int, int, int]] = []
+    for col in range(cmin, cmax + 1):
+        b_bits = before.column_bits(col)
+        a_bits = after.column_bits(col)
+        if np.array_equal(b_bits, a_bits):
+            continue
+        for row in range(rmin, rmax + 1):
+            off = device.geometry.row_bit_offset(row)
+            tb = b_bits[:, off:off + BITS_PER_ROW]
+            ta = a_bits[:, off:off + BITS_PER_ROW]
+            if np.array_equal(tb, ta):
+                continue
+            for minor, rowbit in zip(*np.nonzero(tb != ta)):
+                raw_edits.append(
+                    (row, col, int(minor), int(rowbit), int(ta[minor, rowbit]))
+                )
+    if not raw_edits:
+        return Core(name, device.name, (rmin, cmin), 0, 0)
+
+    r0 = min(e[0] for e in raw_edits)
+    c0 = min(e[1] for e in raw_edits)
+    r1 = max(e[0] for e in raw_edits)
+    c1 = max(e[1] for e in raw_edits)
+    edits = [
+        CoreEdit(r - r0, c - c0, minor, rowbit, v)
+        for r, c, minor, rowbit, v in raw_edits
+    ]
+    return Core(name, device.name, (r0, c0), r1 - r0 + 1, c1 - c0 + 1, edits)
+
+
+def replay_core(core: Core, jbits: JBits, *, origin: tuple[int, int] | None = None) -> int:
+    """Apply a core through JBits calls, optionally relocated.
+
+    Returns the number of edits applied.  Relocation moves the core's
+    bounding box to a new (row, col) origin — the "pre-placed, pre-routed
+    core" reuse JBitsDiff was built for.  Note that relocated routing is
+    only meaningful onto identical fabric (always true here: the PIP
+    pattern is uniform), and edge-clipped PIPs make relocation to the
+    device boundary illegal.
+    """
+    if jbits.device.name != core.part:
+        raise CoreError(f"core targets {core.part}, JBits instance is {jbits.device.name}")
+    r0, c0 = origin if origin is not None else core.origin
+    if r0 + core.height > jbits.device.rows or c0 + core.width > jbits.device.cols:
+        raise CoreError(
+            f"core {core.name!r} ({core.height}x{core.width}) does not fit at "
+            f"({r0},{c0}) on {core.part}"
+        )
+    for e in core.edits:
+        row, col = r0 + e.drow, c0 + e.dcol
+        coord = BitCoord(e.minor, e.rowbit)
+        if e.minor >= CLB_FRAMES:
+            raise CoreError(f"edit outside CLB plane: minor {e.minor}")
+        frame, bit = jbits.device.clb_bit_location(row, col, coord)
+        fm = jbits.frames
+        if fm is None:
+            raise CoreError("JBits instance has no bitstream loaded")
+        if fm.get_bit(frame, bit) != e.value:
+            fm.set_bit(frame, bit, e.value)
+            jbits.touch_frames([frame])
+    return len(core.edits)

@@ -1,0 +1,17 @@
+"""Bitstream substrate: frames, packets, CRC, .bit container, assembly,
+interpretation.  See DESIGN.md section 2 for the format definition."""
+
+from .assembler import full_bitfile, full_stream, partial_bitfile, partial_stream
+from .bitfile import BitFile
+from .crc import ConfigCrc
+from .frames import FrameMemory, frame_runs
+from .packets import Command, Opcode, PacketWriter, Register, far_decode, far_encode
+from .reader import ConfigInterpreter, InterpreterStats, apply_bitstream, parse_bitstream
+
+__all__ = [
+    "BitFile", "Command", "ConfigCrc", "ConfigInterpreter", "FrameMemory",
+    "InterpreterStats", "Opcode", "PacketWriter", "Register",
+    "apply_bitstream", "far_decode", "far_encode", "frame_runs",
+    "full_bitfile", "full_stream", "parse_bitstream", "partial_bitfile",
+    "partial_stream",
+]

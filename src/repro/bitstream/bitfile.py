@@ -1,0 +1,115 @@
+"""``.bit`` file container: the Xilinx design-file wrapper around raw
+configuration data.
+
+The format is the classic one emitted by ``bitgen``: a fixed 13-byte magic
+preamble, then tagged, length-prefixed fields —
+
+====  ==========================================
+ a    source design name (e.g. ``base.ncd``)
+ b    part name (e.g. ``v300bg432``)
+ c    creation date
+ d    creation time
+ e    4-byte big-endian length + raw config bytes
+====  ==========================================
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass, field
+
+from ..errors import BitfileError
+
+#: The standard .bit preamble (a length-prefixed 9-byte field + 0x0001).
+MAGIC = bytes(
+    [0x00, 0x09, 0x0F, 0xF0, 0x0F, 0xF0, 0x0F, 0xF0, 0x0F, 0xF0, 0x00, 0x00, 0x01]
+)
+
+
+@dataclass
+class BitFile:
+    """A parsed (or to-be-written) .bit file."""
+
+    design_name: str
+    part_name: str
+    date: str = "2002/04/15"
+    time: str = "12:00:00"
+    config_bytes: bytes = field(default=b"", repr=False)
+
+    def to_bytes(self) -> bytes:
+        out = io.BytesIO()
+        out.write(MAGIC)
+
+        def tagged(tag: bytes, payload: bytes) -> None:
+            out.write(tag)
+            out.write(struct.pack(">H", len(payload) + 1))
+            out.write(payload + b"\x00")
+
+        tagged(b"a", self.design_name.encode())
+        tagged(b"b", self.part_name.encode())
+        tagged(b"c", self.date.encode())
+        tagged(b"d", self.time.encode())
+        out.write(b"e")
+        out.write(struct.pack(">I", len(self.config_bytes)))
+        out.write(self.config_bytes)
+        return out.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BitFile":
+        if not data.startswith(MAGIC):
+            raise BitfileError("not a .bit file (bad magic preamble)")
+        pos = len(MAGIC)
+        fields: dict[str, str] = {}
+        config = b""
+        while pos < len(data):
+            tag = data[pos:pos + 1]
+            pos += 1
+            if tag == b"e":
+                if pos + 4 > len(data):
+                    raise BitfileError("truncated 'e' field length")
+                (length,) = struct.unpack(">I", data[pos:pos + 4])
+                pos += 4
+                config = data[pos:pos + length]
+                if len(config) != length:
+                    raise BitfileError(
+                        f"truncated config data: header says {length} bytes, "
+                        f"found {len(config)}"
+                    )
+                pos += length
+                break
+            if tag in (b"a", b"b", b"c", b"d"):
+                if pos + 2 > len(data):
+                    raise BitfileError(f"truncated {tag!r} field length")
+                (length,) = struct.unpack(">H", data[pos:pos + 2])
+                pos += 2
+                raw = data[pos:pos + length]
+                if len(raw) != length:
+                    raise BitfileError(f"truncated {tag!r} field")
+                pos += length
+                fields[tag.decode()] = raw.rstrip(b"\x00").decode()
+            else:
+                raise BitfileError(f"unknown .bit field tag {tag!r} at offset {pos - 1}")
+        if "a" not in fields or "b" not in fields:
+            raise BitfileError("missing mandatory .bit fields (a/b)")
+        return cls(
+            design_name=fields["a"],
+            part_name=fields["b"],
+            date=fields.get("c", ""),
+            time=fields.get("d", ""),
+            config_bytes=config,
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "wb") as f:
+            f.write(self.to_bytes())
+
+    @classmethod
+    def load(cls, path: str) -> "BitFile":
+        with open(path, "rb") as f:
+            return cls.from_bytes(f.read())
+
+    @property
+    def size(self) -> int:
+        """Size of the configuration payload in bytes."""
+        return len(self.config_bytes)

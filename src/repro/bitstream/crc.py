@@ -1,0 +1,82 @@
+"""Configuration CRC, Virtex style.
+
+The configuration logic maintains a 16-bit CRC over every word written to a
+CRC-covered register: the 32 data bits are shifted in LSB-first, followed by
+the 4-bit register address.  The polynomial is CRC-16 (x^16 + x^15 + x^2 +
+1, 0x8005), implemented here in its reflected form (0xA001) with a
+byte-wise lookup table so long FDRI bursts stay cheap.
+
+Writing the accumulated value to the CRC register makes the device compare
+and reset; the RCRC command resets the accumulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_POLY_REFLECTED = 0xA001
+
+
+def _build_table() -> list[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ _POLY_REFLECTED if crc & 1 else crc >> 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+class ConfigCrc:
+    """Accumulating configuration CRC (16-bit)."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def update_word(self, reg_addr: int, word: int) -> None:
+        """Shift in one 32-bit register write: data LSB-first, then the
+        4-bit register address."""
+        crc = self.value
+        w = word & 0xFFFFFFFF
+        for _ in range(4):
+            crc = (crc >> 8) ^ _TABLE[(crc ^ w) & 0xFF]
+            w >>= 8
+        a = reg_addr & 0xF
+        for _ in range(4):
+            crc = (crc >> 1) ^ _POLY_REFLECTED if (crc ^ a) & 1 else crc >> 1
+            a >>= 1
+        self.value = crc
+
+    def update_words(self, reg_addr: int, words: np.ndarray | list[int]) -> None:
+        """Shift in a burst of writes to one register (e.g. an FDRI block)."""
+        crc = self.value
+        table = _TABLE
+        addr = reg_addr & 0xF
+        for word in words:
+            w = int(word)
+            crc = (crc >> 8) ^ table[(crc ^ w) & 0xFF]
+            w >>= 8
+            crc = (crc >> 8) ^ table[(crc ^ w) & 0xFF]
+            w >>= 8
+            crc = (crc >> 8) ^ table[(crc ^ w) & 0xFF]
+            w >>= 8
+            crc = (crc >> 8) ^ table[(crc ^ w) & 0xFF]
+            a = addr
+            for _ in range(4):
+                crc = (crc >> 1) ^ _POLY_REFLECTED if (crc ^ a) & 1 else crc >> 1
+                a >>= 1
+        self.value = crc
+
+
+def crc_of(stream: list[tuple[int, int]]) -> int:
+    """CRC of a sequence of (register address, word) writes, from reset."""
+    acc = ConfigCrc()
+    for addr, word in stream:
+        acc.update_word(addr, word)
+    return acc.value

@@ -1,0 +1,103 @@
+"""Configuration readback: streaming frames back out of the device.
+
+Readback is the inverse of configuration (XAPP138): the host syncs the
+port, sets FAR, issues CMD=RCFG, and reads the FDRO register; the device
+streams the addressed frames out.  JBits-era tools used it for debug and
+for *readback verify* — proving the device holds exactly the intended
+configuration — and `Testing FPGA Devices Using JBits` built device tests
+on it.  This module builds the host-side command streams and decodes the
+returned data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..devices import Device
+from ..errors import BitstreamError
+from .frames import FrameMemory, frame_runs
+from .packets import Command, Opcode, PacketWriter, Register, far_encode, type1_header, type2_header
+
+
+def readback_command_stream(device: Device, start_frame: int, n_frames: int) -> bytes:
+    """The words a host sends to read ``n_frames`` starting at a linear
+    frame index."""
+    g = device.geometry
+    if n_frames <= 0:
+        raise BitstreamError("readback of zero frames")
+    if start_frame + n_frames > g.total_frames:
+        raise BitstreamError(
+            f"readback overruns frame space: {start_frame}+{n_frames} "
+            f"of {g.total_frames}"
+        )
+    major, minor = g.frame_address(start_frame)
+    w = PacketWriter()
+    w.dummy()
+    w.sync()
+    w.command(Command.RCRC)
+    w.write_reg(Register.FLR, g.flr_value)
+    w.write_reg(Register.FAR, far_encode(major, minor))
+    w.command(Command.RCFG)
+    count = n_frames * g.frame_words
+    if count <= 0x7FF:
+        w.raw(type1_header(Opcode.READ, Register.FDRO, count))
+    else:
+        w.raw(type1_header(Opcode.READ, Register.FDRO, 0))
+        w.raw(type2_header(Opcode.READ, count))
+    w.command(Command.DESYNC)
+    w.dummy()
+    return w.to_bytes()
+
+
+def decode_readback(device: Device, words: np.ndarray, n_frames: int) -> np.ndarray:
+    """Frame matrix (n_frames x frame_words) from raw readback words."""
+    fw = device.geometry.frame_words
+    words = np.asarray(words, dtype=np.uint32)
+    if words.size != n_frames * fw:
+        raise BitstreamError(
+            f"readback returned {words.size} words, expected {n_frames * fw}"
+        )
+    return words.reshape(n_frames, fw)
+
+
+def verify_frames(
+    expected: FrameMemory, got: np.ndarray, start_frame: int
+) -> list[int]:
+    """Compare readback data to the expected configuration; returns the
+    linear indices of mismatching frames (empty = verified)."""
+    n = got.shape[0]
+    window = expected.data[start_frame:start_frame + n]
+    bad = np.flatnonzero((window != got).any(axis=1))
+    return [start_frame + int(i) for i in bad]
+
+
+def capture_stream(device: Device) -> bytes:
+    """Command stream issuing GCAPTURE: latch the user flip-flop states
+    into the configuration memory's capture cells (for state readback)."""
+    w = PacketWriter()
+    w.dummy()
+    w.sync()
+    w.command(Command.RCRC)
+    w.command(Command.GCAPTURE)
+    w.command(Command.DESYNC)
+    w.dummy()
+    return w.to_bytes()
+
+
+def grestore_stream(device: Device) -> bytes:
+    """Command stream issuing GRESTORE: reload every flip-flop from its
+    configured init value."""
+    w = PacketWriter()
+    w.dummy()
+    w.sync()
+    w.command(Command.RCRC)
+    w.command(Command.GRESTORE)
+    w.command(Command.DESYNC)
+    w.dummy()
+    return w.to_bytes()
+
+
+def readback_plan(frame_indices) -> list[tuple[int, int]]:
+    """Collapse target frames into (start, count) bursts, one FDRO read
+    each (mirrors :func:`repro.bitstream.frames.frame_runs`)."""
+    return frame_runs(frame_indices)

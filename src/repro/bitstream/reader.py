@@ -1,0 +1,263 @@
+"""Configuration-stream interpreter.
+
+:class:`ConfigInterpreter` consumes a word stream exactly the way the
+device's configuration logic does: hunt for the sync word, decode type-1 /
+type-2 packets, execute register writes, stream FDRI bursts into frame
+memory with FAR auto-increment, accumulate and *check* the CRC.
+
+It is both the off-line bitstream parser (``interpret(stream)``) and the
+engine inside the SelectMAP config-port simulator — so a partial bitstream
+is correct if and only if this class accepts it, which is what the test
+suite leans on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import utils
+from ..devices import Device
+from ..errors import BitstreamError, CrcError, PacketError, SyncError
+from .crc import ConfigCrc
+from .frames import FrameMemory
+from .packets import (
+    CRC_COVERED,
+    DUMMY_WORD,
+    SYNC_WORD,
+    Command,
+    Opcode,
+    Register,
+    decode_header,
+    far_decode,
+)
+
+
+@dataclass
+class InterpreterStats:
+    """What a configuration session did."""
+
+    words_consumed: int = 0
+    packets: int = 0
+    frames_written: int = 0
+    writes: list[tuple[int, int]] = field(default_factory=list)  # (start frame, count)
+    crc_checks_passed: int = 0
+    started: bool = False
+    desynced: bool = False
+    readback_requests: list[tuple[int, int]] = field(default_factory=list)
+    frames_read: int = 0
+    commands: list[Command] = field(default_factory=list)
+
+
+class ConfigInterpreter:
+    """Stateful configuration logic over a :class:`FrameMemory`."""
+
+    def __init__(self, frames: FrameMemory, *, strict_idcode: bool = True):
+        self.frames = frames
+        self.device: Device = frames.device
+        self.strict_idcode = strict_idcode
+        self.stats = InterpreterStats()
+        self._synced = False
+        self._crc = ConfigCrc()
+        self._regs: dict[Register, int] = {}
+        self._cmd = Command.NULL
+        self._far_linear = 0
+        self._flr_checked = False
+        #: words the device drives back out (FDRO readback data)
+        self.output_words: list[np.ndarray] = []
+
+    # -- public API -------------------------------------------------------------
+
+    def feed_bytes(self, data: bytes) -> InterpreterStats:
+        return self.feed_words(utils.bytes_to_words(data))
+
+    def feed_words(self, words: np.ndarray) -> InterpreterStats:
+        words = np.asarray(words, dtype=np.uint32)
+        i = 0
+        n = words.size
+        while i < n:
+            if not self._synced:
+                w = int(words[i])
+                i += 1
+                self.stats.words_consumed += 1
+                if w == SYNC_WORD:
+                    self._synced = True
+                elif w != DUMMY_WORD:
+                    # the real device ignores pre-sync noise; we only allow
+                    # dummy padding so corrupt streams are caught early
+                    raise SyncError(f"unexpected pre-sync word 0x{w:08x}")
+                continue
+            i = self._packet(words, i)
+        return self.stats
+
+    @property
+    def synced(self) -> bool:
+        return self._synced
+
+    def register(self, reg: Register) -> int:
+        """Last value written to a register (0 if never written)."""
+        return self._regs.get(reg, 0)
+
+    # -- packet execution ----------------------------------------------------------
+
+    def _packet(self, words: np.ndarray, i: int) -> int:
+        hdr = decode_header(int(words[i]))
+        i += 1
+        self.stats.words_consumed += 1
+        self.stats.packets += 1
+        count = hdr.count
+        reg = hdr.reg
+        if hdr.type == 2:
+            raise PacketError("type-2 packet without a preceding zero-count type-1")
+        if hdr.op is Opcode.NOP:
+            return i
+        if count == 0 and i < words.size:
+            # a zero-count type-1 may be extended by a type-2 header
+            nxt = decode_header(int(words[i]))
+            if nxt.type == 2:
+                if nxt.op != hdr.op:
+                    raise PacketError("type-2 opcode does not match its type-1")
+                i += 1
+                self.stats.words_consumed += 1
+                count = nxt.count
+        if hdr.op is Opcode.READ:
+            assert reg is not None
+            if reg is Register.FDRO:
+                self._read_frames(count)
+            return i
+        # WRITE
+        assert reg is not None
+        if i + count > words.size:
+            raise PacketError(
+                f"truncated packet: {count} data words promised, "
+                f"{words.size - i} available"
+            )
+        data = words[i:i + count]
+        i += count
+        self.stats.words_consumed += count
+        self._write(reg, data)
+        return i
+
+    def _write(self, reg: Register, data: np.ndarray) -> None:
+        if reg is Register.FDRI:
+            self._crc.update_words(int(reg), data)
+            self._write_frames(data)
+            return
+        for w in data:
+            w = int(w)
+            if reg in CRC_COVERED:
+                self._crc.update_word(int(reg), w)
+            self._regs[reg] = w
+            self._execute(reg, w)
+
+    def _execute(self, reg: Register, value: int) -> None:
+        if reg is Register.CMD:
+            self._command(Command(value))
+        elif reg is Register.FAR:
+            major, minor = far_decode(value)
+            self._far_linear = self.device.geometry.frame_index(major, minor)
+        elif reg is Register.FLR:
+            if value != self.device.geometry.flr_value:
+                raise BitstreamError(
+                    f"FLR {value} does not match {self.device.name} "
+                    f"(expected {self.device.geometry.flr_value})"
+                )
+            self._flr_checked = True
+        elif reg is Register.IDCODE:
+            if self.strict_idcode and value != self.device.part.idcode:
+                raise BitstreamError(
+                    f"IDCODE 0x{value:08x} does not match {self.device.name} "
+                    f"(0x{self.device.part.idcode:08x})"
+                )
+        elif reg is Register.CRC:
+            if value != self._crc.value:
+                raise CrcError(
+                    f"CRC mismatch: stream says 0x{value:04x}, "
+                    f"device computed 0x{self._crc.value:04x}"
+                )
+            self.stats.crc_checks_passed += 1
+            self._crc.reset()
+
+    def _command(self, cmd: Command) -> None:
+        self._cmd = cmd
+        self.stats.commands.append(cmd)
+        if cmd is Command.RCRC:
+            self._crc.reset()
+        elif cmd is Command.START:
+            self.stats.started = True
+        elif cmd is Command.DESYNC:
+            self._synced = False
+            self.stats.desynced = True
+
+    def _read_frames(self, count: int) -> None:
+        """Execute an FDRO read: stream frame data out of the device."""
+        if self._cmd is not Command.RCFG:
+            raise BitstreamError("FDRO read outside RCFG mode")
+        if not self._flr_checked:
+            raise BitstreamError("FDRO read before FLR was programmed")
+        fw = self.device.geometry.frame_words
+        if count % fw:
+            raise BitstreamError(
+                f"FDRO read of {count} words is not a multiple of the "
+                f"frame length ({fw} words)"
+            )
+        nframes = count // fw
+        start = self._far_linear
+        end = start + nframes
+        if end > self.device.geometry.total_frames:
+            raise BitstreamError(
+                f"FDRO read overruns frame space: frames {start}..{end - 1}"
+            )
+        self.output_words.append(self.frames.data[start:end].reshape(-1).copy())
+        self.stats.readback_requests.append((start, nframes))
+        self.stats.frames_read += nframes
+        self._far_linear = end if end < self.device.geometry.total_frames else 0
+
+    def take_output(self) -> np.ndarray:
+        """Collect (and clear) the device's readback output words."""
+        if not self.output_words:
+            return np.zeros(0, dtype=np.uint32)
+        out = np.concatenate(self.output_words)
+        self.output_words = []
+        return out
+
+    def _write_frames(self, data: np.ndarray) -> None:
+        if self._cmd is not Command.WCFG:
+            raise BitstreamError("FDRI write outside WCFG mode")
+        if not self._flr_checked:
+            raise BitstreamError("FDRI write before FLR was programmed")
+        fw = self.device.geometry.frame_words
+        if data.size % fw:
+            raise BitstreamError(
+                f"FDRI burst of {data.size} words is not a multiple of the "
+                f"frame length ({fw} words)"
+            )
+        nframes = data.size // fw
+        start = self._far_linear
+        end = start + nframes
+        if end > self.device.geometry.total_frames:
+            raise BitstreamError(
+                f"FDRI burst overruns frame space: frames {start}..{end - 1} "
+                f"of {self.device.geometry.total_frames}"
+            )
+        block = data.reshape(nframes, fw) & self.frames._payload_mask
+        self.frames.data[start:end] = block
+        self.stats.frames_written += nframes
+        self.stats.writes.append((start, nframes))
+        self._far_linear = end if end < self.device.geometry.total_frames else 0
+
+
+def parse_bitstream(device: Device, data: bytes, **kwargs) -> tuple[FrameMemory, InterpreterStats]:
+    """Interpret a raw config byte stream into a fresh frame memory."""
+    fm = FrameMemory(device)
+    interp = ConfigInterpreter(fm, **kwargs)
+    stats = interp.feed_bytes(data)
+    return fm, stats
+
+
+def apply_bitstream(frames: FrameMemory, data: bytes, **kwargs) -> InterpreterStats:
+    """Interpret a config byte stream on top of existing frame contents
+    (how a partial bitstream lands on a configured device)."""
+    interp = ConfigInterpreter(frames, **kwargs)
+    return interp.feed_bytes(data)

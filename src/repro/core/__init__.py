@@ -1,0 +1,23 @@
+"""JPG core: the paper's contribution — partial bitstream generation,
+merging, verification, floorplan view, and project management."""
+
+from .floorview import render_column_footprint, render_floorplan
+from .jpg import Jpg, JpgOptions, PartialResult
+from .merge import frames_after, merge_partial_into_full, overwrite_base_bitfile
+from .partial import Granularity, clb_column_frames, module_frames, region_frames
+from .project import JpgProject, ModuleVersion, SwapRecord
+from .verify import (
+    CheckResult,
+    check_interface_match,
+    check_module_in_region,
+    verify_partial_equivalence,
+)
+
+__all__ = [
+    "CheckResult", "Granularity", "Jpg", "JpgOptions", "JpgProject",
+    "ModuleVersion", "PartialResult", "SwapRecord", "check_interface_match",
+    "check_module_in_region", "clb_column_frames", "frames_after",
+    "merge_partial_into_full", "module_frames", "overwrite_base_bitfile",
+    "region_frames", "render_column_footprint", "render_floorplan",
+    "verify_partial_equivalence",
+]

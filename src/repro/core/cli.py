@@ -1,0 +1,307 @@
+"""Command-line front-end: the JPG tool as a program.
+
+Subcommands mirror the paper's tool usage (§3.2.1) plus inspection
+helpers::
+
+    jpg info XCV300                      device/frame geometry
+    jpg generate -p XCV100 --base b.bit --xdl m.xdl --ucf m.ucf -o out.bit
+    jpg merge --base b.bit --partial p.bit -o merged.bit   (or --overwrite)
+    jpg inspect some.bit                 packet-level bitstream summary
+    jpg floorplan XCV100 --region r1=CLB_R1C3:CLB_R16C12   ASCII Figure 3
+    jpg parbit --base b.bit --options o.txt -o out.bit     the baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .. import utils
+from ..bitstream.bitfile import BitFile
+from ..bitstream.reader import parse_bitstream
+from ..devices import get_device, part_names
+from ..errors import ReproError
+from ..flow.floorplan import RegionRect
+from .jpg import Jpg, JpgOptions
+from .partial import Granularity
+
+
+def _cmd_info(args) -> int:
+    dev = get_device(args.part)
+    g = dev.geometry
+    rows = [
+        ("part", dev.name),
+        ("CLB array", f"{dev.rows} x {dev.cols}"),
+        ("slices", dev.part.slices),
+        ("4-input LUTs", dev.part.lut4s),
+        ("block RAMs", dev.part.bram_blocks),
+        ("IOB sites", len(g.iob_sites)),
+        ("config columns", len(g.columns)),
+        ("frames", g.total_frames),
+        ("frame length", f"{g.frame_words} words ({g.frame_bits} payload bits)"),
+        ("full bitstream", utils.si_bytes(dev.full_bitstream_bytes_estimate()) + " (approx)"),
+        ("IDCODE", f"0x{dev.part.idcode:08x}"),
+    ]
+    print(utils.format_table(["property", "value"], rows))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from ..ucf.parser import load_ucf
+    from ..xdl.parser import load_xdl
+
+    base = BitFile.load(args.base)
+    base_design = None
+    if args.base_ncd:
+        from ..flow.ncd import NcdDesign
+
+        base_design = NcdDesign.load(args.base_ncd)
+    jpg = Jpg(args.part, base, base_design=base_design)
+    module = load_xdl(args.xdl)
+    ucf = load_ucf(args.ucf) if args.ucf else None
+    region = RegionRect.from_ucf(args.region) if args.region else None
+    options = JpgOptions(
+        granularity=Granularity(args.granularity),
+        check_interface=base_design is not None,
+        check_region=not args.no_checks,
+    )
+    result = jpg.make_partial(module, region=region, ucf=ucf, options=options)
+
+    from .floorview import render_column_footprint
+
+    print(render_column_footprint(get_device(args.part), result.columns, len(result.frames)))
+    result.save(args.output, args.part)
+    print(
+        f"wrote {args.output}: {utils.si_bytes(result.size)} "
+        f"({100 * result.ratio:.1f}% of the complete bitstream)"
+    )
+    if args.write_base:
+        BitFile(
+            design_name=base.design_name,
+            part_name=base.part_name,
+            config_bytes=jpg.full_bitstream(),
+        ).save(args.base)
+        print(f"overwrote {args.base} with the merged configuration (option 2)")
+    return 0
+
+
+def _cmd_merge(args) -> int:
+    from .merge import merge_partial_into_full, overwrite_base_bitfile
+
+    if args.overwrite:
+        out = overwrite_base_bitfile(args.base, BitFile.load(args.partial).config_bytes)
+        print(f"overwrote {args.base} ({utils.si_bytes(out.size)})")
+        return 0
+    base = BitFile.load(args.base)
+    partial = BitFile.load(args.partial)
+    from ..devices import normalize_part_name
+
+    merged = merge_partial_into_full(
+        normalize_part_name(base.part_name), base.config_bytes, partial.config_bytes
+    )
+    BitFile(base.design_name, base.part_name, config_bytes=merged).save(args.output)
+    print(f"wrote {args.output} ({utils.si_bytes(len(merged))})")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    bf = BitFile.load(args.bitfile)
+    print(f"design : {bf.design_name}")
+    print(f"part   : {bf.part_name}")
+    print(f"date   : {bf.date} {bf.time}")
+    print(f"size   : {utils.si_bytes(bf.size)}")
+    dev = get_device(bf.part_name)
+    fm, stats = parse_bitstream(dev, bf.config_bytes)
+    kind = "complete" if stats.frames_written == dev.geometry.total_frames else "partial"
+    print(f"kind   : {kind} ({stats.frames_written} of {dev.geometry.total_frames} frames)")
+    print(f"packets: {stats.packets}, CRC checks passed: {stats.crc_checks_passed}, "
+          f"startup: {'yes' if stats.started else 'no'}")
+    if stats.writes:
+        runs = ", ".join(f"{s}+{n}" for s, n in stats.writes[:8])
+        print(f"writes : {runs}{' ...' if len(stats.writes) > 8 else ''}")
+    return 0
+
+
+def _cmd_floorplan(args) -> int:
+    from .floorview import render_floorplan
+
+    dev = get_device(args.part)
+    regions = {}
+    for spec in args.region or []:
+        name, _, rng = spec.partition("=")
+        if not rng:
+            raise ReproError(f"--region wants NAME=SITE:SITE, got {spec!r}")
+        regions[name] = RegionRect.from_ucf(rng)
+    print(render_floorplan(dev, regions))
+    return 0
+
+
+def _cmd_flow(args) -> int:
+    from ..bitstream.bitgen import bitgen
+    from ..flow.driver import run_flow
+    from ..netlist.verilog import elaborate
+    from ..ucf.parser import load_ucf
+
+    with open(args.verilog) as f:
+        src = f.read()
+    params = {}
+    for spec in args.param or []:
+        name, _, value = spec.partition("=")
+        if not value:
+            raise ReproError(f"--param wants NAME=INT, got {spec!r}")
+        params[name] = int(value, 0)
+    em = elaborate(src, params or None, top=args.top)
+    constraints = load_ucf(args.ucf).constraints if args.ucf else None
+    result = run_flow(em.netlist, args.part, constraints, seed=args.seed)
+    print(result.summary())
+    if args.ncd:
+        result.design.save(args.ncd)
+        print(f"wrote {args.ncd}")
+    if args.xdl:
+        from ..xdl.writer import save_xdl
+
+        save_xdl(result.design, args.xdl)
+        print(f"wrote {args.xdl}")
+    bitfile = bitgen(result.design)
+    bitfile.save(args.output)
+    print(f"wrote {args.output} ({utils.si_bytes(bitfile.size)})")
+    worst = result.timing.worst(3)
+    if worst:
+        rows = [(e.endpoint, f"{e.arrival_ns:.2f} ns", e.kind) for e in worst]
+        print(utils.format_table(["critical endpoints", "arrival", "kind"], rows))
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    a = BitFile.load(args.first)
+    b = BitFile.load(args.second)
+    dev = get_device(a.part_name)
+    if get_device(b.part_name) != dev:
+        raise ReproError(
+            f"cannot diff bitstreams for different parts "
+            f"({a.part_name} vs {b.part_name})"
+        )
+    fa, _ = parse_bitstream(dev, a.config_bytes)
+    fb, _ = parse_bitstream(dev, b.config_bytes)
+    changed = fa.diff_frames(fb)
+    print(f"{len(changed)} of {dev.geometry.total_frames} frames differ")
+    if not changed:
+        return 0
+    from ..bitstream.frames import frame_runs
+
+    rows = []
+    for start, count in frame_runs(changed)[: args.limit]:
+        major, minor = dev.geometry.frame_address(start)
+        col = dev.geometry.column(major)
+        where = col.kind.value
+        if col.clb_col is not None:
+            where += f" col {col.clb_col + 1}"
+        rows.append((start, count, f"{major}.{minor}", where))
+    print(utils.format_table(["frame", "run", "major.minor", "column"], rows))
+    cols = sorted(
+        {
+            dev.geometry.column(dev.geometry.frame_address(f)[0]).clb_col
+            for f in changed
+            if dev.geometry.column(dev.geometry.frame_address(f)[0]).clb_col is not None
+        }
+    )
+    if cols:
+        print(f"CLB columns touched: {[c + 1 for c in cols]}")
+    return 0
+
+
+def _cmd_parbit(args) -> int:
+    from ..baselines.parbit import parbit
+
+    with open(args.options) as f:
+        options = f.read()
+    out = parbit(BitFile.load(args.base), options)
+    out.save(args.output)
+    print(f"wrote {args.output} ({utils.si_bytes(out.size)})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jpg",
+        description="JPG: partial bitstream generation for Virtex-class devices "
+                    "(IPPS 2002 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="device geometry summary")
+    p.add_argument("part", choices=part_names(), metavar="PART")
+    p.set_defaults(fn=_cmd_info)
+
+    p = sub.add_parser("generate", help="XDL+UCF -> partial bitstream (the JPG step)")
+    p.add_argument("-p", "--part", required=True)
+    p.add_argument("--base", required=True, help="base design .bit file")
+    p.add_argument("--base-ncd", help="base design .ncd (enables interface checks)")
+    p.add_argument("--xdl", required=True, help="module implementation .xdl")
+    p.add_argument("--ucf", help="constraints .ucf (provides the region)")
+    p.add_argument("--region", help="explicit region SITE:SITE (overrides UCF)")
+    p.add_argument("--granularity", choices=["column", "frame"], default="column")
+    p.add_argument("--no-checks", action="store_true", help="skip region containment checks")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--write-base", action="store_true",
+                   help="also overwrite the base .bit with the merged result (option 2)")
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("merge", help="apply a partial onto a complete bitstream")
+    p.add_argument("--base", required=True)
+    p.add_argument("--partial", required=True)
+    p.add_argument("-o", "--output")
+    p.add_argument("--overwrite", action="store_true", help="overwrite the base file in place")
+    p.set_defaults(fn=_cmd_merge)
+
+    p = sub.add_parser("inspect", help="summarize a .bit file at packet level")
+    p.add_argument("bitfile")
+    p.set_defaults(fn=_cmd_inspect)
+
+    p = sub.add_parser("floorplan", help="ASCII floorplan view (Figure 3)")
+    p.add_argument("part", choices=part_names(), metavar="PART")
+    p.add_argument("--region", action="append", metavar="NAME=SITE:SITE")
+    p.set_defaults(fn=_cmd_floorplan)
+
+    p = sub.add_parser("flow", help="Verilog -> map/place/route -> complete .bit")
+    p.add_argument("verilog", help="Verilog source file (supported subset)")
+    p.add_argument("-p", "--part", required=True)
+    p.add_argument("-o", "--output", required=True, help="output .bit path")
+    p.add_argument("--ucf", help="constraints file")
+    p.add_argument("--top", help="top module (default: uninstantiated root)")
+    p.add_argument("--param", action="append", metavar="NAME=INT",
+                   help="parameter override (repeatable)")
+    p.add_argument("--ncd", help="also save the design database here")
+    p.add_argument("--xdl", help="also save the XDL dump here")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_flow)
+
+    p = sub.add_parser("diff", help="frame-level diff of two complete .bit files")
+    p.add_argument("first")
+    p.add_argument("second")
+    p.add_argument("--limit", type=int, default=20, help="max runs to list")
+    p.set_defaults(fn=_cmd_diff)
+
+    p = sub.add_parser("parbit", help="PARBIT baseline: extract a region from a full .bit")
+    p.add_argument("--base", required=True)
+    p.add_argument("--options", required=True, help="PARBIT options file")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=_cmd_parbit)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "merge" and not args.overwrite and not args.output:
+        parser.error("merge needs -o/--output or --overwrite")
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""ASCII floorplan view — the Figure 3 equivalent.
+
+"After reading these files, the JPG tool displays graphically the target
+floorplanned area on the FPGA.  This can be used to verify whether the
+update is happening on the region desired by the designer." (§3.2.1)
+
+The Swing GUI becomes a character grid: one character per CLB tile, region
+letters for floorplanned areas, ``#`` for tiles occupied by the module
+about to be written, ``.`` for empty fabric.
+"""
+
+from __future__ import annotations
+
+from ..devices import Device
+from ..flow.floorplan import RegionRect
+from ..flow.ncd import NcdDesign
+
+
+def render_floorplan(
+    device: Device,
+    regions: dict[str, RegionRect] | None = None,
+    module: NcdDesign | None = None,
+    *,
+    legend: bool = True,
+) -> str:
+    """Render the device floorplan as ASCII art.
+
+    Region names are drawn with their first letter (uppercased, cycled);
+    the module's occupied tiles overwrite them with ``#``.
+    """
+    regions = regions or {}
+    grid = [["." for _ in range(device.cols)] for _ in range(device.rows)]
+
+    letters: dict[str, str] = {}
+    for i, (name, rect) in enumerate(sorted(regions.items())):
+        letter = (name[:1].upper() or "?") if name else "?"
+        if letter in letters.values():
+            letter = chr(ord("A") + i % 26)
+        letters[name] = letter
+        for r, c in rect.clip_to(device).sites():
+            grid[r][c] = letter
+
+    if module is not None:
+        for comp in module.slices.values():
+            if comp.site is not None:
+                r, c, _ = comp.site
+                if 0 <= r < device.rows and 0 <= c < device.cols:
+                    grid[r][c] = "#"
+
+    width = device.cols
+    lines = [f"{device.name}  ({device.rows} rows x {device.cols} cols)"]
+    # column ruler every 10 columns
+    ruler = [" "] * width
+    for c in range(0, width, 10):
+        for j, ch in enumerate(str(c + 1)):
+            if c + j < width:
+                ruler[c + j] = ch
+    lines.append("      " + "".join(ruler))
+    lines.append("    +" + "-" * width + "+")
+    for r in range(device.rows):
+        lines.append(f"R{r + 1:>3}|" + "".join(grid[r]) + "|")
+    lines.append("    +" + "-" * width + "+")
+    if legend and (regions or module is not None):
+        parts = [f"{letters[n]}={n} {regions[n]}" for n in sorted(regions)]
+        if module is not None:
+            parts.append(f"#=module {module.name!r}")
+        lines.append("legend: " + "  ".join(parts))
+    return "\n".join(lines)
+
+
+def render_column_footprint(device: Device, columns: list[int], frames: int) -> str:
+    """One-line view of which CLB columns a partial bitstream rewrites."""
+    marks = "".join("#" if c in set(columns) else "." for c in range(device.cols))
+    return f"columns |{marks}|  ({len(columns)} cols, {frames} frames)"

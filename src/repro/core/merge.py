@@ -1,0 +1,61 @@
+"""Merging partial bitstreams onto complete ones (JPG option 2, §3.2.1).
+
+"Option two allows the designer to write the partial bitstream onto the
+base design, thus partially reconfiguring the device ... the existing
+bitstream would be overwritten."  These helpers implement exactly that for
+on-disk ``.bit`` files, plus the pure-bytes variant used programmatically.
+"""
+
+from __future__ import annotations
+
+from ..bitstream.assembler import full_stream
+from ..bitstream.bitfile import BitFile
+from ..bitstream.frames import FrameMemory
+from ..bitstream.reader import apply_bitstream, parse_bitstream
+from ..devices import get_device, normalize_part_name
+from ..errors import JpgError
+
+
+def merge_partial_into_full(part: str, base: bytes, partial: bytes) -> bytes:
+    """Apply a partial stream to a complete one; returns the merged
+    complete stream."""
+    device = get_device(part)
+    frames, stats = parse_bitstream(device, base)
+    if stats.frames_written != device.geometry.total_frames:
+        raise JpgError(
+            f"base stream configured {stats.frames_written} of "
+            f"{device.geometry.total_frames} frames; not a complete bitstream"
+        )
+    pstats = apply_bitstream(frames, partial)
+    if pstats.frames_written == 0:
+        raise JpgError("partial stream wrote no frames")
+    return full_stream(frames)
+
+
+def overwrite_base_bitfile(base_path: str, partial: bytes | BitFile) -> BitFile:
+    """Overwrite a base-design ``.bit`` file with the partial applied —
+    the destructive behaviour the paper warns about ("care should
+    therefore be taken before modifying the original bitstream")."""
+    base = BitFile.load(base_path)
+    part = normalize_part_name(base.part_name)
+    pbytes = partial.config_bytes if isinstance(partial, BitFile) else partial
+    merged = merge_partial_into_full(part, base.config_bytes, pbytes)
+    out = BitFile(
+        design_name=base.design_name,
+        part_name=base.part_name,
+        date=base.date,
+        time=base.time,
+        config_bytes=merged,
+    )
+    out.save(base_path)
+    return out
+
+
+def frames_after(part: str, base: bytes, *partials: bytes) -> FrameMemory:
+    """Frame memory after applying a sequence of partials to a base stream
+    (verification helper)."""
+    device = get_device(part)
+    frames, _ = parse_bitstream(device, base)
+    for p in partials:
+        apply_bitstream(frames, p)
+    return frames

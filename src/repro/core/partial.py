@@ -1,0 +1,95 @@
+"""Frame-span mathematics for partial bitstreams.
+
+A Virtex-class frame spans a full device column, so the natural unit of
+partial reconfiguration is the *column*: replacing a module means rewriting
+every frame of every CLB column its logic or routing touches.  This module
+computes those spans and defines the granularity policies the GRAN ablation
+benchmark compares:
+
+``COLUMN``
+    all 48 frames of every column the module footprint touches — the safe
+    default: such a partial is correct regardless of what the region held
+    before (it rewrites the columns completely);
+``FRAME``
+    only frames whose bits actually changed — smaller, but only valid
+    against the exact configuration it was diffed from.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+
+from ..devices import Device
+from ..flow.floorplan import RegionRect
+from ..flow.ncd import NcdDesign
+
+
+class Granularity(enum.Enum):
+    """Which frames a partial bitstream carries."""
+
+    COLUMN = "column"
+    FRAME = "frame"
+
+
+def clb_column_frames(device: Device, columns: Iterable[int]) -> list[int]:
+    """All linear frame indices of the given CLB fabric columns."""
+    g = device.geometry
+    frames: list[int] = []
+    for col in sorted(set(columns)):
+        base = g.frame_base(g.major_of_clb_col(col))
+        frames.extend(range(base, base + 48))
+    return frames
+
+
+def region_frames(device: Device, region: RegionRect) -> list[int]:
+    """All frames of a region's CLB columns (plus nothing else: IOB columns
+    are only included when a module actually touches edge pads)."""
+    return clb_column_frames(device, region.clb_columns())
+
+
+def iob_column_frames(device: Device, sides) -> list[int]:
+    """All frames of the left/right IOB configuration columns."""
+    g = device.geometry
+    frames: list[int] = []
+    for side in sides:
+        base = g.frame_base(g.major_of_iob(side))
+        frames.extend(range(base, base + g.columns[g.major_of_iob(side)].frames))
+    return frames
+
+
+def module_footprint_columns(design: NcdDesign) -> set[int]:
+    """CLB fabric columns a module's placement and routing touch."""
+    return design.used_columns()
+
+
+def module_iob_sides(design: NcdDesign) -> set:
+    """Edge IOB columns (L/R) the module's pads configure."""
+    from ..devices.geometry import Side
+
+    sides = set()
+    for iob in design.iobs.values():
+        if iob.site is not None and iob.site.side in (Side.LEFT, Side.RIGHT):
+            sides.add(iob.site.side)
+    return sides
+
+
+def module_frames(device: Device, design: NcdDesign, granularity: Granularity) -> list[int]:
+    """Frame set for a module under the COLUMN policy (FRAME granularity is
+    computed from an actual diff by the JPG tool, not statically)."""
+    if granularity is not Granularity.COLUMN:
+        raise ValueError("static frame sets exist only for COLUMN granularity")
+    frames = clb_column_frames(device, module_footprint_columns(design))
+    frames += iob_column_frames(device, module_iob_sides(design))
+    return sorted(set(frames))
+
+
+def partial_size_estimate(device: Device, n_frames: int) -> int:
+    """Estimated partial bitstream size in bytes (frames + packet overhead).
+
+    Useful for planning; the authoritative number is ``len(stream)`` from
+    the assembler."""
+    g = device.geometry
+    payload = n_frames * g.frame_words
+    overhead = 24  # preamble, FAR/CMD/CRC packets, trailer
+    return 4 * (payload + overhead)

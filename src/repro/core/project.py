@@ -1,0 +1,262 @@
+"""JPG project management: the paper's two-phase methodology, end to end.
+
+Phase 1 (§3.1): partition the device into regions, give every sub-module
+an area group confined to its region, and implement the *base design* —
+one netlist containing a module per region — producing the complete
+bitstream JPG initialises from.
+
+Phase 2 (§3.2): each alternative version of a sub-module is its own
+project: the same ports, the same region constraint, *guided* by the base
+design so the interface pads land on the same sites; its XDL + UCF feed
+JPG, which emits the partial bitstream.
+
+A :class:`JpgProject` holds all of it: regions, the base implementation,
+every module version with its XDL/UCF artifacts, cached partials, and the
+currently-active version per region (so swapping on a live board clears
+the right logic).  This is the object the Figure-1/Figure-4 examples and
+benchmarks drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bitstream.bitfile import BitFile
+from ..bitstream.bitgen import bitgen
+from ..devices import get_device
+from ..errors import JpgError
+from ..flow.driver import FlowResult, run_flow
+from ..flow.floorplan import AreaGroup, Constraints, RegionRect
+from ..flow.ncd import NcdDesign
+from ..jbits.xhwif import Xhwif
+from ..netlist.logical import Netlist
+from ..ucf.parser import UcfFile, write_ucf
+from ..xdl.writer import write_xdl
+from .jpg import Jpg, JpgOptions, PartialResult
+from .partial import Granularity
+
+
+@dataclass
+class ModuleVersion:
+    """One implemented version of one region's module."""
+
+    region: str
+    name: str
+    flow: FlowResult
+    xdl: str
+    ucf: str
+    partial: PartialResult | None = None
+
+    @property
+    def design(self) -> NcdDesign:
+        return self.flow.design
+
+
+@dataclass
+class SwapRecord:
+    region: str
+    version: str
+    seconds: float
+    bytes: int
+
+
+class JpgProject:
+    """A reconfigurable-computing project built around JPG."""
+
+    def __init__(self, name: str, part: str, *, strict_full_height: bool = True):
+        self.name = name
+        self.part = part
+        self.device = get_device(part)
+        self.strict_full_height = strict_full_height
+        self.regions: dict[str, RegionRect] = {}
+        self.base_flow: FlowResult | None = None
+        self.base_bitfile: BitFile | None = None
+        self.versions: dict[tuple[str, str], ModuleVersion] = {}
+        self.active: dict[str, str] = {}      # region -> version name
+        self.swap_log: list[SwapRecord] = []
+
+    # -- phase 1: floorplan + base design -----------------------------------------
+
+    def add_region(self, name: str, rect: RegionRect) -> None:
+        """Define a reconfigurable region.  Because configuration frames
+        span full device columns, regions should be full-height column
+        slabs; anything else risks clobbering logic that shares columns."""
+        if name in self.regions:
+            raise JpgError(f"region {name!r} already defined")
+        if self.strict_full_height and (rect.rmin != 0 or rect.rmax != self.device.rows - 1):
+            raise JpgError(
+                f"region {name!r} ({rect}) is not full-height; frames span whole "
+                f"columns, so partial reconfiguration of partial-height regions "
+                f"corrupts column-sharing logic (pass strict_full_height=False "
+                f"to allow it anyway)"
+            )
+        for other_name, other in self.regions.items():
+            if other.overlaps(rect):
+                raise JpgError(f"region {name!r} overlaps region {other_name!r}")
+        self.regions[name] = rect
+
+    def constraints(self, only_region: str | None = None) -> Constraints:
+        """The UCF-equivalent constraints: one area group per region, with
+        instance pattern ``<region>/*``."""
+        cons = Constraints()
+        for name, rect in self.regions.items():
+            if only_region is not None and name != only_region:
+                continue
+            cons.groups.append(AreaGroup(f"AG_{name}", [f"{name}/*"], rect))
+        return cons
+
+    def implement_base(self, netlist: Netlist, *, seed: int | None = 0, effort: float = 1.0) -> FlowResult:
+        """Run the full flow on the base design and generate its complete
+        bitstream."""
+        result = run_flow(netlist, self.part, self.constraints(), seed=seed, effort=effort)
+        self.base_flow = result
+        self.base_bitfile = bitgen(result.design)
+        for region in self.regions:
+            self.active[region] = "base"
+            self.versions[(region, "base")] = ModuleVersion(
+                region,
+                "base",
+                result,
+                xdl=write_xdl(result.design),
+                ucf=write_ucf(UcfFile(self.constraints())),
+            )
+        return result
+
+    # -- phase 2: module versions ----------------------------------------------------
+
+    def add_version(
+        self,
+        region: str,
+        version: str,
+        netlist: Netlist,
+        *,
+        seed: int | None = 0,
+        effort: float = 1.0,
+    ) -> ModuleVersion:
+        """Implement one alternative module version as its own project,
+        guided by the base design (same region, same interface pads)."""
+        if region not in self.regions:
+            raise JpgError(f"unknown region {region!r}")
+        if self.base_flow is None:
+            raise JpgError("implement the base design first (implement_base)")
+        if (region, version) in self.versions:
+            raise JpgError(f"version {version!r} already exists for region {region!r}")
+        cons = self.constraints(only_region=region)
+        result = run_flow(
+            netlist,
+            self.part,
+            cons,
+            guide=self.base_flow.design,
+            seed=seed,
+            effort=effort,
+        )
+        # the module's logic must actually belong to the region's group
+        stray = [
+            c for c in result.design.slices.values()
+            if cons.group_of(c.name) is None
+        ]
+        if stray:
+            raise JpgError(
+                f"version {version!r}: {len(stray)} slice(s) outside the "
+                f"{region!r} module hierarchy (e.g. {stray[0].name!r}); name "
+                f"module cells '<region>/...' so area groups apply"
+            )
+        mv = ModuleVersion(
+            region,
+            version,
+            result,
+            xdl=write_xdl(result.design),
+            ucf=write_ucf(UcfFile(cons)),
+        )
+        self.versions[(region, version)] = mv
+        return mv
+
+    # -- partial generation ----------------------------------------------------------------
+
+    def generate_partial(
+        self,
+        region: str,
+        version: str,
+        *,
+        granularity: Granularity = Granularity.COLUMN,
+    ) -> PartialResult:
+        """The JPG step: XDL + UCF -> partial bitstream for this version.
+
+        Partials are generated against the base configuration; with the
+        default COLUMN granularity they rewrite the region's full column
+        span and are therefore valid whatever version is currently loaded.
+        """
+        mv = self._version(region, version)
+        if mv.partial is not None and mv.partial.granularity is granularity:
+            return mv.partial
+        assert self.base_bitfile is not None and self.base_flow is not None
+        from ..xdl.parser import parse_xdl
+
+        jpg = Jpg(self.part, self.base_bitfile, base_design=self.base_flow.design)
+        from ..ucf.parser import parse_ucf
+
+        result = jpg.make_partial(
+            parse_xdl(mv.xdl),
+            region=self.regions[region],
+            ucf=parse_ucf(mv.ucf),
+            options=JpgOptions(granularity=granularity),
+        )
+        mv.partial = result
+        return result
+
+    def generate_all_partials(self) -> dict[tuple[str, str], PartialResult]:
+        """Generate partials for every non-base version (the paper's
+        "10 partial bitstreams" in the Figure-4 scenario)."""
+        out = {}
+        for (region, version), mv in self.versions.items():
+            if version == "base":
+                continue
+            out[(region, version)] = self.generate_partial(region, version)
+        return out
+
+    # -- runtime swapping ----------------------------------------------------------------------
+
+    def swap(self, region: str, version: str, xhwif: Xhwif) -> SwapRecord:
+        """Download the version's partial bitstream to a board, partially
+        reconfiguring that region (Figure 1's host-processor role)."""
+        mv = self._version(region, version)
+        if version == "base":
+            raise JpgError(
+                "swapping back to 'base' needs a generated partial; add the "
+                "base module as an explicit version too"
+            )
+        partial = self.generate_partial(region, version)
+        seconds = xhwif.send(partial.data)
+        self.active[region] = version
+        record = SwapRecord(region, version, seconds, partial.size)
+        self.swap_log.append(record)
+        return record
+
+    def _version(self, region: str, version: str) -> ModuleVersion:
+        try:
+            return self.versions[(region, version)]
+        except KeyError:
+            raise JpgError(f"no version {version!r} for region {region!r}") from None
+
+    # -- reporting -------------------------------------------------------------------------------
+
+    def storage_accounting(self) -> dict[str, int]:
+        """The Figure-4 storage comparison inputs: number of versions per
+        region, partial sizes, base size."""
+        per_region: dict[str, int] = {}
+        for region, version in self.versions:
+            if version != "base":
+                per_region[region] = per_region.get(region, 0) + 1
+        combos = 1
+        for n in per_region.values():
+            combos *= max(1, n)
+        assert self.base_bitfile is not None
+        return {
+            "regions": len(self.regions),
+            "versions_total": sum(per_region.values()),
+            "combinations": combos,
+            "base_bytes": self.base_bitfile.size,
+            "partial_bytes_total": sum(
+                mv.partial.size for mv in self.versions.values() if mv.partial
+            ),
+        }

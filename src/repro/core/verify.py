@@ -1,0 +1,128 @@
+"""Verification checks JPG runs before emitting a partial bitstream.
+
+The paper states (§3.2.2) that "JPG assumes that modules to be introduced
+by partial reconfiguration have the same interface as those they are
+replacing" — here that assumption is *checked*: same ports, same pad
+sites, same clock buffers.  Placement containment catches modules whose
+flow escaped their floorplanned region, and ``verify_partial_equivalence``
+proves a generated partial stream reproduces the intended configuration
+when applied on a device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bitstream.frames import FrameMemory
+from ..bitstream.reader import apply_bitstream
+from ..errors import InterfaceMismatchError, JpgError
+from ..flow.floorplan import RegionRect
+from ..flow.ncd import NcdDesign
+
+
+@dataclass
+class Violation:
+    kind: str
+    message: str
+
+
+@dataclass
+class CheckResult:
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_failed(self, exc_type=JpgError) -> None:
+        if self.violations:
+            lines = "; ".join(v.message for v in self.violations[:8])
+            raise exc_type(f"{len(self.violations)} check(s) failed: {lines}")
+
+
+def check_module_in_region(module: NcdDesign, region: RegionRect) -> CheckResult:
+    """Every slice of the module must sit inside its floorplanned region.
+
+    Routing is allowed to spill (it widens the partial's column span), but
+    logic outside the region would silently overwrite neighbouring modules.
+    """
+    result = CheckResult()
+    for comp in module.slices.values():
+        if comp.site is None:
+            result.violations.append(
+                Violation("unplaced", f"slice {comp.name} is unplaced")
+            )
+            continue
+        r, c, _ = comp.site
+        if not region.contains(r, c):
+            result.violations.append(
+                Violation(
+                    "outside-region",
+                    f"slice {comp.name} at R{r + 1}C{c + 1} is outside {region}",
+                )
+            )
+    return result
+
+
+def check_interface_match(base: NcdDesign, module: NcdDesign) -> CheckResult:
+    """A replacement module must keep the base design's interface: the same
+    port names, bound to the same pad sites, with clocks on the same global
+    buffers."""
+    result = CheckResult()
+    base_pads = {iob.port: iob for iob in base.iobs.values()}
+    for iob in module.iobs.values():
+        ref = base_pads.get(iob.port)
+        if ref is None:
+            result.violations.append(
+                Violation("new-port", f"port {iob.port!r} does not exist in the base design")
+            )
+            continue
+        if ref.direction != iob.direction:
+            result.violations.append(
+                Violation(
+                    "direction",
+                    f"port {iob.port!r} is {iob.direction!r}, base has {ref.direction!r}",
+                )
+            )
+        if ref.site is not None and iob.site is not None and ref.site != iob.site:
+            result.violations.append(
+                Violation(
+                    "moved-pad",
+                    f"port {iob.port!r} moved from {ref.site.name} to {iob.site.name}",
+                )
+            )
+    base_clocks = {g.port: g.index for g in base.gclks.values()}
+    for g in module.gclks.values():
+        if g.port in base_clocks and base_clocks[g.port] != g.index:
+            result.violations.append(
+                Violation(
+                    "clock-buffer",
+                    f"clock {g.port!r} moved from GCLK{base_clocks[g.port]} to GCLK{g.index}",
+                )
+            )
+    return result
+
+
+def raise_on_interface_mismatch(base: NcdDesign, module: NcdDesign) -> None:
+    check_interface_match(base, module).raise_if_failed(InterfaceMismatchError)
+
+
+def verify_partial_equivalence(
+    before: FrameMemory, partial: bytes, expected: FrameMemory
+) -> CheckResult:
+    """Apply ``partial`` to a copy of ``before``; the result must equal
+    ``expected`` — the ground-truth check that a generated partial stream
+    really implements the intended reconfiguration."""
+    result = CheckResult()
+    trial = before.clone()
+    apply_bitstream(trial, partial)
+    diff = trial.diff_frames(expected)
+    if diff:
+        result.violations.append(
+            Violation(
+                "frame-mismatch",
+                f"{len(diff)} frames differ after applying partial "
+                f"(first: {diff[:5]})",
+            )
+        )
+    return result

@@ -1,0 +1,31 @@
+"""Virtex-class device model: parts, geometry, resources, routing fabric.
+
+Public entry point: :func:`get_device` / :class:`Device`.
+"""
+
+from .device import Device, get_device
+from .family import PartInfo, normalize_part_name, part_by_idcode, part_info, part_names
+from .geometry import (
+    BITS_PER_ROW,
+    CLB_FRAMES,
+    NUM_GCLK,
+    ColumnKind,
+    ConfigColumn,
+    Geometry,
+    IobSite,
+    Side,
+    clb_site_name,
+    parse_clb_site,
+    parse_iob_site,
+    parse_slice_site,
+    slice_site_name,
+)
+from .resources import SLICE, BitCoord, Field, field, pip_coord, pip_index_of
+
+__all__ = [
+    "BITS_PER_ROW", "BitCoord", "CLB_FRAMES", "ColumnKind", "ConfigColumn",
+    "Device", "Field", "Geometry", "IobSite", "NUM_GCLK", "PartInfo", "SLICE",
+    "Side", "clb_site_name", "field", "get_device", "normalize_part_name",
+    "parse_clb_site", "parse_iob_site", "parse_slice_site", "part_by_idcode",
+    "part_info", "part_names", "pip_coord", "pip_index_of", "slice_site_name",
+]

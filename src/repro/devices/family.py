@@ -1,0 +1,115 @@
+"""Virtex family catalog.
+
+Dimensions follow the published Virtex 2.5 V data sheet (DS003): the CLB
+array sizes for XCV50 through XCV1000, two block-RAM columns (one along each
+vertical edge), and per-part JEDEC-style IDCODEs.  Everything else in the
+package derives its geometry from this table, so adding a part here is
+enough to make it usable by the whole flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import UnknownPartError
+
+
+@dataclass(frozen=True)
+class PartInfo:
+    """Static description of one Virtex part."""
+
+    name: str            # canonical part name, e.g. "XCV300"
+    clb_rows: int        # CLB array height
+    clb_cols: int        # CLB array width
+    bram_cols: int       # number of block-RAM columns (edge columns)
+    idcode: int          # device identification code (readback/IDCODE reg)
+    speed_grades: tuple[str, ...] = ("-4", "-5", "-6")
+
+    @property
+    def slices(self) -> int:
+        """Total logic slices (2 per CLB)."""
+        return self.clb_rows * self.clb_cols * 2
+
+    @property
+    def lut4s(self) -> int:
+        """Total 4-input LUTs (2 per slice)."""
+        return self.slices * 2
+
+    @property
+    def bram_blocks(self) -> int:
+        """Block RAMs: one per 4 CLB rows per BRAM column."""
+        return (self.clb_rows // 4) * self.bram_cols
+
+
+# CLB array dimensions from the Virtex data sheet.  IDCODEs use the real
+# Xilinx manufacturer id (0x093) in the low bits with a per-part family code;
+# the exact values only need to be distinct and stable for readback checks.
+_CATALOG: dict[str, PartInfo] = {
+    p.name: p
+    for p in (
+        PartInfo("XCV50", 16, 24, 2, 0x0060_2093),
+        PartInfo("XCV100", 20, 30, 2, 0x0061_0093),
+        PartInfo("XCV150", 24, 36, 2, 0x0061_8093),
+        PartInfo("XCV200", 28, 42, 2, 0x0062_0093),
+        PartInfo("XCV300", 32, 48, 2, 0x0062_8093),
+        PartInfo("XCV400", 40, 60, 2, 0x0063_0093),
+        PartInfo("XCV600", 48, 72, 2, 0x0064_0093),
+        PartInfo("XCV800", 56, 84, 2, 0x0065_0093),
+        PartInfo("XCV1000", 64, 96, 2, 0x0066_0093),
+    )
+}
+
+#: Package suffixes accepted after a part name (ignored for geometry).
+_PACKAGES = ("bg256", "bg352", "bg432", "bg560", "cs144", "fg256", "fg456",
+             "fg676", "hq240", "pq240", "tq144")
+
+
+def part_names() -> list[str]:
+    """All catalog part names, smallest to largest."""
+    return sorted(_CATALOG, key=lambda n: _CATALOG[n].slices)
+
+
+def normalize_part_name(name: str) -> str:
+    """Canonicalize a part string.
+
+    Accepts ``XCV300``, ``xcv300``, ``v300`` and package/speed-qualified
+    forms such as ``v300bg432-6`` or ``XCV300-BG432`` (the XDL ``design``
+    statement uses the lowercase short form).
+    """
+    s = name.strip().lower()
+    if s.startswith("xcv"):
+        s = s[3:]
+    elif s.startswith("v"):
+        s = s[1:]
+    # strip speed grade
+    if "-" in s:
+        s = s.split("-", 1)[0]
+    # strip package suffix
+    for pkg in _PACKAGES:
+        if s.endswith(pkg):
+            s = s[: -len(pkg)]
+            break
+    s = s.strip()
+    if not s.isdigit():
+        raise UnknownPartError(f"cannot parse part name {name!r}")
+    return f"XCV{int(s)}"
+
+
+def part_info(name: str) -> PartInfo:
+    """Look up a part by (possibly qualified) name."""
+    canonical = normalize_part_name(name)
+    try:
+        return _CATALOG[canonical]
+    except KeyError:
+        raise UnknownPartError(
+            f"unknown part {name!r} (canonical {canonical!r}); "
+            f"known parts: {', '.join(part_names())}"
+        ) from None
+
+
+def part_by_idcode(idcode: int) -> PartInfo:
+    """Reverse lookup used by bitstream readers/boards."""
+    for p in _CATALOG.values():
+        if p.idcode == idcode:
+            return p
+    raise UnknownPartError(f"no part with IDCODE 0x{idcode:08x}")

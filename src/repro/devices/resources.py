@@ -1,0 +1,208 @@
+"""JBits-style resource space: named configuration bits of a CLB tile.
+
+Every configurable bit of a CLB tile has a coordinate ``(minor, rowbit)``:
+``minor`` selects one of the column's 48 frames, ``rowbit`` one of the 18
+bits the tile's row contributes to that frame.  This module defines the
+allocation — it is the **single source of truth** shared by bitgen (encode),
+JBits (get/set), readback and the functional simulator (decode):
+
+====================  =======================================================
+minors 0..15          LUT truth tables: bit ``i`` of each of the four LUTs
+                      lives in minor ``i``; rowbit ``2*s + 0`` is slice
+                      ``s``'s F-LUT, rowbit ``2*s + 1`` its G-LUT.
+minor 16              flip-flop / control plane (one bit per slice at
+                      ``base + s``): FFX/FFY used, init values, clock
+                      inversion, sync/async SR, CE/SR usage, latch mode.
+minor 17              datapath muxes: DXMUX / DYMUX select the FF D input
+                      (LUT output vs. BX/BY bypass pin).
+minors 18..47         routing plane: PIP ``p`` of the tile's uniform PIP
+                      table lives at ``(18 + p // 18, p % 18)``.
+====================  =======================================================
+
+Resources are exposed as :class:`Field` objects (an ordered tuple of bit
+coordinates).  ``Field`` instances are what the JBits-style API accepts, in
+the spirit of the original ``com.xilinx.JBits.Virtex.Bits`` constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ResourceError
+from .geometry import BITS_PER_ROW, CLB_FRAMES
+
+#: First minor frame of the routing (PIP) plane.
+PIP_MINOR_BASE = 18
+
+#: Number of PIP bit positions available per tile.
+PIP_CAPACITY = (CLB_FRAMES - PIP_MINOR_BASE) * BITS_PER_ROW  # 540
+
+#: Width of a LUT truth table.
+LUT_SIZE = 16
+
+#: Number of logic slices per CLB.
+SLICES_PER_CLB = 2
+
+
+@dataclass(frozen=True, order=True)
+class BitCoord:
+    """One configuration bit within a CLB tile: (minor frame, row bit)."""
+
+    minor: int
+    rowbit: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.minor < CLB_FRAMES:
+            raise ResourceError(f"minor {self.minor} out of range 0..{CLB_FRAMES - 1}")
+        if not 0 <= self.rowbit < BITS_PER_ROW:
+            raise ResourceError(f"rowbit {self.rowbit} out of range 0..{BITS_PER_ROW - 1}")
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named, ordered group of tile configuration bits.
+
+    ``coords[0]`` is the most-significant bit when the field is read or
+    written as an integer.
+    """
+
+    name: str
+    coords: tuple[BitCoord, ...]
+
+    @property
+    def width(self) -> int:
+        return len(self.coords)
+
+    def __repr__(self) -> str:
+        return f"Field({self.name}, {self.width} bit{'s' if self.width != 1 else ''})"
+
+
+def _bit(name: str, minor: int, rowbit: int) -> Field:
+    return Field(name, (BitCoord(minor, rowbit),))
+
+
+def pip_coord(pip_index: int) -> BitCoord:
+    """Tile bit coordinate of PIP ``pip_index`` in the uniform PIP table."""
+    if not 0 <= pip_index < PIP_CAPACITY:
+        raise ResourceError(f"pip index {pip_index} out of range 0..{PIP_CAPACITY - 1}")
+    return BitCoord(PIP_MINOR_BASE + pip_index // BITS_PER_ROW, pip_index % BITS_PER_ROW)
+
+
+def pip_index_of(coord: BitCoord) -> int:
+    """Inverse of :func:`pip_coord`."""
+    if coord.minor < PIP_MINOR_BASE:
+        raise ResourceError(f"{coord} is not in the routing plane")
+    return (coord.minor - PIP_MINOR_BASE) * BITS_PER_ROW + coord.rowbit
+
+
+class SliceResources:
+    """All named resources of one slice (S0 or S1) of a CLB tile."""
+
+    def __init__(self, s: int):
+        if s not in (0, 1):
+            raise ResourceError(f"slice index must be 0 or 1, got {s}")
+        self.index = s
+        p = f"S{s}."
+        # LUT truth tables: bit i in minor i; coords MSB-first means
+        # coords[0] is truth-table bit 15.
+        self.F = Field(p + "F", tuple(BitCoord(i, 2 * s + 0) for i in reversed(range(LUT_SIZE))))
+        self.G = Field(p + "G", tuple(BitCoord(i, 2 * s + 1) for i in reversed(range(LUT_SIZE))))
+        # minor 16: FF/control plane
+        self.FFX_USED = _bit(p + "FFX_USED", 16, 0 + s)
+        self.FFY_USED = _bit(p + "FFY_USED", 16, 2 + s)
+        self.FFX_INIT = _bit(p + "FFX_INIT", 16, 4 + s)
+        self.FFY_INIT = _bit(p + "FFY_INIT", 16, 6 + s)
+        self.CKINV = _bit(p + "CKINV", 16, 8 + s)
+        self.SYNC_ATTR = _bit(p + "SYNC_ATTR", 16, 10 + s)
+        self.CE_USED = _bit(p + "CE_USED", 16, 12 + s)
+        self.SR_USED = _bit(p + "SR_USED", 16, 14 + s)
+        self.LATCH_MODE = _bit(p + "LATCH_MODE", 16, 16 + s)
+        # minor 17: datapath muxes (0: D <- LUT output, 1: D <- bypass pin)
+        self.DXMUX = _bit(p + "DXMUX", 17, 0 + s)
+        self.DYMUX = _bit(p + "DYMUX", 17, 2 + s)
+        # state-capture cells: GCAPTURE latches the flip-flop outputs here
+        # so readback can observe user state (the BoardScope-style debug
+        # path); never written by bitgen
+        self.CAPTURE_X = _bit(p + "CAPTURE_X", 17, 4 + s)
+        self.CAPTURE_Y = _bit(p + "CAPTURE_Y", 17, 6 + s)
+
+    def lut(self, which: str) -> Field:
+        """LUT truth-table field by letter ('F' or 'G')."""
+        if which == "F":
+            return self.F
+        if which == "G":
+            return self.G
+        raise ResourceError(f"no LUT {which!r} in a slice (expected 'F' or 'G')")
+
+    def fields(self) -> list[Field]:
+        """All fields of this slice, in a stable order."""
+        return [
+            self.F, self.G,
+            self.FFX_USED, self.FFY_USED, self.FFX_INIT, self.FFY_INIT,
+            self.CKINV, self.SYNC_ATTR, self.CE_USED, self.SR_USED,
+            self.LATCH_MODE, self.DXMUX, self.DYMUX,
+            self.CAPTURE_X, self.CAPTURE_Y,
+        ]
+
+
+#: The two slices' resource sets; index with ``SLICE[s]``.
+SLICE: tuple[SliceResources, SliceResources] = (SliceResources(0), SliceResources(1))
+
+#: Registry of every named logic field of a tile (PIPs excluded — those are
+#: addressed by index through :func:`pip_coord`).
+REGISTRY: dict[str, Field] = {f.name: f for s in SLICE for f in s.fields()}
+
+
+def field(name: str) -> Field:
+    """Look up a logic field by name, e.g. ``"S0.F"`` or ``"S1.FFX_USED"``."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise ResourceError(
+            f"unknown resource {name!r}; known: {', '.join(sorted(REGISTRY))}"
+        ) from None
+
+
+def _check_no_overlap() -> None:
+    """Allocation sanity: no two logic bits may share a coordinate, and the
+    logic plane must not spill into the routing plane."""
+    seen: dict[BitCoord, str] = {}
+    for f in REGISTRY.values():
+        for c in f.coords:
+            if c.minor >= PIP_MINOR_BASE:
+                raise ResourceError(f"{f.name} allocated inside routing plane: {c}")
+            if c in seen:
+                raise ResourceError(f"{f.name} overlaps {seen[c]} at {c}")
+            seen[c] = f.name
+
+
+_check_no_overlap()
+
+
+# --------------------------------------------------------------------------
+# Non-CLB resources: IOB sites and global clock buffers.  These live in other
+# configuration columns; their coordinates are expressed as (minor, bit
+# offset *within the frame*) and resolved against a Geometry by the frame
+# layer.  Kept tiny by design: an IOB here is an input and/or output enable.
+# --------------------------------------------------------------------------
+
+#: Per-IOB-site config bits, addressed relative to the site's 18-bit region
+#: (left/right sites: the row region of the IOB column; top/bottom sites:
+#: the top/bottom region of the CLB column).  Site ``i`` uses bits
+#: ``4*i + offset``.
+IOB_ENABLE_IN_OFFSET = 0    # pad drives the fabric (input buffer on)
+IOB_ENABLE_OUT_OFFSET = 1   # fabric drives the pad (output buffer on)
+IOB_BITS_PER_SITE = 4
+IOB_MINOR = 0               # all IOB enables live in minor frame 0
+
+
+def iob_bit_offset(site_index: int, which: int) -> int:
+    """Bit offset of an IOB enable within its 18-bit region."""
+    off = IOB_BITS_PER_SITE * site_index + which
+    if off >= BITS_PER_ROW:
+        raise ResourceError(f"IOB site index {site_index} does not fit the region")
+    return off
+
+
+#: Global clock buffer ``g`` enable: clock column, minor ``g``, frame bit 0.
+GCLK_ENABLE_BIT = 0

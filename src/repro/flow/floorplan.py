@@ -1,0 +1,160 @@
+"""Floorplanning objects: region rectangles, area groups, constraints.
+
+These are the semantic form of what a UCF file expresses: ``INST`` LOC
+constraints pin a component to a site, ``AREA_GROUP`` + ``RANGE`` confine a
+module's logic to a rectangle of CLBs.  JPG's phase-1/phase-2 methodology
+(paper §3.1–3.2) is carried entirely by these objects: the base design
+assigns each sub-module an area group, and each replacement module is
+re-implemented under the *same* group range so its logic lands in the same
+frames.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from dataclasses import dataclass, field
+
+from ..devices import Device, clb_site_name, parse_clb_site
+from ..errors import ConstraintError
+
+
+@dataclass(frozen=True, order=True)
+class RegionRect:
+    """Inclusive rectangle of CLB tiles (0-based coordinates)."""
+
+    rmin: int
+    cmin: int
+    rmax: int
+    cmax: int
+
+    def __post_init__(self) -> None:
+        if self.rmin > self.rmax or self.cmin > self.cmax:
+            raise ConstraintError(f"degenerate region {self}")
+        if min(self.rmin, self.cmin) < 0:
+            raise ConstraintError(f"negative region corner {self}")
+
+    @classmethod
+    def from_ucf(cls, text: str) -> "RegionRect":
+        """Parse ``CLB_R1C1:CLB_R8C12`` (UCF RANGE syntax)."""
+        m = re.match(r"^\s*(\S+)\s*:\s*(\S+)\s*$", text)
+        if not m:
+            raise ConstraintError(f"bad RANGE {text!r} (expected SITE:SITE)")
+        r1, c1 = parse_clb_site(m.group(1))
+        r2, c2 = parse_clb_site(m.group(2))
+        return cls(min(r1, r2), min(c1, c2), max(r1, r2), max(c1, c2))
+
+    def to_ucf(self) -> str:
+        return f"{clb_site_name(self.rmin, self.cmin)}:{clb_site_name(self.rmax, self.cmax)}"
+
+    def contains(self, row: int, col: int) -> bool:
+        return self.rmin <= row <= self.rmax and self.cmin <= col <= self.cmax
+
+    def contains_rect(self, other: "RegionRect") -> bool:
+        return (self.rmin <= other.rmin and self.cmin <= other.cmin
+                and self.rmax >= other.rmax and self.cmax >= other.cmax)
+
+    def overlaps(self, other: "RegionRect") -> bool:
+        return not (
+            self.rmax < other.rmin or other.rmax < self.rmin
+            or self.cmax < other.cmin or other.cmax < self.cmin
+        )
+
+    def clip_to(self, device: Device) -> "RegionRect":
+        return RegionRect(
+            max(self.rmin, 0), max(self.cmin, 0),
+            min(self.rmax, device.rows - 1), min(self.cmax, device.cols - 1),
+        )
+
+    @property
+    def height(self) -> int:
+        return self.rmax - self.rmin + 1
+
+    @property
+    def width(self) -> int:
+        return self.cmax - self.cmin + 1
+
+    @property
+    def tiles(self) -> int:
+        return self.height * self.width
+
+    @property
+    def slice_capacity(self) -> int:
+        return self.tiles * 2
+
+    def sites(self):
+        """Iterate all (row, col) tiles of the region."""
+        for r in range(self.rmin, self.rmax + 1):
+            for c in range(self.cmin, self.cmax + 1):
+                yield r, c
+
+    def clb_columns(self) -> range:
+        """The CLB fabric columns the region covers — what determines which
+        configuration frames a module's changes can touch."""
+        return range(self.cmin, self.cmax + 1)
+
+    def __str__(self) -> str:
+        return self.to_ucf()
+
+
+def full_device_region(device: Device) -> RegionRect:
+    return RegionRect(0, 0, device.rows - 1, device.cols - 1)
+
+
+@dataclass
+class AreaGroup:
+    """A named group of instances confined to a region."""
+
+    name: str
+    patterns: list[str] = field(default_factory=list)  # instance-name globs
+    range: RegionRect | None = None
+
+    def matches(self, inst_name: str) -> bool:
+        return any(fnmatch.fnmatchcase(inst_name, p) for p in self.patterns)
+
+
+@dataclass
+class Constraints:
+    """Everything the placer honours."""
+
+    locs: dict[str, str] = field(default_factory=dict)   # inst glob -> site name
+    groups: list[AreaGroup] = field(default_factory=list)
+    prohibited: set[tuple[int, int]] = field(default_factory=set)  # CLB tiles
+
+    def group_of(self, inst_name: str) -> AreaGroup | None:
+        for g in self.groups:
+            if g.matches(inst_name):
+                return g
+        return None
+
+    def group_by_name(self, name: str) -> AreaGroup:
+        for g in self.groups:
+            if g.name == name:
+                return g
+        raise ConstraintError(f"no area group named {name!r}")
+
+    def loc_of(self, inst_name: str) -> str | None:
+        for pattern, site in self.locs.items():
+            if fnmatch.fnmatchcase(inst_name, pattern):
+                return site
+        return None
+
+    def validate(self, device: Device) -> None:
+        for g in self.groups:
+            if g.range is not None and not full_device_region(device).contains_rect(g.range):
+                raise ConstraintError(
+                    f"area group {g.name}: range {g.range} exceeds {device.name} "
+                    f"array {device.rows}x{device.cols}"
+                )
+        for r, c in self.prohibited:
+            try:
+                device.geometry.check_tile(r, c)
+            except Exception as exc:
+                raise ConstraintError(f"PROHIBIT site out of range: {exc}") from None
+
+    def merged_with(self, other: "Constraints") -> "Constraints":
+        merged = Constraints(dict(self.locs), list(self.groups), set(self.prohibited))
+        merged.locs.update(other.locs)
+        merged.groups.extend(other.groups)
+        merged.prohibited.update(other.prohibited)
+        return merged

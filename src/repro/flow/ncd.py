@@ -1,0 +1,392 @@
+"""The NCD-equivalent physical design database.
+
+An :class:`NcdDesign` is what the Foundation-equivalent flow produces and
+what ``bitgen``, the XDL converter, and JPG consume: packed slice/IOB
+components, their placement, and the routed nets (as explicit PIP lists).
+
+Like the real thing it has a binary on-disk form (:meth:`NcdDesign.save` /
+:meth:`NcdDesign.load`; magic ``XNCD``), and an ASCII twin — the XDL text
+produced by :mod:`repro.xdl` — carrying the same information.
+
+Component pin model
+-------------------
+
+Slice outputs: ``X`` (F-LUT combinational), ``Y`` (G-LUT), ``XQ``/``YQ``
+(flip-flops).  Slice sinks: LUT input *classes* ``F``/``G`` with a logical
+input index (the router assigns the physical pin F1..F4/G1..G4 and records
+it in the bel's ``pin_map``), bypass pins ``BX``/``BY`` (FF D when not fed
+by its LUT), ``CE``, ``SR``, ``CLK``.  IOB components source ``PAD_IN``
+(pad drives fabric) or sink ``PAD_OUT``; a clock buffer component sources
+``GCLK``.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass, field
+
+from ..devices import Device, IobSite, get_device, parse_iob_site
+from ..devices.geometry import Side
+from ..errors import FlowError
+
+MAGIC = b"XNCD"
+VERSION = 2
+
+
+@dataclass
+class Bel:
+    """One LUT+FF position of a slice ('F' pairs with FFX, 'G' with FFY)."""
+
+    letter: str                       # 'F' or 'G'
+    lut_cell: str | None = None
+    lut_init: int = 0
+    lut_width: int = 0
+    lut_inputs: list[str] = field(default_factory=list)   # logical input nets
+    pin_map: list[int] | None = None  # logical input -> physical pin (router)
+    ff_cell: str | None = None
+    ff_init: int = 0
+    ff_sync: bool = True
+    ff_d_from_lut: bool = False       # True: FF.D <- LUT output (DXMUX=0)
+
+    @property
+    def used(self) -> bool:
+        return self.lut_cell is not None or self.ff_cell is not None
+
+    @property
+    def out_pin(self) -> str:
+        """Combinational output pin name for this bel."""
+        return "X" if self.letter == "F" else "Y"
+
+    @property
+    def ff_out_pin(self) -> str:
+        return "XQ" if self.letter == "F" else "YQ"
+
+    @property
+    def bypass_pin(self) -> str:
+        return "BX" if self.letter == "F" else "BY"
+
+
+@dataclass
+class SliceComp:
+    """A packed slice component (an XDL ``inst ... "SLICE"``)."""
+
+    name: str
+    group: str | None = None           # module/area-group tag
+    site: tuple[int, int, int] | None = None   # (row, col, slice index)
+    bels: dict[str, Bel] = field(default_factory=lambda: {"F": Bel("F"), "G": Bel("G")})
+    clk_net: str | None = None
+    ce_net: str | None = None
+    sr_net: str | None = None
+
+    @property
+    def placed(self) -> bool:
+        return self.site is not None
+
+    def cells(self) -> list[str]:
+        out = []
+        for bel in self.bels.values():
+            if bel.lut_cell:
+                out.append(bel.lut_cell)
+            if bel.ff_cell:
+                out.append(bel.ff_cell)
+        return out
+
+
+@dataclass
+class IobComp:
+    """A placed input/output buffer."""
+
+    name: str
+    direction: str                     # "in" | "out" | "clock"
+    port: str
+    net: str
+    site: IobSite | None = None
+    group: str | None = None
+
+    @property
+    def placed(self) -> bool:
+        return self.site is not None
+
+
+@dataclass
+class GclkComp:
+    """A global clock buffer (driven by its dedicated pad)."""
+
+    name: str
+    port: str
+    net: str
+    index: int | None = None           # which GCLK line, assigned at placement
+
+
+@dataclass
+class PinRef:
+    """One net terminal on a component."""
+
+    comp: str
+    pin: str                            # X/Y/XQ/YQ | F/G | BX/BY/CE/SR/CLK | PAD_IN/PAD_OUT | GCLK
+    logical_index: int = -1             # for F/G sinks: which logical LUT input
+
+
+@dataclass
+class SinkRef:
+    """A sink terminal plus routing results."""
+
+    ref: PinRef
+    phys_pin: str | None = None         # resolved wire name, e.g. "S0_F3"
+    delay_ns: float = 0.0               # routed path delay source->this sink
+
+
+@dataclass
+class PhysNet:
+    """A net with physical terminals and (after routing) its PIP tree."""
+
+    name: str
+    source: PinRef
+    sinks: list[SinkRef] = field(default_factory=list)
+    pips: list[tuple[int, int, int]] = field(default_factory=list)  # (row, col, pip index)
+    routed: bool = False
+    is_clock: bool = False
+
+
+class NcdDesign:
+    """The physical design database."""
+
+    def __init__(self, name: str, part: str):
+        self.name = name
+        self.part = part
+        self.slices: dict[str, SliceComp] = {}
+        self.iobs: dict[str, IobComp] = {}
+        self.gclks: dict[str, GclkComp] = {}
+        self.nets: dict[str, PhysNet] = {}
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def device(self) -> Device:
+        return get_device(self.part)
+
+    def comp(self, name: str) -> SliceComp | IobComp | GclkComp:
+        for pool in (self.slices, self.iobs, self.gclks):
+            if name in pool:
+                return pool[name]
+        raise FlowError(f"no component named {name!r}")
+
+    def placed(self) -> bool:
+        return all(c.placed for c in self.slices.values()) and all(
+            c.placed for c in self.iobs.values()
+        )
+
+    def routed(self) -> bool:
+        return all(n.routed for n in self.nets.values())
+
+    def used_tiles(self) -> set[tuple[int, int]]:
+        tiles = {(c.site[0], c.site[1]) for c in self.slices.values() if c.site}
+        return tiles
+
+    def used_columns(self) -> set[int]:
+        """CLB fabric columns touched by placement or routing."""
+        cols = {c.site[1] for c in self.slices.values() if c.site}
+        for net in self.nets.values():
+            cols.update(col for _, col, _ in net.pips)
+        return cols
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "slices": len(self.slices),
+            "iobs": len(self.iobs),
+            "nets": len(self.nets),
+            "pips": sum(len(n.pips) for n in self.nets.values()),
+        }
+
+    # -- binary serialization -----------------------------------------------------
+
+    def save(self, path: str) -> None:
+        with open(path, "wb") as f:
+            f.write(self.to_bytes())
+
+    @classmethod
+    def load(cls, path: str) -> "NcdDesign":
+        with open(path, "rb") as f:
+            return cls.from_bytes(f.read())
+
+    def to_bytes(self) -> bytes:
+        out = io.BytesIO()
+        w = _Writer(out)
+        out.write(MAGIC)
+        w.u16(VERSION)
+        w.s(self.name)
+        w.s(self.part)
+        w.u32(len(self.slices))
+        for comp in self.slices.values():
+            w.s(comp.name)
+            w.s(comp.group or "")
+            if comp.site is None:
+                w.u8(0)
+            else:
+                w.u8(1)
+                w.u16(comp.site[0]); w.u16(comp.site[1]); w.u8(comp.site[2])
+            w.s(comp.clk_net or ""); w.s(comp.ce_net or ""); w.s(comp.sr_net or "")
+            for letter in ("F", "G"):
+                bel = comp.bels[letter]
+                w.s(bel.lut_cell or "")
+                w.u32(bel.lut_init)
+                w.u8(bel.lut_width)
+                w.u8(len(bel.lut_inputs))
+                for n in bel.lut_inputs:
+                    w.s(n)
+                if bel.pin_map is None:
+                    w.u8(0)
+                else:
+                    w.u8(1)
+                    w.u8(len(bel.pin_map))
+                    for p in bel.pin_map:
+                        w.u8(p)
+                w.s(bel.ff_cell or "")
+                w.u8(bel.ff_init)
+                w.u8(int(bel.ff_sync))
+                w.u8(int(bel.ff_d_from_lut))
+        w.u32(len(self.iobs))
+        for iob in self.iobs.values():
+            w.s(iob.name); w.s(iob.direction); w.s(iob.port); w.s(iob.net)
+            w.s(iob.site.name if iob.site else "")
+            w.s(iob.group or "")
+        w.u32(len(self.gclks))
+        for g in self.gclks.values():
+            w.s(g.name); w.s(g.port); w.s(g.net)
+            w.u8(0xFF if g.index is None else g.index)
+        w.u32(len(self.nets))
+        for net in self.nets.values():
+            w.s(net.name)
+            w.u8(int(net.routed) | (int(net.is_clock) << 1))
+            w.s(net.source.comp); w.s(net.source.pin)
+            w.u8(net.source.logical_index & 0xFF)
+            w.u16(len(net.sinks))
+            for sink in net.sinks:
+                w.s(sink.ref.comp); w.s(sink.ref.pin)
+                w.u8(sink.ref.logical_index & 0xFF)
+                w.s(sink.phys_pin or "")
+                w.f64(sink.delay_ns)
+            w.u32(len(net.pips))
+            for r, c, p in net.pips:
+                w.u16(r); w.u16(c); w.u16(p)
+        return out.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "NcdDesign":
+        if not data.startswith(MAGIC):
+            raise FlowError("not an NCD database (bad magic)")
+        r = _Reader(data, len(MAGIC))
+        version = r.u16()
+        if version != VERSION:
+            raise FlowError(f"NCD version {version} unsupported (expected {VERSION})")
+        design = cls(r.s(), r.s())
+        for _ in range(r.u32()):
+            comp = SliceComp(r.s())
+            comp.group = r.s() or None
+            if r.u8():
+                comp.site = (r.u16(), r.u16(), r.u8())
+            comp.clk_net = r.s() or None
+            comp.ce_net = r.s() or None
+            comp.sr_net = r.s() or None
+            for letter in ("F", "G"):
+                bel = comp.bels[letter]
+                bel.lut_cell = r.s() or None
+                bel.lut_init = r.u32()
+                bel.lut_width = r.u8()
+                bel.lut_inputs = [r.s() for _ in range(r.u8())]
+                if r.u8():
+                    bel.pin_map = [r.u8() for _ in range(r.u8())]
+                bel.ff_cell = r.s() or None
+                bel.ff_init = r.u8()
+                bel.ff_sync = bool(r.u8())
+                bel.ff_d_from_lut = bool(r.u8())
+            design.slices[comp.name] = comp
+        for _ in range(r.u32()):
+            iob = IobComp(r.s(), r.s(), r.s(), r.s())
+            site_name = r.s()
+            iob.site = parse_iob_site(site_name) if site_name else None
+            iob.group = r.s() or None
+            design.iobs[iob.name] = iob
+        for _ in range(r.u32()):
+            g = GclkComp(r.s(), r.s(), r.s())
+            idx = r.u8()
+            g.index = None if idx == 0xFF else idx
+            design.gclks[g.name] = g
+        for _ in range(r.u32()):
+            name = r.s()
+            flags = r.u8()
+            src = PinRef(r.s(), r.s(), _signed_idx(r.u8()))
+            net = PhysNet(name, src, routed=bool(flags & 1), is_clock=bool(flags & 2))
+            for _ in range(r.u16()):
+                ref = PinRef(r.s(), r.s(), _signed_idx(r.u8()))
+                phys = r.s() or None
+                delay = r.f64()
+                net.sinks.append(SinkRef(ref, phys, delay))
+            for _ in range(r.u32()):
+                net.pips.append((r.u16(), r.u16(), r.u16()))
+            design.nets[name] = net
+        return design
+
+
+def _signed_idx(v: int) -> int:
+    return v - 256 if v >= 128 else v
+
+
+class _Writer:
+    def __init__(self, out: io.BytesIO):
+        self.out = out
+
+    def u8(self, v: int) -> None:
+        self.out.write(struct.pack(">B", v & 0xFF))
+
+    def u16(self, v: int) -> None:
+        self.out.write(struct.pack(">H", v & 0xFFFF))
+
+    def u32(self, v: int) -> None:
+        self.out.write(struct.pack(">I", v & 0xFFFFFFFF))
+
+    def f64(self, v: float) -> None:
+        self.out.write(struct.pack(">d", v))
+
+    def s(self, v: str) -> None:
+        raw = v.encode()
+        if len(raw) > 0xFFFF:
+            raise FlowError("string too long for NCD serialization")
+        self.u16(len(raw))
+        self.out.write(raw)
+
+
+class _Reader:
+    def __init__(self, data: bytes, pos: int = 0):
+        self.data = data
+        self.pos = pos
+
+    def _take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise FlowError("truncated NCD database")
+        chunk = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return struct.unpack(">B", self._take(1))[0]
+
+    def u16(self) -> int:
+        return struct.unpack(">H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self._take(4))[0]
+
+    def f64(self) -> float:
+        return struct.unpack(">d", self._take(8))[0]
+
+    def s(self) -> str:
+        return self._take(self.u16()).decode()
+
+
+# re-export for convenience of importers
+__all__ = [
+    "Bel", "GclkComp", "IobComp", "NcdDesign", "PhysNet", "PinRef",
+    "SinkRef", "SliceComp", "Side",
+]

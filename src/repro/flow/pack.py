@@ -1,0 +1,269 @@
+"""Slice packing: logical cells -> slice/IOB components.
+
+A Virtex slice hosts two LUT+FF positions (bel F pairs with FFX, bel G with
+FFY) sharing one clock, clock-enable and set/reset.  Packing
+
+* pairs each flip-flop with the LUT that exclusively drives its D input
+  (the pair shares a bel, ``DXMUX`` selects the LUT path),
+* buckets pairs by (module prefix, clk, ce, sr, sync) so only compatible
+  bels share a slice — and never across module boundaries, which is what
+  lets UCF area groups constrain whole modules,
+* fills slices two bels at a time, topping half-full slices up with
+  LUT-only bels of the same module,
+* converts IBUF/OBUF cells into IOB components and clock ports into
+  global-clock buffer components,
+* and rebuilds every surviving net with physical pin references.
+
+The component takes its name from its principal cell, so XDL output reads
+like the paper's example (``inst "u1/nrz" "SLICE", ...``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PackError
+from ..netlist.library import CellKind
+from ..netlist.logical import Cell, Netlist
+from .ncd import Bel, GclkComp, IobComp, NcdDesign, PhysNet, PinRef, SinkRef
+
+
+def module_prefix(name: str) -> str:
+    """Module tag of a hierarchical cell name (``u1/nrz`` -> ``u1``)."""
+    return name.split("/", 1)[0] if "/" in name else ""
+
+
+@dataclass
+class _BelPlan:
+    lut: Cell | None = None
+    ff: Cell | None = None
+    paired: bool = False     # FF.D comes from this bel's LUT
+
+
+@dataclass
+class PackStats:
+    slices: int = 0
+    bels: int = 0
+    pairs: int = 0
+    iobs: int = 0
+
+
+def pack(netlist: Netlist, part: str) -> tuple[NcdDesign, PackStats]:
+    """Pack a techmapped netlist into an unplaced :class:`NcdDesign`."""
+    netlist.validate()
+    stats = PackStats()
+    design = NcdDesign(netlist.name, part)
+
+    leftover = netlist.cells_of_kind(CellKind.GND, CellKind.VCC)
+    if leftover:
+        raise PackError(
+            f"constants survived techmap: {[c.name for c in leftover]}; "
+            "run repro.flow.techmap first"
+        )
+
+    # -- pair FFs with their driving LUTs -----------------------------------
+    internal_nets: set[str] = set()
+    plans: list[_BelPlan] = []
+    lut_taken: set[str] = set()
+    for ff in netlist.ffs():
+        d_net = netlist.get_net(ff.pins["D"])
+        drv = netlist.driver_cell(ff.pins["D"])
+        if (
+            drv is not None
+            and drv.kind.is_lut
+            and d_net.fanout == 1
+            and drv.name not in lut_taken
+        ):
+            plans.append(_BelPlan(lut=drv, ff=ff, paired=True))
+            lut_taken.add(drv.name)
+            internal_nets.add(d_net.name)
+            stats.pairs += 1
+        else:
+            plans.append(_BelPlan(ff=ff))
+    for lut in netlist.luts():
+        if lut.name not in lut_taken:
+            plans.append(_BelPlan(lut=lut))
+
+    # -- bucket by compatibility ------------------------------------------------
+    def plan_key(p: _BelPlan):
+        if p.ff is None:
+            return None  # flexible
+        ff = p.ff
+        return (
+            module_prefix(ff.name),
+            ff.pins.get("C"),
+            ff.pins.get("CE"),
+            ff.pins.get("SR"),
+            ff.params.get("SYNC", 1),
+        )
+
+    def plan_prefix(p: _BelPlan) -> str:
+        cell = p.ff or p.lut
+        assert cell is not None
+        return module_prefix(cell.name)
+
+    buckets: dict[object, list[_BelPlan]] = {}
+    flexible: dict[str, list[_BelPlan]] = {}
+    for p in plans:
+        key = plan_key(p)
+        if key is None:
+            flexible.setdefault(plan_prefix(p), []).append(p)
+        else:
+            buckets.setdefault(key, []).append(p)
+
+    # -- fill slices --------------------------------------------------------------
+    cell_to_comp: dict[str, tuple[str, str]] = {}   # cell -> (comp name, bel letter)
+
+    def make_comp(bel_plans: list[_BelPlan], key) -> None:
+        principal = bel_plans[0].ff or bel_plans[0].lut
+        assert principal is not None
+        name = principal.name
+        if name in design.slices:
+            raise PackError(f"duplicate slice component name {name!r}")
+        comp = design.slices[name] = _new_slice(name, plan_prefix(bel_plans[0]))
+        if key is not None:
+            _, clk, ce, sr, _sync = key
+            comp.clk_net, comp.ce_net, comp.sr_net = clk, ce, sr
+        for letter, p in zip("FG", bel_plans):
+            bel = comp.bels[letter]
+            _fill_bel(bel, p)
+            if p.lut is not None:
+                cell_to_comp[p.lut.name] = (name, letter)
+            if p.ff is not None:
+                cell_to_comp[p.ff.name] = (name, letter)
+                if comp.clk_net is None:
+                    comp.clk_net = p.ff.pins.get("C")
+                    comp.ce_net = p.ff.pins.get("CE")
+                    comp.sr_net = p.ff.pins.get("SR")
+        stats.slices += 1
+        stats.bels += len(bel_plans)
+
+    half_full: dict[str, list[str]] = {}  # prefix -> comp names with a free G bel
+    for key, plist in sorted(buckets.items(), key=lambda kv: str(kv[0])):
+        for i in range(0, len(plist), 2):
+            chunk = plist[i:i + 2]
+            make_comp(chunk, key)
+            if len(chunk) == 1:
+                name = (chunk[0].ff or chunk[0].lut).name
+                half_full.setdefault(plan_prefix(chunk[0]), []).append(name)
+
+    for prefix, plist in sorted(flexible.items()):
+        queue = list(plist)
+        # top up half-full slices of the same module with LUT-only bels
+        for comp_name in half_full.get(prefix, []):
+            if not queue:
+                break
+            p = queue.pop()
+            comp = design.slices[comp_name]
+            _fill_bel(comp.bels["G"], p)
+            assert p.lut is not None
+            cell_to_comp[p.lut.name] = (comp_name, "G")
+            stats.bels += 1
+        for i in range(0, len(queue), 2):
+            make_comp(queue[i:i + 2], None)
+
+    # -- IOBs and clock buffers ------------------------------------------------------
+    iob_like: dict[str, str] = {}  # buffer cell -> comp name
+    for port in netlist.ports.values():
+        buf = netlist.get_cell(port.buffer_cell)
+        if port.direction == "clock":
+            net = buf.pins["O"]
+            design.gclks[buf.name] = GclkComp(buf.name, port.name, net)
+        else:
+            net = buf.pins["O"] if port.direction == "in" else buf.pins["I"]
+            comp = IobComp(buf.name, port.direction, port.name, net,
+                           group=module_prefix(buf.name) or None)
+            design.iobs[buf.name] = comp
+            stats.iobs += 1
+        iob_like[buf.name] = buf.name
+
+    # -- physical nets ------------------------------------------------------------------
+    clock_nets = {g.net for g in design.gclks.values()}
+    for net in netlist.nets.values():
+        if net.name in internal_nets:
+            continue
+        if not net.sinks:
+            continue  # unused input-port net
+        assert net.driver is not None
+        source = _source_ref(netlist, design, cell_to_comp, net.driver)
+        pnet = PhysNet(net.name, source, is_clock=net.name in clock_nets)
+        seen_shared: set[tuple[str, str]] = set()
+        for cell_name, pin in net.sinks:
+            ref = _sink_ref(netlist, cell_to_comp, cell_name, pin)
+            shared_key = (ref.comp, ref.pin)
+            if ref.pin in ("CLK", "CE", "SR"):
+                if shared_key in seen_shared:
+                    continue  # one shared pin per slice
+                seen_shared.add(shared_key)
+            pnet.sinks.append(SinkRef(ref))
+        design.nets[net.name] = pnet
+
+    return design, stats
+
+
+def _new_slice(name: str, prefix: str):
+    from .ncd import SliceComp
+
+    return SliceComp(name, group=prefix or None)
+
+
+def _fill_bel(bel: Bel, p: _BelPlan) -> None:
+    if bel.used:
+        raise PackError(f"bel {bel.letter} already occupied")
+    if p.lut is not None:
+        bel.lut_cell = p.lut.name
+        bel.lut_init = p.lut.init
+        bel.lut_width = p.lut.kind.lut_width
+        bel.lut_inputs = [p.lut.pins[f"I{i}"] for i in range(bel.lut_width)]
+    if p.ff is not None:
+        bel.ff_cell = p.ff.name
+        bel.ff_init = p.ff.params.get("INIT", 0)
+        bel.ff_sync = bool(p.ff.params.get("SYNC", 1))
+        bel.ff_d_from_lut = p.paired
+
+
+def _source_ref(
+    netlist: Netlist,
+    design: NcdDesign,
+    cell_to_comp: dict[str, tuple[str, str]],
+    driver: tuple[str, str],
+) -> PinRef:
+    cell_name, pin = driver
+    cell = netlist.get_cell(cell_name)
+    if cell.kind is CellKind.IBUF:
+        if cell_name in design.gclks:
+            return PinRef(cell_name, "GCLK")
+        return PinRef(cell_name, "PAD_IN")
+    comp_name, letter = cell_to_comp[cell_name]
+    comp = design.slices[comp_name]
+    bel = comp.bels[letter]
+    if cell.kind is CellKind.DFF:
+        return PinRef(comp_name, bel.ff_out_pin)
+    return PinRef(comp_name, bel.out_pin)
+
+
+def _sink_ref(
+    netlist: Netlist,
+    cell_to_comp: dict[str, tuple[str, str]],
+    cell_name: str,
+    pin: str,
+) -> PinRef:
+    cell = netlist.get_cell(cell_name)
+    if cell.kind is CellKind.OBUF:
+        return PinRef(cell_name, "PAD_OUT")
+    comp_name, letter = cell_to_comp[cell_name]
+    if cell.kind.is_lut:
+        idx = int(pin[1:])
+        return PinRef(comp_name, letter, idx)
+    # DFF sink pins
+    if pin == "D":
+        from .ncd import SliceComp  # localise import for typing clarity
+
+        bel_letter = letter
+        bypass = "BX" if bel_letter == "F" else "BY"
+        return PinRef(comp_name, bypass)
+    if pin == "C":
+        return PinRef(comp_name, "CLK")
+    if pin in ("CE", "SR"):
+        return PinRef(comp_name, pin)
+    raise PackError(f"unhandled sink {cell_name}.{pin}")

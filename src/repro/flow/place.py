@@ -1,0 +1,372 @@
+"""Simulated-annealing placement.
+
+Standard VPR-style annealer over slice and IOB components: the cost is the
+half-perimeter wirelength (HPWL) of all signal nets, moves are single-
+component relocations or pairwise swaps, and the cooling schedule adapts
+the starting temperature to the observed move-delta distribution.
+
+Constraints honoured (the paper's phase-1/phase-2 floorplanning):
+
+* ``LOC`` pins a component to a site — it never moves;
+* an ``AREA_GROUP`` ``RANGE`` confines every matching component to its
+  rectangle (module-region placement);
+* ``PROHIBIT`` removes tiles from the site pool;
+* a *guide* (a previously-placed design, paper §3.2 "guided floorplanning")
+  seeds matching components at their old sites and locks them.
+
+Runtime scales with the number of movable components — this is what the
+PNR experiment measures when it compares module-sized against full-chip
+place-and-route.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..devices import Device, IobSite, get_device, parse_slice_site
+from ..devices.geometry import NUM_GCLK
+from ..errors import PlacementError
+from ..utils import make_rng
+from .floorplan import Constraints, RegionRect, full_device_region
+from .ncd import NcdDesign, SliceComp
+
+SliceSite = tuple[int, int, int]
+
+
+@dataclass
+class PlacementStats:
+    initial_cost: float = 0.0
+    final_cost: float = 0.0
+    moves_attempted: int = 0
+    moves_accepted: int = 0
+    temperatures: int = 0
+    seconds: float = 0.0
+    movable: int = 0
+    fixed: int = 0
+
+
+@dataclass
+class _CompState:
+    name: str
+    is_iob: bool
+    region: RegionRect | None = None      # slices only
+    fixed: bool = False
+    site: object = None                   # SliceSite or IobSite
+    nets: list[str] = field(default_factory=list)
+
+
+class Placer:
+    """One placement run over an :class:`NcdDesign`."""
+
+    def __init__(
+        self,
+        design: NcdDesign,
+        constraints: Constraints | None = None,
+        *,
+        guide: NcdDesign | None = None,
+        seed: int | None = None,
+        effort: float = 1.0,
+    ):
+        self.design = design
+        self.device: Device = get_device(design.part)
+        self.constraints = constraints or Constraints()
+        self.constraints.validate(self.device)
+        self.guide = guide
+        self.rng = make_rng(seed)
+        self.effort = max(0.1, effort)
+        self.stats = PlacementStats()
+
+    # -- public ------------------------------------------------------------------
+
+    def run(self) -> PlacementStats:
+        t0 = time.perf_counter()
+        self._assign_gclks()
+        self._build_state()
+        self._initial_placement()
+        self._anneal()
+        self._commit()
+        self.stats.seconds = time.perf_counter() - t0
+        return self.stats
+
+    # -- setup ---------------------------------------------------------------------
+
+    def _assign_gclks(self) -> None:
+        gclks = list(self.design.gclks.values())
+        if len(gclks) > NUM_GCLK:
+            raise PlacementError(
+                f"{len(gclks)} clock ports exceed the {NUM_GCLK} global clock buffers"
+            )
+        taken = {g.index for g in gclks if g.index is not None}
+        # guided flows keep each clock on the buffer the base design used,
+        # preserving the module interface across re-implementation
+        if self.guide is not None:
+            for g in gclks:
+                if g.index is not None:
+                    continue
+                ref = self.guide.gclks.get(g.name)
+                if ref is not None and ref.index is not None and ref.index not in taken:
+                    g.index = ref.index
+                    taken.add(ref.index)
+        free = iter(i for i in range(NUM_GCLK) if i not in taken)
+        for g in gclks:
+            if g.index is None:
+                g.index = next(free)
+
+    def _region_of(self, comp: SliceComp) -> RegionRect:
+        group = self.constraints.group_of(comp.name)
+        if group is None or group.range is None:
+            return full_device_region(self.device)
+        return group.range
+
+    def _build_state(self) -> None:
+        self.comps: dict[str, _CompState] = {}
+        for comp in self.design.slices.values():
+            self.comps[comp.name] = _CompState(
+                comp.name, is_iob=False, region=self._region_of(comp)
+            )
+        for iob in self.design.iobs.values():
+            self.comps[iob.name] = _CompState(iob.name, is_iob=True)
+        # net incidence (signal nets only; clock nets ride the global network)
+        self.net_terms: dict[str, list[str]] = {}
+        for net in self.design.nets.values():
+            if net.is_clock:
+                continue
+            terms = [net.source.comp] + [s.ref.comp for s in net.sinks]
+            terms = [t for t in terms if t in self.comps]
+            if len(set(terms)) < 2:
+                continue
+            self.net_terms[net.name] = terms
+            for t in set(terms):
+                self.comps[t].nets.append(net.name)
+
+    def _initial_placement(self) -> None:
+        dev = self.device
+        prohibited = self.constraints.prohibited
+        self.slice_occ: dict[SliceSite, str] = {}
+        self.iob_occ: dict[IobSite, str] = {}
+
+        # 1. explicit LOCs and guide seeds
+        for state in self.comps.values():
+            loc = self.constraints.loc_of(state.name)
+            if loc is not None and not state.is_iob:
+                site = parse_slice_site(loc)
+                self._claim(state, site, fixed=True)
+        if self.guide is not None:
+            self._apply_guide()
+
+        # 2. everything else, randomly within its region
+        all_iob_sites = list(dev.geometry.iob_sites)
+        for state in self.comps.values():
+            if state.site is not None:
+                continue
+            if state.is_iob:
+                free = [s for s in all_iob_sites if s not in self.iob_occ]
+                if not free:
+                    raise PlacementError("out of IOB sites")
+                self._claim(state, free[int(self.rng.integers(len(free)))])
+            else:
+                sites = [
+                    (r, c, s)
+                    for r, c in state.region.clip_to(dev).sites()
+                    if (r, c) not in prohibited
+                    for s in (0, 1)
+                    if (r, c, s) not in self.slice_occ
+                ]
+                if not sites:
+                    raise PlacementError(
+                        f"{state.name}: no free slice site in region {state.region} "
+                        f"({len(self.design.slices)} slices to place)"
+                    )
+                self._claim(state, sites[int(self.rng.integers(len(sites)))])
+
+    def _apply_guide(self) -> None:
+        assert self.guide is not None
+        for name, comp in self.guide.slices.items():
+            state = self.comps.get(name)
+            if state is None or state.is_iob or comp.site is None or state.site is not None:
+                continue
+            site = tuple(comp.site)
+            if site not in self.slice_occ and state.region.contains(site[0], site[1]):
+                self._claim(state, site, fixed=True)
+        for name, iob in self.guide.iobs.items():
+            state = self.comps.get(name)
+            if state is None or not state.is_iob or iob.site is None or state.site is not None:
+                continue
+            if iob.site not in self.iob_occ:
+                self._claim(state, iob.site, fixed=True)
+
+    def _claim(self, state: _CompState, site, fixed: bool = False) -> None:
+        if state.is_iob:
+            if site in self.iob_occ:
+                raise PlacementError(
+                    f"IOB site {site.name} wanted by {state.name} and {self.iob_occ[site]}"
+                )
+            self.iob_occ[site] = state.name
+        else:
+            if site in self.slice_occ:
+                raise PlacementError(
+                    f"site {site} wanted by {state.name} and {self.slice_occ[site]}"
+                )
+            self.slice_occ[site] = state.name
+        state.site = site
+        state.fixed = state.fixed or fixed
+
+    # -- cost -------------------------------------------------------------------------
+
+    def _tile_of(self, state: _CompState) -> tuple[int, int]:
+        if state.is_iob:
+            return self.device.geometry.iob_tile(state.site)
+        r, c, _ = state.site
+        return r, c
+
+    def _net_cost(self, net_name: str) -> float:
+        rows, cols = [], []
+        for t in self.net_terms[net_name]:
+            r, c = self._tile_of(self.comps[t])
+            rows.append(r)
+            cols.append(c)
+        return (max(rows) - min(rows)) + (max(cols) - min(cols))
+
+    def _total_cost(self) -> float:
+        self.net_cost = {n: self._net_cost(n) for n in self.net_terms}
+        return sum(self.net_cost.values())
+
+    # -- annealing ----------------------------------------------------------------------
+
+    def _anneal(self) -> None:
+        movable = [s for s in self.comps.values() if not s.fixed]
+        self.stats.movable = len(movable)
+        self.stats.fixed = len(self.comps) - len(movable)
+        cost = self._total_cost()
+        self.stats.initial_cost = cost
+        if not movable or not self.net_terms:
+            self.stats.final_cost = cost
+            return
+
+        # temperature from the spread of a random-move sample
+        deltas = []
+        for _ in range(min(50, 10 * len(movable))):
+            d = self._try_move(movable, temperature=math.inf, dry=True)
+            if d is not None:
+                deltas.append(abs(d))
+        temp = 2.0 * (float(np.std(deltas)) + 1.0) if deltas else 1.0
+
+        inner = max(20, int(self.effort * 12 * len(movable)))
+        stall = 0
+        while stall < 4 and temp > 1e-3:
+            accepted = 0
+            for _ in range(inner):
+                d = self._try_move(movable, temp)
+                self.stats.moves_attempted += 1
+                if d is not None:
+                    accepted += 1
+                    cost += d
+                    self.stats.moves_accepted += 1
+            self.stats.temperatures += 1
+            ratio = accepted / inner
+            stall = stall + 1 if ratio < 0.02 else 0
+            # VPR-style adaptive cooling: cool slowly near 44% acceptance
+            if ratio > 0.96:
+                temp *= 0.5
+            elif ratio > 0.4:
+                temp *= 0.9
+            elif ratio > 0.1:
+                temp *= 0.95
+            else:
+                temp *= 0.8
+        self.stats.final_cost = cost
+
+    def _try_move(self, movable: list[_CompState], temperature: float, dry: bool = False):
+        """Propose one move; returns the accepted delta or None."""
+        state = movable[int(self.rng.integers(len(movable)))]
+        if state.is_iob:
+            target = self._random_iob_site()
+            other_name = self.iob_occ.get(target)
+        else:
+            target = self._random_slice_site(state)
+            if target is None:
+                return None
+            other_name = self.slice_occ.get(target)
+        if other_name == state.name:
+            return None
+        other = self.comps[other_name] if other_name else None
+        if other is not None:
+            if other.fixed:
+                return None
+            if not other.is_iob:
+                # the displaced comp must be allowed at our current site
+                r, c, _ = state.site
+                if not other.region.contains(r, c):
+                    return None
+
+        affected = set(state.nets) | (set(other.nets) if other else set())
+        before = sum(self.net_cost[n] for n in affected)
+        old_site = state.site
+        self._relocate(state, target, other, old_site)
+        after = sum(self._net_cost(n) for n in affected)
+        delta = after - before
+
+        accept = delta <= 0 or (
+            temperature > 0
+            and self.rng.random() < math.exp(-delta / temperature)
+        )
+        if accept and not dry:
+            for n in affected:
+                self.net_cost[n] = self._net_cost(n)
+            return delta
+        # revert
+        self._relocate(state, old_site, other, target)
+        return delta if dry and accept else None
+
+    def _relocate(self, state: _CompState, target, other, other_site) -> None:
+        """Move ``state`` to ``target``, swapping ``other`` (if any) to
+        ``other_site``.  Both occupancy entries are vacated before either is
+        re-claimed so swaps cannot clobber each other."""
+        occ = self.iob_occ if state.is_iob else self.slice_occ
+        del occ[state.site]
+        if other is not None:
+            del occ[other.site]
+        occ[target] = state.name
+        state.site = target
+        if other is not None:
+            occ[other_site] = other.name
+            other.site = other_site
+
+    def _random_slice_site(self, state: _CompState) -> SliceSite | None:
+        region = state.region.clip_to(self.device)
+        for _ in range(8):
+            r = int(self.rng.integers(region.rmin, region.rmax + 1))
+            c = int(self.rng.integers(region.cmin, region.cmax + 1))
+            if (r, c) in self.constraints.prohibited:
+                continue
+            return (r, c, int(self.rng.integers(2)))
+        return None
+
+    def _random_iob_site(self) -> IobSite:
+        sites = self.device.geometry.iob_sites
+        return sites[int(self.rng.integers(len(sites)))]
+
+    # -- commit ---------------------------------------------------------------------------
+
+    def _commit(self) -> None:
+        for state in self.comps.values():
+            if state.is_iob:
+                self.design.iobs[state.name].site = state.site
+            else:
+                self.design.slices[state.name].site = state.site
+
+
+def place(
+    design: NcdDesign,
+    constraints: Constraints | None = None,
+    *,
+    guide: NcdDesign | None = None,
+    seed: int | None = None,
+    effort: float = 1.0,
+) -> PlacementStats:
+    """Place ``design`` in place; see :class:`Placer`."""
+    return Placer(design, constraints, guide=guide, seed=seed, effort=effort).run()

@@ -1,0 +1,448 @@
+"""PathFinder negotiated-congestion routing.
+
+Each signal net is routed as a tree over the device's routing graph with
+A* searches (Manhattan lower bound); all nets are ripped up and re-routed
+for several iterations while the present-usage penalty and per-node history
+cost grow, until no routing node is shared — the classic PathFinder
+algorithm (Ebeling/McMurchie), which is also what commercial P&R of the
+paper's era implemented.
+
+LUT input pins are routed as *equivalence classes*: a net aiming at a
+G-LUT input may land on any free ``G1..G4`` pin; the winning pin is
+recorded and bitgen permutes the truth table accordingly (``pin_map``).
+
+Clock nets do not use the general graph: they ride the dedicated global
+clock lines, activating one ``GCLKg -> Sx_CLK`` PIP per sink slice.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+
+from ..devices import Device, get_device
+from ..devices import wires as W
+from ..devices.wires import WIRE_DELAY_NS, WIRE_KIND, WireKind
+from ..errors import RoutingError
+from ..utils import make_rng
+from .ncd import NcdDesign, PhysNet, SinkRef
+
+#: Additive cost of entering any node (keeps hop counts down).
+_HOP_COST = 0.05
+#: Admissible per-tile lower bound for A* (cheapest way to cross a tile).
+_ASTAR_PER_TILE = 0.20
+
+
+@dataclass
+class RoutingStats:
+    nets: int = 0
+    routed: int = 0
+    iterations: int = 0
+    overused_final: int = 0
+    total_pips: int = 0
+    seconds: float = 0.0
+    searches: int = 0
+    nodes_popped: int = 0
+    nets_reused: int = 0   # guided routing: nets adopted from the guide
+
+
+@dataclass
+class _NetTask:
+    net: PhysNet
+    source: int                                  # node id
+    sinks: list[tuple[SinkRef, tuple[int, ...]]]  # (sink, candidate node ids)
+    tree_nodes: list[int] = field(default_factory=list)
+    node_prev: dict[int, tuple[int, tuple[int, int, int]]] = field(default_factory=dict)
+    sink_paths: dict[int, list[int]] = field(default_factory=dict)  # sink idx -> node path
+
+
+class Router:
+    """One routing run over a placed :class:`NcdDesign`."""
+
+    def __init__(
+        self,
+        design: NcdDesign,
+        *,
+        seed: int | None = None,
+        max_iterations: int = 30,
+        pres_fac_first: float = 0.6,
+        pres_fac_mult: float = 1.8,
+        hist_fac: float = 0.4,
+        guide: NcdDesign | None = None,
+    ):
+        if not design.placed():
+            raise RoutingError("design is not fully placed")
+        self.design = design
+        self.device: Device = get_device(design.part)
+        self.rng = make_rng(seed)
+        self.max_iterations = max_iterations
+        self.pres_fac_first = pres_fac_first
+        self.pres_fac_mult = pres_fac_mult
+        self.hist_fac = hist_fac
+        self.guide = guide
+        self.stats = RoutingStats()
+        self._base_cost = {
+            kind: _HOP_COST + WIRE_DELAY_NS[kind] for kind in WireKind
+        }
+        self._pips_by_src = W.pips_by_src()
+        self._locked_nodes: set[int] = set()
+
+    # -- public -----------------------------------------------------------------
+
+    def run(self) -> RoutingStats:
+        t0 = time.perf_counter()
+        clock_nets = [n for n in self.design.nets.values() if n.is_clock]
+        signal_nets = [n for n in self.design.nets.values() if not n.is_clock]
+        for net in clock_nets:
+            self._route_clock(net)
+        if self.guide is not None:
+            signal_nets = [n for n in signal_nets if not self._adopt_from_guide(n)]
+        tasks = [self._make_task(net) for net in signal_nets]
+        self.stats.nets = len(clock_nets) + len(tasks) + self.stats.nets_reused
+        self.stats.routed = len(clock_nets) + self.stats.nets_reused
+        if tasks:
+            self._pathfinder(tasks)
+        self._commit_pin_maps()  # covers adopted (guide) nets as well
+        self.stats.total_pips = sum(len(n.pips) for n in self.design.nets.values())
+        self.stats.seconds = time.perf_counter() - t0
+        return self.stats
+
+    # -- terminals ----------------------------------------------------------------
+
+    def _slice_wire(self, comp_name: str, wire: str) -> int:
+        comp = self.design.slices[comp_name]
+        r, c, s = comp.site
+        return self.device.node_id(r, c, W.wire_index(f"S{s}_{wire}"))
+
+    def _iob_wire(self, comp_name: str, prefix: str) -> int:
+        iob = self.design.iobs[comp_name]
+        g = self.device.geometry
+        r, c = g.iob_tile(iob.site)
+        return self.device.node_id(r, c, W.wire_index(f"{prefix}{g.io_wire_index(iob.site)}"))
+
+    def _source_node(self, net: PhysNet) -> int:
+        src = net.source
+        if src.pin == "PAD_IN":
+            return self._iob_wire(src.comp, "IO_IN")
+        if src.pin in ("X", "Y", "XQ", "YQ"):
+            return self._slice_wire(src.comp, src.pin)
+        raise RoutingError(f"net {net.name}: unroutable source pin {src.pin}")
+
+    def _sink_candidates(self, net: PhysNet, sink: SinkRef) -> tuple[int, ...]:
+        ref = sink.ref
+        if ref.pin == "PAD_OUT":
+            return (self._iob_wire(ref.comp, "IO_OUT"),)
+        if ref.pin in ("F", "G"):
+            return tuple(
+                self._slice_wire(ref.comp, f"{ref.pin}{k}") for k in range(1, 5)
+            )
+        if ref.pin in ("BX", "BY", "CE", "SR"):
+            return (self._slice_wire(ref.comp, ref.pin),)
+        if ref.pin == "CLK":
+            raise RoutingError(
+                f"net {net.name}: clock pin sink on a non-clock net "
+                f"({ref.comp}) — derived clocks are unsupported"
+            )
+        raise RoutingError(f"net {net.name}: unroutable sink pin {ref.pin}")
+
+    def _make_task(self, net: PhysNet) -> _NetTask:
+        source = self._source_node(net)
+        sinks = [(s, self._sink_candidates(net, s)) for s in net.sinks]
+        # farthest-first ordering helps tree quality
+        sr, sc, _ = self.device.node_of(source)
+
+        def dist(entry):
+            r, c, _ = self.device.node_of(entry[1][0])
+            return -(abs(r - sr) + abs(c - sc))
+
+        sinks.sort(key=dist)
+        return _NetTask(net, source, sinks)
+
+    # -- guided routing ------------------------------------------------------------------
+
+    def _same_placement(self, comp_name: str) -> bool:
+        """Is this component placed identically in the design and guide?"""
+        assert self.guide is not None
+        if comp_name in self.design.slices:
+            g = self.guide.slices.get(comp_name)
+            return g is not None and g.site == self.design.slices[comp_name].site
+        if comp_name in self.design.iobs:
+            g = self.guide.iobs.get(comp_name)
+            return g is not None and g.site == self.design.iobs[comp_name].site
+        return False
+
+    def _adopt_from_guide(self, net: PhysNet) -> bool:
+        """Reuse the guide's routing for a net whose terminals are
+        unchanged (the paper's guide-file / incremental-design support)."""
+        assert self.guide is not None
+        g = self.guide.nets.get(net.name)
+        if g is None or not g.routed or g.is_clock or not g.pips:
+            return False
+        src, gsrc = net.source, g.source
+        if (src.comp, src.pin) != (gsrc.comp, gsrc.pin):
+            return False
+        if len(net.sinks) != len(g.sinks):
+            return False
+        gsinks = {
+            (s.ref.comp, s.ref.pin, s.ref.logical_index): s for s in g.sinks
+        }
+        matched = []
+        for s in net.sinks:
+            gs = gsinks.get((s.ref.comp, s.ref.pin, s.ref.logical_index))
+            if gs is None or gs.phys_pin is None:
+                return False
+            matched.append((s, gs))
+        comps = {src.comp} | {s.ref.comp for s in net.sinks}
+        if not all(self._same_placement(c) for c in comps):
+            return False
+        # nodes this route occupies
+        dev = self.device
+        nodes = {self._source_node(net)}
+        for r, c, p in g.pips:
+            pip = W.PIP_TABLE[p]
+            if not dev.pip_valid(r, c, pip):
+                return False
+            nodes.add(dev.node_id(r, c, pip.dst))
+        if nodes & self._locked_nodes:
+            return False  # clashes with an already-adopted route
+        net.pips = list(g.pips)
+        for s, gs in matched:
+            s.phys_pin = gs.phys_pin
+            s.delay_ns = gs.delay_ns
+        net.routed = True
+        self._locked_nodes |= nodes
+        self.stats.nets_reused += 1
+        return True
+
+    # -- clock routing ------------------------------------------------------------------
+
+    def _route_clock(self, net: PhysNet) -> None:
+        gbuf = self.design.gclks.get(net.source.comp)
+        if gbuf is None or gbuf.index is None:
+            raise RoutingError(f"clock net {net.name}: no global buffer assigned")
+        g = gbuf.index
+        pips: list[tuple[int, int, int]] = []
+        for sink in net.sinks:
+            if sink.ref.pin != "CLK":
+                raise RoutingError(
+                    f"clock net {net.name} drives non-clock pin "
+                    f"{sink.ref.comp}.{sink.ref.pin}; route it as a signal instead"
+                )
+            comp = self.design.slices[sink.ref.comp]
+            r, c, s = comp.site
+            pip = W.pip_by_wires(f"GCLK{g}", f"S{s}_CLK")
+            pips.append((r, c, pip.index))
+            sink.phys_pin = f"S{s}_CLK"
+            sink.delay_ns = WIRE_DELAY_NS[WireKind.GCLK] + WIRE_DELAY_NS[WireKind.PIN_CLK]
+        net.pips = pips
+        net.routed = True
+
+    # -- graph expansion ------------------------------------------------------------------
+
+    def _neighbors(self, node: int):
+        """Yield (next node, pip ref (r, c, index)) for all outgoing PIPs."""
+        dev = self.device
+        r, c, w = dev.node_of(node)
+        kind = WIRE_KIND[w]
+        fanout = self._pips_by_src.get(w, ())
+        if kind is WireKind.LONG_H:
+            for col in range(dev.cols):
+                for odr, odc, pip in fanout:
+                    if odr == 0 and odc == 0:
+                        yield dev.node_id(r, col, pip.dst), (r, col, pip.index)
+            return
+        if kind is WireKind.LONG_V:
+            for row in range(dev.rows):
+                for odr, odc, pip in fanout:
+                    if odr == 0 and odc == 0:
+                        yield dev.node_id(row, c, pip.dst), (row, c, pip.index)
+            return
+        if kind is WireKind.GCLK:
+            return  # clock lines are handled by _route_clock
+        for odr, odc, pip in fanout:
+            orow, ocol = r + odr, c + odc
+            if 0 <= orow < dev.rows and 0 <= ocol < dev.cols:
+                yield dev.node_id(orow, ocol, pip.dst), (orow, ocol, pip.index)
+
+    # -- PathFinder ------------------------------------------------------------------------
+
+    def _pathfinder(self, tasks: list[_NetTask]) -> None:
+        present: dict[int, int] = {}
+        history: dict[int, float] = {}
+        pres_fac = self.pres_fac_first
+
+        def node_cost(node: int) -> float:
+            _, _, w = self.device.node_of(node)
+            base = self._base_cost[WIRE_KIND[w]]
+            occ = present.get(node, 0)
+            penalty = 1.0 + pres_fac * occ
+            return base * penalty * (1.0 + history.get(node, 0.0))
+
+        order = list(range(len(tasks)))
+        for iteration in range(1, self.max_iterations + 1):
+            self.stats.iterations = iteration
+            self.rng.shuffle(order)
+            for ti in order:
+                task = tasks[ti]
+                if iteration > 1 and not self._is_congested(task, present):
+                    continue
+                self._rip_up(task, present)
+                self._route_net(task, node_cost, present)
+            over = [n for n, occ in present.items() if occ > 1]
+            if not over:
+                break
+            for n in over:
+                history[n] = history.get(n, 0.0) + self.hist_fac * (present[n] - 1)
+            pres_fac *= self.pres_fac_mult
+
+        over = [n for n, occ in present.items() if occ > 1]
+        self.stats.overused_final = len(over)
+        if over:
+            names = ", ".join(self.device.node_str(n) for n in over[:8])
+            raise RoutingError(
+                f"unroutable after {self.stats.iterations} iterations: "
+                f"{len(over)} overused nodes ({names}...)"
+            )
+        for task in tasks:
+            self._commit(task)
+            self.stats.routed += 1
+
+    def _is_congested(self, task: _NetTask, present: dict[int, int]) -> bool:
+        return any(present.get(n, 0) > 1 for n in task.tree_nodes)
+
+    def _rip_up(self, task: _NetTask, present: dict[int, int]) -> None:
+        for n in task.tree_nodes:
+            occ = present.get(n, 0) - 1
+            if occ > 0:
+                present[n] = occ
+            else:
+                present.pop(n, None)
+        task.tree_nodes = []
+        task.node_prev = {}
+        task.sink_paths = {}
+
+    def _route_net(self, task: _NetTask, node_cost, present: dict[int, int]) -> None:
+        dev = self.device
+        tree: list[int] = [task.source]
+        tree_set: set[int] = {task.source}
+        prev: dict[int, tuple[int, tuple[int, int, int]] | None] = {task.source: None}
+
+        used_pins: set[int] = set()
+        for sink_idx, (sink, candidates) in enumerate(task.sinks):
+            cand_set = set(candidates) - used_pins
+            if not cand_set:
+                raise RoutingError(
+                    f"net {task.net.name}: no free pin candidate left for "
+                    f"{sink.ref.comp}.{sink.ref.pin}"
+                )
+            # A* target: all candidates share a tile
+            tr, tc, _ = dev.node_of(candidates[0])
+
+            def h(node: int) -> float:
+                r, c, _ = dev.node_of(node)
+                return (abs(r - tr) + abs(c - tc)) * _ASTAR_PER_TILE
+
+            dist: dict[int, float] = {}
+            came: dict[int, tuple[int, tuple[int, int, int]]] = {}
+            heap: list[tuple[float, float, int]] = []
+            for n in tree:
+                dist[n] = 0.0
+                heapq.heappush(heap, (h(n), 0.0, n))
+            self.stats.searches += 1
+            found = None
+            while heap:
+                f, g, node = heapq.heappop(heap)
+                self.stats.nodes_popped += 1
+                if g > dist.get(node, float("inf")):
+                    continue
+                if node in cand_set:
+                    found = node
+                    break
+                for nxt, pip_ref in self._neighbors(node):
+                    if nxt in self._locked_nodes:
+                        continue  # wire owned by a guide-adopted route
+                    kind = WIRE_KIND[dev.node_of(nxt)[2]]
+                    if kind in (WireKind.PIN_IN, WireKind.IO_OUT) and nxt not in cand_set:
+                        continue  # never route *through* someone's input pin
+                    ng = g + node_cost(nxt)
+                    if ng < dist.get(nxt, float("inf")):
+                        dist[nxt] = ng
+                        came[nxt] = (node, pip_ref)
+                        heapq.heappush(heap, (ng + h(nxt), ng, nxt))
+            if found is None:
+                raise RoutingError(
+                    f"net {task.net.name}: no path to sink "
+                    f"{sink.ref.comp}.{sink.ref.pin} "
+                    f"(candidates {[dev.node_str(c) for c in candidates]})"
+                )
+            if sink.ref.pin in ("F", "G"):
+                used_pins.add(found)
+            # walk back, add path to tree
+            path: list[int] = [found]
+            node = found
+            while node not in tree_set:
+                pnode, pip_ref = came[node]
+                prev[node] = (pnode, pip_ref)
+                path.append(pnode)
+                node = pnode
+            path.reverse()
+            for n in path:
+                if n not in tree_set:
+                    tree_set.add(n)
+                    tree.append(n)
+                    present[n] = present.get(n, 0) + 1
+            task.sink_paths[sink_idx] = self._full_path(prev, found)
+        # the source node also occupies its wire
+        present[task.source] = present.get(task.source, 0) + 1
+        task.tree_nodes = tree
+        task.node_prev = {n: p for n, p in prev.items() if p is not None}
+
+    def _full_path(self, prev, node: int) -> list[int]:
+        path = [node]
+        while prev.get(node) is not None:
+            node = prev[node][0]
+            path.append(node)
+        path.reverse()
+        return path
+
+    # -- commit --------------------------------------------------------------------------------
+
+    def _commit(self, task: _NetTask) -> None:
+        net = task.net
+        net.pips = sorted({pip for _, pip in task.node_prev.values()})
+        for sink_idx, (sink, _) in enumerate(task.sinks):
+            path = task.sink_paths[sink_idx]
+            end = path[-1]
+            _, _, w = self.device.node_of(end)
+            sink.phys_pin = W.WIRES[w]
+            sink.delay_ns = sum(
+                WIRE_DELAY_NS[WIRE_KIND[self.device.node_of(n)[2]]] for n in path[1:]
+            )
+        net.routed = True
+
+    def _commit_pin_maps(self) -> None:
+        """Record the physical pin chosen for every LUT logical input."""
+        for net in self.design.nets.values():
+            for sink in net.sinks:
+                ref = sink.ref
+                if ref.pin not in ("F", "G") or sink.phys_pin is None:
+                    continue
+                comp = self.design.slices[ref.comp]
+                bel = comp.bels[ref.pin]
+                if bel.pin_map is None:
+                    bel.pin_map = [-1] * bel.lut_width
+                # phys_pin looks like "S0_F3" -> physical index 2
+                phys_idx = int(sink.phys_pin[-1]) - 1
+                bel.pin_map[ref.logical_index] = phys_idx
+        for comp in self.design.slices.values():
+            for bel in comp.bels.values():
+                if bel.pin_map is not None and -1 in bel.pin_map:
+                    raise RoutingError(
+                        f"{comp.name}.{bel.letter}: incomplete pin map {bel.pin_map}"
+                    )
+
+
+def route(design: NcdDesign, *, seed: int | None = None, **kwargs) -> RoutingStats:
+    """Route ``design`` in place; see :class:`Router`."""
+    return Router(design, seed=seed, **kwargs).run()

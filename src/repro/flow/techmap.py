@@ -1,0 +1,220 @@
+"""Technology mapping: cover the gate network with LUT4s.
+
+The builder front-end emits fine-grained LUT1/LUT2/LUT3 gates.  Mapping
+
+1. **folds constants** (GND/VCC feeding LUT inputs specialise the truth
+   table; a constant-1 CE or constant-0 SR drops the pin),
+2. **deduplicates** LUT inputs (two pins on one net collapse to one),
+3. **merges cones**: a LUT that is the single fanout of another LUT is
+   absorbed when the union of their supports fits in 4 inputs, composing
+   the truth tables,
+
+and repeats to a fixed point.  This is a greedy structural mapper — not
+FlowMap-optimal — which matches the "commercial tools, module-sized
+designs" setting of the paper; area results are reported by the flow
+driver so the benches can track LUT counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TechmapError
+from ..netlist.library import CellKind, lut_eval, lut_kind
+from ..netlist.logical import Cell, Netlist
+
+
+@dataclass
+class TechmapStats:
+    luts_before: int = 0
+    luts_after: int = 0
+    merges: int = 0
+    constants_folded: int = 0
+    inputs_deduped: int = 0
+
+
+def _lut_input_nets(cell: Cell) -> list[str]:
+    return [cell.pins[f"I{i}"] for i in range(cell.kind.lut_width)]
+
+
+def _rebuild_lut(netlist: Netlist, old: Cell, inputs: list[str], init: int) -> Cell:
+    """Replace ``old`` with a LUT over ``inputs``/``init``, keeping its
+    output net and its (hierarchical) name."""
+    out_net = old.pins["O"]
+    name = old.name
+    netlist.remove_cell(name)
+    new = netlist.add_cell(name, lut_kind(len(inputs)), {"INIT": init})
+    for i, src in enumerate(inputs):
+        netlist.connect(name, f"I{i}", src)
+    netlist.connect(name, "O", out_net)
+    return new
+
+
+def _truth_table(width: int, fn) -> int:
+    init = 0
+    for addr in range(1 << width):
+        bits = tuple((addr >> i) & 1 for i in range(width))
+        if fn(bits):
+            init |= 1 << addr
+    return init
+
+
+def _fold_constants(netlist: Netlist, stats: TechmapStats) -> bool:
+    """Specialise LUTs fed by GND/VCC; drop constant CE/SR pins."""
+    const_nets: dict[str, int] = {}
+    for cell in netlist.cells_of_kind(CellKind.GND, CellKind.VCC):
+        const_nets[cell.pins["O"]] = 1 if cell.kind is CellKind.VCC else 0
+    if not const_nets:
+        return False
+    changed = False
+    for cell in list(netlist.cells.values()):
+        if cell.kind.is_lut:
+            ins = _lut_input_nets(cell)
+            if not any(n in const_nets for n in ins):
+                continue
+            keep = [(i, n) for i, n in enumerate(ins) if n not in const_nets]
+            fixed = {i: const_nets[n] for i, n in enumerate(ins) if n in const_nets}
+            width, init = cell.kind.lut_width, cell.init
+            if not keep:
+                # fully-constant LUT: rewire its sinks onto the constant net
+                value = lut_eval(init, width, tuple(fixed[i] for i in range(width)))
+                const_net = _const_net(netlist, value, const_nets)
+                out_net = netlist.get_net(cell.pins["O"])
+                for sink_cell, sink_pin in list(out_net.sinks):
+                    netlist.get_cell(sink_cell).pins[sink_pin] = const_net
+                    netlist.get_net(const_net).sinks.append((sink_cell, sink_pin))
+                out_net.sinks = []
+                netlist.remove_cell(cell.name)
+                netlist.remove_net(out_net.name)
+                stats.constants_folded += 1
+                changed = True
+                continue
+            def fn(bits, _keep=keep, _fixed=fixed, _w=width, _init=init):
+                full = [0] * _w
+                for (orig, _), b in zip(_keep, bits):
+                    full[orig] = b
+                for orig, v in _fixed.items():
+                    full[orig] = v
+                return lut_eval(_init, _w, tuple(full))
+            new_init = _truth_table(len(keep), fn)
+            _rebuild_lut(netlist, cell, [n for _, n in keep], new_init)
+            stats.constants_folded += 1
+            changed = True
+        elif cell.kind is CellKind.DFF:
+            ce = cell.pins.get("CE")
+            if ce in const_nets:
+                if const_nets[ce] == 0:
+                    raise TechmapError(f"{cell.name}: CE tied to constant 0 never updates")
+                _detach_pin(netlist, cell, "CE")
+                stats.constants_folded += 1
+                changed = True
+            sr = cell.pins.get("SR")
+            if sr in const_nets:
+                if const_nets[sr] == 1:
+                    raise TechmapError(f"{cell.name}: SR tied to constant 1 is stuck in reset")
+                _detach_pin(netlist, cell, "SR")
+                stats.constants_folded += 1
+                changed = True
+    return changed
+
+
+def _const_net(netlist: Netlist, value: int, const_nets: dict[str, int]) -> str:
+    """An existing (or fresh) net carrying the given constant."""
+    for net, v in const_nets.items():
+        if v == value:
+            return net
+    kind = CellKind.VCC if value else CellKind.GND
+    name = f"__tm_{kind.value.lower()}"
+    net = name + "__o"
+    netlist.add_cell(name, kind)
+    netlist.add_net(net)
+    netlist.connect(name, "O", net)
+    const_nets[net] = value
+    return net
+
+
+def _detach_pin(netlist: Netlist, cell: Cell, pin: str) -> None:
+    net = netlist.get_net(cell.pins[pin])
+    net.sinks = [s for s in net.sinks if s != (cell.name, pin)]
+    del cell.pins[pin]
+
+
+def _dedup_inputs(netlist: Netlist, stats: TechmapStats) -> bool:
+    """Collapse duplicate input nets of a LUT into a single pin."""
+    changed = False
+    for cell in list(netlist.cells.values()):
+        if not cell.kind.is_lut:
+            continue
+        ins = _lut_input_nets(cell)
+        if len(set(ins)) == len(ins):
+            continue
+        uniq: list[str] = []
+        orig_to_uniq: list[int] = []
+        for n in ins:
+            if n not in uniq:
+                uniq.append(n)
+            orig_to_uniq.append(uniq.index(n))
+        width, init = cell.kind.lut_width, cell.init
+        def fn(bits, _m=orig_to_uniq, _w=width, _init=init):
+            return lut_eval(_init, _w, tuple(bits[j] for j in _m))
+        _rebuild_lut(netlist, cell, uniq, _truth_table(len(uniq), fn))
+        stats.inputs_deduped += 1
+        changed = True
+    return changed
+
+
+def _merge_pass(netlist: Netlist, stats: TechmapStats) -> bool:
+    """One sweep of single-fanout cone merging."""
+    changed = False
+    for cell in list(netlist.cells.values()):
+        # re-fetch: the snapshot entry may have been removed or rebuilt
+        cell = netlist.cells.get(cell.name, cell)
+        if cell.name not in netlist.cells or not cell.kind.is_lut:
+            continue
+        # look for an input driven by a single-fanout LUT
+        for pin_idx, net_name in enumerate(_lut_input_nets(cell)):
+            net = netlist.get_net(net_name)
+            if net.fanout != 1 or net.driver is None:
+                continue
+            drv = netlist.get_cell(net.driver[0])
+            if not drv.kind.is_lut or drv.name == cell.name:
+                continue
+            drv_ins = _lut_input_nets(drv)
+            cell_ins = _lut_input_nets(cell)
+            support: list[str] = []
+            for n in cell_ins[:pin_idx] + drv_ins + cell_ins[pin_idx + 1:]:
+                if n not in support:
+                    support.append(n)
+            if len(support) > 4:
+                continue
+            cw, ci = cell.kind.lut_width, cell.init
+            dw, di = drv.kind.lut_width, drv.init
+            d_pos = [support.index(n) for n in drv_ins]
+            c_pos = [support.index(n) if n != net_name else -1 for n in cell_ins]
+            def fn(bits, _dp=d_pos, _cp=c_pos, _cw=cw, _ci=ci, _dw=dw, _di=di):
+                inner = lut_eval(_di, _dw, tuple(bits[p] for p in _dp))
+                outer_in = tuple(inner if p == -1 else bits[p] for p in _cp)
+                return lut_eval(_ci, _cw, outer_in)
+            new_init = _truth_table(len(support), fn)
+            _rebuild_lut(netlist, cell, support, new_init)  # detaches X from net
+            netlist.remove_cell(drv.name)                   # detaches the driver
+            netlist.remove_net(net_name)
+            stats.merges += 1
+            changed = True
+            break  # cell was rebuilt; revisit in the next sweep
+    return changed
+
+
+def techmap(netlist: Netlist) -> TechmapStats:
+    """Map the netlist to LUT4s in place; returns statistics."""
+    stats = TechmapStats(luts_before=len(netlist.luts()))
+    progress = True
+    while progress:
+        progress = False
+        progress |= _fold_constants(netlist, stats)
+        progress |= _dedup_inputs(netlist, stats)
+        progress |= _merge_pass(netlist, stats)
+        netlist.sweep()
+    stats.luts_after = len(netlist.luts())
+    netlist.validate()
+    return stats

@@ -1,0 +1,158 @@
+"""Static timing analysis over a routed design.
+
+Arrival times propagate from timing sources (input pads, flip-flop Q
+outputs) through LUTs and routed nets (each sink carries the delay of its
+routed path) to endpoints (flip-flop D/CE/SR inputs, output pads).  The
+clock period is the worst endpoint arrival plus setup; ``fmax`` is its
+reciprocal.  Cell delays are first-order constants in the spirit of a -6
+speed grade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from graphlib import CycleError, TopologicalSorter
+
+from ..errors import FlowError
+from .ncd import NcdDesign
+
+#: Cell delay model (nanoseconds).
+LUT_DELAY_NS = 0.55
+CLK_TO_Q_NS = 0.60
+SETUP_NS = 0.40
+IOB_IN_NS = 0.80
+IOB_OUT_NS = 1.00
+
+
+@dataclass
+class PathEnd:
+    """One timing endpoint and its arrival."""
+
+    endpoint: str              # component/pin description
+    arrival_ns: float
+    kind: str                  # "ff" or "pad"
+
+
+@dataclass
+class TimingReport:
+    critical_ns: float = 0.0
+    fmax_mhz: float = float("inf")
+    critical_endpoint: str = ""
+    endpoints: list[PathEnd] = field(default_factory=list)
+
+    def worst(self, n: int = 5) -> list[PathEnd]:
+        return sorted(self.endpoints, key=lambda e: -e.arrival_ns)[:n]
+
+
+def analyze(design: NcdDesign) -> TimingReport:
+    """Run STA; the design must be routed."""
+    if not design.routed():
+        raise FlowError("timing analysis requires a routed design")
+
+    # net -> source comp/pin, and per-(comp,pin,logical) sink delay
+    sink_delay: dict[tuple[str, str, int], float] = {}
+    for net in design.nets.values():
+        for s in net.sinks:
+            sink_delay[(s.ref.comp, s.ref.pin, s.ref.logical_index)] = s.delay_ns
+
+    # dependency graph between nets: a net sourced by a LUT output depends on
+    # the nets feeding that LUT
+    bel_of_output = {}
+    for comp in design.slices.values():
+        for bel in comp.bels.values():
+            if bel.lut_cell is not None:
+                bel_of_output[(comp.name, bel.out_pin)] = (comp, bel)
+
+    deps: dict[str, set[str]] = {}
+    for net in design.nets.values():
+        src = net.source
+        d: set[str] = set()
+        entry = bel_of_output.get((src.comp, src.pin))
+        if entry is not None:
+            _, bel = entry
+            d = {n for n in bel.lut_inputs if n in design.nets}
+        deps[net.name] = d
+
+    try:
+        order = list(TopologicalSorter(deps).static_order())
+    except CycleError as exc:
+        raise FlowError(f"combinational loop in routed design: {exc.args[1]}") from None
+
+    arrival: dict[str, float] = {}
+    for net_name in order:
+        net = design.nets[net_name]
+        src = net.source
+        if net.is_clock:
+            arrival[net_name] = 0.0
+            continue
+        if src.pin == "PAD_IN":
+            arrival[net_name] = IOB_IN_NS
+        elif src.pin in ("XQ", "YQ"):
+            arrival[net_name] = CLK_TO_Q_NS
+        else:  # LUT combinational output
+            comp, bel = bel_of_output[(src.comp, src.pin)]
+            worst_in = 0.0
+            for i, in_net in enumerate(bel.lut_inputs):
+                if in_net not in design.nets:
+                    continue  # constant or absorbed net
+                d = arrival[in_net] + sink_delay.get((comp.name, bel.letter, i), 0.0)
+                worst_in = max(worst_in, d)
+            arrival[net_name] = worst_in + LUT_DELAY_NS
+
+    report = TimingReport()
+
+    def endpoint(desc: str, t: float, kind: str) -> None:
+        report.endpoints.append(PathEnd(desc, t, kind))
+
+    # FF data endpoints
+    for comp in design.slices.values():
+        for bel in comp.bels.values():
+            if bel.ff_cell is None:
+                continue
+            if bel.ff_d_from_lut:
+                # D comes from the bel's own LUT, no routing in between
+                out_net_arrival = 0.0
+                if bel.lut_cell is not None:
+                    worst_in = 0.0
+                    for i, in_net in enumerate(bel.lut_inputs):
+                        if in_net not in design.nets:
+                            continue
+                        d = arrival[in_net] + sink_delay.get((comp.name, bel.letter, i), 0.0)
+                        worst_in = max(worst_in, d)
+                    out_net_arrival = worst_in + LUT_DELAY_NS
+                endpoint(f"{bel.ff_cell}.D", out_net_arrival + SETUP_NS, "ff")
+            else:
+                key = (comp.name, bel.bypass_pin, -1)
+                src_net = _net_driving(design, comp.name, bel.bypass_pin)
+                if src_net is not None:
+                    t = arrival[src_net] + sink_delay.get(key, 0.0)
+                    endpoint(f"{bel.ff_cell}.D", t + SETUP_NS, "ff")
+        for pin in ("CE", "SR"):
+            netname = comp.ce_net if pin == "CE" else comp.sr_net
+            if netname and netname in design.nets:
+                t = arrival[netname] + sink_delay.get((comp.name, pin, -1), 0.0)
+                endpoint(f"{comp.name}.{pin}", t + SETUP_NS, "ff")
+
+    # output pads
+    for iob in design.iobs.values():
+        if iob.direction != "out":
+            continue
+        if iob.net in design.nets:
+            t = arrival[iob.net] + sink_delay.get((iob.name, "PAD_OUT", -1), 0.0)
+            endpoint(f"pad {iob.port}", t + IOB_OUT_NS, "pad")
+
+    if report.endpoints:
+        worst = max(report.endpoints, key=lambda e: e.arrival_ns)
+        report.critical_ns = worst.arrival_ns
+        report.critical_endpoint = worst.endpoint
+        if report.critical_ns > 0:
+            report.fmax_mhz = 1000.0 / report.critical_ns
+    return report
+
+
+def _net_driving(design: NcdDesign, comp: str, pin: str) -> str | None:
+    for net in design.nets.values():
+        for s in net.sinks:
+            if s.ref.comp == comp and s.ref.pin == pin:
+                return net.name
+    return None

@@ -1,0 +1,20 @@
+"""Hardware simulation: configuration port (with FDRO readback), board,
+frame-level functional simulation, and state-capture debug probes —
+the package's stand-in for real Virtex silicon."""
+
+from .board import Board, DesignHarness
+from .configport import (
+    DEFAULT_CCLK_HZ,
+    ConfigPort,
+    DownloadReport,
+    PortMode,
+    ReadbackReport,
+)
+from .debug import StateProbe
+from .functional import HardwareModel
+
+__all__ = [
+    "Board", "ConfigPort", "DEFAULT_CCLK_HZ", "DesignHarness",
+    "DownloadReport", "HardwareModel", "PortMode", "ReadbackReport",
+    "StateProbe",
+]

@@ -1,0 +1,76 @@
+"""Hardware-debug probes: capture-and-readback of user flip-flop state.
+
+The Virtex-era JBits ecosystem shipped a debugger (BoardScope, and the
+"Debug of Reconfigurable Systems" work) built on two primitives:
+
+* **GCAPTURE** latches every user flip-flop's state into dedicated capture
+  cells in configuration memory;
+* **readback** streams those frames to the host, where the design database
+  maps capture bits back to *named* flip-flops.
+
+:class:`StateProbe` packages the loop: ``snapshot()`` issues the capture
+command, reads the relevant frames back, and returns ``{cell name: bit}``
+for every flip-flop of the design — without stopping the clocked circuit.
+"""
+
+from __future__ import annotations
+
+from ..bitstream.readback import capture_stream, grestore_stream
+from ..devices.resources import SLICE
+from ..errors import SimulationError
+from ..flow.ncd import NcdDesign
+from .board import Board
+
+
+class StateProbe:
+    """A debug connection to one design running on a board."""
+
+    def __init__(self, board: Board, design: NcdDesign):
+        if design.part != board.device.name:
+            raise SimulationError(
+                f"design targets {design.part}, board is {board.device.name}"
+            )
+        self.board = board
+        self.design = design
+        # flip-flop name -> (row, col, slice, bel letter)
+        self.ffs: dict[str, tuple[int, int, int, str]] = {}
+        for comp in design.slices.values():
+            if comp.site is None:
+                raise SimulationError(f"{comp.name}: unplaced; run the flow first")
+            r, c, s = comp.site
+            for bel in comp.bels.values():
+                if bel.ff_cell is not None:
+                    self.ffs[bel.ff_cell] = (r, c, s, bel.letter)
+
+    def capture(self) -> float:
+        """Issue GCAPTURE; returns the command transfer time in seconds."""
+        return self.board.download(capture_stream(self.board.device)).seconds
+
+    def read_states(self) -> dict[str, int]:
+        """Decode the capture cells for every named flip-flop."""
+        frames = self.board.readback()
+        out: dict[str, int] = {}
+        for name, (r, c, s, letter) in self.ffs.items():
+            field = SLICE[s].CAPTURE_X if letter == "F" else SLICE[s].CAPTURE_Y
+            out[name] = frames.get_field(r, c, field)
+        return out
+
+    def snapshot(self) -> dict[str, int]:
+        """Capture + readback in one call: the live state, by FF name."""
+        self.capture()
+        return self.read_states()
+
+    def value_of(self, cells: list[str]) -> int:
+        """Pack a snapshot of the named flip-flops (little-endian list)."""
+        snap = self.snapshot()
+        value = 0
+        for i, name in enumerate(cells):
+            try:
+                value |= snap[name] << i
+            except KeyError:
+                raise SimulationError(f"no flip-flop named {name!r}") from None
+        return value
+
+    def restore(self) -> None:
+        """Issue GRESTORE: reset every flip-flop to its configured init."""
+        self.board.download(grestore_stream(self.board.device))

@@ -1,0 +1,299 @@
+"""Functional simulation straight from configuration frames.
+
+:class:`HardwareModel` decodes a :class:`FrameMemory` back into a circuit —
+active PIPs become wire drivers, LUT planes become truth tables, control
+bits become flip-flop modes, IOB enables become pads — and then clocks it.
+Nothing from the design database is consulted: if bitgen, the frame layout,
+or a partial bitstream is wrong, this model computes the wrong outputs.
+That makes it the package's hardware-in-the-loop substitute: a design is
+"run on the board" by downloading real bitstreams into a frame memory and
+simulating the decoded result.
+
+Semantics: undriven wires read 0; two PIPs driving one wire is contention
+(an error, as it would be on silicon); flip-flops update on :meth:`tick`
+per the decoded CE/SR/DXMUX configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from graphlib import CycleError, TopologicalSorter
+
+import numpy as np
+
+from ..bitstream.frames import FrameMemory
+from ..devices import Device
+from ..devices import wires as W
+from ..devices.geometry import NUM_GCLK, IobSite
+from ..devices.resources import PIP_MINOR_BASE
+from ..errors import ContentionError, SimulationError
+from ..netlist.library import lut_eval
+
+
+@dataclass
+class _SliceCfg:
+    row: int
+    col: int
+    s: int
+    f_init: int
+    g_init: int
+    ffx_used: bool
+    ffy_used: bool
+    ffx_init: int
+    ffy_init: int
+    sync: bool
+    ce_used: bool
+    sr_used: bool
+    dxmux: int
+    dymux: int
+    # node ids, filled in by the model
+    in_pins: dict[str, int] = None  # type: ignore[assignment]
+    out_x: int = 0
+    out_y: int = 0
+    out_xq: int = 0
+    out_yq: int = 0
+    clk_node: int = 0
+
+
+class HardwareModel:
+    """A configured device, decoded and runnable."""
+
+    def __init__(self, frames: FrameMemory):
+        self.frames = frames
+        self.device: Device = frames.device
+        self.values: dict[int, int] = {}
+        self._decode()
+        self._levelize()
+        self.reset_state()
+        self._settle()
+
+    # -- decoding --------------------------------------------------------------
+
+    def _decode(self) -> None:
+        dev = self.device
+        self.drivers: dict[int, int] = {}
+        self.slices: list[_SliceCfg] = []
+        self._pad_inputs: dict[str, int] = {}    # site name -> IO_IN node
+        self._pad_outputs: dict[str, int] = {}   # site name -> IO_OUT node
+        self.gclk_enabled: list[bool] = [
+            bool(self.frames.get_gclk_enable(g)) for g in range(NUM_GCLK)
+        ]
+
+        for c in range(dev.cols):
+            colbits = self.frames.column_bits(c)
+            if not colbits.any():
+                continue
+            for r in range(dev.rows):
+                tile = self.frames.tile_bits(r, c, colbits)
+                if not tile.any():
+                    continue
+                self._decode_tile(r, c, tile)
+
+        for site in dev.geometry.iob_sites:
+            in_en = self.frames.get_iob_enable(site, 0)
+            out_en = self.frames.get_iob_enable(site, 1)
+            if not (in_en or out_en):
+                continue
+            tr, tc = dev.geometry.iob_tile(site)
+            iw = dev.geometry.io_wire_index(site)
+            if in_en:
+                self._pad_inputs[site.name] = dev.node_id(
+                    tr, tc, W.wire_index(f"IO_IN{iw}")
+                )
+            if out_en:
+                self._pad_outputs[site.name] = dev.node_id(
+                    tr, tc, W.wire_index(f"IO_OUT{iw}")
+                )
+
+    def _decode_tile(self, r: int, c: int, tile: np.ndarray) -> None:
+        dev = self.device
+        # routing plane
+        pip_bits = tile[PIP_MINOR_BASE:, :].ravel()[: W.NUM_PIPS]
+        for p in np.flatnonzero(pip_bits):
+            pip = W.PIP_TABLE[int(p)]
+            if not dev.pip_valid(r, c, pip):
+                raise SimulationError(
+                    f"R{r + 1}C{c + 1}: PIP {pip.src_name}->{pip.dst_name} "
+                    f"configured but its source is off-device"
+                )
+            dr, dc, w = pip.src
+            sr_, sc_ = r + dr, c + dc
+            if not (0 <= sr_ < dev.rows and 0 <= sc_ < dev.cols):
+                sr_, sc_ = r, c  # chip-spanning wire; canonicalization handles it
+            src = dev.node_id(sr_, sc_, w)
+            dst = dev.node_id(r, c, pip.dst)
+            if dst in self.drivers and self.drivers[dst] != src:
+                raise ContentionError(
+                    f"wire {dev.node_str(dst)} driven by both "
+                    f"{dev.node_str(self.drivers[dst])} and {dev.node_str(src)}"
+                )
+            self.drivers[dst] = src
+
+        # logic plane
+        for s in (0, 1):
+            f_init = int(sum(int(tile[i, 2 * s]) << i for i in range(16)))
+            g_init = int(sum(int(tile[i, 2 * s + 1]) << i for i in range(16)))
+            ffx = bool(tile[16, 0 + s])
+            ffy = bool(tile[16, 2 + s])
+            if not (f_init or g_init or ffx or ffy):
+                continue
+            cfg = _SliceCfg(
+                r, c, s,
+                f_init=f_init, g_init=g_init,
+                ffx_used=ffx, ffy_used=ffy,
+                ffx_init=int(tile[16, 4 + s]), ffy_init=int(tile[16, 6 + s]),
+                sync=bool(tile[16, 10 + s]),
+                ce_used=bool(tile[16, 12 + s]), sr_used=bool(tile[16, 14 + s]),
+                dxmux=int(tile[17, 0 + s]), dymux=int(tile[17, 2 + s]),
+            )
+            nid = lambda name: dev.node_id(r, c, W.wire_index(f"S{s}_{name}"))
+            cfg.in_pins = {
+                p: nid(p)
+                for p in ("F1", "F2", "F3", "F4", "G1", "G2", "G3", "G4",
+                          "BX", "BY", "CE", "SR")
+            }
+            cfg.out_x, cfg.out_y = nid("X"), nid("Y")
+            cfg.out_xq, cfg.out_yq = nid("XQ"), nid("YQ")
+            cfg.clk_node = nid("CLK")
+            self.slices.append(cfg)
+
+    # -- evaluation order ------------------------------------------------------------
+
+    def _levelize(self) -> None:
+        """Topological order mixing wire propagation and LUT evaluation."""
+        deps: dict[int, set[int]] = {}
+        comb_out: dict[int, _SliceCfg] = {}
+        for cfg in self.slices:
+            f_pins = {cfg.in_pins[f"F{k}"] for k in range(1, 5)}
+            g_pins = {cfg.in_pins[f"G{k}"] for k in range(1, 5)}
+            comb_out[cfg.out_x] = cfg
+            comb_out[cfg.out_y] = cfg
+            deps[cfg.out_x] = f_pins
+            deps[cfg.out_y] = g_pins
+        for dst, src in self.drivers.items():
+            deps.setdefault(dst, set()).add(src)
+            deps.setdefault(src, set())
+        try:
+            order = list(TopologicalSorter(deps).static_order())
+        except CycleError as exc:
+            raise SimulationError(
+                f"combinational loop in configured circuit: {exc.args[1][:6]}"
+            ) from None
+        self._order = order
+        self._comb_out = comb_out
+
+    # -- state -------------------------------------------------------------------------
+
+    def reset_state(self) -> None:
+        """Set every flip-flop to its configured init value (as after the
+        startup sequence / GRESTORE)."""
+        self.ff_state: dict[tuple[int, int, int, str], int] = {}
+        for cfg in self.slices:
+            self.ff_state[(cfg.row, cfg.col, cfg.s, "X")] = cfg.ffx_init
+            self.ff_state[(cfg.row, cfg.col, cfg.s, "Y")] = cfg.ffy_init
+        self._pad_values: dict[str, int] = {name: 0 for name in self._pad_inputs}
+        self.values = {}
+
+    # -- pads --------------------------------------------------------------------------
+
+    @property
+    def input_pads(self) -> list[str]:
+        return sorted(self._pad_inputs)
+
+    @property
+    def output_pads(self) -> list[str]:
+        return sorted(self._pad_outputs)
+
+    def set_pad(self, site: str | IobSite, value: int) -> None:
+        name = site.name if isinstance(site, IobSite) else site
+        if name not in self._pad_inputs:
+            raise SimulationError(f"{name} is not an enabled input pad")
+        self._pad_values[name] = value & 1
+        self._settle()
+
+    def set_pads(self, values: dict[str, int]) -> None:
+        for name, v in values.items():
+            if name not in self._pad_inputs:
+                raise SimulationError(f"{name} is not an enabled input pad")
+            self._pad_values[name] = v & 1
+        self._settle()
+
+    def get_pad(self, site: str | IobSite) -> int:
+        name = site.name if isinstance(site, IobSite) else site
+        try:
+            node = self._pad_outputs[name]
+        except KeyError:
+            raise SimulationError(f"{name} is not an enabled output pad") from None
+        return self.values.get(node, 0)
+
+    # -- simulation ----------------------------------------------------------------------
+
+    def _settle(self) -> None:
+        vals: dict[int, int] = {}
+        for name, node in self._pad_inputs.items():
+            vals[node] = self._pad_values[name]
+        for cfg in self.slices:
+            vals[cfg.out_xq] = self.ff_state[(cfg.row, cfg.col, cfg.s, "X")]
+            vals[cfg.out_yq] = self.ff_state[(cfg.row, cfg.col, cfg.s, "Y")]
+        comb_out = self._comb_out
+        drivers = self.drivers
+        for node in self._order:
+            if node in comb_out:
+                cfg = comb_out[node]
+                letter = "F" if node == cfg.out_x else "G"
+                init = cfg.f_init if letter == "F" else cfg.g_init
+                ins = tuple(
+                    vals.get(cfg.in_pins[f"{letter}{k}"], 0) for k in range(1, 5)
+                )
+                vals[node] = lut_eval(init, 4, ins)
+            elif node in drivers:
+                vals[node] = vals.get(drivers[node], 0)
+            # else: source node, value already present (or undriven -> 0)
+        self.values = vals
+
+    def tick(self, n: int = 1, gclk: int | None = None) -> None:
+        """Advance ``n`` rising edges of the given clock domain (``None`` =
+        every enabled global clock)."""
+        for _ in range(n):
+            nxt = dict(self.ff_state)
+            for cfg in self.slices:
+                if gclk is not None and not self._on_gclk(cfg, gclk):
+                    continue
+                ce = self.values.get(cfg.in_pins["CE"], 0) if cfg.ce_used else 1
+                sr = self.values.get(cfg.in_pins["SR"], 0) if cfg.sr_used else 0
+                if cfg.ffx_used:
+                    d = (
+                        self.values.get(cfg.in_pins["BX"], 0)
+                        if cfg.dxmux
+                        else self.values.get(cfg.out_x, 0)
+                    )
+                    key = (cfg.row, cfg.col, cfg.s, "X")
+                    nxt[key] = cfg.ffx_init if sr else (nxt[key] if not ce else d)
+                if cfg.ffy_used:
+                    d = (
+                        self.values.get(cfg.in_pins["BY"], 0)
+                        if cfg.dymux
+                        else self.values.get(cfg.out_y, 0)
+                    )
+                    key = (cfg.row, cfg.col, cfg.s, "Y")
+                    nxt[key] = cfg.ffy_init if sr else (nxt[key] if not ce else d)
+            self.ff_state = nxt
+            self._settle()
+
+    def _on_gclk(self, cfg: _SliceCfg, gclk: int) -> bool:
+        src = self.drivers.get(cfg.clk_node)
+        if src is None:
+            return False
+        _, _, w = self.device.node_of(src)
+        return W.WIRES[w] == f"GCLK{gclk}"
+
+    # -- introspection -------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "slices": len(self.slices),
+            "driven_wires": len(self.drivers),
+            "input_pads": len(self._pad_inputs),
+            "output_pads": len(self._pad_outputs),
+            "ffs": sum(cfg.ffx_used + cfg.ffy_used for cfg in self.slices),
+        }

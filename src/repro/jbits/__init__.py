@@ -1,0 +1,11 @@
+"""JBits-style bitstream API, JRoute run-time routing, and XHWIF."""
+
+from ..devices.resources import SLICE
+from .api import JBits
+from .jroute import JRoute, RouteResult, parse_wire
+from .xhwif import NullXhwif, SimulatedXhwif, Xhwif
+
+__all__ = [
+    "JBits", "JRoute", "NullXhwif", "RouteResult", "SLICE",
+    "SimulatedXhwif", "Xhwif", "parse_wire",
+]

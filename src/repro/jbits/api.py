@@ -1,0 +1,214 @@
+"""JBits-style bitstream manipulation API.
+
+Models the ``com.xilinx.JBits`` programming interface the paper builds on:
+load a bitstream for a part, ``get``/``set`` named resources at (row, col),
+flip PIPs, then write the result back out — either as a complete bitstream
+or as a **partial bitstream containing only the frames touched since the
+last sync point** (the capability JPG automates).
+
+Like the original, the model is deliberately low level: a resource is a
+tile coordinate plus a :class:`~repro.devices.resources.Field`, and one
+``set`` dirties whole configuration frames (column granularity), which is
+exactly why partial bitstreams come out column-shaped.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..bitstream.assembler import full_stream, partial_stream
+from ..bitstream.bitfile import BitFile
+from ..bitstream.frames import FrameMemory
+from ..bitstream.reader import apply_bitstream
+from ..devices import Device, Field, IobSite, get_device
+from ..devices.resources import SLICE
+from ..devices.wires import PipDef, pip_by_wires
+from ..errors import JBitsError
+
+
+class JBits:
+    """Bitstream-level device access for one part."""
+
+    def __init__(self, part: str | Device):
+        self.device: Device = part if isinstance(part, Device) else get_device(part)
+        self.frames: FrameMemory | None = None
+        self._dirty: set[int] = set()
+
+    # -- loading --------------------------------------------------------------
+
+    def read(self, data: bytes | BitFile | FrameMemory) -> None:
+        """Load a complete bitstream (resets dirty tracking)."""
+        if isinstance(data, FrameMemory):
+            if data.device != self.device:
+                raise JBitsError(
+                    f"frame memory is for {data.device.name}, "
+                    f"JBits instance is for {self.device.name}"
+                )
+            self.frames = data.clone()
+        else:
+            if isinstance(data, BitFile):
+                data = data.config_bytes
+            fm = FrameMemory(self.device)
+            apply_bitstream(fm, data)
+            self.frames = fm
+        self._dirty.clear()
+
+    def read_partial(self, data: bytes | BitFile) -> None:
+        """Apply a partial bitstream on top of the loaded configuration."""
+        fm = self._require()
+        if isinstance(data, BitFile):
+            data = data.config_bytes
+        stats = apply_bitstream(fm, data)
+        for start, count in stats.writes:
+            self._dirty.update(range(start, start + count))
+
+    def blank(self) -> None:
+        """Start from an erased device (all frames zero)."""
+        self.frames = FrameMemory(self.device)
+        self._dirty.clear()
+
+    def _require(self) -> FrameMemory:
+        if self.frames is None:
+            raise JBitsError("no bitstream loaded; call read() or blank() first")
+        return self.frames
+
+    # -- resource access ---------------------------------------------------------
+
+    def get(self, row: int, col: int, field: Field) -> int:
+        """Read a named CLB resource (e.g. ``SLICE[0].F``)."""
+        return self._require().get_field(row, col, field)
+
+    def set(self, row: int, col: int, field: Field, value: int) -> None:
+        """Write a named CLB resource, dirtying the frames it lives in."""
+        fm = self._require()
+        before = fm.get_field(row, col, field)
+        if before == value:
+            return
+        fm.set_field(row, col, field, value)
+        for coord in field.coords:
+            frame, _ = self.device.clb_bit_location(row, col, coord)
+            self._dirty.add(frame)
+
+    def get_pip(self, row: int, col: int, pip: int | PipDef) -> int:
+        idx = pip.index if isinstance(pip, PipDef) else pip
+        return self._require().get_pip(row, col, idx)
+
+    def set_pip(self, row: int, col: int, pip: int | PipDef, value: int) -> None:
+        idx = pip.index if isinstance(pip, PipDef) else pip
+        fm = self._require()
+        if fm.get_pip(row, col, idx) == value:
+            return
+        fm.set_pip(row, col, idx, value)
+        frame, _ = self.device.pip_bit_location(row, col, idx)
+        self._dirty.add(frame)
+
+    def set_pip_by_name(self, row: int, col: int, src: str, dst: str, value: int = 1) -> None:
+        """Turn a PIP on/off by wire names, e.g. ``("OUT0", "SE0")``."""
+        self.set_pip(row, col, pip_by_wires(src, dst), value)
+
+    def set_iob(self, site: IobSite, which: int, value: int) -> None:
+        fm = self._require()
+        if fm.get_iob_enable(site, which) == value:
+            return
+        fm.set_iob_enable(site, which, value)
+        frame, _ = self.device.iob_bit_location(site, which)
+        self._dirty.add(frame)
+
+    def set_bram_word(self, site, addr: int, value: int, width: int = 16) -> None:
+        """Write one data word of a block RAM's content (run-time memory
+        update — the classic BRAM use of partial reconfiguration)."""
+        fm = self._require()
+        if fm.get_bram_word(site, addr, width) == value:
+            return
+        fm.set_bram_word(site, addr, value, width)
+        for k in range(width):
+            frame, _ = self.device.geometry.bram_bit_location(site, addr * width + k)
+            self._dirty.add(frame)
+
+    def get_bram_word(self, site, addr: int, width: int = 16) -> int:
+        return self._require().get_bram_word(site, addr, width)
+
+    def set_bram_content(self, site, words: Iterable[int], width: int = 16) -> None:
+        """Fill a block RAM from a word sequence (4096 bits total max)."""
+        for addr, value in enumerate(words):
+            self.set_bram_word(site, addr, value, width)
+
+    def set_gclk(self, g: int, value: int) -> None:
+        fm = self._require()
+        if fm.get_gclk_enable(g) == value:
+            return
+        fm.set_gclk_enable(g, value)
+        frame, _ = self.device.gclk_bit_location(g)
+        self._dirty.add(frame)
+
+    def clear_tile(self, row: int, col: int) -> None:
+        """Zero every configuration bit of one CLB tile (all 48 minors)."""
+        fm = self._require()
+        g = self.device.geometry
+        base = g.frame_base(g.major_of_clb_col(col))
+        off = g.row_bit_offset(row)
+        for minor in range(48):
+            frame = base + minor
+            changed = False
+            for bit in range(off, off + 18):
+                if fm.get_bit(frame, bit):
+                    fm.set_bit(frame, bit, 0)
+                    changed = True
+            if changed:
+                self._dirty.add(frame)
+
+    # -- convenience (mirrors common JBits idioms) ------------------------------------
+
+    def set_lut(self, row: int, col: int, slice_idx: int, letter: str, init: int) -> None:
+        """Write a LUT truth table (the classic run-time-parameterisation
+        use of JBits)."""
+        self.set(row, col, SLICE[slice_idx].lut(letter), init)
+
+    def get_lut(self, row: int, col: int, slice_idx: int, letter: str) -> int:
+        return self.get(row, col, SLICE[slice_idx].lut(letter))
+
+    def merge_frames(self, other: FrameMemory) -> list[int]:
+        """Overwrite this configuration with ``other`` wherever they differ,
+        dirtying exactly the changed frames.  Returns those frame indices.
+        (How JPG lands a re-implemented module onto the base design.)"""
+        fm = self._require()
+        if other.device != self.device:
+            raise JBitsError("cannot merge frames from a different part")
+        changed = fm.diff_frames(other)
+        if changed:
+            fm.data[changed] = other.data[changed]
+            self._dirty.update(changed)
+        return changed
+
+    # -- dirty tracking / output --------------------------------------------------------
+
+    @property
+    def dirty_frames(self) -> list[int]:
+        """Frames touched since the last read()/checkpoint(), sorted."""
+        return sorted(self._dirty)
+
+    def touch_frames(self, frames: Iterable[int]) -> None:
+        """Force frames into the dirty set (used for column-aligned
+        partials that rewrite a whole region regardless of diffs)."""
+        total = self.device.geometry.total_frames
+        for f in frames:
+            if not 0 <= f < total:
+                raise JBitsError(f"frame {f} out of range 0..{total - 1}")
+            self._dirty.add(f)
+
+    def checkpoint(self) -> None:
+        """Clear dirty tracking (after emitting a partial)."""
+        self._dirty.clear()
+
+    def write(self) -> bytes:
+        """Serialize the complete configuration."""
+        return full_stream(self._require())
+
+    def write_partial(self, *, startup: bool = False, checkpoint: bool = True) -> bytes:
+        """Serialize only the dirty frames as a partial bitstream."""
+        if not self._dirty:
+            raise JBitsError("nothing to write: no frames are dirty")
+        data = partial_stream(self._require(), self.dirty_frames, startup=startup)
+        if checkpoint:
+            self.checkpoint()
+        return data

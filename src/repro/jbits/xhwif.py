@@ -1,0 +1,82 @@
+"""XHWIF: the JBits hardware-interface abstraction.
+
+The original XHWIF let JBits-based tools talk to any FPGA board through one
+interface (get device info, send configuration data, read back, step
+clocks).  :class:`Xhwif` is that contract; :class:`SimulatedXhwif` binds it
+to the package's simulated board, and :class:`NullXhwif` is a sink for
+"generate only, no hardware attached" runs (JPG option 1 in §3.2.1).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..bitstream.frames import FrameMemory
+from ..errors import XhwifError
+from ..hwsim.board import Board
+
+
+class Xhwif(abc.ABC):
+    """Board-access contract used by JBits tools."""
+
+    @abc.abstractmethod
+    def get_device_name(self) -> str:
+        """Part name of the attached device (e.g. ``XCV300``)."""
+
+    @abc.abstractmethod
+    def send(self, data: bytes) -> float:
+        """Send configuration data; returns the transfer time in seconds."""
+
+    @abc.abstractmethod
+    def readback(self) -> FrameMemory:
+        """Read the device's configuration memory back."""
+
+    @abc.abstractmethod
+    def clock_step(self, cycles: int) -> None:
+        """Step the on-board clock."""
+
+    def connected(self) -> bool:
+        return True
+
+
+class SimulatedXhwif(Xhwif):
+    """XHWIF bound to a simulated board."""
+
+    def __init__(self, board: Board):
+        self.board = board
+
+    def get_device_name(self) -> str:
+        return self.board.device.name
+
+    def send(self, data: bytes) -> float:
+        return self.board.download(data).seconds
+
+    def readback(self) -> FrameMemory:
+        return self.board.readback()
+
+    def clock_step(self, cycles: int) -> None:
+        self.board.clock(cycles)
+
+
+class NullXhwif(Xhwif):
+    """No hardware attached: sends are counted, everything else fails."""
+
+    def __init__(self, device_name: str = "XCV50"):
+        self.device_name = device_name
+        self.bytes_sent = 0
+
+    def get_device_name(self) -> str:
+        return self.device_name
+
+    def send(self, data: bytes) -> float:
+        self.bytes_sent += len(data)
+        return 0.0
+
+    def readback(self) -> FrameMemory:
+        raise XhwifError("no hardware attached (NullXhwif)")
+
+    def clock_step(self, cycles: int) -> None:
+        raise XhwifError("no hardware attached (NullXhwif)")
+
+    def connected(self) -> bool:
+        return False

@@ -1,0 +1,17 @@
+"""Logical netlist layer: primitive library, netlist model, builder API,
+boolean-expression front-end, and the golden cycle simulator."""
+
+from .builder import NetlistBuilder
+from .expr import parse_expr
+from .library import CellKind, lut_eval, lut_kind
+from .logical import Cell, Net, Netlist, Port
+from .sim import NetlistSimulator
+
+__all__ = [
+    "Cell", "CellKind", "Net", "Netlist", "NetlistBuilder",
+    "NetlistSimulator", "Port", "lut_eval", "lut_kind", "parse_expr",
+]
+
+from .verilog import ElaboratedModule, VerilogError, elaborate, parse_verilog
+
+__all__ += ["ElaboratedModule", "VerilogError", "elaborate", "parse_verilog"]

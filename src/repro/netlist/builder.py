@@ -1,0 +1,291 @@
+"""Construction API for logical netlists.
+
+:class:`NetlistBuilder` is the synthesis front-end of the package: gate
+calls create LUT primitives directly (an AND2 is a LUT2 with INIT 0x8) and
+technology mapping later merges them into LUT4s.  Hierarchical scopes give
+cells ``u1/...`` style names, which is what UCF ``INST "u1/*"`` constraints
+and JPG's region assignment match against.
+
+>>> b = NetlistBuilder("blinker")
+>>> clk = b.clock("clk")
+>>> a, c = b.input("a"), b.input("c")
+>>> q = b.reg(b.xor_(a, c), clk)
+>>> b.output("y", q)
+>>> nl = b.finish()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..errors import NetlistError
+from .library import (
+    INIT_AND2,
+    INIT_BUF,
+    INIT_MUX,
+    INIT_NAND2,
+    INIT_NOR2,
+    INIT_NOT,
+    INIT_OR2,
+    INIT_XNOR2,
+    INIT_XOR2,
+    CellKind,
+    lut_kind,
+    lut_mask_limit,
+)
+from .logical import Netlist
+
+#: Type alias: nets are referred to by name throughout the builder.
+NetName = str
+
+
+class NetlistBuilder:
+    """Incrementally builds a validated :class:`Netlist`."""
+
+    def __init__(self, name: str):
+        self.netlist = Netlist(name)
+        self._scopes: list[str] = []
+        self._counter = 0
+        self._const_net: dict[int, NetName] = {}
+        self._ff_of_q: dict[NetName, str] = {}
+
+    # -- naming ---------------------------------------------------------------
+
+    def _qualify(self, name: str) -> str:
+        return "/".join(self._scopes + [name]) if self._scopes else name
+
+    def _fresh(self, hint: str) -> str:
+        self._counter += 1
+        return self._qualify(f"{hint}_{self._counter}")
+
+    @contextmanager
+    def scope(self, name: str):
+        """Name cells/nets created inside as ``name/...`` (module hierarchy)."""
+        self._scopes.append(name)
+        try:
+            yield self
+        finally:
+            self._scopes.pop()
+
+    # -- ports ------------------------------------------------------------------
+
+    def input(self, name: str) -> NetName:
+        """Top-level input port; returns the fabric-side net."""
+        return self._port_in(name, "in")
+
+    def clock(self, name: str) -> NetName:
+        """Top-level clock port (routed on the global clock network)."""
+        return self._port_in(name, "clock")
+
+    def _port_in(self, name: str, direction: str) -> NetName:
+        buf = f"{name}__ibuf"
+        net = f"{name}__net"
+        self.netlist.add_cell(buf, CellKind.IBUF)
+        self.netlist.add_net(net)
+        self.netlist.connect(buf, "O", net)
+        self.netlist.add_port(name, direction, buf)
+        return net
+
+    def output(self, name: str, net: NetName) -> None:
+        """Top-level output port driven by ``net``."""
+        buf = f"{name}__obuf"
+        self.netlist.add_cell(buf, CellKind.OBUF)
+        self.netlist.connect(buf, "I", net)
+        self.netlist.add_port(name, "out", buf)
+
+    # -- primitives ---------------------------------------------------------------
+
+    def lut(self, init: int, *inputs: NetName, name: str | None = None) -> NetName:
+        """A LUT of ``len(inputs)`` inputs with the given truth table."""
+        width = len(inputs)
+        kind = lut_kind(width)
+        if not 0 <= init < lut_mask_limit(width):
+            raise NetlistError(f"INIT {init:#x} does not fit a LUT{width}")
+        cell_name = self._qualify(name) if name else self._fresh("lut")
+        out = cell_name + "__o"
+        self.netlist.add_cell(cell_name, kind, {"INIT": init})
+        self.netlist.add_net(out)
+        for i, src in enumerate(inputs):
+            self.netlist.connect(cell_name, f"I{i}", src)
+        self.netlist.connect(cell_name, "O", out)
+        return out
+
+    def reg(
+        self,
+        d: NetName,
+        clk: NetName,
+        *,
+        ce: NetName | None = None,
+        sr: NetName | None = None,
+        init: int = 0,
+        sync: bool = True,
+        name: str | None = None,
+    ) -> NetName:
+        """A D flip-flop; returns the Q net."""
+        cell_name = self._qualify(name) if name else self._fresh("ff")
+        out = cell_name + "__q"
+        self.netlist.add_cell(
+            cell_name, CellKind.DFF, {"INIT": init & 1, "SYNC": int(sync)}
+        )
+        self.netlist.add_net(out)
+        self.netlist.connect(cell_name, "D", d)
+        self.netlist.connect(cell_name, "C", clk)
+        if ce is not None:
+            self.netlist.connect(cell_name, "CE", ce)
+        if sr is not None:
+            self.netlist.connect(cell_name, "SR", sr)
+        self.netlist.connect(cell_name, "Q", out)
+        return out
+
+    def new_ff(
+        self,
+        clk: NetName,
+        *,
+        ce: NetName | None = None,
+        sr: NetName | None = None,
+        init: int = 0,
+        sync: bool = True,
+        name: str | None = None,
+    ) -> NetName:
+        """A flip-flop whose D input is connected later with
+        :meth:`drive_ff` — the way to build feedback (counters, LFSRs)."""
+        cell_name = self._qualify(name) if name else self._fresh("ff")
+        out = cell_name + "__q"
+        self.netlist.add_cell(
+            cell_name, CellKind.DFF, {"INIT": init & 1, "SYNC": int(sync)}
+        )
+        self.netlist.add_net(out)
+        self.netlist.connect(cell_name, "C", clk)
+        if ce is not None:
+            self.netlist.connect(cell_name, "CE", ce)
+        if sr is not None:
+            self.netlist.connect(cell_name, "SR", sr)
+        self.netlist.connect(cell_name, "Q", out)
+        self._ff_of_q[out] = cell_name
+        return out
+
+    def drive_ff(self, q_net: NetName, d: NetName) -> None:
+        """Connect the D input of a flip-flop created by :meth:`new_ff`."""
+        try:
+            cell = self._ff_of_q[q_net]
+        except KeyError:
+            raise NetlistError(f"{q_net!r} is not a new_ff() output") from None
+        self.netlist.connect(cell, "D", d)
+
+    def const(self, value: int) -> NetName:
+        """A constant 0/1 net (shared GND/VCC cell)."""
+        value &= 1
+        if value not in self._const_net:
+            kind = CellKind.VCC if value else CellKind.GND
+            cell_name = self._qualify(kind.value.lower())
+            net = cell_name + "__o"
+            self.netlist.add_cell(cell_name, kind)
+            self.netlist.add_net(net)
+            self.netlist.connect(cell_name, "O", net)
+            self._const_net[value] = net
+        return self._const_net[value]
+
+    # -- gates -------------------------------------------------------------------------
+
+    def buf(self, a: NetName) -> NetName:
+        return self.lut(INIT_BUF, a)
+
+    def not_(self, a: NetName) -> NetName:
+        return self.lut(INIT_NOT, a)
+
+    def and_(self, a: NetName, b: NetName) -> NetName:
+        return self.lut(INIT_AND2, a, b)
+
+    def or_(self, a: NetName, b: NetName) -> NetName:
+        return self.lut(INIT_OR2, a, b)
+
+    def xor_(self, a: NetName, b: NetName) -> NetName:
+        return self.lut(INIT_XOR2, a, b)
+
+    def nand_(self, a: NetName, b: NetName) -> NetName:
+        return self.lut(INIT_NAND2, a, b)
+
+    def nor_(self, a: NetName, b: NetName) -> NetName:
+        return self.lut(INIT_NOR2, a, b)
+
+    def xnor_(self, a: NetName, b: NetName) -> NetName:
+        return self.lut(INIT_XNOR2, a, b)
+
+    def mux(self, sel: NetName, a0: NetName, a1: NetName) -> NetName:
+        """2:1 mux: returns ``a1`` when ``sel`` is 1 else ``a0``."""
+        return self.lut(INIT_MUX, a0, a1, sel)
+
+    def and_n(self, nets: list[NetName]) -> NetName:
+        """Wide AND as a balanced LUT tree."""
+        return self._tree(nets, INIT_AND2, 0x8000, 1)
+
+    def or_n(self, nets: list[NetName]) -> NetName:
+        """Wide OR as a balanced LUT tree."""
+        return self._tree(nets, INIT_OR2, 0xFFFE, 0)
+
+    def xor_n(self, nets: list[NetName]) -> NetName:
+        """Wide XOR (parity) as a balanced LUT tree."""
+        return self._tree(nets, INIT_XOR2, 0x6996, 0)
+
+    def _tree(self, nets: list[NetName], init2: int, init4: int, empty: int) -> NetName:
+        if not nets:
+            return self.const(empty)
+        level = list(nets)
+        while len(level) > 1:
+            nxt: list[NetName] = []
+            i = 0
+            while i < len(level):
+                chunk = level[i:i + 4]
+                i += 4
+                if len(chunk) == 1:
+                    nxt.append(chunk[0])
+                elif len(chunk) == 4:
+                    nxt.append(self.lut(init4, *chunk))
+                else:
+                    acc = chunk[0]
+                    for x in chunk[1:]:
+                        acc = self.lut(init2, acc, x)
+                    nxt.append(acc)
+            level = nxt
+        return level[0]
+
+    # -- arithmetic helpers ------------------------------------------------------------
+
+    def half_add(self, a: NetName, b: NetName) -> tuple[NetName, NetName]:
+        return self.xor_(a, b), self.and_(a, b)
+
+    def full_add(self, a: NetName, b: NetName, cin: NetName) -> tuple[NetName, NetName]:
+        s = self.lut(0x96, a, b, cin)        # odd parity
+        c = self.lut(0xE8, a, b, cin)        # majority
+        return s, c
+
+    def add(self, a: list[NetName], b: list[NetName], cin: NetName | None = None) -> list[NetName]:
+        """Ripple-carry adder over little-endian bit vectors (same width);
+        returns sum bits plus the carry-out as the extra last bit."""
+        if len(a) != len(b):
+            raise NetlistError(f"adder widths differ: {len(a)} vs {len(b)}")
+        carry = cin if cin is not None else self.const(0)
+        out: list[NetName] = []
+        for x, y in zip(a, b):
+            s, carry = self.full_add(x, y, carry)
+            out.append(s)
+        out.append(carry)
+        return out
+
+    def eq_const(self, bits: list[NetName], value: int) -> NetName:
+        """1 when the little-endian vector equals ``value``."""
+        terms = [
+            bit if (value >> i) & 1 else self.not_(bit)
+            for i, bit in enumerate(bits)
+        ]
+        return self.and_n(terms)
+
+    # -- completion -----------------------------------------------------------------------
+
+    def finish(self, validate: bool = True, sweep: bool = True) -> Netlist:
+        """Sweep dead logic and validate; returns the finished netlist."""
+        if sweep:
+            self.netlist.sweep()
+        if validate:
+            self.netlist.validate()
+        return self.netlist

@@ -1,0 +1,103 @@
+"""Boolean-expression front-end.
+
+A tiny combinational HDL used by examples/workloads:
+
+    y = parse_expr(builder, "a & ~(b | c) ^ d", {"a": na, "b": nb, ...})
+
+Grammar (C-style precedence, left associative)::
+
+    expr   := xor ( '|' xor )*
+    xor    := and ( '^' and )*
+    and    := unary ( '&' unary )*
+    unary  := '~' unary | '(' expr ')' | '0' | '1' | IDENT
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ParseError
+from .builder import NetlistBuilder, NetName
+
+_TOKEN_RE = re.compile(r"\s*(?:([A-Za-z_][A-Za-z_0-9]*)|([01])|([&|^~()]))")
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens, pos = [], 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            if text[pos:].strip():
+                raise ParseError(f"bad character {text[pos]!r} in expression", column=pos)
+            break
+        tokens.append(m.group(1) or m.group(2) or m.group(3))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, builder: NetlistBuilder, tokens: list[str], env: dict[str, NetName]):
+        self.b = builder
+        self.tokens = tokens
+        self.env = env
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of expression")
+        self.pos += 1
+        return tok
+
+    def parse(self) -> NetName:
+        net = self.expr()
+        if self.peek() is not None:
+            raise ParseError(f"trailing tokens from {self.peek()!r}")
+        return net
+
+    def expr(self) -> NetName:
+        net = self.xor()
+        while self.peek() == "|":
+            self.take()
+            net = self.b.or_(net, self.xor())
+        return net
+
+    def xor(self) -> NetName:
+        net = self.and_()
+        while self.peek() == "^":
+            self.take()
+            net = self.b.xor_(net, self.and_())
+        return net
+
+    def and_(self) -> NetName:
+        net = self.unary()
+        while self.peek() == "&":
+            self.take()
+            net = self.b.and_(net, self.unary())
+        return net
+
+    def unary(self) -> NetName:
+        tok = self.take()
+        if tok == "~":
+            return self.b.not_(self.unary())
+        if tok == "(":
+            net = self.expr()
+            if self.take() != ")":
+                raise ParseError("missing ')'")
+            return net
+        if tok in ("0", "1"):
+            return self.b.const(int(tok))
+        if tok in ("&", "|", "^", ")"):
+            raise ParseError(f"unexpected {tok!r}")
+        try:
+            return self.env[tok]
+        except KeyError:
+            raise ParseError(f"unknown signal {tok!r}") from None
+
+
+def parse_expr(builder: NetlistBuilder, text: str, env: dict[str, NetName]) -> NetName:
+    """Build the LUT network for a boolean expression; returns its net."""
+    return _Parser(builder, _tokenize(text), env).parse()

@@ -1,0 +1,143 @@
+"""Primitive cell library the logical netlist is built from.
+
+The library is deliberately the post-synthesis subset a Virtex slice can
+host: 1–4 input LUTs, a D flip-flop with optional clock-enable and
+set/reset, input/output buffers binding top-level ports to pads, and
+constant generators.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import NetlistError
+
+
+class CellKind(enum.Enum):
+    LUT1 = "LUT1"
+    LUT2 = "LUT2"
+    LUT3 = "LUT3"
+    LUT4 = "LUT4"
+    DFF = "DFF"
+    IBUF = "IBUF"
+    OBUF = "OBUF"
+    GND = "GND"
+    VCC = "VCC"
+
+    @property
+    def is_lut(self) -> bool:
+        return self.value.startswith("LUT")
+
+    @property
+    def lut_width(self) -> int:
+        if not self.is_lut:
+            raise NetlistError(f"{self.value} is not a LUT")
+        return int(self.value[3])
+
+
+def lut_kind(width: int) -> CellKind:
+    """LUT cell kind for a given input count."""
+    if not 1 <= width <= 4:
+        raise NetlistError(f"no LUT with {width} inputs (1..4 supported)")
+    return CellKind(f"LUT{width}")
+
+
+@dataclass(frozen=True)
+class PinDef:
+    name: str
+    is_output: bool = False
+    is_clock: bool = False
+    optional: bool = False
+
+
+_LUT_PINS = {
+    w: tuple(PinDef(f"I{i}") for i in range(w)) + (PinDef("O", is_output=True),)
+    for w in range(1, 5)
+}
+
+#: Pin definitions by cell kind.
+PINS: dict[CellKind, tuple[PinDef, ...]] = {
+    CellKind.LUT1: _LUT_PINS[1],
+    CellKind.LUT2: _LUT_PINS[2],
+    CellKind.LUT3: _LUT_PINS[3],
+    CellKind.LUT4: _LUT_PINS[4],
+    CellKind.DFF: (
+        PinDef("D"),
+        PinDef("C", is_clock=True),
+        PinDef("CE", optional=True),
+        PinDef("SR", optional=True),
+        PinDef("Q", is_output=True),
+    ),
+    CellKind.IBUF: (PinDef("O", is_output=True),),
+    CellKind.OBUF: (PinDef("I"),),
+    CellKind.GND: (PinDef("O", is_output=True),),
+    CellKind.VCC: (PinDef("O", is_output=True),),
+}
+
+
+def pin_def(kind: CellKind, pin: str) -> PinDef:
+    for p in PINS[kind]:
+        if p.name == pin:
+            return p
+    raise NetlistError(f"{kind.value} has no pin {pin!r}")
+
+
+def output_pin(kind: CellKind) -> str | None:
+    """The (single) output pin name of a kind, if it has one."""
+    for p in PINS[kind]:
+        if p.is_output:
+            return p.name
+    return None
+
+
+# -- LUT truth-table helpers --------------------------------------------------
+
+
+def lut_eval(init: int, width: int, inputs: tuple[int, ...]) -> int:
+    """Evaluate a LUT: ``inputs[i]`` is pin ``I{i}``; the address is
+    ``sum(inputs[i] << i)`` and ``init`` bit ``address`` is the output."""
+    if len(inputs) != width:
+        raise NetlistError(f"LUT{width} evaluated with {len(inputs)} inputs")
+    addr = 0
+    for i, v in enumerate(inputs):
+        addr |= (v & 1) << i
+    return (init >> addr) & 1
+
+
+def lut_mask_limit(width: int) -> int:
+    return 1 << (1 << width)
+
+
+def expand_init(init: int, width: int, target_width: int, pin_map: list[int]) -> int:
+    """Re-express a LUT's truth table on a wider LUT with permuted pins.
+
+    ``pin_map[i]`` is the target input index that logical input ``i`` was
+    assigned to.  Unused target inputs are don't-care (the function ignores
+    them).  Used by the router/bitgen when physical pin assignment differs
+    from logical input order.
+    """
+    if len(pin_map) != width:
+        raise NetlistError("pin_map length must equal source width")
+    if len(set(pin_map)) != width:
+        raise NetlistError(f"pin_map {pin_map} assigns two inputs to one pin")
+    out = 0
+    for addr in range(1 << target_width):
+        src_addr = 0
+        for i, tgt in enumerate(pin_map):
+            src_addr |= ((addr >> tgt) & 1) << i
+        if (init >> src_addr) & 1:
+            out |= 1 << addr
+    return out
+
+
+#: Truth-table constants for common gates (inputs I0, I1, ...).
+INIT_BUF = 0b10          # LUT1: O = I0
+INIT_NOT = 0b01          # LUT1: O = ~I0
+INIT_AND2 = 0b1000       # LUT2: O = I0 & I1
+INIT_OR2 = 0b1110        # LUT2
+INIT_XOR2 = 0b0110       # LUT2
+INIT_NAND2 = 0b0111      # LUT2
+INIT_NOR2 = 0b0001       # LUT2
+INIT_XNOR2 = 0b1001      # LUT2
+INIT_MUX = 0b11001010    # LUT3: O = I2 ? I1 : I0

@@ -1,0 +1,149 @@
+"""Golden netlist-level simulator.
+
+Levelized two-phase simulation: combinational logic is evaluated in
+topological order, then one rising clock edge updates every flip-flop.
+This is the reference model the hardware-level simulator (which decodes
+frame memory back into a circuit) is checked against.
+
+DFF semantics per step: ``SR=1 -> Q := INIT``, else ``CE=0 -> hold``,
+else ``Q := D`` (single clock domain; the netlist validator enforces that
+all FF clocks come from clock ports).
+"""
+
+from __future__ import annotations
+
+from graphlib import CycleError, TopologicalSorter
+
+from ..errors import NetlistError, SimulationError
+from .library import CellKind, lut_eval
+from .logical import Netlist
+
+
+class NetlistSimulator:
+    """Cycle simulator for a validated :class:`Netlist`."""
+
+    def __init__(self, netlist: Netlist):
+        netlist.validate()
+        self.netlist = netlist
+        self._order = self._levelize()
+        self.net_values: dict[str, int] = {n: 0 for n in netlist.nets}
+        self.ff_state: dict[str, int] = {
+            ff.name: ff.params.get("INIT", 0) for ff in netlist.ffs()
+        }
+        self._inputs: dict[str, int] = {p.name: 0 for p in netlist.input_ports()}
+        self._settle()
+
+    def _levelize(self) -> list[str]:
+        """Topological order of combinational cells (FF outputs are roots)."""
+        graph: dict[str, set[str]] = {}
+        comb_kinds = (
+            CellKind.LUT1, CellKind.LUT2, CellKind.LUT3, CellKind.LUT4,
+            CellKind.OBUF,
+        )
+        for cell in self.netlist.cells.values():
+            if cell.kind not in comb_kinds:
+                continue
+            deps: set[str] = set()
+            for pin, net_name in cell.pins.items():
+                net = self.netlist.get_net(net_name)
+                if net.driver is None or net.driver == (cell.name, pin):
+                    continue
+                driver = self.netlist.get_cell(net.driver[0])
+                if driver.kind in comb_kinds:
+                    deps.add(driver.name)
+            graph[cell.name] = deps
+        try:
+            return list(TopologicalSorter(graph).static_order())
+        except CycleError as exc:
+            raise NetlistError(f"combinational loop: {exc.args[1]}") from None
+
+    # -- stimulus ------------------------------------------------------------
+
+    def set_input(self, port: str, value: int) -> None:
+        if port not in self._inputs:
+            raise SimulationError(f"{port!r} is not an input port")
+        self._inputs[port] = value & 1
+        self._settle()
+
+    def set_inputs(self, values: dict[str, int]) -> None:
+        for k, v in values.items():
+            if k not in self._inputs:
+                raise SimulationError(f"{k!r} is not an input port")
+            self._inputs[k] = v & 1
+        self._settle()
+
+    # -- evaluation --------------------------------------------------------------
+
+    def _settle(self) -> None:
+        """Propagate current FF state and inputs through combinational logic."""
+        nl = self.netlist
+        vals = self.net_values
+        # sources: input ports, constants, FF outputs
+        for port in nl.input_ports():
+            buf = nl.get_cell(port.buffer_cell)
+            vals[buf.pins["O"]] = self._inputs[port.name]
+        for port in nl.clock_ports():
+            buf = nl.get_cell(port.buffer_cell)
+            vals[buf.pins["O"]] = 0  # clock level unused by two-phase sim
+        for cell in nl.cells.values():
+            if cell.kind is CellKind.GND:
+                vals[cell.pins["O"]] = 0
+            elif cell.kind is CellKind.VCC:
+                vals[cell.pins["O"]] = 1
+            elif cell.kind is CellKind.DFF:
+                vals[cell.pins["Q"]] = self.ff_state[cell.name]
+        for name in self._order:
+            cell = nl.get_cell(name)
+            if cell.kind.is_lut:
+                width = cell.kind.lut_width
+                ins = tuple(vals[cell.pins[f"I{i}"]] for i in range(width))
+                vals[cell.pins["O"]] = lut_eval(cell.init, width, ins)
+            # OBUF: value is just its input net; nothing to compute
+
+    def tick(self, n: int = 1) -> None:
+        """Advance ``n`` rising clock edges."""
+        for _ in range(n):
+            nxt: dict[str, int] = {}
+            for ff in self.netlist.ffs():
+                sr = self.net_values[ff.pins["SR"]] if "SR" in ff.pins else 0
+                ce = self.net_values[ff.pins["CE"]] if "CE" in ff.pins else 1
+                if sr:
+                    nxt[ff.name] = ff.params.get("INIT", 0)
+                elif not ce:
+                    nxt[ff.name] = self.ff_state[ff.name]
+                else:
+                    nxt[ff.name] = self.net_values[ff.pins["D"]]
+            self.ff_state = nxt
+            self._settle()
+
+    def step(self, inputs: dict[str, int] | None = None) -> dict[str, int]:
+        """Apply inputs, clock once, and return the (post-edge) outputs."""
+        if inputs:
+            self.set_inputs(inputs)
+        self.tick()
+        return self.outputs()
+
+    # -- observation ------------------------------------------------------------------
+
+    def output(self, port: str) -> int:
+        p = self.netlist.ports.get(port)
+        if p is None or p.direction != "out":
+            raise SimulationError(f"{port!r} is not an output port")
+        buf = self.netlist.get_cell(p.buffer_cell)
+        return self.net_values[buf.pins["I"]]
+
+    def outputs(self) -> dict[str, int]:
+        return {p.name: self.output(p.name) for p in self.netlist.output_ports()}
+
+    def net(self, name: str) -> int:
+        try:
+            return self.net_values[name]
+        except KeyError:
+            raise SimulationError(f"no net named {name!r}") from None
+
+    def output_word(self, ports: list[str]) -> int:
+        """Pack outputs (little-endian port list) into an integer."""
+        word = 0
+        for i, p in enumerate(ports):
+            word |= self.output(p) << i
+        return word

@@ -1,0 +1,1128 @@
+"""A synthesizable Verilog subset — the flow's HDL front-end.
+
+The paper's Figure 2 starts at "Design1 VHDL/Verilog/Schematic"; this
+module supplies the Verilog corner of that box.  Supported subset::
+
+    module counter #(parameter WIDTH = 4) (
+        input  clk,
+        input  rst,
+        input  en,
+        output [WIDTH-1:0] q,
+        output wrapped
+    );
+        wire [WIDTH-1:0] next;
+        assign next = q + 1;
+        assign wrapped = q == {WIDTH{1'b1}};
+        always @(posedge clk) begin
+            if (rst)      q <= 0;
+            else if (en)  q <= next;
+        end
+    endmodule
+
+* ports/wires/regs, scalar or ``[msb:lsb]`` vectors; parameters with
+  constant expressions, overridable at elaboration;
+* ``assign`` with ``~ & | ^``, ``== !=``, ``+ -``, shifts by constants,
+  ``?:``, bit/part selects, concatenation ``{a, b}`` and replication
+  ``{N{x}}``, reduction ``&x |x ^x``, sized/unsized literals;
+* ``always @(posedge clk)`` blocks with non-blocking assignments and
+  arbitrarily nested ``if``/``else`` (synthesized to per-bit mux trees —
+  enables and resets need no special pattern);
+* one module per source; clocks are the signals used in ``posedge``.
+
+Elaboration targets :class:`~repro.netlist.builder.NetlistBuilder`, so the
+output drops straight into the flow.  Vector ports become scalar ports
+named ``name[i]``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..errors import ParseError
+from .builder import NetlistBuilder, NetName
+from .logical import Netlist
+
+
+class VerilogError(ParseError):
+    """Parse or elaboration error in Verilog source."""
+
+
+# ---------------------------------------------------------------------------
+# lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+|//[^\n]*|/\*.*?\*/)
+    | (?P<sized>\d+'[bdh][0-9a-fA-F_xzXZ?]+)
+    | (?P<number>\d+)
+    | (?P<ident>[A-Za-z_][A-Za-z_0-9$]*)
+    | (?P<op><=|==|!=|<<|>>|[@#(){}\[\]:;,=?~&|^+\-*<>.])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+KEYWORDS = {
+    "module", "endmodule", "input", "output", "inout", "wire", "reg",
+    "assign", "always", "posedge", "negedge", "begin", "end", "if", "else",
+    "parameter", "localparam",
+}
+
+
+@dataclass
+class Tok:
+    kind: str       # "ident" | "number" | "sized" | "op" | keyword itself
+    text: str
+    line: int
+
+
+def tokenize(src: str) -> list[Tok]:
+    toks: list[Tok] = []
+    pos, line = 0, 1
+    while pos < len(src):
+        m = _TOKEN_RE.match(src, pos)
+        if not m:
+            raise VerilogError(f"cannot tokenize {src[pos:pos + 12]!r}", line)
+        text = m.group()
+        if m.lastgroup == "ws":
+            line += text.count("\n")
+        elif m.lastgroup == "ident" and text in KEYWORDS:
+            toks.append(Tok(text, text, line))
+        else:
+            toks.append(Tok(m.lastgroup, text, line))
+        pos = m.end()
+    return toks
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class Literal(Expr):
+    value: int = 0
+    width: int | None = None   # None: unsized
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr | None = None
+    then: Expr | None = None
+    other: Expr | None = None
+
+
+@dataclass
+class Select(Expr):
+    base: Expr | None = None
+    msb: Expr | None = None
+    lsb: Expr | None = None    # None: single-bit select
+
+
+@dataclass
+class Concat(Expr):
+    parts: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Repeat(Expr):
+    count: Expr | None = None
+    operand: Expr | None = None
+
+
+@dataclass
+class Signal:
+    name: str
+    msb: Expr | None            # None: scalar
+    lsb: Expr | None
+    direction: str = ""         # "input"/"output"/"" (internal)
+    is_reg: bool = False
+    line: int = 0
+
+
+@dataclass
+class Assign:
+    lhs: Expr
+    rhs: Expr
+    line: int
+
+
+@dataclass
+class NonBlocking:
+    lhs: Expr
+    rhs: Expr
+    line: int
+
+
+@dataclass
+class If:
+    cond: Expr
+    then: list
+    other: list
+    line: int
+
+
+@dataclass
+class AlwaysFF:
+    clock: str
+    body: list
+    line: int
+
+
+@dataclass
+class Instance:
+    """A sub-module instantiation (named connections only)."""
+
+    module: str
+    name: str
+    params: dict[str, Expr]
+    conns: dict[str, Expr]
+    line: int
+
+
+@dataclass
+class Module:
+    name: str
+    params: dict[str, Expr]
+    signals: dict[str, Signal]
+    assigns: list[Assign]
+    always: list[AlwaysFF]
+    instances: list[Instance] = field(default_factory=list)
+
+    def clock_ports(self) -> set[str]:
+        return {blk.clock for blk in self.always}
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, toks: list[Tok]):
+        self.toks = toks
+        self.pos = 0
+
+    def peek(self) -> Tok | None:
+        return self.toks[self.pos] if self.pos < len(self.toks) else None
+
+    def next(self, kind: str | None = None, text: str | None = None) -> Tok:
+        tok = self.peek()
+        if tok is None:
+            raise VerilogError("unexpected end of source")
+        if kind and tok.kind != kind:
+            raise VerilogError(f"expected {kind}, got {tok.text!r}", tok.line)
+        if text and tok.text != text:
+            raise VerilogError(f"expected {text!r}, got {tok.text!r}", tok.line)
+        self.pos += 1
+        return tok
+
+    def accept(self, text: str) -> bool:
+        tok = self.peek()
+        if tok is not None and tok.text == text:
+            self.pos += 1
+            return True
+        return False
+
+    # -- module --------------------------------------------------------------
+
+    def parse_module(self) -> Module:
+        self.next("module")
+        name = self.next("ident").text
+        mod = Module(name, {}, {}, [], [])
+        if self.accept("#"):
+            self.next("op", "(")
+            while not self.accept(")"):
+                self.next("parameter")
+                pname = self.next("ident").text
+                self.next("op", "=")
+                mod.params[pname] = self.parse_expr()
+                self.accept(",")
+        self.next("op", "(")
+        while not self.accept(")"):
+            self._port_decl(mod)
+            self.accept(",")
+        self.next("op", ";")
+        while not self.accept("endmodule"):
+            tok = self.peek()
+            if tok is None:
+                raise VerilogError("missing endmodule")
+            if tok.text in ("wire", "reg"):
+                self._net_decl(mod)
+            elif tok.text in ("parameter", "localparam"):
+                self.next()
+                pname = self.next("ident").text
+                self.next("op", "=")
+                mod.params[pname] = self.parse_expr()
+                self.next("op", ";")
+            elif tok.text == "assign":
+                self._assign(mod)
+            elif tok.text == "always":
+                self._always(mod)
+            elif tok.kind == "ident":
+                self._instance(mod)
+            else:
+                raise VerilogError(f"unexpected {tok.text!r}", tok.line)
+        return mod
+
+    def _instance(self, mod: Module) -> None:
+        tok = self.next("ident")
+        params: dict[str, Expr] = {}
+        if self.accept("#"):
+            self.next("op", "(")
+            while not self.accept(")"):
+                self.next("op", ".")
+                pname = self.next("ident").text
+                self.next("op", "(")
+                params[pname] = self.parse_expr()
+                self.next("op", ")")
+                self.accept(",")
+        inst_name = self.next("ident").text
+        self.next("op", "(")
+        conns: dict[str, Expr] = {}
+        while not self.accept(")"):
+            self.next("op", ".")
+            port = self.next("ident").text
+            self.next("op", "(")
+            conns[port] = self.parse_expr()
+            self.next("op", ")")
+            self.accept(",")
+        self.next("op", ";")
+        mod.instances.append(Instance(tok.text, inst_name, params, conns, tok.line))
+
+    def _range(self) -> tuple[Expr | None, Expr | None]:
+        if not self.accept("["):
+            return None, None
+        msb = self.parse_expr()
+        self.next("op", ":")
+        lsb = self.parse_expr()
+        self.next("op", "]")
+        return msb, lsb
+
+    def _port_decl(self, mod: Module) -> None:
+        tok = self.next()
+        if tok.text not in ("input", "output"):
+            raise VerilogError(f"expected input/output, got {tok.text!r}", tok.line)
+        direction = tok.text
+        is_reg = bool(self.accept("reg"))
+        self.accept("wire")
+        msb, lsb = self._range()
+        name = self.next("ident").text
+        self._declare(mod, Signal(name, msb, lsb, direction, is_reg, tok.line))
+
+    def _net_decl(self, mod: Module) -> None:
+        tok = self.next()
+        is_reg = tok.text == "reg"
+        msb, lsb = self._range()
+        while True:
+            name = self.next("ident").text
+            self._declare(mod, Signal(name, msb, lsb, "", is_reg, tok.line))
+            if not self.accept(","):
+                break
+        self.next("op", ";")
+
+    def _declare(self, mod: Module, sig: Signal) -> None:
+        existing = mod.signals.get(sig.name)
+        if existing is not None:
+            # `output reg [..] q` then `reg q` style re-declarations merge
+            existing.is_reg = existing.is_reg or sig.is_reg
+            if existing.msb is None and sig.msb is not None:
+                existing.msb, existing.lsb = sig.msb, sig.lsb
+            return
+        mod.signals[sig.name] = sig
+
+    def _assign(self, mod: Module) -> None:
+        tok = self.next("assign")
+        lhs = self.parse_primary()
+        self.next("op", "=")
+        rhs = self.parse_expr()
+        self.next("op", ";")
+        mod.assigns.append(Assign(lhs, rhs, tok.line))
+
+    def _always(self, mod: Module) -> None:
+        tok = self.next("always")
+        self.next("op", "@")
+        self.next("op", "(")
+        self.next("posedge")
+        clock = self.next("ident").text
+        self.next("op", ")")
+        body = self._stmt_block()
+        mod.always.append(AlwaysFF(clock, body, tok.line))
+
+    def _stmt_block(self) -> list:
+        if self.accept("begin"):
+            stmts = []
+            while not self.accept("end"):
+                stmts.append(self._stmt())
+            return stmts
+        return [self._stmt()]
+
+    def _stmt(self):
+        tok = self.peek()
+        if tok is None:
+            raise VerilogError("unexpected end inside always block")
+        if tok.text == "if":
+            self.next("if")
+            self.next("op", "(")
+            cond = self.parse_expr()
+            self.next("op", ")")
+            then = self._stmt_block()
+            other = self._stmt_block() if self.accept("else") else []
+            return If(cond, then, other, tok.line)
+        lhs = self.parse_primary()
+        self.next("op", "<=")
+        rhs = self.parse_expr()
+        self.next("op", ";")
+        return NonBlocking(lhs, rhs, tok.line)
+
+    # -- expressions (precedence climbing) ---------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._ternary()
+
+    def _ternary(self) -> Expr:
+        cond = self._or()
+        if self.accept("?"):
+            then = self.parse_expr()
+            self.next("op", ":")
+            other = self.parse_expr()
+            return Ternary(cond.line, cond, then, other)
+        return cond
+
+    def _or(self) -> Expr:
+        e = self._xor()
+        while (tok := self.peek()) is not None and tok.text == "|":
+            self.next()
+            e = Binary(tok.line, "|", e, self._xor())
+        return e
+
+    def _xor(self) -> Expr:
+        e = self._and()
+        while (tok := self.peek()) is not None and tok.text == "^":
+            self.next()
+            e = Binary(tok.line, "^", e, self._and())
+        return e
+
+    def _and(self) -> Expr:
+        e = self._equality()
+        while (tok := self.peek()) is not None and tok.text == "&":
+            self.next()
+            e = Binary(tok.line, "&", e, self._equality())
+        return e
+
+    def _equality(self) -> Expr:
+        e = self._shift()
+        while (tok := self.peek()) is not None and tok.text in ("==", "!="):
+            self.next()
+            e = Binary(tok.line, tok.text, e, self._shift())
+        return e
+
+    def _shift(self) -> Expr:
+        e = self._additive()
+        while (tok := self.peek()) is not None and tok.text in ("<<", ">>"):
+            self.next()
+            e = Binary(tok.line, tok.text, e, self._additive())
+        return e
+
+    def _additive(self) -> Expr:
+        e = self._unary()
+        while (tok := self.peek()) is not None and tok.text in ("+", "-"):
+            self.next()
+            e = Binary(tok.line, tok.text, e, self._unary())
+        return e
+
+    def _unary(self) -> Expr:
+        tok = self.peek()
+        if tok is not None and tok.text in ("~", "&", "|", "^", "-"):
+            self.next()
+            return Unary(tok.line, tok.text, self._unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        tok = self.peek()
+        if tok is None:
+            raise VerilogError("unexpected end of expression")
+        if tok.kind == "number":
+            self.next()
+            return self._postfix(Literal(tok.line, int(tok.text), None))
+        if tok.kind == "sized":
+            self.next()
+            return self._postfix(_parse_sized(tok))
+        if tok.kind == "ident":
+            self.next()
+            return self._postfix(Ident(tok.line, tok.text))
+        if tok.text == "(":
+            self.next()
+            e = self.parse_expr()
+            self.next("op", ")")
+            return self._postfix(e)
+        if tok.text == "{":
+            self.next()
+            first = self.parse_expr()
+            if self.accept("{"):
+                # replication {N{x}}
+                operand = self.parse_expr()
+                self.next("op", "}")
+                self.next("op", "}")
+                return Repeat(tok.line, first, operand)
+            parts = [first]
+            while self.accept(","):
+                parts.append(self.parse_expr())
+            self.next("op", "}")
+            return Concat(tok.line, parts)
+        raise VerilogError(f"unexpected {tok.text!r} in expression", tok.line)
+
+    def _postfix(self, e: Expr) -> Expr:
+        while self.accept("["):
+            msb = self.parse_expr()
+            lsb = None
+            if self.accept(":"):
+                lsb = self.parse_expr()
+            self.next("op", "]")
+            e = Select(e.line, e, msb, lsb)
+        return e
+
+
+def _parse_sized(tok: Tok) -> Literal:
+    width_txt, rest = tok.text.split("'", 1)
+    base_ch, digits = rest[0].lower(), rest[1:].replace("_", "")
+    base = {"b": 2, "d": 10, "h": 16}[base_ch]
+    try:
+        value = int(digits, base)
+    except ValueError:
+        raise VerilogError(f"bad literal {tok.text!r}", tok.line) from None
+    return Literal(tok.line, value, int(width_txt))
+
+
+# ---------------------------------------------------------------------------
+# elaboration
+# ---------------------------------------------------------------------------
+
+#: A vector value: nets, little-endian (index 0 = LSB).
+VBits = list
+
+
+@dataclass
+class ElaboratedModule:
+    """Elaboration result: the netlist plus port-name bookkeeping."""
+
+    name: str
+    netlist: Netlist
+    ports: dict[str, list[str]]       # signal -> scalar port names (LSB first)
+    params: dict[str, int]
+    clocks: list[str]
+
+    def port_bits(self, name: str) -> list[str]:
+        try:
+            return self.ports[name]
+        except KeyError:
+            raise VerilogError(f"no port named {name!r}") from None
+
+
+def _module_clock_ports(mod: Module, library: dict[str, Module], _memo=None) -> set:
+    """Input ports that ultimately feed a posedge (directly or through
+    sub-module instances)."""
+    memo = _memo if _memo is not None else {}
+    if mod.name in memo:
+        return memo[mod.name]
+    memo[mod.name] = set()  # cycle guard
+    clocks = mod.clock_ports()
+    for inst in mod.instances:
+        child = library.get(inst.module)
+        if child is None:
+            continue  # reported properly at elaboration
+        for cport in _module_clock_ports(child, library, memo):
+            conn = inst.conns.get(cport)
+            if isinstance(conn, Ident):
+                clocks.add(conn.name)
+    memo[mod.name] = clocks
+    return clocks
+
+
+class _Elaborator:
+    """Elaborates one module; children share the builder via recursion."""
+
+    def __init__(
+        self,
+        mod: Module,
+        params: dict[str, int] | None,
+        library: dict[str, Module] | None = None,
+        *,
+        builder: NetlistBuilder | None = None,
+        clock_bindings: dict[str, NetName] | None = None,
+        input_bits: dict[str, VBits] | None = None,
+    ):
+        self.mod = mod
+        self.library = library or {mod.name: mod}
+        self.is_top = builder is None
+        self.b = builder or NetlistBuilder(mod.name)
+        self.clock_bindings = clock_bindings or {}
+        self.input_bits = input_bits
+        self.params: dict[str, int] = {}
+        for pname, pexpr in mod.params.items():
+            if params is not None and pname in params:
+                self.params[pname] = params[pname]
+            else:
+                self.params[pname] = self._const(pexpr)
+        for pname in (params or {}):
+            if pname not in mod.params:
+                raise VerilogError(f"module {mod.name} has no parameter {pname!r}")
+        self.widths: dict[str, int] = {}
+        self.lsbs: dict[str, int] = {}
+        self.bits: dict[str, VBits] = {}
+        self.clock_sig_nets: dict[str, NetName] = {}
+        self.clocks: list[str] = []
+
+    # -- constant evaluation ----------------------------------------------------
+
+    def _const(self, e: Expr) -> int:
+        if isinstance(e, Literal):
+            return e.value
+        if isinstance(e, Ident):
+            if e.name in self.params:
+                return self.params[e.name]
+            raise VerilogError(f"{e.name!r} is not a constant", e.line)
+        if isinstance(e, Unary):
+            v = self._const(e.operand)
+            if e.op == "-":
+                return -v
+            if e.op == "~":
+                return ~v
+            raise VerilogError(f"constant {e.op!r} unsupported", e.line)
+        if isinstance(e, Binary):
+            a, c = self._const(e.left), self._const(e.right)
+            ops = {
+                "+": a + c, "-": a - c, "&": a & c, "|": a | c, "^": a ^ c,
+                "<<": a << c, ">>": a >> c, "==": int(a == c), "!=": int(a != c),
+            }
+            try:
+                return ops[e.op]
+            except KeyError:
+                raise VerilogError(f"constant {e.op!r} unsupported", e.line) from None
+        raise VerilogError("expression is not constant", e.line)
+
+    # -- shared setup -------------------------------------------------------------
+
+    def _setup(self) -> None:
+        mod = self.mod
+        for sig in mod.signals.values():
+            if sig.msb is None:
+                self.widths[sig.name], self.lsbs[sig.name] = 1, 0
+            else:
+                msb, lsb = self._const(sig.msb), self._const(sig.lsb)
+                if msb < lsb:
+                    raise VerilogError(
+                        f"{sig.name}: descending ranges only ([msb:lsb])", sig.line
+                    )
+                self.widths[sig.name] = msb - lsb + 1
+                self.lsbs[sig.name] = lsb
+
+        # which of this module's signals carry clocks (transitively)
+        clock_signals = _module_clock_ports(mod, self.library)
+        for name in sorted(clock_signals):
+            sig = mod.signals.get(name)
+            if sig is None:
+                raise VerilogError(f"clock {name!r} is not declared")
+            if self.widths[name] != 1 or sig.direction != "input":
+                raise VerilogError(
+                    f"clock {name!r} must be a scalar input port", sig.line
+                )
+            if name in self.clock_bindings:
+                self.clock_sig_nets[name] = self.clock_bindings[name]
+            elif self.is_top:
+                self.clock_sig_nets[name] = self.b.clock(name)
+            else:
+                raise VerilogError(
+                    f"instance clock port {name!r} must be connected to a clock"
+                )
+            self.clocks.append(name)
+
+        # non-clock inputs
+        for sig in mod.signals.values():
+            if sig.direction != "input" or sig.name in self.clock_sig_nets:
+                continue
+            w = self.widths[sig.name]
+            if self.is_top:
+                if w == 1:
+                    self.bits[sig.name] = [self.b.input(sig.name)]
+                else:
+                    self.bits[sig.name] = [
+                        self.b.input(f"{sig.name}[{i + self.lsbs[sig.name]}]")
+                        for i in range(w)
+                    ]
+            else:
+                bound = (self.input_bits or {}).get(sig.name)
+                if bound is None:
+                    raise VerilogError(
+                        f"instance input {sig.name!r} is not connected", sig.line
+                    )
+                value = list(bound)
+                if len(value) < w:
+                    value += [self.b.const(0)] * (w - len(value))
+                self.bits[sig.name] = value[:w]
+
+        # registers (created first so feedback works)
+        reg_targets = self._collect_reg_targets()
+        for name, clock in reg_targets.items():
+            sig = mod.signals[name]
+            if not sig.is_reg:
+                raise VerilogError(
+                    f"{name!r} is assigned in always but not declared reg", sig.line
+                )
+            if name in self.bits:
+                raise VerilogError(f"{name!r} driven by both port/assign and always")
+            w = self.widths[name]
+            self.bits[name] = [
+                self.b.new_ff(self.clock_sig_nets[clock], name=f"{name}_{i}_reg")
+                for i in range(w)
+            ]
+
+        self._elaborate_assigns()
+        for blk in mod.always:
+            self._elaborate_always(blk)
+
+    def _output_value(self, sig: Signal) -> VBits:
+        value = self.bits.get(sig.name)
+        if value is None or any(v is None for v in value):
+            raise VerilogError(f"output {sig.name!r} is never driven", sig.line)
+        return value
+
+    # -- top-level entry ------------------------------------------------------------
+
+    def run(self) -> ElaboratedModule:
+        self._setup()
+        mod = self.mod
+        ports: dict[str, list[str]] = {name: [name] for name in self.clocks}
+        for sig in mod.signals.values():
+            if sig.direction == "input" and sig.name not in self.clock_sig_nets:
+                w = self.widths[sig.name]
+                ports[sig.name] = (
+                    [sig.name] if w == 1 else
+                    [f"{sig.name}[{i + self.lsbs[sig.name]}]" for i in range(w)]
+                )
+        for sig in mod.signals.values():
+            if sig.direction != "output":
+                continue
+            value = self._output_value(sig)
+            w = self.widths[sig.name]
+            if w == 1:
+                self.b.output(sig.name, value[0])
+                ports[sig.name] = [sig.name]
+            else:
+                names = [f"{sig.name}[{i + self.lsbs[sig.name]}]" for i in range(w)]
+                for n, bit in zip(names, value):
+                    self.b.output(n, bit)
+                ports[sig.name] = names
+        return ElaboratedModule(
+            mod.name, self.b.finish(), ports, dict(self.params), list(self.clocks)
+        )
+
+    # -- instance entry -----------------------------------------------------------------
+
+    def run_child(self) -> dict[str, VBits]:
+        self._setup()
+        return {
+            sig.name: self._output_value(sig)
+            for sig in self.mod.signals.values()
+            if sig.direction == "output"
+        }
+
+    def _collect_reg_targets(self) -> dict[str, str]:
+        targets: dict[str, str] = {}
+
+        def scan(stmts, clock):
+            for s in stmts:
+                if isinstance(s, NonBlocking):
+                    base = s.lhs
+                    while isinstance(base, Select):
+                        base = base.base
+                    if not isinstance(base, Ident):
+                        raise VerilogError("bad non-blocking target", s.line)
+                    prev = targets.setdefault(base.name, clock)
+                    if prev != clock:
+                        raise VerilogError(
+                            f"{base.name!r} written from two clock domains", s.line
+                        )
+                elif isinstance(s, If):
+                    scan(s.then, clock)
+                    scan(s.other, clock)
+        for blk in self.mod.always:
+            scan(blk.body, blk.clock)
+        return targets
+
+    # -- assigns + instances, in dependency order -----------------------------------------
+
+    def _elaborate_assigns(self) -> None:
+        pending: list = list(self.mod.assigns) + list(self.mod.instances)
+        while pending:
+            progressed = False
+            for item in list(pending):
+                if all(self._ready(n) for n in self._item_reads(item)):
+                    if isinstance(item, Assign):
+                        self._apply_assign(item)
+                    else:
+                        self._apply_instance(item)
+                    pending.remove(item)
+                    progressed = True
+            if not progressed:
+                names = sorted({
+                    n for item in pending for n in self._item_reads(item)
+                    if not self._ready(n)
+                })
+                undeclared = [n for n in names if n not in self.mod.signals
+                              and n not in self.params]
+                line = pending[0].line
+                if undeclared:
+                    raise VerilogError(f"undeclared signal(s): {undeclared}", line)
+                raise VerilogError(
+                    f"combinational loop or undriven signal(s): {names}", line
+                )
+
+    def _item_reads(self, item) -> set:
+        if isinstance(item, Assign):
+            return _reads(item.rhs)
+        # instance: reads of its *input* connections
+        child = self.library.get(item.module)
+        if child is None:
+            raise VerilogError(f"unknown module {item.module!r}", item.line)
+        clock_ports = _module_clock_ports(child, self.library)
+        reads: set = set()
+        for port, conn in item.conns.items():
+            sig = child.signals.get(port)
+            if sig is None:
+                raise VerilogError(
+                    f"{item.module} has no port {port!r}", item.line
+                )
+            if sig.direction == "input" and port not in clock_ports:
+                reads |= _reads(conn)
+        return reads
+
+    def _ready(self, name: str) -> bool:
+        if name in self.params or name in self.clock_sig_nets:
+            return True
+        return name in self.bits and all(v is not None for v in self.bits[name])
+
+    def _apply_assign(self, a: Assign) -> None:
+        base, lo, hi = self._lhs_range(a.lhs)
+        sig_w = self.widths[base]
+        rhs = self._eval(a.rhs, width=hi - lo + 1)
+        slot = self.bits.setdefault(base, [None] * sig_w)
+        for i in range(lo, hi + 1):
+            if slot[i] is not None:
+                raise VerilogError(f"{base}[{i}] has two drivers", a.line)
+            slot[i] = rhs[i - lo]
+
+    def _apply_instance(self, inst: Instance) -> None:
+        child_mod = self.library.get(inst.module)
+        if child_mod is None:
+            raise VerilogError(f"unknown module {inst.module!r}", inst.line)
+        child_params = {p: self._const(e) for p, e in inst.params.items()}
+        clock_ports = _module_clock_ports(child_mod, self.library)
+        input_bits: dict[str, VBits] = {}
+        clock_bindings: dict[str, NetName] = {}
+        for port, conn in inst.conns.items():
+            sig = child_mod.signals.get(port)
+            if sig is None:
+                raise VerilogError(f"{inst.module} has no port {port!r}", inst.line)
+            if sig.direction == "input":
+                if port in clock_ports:
+                    if not isinstance(conn, Ident) or conn.name not in self.clock_sig_nets:
+                        raise VerilogError(
+                            f"{inst.name}.{port} must be connected to a clock",
+                            inst.line,
+                        )
+                    clock_bindings[port] = self.clock_sig_nets[conn.name]
+                else:
+                    input_bits[port] = self._eval_natural(conn)
+        child = _Elaborator(
+            child_mod,
+            child_params,
+            self.library,
+            builder=self.b,
+            clock_bindings=clock_bindings,
+            input_bits=input_bits,
+        )
+        with self.b.scope(inst.name):
+            outputs = child.run_child()
+        for port, conn in inst.conns.items():
+            sig = child_mod.signals[port]
+            if sig.direction != "output":
+                continue
+            base, lo, hi = self._lhs_range(conn)
+            value = outputs[port]
+            slot = self.bits.setdefault(base, [None] * self.widths[base])
+            for i in range(lo, hi + 1):
+                if slot[i] is not None:
+                    raise VerilogError(f"{base}[{i}] has two drivers", inst.line)
+                src = value[i - lo] if i - lo < len(value) else self.b.const(0)
+                slot[i] = src
+
+    def _lhs_range(self, lhs: Expr) -> tuple[str, int, int]:
+        if isinstance(lhs, Ident):
+            name = lhs.name
+            self._check_signal(name, lhs.line)
+            return name, 0, self.widths[name] - 1
+        if isinstance(lhs, Select) and isinstance(lhs.base, Ident):
+            name = lhs.base.name
+            self._check_signal(name, lhs.line)
+            lsb_off = self.lsbs[name]
+            hi = self._const(lhs.msb) - lsb_off
+            lo = (self._const(lhs.lsb) - lsb_off) if lhs.lsb is not None else hi
+            if not (0 <= lo <= hi < self.widths[name]):
+                raise VerilogError(f"select out of range on {name!r}", lhs.line)
+            return name, lo, hi
+        raise VerilogError("unsupported assignment target", lhs.line)
+
+    def _check_signal(self, name: str, line: int) -> None:
+        if name not in self.mod.signals:
+            raise VerilogError(f"undeclared signal {name!r}", line)
+
+    # -- expression synthesis ----------------------------------------------------------
+
+    def _extend(self, bits: VBits, width: int) -> VBits:
+        if len(bits) >= width:
+            return bits[:width]
+        return bits + [self.b.const(0)] * (width - len(bits))
+
+    def _eval(self, e: Expr, width: int | None = None) -> VBits:
+        bits = self._eval_natural(e)
+        if width is not None:
+            bits = self._extend(bits, width)
+        return bits
+
+    def _eval_natural(self, e: Expr) -> VBits:
+        b = self.b
+        if isinstance(e, Literal):
+            w = e.width if e.width is not None else max(1, e.value.bit_length())
+            return [b.const((e.value >> i) & 1) for i in range(w)]
+        if isinstance(e, Ident):
+            if e.name in self.params:
+                v = self.params[e.name]
+                w = max(1, v.bit_length())
+                return [b.const((v >> i) & 1) for i in range(w)]
+            self._check_signal(e.name, e.line)
+            if not self._ready(e.name):
+                raise VerilogError(f"{e.name!r} read before it is driven", e.line)
+            return list(self.bits[e.name])
+        if isinstance(e, Select):
+            if not isinstance(e.base, Ident):
+                raise VerilogError("select base must be a signal", e.line)
+            name, lo, hi = self._lhs_range(e)
+            value = self._eval_natural(Ident(e.line, name))
+            return value[lo:hi + 1]
+        if isinstance(e, Concat):
+            out: VBits = []
+            for part in reversed(e.parts):   # rightmost part is the LSBs
+                out.extend(self._eval_natural(part))
+            return out
+        if isinstance(e, Repeat):
+            n = self._const(e.count)
+            unit = self._eval_natural(e.operand)
+            return [bit for _ in range(n) for bit in unit]
+        if isinstance(e, Unary):
+            if e.op == "~":
+                return [b.not_(x) for x in self._eval_natural(e.operand)]
+            operand = self._eval_natural(e.operand)
+            if e.op == "&":
+                return [b.and_n(operand)]
+            if e.op == "|":
+                return [b.or_n(operand)]
+            if e.op == "^":
+                return [b.xor_n(operand)]
+            if e.op == "-":
+                inv = [b.not_(x) for x in operand]
+                return b.add(inv, [b.const(0)] * len(inv), cin=b.const(1))[:len(inv)]
+            raise VerilogError(f"unary {e.op!r} unsupported", e.line)
+        if isinstance(e, Binary):
+            return self._eval_binary(e)
+        if isinstance(e, Ternary):
+            cond = self._reduce_bool(e.cond)
+            t = self._eval_natural(e.then)
+            f = self._eval_natural(e.other)
+            w = max(len(t), len(f))
+            t, f = self._extend(t, w), self._extend(f, w)
+            return [b.mux(cond, fv, tv) for tv, fv in zip(t, f)]
+        raise VerilogError("unsupported expression", e.line)
+
+    def _eval_binary(self, e: Binary) -> VBits:
+        b = self.b
+        op = e.op
+        if op in ("<<", ">>"):
+            amount = self._const(e.right)
+            value = self._eval_natural(e.left)
+            if op == "<<":
+                return [b.const(0)] * amount + value
+            return value[amount:] or [b.const(0)]
+        left = self._eval_natural(e.left)
+        right = self._eval_natural(e.right)
+        w = max(len(left), len(right))
+        left, right = self._extend(left, w), self._extend(right, w)
+        if op == "&":
+            return [b.and_(x, y) for x, y in zip(left, right)]
+        if op == "|":
+            return [b.or_(x, y) for x, y in zip(left, right)]
+        if op == "^":
+            return [b.xor_(x, y) for x, y in zip(left, right)]
+        if op == "==":
+            return [b.not_(b.or_n([b.xor_(x, y) for x, y in zip(left, right)]))]
+        if op == "!=":
+            return [b.or_n([b.xor_(x, y) for x, y in zip(left, right)])]
+        if op == "+":
+            return b.add(left, right)          # includes the carry-out bit
+        if op == "-":
+            # compute one bit wider so the borrow is observable, matching
+            # Verilog's (w+1)-bit context: bit w is 1 iff left < right
+            left = self._extend(left, w + 1)
+            inv = [b.not_(y) for y in self._extend(right, w + 1)]
+            return b.add(left, inv, cin=b.const(1))[: w + 1]
+        raise VerilogError(f"operator {op!r} unsupported", e.line)
+
+    def _reduce_bool(self, e: Expr) -> NetName:
+        bits = self._eval_natural(e)
+        return bits[0] if len(bits) == 1 else self.b.or_n(bits)
+
+    # -- always blocks --------------------------------------------------------------------
+
+    def _elaborate_always(self, blk: AlwaysFF) -> None:
+        current: dict[tuple[str, int], NetName] = {}
+        for s in self._body_targets(blk.body):
+            for i in range(self.widths[s]):
+                current[(s, i)] = self.bits[s][i]
+        final = self._exec(blk.body, dict(current))
+        for (name, i), d in final.items():
+            self.b.drive_ff(self.bits[name][i], d)
+
+    def _body_targets(self, stmts) -> set:
+        out = set()
+        for s in stmts:
+            if isinstance(s, NonBlocking):
+                base = s.lhs
+                while isinstance(base, Select):
+                    base = base.base
+                out.add(base.name)
+            elif isinstance(s, If):
+                out |= self._body_targets(s.then)
+                out |= self._body_targets(s.other)
+        return out
+
+    def _exec(self, stmts, state: dict) -> dict:
+        for s in stmts:
+            if isinstance(s, NonBlocking):
+                base, lo, hi = self._lhs_range(s.lhs)
+                rhs = self._eval(s.rhs, width=hi - lo + 1)
+                for i in range(lo, hi + 1):
+                    state[(base, i)] = rhs[i - lo]
+            elif isinstance(s, If):
+                cond = self._reduce_bool(s.cond)
+                then_state = self._exec(s.then, dict(state))
+                else_state = self._exec(s.other, dict(state))
+                for key in state:
+                    t, f = then_state[key], else_state[key]
+                    state[key] = t if t == f else self.b.mux(cond, f, t)
+        return state
+
+
+def _reads(e: Expr) -> set:
+    """Signal names an expression reads."""
+    if isinstance(e, Ident):
+        return {e.name}
+    if isinstance(e, Literal):
+        return set()
+    if isinstance(e, Unary):
+        return _reads(e.operand)
+    if isinstance(e, Binary):
+        return _reads(e.left) | _reads(e.right)
+    if isinstance(e, Ternary):
+        return _reads(e.cond) | _reads(e.then) | _reads(e.other)
+    if isinstance(e, Select):
+        return _reads(e.base)   # indices must be constant
+    if isinstance(e, Concat):
+        return set().union(*(_reads(p) for p in e.parts)) if e.parts else set()
+    if isinstance(e, Repeat):
+        return _reads(e.operand)
+    return set()
+
+
+# ---------------------------------------------------------------------------
+# public API
+# ---------------------------------------------------------------------------
+
+
+def parse_verilog(src: str) -> Module:
+    """Parse one module of the supported subset into an AST."""
+    parser = _Parser(tokenize(src))
+    mod = parser.parse_module()
+    if parser.peek() is not None:
+        raise VerilogError(
+            f"trailing input after endmodule: {parser.peek().text!r}",
+            parser.peek().line,
+        )
+    return mod
+
+
+def parse_verilog_library(src: str) -> dict[str, Module]:
+    """Parse every module in a source text."""
+    parser = _Parser(tokenize(src))
+    library: dict[str, Module] = {}
+    while parser.peek() is not None:
+        mod = parser.parse_module()
+        if mod.name in library:
+            raise VerilogError(f"duplicate module {mod.name!r}")
+        library[mod.name] = mod
+    if not library:
+        raise VerilogError("no modules in source")
+    return library
+
+
+def elaborate(
+    src_or_module: str | Module,
+    params: dict[str, int] | None = None,
+    *,
+    top: str | None = None,
+) -> ElaboratedModule:
+    """Parse (if needed) and elaborate a design into a flow-ready netlist.
+
+    Multi-module sources are supported; ``top`` names the root module
+    (default: the one no other module instantiates, or the last one).
+    """
+    if isinstance(src_or_module, Module):
+        library = {src_or_module.name: src_or_module}
+        top_mod = src_or_module
+    else:
+        library = parse_verilog_library(src_or_module)
+        if top is not None:
+            try:
+                top_mod = library[top]
+            except KeyError:
+                raise VerilogError(f"no module named {top!r}") from None
+        else:
+            instantiated = {
+                inst.module for mod in library.values() for inst in mod.instances
+            }
+            roots = [m for m in library.values() if m.name not in instantiated]
+            top_mod = roots[-1] if roots else list(library.values())[-1]
+    return _Elaborator(top_mod, params, library).run()

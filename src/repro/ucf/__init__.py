@@ -1,0 +1,5 @@
+"""UCF constraint front-end."""
+
+from .parser import UcfFile, load_ucf, parse_ucf, write_ucf
+
+__all__ = ["UcfFile", "load_ucf", "parse_ucf", "write_ucf"]

@@ -1,0 +1,95 @@
+"""Small shared helpers: bit packing, deterministic RNG, text tables.
+
+The bitstream code paths operate on numpy ``uint32`` arrays (one row per
+configuration frame); the helpers here centralise the bit-numbering
+convention so it is defined in exactly one place:
+
+* Within a frame, bit ``b`` lives in word ``b // 32`` at bit position
+  ``31 - (b % 32)`` — most-significant bit first, matching the order in
+  which a Virtex-class device shifts configuration data in.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+WORD_BITS = 32
+
+
+def words_for_bits(nbits: int) -> int:
+    """Number of 32-bit words needed to hold ``nbits`` bits."""
+    return (nbits + WORD_BITS - 1) // WORD_BITS
+
+
+def get_bit(words: np.ndarray, bit: int) -> int:
+    """Read bit ``bit`` (MSB-first order) from a uint32 word array."""
+    w, p = divmod(bit, WORD_BITS)
+    return int((int(words[w]) >> (31 - p)) & 1)
+
+
+def set_bit(words: np.ndarray, bit: int, value: int) -> None:
+    """Write bit ``bit`` (MSB-first order) in a uint32 word array in place."""
+    w, p = divmod(bit, WORD_BITS)
+    mask = np.uint32(1 << (31 - p))
+    if value:
+        words[w] |= mask
+    else:
+        words[w] &= ~mask
+
+
+def pack_bits(bits: Sequence[int]) -> np.ndarray:
+    """Pack a bit sequence (MSB-first) into a uint32 array."""
+    out = np.zeros(words_for_bits(len(bits)), dtype=np.uint32)
+    for i, b in enumerate(bits):
+        if b:
+            set_bit(out, i, 1)
+    return out
+
+
+def unpack_bits(words: np.ndarray, nbits: int) -> list[int]:
+    """Unpack the first ``nbits`` bits (MSB-first) of a uint32 array."""
+    return [get_bit(words, i) for i in range(nbits)]
+
+
+def words_to_bytes(words: np.ndarray) -> bytes:
+    """Serialize uint32 words big-endian (network order, as on SelectMAP)."""
+    return np.asarray(words, dtype=">u4").tobytes()
+
+
+def bytes_to_words(data: bytes) -> np.ndarray:
+    """Inverse of :func:`words_to_bytes`."""
+    if len(data) % 4:
+        raise ValueError(f"byte stream length {len(data)} is not word aligned")
+    return np.frombuffer(data, dtype=">u4").astype(np.uint32)
+
+
+def make_rng(seed: int | None) -> np.random.Generator:
+    """Deterministic RNG factory used by the placer/workload generators."""
+    return np.random.default_rng(0xC0FFEE if seed is None else seed)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an ASCII table (used by benchmark harnesses and the CLI)."""
+    # cells must stay single-line for the row count to hold
+    srows = [[" ".join(str(c).split("\n")) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in srows)
+    return "\n".join(lines)
+
+
+def si_bytes(n: int | float) -> str:
+    """Human-readable byte count (e.g. ``70.3 KB``)."""
+    n = float(n)
+    for unit in ("B", "KB", "MB", "GB"):
+        if n < 1024.0 or unit == "GB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    raise AssertionError("unreachable")

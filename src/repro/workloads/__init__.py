@@ -1,0 +1,17 @@
+"""Workload generators and multi-region designs for examples/benchmarks."""
+
+from .designs import (
+    RegionPlan,
+    build_base_netlist,
+    figure4_plan,
+    make_project,
+    slab_regions,
+    version_name,
+)
+from .generators import GENERATORS, ModuleSpec, attach_module, build_module_netlist
+
+__all__ = [
+    "GENERATORS", "ModuleSpec", "RegionPlan", "attach_module",
+    "build_base_netlist", "build_module_netlist", "figure4_plan",
+    "make_project", "slab_regions", "version_name",
+]

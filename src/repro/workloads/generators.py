@@ -1,0 +1,294 @@
+"""Parameterized module generators — the designs the evaluation runs on.
+
+Each generator attaches one sub-module to a :class:`NetlistBuilder` under a
+region prefix.  Modules are the kinds the reconfigurable-computing
+literature of the paper's era used: counters (up/down/step variants),
+LFSR pseudo-random generators (tap-set variants), one-hot rotators,
+bit-serial pattern matchers (the string-matching application of the
+paper's reference [5]), parity/CRC reducers, accumulators, and a 7-segment
+decoder.
+
+The crucial property for JPG: **all variants of a kind expose the same
+ports**, so replacing one variant with another preserves the module
+interface (the paper's §3.2.2 assumption, enforced by ``core.verify``).
+Port names are derived from the region name only — never from the variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NetlistError
+from ..netlist.builder import NetName, NetlistBuilder
+
+#: Registry of generator functions by kind.
+GENERATORS: dict[str, "type[ModuleGen]"] = {}
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """What to instantiate in a region."""
+
+    kind: str
+    width: int = 4
+    variant: str = ""
+    params: tuple[tuple[str, object], ...] = ()
+
+    def param(self, name: str, default=None):
+        return dict(self.params).get(name, default)
+
+    def describe(self) -> str:
+        v = f"/{self.variant}" if self.variant else ""
+        return f"{self.kind}{v}(w={self.width})"
+
+
+class ModuleGen:
+    """Base class: builds one module's logic + top-level ports."""
+
+    kind = ""
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        if cls.kind:
+            GENERATORS[cls.kind] = cls
+
+    def __init__(self, spec: ModuleSpec):
+        self.spec = spec
+
+    # exposed port lists (filled by build)
+    inputs: list[str]
+    outputs: list[str]
+
+    def build(self, b: NetlistBuilder, region: str, clk: NetName) -> None:
+        raise NotImplementedError
+
+
+def attach_module(b: NetlistBuilder, region: str, spec: ModuleSpec, clk: NetName) -> ModuleGen:
+    """Instantiate a module in ``region`` (cells named ``<region>/...``,
+    ports named ``<region>_...``)."""
+    try:
+        gen_cls = GENERATORS[spec.kind]
+    except KeyError:
+        raise NetlistError(
+            f"unknown module kind {spec.kind!r}; known: {sorted(GENERATORS)}"
+        ) from None
+    gen = gen_cls(spec)
+    gen.inputs, gen.outputs = [], []
+    gen.build(b, region, clk)
+    return gen
+
+
+# ---------------------------------------------------------------------------
+# generators
+# ---------------------------------------------------------------------------
+
+
+class CounterGen(ModuleGen):
+    """Binary counter; variants: "up" (default), "down", "step3" (adds 3)."""
+
+    kind = "counter"
+
+    def build(self, b: NetlistBuilder, region: str, clk: NetName) -> None:
+        w = self.spec.width
+        variant = self.spec.variant or "up"
+        with b.scope(region):
+            qs = [b.new_ff(clk, name=f"q{i}_reg") for i in range(w)]
+            if variant in ("up", "down"):
+                bits = [b.not_(q) for q in qs] if variant == "down" else qs
+                carry = b.const(1)
+                for i in range(w):
+                    b.drive_ff(qs[i], b.xor_(qs[i], carry))
+                    if i < w - 1:
+                        carry = b.and_(bits[i], carry)
+            elif variant.startswith("step"):
+                step = int(variant[4:])
+                step_nets = [b.const((step >> i) & 1) for i in range(w)]
+                total = b.add(qs, step_nets)
+                for i in range(w):
+                    b.drive_ff(qs[i], total[i])
+            else:
+                raise NetlistError(f"counter variant {variant!r} unknown")
+        for i, q in enumerate(qs):
+            port = f"{region}_o{i}"
+            b.output(port, q)
+            self.outputs.append(port)
+
+
+class LfsrGen(ModuleGen):
+    """Fibonacci LFSR; the variant names the tap set ("taps_a"/"taps_b")."""
+
+    kind = "lfsr"
+
+    TAPS = {
+        "taps_a": (0, 1),        # x^w + ... minimal default
+        "taps_b": (0, 2),
+        "taps_c": (0, 1, 2, 3),
+    }
+
+    def build(self, b: NetlistBuilder, region: str, clk: NetName) -> None:
+        w = self.spec.width
+        taps = self.TAPS.get(self.spec.variant or "taps_a")
+        if taps is None:
+            raise NetlistError(f"lfsr variant {self.spec.variant!r} unknown")
+        with b.scope(region):
+            # seed 1 in the low register so the LFSR never starts stuck at 0
+            qs = [b.new_ff(clk, init=1 if i == 0 else 0, name=f"s{i}_reg") for i in range(w)]
+            fb = b.xor_n([qs[t] for t in taps if t < w])
+            b.drive_ff(qs[0], fb)
+            for i in range(1, w):
+                b.drive_ff(qs[i], qs[i - 1])
+        for i, q in enumerate(qs):
+            port = f"{region}_o{i}"
+            b.output(port, q)
+            self.outputs.append(port)
+
+
+class RingGen(ModuleGen):
+    """One-hot rotator; variants: "left" (default), "right"."""
+
+    kind = "ring"
+
+    def build(self, b: NetlistBuilder, region: str, clk: NetName) -> None:
+        w = self.spec.width
+        variant = self.spec.variant or "left"
+        with b.scope(region):
+            qs = [b.new_ff(clk, init=1 if i == 0 else 0, name=f"r{i}_reg") for i in range(w)]
+            for i in range(w):
+                src = qs[(i - 1) % w] if variant == "left" else qs[(i + 1) % w]
+                b.drive_ff(qs[i], b.buf(src))
+        for i, q in enumerate(qs):
+            port = f"{region}_o{i}"
+            b.output(port, q)
+            self.outputs.append(port)
+
+
+class MatcherGen(ModuleGen):
+    """Bit-serial pattern matcher (the string-matching RC application).
+
+    Shifts ``<region>_din`` through a ``width``-deep register chain and
+    raises ``<region>_match`` when the window equals the variant's bit
+    pattern.  Reconfiguring the region changes the pattern — the classic
+    use of partial reconfiguration in the paper's reference [5].
+    """
+
+    kind = "matcher"
+
+    def build(self, b: NetlistBuilder, region: str, clk: NetName) -> None:
+        w = self.spec.width
+        pattern = self.spec.variant or "1" * w
+        if len(pattern) != w or any(ch not in "01" for ch in pattern):
+            raise NetlistError(
+                f"matcher pattern {pattern!r} must be {w} bits of 0/1"
+            )
+        din = b.input(f"{region}_din")
+        self.inputs.append(f"{region}_din")
+        with b.scope(region):
+            stage = din
+            taps: list[NetName] = []
+            for i in range(w):
+                stage = b.reg(stage, clk, name=f"sh{i}_reg")
+                taps.append(stage)
+            # taps[0] is the most recent bit; pattern[0] matches the oldest
+            terms = []
+            for i, tap in enumerate(reversed(taps)):
+                want = pattern[i]
+                terms.append(tap if want == "1" else b.not_(tap))
+            match = b.and_n(terms)
+            match_q = b.reg(match, clk, name="match_reg")
+        b.output(f"{region}_match", match_q)
+        self.outputs.append(f"{region}_match")
+
+
+class AccumulatorGen(ModuleGen):
+    """Accumulates a parallel input every cycle; variant "sub" subtracts
+    (two's-complement add of the inverted input with carry-in 1)."""
+
+    kind = "accumulator"
+
+    def build(self, b: NetlistBuilder, region: str, clk: NetName) -> None:
+        w = self.spec.width
+        variant = self.spec.variant or "add"
+        ins = []
+        for i in range(w):
+            port = f"{region}_in{i}"
+            ins.append(b.input(port))
+            self.inputs.append(port)
+        with b.scope(region):
+            qs = [b.new_ff(clk, name=f"acc{i}_reg") for i in range(w)]
+            if variant == "sub":
+                addend = [b.not_(x) for x in ins]
+                total = b.add(qs, addend, cin=b.const(1))
+            else:
+                total = b.add(qs, ins)
+            for i in range(w):
+                b.drive_ff(qs[i], total[i])
+        for i, q in enumerate(qs):
+            port = f"{region}_o{i}"
+            b.output(port, q)
+            self.outputs.append(port)
+
+
+class ParityGen(ModuleGen):
+    """Registered parity tree over a parallel input; variant "odd" inverts."""
+
+    kind = "parity"
+
+    def build(self, b: NetlistBuilder, region: str, clk: NetName) -> None:
+        w = self.spec.width
+        ins = []
+        for i in range(w):
+            port = f"{region}_in{i}"
+            ins.append(b.input(port))
+            self.inputs.append(port)
+        with b.scope(region):
+            p = b.xor_n(ins)
+            if (self.spec.variant or "even") == "odd":
+                p = b.not_(p)
+            q = b.reg(p, clk, name="par_reg")
+        b.output(f"{region}_p", q)
+        self.outputs.append(f"{region}_p")
+
+
+class SevenSegGen(ModuleGen):
+    """4-bit to 7-segment decoder; variant "hex" extends to A-F, the
+    default blanks codes above 9."""
+
+    kind = "sevenseg"
+
+    SEGMENTS = {
+        0: 0x3F, 1: 0x06, 2: 0x5B, 3: 0x4F, 4: 0x66, 5: 0x6D, 6: 0x7D,
+        7: 0x07, 8: 0x7F, 9: 0x6F, 10: 0x77, 11: 0x7C, 12: 0x39,
+        13: 0x5E, 14: 0x79, 15: 0x71,
+    }
+
+    def build(self, b: NetlistBuilder, region: str, clk: NetName) -> None:
+        hex_mode = (self.spec.variant or "dec") == "hex"
+        ins = []
+        for i in range(4):
+            port = f"{region}_in{i}"
+            ins.append(b.input(port))
+            self.inputs.append(port)
+        with b.scope(region):
+            seg_nets = []
+            for seg in range(7):
+                init = 0
+                for code in range(16):
+                    value = self.SEGMENTS[code] if (hex_mode or code < 10) else 0
+                    if (value >> seg) & 1:
+                        init |= 1 << code
+                seg_nets.append(b.lut(init, *ins, name=f"seg{seg}"))
+        for seg, net in enumerate(seg_nets):
+            port = f"{region}_seg{seg}"
+            b.output(port, net)
+            self.outputs.append(port)
+
+
+def build_module_netlist(
+    name: str, region: str, spec: ModuleSpec, *, clock_port: str = "clk"
+):
+    """A standalone phase-2 project: just this module, same ports as the
+    base design uses for its region."""
+    b = NetlistBuilder(name)
+    clk = b.clock(clock_port)
+    attach_module(b, region, spec, clk)
+    return b.finish()

@@ -1,0 +1,7 @@
+"""XDL front-end: the ASCII implementation format JPG consumes (the
+equivalent of the Xilinx ``xdl`` utility's output)."""
+
+from .parser import XdlParser, load_xdl, parse_xdl
+from .writer import physical_init, save_xdl, write_xdl
+
+__all__ = ["XdlParser", "load_xdl", "parse_xdl", "physical_init", "save_xdl", "write_xdl"]

@@ -1,0 +1,121 @@
+"""XDL writer: the ASCII twin of the NCD database.
+
+Produces the statement shapes the paper quotes (§3.2.2): ``design``,
+``inst ... "SLICE", placed R3C23 CLB_R3C23.S0, cfg "..."``, and ``net``
+statements with ``outpin``/``inpin``/``pip`` clauses.  Like real XDL the
+text is *physical*: LUT truth tables are written post pin-assignment
+(``pin_map`` already applied), and net pins are physical slice pins
+(``F3``), so a parsed design reproduces the same frames bit for bit.
+"""
+
+from __future__ import annotations
+
+import io
+
+from ..devices import slice_site_name
+from ..devices.wires import PIP_TABLE
+from ..errors import FlowError
+from ..flow.ncd import Bel, NcdDesign, SliceComp
+from ..netlist.library import expand_init
+
+
+def _slice_cfg(comp: SliceComp) -> str:
+    """The cfg attribute string of a SLICE inst."""
+    parts: list[str] = []
+    for bel in (comp.bels["F"], comp.bels["G"]):
+        if bel.lut_cell is not None:
+            init = physical_init(bel)
+            parts.append(f"{bel.letter}:{bel.lut_cell}:#LUT:0x{init:04X}")
+        if bel.ff_cell is not None:
+            which = "FFX" if bel.letter == "F" else "FFY"
+            parts.append(f"{which}:{bel.ff_cell}:#FF")
+            parts.append(f"INIT{'X' if bel.letter == 'F' else 'Y'}::{bel.ff_init}")
+            dmux = "DXMUX" if bel.letter == "F" else "DYMUX"
+            parts.append(f"{dmux}::{0 if bel.ff_d_from_lut else 1}")
+    has_ff = any(b.ff_cell for b in comp.bels.values())
+    if has_ff:
+        sync = any(b.ff_cell and b.ff_sync for b in comp.bels.values())
+        parts.append(f"SYNC_ATTR::{'SYNC' if sync else 'ASYNC'}")
+        parts.append(f"CEMUX::{'CE' if comp.ce_net else '1'}")
+        parts.append(f"SRMUX::{'SR' if comp.sr_net else '0'}")
+        parts.append("CKINV::0")
+    return " ".join(parts)
+
+
+def physical_init(bel: Bel) -> int:
+    """LUT truth table over physical pins F1..F4 (pin_map applied)."""
+    if bel.lut_cell is None:
+        return 0
+    pin_map = bel.pin_map or list(range(bel.lut_width))
+    if len(pin_map) != bel.lut_width or -1 in pin_map:
+        raise FlowError(f"bel {bel.lut_cell}: incomplete pin map {pin_map}")
+    return expand_init(bel.lut_init, bel.lut_width, 4, pin_map)
+
+
+def write_xdl(design: NcdDesign) -> str:
+    """Serialize a placed (and possibly routed) design to XDL text."""
+    out = io.StringIO()
+    part = design.part.lower().replace("xcv", "v") + "bg432"
+    out.write(f'design "{design.name}" {part} v1.0 ;\n\n')
+
+    for comp in design.slices.values():
+        if comp.site is None:
+            raise FlowError(f"cannot write XDL for unplaced component {comp.name}")
+        r, c, s = comp.site
+        rc = f"R{r + 1}C{c + 1}"
+        out.write(
+            f'inst "{comp.name}" "SLICE", placed {rc} {slice_site_name(r, c, s)},\n'
+            f'  cfg "{_slice_cfg(comp)}"\n  ;\n'
+        )
+    for iob in design.iobs.values():
+        if iob.site is None:
+            raise FlowError(f"cannot write XDL for unplaced IOB {iob.name}")
+        dirn = "I" if iob.direction == "in" else "O"
+        out.write(
+            f'inst "{iob.name}" "IOB", placed {iob.site.name} {iob.site.name},\n'
+            f'  cfg "IOMUX::{dirn} PORT::{iob.port}"\n  ;\n'
+        )
+    for g in design.gclks.values():
+        out.write(
+            f'inst "{g.name}" "GCLK", placed GCLKPAD{g.index} GCLKPAD{g.index},\n'
+            f'  cfg "INDEX::{g.index} PORT::{g.port}"\n  ;\n'
+        )
+    out.write("\n")
+
+    for net in design.nets.values():
+        kind = " clk" if net.is_clock else ""
+        out.write(f'net "{net.name}"{kind},\n')
+        out.write(f'  outpin "{net.source.comp}" {_pin_text(design, net.source.comp, net.source.pin, None)},\n')
+        for sink in net.sinks:
+            pin = _sink_pin_text(design, sink)
+            out.write(f'  inpin "{sink.ref.comp}" {pin},\n')
+        for r, c, p in net.pips:
+            pip = PIP_TABLE[p]
+            out.write(f"  pip R{r + 1}C{c + 1} {pip.src_name} -> {pip.dst_name},\n")
+        out.write("  ;\n")
+    return out.getvalue()
+
+
+def _pin_text(design: NcdDesign, comp: str, pin: str, phys: str | None) -> str:
+    if pin in ("PAD_IN", "PAD_OUT"):
+        return "PAD"
+    if pin == "GCLK":
+        return "GCLK"
+    return pin
+
+
+def _sink_pin_text(design: NcdDesign, sink) -> str:
+    ref = sink.ref
+    if ref.pin in ("F", "G"):
+        if sink.phys_pin is None:
+            raise FlowError(
+                f"cannot write XDL for unrouted LUT sink {ref.comp}.{ref.pin}"
+            )
+        # phys_pin is e.g. "S0_F3" -> XDL pin "F3"
+        return sink.phys_pin.split("_", 1)[1]
+    return _pin_text(design, ref.comp, ref.pin, sink.phys_pin)
+
+
+def save_xdl(design: NcdDesign, path: str) -> None:
+    with open(path, "w") as f:
+        f.write(write_xdl(design))

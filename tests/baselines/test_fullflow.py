@@ -1,0 +1,50 @@
+"""Conventional full-flow baseline tests."""
+
+import pytest
+
+from repro.baselines.fullflow import (
+    build_combination_netlist,
+    enumerate_combinations,
+    run_full_flow_baseline,
+)
+
+
+class TestEnumeration:
+    def test_combination_count(self, two_region_plans):
+        combos = enumerate_combinations(two_region_plans)
+        assert len(combos) == 2 * 2
+        assert all(set(c) == {"r1", "r2"} for c in combos)
+
+    def test_figure4_count(self):
+        from repro.workloads import figure4_plan
+
+        combos = enumerate_combinations(figure4_plan())
+        assert len(combos) == 3 * 3 * 4 == 36
+
+    def test_combination_netlist_contains_both_modules(self, two_region_plans):
+        choice = {"r1": "down", "r2": "right"}
+        nl = build_combination_netlist("c", two_region_plans, choice)
+        prefixes = {name.split("/", 1)[0] for name in nl.cells if "/" in name}
+        assert prefixes == {"r1", "r2"}
+
+
+class TestBaselineRuns:
+    def test_limited_run(self, two_region_plans):
+        result = run_full_flow_baseline("XCV50", two_region_plans, limit=2, seed=1)
+        assert result.count == 2
+        assert result.total_bytes == sum(c.bitfile.size for c in result.combinations)
+        assert result.total_flow_seconds > 0
+
+    def test_each_combination_is_complete_bitstream(self, two_region_plans):
+        from repro.bitstream.reader import parse_bitstream
+        from repro.devices import get_device
+
+        result = run_full_flow_baseline("XCV50", two_region_plans, limit=1, seed=1)
+        dev = get_device("XCV50")
+        _, stats = parse_bitstream(dev, result.combinations[0].bitfile.config_bytes)
+        assert stats.frames_written == dev.geometry.total_frames
+        assert stats.started
+
+    def test_labels(self, two_region_plans):
+        result = run_full_flow_baseline("XCV50", two_region_plans, limit=1, seed=1)
+        assert "r1:" in result.combinations[0].label

@@ -1,0 +1,136 @@
+"""PARBIT baseline tests."""
+
+import pytest
+
+from repro.baselines.parbit import (
+    ParbitError,
+    ParbitOptions,
+    block_frames,
+    extract_region,
+    parbit,
+    parse_options,
+)
+from repro.bitstream.reader import apply_bitstream
+from repro.devices import get_device
+from repro.devices.geometry import Side
+from repro.errors import ParseError
+
+
+OPTIONS = """
+# extract the middle of the chip
+input base.bit
+target v50
+block clb 3 12
+startup no
+"""
+
+
+class TestOptionsParsing:
+    def test_basic(self):
+        opts = parse_options(OPTIONS)
+        assert opts.target == "v50"
+        assert opts.clb_blocks == [(2, 11)]
+        assert not opts.startup
+
+    def test_iob_blocks(self):
+        opts = parse_options("block iob left\nblock iob right\n")
+        assert opts.iob_sides == [Side.LEFT, Side.RIGHT]
+
+    def test_startup_yes(self):
+        assert parse_options("block clb 1 2\nstartup yes\n").startup
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "block clb 1",            # missing end
+            "block clb 0 5",          # columns are 1-based
+            "block clb 5 2",          # inverted
+            "block iob top",          # only L/R IOB columns exist
+            "startup maybe",
+            "frobnicate 1",
+            "target",                 # missing value
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse_options(bad)
+
+    def test_no_blocks_rejected(self):
+        with pytest.raises(ParbitError):
+            parse_options("target v50\n")
+
+
+class TestBlockFrames:
+    def test_clb_block(self):
+        dev = get_device("XCV50")
+        frames = block_frames(dev, ParbitOptions(clb_blocks=[(2, 4)]))
+        assert len(frames) == 3 * 48
+
+    def test_iob_block(self):
+        dev = get_device("XCV50")
+        frames = block_frames(dev, ParbitOptions(clb_blocks=[], iob_sides=[Side.LEFT]))
+        assert len(frames) == 54
+
+    def test_out_of_range_block(self):
+        dev = get_device("XCV50")
+        with pytest.raises(ParbitError, match="exceeds"):
+            block_frames(dev, ParbitOptions(clb_blocks=[(20, 30)]))
+
+
+class TestExtraction:
+    def test_extracted_partial_reproduces_region(self, counter_bitfile, counter_frames):
+        partial = parbit(counter_bitfile, OPTIONS)
+        blank = counter_frames.clone()
+        blank.data[:] = 0
+        apply_bitstream(blank, partial.config_bytes)
+        dev = get_device("XCV50")
+        g = dev.geometry
+        for col in range(24):
+            base = g.frame_base(g.major_of_clb_col(col))
+            for f in range(base, base + 48):
+                if 2 <= col <= 11:
+                    assert blank.frames_equal(counter_frames, f)
+                else:
+                    assert not blank.data[f].any()
+
+    def test_partial_smaller_than_full(self, counter_bitfile):
+        partial = parbit(counter_bitfile, OPTIONS)
+        assert partial.size < counter_bitfile.size / 2
+
+    def test_target_mismatch_rejected(self, counter_bitfile):
+        with pytest.raises(ParbitError, match="target"):
+            parbit(counter_bitfile, "target v300\nblock clb 1 2\n")
+
+    def test_raw_bytes_need_device(self, counter_bitfile):
+        with pytest.raises(ParbitError, match="device"):
+            parbit(counter_bitfile.config_bytes, OPTIONS)
+
+    def test_incomplete_input_rejected(self, counter_frames):
+        from repro.bitstream.assembler import partial_stream
+
+        dev = get_device("XCV50")
+        not_full = partial_stream(counter_frames, range(48))
+        with pytest.raises(ParbitError, match="complete"):
+            parbit(not_full, OPTIONS, device=dev)
+
+    def test_extract_region_shortcut(self, counter_bitfile, counter_frames):
+        dev = get_device("XCV50")
+        bf = extract_region(counter_bitfile, dev, 2, 11)
+        applied = counter_frames.clone()
+        apply_bitstream(applied, bf.config_bytes)
+        assert applied == counter_frames  # same content, fixpoint
+
+    def test_faithfully_copies_whatever_is_there(self, counter_bitfile, counter_frames):
+        """PARBIT has no design knowledge: it cannot clear stale logic —
+        the key behavioural difference from JPG."""
+        from repro.devices.resources import SLICE
+        from repro.jbits import JBits
+
+        jb = JBits("XCV50")
+        jb.read(counter_bitfile)
+        jb.set(4, 5, SLICE[0].F, 0xDEAD)  # "stale" logic inside the block
+        modified = jb.write()
+        partial = parbit(modified, OPTIONS, device=get_device("XCV50"))
+        target = counter_frames.clone()
+        apply_bitstream(target, partial.config_bytes)
+        assert target.get_field(4, 5, SLICE[0].F) == 0xDEAD

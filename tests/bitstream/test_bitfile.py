@@ -1,0 +1,55 @@
+"""``.bit`` container tests."""
+
+import pytest
+
+from repro.bitstream.bitfile import MAGIC, BitFile
+from repro.errors import BitfileError
+
+
+class TestRoundtrip:
+    def test_basic(self):
+        bf = BitFile("base.ncd", "v300bg432", "2002/04/15", "12:00:00", b"\x01\x02\x03")
+        parsed = BitFile.from_bytes(bf.to_bytes())
+        assert parsed == bf
+
+    def test_empty_payload(self):
+        bf = BitFile("x.ncd", "v50bg256")
+        assert BitFile.from_bytes(bf.to_bytes()).config_bytes == b""
+
+    def test_save_load(self, tmp_path):
+        path = str(tmp_path / "t.bit")
+        bf = BitFile("d.ncd", "v50bg256", config_bytes=b"abcd" * 100)
+        bf.save(path)
+        assert BitFile.load(path) == bf
+
+    def test_size_property(self):
+        assert BitFile("a", "b", config_bytes=b"12345").size == 5
+
+    def test_magic_prefix(self):
+        assert BitFile("a", "b").to_bytes().startswith(MAGIC)
+
+
+class TestMalformed:
+    def test_bad_magic(self):
+        with pytest.raises(BitfileError):
+            BitFile.from_bytes(b"not a bitfile at all" * 3)
+
+    def test_truncated_config(self):
+        raw = bytearray(BitFile("a", "b", config_bytes=b"\x00" * 64).to_bytes())
+        with pytest.raises(BitfileError):
+            BitFile.from_bytes(bytes(raw[:-10]))
+
+    def test_unknown_tag(self):
+        raw = bytearray(BitFile("a", "b").to_bytes())
+        # the 'a' tag follows MAGIC; corrupt it
+        raw[len(MAGIC)] = ord("z")
+        with pytest.raises(BitfileError):
+            BitFile.from_bytes(bytes(raw))
+
+    def test_missing_mandatory_fields(self):
+        with pytest.raises(BitfileError):
+            BitFile.from_bytes(MAGIC)  # ends before any field
+
+    def test_truncated_field_length(self):
+        with pytest.raises(BitfileError):
+            BitFile.from_bytes(MAGIC + b"a\x00")

@@ -1,0 +1,86 @@
+"""Configuration CRC tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitstream.crc import ConfigCrc, crc_of
+
+
+class TestBasics:
+    def test_reset_state_is_zero(self):
+        assert ConfigCrc().value == 0
+
+    def test_update_changes_value(self):
+        crc = ConfigCrc()
+        crc.update_word(2, 0xDEADBEEF)
+        assert crc.value != 0
+
+    def test_deterministic(self):
+        a, b = ConfigCrc(), ConfigCrc()
+        for w in (0x0, 0xFFFFFFFF, 0x12345678):
+            a.update_word(2, w)
+            b.update_word(2, w)
+        assert a.value == b.value
+
+    def test_reset(self):
+        crc = ConfigCrc()
+        crc.update_word(1, 42)
+        crc.reset()
+        assert crc.value == 0
+
+    def test_sixteen_bits(self):
+        crc = ConfigCrc()
+        for i in range(100):
+            crc.update_word(i % 16, 0xA5A5A5A5 ^ i)
+            assert 0 <= crc.value < (1 << 16)
+
+    def test_address_matters(self):
+        a, b = ConfigCrc(), ConfigCrc()
+        a.update_word(1, 0x1234)
+        b.update_word(2, 0x1234)
+        assert a.value != b.value
+
+    def test_data_order_matters(self):
+        a, b = ConfigCrc(), ConfigCrc()
+        a.update_word(2, 1)
+        a.update_word(2, 2)
+        b.update_word(2, 2)
+        b.update_word(2, 1)
+        assert a.value != b.value
+
+
+class TestBurst:
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFFFFFF), max_size=40),
+           st.integers(min_value=0, max_value=15))
+    def test_property_burst_equals_words(self, words, addr):
+        one = ConfigCrc()
+        for w in words:
+            one.update_word(addr, w)
+        burst = ConfigCrc()
+        burst.update_words(addr, words)
+        assert one.value == burst.value
+
+    def test_crc_of_helper(self):
+        stream = [(4, 7), (1, 0), (2, 0xFFFF0000)]
+        acc = ConfigCrc()
+        for a, w in stream:
+            acc.update_word(a, w)
+        assert crc_of(stream) == acc.value
+
+
+class TestErrorDetection:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=0xFFFFFFFF), min_size=1, max_size=30),
+        st.data(),
+    )
+    def test_property_single_bit_flip_detected(self, words, data):
+        """Any single-bit corruption must change the CRC (guaranteed for
+        CRC-16 over short bursts)."""
+        idx = data.draw(st.integers(min_value=0, max_value=len(words) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=31))
+        corrupted = list(words)
+        corrupted[idx] ^= 1 << bit
+        a, b = ConfigCrc(), ConfigCrc()
+        a.update_words(2, words)
+        b.update_words(2, corrupted)
+        assert a.value != b.value

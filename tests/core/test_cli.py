@@ -1,0 +1,224 @@
+"""CLI tests (run in-process through main())."""
+
+import pytest
+
+from repro.core.cli import main
+from repro.xdl import save_xdl
+
+
+@pytest.fixture()
+def artifacts(tmp_path, demo_project):
+    base_bit = tmp_path / "base.bit"
+    demo_project.base_bitfile.save(str(base_bit))
+    base_ncd = tmp_path / "base.ncd"
+    demo_project.base_flow.design.save(str(base_ncd))
+    mv = demo_project.versions[("r1", "down")]
+    xdl = tmp_path / "down.xdl"
+    xdl.write_text(mv.xdl)
+    ucf = tmp_path / "down.ucf"
+    ucf.write_text(mv.ucf)
+    return {
+        "base_bit": str(base_bit),
+        "base_ncd": str(base_ncd),
+        "xdl": str(xdl),
+        "ucf": str(ucf),
+        "tmp": tmp_path,
+    }
+
+
+class TestInfo:
+    def test_info(self, capsys):
+        assert main(["info", "XCV300"]) == 0
+        out = capsys.readouterr().out
+        assert "32 x 48" in out and "frames" in out
+
+    def test_unknown_part(self):
+        with pytest.raises(SystemExit):
+            main(["info", "XCV9000"])
+
+
+class TestGenerate:
+    def test_generate_from_xdl_ucf(self, artifacts, capsys):
+        out = str(artifacts["tmp"] / "partial.bit")
+        rc = main([
+            "generate", "-p", "XCV50",
+            "--base", artifacts["base_bit"],
+            "--base-ncd", artifacts["base_ncd"],
+            "--xdl", artifacts["xdl"],
+            "--ucf", artifacts["ucf"],
+            "-o", out,
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "wrote" in text and "%" in text
+        from repro.bitstream.bitfile import BitFile
+
+        assert BitFile.load(out).size > 1000
+
+    def test_generate_explicit_region(self, artifacts, demo_project, capsys):
+        out = str(artifacts["tmp"] / "partial2.bit")
+        region = demo_project.regions["r1"].to_ucf()
+        rc = main([
+            "generate", "-p", "XCV50",
+            "--base", artifacts["base_bit"],
+            "--xdl", artifacts["xdl"],
+            "--region", region,
+            "-o", out,
+        ])
+        assert rc == 0
+
+    def test_generate_frame_granularity(self, artifacts, capsys):
+        out = str(artifacts["tmp"] / "p3.bit")
+        rc = main([
+            "generate", "-p", "XCV50",
+            "--base", artifacts["base_bit"],
+            "--xdl", artifacts["xdl"],
+            "--ucf", artifacts["ucf"],
+            "--granularity", "frame",
+            "-o", out,
+        ])
+        assert rc == 0
+
+    def test_missing_region_is_error(self, artifacts, capsys):
+        rc = main([
+            "generate", "-p", "XCV50",
+            "--base", artifacts["base_bit"],
+            "--xdl", artifacts["xdl"],
+            "-o", str(artifacts["tmp"] / "x.bit"),
+        ])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestMergeInspect:
+    def test_merge_then_inspect(self, artifacts, capsys):
+        partial = str(artifacts["tmp"] / "p.bit")
+        main([
+            "generate", "-p", "XCV50",
+            "--base", artifacts["base_bit"],
+            "--xdl", artifacts["xdl"],
+            "--ucf", artifacts["ucf"],
+            "-o", partial,
+        ])
+        merged = str(artifacts["tmp"] / "merged.bit")
+        assert main(["merge", "--base", artifacts["base_bit"],
+                     "--partial", partial, "-o", merged]) == 0
+        capsys.readouterr()
+        assert main(["inspect", merged]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out
+        assert main(["inspect", partial]) == 0
+        out = capsys.readouterr().out
+        assert "partial" in out
+
+    def test_merge_overwrite(self, artifacts, capsys):
+        partial = str(artifacts["tmp"] / "p.bit")
+        main([
+            "generate", "-p", "XCV50",
+            "--base", artifacts["base_bit"],
+            "--xdl", artifacts["xdl"],
+            "--ucf", artifacts["ucf"],
+            "-o", partial,
+        ])
+        assert main(["merge", "--base", artifacts["base_bit"],
+                     "--partial", partial, "--overwrite"]) == 0
+        assert "overwrote" in capsys.readouterr().out
+
+
+class TestDiff:
+    def test_diff_identical(self, artifacts, capsys):
+        assert main(["diff", artifacts["base_bit"], artifacts["base_bit"]]) == 0
+        assert "0 of" in capsys.readouterr().out
+
+    def test_diff_after_merge(self, artifacts, capsys):
+        partial = str(artifacts["tmp"] / "p.bit")
+        main([
+            "generate", "-p", "XCV50",
+            "--base", artifacts["base_bit"],
+            "--xdl", artifacts["xdl"],
+            "--ucf", artifacts["ucf"],
+            "-o", partial,
+        ])
+        merged = str(artifacts["tmp"] / "m.bit")
+        main(["merge", "--base", artifacts["base_bit"], "--partial", partial,
+              "-o", merged])
+        capsys.readouterr()
+        assert main(["diff", artifacts["base_bit"], merged]) == 0
+        out = capsys.readouterr().out
+        assert "frames differ" in out
+        assert "CLB columns touched" in out
+
+
+class TestFlowCommand:
+    VERILOG = """
+    module blink (input clk, output reg [3:0] q);
+        always @(posedge clk) q <= q + 1;
+    endmodule
+    """
+
+    def test_verilog_to_bitstream(self, tmp_path, capsys):
+        src = tmp_path / "blink.v"
+        src.write_text(self.VERILOG)
+        out = str(tmp_path / "blink.bit")
+        ncd = str(tmp_path / "blink.ncd")
+        xdl = str(tmp_path / "blink.xdl")
+        rc = main(["flow", str(src), "-p", "XCV50", "-o", out,
+                   "--ncd", ncd, "--xdl", xdl])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "MHz" in text and "wrote" in text
+        # the artifacts are loadable and consistent
+        from repro.bitstream.bitfile import BitFile
+        from repro.flow.ncd import NcdDesign
+        from repro.xdl import load_xdl
+
+        assert BitFile.load(out).size > 10_000
+        assert NcdDesign.load(ncd).routed()
+        load_xdl(xdl)
+
+    def test_param_override(self, tmp_path, capsys):
+        src = tmp_path / "p.v"
+        src.write_text("""
+        module wide #(parameter W = 2) (input clk, output reg [W-1:0] q);
+            always @(posedge clk) q <= q + 1;
+        endmodule
+        """)
+        rc = main(["flow", str(src), "-p", "XCV50",
+                   "-o", str(tmp_path / "w.bit"), "--param", "W=6"])
+        assert rc == 0
+
+    def test_bad_param_spec(self, tmp_path, capsys):
+        src = tmp_path / "p.v"
+        src.write_text(self.VERILOG)
+        rc = main(["flow", str(src), "-p", "XCV50",
+                   "-o", str(tmp_path / "x.bit"), "--param", "W"])
+        assert rc == 1
+
+    def test_verilog_error_reported(self, tmp_path, capsys):
+        src = tmp_path / "bad.v"
+        src.write_text("module broken (input a, output y); assign y = ; endmodule")
+        rc = main(["flow", str(src), "-p", "XCV50", "-o", str(tmp_path / "x.bit")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestFloorplanAndParbit:
+    def test_floorplan(self, capsys):
+        rc = main(["floorplan", "XCV50", "--region", "mod=CLB_R1C3:CLB_R16C12"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "XCV50" in out and "M" in out
+
+    def test_floorplan_bad_region(self, capsys):
+        assert main(["floorplan", "XCV50", "--region", "oops"]) == 1
+
+    def test_parbit(self, artifacts, capsys):
+        opts = artifacts["tmp"] / "opts.txt"
+        opts.write_text("target v50\nblock clb 3 12\n")
+        out = str(artifacts["tmp"] / "pb.bit")
+        rc = main(["parbit", "--base", artifacts["base_bit"],
+                   "--options", str(opts), "-o", out])
+        assert rc == 0
+        from repro.bitstream.bitfile import BitFile
+
+        assert BitFile.load(out).size > 1000

@@ -1,0 +1,61 @@
+"""Floorplan-view rendering tests (Figure 3 equivalent)."""
+
+from repro.core.floorview import render_column_footprint, render_floorplan
+from repro.devices import get_device
+from repro.flow.floorplan import RegionRect
+
+
+class TestRenderFloorplan:
+    def test_blank_device(self):
+        dev = get_device("XCV50")
+        art = render_floorplan(dev)
+        lines = art.splitlines()
+        assert "XCV50" in lines[0]
+        rows = [line for line in lines if line.startswith("R")]
+        assert len(rows) == dev.rows
+        assert all(line.count(".") == dev.cols for line in rows)
+
+    def test_regions_drawn(self):
+        dev = get_device("XCV50")
+        art = render_floorplan(
+            dev,
+            {"alpha": RegionRect(0, 0, 15, 7), "beta": RegionRect(0, 8, 15, 15)},
+        )
+        assert "A" in art and "B" in art
+        assert "legend:" in art
+        assert "alpha" in art and "beta" in art
+
+    def test_module_overlay(self, counter_flow):
+        dev = get_device("XCV50")
+        art = render_floorplan(dev, module=counter_flow.design, legend=False)
+        assert art.count("#") == len(
+            {(c.site[0], c.site[1]) for c in counter_flow.design.slices.values()}
+        )
+
+    def test_region_letter_collision_resolved(self):
+        dev = get_device("XCV50")
+        art = render_floorplan(
+            dev,
+            {"r1": RegionRect(0, 0, 3, 3), "r2": RegionRect(0, 4, 3, 7)},
+        )
+        # both regions start with 'r'; the second must get a fallback letter
+        body = "\n".join(line for line in art.splitlines() if line.startswith("R"))
+        letters = {ch for ch in body if ch.isalpha()}
+        assert len(letters) >= 2
+
+    def test_legend_optional(self):
+        dev = get_device("XCV50")
+        art = render_floorplan(dev, {"m": RegionRect(0, 0, 1, 1)}, legend=False)
+        assert "legend" not in art
+
+    def test_ruler_present(self):
+        art = render_floorplan(get_device("XCV300"))
+        assert "11" in art.splitlines()[1]
+
+
+class TestColumnFootprint:
+    def test_marks_columns(self):
+        dev = get_device("XCV50")
+        line = render_column_footprint(dev, [2, 3, 4], 144)
+        assert line.count("#") == 3
+        assert "3 cols" in line and "144 frames" in line

@@ -1,0 +1,81 @@
+"""Merge-onto-base tests (paper option 2)."""
+
+import pytest
+
+from repro.bitstream.bitfile import BitFile
+from repro.bitstream.frames import FrameMemory
+from repro.bitstream.reader import parse_bitstream
+from repro.core.merge import frames_after, merge_partial_into_full, overwrite_base_bitfile
+from repro.devices import get_device
+from repro.devices.resources import SLICE
+from repro.errors import JpgError
+from repro.jbits import JBits
+
+
+def make_partial(counter_bitfile, edits):
+    jb = JBits("XCV50")
+    jb.read(counter_bitfile)
+    for (r, c, field, value) in edits:
+        jb.set(r, c, field, value)
+    return jb.write_partial(), jb.frames
+
+
+class TestMerge:
+    def test_merge_partial_into_full(self, counter_bitfile):
+        partial, expected = make_partial(
+            counter_bitfile, [(1, 1, SLICE[0].F, 0x9999)]
+        )
+        merged = merge_partial_into_full(
+            "XCV50", counter_bitfile.config_bytes, partial
+        )
+        fm, stats = parse_bitstream(get_device("XCV50"), merged)
+        assert fm == expected
+        assert stats.frames_written == get_device("XCV50").geometry.total_frames
+
+    def test_incomplete_base_rejected(self, counter_bitfile, counter_frames):
+        from repro.bitstream.assembler import partial_stream
+
+        not_full = partial_stream(counter_frames, range(48))
+        with pytest.raises(JpgError, match="complete"):
+            merge_partial_into_full("XCV50", not_full, not_full)
+
+    def test_empty_partial_rejected(self, counter_bitfile):
+        from repro.bitstream.packets import PacketWriter, Command, Register
+
+        w = PacketWriter()
+        w.dummy(); w.sync()
+        w.command(Command.RCRC)
+        w.write_reg(Register.FLR, get_device("XCV50").geometry.flr_value)
+        w.command(Command.DESYNC)
+        with pytest.raises(JpgError, match="no frames"):
+            merge_partial_into_full("XCV50", counter_bitfile.config_bytes, w.to_bytes())
+
+    def test_frames_after_sequence(self, counter_bitfile):
+        p1, _ = make_partial(counter_bitfile, [(1, 1, SLICE[0].F, 0x1111)])
+        p2, _ = make_partial(counter_bitfile, [(2, 2, SLICE[1].G, 0x2222)])
+        fm = frames_after("XCV50", counter_bitfile.config_bytes, p1, p2)
+        assert fm.get_field(1, 1, SLICE[0].F) == 0x1111
+        assert fm.get_field(2, 2, SLICE[1].G) == 0x2222
+
+
+class TestOverwriteBitfile:
+    def test_overwrites_in_place(self, counter_bitfile, tmp_path):
+        path = str(tmp_path / "base.bit")
+        counter_bitfile.save(path)
+        partial, expected = make_partial(
+            counter_bitfile, [(3, 3, SLICE[0].F, 0x5555)]
+        )
+        out = overwrite_base_bitfile(path, partial)
+        # the paper's warning: the original file is gone
+        reloaded = BitFile.load(path)
+        assert reloaded.config_bytes == out.config_bytes
+        fm, _ = parse_bitstream(get_device("XCV50"), reloaded.config_bytes)
+        assert fm == expected
+        assert reloaded.design_name == counter_bitfile.design_name
+
+    def test_accepts_bitfile_partial(self, counter_bitfile, tmp_path):
+        path = str(tmp_path / "base.bit")
+        counter_bitfile.save(path)
+        partial, _ = make_partial(counter_bitfile, [(3, 3, SLICE[0].F, 0x5555)])
+        wrapper = BitFile("p.ncd", "v50bg432", config_bytes=partial)
+        overwrite_base_bitfile(path, wrapper)

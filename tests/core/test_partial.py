@@ -1,0 +1,91 @@
+"""Frame-span math tests."""
+
+import pytest
+
+from repro.core.partial import (
+    Granularity,
+    clb_column_frames,
+    iob_column_frames,
+    module_footprint_columns,
+    module_frames,
+    module_iob_sides,
+    partial_size_estimate,
+    region_frames,
+)
+from repro.devices import get_device
+from repro.devices.geometry import Side
+from repro.flow.floorplan import RegionRect
+
+
+@pytest.fixture(scope="module")
+def dev():
+    return get_device("XCV50")
+
+
+class TestColumnFrames:
+    def test_one_column_is_48_frames(self, dev):
+        frames = clb_column_frames(dev, [3])
+        assert len(frames) == 48
+        g = dev.geometry
+        assert frames[0] == g.frame_base(g.major_of_clb_col(3))
+
+    def test_columns_deduped_and_sorted(self, dev):
+        frames = clb_column_frames(dev, [5, 3, 5])
+        assert len(frames) == 96
+        assert frames == sorted(frames)
+
+    def test_region_frames(self, dev):
+        region = RegionRect(0, 2, 15, 7)
+        frames = region_frames(dev, region)
+        assert len(frames) == 6 * 48
+
+    def test_region_rows_do_not_matter(self, dev):
+        """Frames span full columns: a half-height region still needs its
+        columns' complete frames."""
+        full = region_frames(dev, RegionRect(0, 2, 15, 7))
+        half = region_frames(dev, RegionRect(0, 2, 7, 7))
+        assert full == half
+
+    def test_iob_column_frames(self, dev):
+        frames = iob_column_frames(dev, [Side.LEFT])
+        assert len(frames) == 54
+        both = iob_column_frames(dev, [Side.LEFT, Side.RIGHT])
+        assert len(both) == 108
+
+
+class TestModuleFootprint:
+    def test_footprint_covers_placement_and_routing(self, counter_flow):
+        cols = module_footprint_columns(counter_flow.design)
+        placed = {c.site[1] for c in counter_flow.design.slices.values()}
+        assert placed <= cols
+
+    def test_iob_sides(self, counter_flow):
+        sides = module_iob_sides(counter_flow.design)
+        assert sides <= {Side.LEFT, Side.RIGHT}
+
+    def test_module_frames_column_policy(self, counter_flow):
+        dev = get_device("XCV50")
+        frames = module_frames(dev, counter_flow.design, Granularity.COLUMN)
+        assert frames == sorted(set(frames))
+        assert len(frames) >= 48
+
+    def test_module_frames_frame_policy_rejected(self, counter_flow):
+        dev = get_device("XCV50")
+        with pytest.raises(ValueError):
+            module_frames(dev, counter_flow.design, Granularity.FRAME)
+
+
+class TestSizeEstimate:
+    def test_estimate_close_to_actual(self, counter_frames):
+        from repro.bitstream.assembler import partial_stream
+
+        dev = counter_frames.device
+        for n_cols in (1, 4, 10):
+            frames = clb_column_frames(dev, range(n_cols))
+            actual = len(partial_stream(counter_frames, frames))
+            estimate = partial_size_estimate(dev, len(frames))
+            assert abs(actual - estimate) / actual < 0.15
+
+    def test_estimate_monotonic(self, dev):
+        sizes = [partial_size_estimate(dev, n) for n in (48, 96, 480)]
+        assert sizes == sorted(sizes)

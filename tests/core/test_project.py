@@ -1,0 +1,163 @@
+"""JPG project-management tests: the two-phase methodology."""
+
+import pytest
+
+from repro.core.project import JpgProject
+from repro.errors import JpgError
+from repro.flow.floorplan import RegionRect
+from repro.hwsim import Board, DesignHarness
+from repro.jbits import SimulatedXhwif
+from repro.workloads import ModuleSpec, build_module_netlist
+
+
+class TestRegions:
+    def test_full_height_enforced(self):
+        p = JpgProject("t", "XCV50")
+        with pytest.raises(JpgError, match="full-height"):
+            p.add_region("r", RegionRect(2, 2, 10, 5))
+
+    def test_full_height_optional(self):
+        p = JpgProject("t", "XCV50", strict_full_height=False)
+        p.add_region("r", RegionRect(2, 2, 10, 5))
+
+    def test_overlap_rejected(self):
+        p = JpgProject("t", "XCV50")
+        p.add_region("a", RegionRect(0, 2, 15, 8))
+        with pytest.raises(JpgError, match="overlaps"):
+            p.add_region("b", RegionRect(0, 8, 15, 12))
+
+    def test_duplicate_rejected(self):
+        p = JpgProject("t", "XCV50")
+        p.add_region("a", RegionRect(0, 2, 15, 8))
+        with pytest.raises(JpgError, match="already"):
+            p.add_region("a", RegionRect(0, 10, 15, 12))
+
+    def test_constraints_generated(self, demo_project):
+        cons = demo_project.constraints()
+        assert len(cons.groups) == 2
+        assert cons.group_of("r1/anything") is not None
+        only = demo_project.constraints(only_region="r2")
+        assert len(only.groups) == 1
+
+
+class TestBase:
+    def test_base_implemented(self, demo_project):
+        assert demo_project.base_flow is not None
+        assert demo_project.base_bitfile.size > 10_000
+        assert demo_project.active == {"r1": "base", "r2": "base"}
+
+    def test_base_respects_regions(self, demo_project):
+        cons = demo_project.constraints()
+        for comp in demo_project.base_flow.design.slices.values():
+            group = cons.group_of(comp.name)
+            assert group is not None
+            r, c, _ = comp.site
+            assert group.range.contains(r, c)
+
+    def test_versions_require_base(self):
+        p = JpgProject("t", "XCV50")
+        p.add_region("r1", RegionRect(0, 2, 15, 8))
+        nl = build_module_netlist("m", "r1", ModuleSpec("counter", 4, "up"))
+        with pytest.raises(JpgError, match="base"):
+            p.add_version("r1", "v", nl)
+
+
+class TestVersions:
+    def test_versions_implemented_in_region(self, demo_project):
+        mv = demo_project.versions[("r1", "down")]
+        region = demo_project.regions["r1"]
+        for comp in mv.design.slices.values():
+            r, c, _ = comp.site
+            assert region.contains(r, c)
+
+    def test_version_interface_matches_base(self, demo_project):
+        from repro.core.verify import check_interface_match
+
+        for (region, vname), mv in demo_project.versions.items():
+            if vname == "base":
+                continue
+            assert check_interface_match(
+                demo_project.base_flow.design, mv.design
+            ).ok, (region, vname)
+
+    def test_version_artifacts_exist(self, demo_project):
+        mv = demo_project.versions[("r1", "down")]
+        assert 'inst "' in mv.xdl
+        assert "AREA_GROUP" in mv.ucf
+
+    def test_duplicate_version_rejected(self, demo_project):
+        nl = build_module_netlist("m", "r1", ModuleSpec("counter", 4, "up"))
+        with pytest.raises(JpgError, match="already"):
+            demo_project.add_version("r1", "down", nl)
+
+    def test_unknown_region_rejected(self, demo_project):
+        nl = build_module_netlist("m", "zz", ModuleSpec("counter", 4, "up"))
+        with pytest.raises(JpgError, match="unknown region"):
+            demo_project.add_version("zz", "v", nl)
+
+    def test_wrong_prefix_rejected(self, demo_project):
+        # cells named under another region's hierarchy are not covered by
+        # this region's area group
+        nl = build_module_netlist("m", "zz", ModuleSpec("counter", 4, "up"))
+        with pytest.raises(JpgError, match="hierarchy"):
+            demo_project.add_version("r1", "weird", nl)
+
+
+class TestPartialsAndSwapping:
+    def test_generate_all(self, demo_project):
+        partials = demo_project.generate_all_partials()
+        assert set(partials) == {
+            ("r1", "up"), ("r1", "down"), ("r2", "left"), ("r2", "right"),
+        }
+        for p in partials.values():
+            assert 0 < p.ratio < 0.7
+
+    def test_partials_cached(self, demo_project):
+        a = demo_project.generate_partial("r1", "down")
+        b = demo_project.generate_partial("r1", "down")
+        assert a is b
+
+    def test_swap_on_board(self, demo_project):
+        board = Board(demo_project.part)
+        board.download(demo_project.base_bitfile)
+        xh = SimulatedXhwif(board)
+        rec = demo_project.swap("r1", "down", xh)
+        assert demo_project.active["r1"] == "down"
+        assert rec.bytes > 0 and rec.seconds > 0
+        assert demo_project.swap_log[-1] is rec
+
+    def test_swap_to_base_needs_explicit_version(self, demo_project):
+        xh = SimulatedXhwif(Board(demo_project.part))
+        with pytest.raises(JpgError, match="base"):
+            demo_project.swap("r1", "base", xh)
+
+    def test_unknown_version(self, demo_project):
+        xh = SimulatedXhwif(Board(demo_project.part))
+        with pytest.raises(JpgError, match="no version"):
+            demo_project.swap("r1", "ghost", xh)
+
+    def test_storage_accounting(self, demo_project):
+        demo_project.generate_all_partials()
+        acct = demo_project.storage_accounting()
+        assert acct["regions"] == 2
+        assert acct["versions_total"] == 4
+        assert acct["combinations"] == 4
+        assert acct["partial_bytes_total"] < 4 * acct["base_bytes"]
+
+
+class TestBehaviouralSwap:
+    def test_swap_changes_behaviour_and_preserves_neighbour(self, demo_project):
+        board = Board(demo_project.part)
+        board.download(demo_project.base_bitfile)
+        h = DesignHarness(board, demo_project.base_flow.design)
+        xh = SimulatedXhwif(board)
+        outs1 = [f"r1_o{i}" for i in range(4)]
+        outs2 = [f"r2_o{i}" for i in range(4)]
+        h.clock(3)
+        assert h.get_word(outs1) == 3
+        demo_project.swap("r1", "down", xh)
+        start = h.get_word(outs1)
+        h.clock()
+        assert h.get_word(outs1) == (start - 1) % 16  # now counting down
+        # the r2 ring is still one-hot
+        assert h.get_word(outs2) in (1, 2, 4, 8)

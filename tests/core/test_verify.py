@@ -1,0 +1,119 @@
+"""JPG verification-check tests."""
+
+import copy
+
+import pytest
+
+from repro.core.verify import (
+    check_interface_match,
+    check_module_in_region,
+    raise_on_interface_mismatch,
+    verify_partial_equivalence,
+)
+from repro.devices.geometry import IobSite, Side
+from repro.errors import InterfaceMismatchError
+from repro.flow.floorplan import RegionRect, full_device_region
+from repro.devices import get_device
+
+
+class TestRegionContainment:
+    def test_contained_passes(self, counter_flow):
+        region = full_device_region(get_device("XCV50"))
+        assert check_module_in_region(counter_flow.design, region).ok
+
+    def test_outside_detected(self, counter_flow):
+        sites = [c.site for c in counter_flow.design.slices.values()]
+        rmax = max(s[0] for s in sites)
+        region = RegionRect(rmax + 1 if rmax < 15 else 0, 0,
+                            15, 23)
+        if region.contains(sites[0][0], sites[0][1]):
+            pytest.skip("placement landed inside the probe region")
+        result = check_module_in_region(counter_flow.design, region)
+        assert not result.ok
+        assert any(v.kind == "outside-region" for v in result.violations)
+
+    def test_unplaced_detected(self, counter_flow):
+        design = copy.deepcopy(counter_flow.design)
+        next(iter(design.slices.values())).site = None
+        region = full_device_region(get_device("XCV50"))
+        result = check_module_in_region(design, region)
+        assert any(v.kind == "unplaced" for v in result.violations)
+
+    def test_raise_if_failed(self, counter_flow):
+        region = full_device_region(get_device("XCV50"))
+        check_module_in_region(counter_flow.design, region).raise_if_failed()
+
+
+class TestInterfaceMatch:
+    def test_self_match(self, counter_flow):
+        assert check_interface_match(counter_flow.design, counter_flow.design).ok
+
+    def test_new_port_detected(self, counter_flow):
+        mod = copy.deepcopy(counter_flow.design)
+        extra = copy.deepcopy(next(iter(mod.iobs.values())))
+        extra.name, extra.port = "extra__obuf", "extra"
+        mod.iobs[extra.name] = extra
+        result = check_interface_match(counter_flow.design, mod)
+        assert any(v.kind == "new-port" for v in result.violations)
+
+    def test_moved_pad_detected(self, counter_flow):
+        mod = copy.deepcopy(counter_flow.design)
+        iob = next(iter(mod.iobs.values()))
+        old = iob.site
+        iob.site = IobSite(
+            Side.LEFT if old.side is not Side.LEFT else Side.RIGHT, 0, 0
+        )
+        result = check_interface_match(counter_flow.design, mod)
+        assert any(v.kind == "moved-pad" for v in result.violations)
+
+    def test_direction_change_detected(self, counter_flow):
+        mod = copy.deepcopy(counter_flow.design)
+        iob = next(iter(mod.iobs.values()))
+        iob.direction = "in" if iob.direction == "out" else "out"
+        result = check_interface_match(counter_flow.design, mod)
+        assert any(v.kind == "direction" for v in result.violations)
+
+    def test_clock_buffer_change_detected(self, counter_flow):
+        mod = copy.deepcopy(counter_flow.design)
+        g = next(iter(mod.gclks.values()))
+        g.index = (g.index + 1) % 4
+        result = check_interface_match(counter_flow.design, mod)
+        assert any(v.kind == "clock-buffer" for v in result.violations)
+
+    def test_raise_helper(self, counter_flow):
+        mod = copy.deepcopy(counter_flow.design)
+        next(iter(mod.gclks.values())).index = 3
+        with pytest.raises(InterfaceMismatchError):
+            raise_on_interface_mismatch(counter_flow.design, mod)
+
+    def test_fewer_ports_allowed(self, counter_flow):
+        mod = copy.deepcopy(counter_flow.design)
+        name = next(iter(mod.iobs))
+        del mod.iobs[name]
+        assert check_interface_match(counter_flow.design, mod).ok
+
+
+class TestPartialEquivalence:
+    def test_good_partial_passes(self, counter_frames):
+        from repro.bitstream.assembler import partial_stream
+        from repro.devices.resources import SLICE
+
+        target = counter_frames.clone()
+        target.set_field(1, 1, SLICE[0].F, 0x7777)
+        partial = partial_stream(target, target.diff_frames(counter_frames))
+        assert verify_partial_equivalence(counter_frames, partial, target).ok
+
+    def test_incomplete_partial_fails(self, counter_frames):
+        from repro.bitstream.assembler import partial_stream
+        from repro.devices.resources import SLICE
+
+        target = counter_frames.clone()
+        target.set_field(1, 1, SLICE[0].F, 0x7777)
+        target.set_field(1, 5, SLICE[0].F, 0x1111)
+        # partial only carries the first change
+        only_first = target.clone()
+        only_first.set_field(1, 5, SLICE[0].F, counter_frames.get_field(1, 5, SLICE[0].F))
+        partial = partial_stream(only_first, only_first.diff_frames(counter_frames))
+        result = verify_partial_equivalence(counter_frames, partial, target)
+        assert not result.ok
+        assert "frames differ" in result.violations[0].message

@@ -1,0 +1,137 @@
+"""Block-RAM geometry and content-access tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitstream.assembler import partial_stream
+from repro.bitstream.frames import FrameMemory
+from repro.bitstream.reader import apply_bitstream
+from repro.devices import get_device
+from repro.devices.geometry import (
+    BRAM_BITS,
+    BramSite,
+    ColumnKind,
+    Side,
+    parse_bram_site,
+)
+from repro.errors import DeviceError
+from repro.jbits import JBits
+
+
+@pytest.fixture(scope="module")
+def dev():
+    return get_device("XCV50")
+
+
+class TestSites:
+    def test_site_count(self, dev):
+        # 4 blocks per column (16 rows / 4), two columns
+        assert len(dev.geometry.bram_sites) == 8
+        assert dev.geometry.bram_blocks_per_column == 4
+
+    def test_site_names_roundtrip(self):
+        site = BramSite(Side.LEFT, 3)
+        assert site.name == "BRAM_L3"
+        assert parse_bram_site("BRAM_L3") == site
+        with pytest.raises(DeviceError):
+            parse_bram_site("BRAM_X1")
+
+    def test_matches_catalog(self, dev):
+        assert len(dev.geometry.bram_sites) == dev.part.bram_blocks
+
+
+class TestBitLocations:
+    def test_bits_land_in_content_column(self, dev):
+        g = dev.geometry
+        major = g.major_of_bram_content(Side.LEFT)
+        assert g.columns[major].kind is ColumnKind.BRAM_CONTENT
+        frame, off = g.bram_bit_location(BramSite(Side.LEFT, 0), 0)
+        assert g.frame_base(major) <= frame < g.frame_base(major) + 64
+        assert 0 <= off < g.frame_bits
+
+    def test_all_bits_unique(self, dev):
+        g = dev.geometry
+        locs = set()
+        for site in g.bram_sites:
+            for bit in range(0, BRAM_BITS, 17):
+                loc = g.bram_bit_location(site, bit)
+                assert loc not in locs
+                locs.add(loc)
+
+    def test_bit_out_of_range(self, dev):
+        with pytest.raises(DeviceError):
+            dev.geometry.bram_bit_location(BramSite(Side.LEFT, 0), BRAM_BITS)
+
+    def test_block_out_of_range(self, dev):
+        with pytest.raises(DeviceError):
+            dev.geometry.bram_bit_location(BramSite(Side.LEFT, 9), 0)
+
+    def test_fits_on_largest_part(self):
+        g = get_device("XCV1000").geometry
+        for site in (g.bram_sites[0], g.bram_sites[-1]):
+            g.bram_bit_location(site, BRAM_BITS - 1)
+
+    def test_one_block_spans_all_64_frames(self, dev):
+        g = dev.geometry
+        frames = {g.bram_bit_location(BramSite(Side.RIGHT, 2), b)[0]
+                  for b in range(BRAM_BITS)}
+        assert len(frames) == 64
+
+
+class TestContentAccess:
+    @settings(max_examples=20)
+    @given(st.integers(0, 7), st.integers(0, 255), st.integers(0, 0xFFFF))
+    def test_property_word_roundtrip(self, site_idx, addr, value):
+        dev = get_device("XCV50")
+        fm = FrameMemory(dev)
+        site = dev.geometry.bram_sites[site_idx]
+        fm.set_bram_word(site, addr, value)
+        assert fm.get_bram_word(site, addr) == value
+
+    def test_blocks_do_not_interfere(self, dev):
+        fm = FrameMemory(dev)
+        a, b = dev.geometry.bram_sites[0], dev.geometry.bram_sites[1]
+        fm.set_bram_word(a, 0, 0xFFFF)
+        assert fm.get_bram_word(b, 0) == 0
+        fm.set_bram_word(b, 0, 0x1234)
+        assert fm.get_bram_word(a, 0) == 0xFFFF
+
+
+class TestJBitsBram:
+    def test_content_update_via_partial(self, dev):
+        """The classic use: ship new memory contents as a partial
+        bitstream touching only the BRAM content column."""
+        base = FrameMemory(dev)
+        jb = JBits("XCV50")
+        jb.read(base)
+        site = dev.geometry.bram_sites[0]
+        table = [(3 * i + 1) & 0xFFFF for i in range(256)]
+        jb.set_bram_content(site, table)
+        partial = jb.write_partial()
+
+        target = base.clone()
+        apply_bitstream(target, partial)
+        assert [target.get_bram_word(site, i) for i in range(256)] == table
+
+        # the partial touches only the BRAM content column
+        g = dev.geometry
+        content_base = g.frame_base(g.major_of_bram_content(site.side))
+        for f in target.diff_frames(base):
+            assert content_base <= f < content_base + 64
+
+    def test_partial_is_small(self, dev):
+        jb = JBits("XCV50")
+        jb.read(FrameMemory(dev))
+        site = dev.geometry.bram_sites[2]
+        jb.set_bram_content(site, range(256))
+        partial = jb.write_partial()
+        # 64 frames of 12 words + overhead: a few KB, not a full bitstream
+        assert len(partial) < 4000
+
+    def test_nochange_write_stays_clean(self, dev):
+        jb = JBits("XCV50")
+        jb.read(FrameMemory(dev))
+        site = dev.geometry.bram_sites[0]
+        jb.set_bram_word(site, 5, 0)
+        assert jb.dirty_frames == []

@@ -1,0 +1,71 @@
+"""Part catalog tests."""
+
+import pytest
+
+from repro.devices.family import (
+    normalize_part_name,
+    part_by_idcode,
+    part_info,
+    part_names,
+)
+from repro.errors import UnknownPartError
+
+
+class TestCatalog:
+    def test_all_parts_present(self):
+        assert part_names() == [
+            "XCV50", "XCV100", "XCV150", "XCV200", "XCV300",
+            "XCV400", "XCV600", "XCV800", "XCV1000",
+        ]
+
+    def test_datasheet_dimensions(self):
+        assert (part_info("XCV50").clb_rows, part_info("XCV50").clb_cols) == (16, 24)
+        assert (part_info("XCV300").clb_rows, part_info("XCV300").clb_cols) == (32, 48)
+        assert (part_info("XCV1000").clb_rows, part_info("XCV1000").clb_cols) == (64, 96)
+
+    def test_sizes_monotonic(self):
+        slices = [part_info(n).slices for n in part_names()]
+        assert slices == sorted(slices)
+        assert all(b > a for a, b in zip(slices, slices[1:]))
+
+    def test_derived_counts(self):
+        p = part_info("XCV50")
+        assert p.slices == 16 * 24 * 2
+        assert p.lut4s == p.slices * 2
+        assert p.bram_blocks == (16 // 4) * 2
+
+    def test_idcodes_unique(self):
+        codes = [part_info(n).idcode for n in part_names()]
+        assert len(set(codes)) == len(codes)
+
+    def test_idcode_reverse_lookup(self):
+        p = part_info("XCV200")
+        assert part_by_idcode(p.idcode) is p
+
+    def test_idcode_reverse_lookup_unknown(self):
+        with pytest.raises(UnknownPartError):
+            part_by_idcode(0xDEADBEEF)
+
+
+class TestNameNormalization:
+    @pytest.mark.parametrize(
+        "raw",
+        ["XCV300", "xcv300", "v300", "V300", "v300bg432", "v300bg432-6",
+         "XCV300-BG432", "xcv300fg456"],
+    )
+    def test_accepted_forms(self, raw):
+        assert normalize_part_name(raw) == "XCV300"
+
+    @pytest.mark.parametrize("raw", ["spartan3", "v", "xc4000", "v3x0"])
+    def test_rejected_forms(self, raw):
+        with pytest.raises(UnknownPartError):
+            normalize_part_name(raw)
+
+    def test_unknown_size_rejected_by_lookup(self):
+        with pytest.raises(UnknownPartError) as exc:
+            part_info("v999")
+        assert "XCV999" in str(exc.value)
+        assert "known parts" in str(exc.value)
+
+    def test_part_info_accepts_qualified_name(self):
+        assert part_info("v50bg256").name == "XCV50"

@@ -1,0 +1,109 @@
+"""Resource map tests: the bit-allocation invariants everything relies on."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.devices.geometry import BITS_PER_ROW, CLB_FRAMES
+from repro.devices.resources import (
+    PIP_CAPACITY,
+    PIP_MINOR_BASE,
+    REGISTRY,
+    SLICE,
+    BitCoord,
+    field,
+    iob_bit_offset,
+    pip_coord,
+    pip_index_of,
+)
+from repro.errors import ResourceError
+
+
+class TestBitCoord:
+    def test_valid_range(self):
+        BitCoord(0, 0)
+        BitCoord(47, 17)
+
+    @pytest.mark.parametrize("minor,rowbit", [(48, 0), (-1, 0), (0, 18), (0, -1)])
+    def test_invalid(self, minor, rowbit):
+        with pytest.raises(ResourceError):
+            BitCoord(minor, rowbit)
+
+
+class TestAllocation:
+    def test_no_overlap_between_logic_fields(self):
+        seen = {}
+        for f in REGISTRY.values():
+            for c in f.coords:
+                assert c not in seen, f"{f.name} overlaps {seen[c]}"
+                seen[c] = f.name
+
+    def test_logic_plane_below_routing_plane(self):
+        for f in REGISTRY.values():
+            for c in f.coords:
+                assert c.minor < PIP_MINOR_BASE
+
+    def test_lut_fields_are_16_bits(self):
+        for s in (0, 1):
+            assert SLICE[s].F.width == 16
+            assert SLICE[s].G.width == 16
+
+    def test_lut_msb_first_coords(self):
+        # coords[0] is truth-table bit 15, stored in minor 15
+        assert SLICE[0].F.coords[0].minor == 15
+        assert SLICE[0].F.coords[-1].minor == 0
+
+    def test_slices_use_distinct_bits(self):
+        coords0 = {c for f in SLICE[0].fields() for c in f.coords}
+        coords1 = {c for f in SLICE[1].fields() for c in f.coords}
+        assert not (coords0 & coords1)
+
+    def test_registry_lookup(self):
+        assert field("S0.F") is SLICE[0].F
+        assert field("S1.FFX_USED") is SLICE[1].FFX_USED
+
+    def test_registry_lookup_unknown(self):
+        with pytest.raises(ResourceError):
+            field("S2.F")
+
+    def test_lut_accessor(self):
+        assert SLICE[0].lut("F") is SLICE[0].F
+        assert SLICE[1].lut("G") is SLICE[1].G
+        with pytest.raises(ResourceError):
+            SLICE[0].lut("H")
+
+
+class TestPipPlane:
+    def test_capacity(self):
+        assert PIP_CAPACITY == (CLB_FRAMES - PIP_MINOR_BASE) * BITS_PER_ROW == 540
+
+    def test_pip_coord_bounds(self):
+        assert pip_coord(0) == BitCoord(18, 0)
+        assert pip_coord(17) == BitCoord(18, 17)
+        assert pip_coord(18) == BitCoord(19, 0)
+        assert pip_coord(PIP_CAPACITY - 1) == BitCoord(47, 17)
+
+    def test_pip_coord_out_of_range(self):
+        with pytest.raises(ResourceError):
+            pip_coord(PIP_CAPACITY)
+        with pytest.raises(ResourceError):
+            pip_coord(-1)
+
+    @given(st.integers(min_value=0, max_value=PIP_CAPACITY - 1))
+    def test_property_roundtrip(self, idx):
+        assert pip_index_of(pip_coord(idx)) == idx
+
+    def test_pip_index_of_rejects_logic_plane(self):
+        with pytest.raises(ResourceError):
+            pip_index_of(BitCoord(5, 3))
+
+
+class TestIobOffsets:
+    def test_two_sites_fit_region(self):
+        offsets = {iob_bit_offset(i, w) for i in (0, 1) for w in (0, 1)}
+        assert len(offsets) == 4
+        assert max(offsets) < BITS_PER_ROW
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ResourceError):
+            iob_bit_offset(5, 0)

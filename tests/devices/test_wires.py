@@ -1,0 +1,153 @@
+"""Routing-fabric tests: wire space, PIP pattern, reachability invariants."""
+
+import pytest
+
+from repro.devices import wires as W
+from repro.devices.resources import PIP_CAPACITY
+from repro.errors import DeviceError
+
+
+class TestWireSpace:
+    def test_wire_indices_bijective(self):
+        assert len(W.WIRES) == len(set(W.WIRES)) == W.NUM_WIRES
+        for i, name in enumerate(W.WIRES):
+            assert W.wire_index(name) == i
+
+    def test_unknown_wire(self):
+        with pytest.raises(DeviceError):
+            W.wire_index("NOPE")
+
+    def test_kinds_cover_all_wires(self):
+        assert len(W.WIRE_KIND) == W.NUM_WIRES
+        for name in W.WIRES:
+            W.wire_kind(name)  # must classify everything
+
+    def test_kind_examples(self):
+        assert W.wire_kind("S0_F1") is W.WireKind.PIN_IN
+        assert W.wire_kind("S1_CLK") is W.WireKind.PIN_CLK
+        assert W.wire_kind("S0_XQ") is W.WireKind.PIN_OUT
+        assert W.wire_kind("OUT3") is W.WireKind.OMUX
+        assert W.wire_kind("SE5") is W.WireKind.SINGLE
+        assert W.wire_kind("HN2") is W.WireKind.HEX
+        assert W.wire_kind("LH0") is W.WireKind.LONG_H
+        assert W.wire_kind("LV3") is W.WireKind.LONG_V
+        assert W.wire_kind("GCLK2") is W.WireKind.GCLK
+        assert W.wire_kind("IO_IN1") is W.WireKind.IO_IN
+        assert W.wire_kind("IO_OUT3") is W.WireKind.IO_OUT
+
+    def test_delays_defined_for_all_kinds(self):
+        for kind in W.WireKind:
+            assert W.WIRE_DELAY_NS[kind] >= 0.0
+
+
+class TestPipTable:
+    def test_fits_routing_plane(self):
+        assert W.NUM_PIPS <= PIP_CAPACITY
+
+    def test_indices_dense(self):
+        assert [p.index for p in W.PIP_TABLE] == list(range(W.NUM_PIPS))
+
+    def test_src_dst_name_pairs_unique(self):
+        pairs = {(p.src, p.dst) for p in W.PIP_TABLE}
+        assert len(pairs) == W.NUM_PIPS
+
+    def test_destinations_always_local(self):
+        # PipDef.dst is by construction a local wire index
+        for p in W.PIP_TABLE:
+            assert 0 <= p.dst < W.NUM_WIRES
+
+    def test_no_pip_drives_an_output_pin(self):
+        for p in W.PIP_TABLE:
+            assert W.WIRE_KIND[p.dst] is not W.WireKind.PIN_OUT
+
+    def test_no_pip_reads_an_input_pin(self):
+        for p in W.PIP_TABLE:
+            kind = W.WIRE_KIND[p.src[2]]
+            assert kind not in (W.WireKind.PIN_IN, W.WireKind.PIN_CLK)
+
+    def test_every_input_pin_reachable_from_every_direction(self):
+        """The input-mux pattern must let a single arriving from any
+        direction reach every slice input pin (possibly via one index)."""
+        by_dir: dict[str, set[int]] = {d: set() for d in W.DIRECTIONS}
+        for p in W.PIP_TABLE:
+            if W.WIRE_KIND[p.dst] is not W.WireKind.PIN_IN:
+                continue
+            src_name = W.WIRES[p.src[2]]
+            if W.WIRE_KIND[p.src[2]] is W.WireKind.SINGLE and p.src[:2] != (0, 0):
+                by_dir[src_name[1]].add(p.dst)
+        want = {W.wire_index(n) for n in W.INPUT_PINS}
+        for d, pins in by_dir.items():
+            assert pins == want, f"direction {d} cannot reach all pins"
+
+    def test_every_clk_pin_fed_by_every_gclk(self):
+        feeds = {
+            (W.WIRES[p.src[2]], p.dst_name)
+            for p in W.PIP_TABLE
+            if W.WIRE_KIND[p.dst] is W.WireKind.PIN_CLK
+        }
+        for g in range(4):
+            for s in (0, 1):
+                assert (f"GCLK{g}", f"S{s}_CLK") in feeds
+
+    def test_every_output_pin_drives_two_omux(self):
+        count: dict[str, int] = {}
+        for p in W.PIP_TABLE:
+            if W.WIRE_KIND[p.src[2]] is W.WireKind.PIN_OUT:
+                assert W.WIRE_KIND[p.dst] is W.WireKind.OMUX
+                count[W.WIRES[p.src[2]]] = count.get(W.WIRES[p.src[2]], 0) + 1
+        assert set(count) == set(W.OUTPUT_PINS)
+        assert all(v == 2 for v in count.values())
+
+    def test_every_single_driven_by_an_omux(self):
+        singles_driven = {
+            p.dst_name
+            for p in W.PIP_TABLE
+            if W.WIRE_KIND[p.src[2]] is W.WireKind.OMUX
+            and W.WIRE_KIND[p.dst] is W.WireKind.SINGLE
+        }
+        assert singles_driven == set(W.SINGLE_WIRES)
+
+    def test_singles_continue_straight(self):
+        # an east-travelling single must be able to continue east
+        for i in range(W.NUM_SINGLES):
+            W.pip_by_wires(f"SE{i}", f"SE{i}")
+
+    def test_io_out_reachable_from_singles(self):
+        # remote sources must be able to drive output pads
+        srcs = {
+            W.WIRE_KIND[p.src[2]]
+            for p in W.PIP_TABLE
+            if W.WIRE_KIND[p.dst] is W.WireKind.IO_OUT
+        }
+        assert W.WireKind.SINGLE in srcs
+        assert W.WireKind.OMUX in srcs
+
+    def test_io_in_reaches_pins_and_singles(self):
+        for i in range(W.NUM_IO):
+            dsts = {
+                W.WIRE_KIND[p.dst]
+                for p in W.PIP_TABLE
+                if W.WIRES[p.src[2]] == f"IO_IN{i}"
+            }
+            assert W.WireKind.PIN_IN in dsts
+            assert W.WireKind.SINGLE in dsts
+
+    def test_pip_by_wires_unknown(self):
+        with pytest.raises(DeviceError):
+            W.pip_by_wires("S0_X", "S0_F1")  # no such direct connection
+
+
+class TestFanoutIndexes:
+    def test_by_src_covers_every_pip(self):
+        total = sum(len(v) for v in W.pips_by_src().values())
+        assert total == W.NUM_PIPS
+
+    def test_by_dst_covers_every_pip(self):
+        total = sum(len(v) for v in W.pips_by_dst().values())
+        assert total == W.NUM_PIPS
+
+    def test_by_src_offsets_negated(self):
+        for wire, entries in W.pips_by_src().items():
+            for odr, odc, pip in entries:
+                assert pip.src[2] == wire
+                assert (odr, odc) == (-pip.src[0], -pip.src[1])

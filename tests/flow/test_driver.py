@@ -1,0 +1,41 @@
+"""Flow driver tests."""
+
+from repro.flow import run_flow
+from tests.conftest import build_counter_netlist
+
+
+class TestRunFlow:
+    def test_phases_timed(self, counter_flow):
+        times = counter_flow.phase_seconds
+        assert set(times) == {"techmap", "pack", "place", "route"}
+        assert all(t >= 0 for t in times.values())
+        assert counter_flow.total_seconds == sum(times.values())
+
+    def test_summary_text(self, counter_flow):
+        text = counter_flow.summary()
+        assert "XCV50" in text and "slices" in text and "MHz" in text
+
+    def test_input_netlist_untouched(self):
+        nl, _ = build_counter_netlist()
+        cells_before = set(nl.cells)
+        run_flow(nl, "XCV50", seed=1)
+        assert set(nl.cells) == cells_before  # flow works on a copy
+
+    def test_stats_chain(self, counter_flow):
+        assert counter_flow.techmap_stats.luts_after <= counter_flow.techmap_stats.luts_before
+        assert counter_flow.pack_stats.slices == len(counter_flow.design.slices)
+        assert counter_flow.route_stats.routed == counter_flow.route_stats.nets
+
+    def test_seeds_vary_placement(self):
+        nl, _ = build_counter_netlist(6)
+        r1 = run_flow(nl, "XCV50", seed=1)
+        r2 = run_flow(nl, "XCV50", seed=2)
+        sites1 = {n: c.site for n, c in r1.design.slices.items()}
+        sites2 = {n: c.site for n, c in r2.design.slices.items()}
+        assert sites1 != sites2
+
+    def test_larger_parts_accepted(self):
+        nl, _ = build_counter_netlist(4)
+        res = run_flow(nl, "XCV100", seed=1)
+        assert res.design.part == "XCV100"
+        assert res.design.routed()

@@ -1,0 +1,115 @@
+"""Floorplan object tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.devices import get_device
+from repro.errors import ConstraintError
+from repro.flow.floorplan import AreaGroup, Constraints, RegionRect, full_device_region
+
+
+class TestRegionRect:
+    def test_ucf_roundtrip(self):
+        rect = RegionRect(0, 0, 7, 11)
+        assert rect.to_ucf() == "CLB_R1C1:CLB_R8C12"
+        assert RegionRect.from_ucf(rect.to_ucf()) == rect
+
+    def test_from_ucf_normalizes_corners(self):
+        assert RegionRect.from_ucf("CLB_R8C12:CLB_R1C1") == RegionRect(0, 0, 7, 11)
+
+    def test_bad_range(self):
+        with pytest.raises(ConstraintError):
+            RegionRect.from_ucf("CLB_R1C1")
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ConstraintError):
+            RegionRect(5, 0, 4, 0)
+        with pytest.raises(ConstraintError):
+            RegionRect(-1, 0, 4, 0)
+
+    def test_contains(self):
+        rect = RegionRect(2, 3, 5, 8)
+        assert rect.contains(2, 3) and rect.contains(5, 8)
+        assert not rect.contains(1, 3) and not rect.contains(2, 9)
+
+    def test_geometry_properties(self):
+        rect = RegionRect(0, 2, 15, 11)
+        assert rect.height == 16 and rect.width == 10
+        assert rect.tiles == 160 and rect.slice_capacity == 320
+        assert list(rect.clb_columns()) == list(range(2, 12))
+
+    def test_overlap(self):
+        a = RegionRect(0, 0, 4, 4)
+        assert a.overlaps(RegionRect(4, 4, 8, 8))
+        assert not a.overlaps(RegionRect(5, 0, 8, 4))
+        assert not a.overlaps(RegionRect(0, 5, 4, 8))
+
+    def test_contains_rect(self):
+        outer = RegionRect(0, 0, 10, 10)
+        assert outer.contains_rect(RegionRect(2, 2, 5, 5))
+        assert not outer.contains_rect(RegionRect(2, 2, 11, 5))
+
+    def test_clip(self):
+        dev = get_device("XCV50")
+        clipped = RegionRect(0, 0, 99, 99).clip_to(dev)
+        assert clipped == full_device_region(dev)
+
+    def test_sites_enumeration(self):
+        rect = RegionRect(1, 1, 2, 3)
+        assert len(list(rect.sites())) == rect.tiles
+
+    @given(st.integers(0, 10), st.integers(0, 10), st.integers(0, 10), st.integers(0, 10))
+    def test_property_contains_iff_in_bounds(self, rmin, cmin, dh, dw):
+        rect = RegionRect(rmin, cmin, rmin + dh, cmin + dw)
+        pts = list(rect.sites())
+        assert all(rect.contains(r, c) for r, c in pts)
+        assert len(pts) == rect.tiles
+
+
+class TestAreaGroups:
+    def test_pattern_matching(self):
+        g = AreaGroup("AG", ["u1/*"])
+        assert g.matches("u1/nrz")
+        assert g.matches("u1/sub/deep")
+        assert not g.matches("u2/nrz")
+        assert not g.matches("u1")  # glob needs the slash
+
+    def test_constraints_group_of(self):
+        cons = Constraints(groups=[
+            AreaGroup("A", ["u1/*"], RegionRect(0, 0, 3, 3)),
+            AreaGroup("B", ["u2/*"], RegionRect(0, 4, 3, 7)),
+        ])
+        assert cons.group_of("u1/x").name == "A"
+        assert cons.group_of("u2/x").name == "B"
+        assert cons.group_of("u3/x") is None
+
+    def test_group_by_name(self):
+        cons = Constraints(groups=[AreaGroup("A", ["u1/*"])])
+        assert cons.group_by_name("A").name == "A"
+        with pytest.raises(ConstraintError):
+            cons.group_by_name("Z")
+
+    def test_loc_of(self):
+        cons = Constraints(locs={"u1/reg*": "CLB_R1C1.S0"})
+        assert cons.loc_of("u1/reg5") == "CLB_R1C1.S0"
+        assert cons.loc_of("u2/reg5") is None
+
+    def test_validate_range_bounds(self):
+        dev = get_device("XCV50")
+        cons = Constraints(groups=[AreaGroup("A", ["*"], RegionRect(0, 0, 20, 3))])
+        with pytest.raises(ConstraintError):
+            cons.validate(dev)
+
+    def test_validate_prohibit_bounds(self):
+        dev = get_device("XCV50")
+        cons = Constraints(prohibited={(99, 0)})
+        with pytest.raises(ConstraintError):
+            cons.validate(dev)
+
+    def test_merged(self):
+        a = Constraints(locs={"x": "CLB_R1C1.S0"})
+        b = Constraints(prohibited={(1, 1)}, groups=[AreaGroup("G", ["*"])])
+        m = a.merged_with(b)
+        assert m.locs and m.prohibited and m.groups
+        assert not a.prohibited  # originals untouched

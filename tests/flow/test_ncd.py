@@ -1,0 +1,89 @@
+"""NCD database tests: model queries and binary serialization."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream.bitgen import generate_frames
+from repro.errors import FlowError
+from repro.flow.ncd import NcdDesign
+
+
+class TestQueries:
+    def test_comp_lookup(self, counter_flow):
+        design = counter_flow.design
+        name = next(iter(design.slices))
+        assert design.comp(name) is design.slices[name]
+        iob = next(iter(design.iobs))
+        assert design.comp(iob) is design.iobs[iob]
+        with pytest.raises(FlowError):
+            design.comp("missing")
+
+    def test_flags(self, counter_flow):
+        assert counter_flow.design.placed()
+        assert counter_flow.design.routed()
+
+    def test_used_columns_cover_placement(self, counter_flow):
+        design = counter_flow.design
+        placed_cols = {c.site[1] for c in design.slices.values()}
+        assert placed_cols <= design.used_columns()
+
+    def test_stats(self, counter_flow):
+        s = counter_flow.design.stats()
+        assert s["slices"] >= 2
+        assert s["nets"] > 0
+        assert s["pips"] > 0
+
+    def test_bel_pin_names(self, counter_flow):
+        comp = next(iter(counter_flow.design.slices.values()))
+        assert comp.bels["F"].out_pin == "X"
+        assert comp.bels["G"].out_pin == "Y"
+        assert comp.bels["F"].ff_out_pin == "XQ"
+        assert comp.bels["F"].bypass_pin == "BX"
+        assert comp.bels["G"].bypass_pin == "BY"
+
+
+class TestSerialization:
+    def test_roundtrip_produces_identical_frames(self, counter_flow):
+        design = counter_flow.design
+        data = design.to_bytes()
+        loaded = NcdDesign.from_bytes(data)
+        f1, f2 = generate_frames(design), generate_frames(loaded)
+        assert np.array_equal(f1.data, f2.data)
+
+    def test_roundtrip_preserves_structure(self, counter_flow):
+        design = counter_flow.design
+        loaded = NcdDesign.from_bytes(design.to_bytes())
+        assert loaded.name == design.name
+        assert loaded.part == design.part
+        assert set(loaded.slices) == set(design.slices)
+        assert set(loaded.iobs) == set(design.iobs)
+        assert set(loaded.nets) == set(design.nets)
+        for name, net in design.nets.items():
+            lnet = loaded.nets[name]
+            assert lnet.pips == net.pips
+            assert lnet.is_clock == net.is_clock
+            assert [s.ref.pin for s in lnet.sinks] == [s.ref.pin for s in net.sinks]
+            assert [s.delay_ns for s in lnet.sinks] == pytest.approx(
+                [s.delay_ns for s in net.sinks]
+            )
+
+    def test_save_load_file(self, counter_flow, tmp_path):
+        path = str(tmp_path / "design.ncd")
+        counter_flow.design.save(path)
+        loaded = NcdDesign.load(path)
+        assert loaded.stats() == counter_flow.design.stats()
+
+    def test_bad_magic(self):
+        with pytest.raises(FlowError, match="magic"):
+            NcdDesign.from_bytes(b"JUNKJUNKJUNK")
+
+    def test_truncated(self, counter_flow):
+        data = counter_flow.design.to_bytes()
+        with pytest.raises(FlowError, match="truncated"):
+            NcdDesign.from_bytes(data[: len(data) // 2])
+
+    def test_version_checked(self, counter_flow):
+        data = bytearray(counter_flow.design.to_bytes())
+        data[4:6] = (99).to_bytes(2, "big")
+        with pytest.raises(FlowError, match="version"):
+            NcdDesign.from_bytes(bytes(data))

@@ -1,0 +1,160 @@
+"""Slice packing tests."""
+
+import pytest
+
+from repro.errors import PackError
+from repro.flow.pack import module_prefix, pack
+from repro.flow.techmap import techmap
+from repro.netlist import NetlistBuilder
+from tests.conftest import build_counter_netlist
+
+
+def packed_counter(width=4):
+    nl, gen = build_counter_netlist(width)
+    techmap(nl)
+    return pack(nl, "XCV50") + (gen,)
+
+
+class TestModulePrefix:
+    def test_hierarchy(self):
+        assert module_prefix("u1/nrz") == "u1"
+        assert module_prefix("u1/sub/x") == "u1"
+        assert module_prefix("top") == ""
+
+
+class TestPairing:
+    def test_lut_ff_pairs_absorbed(self):
+        design, stats, _ = packed_counter()
+        assert stats.pairs == 4  # every counter FF is fed by one LUT
+        for comp in design.slices.values():
+            for bel in comp.bels.values():
+                if bel.ff_cell and bel.lut_cell:
+                    assert bel.ff_d_from_lut
+
+    def test_internal_nets_not_physical(self):
+        design, _, _ = packed_counter()
+        for comp in design.slices.values():
+            for bel in comp.bels.values():
+                if bel.ff_cell and bel.ff_d_from_lut:
+                    # no physical net may target this bel's bypass pin
+                    for net in design.nets.values():
+                        for sink in net.sinks:
+                            assert not (
+                                sink.ref.comp == comp.name
+                                and sink.ref.pin == bel.bypass_pin
+                            )
+
+    def test_unpaired_ff_uses_bypass(self):
+        b = NetlistBuilder("t")
+        clk, d = b.clock("clk"), b.input("d")
+        q1 = b.reg(d, clk, name="ff1")   # D driven by IBUF, not a LUT
+        b.output("q", q1)
+        nl = b.finish()
+        techmap(nl)
+        design, stats, = pack(nl, "XCV50")
+        assert stats.pairs == 0
+        net_pins = {
+            (s.ref.comp, s.ref.pin)
+            for n in design.nets.values()
+            for s in n.sinks
+        }
+        assert any(pin in ("BX", "BY") for _, pin in net_pins)
+
+    def test_shared_fanout_lut_not_absorbed(self):
+        b = NetlistBuilder("t")
+        clk, a, c = b.clock("clk"), b.input("a"), b.input("c")
+        x = b.and_(a, c)
+        q = b.reg(x, clk)
+        b.output("q", q)
+        b.output("x", x)  # the LUT output is also observed directly
+        nl = b.finish()
+        techmap(nl)
+        design, stats = pack(nl, "XCV50")
+        assert stats.pairs == 0
+
+
+class TestClustering:
+    def test_two_bels_per_slice(self):
+        design, stats, _ = packed_counter(8)
+        for comp in design.slices.values():
+            used = sum(1 for b in comp.bels.values() if b.used)
+            assert 1 <= used <= 2
+
+    def test_clock_shared_within_slice(self):
+        design, _, _ = packed_counter(8)
+        for comp in design.slices.values():
+            ffs = [b for b in comp.bels.values() if b.ff_cell]
+            if len(ffs) == 2:
+                assert comp.clk_net is not None
+
+    def test_incompatible_ce_not_shared(self):
+        b = NetlistBuilder("t")
+        clk = b.clock("clk")
+        d, ce1, ce2 = b.input("d"), b.input("ce1"), b.input("ce2")
+        q1 = b.reg(b.not_(d), clk, ce=ce1, name="f1")
+        q2 = b.reg(b.buf(d), clk, ce=ce2, name="f2")
+        b.output("q1", q1)
+        b.output("q2", q2)
+        nl = b.finish()
+        techmap(nl)
+        design, _ = pack(nl, "XCV50")
+        for comp in design.slices.values():
+            ffs = [bel for bel in comp.bels.values() if bel.ff_cell]
+            assert len(ffs) <= 1  # different CE nets cannot share a slice
+
+    def test_modules_not_mixed(self):
+        b = NetlistBuilder("t")
+        clk = b.clock("clk")
+        with b.scope("m1"):
+            q1 = b.reg(b.not_(b.input("a")), clk)
+        with b.scope("m2"):
+            q2 = b.reg(b.not_(b.input("c")), clk)
+        b.output("q1", q1)
+        b.output("q2", q2)
+        nl = b.finish()
+        techmap(nl)
+        design, _ = pack(nl, "XCV50")
+        for comp in design.slices.values():
+            prefixes = {module_prefix(c) for c in comp.cells()}
+            assert len(prefixes) == 1
+
+
+class TestNets:
+    def test_every_net_has_source_and_sinks(self):
+        design, _, _ = packed_counter()
+        for net in design.nets.values():
+            assert net.source.comp
+            assert net.sinks
+
+    def test_clock_net_flagged(self):
+        design, _, _ = packed_counter()
+        clock_nets = [n for n in design.nets.values() if n.is_clock]
+        assert len(clock_nets) == 1
+        assert all(s.ref.pin == "CLK" for s in clock_nets[0].sinks)
+
+    def test_clk_sink_deduplicated_per_slice(self):
+        design, _, _ = packed_counter(8)
+        clock_net = next(n for n in design.nets.values() if n.is_clock)
+        comps = [s.ref.comp for s in clock_net.sinks]
+        assert len(comps) == len(set(comps))
+
+    def test_iobs_created(self):
+        design, stats, gen = packed_counter()
+        assert stats.iobs == len(gen.outputs)
+        assert len(design.gclks) == 1
+
+    def test_comp_named_like_paper(self):
+        # slice components carry a principal cell's hierarchical name,
+        # like the paper's `inst "u1/nrz" "SLICE"` example
+        design, _, _ = packed_counter()
+        assert all(name.startswith("u1/") for name in design.slices)
+
+
+class TestErrors:
+    def test_unmapped_constants_rejected(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        b.output("y", b.and_(a, b.const(1)))
+        nl = b.finish()
+        with pytest.raises(PackError, match="techmap"):
+            pack(nl, "XCV50")

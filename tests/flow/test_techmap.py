@@ -1,0 +1,194 @@
+"""Technology mapping tests: merging, constants, semantic preservation."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TechmapError
+from repro.flow.techmap import techmap
+from repro.netlist import NetlistBuilder, NetlistSimulator, parse_expr
+
+
+def exhaustive_equal(netlist_a, netlist_b, inputs):
+    sa, sb = NetlistSimulator(netlist_a), NetlistSimulator(netlist_b)
+    outs = [p.name for p in netlist_a.output_ports()]
+    for bits in itertools.product((0, 1), repeat=len(inputs)):
+        stim = dict(zip(inputs, bits))
+        sa.set_inputs(stim)
+        sb.set_inputs(stim)
+        for o in outs:
+            if sa.output(o) != sb.output(o):
+                return False, stim, o
+    return True, None, None
+
+
+def expr_netlists(text, names):
+    """The same expression, pre- and post-techmap."""
+    def build():
+        b = NetlistBuilder("t")
+        env = {n: b.input(n) for n in names}
+        b.output("y", parse_expr(b, text, env))
+        return b.finish()
+
+    before = build()
+    after = build()
+    stats = techmap(after)
+    return before, after, stats
+
+
+class TestMerging:
+    def test_chain_collapses_to_single_lut(self):
+        before, after, stats = expr_netlists("a & c & d & e", ["a", "c", "d", "e"])
+        assert len(after.luts()) == 1
+        assert after.luts()[0].kind.lut_width == 4
+        ok, stim, _ = exhaustive_equal(before, after, ["a", "c", "d", "e"])
+        assert ok, stim
+
+    def test_fanout_blocks_merge(self):
+        b = NetlistBuilder("t")
+        a, c = b.input("a"), b.input("c")
+        shared = b.and_(a, c)
+        b.output("y1", b.not_(shared))
+        b.output("y2", b.xor_(shared, a))
+        nl = b.finish()
+        techmap(nl)
+        # 'shared' has fanout 2 -> its driver cannot be absorbed twice;
+        # semantics must hold regardless
+        b2 = NetlistBuilder("t")
+        a2, c2 = b2.input("a"), b2.input("c")
+        s2 = b2.and_(a2, c2)
+        b2.output("y1", b2.not_(s2))
+        b2.output("y2", b2.xor_(s2, a2))
+        ok, stim, _ = exhaustive_equal(b2.finish(), nl, ["a", "c"])
+        assert ok, stim
+
+    def test_support_limit_respected(self):
+        _, after, _ = expr_netlists(
+            "a ^ c ^ d ^ e ^ f ^ g", ["a", "c", "d", "e", "f", "g"]
+        )
+        for lut in after.luts():
+            assert lut.kind.lut_width <= 4
+
+    def test_lut_count_reduced(self):
+        before, after, stats = expr_netlists(
+            "(a & c) | (d & e) | (a & e)", ["a", "c", "d", "e"]
+        )
+        assert stats.luts_after < stats.luts_before
+        assert stats.merges > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from([
+        "a & (c | d) ^ e",
+        "~(a ^ c) | (d & ~e)",
+        "a & c | a & d | c & d",
+        "((a | c) & (d | e)) ^ (a & e)",
+        "~a & ~c & ~d",
+        "a ^ (c & (d | (e & a)))",
+    ]))
+    def test_property_semantics_preserved(self, text):
+        names = ["a", "c", "d", "e"]
+        before, after, _ = expr_netlists(text, names)
+        ok, stim, out = exhaustive_equal(before, after, names)
+        assert ok, (text, stim, out)
+
+
+class TestConstants:
+    def test_constant_input_folded(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        b.output("y", b.and_(a, b.const(1)))
+        nl = b.finish()
+        stats = techmap(nl)
+        assert stats.constants_folded > 0
+        # the result is a buffer LUT of a
+        sim = NetlistSimulator(nl)
+        sim.set_input("a", 1)
+        assert sim.output("y") == 1
+        sim.set_input("a", 0)
+        assert sim.output("y") == 0
+
+    def test_fully_constant_cone_propagates(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        c1 = b.and_(b.const(1), b.const(1))
+        b.output("y", b.xor_(a, c1))
+        nl = b.finish()
+        techmap(nl)
+        sim = NetlistSimulator(nl)
+        sim.set_input("a", 0)
+        assert sim.output("y") == 1
+
+    def test_no_constants_survive(self):
+        from repro.netlist.library import CellKind
+
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        b.output("y", b.or_(a, b.const(0)))
+        nl = b.finish()
+        techmap(nl)
+        assert not nl.cells_of_kind(CellKind.GND, CellKind.VCC)
+
+    def test_ce_const1_dropped(self):
+        b = NetlistBuilder("t")
+        clk, d = b.clock("clk"), b.input("d")
+        b.output("q", b.reg(d, clk, ce=b.const(1)))
+        nl = b.finish()
+        techmap(nl)
+        ff = nl.ffs()[0]
+        assert "CE" not in ff.pins
+
+    def test_ce_const0_rejected(self):
+        b = NetlistBuilder("t")
+        clk, d = b.clock("clk"), b.input("d")
+        b.output("q", b.reg(d, clk, ce=b.const(0)))
+        nl = b.finish()
+        with pytest.raises(TechmapError, match="CE"):
+            techmap(nl)
+
+    def test_sr_const0_dropped(self):
+        b = NetlistBuilder("t")
+        clk, d = b.clock("clk"), b.input("d")
+        b.output("q", b.reg(d, clk, sr=b.const(0)))
+        nl = b.finish()
+        techmap(nl)
+        assert "SR" not in nl.ffs()[0].pins
+
+    def test_sr_const1_rejected(self):
+        b = NetlistBuilder("t")
+        clk, d = b.clock("clk"), b.input("d")
+        b.output("q", b.reg(d, clk, sr=b.const(1)))
+        nl = b.finish()
+        with pytest.raises(TechmapError, match="SR"):
+            techmap(nl)
+
+
+class TestDedup:
+    def test_duplicate_inputs_collapsed(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        b.output("y", b.and_(a, a))
+        nl = b.finish()
+        stats = techmap(nl)
+        assert stats.inputs_deduped >= 1
+        lut = nl.luts()[0]
+        ins = [lut.pins[f"I{i}"] for i in range(lut.kind.lut_width)]
+        assert len(set(ins)) == len(ins)
+        sim = NetlistSimulator(nl)
+        sim.set_input("a", 1)
+        assert sim.output("y") == 1
+
+
+class TestSequentialPreserved:
+    def test_counter_behaviour_unchanged(self):
+        from tests.conftest import build_counter_netlist
+
+        nl, gen = build_counter_netlist(4)
+        techmap(nl)
+        sim = NetlistSimulator(nl)
+        seq = []
+        for _ in range(18):
+            seq.append(sim.output_word(gen.outputs))
+            sim.tick()
+        assert seq == [i % 16 for i in range(18)]

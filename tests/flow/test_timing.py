@@ -1,0 +1,64 @@
+"""Static timing analysis tests."""
+
+import pytest
+
+from repro.errors import FlowError
+from repro.flow import run_flow
+from repro.flow.timing import CLK_TO_Q_NS, IOB_IN_NS, LUT_DELAY_NS, SETUP_NS, analyze
+from tests.conftest import build_comb_netlist, build_counter_netlist
+
+
+class TestReports:
+    def test_counter_report(self, counter_flow):
+        report = counter_flow.timing
+        assert report.critical_ns > 0
+        assert 1.0 < report.fmax_mhz < 1000.0
+        assert report.critical_endpoint
+        assert report.endpoints
+
+    def test_requires_routed(self):
+        from repro.flow.pack import pack
+        from repro.flow.techmap import techmap
+
+        nl, _ = build_counter_netlist()
+        techmap(nl)
+        design, _ = pack(nl, "XCV50")
+        with pytest.raises(FlowError, match="routed"):
+            analyze(design)
+
+    def test_worst_sorted(self, counter_flow):
+        worst = counter_flow.timing.worst(3)
+        arr = [e.arrival_ns for e in worst]
+        assert arr == sorted(arr, reverse=True)
+
+    def test_endpoint_kinds(self, counter_flow):
+        kinds = {e.kind for e in counter_flow.timing.endpoints}
+        assert kinds == {"ff", "pad"}
+
+    def test_comb_design_pad_endpoints_only(self, comb_flow):
+        kinds = {e.kind for e in comb_flow.timing.endpoints}
+        assert kinds == {"pad"}
+
+
+class TestDelaysAreSane:
+    def test_ff_paths_include_clk_to_q_and_setup(self, counter_flow):
+        ff_ends = [e for e in counter_flow.timing.endpoints if e.kind == "ff"]
+        # any register-to-register path is at least clk->Q + LUT + setup
+        floor = CLK_TO_Q_NS + LUT_DELAY_NS + SETUP_NS - 1e-9
+        assert all(e.arrival_ns >= SETUP_NS for e in ff_ends)
+        assert max(e.arrival_ns for e in ff_ends) >= floor
+
+    def test_pad_paths_include_iob_delay(self, comb_flow):
+        pad_ends = [e for e in comb_flow.timing.endpoints if e.kind == "pad"]
+        assert all(e.arrival_ns > IOB_IN_NS for e in pad_ends)
+
+    def test_longer_logic_is_slower(self):
+        """A 12-bit ripple counter's carry chain must be slower than a
+        4-bit one."""
+        small = run_flow(build_counter_netlist(4)[0], "XCV50", seed=1)
+        big = run_flow(build_counter_netlist(12)[0], "XCV50", seed=1)
+        assert big.timing.critical_ns > small.timing.critical_ns
+
+    def test_fmax_reciprocal(self, counter_flow):
+        report = counter_flow.timing
+        assert report.fmax_mhz == pytest.approx(1000.0 / report.critical_ns)

@@ -1,0 +1,113 @@
+"""Board and design-harness tests."""
+
+import pytest
+
+from repro.bitstream.assembler import partial_stream
+from repro.errors import SimulationError, XhwifError
+from repro.hwsim import Board, DesignHarness
+from repro.jbits import JBits
+from repro.devices.resources import SLICE
+
+
+@pytest.fixture()
+def running_counter(counter_bitfile, counter_flow):
+    board = Board("XCV50")
+    board.download(counter_bitfile)
+    return board, DesignHarness(board, counter_flow.design)
+
+
+class TestBoard:
+    def test_unconfigured_access_rejected(self):
+        board = Board("XCV50")
+        with pytest.raises(XhwifError):
+            board.model()
+        with pytest.raises(XhwifError):
+            board.readback()
+
+    def test_download_report(self, counter_bitfile):
+        board = Board("XCV50")
+        report = board.download(counter_bitfile)
+        assert report.bytes == counter_bitfile.size
+        assert board.total_config_seconds == report.seconds
+
+    def test_readback_equals_frames(self, counter_bitfile, counter_frames):
+        board = Board("XCV50")
+        board.download(counter_bitfile)
+        rb = board.readback()
+        assert rb == counter_frames
+        rb.set_bit(100, 5, 1 - rb.get_bit(100, 5))  # readback is a snapshot
+        assert rb != board.frames
+
+    def test_state_survives_dynamic_partial(self, counter_bitfile, counter_frames, counter_flow):
+        """FF state outside the written region survives a dynamic partial
+        reconfiguration (the defining property of the technique)."""
+        board = Board("XCV50")
+        board.download(counter_bitfile)
+        h = DesignHarness(board, counter_flow.design)
+        outs = [f"u1_o{i}" for i in range(4)]
+        h.clock(5)
+        assert h.get_word(outs) == 5
+        # rewrite an unrelated empty column
+        jb = JBits("XCV50")
+        jb.read(board.frames)
+        used = {c.site[1] for c in counter_flow.design.slices.values()}
+        idle_col = next(c for c in range(24) if c not in used)
+        jb.set(8, idle_col, SLICE[0].G, 0xAAAA)
+        board.download(jb.write_partial())
+        assert h.get_word(outs) == 5  # state preserved
+        h.clock()
+        assert h.get_word(outs) == 6  # still counting
+
+    def test_startup_partial_resets_state(self, counter_bitfile, counter_flow, counter_frames):
+        board = Board("XCV50")
+        board.download(counter_bitfile)
+        h = DesignHarness(board, counter_flow.design)
+        h.clock(5)
+        data = partial_stream(counter_frames, range(48), startup=True)
+        board.download(data)
+        outs = [f"u1_o{i}" for i in range(4)]
+        assert h.get_word(outs) == 0  # startup re-initialises
+
+
+class TestDesignHarness:
+    def test_counts(self, running_counter):
+        _, h = running_counter
+        outs = [f"u1_o{i}" for i in range(4)]
+        seq = []
+        for _ in range(6):
+            seq.append(h.get_word(outs))
+            h.clock()
+        assert seq == [0, 1, 2, 3, 4, 5]
+
+    def test_outputs_dict(self, running_counter):
+        _, h = running_counter
+        assert set(h.outputs()) == {f"u1_o{i}" for i in range(4)}
+
+    def test_part_mismatch_rejected(self, counter_flow):
+        board = Board("XCV100")
+        with pytest.raises(SimulationError, match="XCV100"):
+            DesignHarness(board, counter_flow.design)
+
+    def test_unknown_ports_rejected(self, running_counter):
+        _, h = running_counter
+        with pytest.raises(SimulationError):
+            h.set("nope", 1)
+        with pytest.raises(SimulationError):
+            h.get("nope")
+        with pytest.raises(SimulationError):
+            h.set_many({"nope": 1})
+
+    def test_named_clock(self, running_counter):
+        _, h = running_counter
+        h.clock(2, port="clk")
+        assert h.get_word([f"u1_o{i}" for i in range(4)]) == 2
+
+    def test_set_word(self, comb_flow, counter_bitfile):
+        from repro.bitstream.bitgen import bitgen
+
+        board = Board("XCV50")
+        board.download(bitgen(comb_flow.design))
+        h = DesignHarness(board, comb_flow.design)
+        h.set_word(["a", "c", "d"], 0b011)  # a=1, c=1, d=0
+        assert h.get("y") == 1  # (a&c)^d
+        assert h.get("z") == 1

@@ -1,0 +1,134 @@
+"""Frame-decode functional simulator tests — hardware vs golden model."""
+
+import itertools
+
+import pytest
+
+from repro.bitstream.bitgen import generate_frames
+from repro.bitstream.frames import FrameMemory
+from repro.devices import get_device
+from repro.errors import ContentionError, SimulationError
+from repro.flow import run_flow
+from repro.hwsim.functional import HardwareModel
+from repro.netlist import NetlistBuilder, NetlistSimulator
+from tests.conftest import build_comb_netlist, build_counter_netlist
+
+
+def harness_pads(design):
+    ins = {iob.port: iob.site.name for iob in design.iobs.values() if iob.direction == "in"}
+    outs = {iob.port: iob.site.name for iob in design.iobs.values() if iob.direction == "out"}
+    return ins, outs
+
+
+class TestDecode:
+    def test_stats_match_design(self, counter_flow, counter_frames):
+        hw = HardwareModel(counter_frames)
+        s = hw.stats()
+        assert s["slices"] == len(counter_flow.design.slices)
+        assert s["output_pads"] == len(
+            [i for i in counter_flow.design.iobs.values() if i.direction == "out"]
+        )
+        assert s["ffs"] == 4
+
+    def test_blank_device_is_empty(self):
+        hw = HardwareModel(FrameMemory(get_device("XCV50")))
+        assert hw.stats()["slices"] == 0
+        assert hw.input_pads == [] and hw.output_pads == []
+
+    def test_contention_detected(self, counter_frames):
+        from repro.devices.wires import pip_by_wires
+
+        fm = counter_frames.clone()
+        # drive SE0 at a far-away tile from two different sources: the
+        # local OMUX and the straight-through continuation from the west
+        fm.set_pip(14, 20, pip_by_wires("OUT0", "SE0").index, 1)
+        fm.set_pip(14, 20, pip_by_wires("SE0", "SE0").index, 1)
+        with pytest.raises(ContentionError):
+            HardwareModel(fm)
+
+    def test_invalid_pip_detected(self):
+        from repro.devices.wires import PIP_TABLE
+
+        fm = FrameMemory(get_device("XCV50"))
+        # a PIP whose source would be off-device at the corner
+        bad = next(
+            p for p in PIP_TABLE
+            if p.src[:2] == (0, -1)
+        )
+        fm.set_pip(0, 0, bad.index, 1)
+        with pytest.raises(SimulationError, match="off-device"):
+            HardwareModel(fm)
+
+
+class TestSequentialEquivalence:
+    def test_counter_matches_golden(self, counter_flow, counter_frames):
+        netlist, gen = build_counter_netlist(4)
+        golden = NetlistSimulator(netlist)
+        hw = HardwareModel(counter_frames)
+        _, outs = harness_pads(counter_flow.design)
+        for cycle in range(25):
+            for port, site in outs.items():
+                assert hw.get_pad(site) == golden.output(port), (cycle, port)
+            golden.tick()
+            hw.tick()
+
+    def test_reset_state(self, counter_frames):
+        hw = HardwareModel(counter_frames)
+        hw.tick(7)
+        hw.reset_state()
+        hw._settle()
+        vals = [hw.get_pad(p) for p in hw.output_pads]
+        hw2 = HardwareModel(counter_frames)
+        assert vals == [hw2.get_pad(p) for p in hw2.output_pads]
+
+
+class TestCombinationalEquivalence:
+    def test_exhaustive_match(self, comb_flow):
+        frames = generate_frames(comb_flow.design)
+        hw = HardwareModel(frames)
+        golden = NetlistSimulator(build_comb_netlist())
+        ins, outs = harness_pads(comb_flow.design)
+        for bits in itertools.product((0, 1), repeat=len(ins)):
+            stim = dict(zip(sorted(ins), bits))
+            golden.set_inputs(stim)
+            hw.set_pads({ins[k]: v for k, v in stim.items()})
+            for port, site in outs.items():
+                assert hw.get_pad(site) == golden.output(port), stim
+
+
+class TestPads:
+    def test_unknown_pads_rejected(self, counter_frames):
+        hw = HardwareModel(counter_frames)
+        with pytest.raises(SimulationError):
+            hw.set_pad("IOB_L_R1_0", 1)  # not an enabled input
+        with pytest.raises(SimulationError):
+            hw.get_pad("IOB_L_R1_0")
+
+    def test_input_pads_listed(self, comb_flow):
+        frames = generate_frames(comb_flow.design)
+        hw = HardwareModel(frames)
+        assert len(hw.input_pads) == 3
+        assert len(hw.output_pads) == 2
+
+
+class TestClockDomains:
+    def test_two_clock_domains_tick_independently(self):
+        b = NetlistBuilder("two_clk")
+        clk_a, clk_b = b.clock("cka"), b.clock("ckb")
+        qa = b.new_ff(clk_a, name="fa")
+        b.drive_ff(qa, b.not_(qa))
+        qb = b.new_ff(clk_b, name="fb")
+        b.drive_ff(qb, b.not_(qb))
+        b.output("qa", qa)
+        b.output("qb", qb)
+        res = run_flow(b.finish(), "XCV50", seed=5)
+        frames = generate_frames(res.design)
+        hw = HardwareModel(frames)
+        _, outs = harness_pads(res.design)
+        ga = res.design.gclks["cka__ibuf"].index
+        hw.tick(gclk=ga)  # only domain A advances
+        assert hw.get_pad(outs["qa"]) == 1
+        assert hw.get_pad(outs["qb"]) == 0
+        hw.tick()  # both advance
+        assert hw.get_pad(outs["qa"]) == 0
+        assert hw.get_pad(outs["qb"]) == 1

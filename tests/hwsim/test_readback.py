@@ -1,0 +1,139 @@
+"""FDRO readback tests: command streams, data, verify, timing."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream.frames import FrameMemory
+from repro.bitstream.readback import (
+    decode_readback,
+    readback_command_stream,
+    readback_plan,
+    verify_frames,
+)
+from repro.bitstream.reader import ConfigInterpreter
+from repro.devices import get_device
+from repro.devices.resources import SLICE
+from repro.errors import BitstreamError
+from repro.hwsim import Board
+
+
+class TestCommandStream:
+    def test_interpreter_produces_data(self, counter_frames):
+        dev = get_device("XCV50")
+        cmd = readback_command_stream(dev, 100, 5)
+        interp = ConfigInterpreter(counter_frames.clone())
+        stats = interp.feed_bytes(cmd)
+        assert stats.frames_read == 5
+        assert stats.readback_requests == [(100, 5)]
+        words = interp.take_output()
+        assert words.size == 5 * dev.geometry.frame_words
+        assert np.array_equal(
+            decode_readback(dev, words, 5), counter_frames.data[100:105]
+        )
+
+    def test_take_output_clears(self, counter_frames):
+        dev = get_device("XCV50")
+        interp = ConfigInterpreter(counter_frames.clone())
+        interp.feed_bytes(readback_command_stream(dev, 0, 1))
+        assert interp.take_output().size == dev.geometry.frame_words
+        assert interp.take_output().size == 0
+
+    def test_large_read_uses_type2(self, counter_frames):
+        dev = get_device("XCV50")
+        cmd = readback_command_stream(dev, 0, dev.geometry.total_frames)
+        interp = ConfigInterpreter(counter_frames.clone())
+        stats = interp.feed_bytes(cmd)
+        assert stats.frames_read == dev.geometry.total_frames
+
+    def test_bounds_checked(self):
+        dev = get_device("XCV50")
+        with pytest.raises(BitstreamError):
+            readback_command_stream(dev, dev.geometry.total_frames - 1, 5)
+        with pytest.raises(BitstreamError):
+            readback_command_stream(dev, 0, 0)
+
+    def test_read_outside_rcfg_rejected(self, counter_frames):
+        from repro.bitstream.packets import (
+            Command, Opcode, PacketWriter, Register, type1_header,
+        )
+
+        dev = get_device("XCV50")
+        w = PacketWriter()
+        w.dummy(); w.sync()
+        w.command(Command.RCRC)
+        w.write_reg(Register.FLR, dev.geometry.flr_value)
+        w.raw(type1_header(Opcode.READ, Register.FDRO, dev.geometry.frame_words))
+        with pytest.raises(BitstreamError, match="RCFG"):
+            ConfigInterpreter(counter_frames.clone()).feed_bytes(w.to_bytes())
+
+    def test_misaligned_read_rejected(self, counter_frames):
+        from repro.bitstream.packets import (
+            Command, Opcode, PacketWriter, Register, type1_header,
+        )
+
+        dev = get_device("XCV50")
+        w = PacketWriter()
+        w.dummy(); w.sync()
+        w.command(Command.RCRC)
+        w.write_reg(Register.FLR, dev.geometry.flr_value)
+        w.command(Command.RCFG)
+        w.raw(type1_header(Opcode.READ, Register.FDRO, 5))
+        with pytest.raises(BitstreamError, match="multiple"):
+            ConfigInterpreter(counter_frames.clone()).feed_bytes(w.to_bytes())
+
+
+class TestBoardReadback:
+    def test_full_readback_equals_frames(self, counter_bitfile, counter_frames):
+        board = Board("XCV50")
+        board.download(counter_bitfile)
+        assert board.readback() == counter_frames
+
+    def test_window_readback(self, counter_bitfile, counter_frames):
+        board = Board("XCV50")
+        board.download(counter_bitfile)
+        data, report = board.readback_frames(200, 10)
+        assert np.array_equal(data, counter_frames.data[200:210])
+        assert report.frames == 10
+        assert report.cycles == (report.command_bytes + report.data_bytes)
+        assert report.seconds > 0
+
+    def test_verify_passes_then_catches_corruption(self, counter_bitfile, counter_frames):
+        board = Board("XCV50")
+        board.download(counter_bitfile)
+        assert board.verify(counter_frames) == []
+        # corrupt one frame behind the port's back (SEU-style upset)
+        board.frames.set_bit(321, 7, 1 - board.frames.get_bit(321, 7))
+        assert board.verify(counter_frames) == [321]
+
+    def test_readback_is_nondestructive(self, counter_bitfile, counter_frames):
+        board = Board("XCV50")
+        board.download(counter_bitfile)
+        board.readback_frames(0, 100)
+        assert board.frames == counter_frames
+
+
+class TestVerifyHelpers:
+    def test_verify_frames_window(self, counter_frames):
+        got = counter_frames.data[50:60].copy()
+        assert verify_frames(counter_frames, got, 50) == []
+        got[3] ^= 1
+        assert verify_frames(counter_frames, got, 50) == [53]
+
+    def test_readback_plan(self):
+        assert readback_plan([1, 2, 3, 10]) == [(1, 3), (10, 1)]
+
+
+class TestPartialThenReadback:
+    def test_partial_visible_in_readback(self, counter_bitfile):
+        board = Board("XCV50")
+        board.download(counter_bitfile)
+        from repro.jbits import JBits
+
+        jb = JBits("XCV50")
+        jb.read(board.readback())
+        jb.set(7, 9, SLICE[1].G, 0xC3C3)
+        board.download(jb.write_partial(checkpoint=False))
+        dirty = jb.dirty_frames
+        data, _ = board.readback_frames(dirty[0], len(dirty))
+        fm = FrameMemory(get_device("XCV50"), board.readback().data)
+        assert fm.get_field(7, 9, SLICE[1].G) == 0xC3C3

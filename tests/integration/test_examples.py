@@ -1,0 +1,40 @@
+"""Smoke-run the example scripts in-process (regression guard).
+
+Only the fast examples run here; the larger scenario walk-throughs
+(region_combinations, string_matching) are exercised by the benchmarks.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "name,marker",
+    [
+        ("quickstart", "OK - partial reconfiguration"),
+        ("runtime_lut_tuning", "OK - LUT-level"),
+        ("readback_scrubbing", "OK - detect-and-repair"),
+        ("jroute_patch", "OK - live patch"),
+        ("verilog_flow", "OK - two Verilog designs"),
+    ],
+)
+def test_example_runs_and_succeeds(name, marker, capsys):
+    out = run_example(name, capsys)
+    assert marker in out

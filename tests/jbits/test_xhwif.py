@@ -1,0 +1,48 @@
+"""XHWIF interface tests."""
+
+import pytest
+
+from repro.errors import XhwifError
+from repro.hwsim import Board
+from repro.jbits import NullXhwif, SimulatedXhwif
+
+
+class TestSimulatedXhwif:
+    def test_device_name(self):
+        xh = SimulatedXhwif(Board("XCV100"))
+        assert xh.get_device_name() == "XCV100"
+        assert xh.connected()
+
+    def test_send_configures_board(self, counter_bitfile):
+        board = Board("XCV50")
+        xh = SimulatedXhwif(board)
+        seconds = xh.send(counter_bitfile.config_bytes)
+        assert seconds > 0
+        assert board.configured
+
+    def test_readback_matches_download(self, counter_bitfile, counter_frames):
+        board = Board("XCV50")
+        xh = SimulatedXhwif(board)
+        xh.send(counter_bitfile.config_bytes)
+        assert xh.readback() == counter_frames
+
+    def test_clock_step(self, counter_bitfile):
+        board = Board("XCV50")
+        xh = SimulatedXhwif(board)
+        xh.send(counter_bitfile.config_bytes)
+        xh.clock_step(3)  # must not raise
+
+
+class TestNullXhwif:
+    def test_counts_bytes(self):
+        xh = NullXhwif("XCV50")
+        assert xh.send(b"abcd") == 0.0
+        assert xh.bytes_sent == 4
+        assert not xh.connected()
+
+    def test_no_hardware_operations(self):
+        xh = NullXhwif()
+        with pytest.raises(XhwifError):
+            xh.readback()
+        with pytest.raises(XhwifError):
+            xh.clock_step(1)

@@ -1,0 +1,205 @@
+"""Builder tests: gates, vectors, scopes, feedback FFs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist import NetlistBuilder, NetlistSimulator
+
+
+def sim_of(build):
+    b = NetlistBuilder("t")
+    build(b)
+    return NetlistSimulator(b.finish())
+
+
+class TestGates:
+    @pytest.mark.parametrize(
+        "op,fn",
+        [
+            ("and_", lambda a, c: a & c),
+            ("or_", lambda a, c: a | c),
+            ("xor_", lambda a, c: a ^ c),
+            ("nand_", lambda a, c: 1 - (a & c)),
+            ("nor_", lambda a, c: 1 - (a | c)),
+            ("xnor_", lambda a, c: 1 - (a ^ c)),
+        ],
+    )
+    def test_two_input_gates(self, op, fn):
+        b = NetlistBuilder("t")
+        a, c = b.input("a"), b.input("c")
+        b.output("y", getattr(b, op)(a, c))
+        sim = NetlistSimulator(b.finish())
+        for av in (0, 1):
+            for cv in (0, 1):
+                sim.set_inputs({"a": av, "c": cv})
+                assert sim.output("y") == fn(av, cv)
+
+    def test_not_and_buf(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        b.output("n", b.not_(a))
+        b.output("f", b.buf(a))
+        sim = NetlistSimulator(b.finish())
+        sim.set_input("a", 1)
+        assert sim.output("n") == 0 and sim.output("f") == 1
+
+    def test_mux(self):
+        b = NetlistBuilder("t")
+        s, a0, a1 = b.input("s"), b.input("a0"), b.input("a1")
+        b.output("y", b.mux(s, a0, a1))
+        sim = NetlistSimulator(b.finish())
+        sim.set_inputs({"a0": 1, "a1": 0, "s": 0})
+        assert sim.output("y") == 1
+        sim.set_input("s", 1)
+        assert sim.output("y") == 0
+
+    def test_custom_lut(self):
+        b = NetlistBuilder("t")
+        ins = [b.input(f"i{k}") for k in range(4)]
+        b.output("y", b.lut(0x8000, *ins))  # 4-input AND
+        sim = NetlistSimulator(b.finish())
+        sim.set_inputs({f"i{k}": 1 for k in range(4)})
+        assert sim.output("y") == 1
+        sim.set_input("i2", 0)
+        assert sim.output("y") == 0
+
+    def test_lut_init_checked(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        with pytest.raises(NetlistError):
+            b.lut(5, a)  # LUT1 masks are 2 bits
+
+
+class TestWideGates:
+    @settings(max_examples=25)
+    @given(st.lists(st.booleans(), min_size=1, max_size=11))
+    def test_property_wide_ops(self, values):
+        b = NetlistBuilder("t")
+        ins = [b.input(f"i{k}") for k in range(len(values))]
+        b.output("and", b.and_n(ins))
+        b.output("or", b.or_n(ins))
+        b.output("xor", b.xor_n(ins))
+        sim = NetlistSimulator(b.finish())
+        sim.set_inputs({f"i{k}": int(v) for k, v in enumerate(values)})
+        assert sim.output("and") == int(all(values))
+        assert sim.output("or") == int(any(values))
+        assert sim.output("xor") == sum(values) % 2
+
+    def test_empty_reductions(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        y_and, y_or = b.and_n([]), b.or_n([])
+        b.output("keep", b.and_(a, b.xor_(y_and, y_or)))
+        sim = NetlistSimulator(b.finish())
+        sim.set_input("a", 1)
+        assert sim.output("keep") == 1  # and_n([])=1, or_n([])=0, xor=1
+
+
+class TestArithmetic:
+    @settings(max_examples=25)
+    @given(st.integers(0, 255), st.integers(0, 255), st.booleans())
+    def test_property_adder(self, x, y, carry_in):
+        b = NetlistBuilder("t")
+        xs = [b.input(f"x{i}") for i in range(8)]
+        ys = [b.input(f"y{i}") for i in range(8)]
+        total = b.add(xs, ys, cin=b.const(int(carry_in)))
+        for i, net in enumerate(total):
+            b.output(f"s{i}", net)
+        sim = NetlistSimulator(b.finish())
+        sim.set_inputs({f"x{i}": (x >> i) & 1 for i in range(8)})
+        sim.set_inputs({f"y{i}": (y >> i) & 1 for i in range(8)})
+        got = sim.output_word([f"s{i}" for i in range(9)])
+        assert got == x + y + int(carry_in)
+
+    def test_adder_width_mismatch(self):
+        b = NetlistBuilder("t")
+        with pytest.raises(NetlistError):
+            b.add([b.input("a")], [b.input("x"), b.input("y")])
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_property_eq_const(self, value, probe):
+        b = NetlistBuilder("t")
+        bits = [b.input(f"i{k}") for k in range(4)]
+        b.output("eq", b.eq_const(bits, value))
+        sim = NetlistSimulator(b.finish())
+        sim.set_inputs({f"i{k}": (probe >> k) & 1 for k in range(4)})
+        assert sim.output("eq") == int(probe == value)
+
+
+class TestRegisters:
+    def test_reg_with_ce(self):
+        b = NetlistBuilder("t")
+        clk, d, ce = b.clock("clk"), b.input("d"), b.input("ce")
+        b.output("q", b.reg(d, clk, ce=ce))
+        sim = NetlistSimulator(b.finish())
+        sim.set_inputs({"d": 1, "ce": 0})
+        sim.tick()
+        assert sim.output("q") == 0  # held
+        sim.set_input("ce", 1)
+        sim.tick()
+        assert sim.output("q") == 1
+
+    def test_reg_with_sr(self):
+        b = NetlistBuilder("t")
+        clk, d, sr = b.clock("clk"), b.input("d"), b.input("sr")
+        b.output("q", b.reg(d, clk, sr=sr, init=1))
+        sim = NetlistSimulator(b.finish())
+        sim.set_inputs({"d": 0, "sr": 0})
+        sim.tick()
+        assert sim.output("q") == 0
+        sim.set_input("sr", 1)
+        sim.tick()
+        assert sim.output("q") == 1  # reset to INIT
+
+    def test_feedback_ff(self):
+        b = NetlistBuilder("t")
+        clk = b.clock("clk")
+        q = b.new_ff(clk)
+        b.drive_ff(q, b.not_(q))  # toggle
+        b.output("q", q)
+        sim = NetlistSimulator(b.finish())
+        seq = []
+        for _ in range(4):
+            seq.append(sim.output("q"))
+            sim.tick()
+        assert seq == [0, 1, 0, 1]
+
+    def test_drive_ff_unknown(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        with pytest.raises(NetlistError):
+            b.drive_ff(a, a)
+
+
+class TestScopesAndConsts:
+    def test_scope_prefixes_names(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        with b.scope("u1"):
+            y = b.not_(a)
+        b.output("y", y)
+        nl = b.finish()
+        lut_names = [c.name for c in nl.luts()]
+        assert all(n.startswith("u1/") for n in lut_names)
+
+    def test_nested_scopes(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        with b.scope("u1"):
+            with b.scope("sub"):
+                y = b.not_(a)
+        b.output("y", y)
+        assert any(n.startswith("u1/sub/") for n in b.netlist.cells)
+
+    def test_consts_shared(self):
+        b = NetlistBuilder("t")
+        assert b.const(1) == b.const(1)
+        assert b.const(0) != b.const(1)
+
+    def test_named_lut(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        b.output("y", b.lut(0b01, a, name="my_inv"))
+        assert "my_inv" in b.netlist.cells

@@ -1,0 +1,70 @@
+"""Boolean-expression front-end tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.netlist import NetlistBuilder, NetlistSimulator, parse_expr
+
+
+def eval_expr(text: str, assignments: dict[str, int]) -> int:
+    b = NetlistBuilder("t")
+    env = {name: b.input(name) for name in assignments}
+    b.output("y", parse_expr(b, text, env))
+    sim = NetlistSimulator(b.finish())
+    sim.set_inputs(assignments)
+    return sim.output("y")
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "text,fn",
+        [
+            ("a & c", lambda a, c: a & c),
+            ("a | c", lambda a, c: a | c),
+            ("a ^ c", lambda a, c: a ^ c),
+            ("~a", lambda a, c: 1 - a),
+            ("~(a & c)", lambda a, c: 1 - (a & c)),
+            ("a & ~c | ~a & c", lambda a, c: a ^ c),
+            ("a ^ c ^ a", lambda a, c: c),
+            ("(a | c) & (a | ~c)", lambda a, c: a),
+        ],
+    )
+    def test_two_var_expressions(self, text, fn):
+        for a in (0, 1):
+            for c in (0, 1):
+                assert eval_expr(text, {"a": a, "c": c}) == fn(a, c), text
+
+    def test_constants(self):
+        assert eval_expr("1", {"a": 0}) == 1
+        assert eval_expr("0 | a", {"a": 1}) == 1
+        assert eval_expr("1 & ~a", {"a": 1}) == 0
+
+    def test_precedence_and_over_xor_over_or(self):
+        # a | c ^ d & e  ==  a | (c ^ (d & e))
+        for a in (0, 1):
+            for c in (0, 1):
+                for d in (0, 1):
+                    for e in (0, 1):
+                        got = eval_expr("a | c ^ d & e", {"a": a, "c": c, "d": d, "e": e})
+                        assert got == (a | (c ^ (d & e)))
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 1), st.integers(0, 1), st.integers(0, 1))
+    def test_property_de_morgan(self, a, c, d):
+        lhs = eval_expr("~(a & c & d)", {"a": a, "c": c, "d": d})
+        rhs = eval_expr("~a | ~c | ~d", {"a": a, "c": c, "d": d})
+        assert lhs == rhs
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "a &", "& a", "(a", "a)", "a b", "a @ c", "~", "a & unknown"],
+    )
+    def test_rejected(self, text):
+        b = NetlistBuilder("t")
+        env = {"a": b.input("a"), "c": b.input("c")}
+        with pytest.raises(ParseError):
+            parse_expr(b, text, env)

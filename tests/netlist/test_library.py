@@ -1,0 +1,119 @@
+"""Primitive library tests: pins, LUT evaluation, truth-table expansion."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.library import (
+    INIT_AND2,
+    INIT_MUX,
+    INIT_NOT,
+    INIT_OR2,
+    INIT_XOR2,
+    CellKind,
+    expand_init,
+    lut_eval,
+    lut_kind,
+    lut_mask_limit,
+    output_pin,
+    pin_def,
+)
+
+
+class TestKinds:
+    def test_lut_kinds(self):
+        assert lut_kind(1) is CellKind.LUT1
+        assert lut_kind(4) is CellKind.LUT4
+        with pytest.raises(NetlistError):
+            lut_kind(5)
+        with pytest.raises(NetlistError):
+            lut_kind(0)
+
+    def test_lut_width(self):
+        assert CellKind.LUT3.lut_width == 3
+        assert CellKind.LUT3.is_lut
+        assert not CellKind.DFF.is_lut
+        with pytest.raises(NetlistError):
+            CellKind.DFF.lut_width  # noqa: B018
+
+    def test_pin_defs(self):
+        assert pin_def(CellKind.LUT2, "I1").name == "I1"
+        assert pin_def(CellKind.DFF, "Q").is_output
+        assert pin_def(CellKind.DFF, "C").is_clock
+        assert pin_def(CellKind.DFF, "CE").optional
+        with pytest.raises(NetlistError):
+            pin_def(CellKind.LUT2, "I2")
+
+    def test_output_pins(self):
+        assert output_pin(CellKind.LUT4) == "O"
+        assert output_pin(CellKind.DFF) == "Q"
+        assert output_pin(CellKind.OBUF) is None
+
+    def test_mask_limit(self):
+        assert lut_mask_limit(1) == 4
+        assert lut_mask_limit(4) == 65536
+
+
+class TestLutEval:
+    def test_gate_constants(self):
+        assert [lut_eval(INIT_AND2, 2, (a, b)) for a in (0, 1) for b in (0, 1)] == [0, 0, 0, 1]
+        assert [lut_eval(INIT_OR2, 2, (a, b)) for a in (0, 1) for b in (0, 1)] == [0, 1, 1, 1]
+        assert [lut_eval(INIT_XOR2, 2, (a, b)) for a in (0, 1) for b in (0, 1)] == [0, 1, 1, 0]
+        assert [lut_eval(INIT_NOT, 1, (a,)) for a in (0, 1)] == [1, 0]
+
+    def test_mux_semantics(self):
+        # INIT_MUX: O = I2 ? I1 : I0
+        for i0 in (0, 1):
+            for i1 in (0, 1):
+                assert lut_eval(INIT_MUX, 3, (i0, i1, 0)) == i0
+                assert lut_eval(INIT_MUX, 3, (i0, i1, 1)) == i1
+
+    def test_address_order_is_little_endian(self):
+        # bit i of the address comes from input Ii
+        init = 1 << 0b0101  # only (I0=1, I1=0, I2=1, I3=0) is true
+        assert lut_eval(init, 4, (1, 0, 1, 0)) == 1
+        assert lut_eval(init, 4, (0, 1, 0, 1)) == 0
+
+    def test_width_checked(self):
+        with pytest.raises(NetlistError):
+            lut_eval(0, 2, (0,))
+
+
+class TestExpandInit:
+    def test_identity(self):
+        assert expand_init(INIT_AND2, 2, 2, [0, 1]) == INIT_AND2
+
+    def test_swap_symmetric_function_unchanged(self):
+        assert expand_init(INIT_AND2, 2, 2, [1, 0]) == INIT_AND2
+
+    def test_swap_asymmetric_function(self):
+        # f = I0 & ~I1 -> on swapped pins g = ~I0 & I1
+        init = 0b0010
+        swapped = expand_init(init, 2, 2, [1, 0])
+        assert swapped == 0b0100
+
+    def test_widen_ignores_new_inputs(self):
+        wide = expand_init(INIT_NOT, 1, 4, [0])
+        for addr in range(16):
+            ins = tuple((addr >> i) & 1 for i in range(4))
+            assert lut_eval(wide, 4, ins) == (1 - ins[0])
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.permutations([0, 1, 2, 3]),
+    )
+    def test_property_semantics_preserved(self, init, perm):
+        wide = expand_init(init, 4, 4, list(perm))
+        for addr in range(16):
+            ins = tuple((addr >> i) & 1 for i in range(4))
+            phys = [0, 0, 0, 0]
+            for i, p in enumerate(perm):
+                phys[p] = ins[i]
+            assert lut_eval(wide, 4, tuple(phys)) == lut_eval(init, 4, ins)
+
+    def test_bad_pin_map(self):
+        with pytest.raises(NetlistError):
+            expand_init(0, 2, 4, [0])       # wrong length
+        with pytest.raises(NetlistError):
+            expand_init(0, 2, 4, [1, 1])    # not injective

@@ -1,0 +1,107 @@
+"""Golden simulator tests."""
+
+import pytest
+
+from repro.errors import NetlistError, SimulationError
+from repro.netlist import NetlistBuilder, NetlistSimulator
+from repro.netlist.library import CellKind
+from tests.conftest import build_counter_netlist
+
+
+class TestCombinational:
+    def test_settles_on_input_change(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        b.output("y", b.not_(a))
+        sim = NetlistSimulator(b.finish())
+        assert sim.output("y") == 1
+        sim.set_input("a", 1)
+        assert sim.output("y") == 0
+
+    def test_deep_chain(self):
+        b = NetlistBuilder("t")
+        net = b.input("a")
+        for _ in range(40):
+            net = b.not_(net)
+        b.output("y", net)
+        sim = NetlistSimulator(b.finish())
+        sim.set_input("a", 1)
+        assert sim.output("y") == 1  # even number of inversions
+
+    def test_combinational_loop_detected(self):
+        nl = NetlistBuilder("t")
+        a = nl.input("a")
+        netlist = nl.netlist
+        netlist.add_cell("l1", CellKind.LUT2, {"INIT": 0b0110})
+        netlist.add_cell("l2", CellKind.LUT1, {"INIT": 0b10})
+        netlist.add_net("w1")
+        netlist.add_net("w2")
+        netlist.connect("l1", "I0", a)
+        netlist.connect("l1", "I1", "w2")
+        netlist.connect("l1", "O", "w1")
+        netlist.connect("l2", "I0", "w1")
+        netlist.connect("l2", "O", "w2")
+        nl.output("y", "w1")
+        with pytest.raises(NetlistError, match="loop"):
+            NetlistSimulator(nl.finish())
+
+
+class TestSequential:
+    def test_counter_counts(self):
+        netlist, gen = build_counter_netlist(4)
+        sim = NetlistSimulator(netlist)
+        seq = []
+        for _ in range(20):
+            seq.append(sim.output_word(gen.outputs))
+            sim.tick()
+        assert seq == [i % 16 for i in range(20)]
+
+    def test_ff_init_respected(self):
+        b = NetlistBuilder("t")
+        clk, d = b.clock("clk"), b.input("d")
+        b.output("q", b.reg(d, clk, init=1))
+        sim = NetlistSimulator(b.finish())
+        assert sim.output("q") == 1
+
+    def test_step_convenience(self):
+        b = NetlistBuilder("t")
+        clk, d = b.clock("clk"), b.input("d")
+        b.output("q", b.reg(d, clk))
+        sim = NetlistSimulator(b.finish())
+        outs = sim.step({"d": 1})
+        assert outs == {"q": 1}
+
+    def test_tick_many(self):
+        netlist, gen = build_counter_netlist(4)
+        sim = NetlistSimulator(netlist)
+        sim.tick(10)
+        assert sim.output_word(gen.outputs) == 10
+
+
+class TestErrors:
+    def test_unknown_input(self):
+        netlist, _ = build_counter_netlist()
+        sim = NetlistSimulator(netlist)
+        with pytest.raises(SimulationError):
+            sim.set_input("nope", 1)
+        with pytest.raises(SimulationError):
+            sim.set_inputs({"nope": 1})
+
+    def test_unknown_output(self):
+        netlist, _ = build_counter_netlist()
+        sim = NetlistSimulator(netlist)
+        with pytest.raises(SimulationError):
+            sim.output("nope")
+
+    def test_output_port_is_not_input(self):
+        netlist, gen = build_counter_netlist()
+        sim = NetlistSimulator(netlist)
+        with pytest.raises(SimulationError):
+            sim.set_input(gen.outputs[0], 1)
+
+    def test_net_probe(self):
+        netlist, _ = build_counter_netlist()
+        sim = NetlistSimulator(netlist)
+        assert sim.net("u1/q0_reg__q") in (0, 1)
+        with pytest.raises(SimulationError):
+            sim.net("missing")

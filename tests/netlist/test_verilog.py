@@ -1,0 +1,277 @@
+"""Verilog front-end tests: lexing, parsing, elaboration, semantics."""
+
+import itertools
+
+import pytest
+
+from repro.netlist import NetlistSimulator
+from repro.netlist.verilog import (
+    VerilogError,
+    elaborate,
+    parse_verilog,
+    tokenize,
+)
+
+
+def sim_of(src, params=None):
+    em = elaborate(src, params)
+    return em, NetlistSimulator(em.netlist)
+
+
+COUNTER = """
+module counter #(parameter WIDTH = 4) (
+    input clk, input rst, input en,
+    output reg [WIDTH-1:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 0;
+        else if (en) q <= q + 1;
+    end
+endmodule
+"""
+
+
+class TestLexer:
+    def test_comments_stripped(self):
+        toks = tokenize("a // line\n /* block\nmore */ b")
+        assert [t.text for t in toks] == ["a", "b"]
+        assert toks[1].line == 3
+
+    def test_sized_literals(self):
+        kinds = [t.kind for t in tokenize("4'b1010 8'hFF 10'd512")]
+        assert kinds == ["sized"] * 3
+
+    def test_operators(self):
+        toks = tokenize("<= == != << >> & | ^ ~ ?")
+        assert [t.text for t in toks] == ["<=", "==", "!=", "<<", ">>", "&", "|", "^", "~", "?"]
+
+    def test_bad_char(self):
+        with pytest.raises(VerilogError):
+            tokenize("a ` b")
+
+
+class TestParser:
+    def test_counter_shape(self):
+        mod = parse_verilog(COUNTER)
+        assert mod.name == "counter"
+        assert set(mod.params) == {"WIDTH"}
+        assert {s.name for s in mod.signals.values()} == {"clk", "rst", "en", "q"}
+        assert len(mod.always) == 1
+
+    @pytest.mark.parametrize(
+        "src,msg",
+        [
+            ("module m (input a; endmodule", None),
+            ("module m (input a);", "endmodule"),
+            ("module m (input a); assign = 1; endmodule", None),
+            ("module m (output y); frobnicate; endmodule", None),
+            ("module m (input a); always @(negedge a) begin end endmodule", None),
+        ],
+    )
+    def test_parse_errors(self, src, msg):
+        with pytest.raises(VerilogError):
+            parse_verilog(src)
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(VerilogError, match="trailing"):
+            parse_verilog("module m (input a, output y); assign y = a; endmodule garbage")
+
+
+class TestCombinational:
+    def test_gates(self):
+        src = """
+        module gates (input a, input b, output x, output o, output e, output n);
+            assign x = a ^ b;
+            assign o = a | b;
+            assign e = a == b;
+            assign n = ~(a & b);
+        endmodule
+        """
+        em, sim = sim_of(src)
+        for av, bv in itertools.product((0, 1), repeat=2):
+            sim.set_inputs({"a": av, "b": bv})
+            assert sim.output("x") == av ^ bv
+            assert sim.output("o") == av | bv
+            assert sim.output("e") == int(av == bv)
+            assert sim.output("n") == 1 - (av & bv)
+
+    def test_vector_add_and_compare(self):
+        src = """
+        module alu (input [3:0] a, input [3:0] b, output [4:0] s,
+                    output [3:0] d, output eq);
+            assign s = a + b;
+            assign d = a - b;
+            assign eq = a == b;
+        endmodule
+        """
+        em, sim = sim_of(src)
+        for av, bv in [(0, 0), (3, 5), (15, 1), (9, 9), (15, 15)]:
+            sim.set_inputs({f"a[{i}]": (av >> i) & 1 for i in range(4)})
+            sim.set_inputs({f"b[{i}]": (bv >> i) & 1 for i in range(4)})
+            assert sim.output_word(em.port_bits("s")) == av + bv
+            assert sim.output_word(em.port_bits("d")) == (av - bv) % 16
+            assert sim.output("eq") == int(av == bv)
+
+    def test_ternary_and_selects(self):
+        src = """
+        module pick (input s, input [3:0] v, output hi, output [1:0] mid, output y);
+            assign hi = v[3];
+            assign mid = v[2:1];
+            assign y = s ? v[0] : v[3];
+        endmodule
+        """
+        em, sim = sim_of(src)
+        sim.set_inputs({f"v[{i}]": b for i, b in enumerate([1, 0, 1, 0])})  # v = 4'b0101
+        assert sim.output("hi") == 0
+        assert sim.output_word(em.port_bits("mid")) == 0b10  # {v[2], v[1]}
+        sim.set_input("s", 1)
+        assert sim.output("y") == 1
+        sim.set_input("s", 0)
+        assert sim.output("y") == 0
+
+    def test_concat_repeat_shift(self):
+        src = """
+        module bits (input [1:0] a, output [3:0] cc, output [3:0] rep,
+                     output [3:0] shl);
+            assign cc = {a, 2'b01};
+            assign rep = {2{a}};
+            assign shl = a << 2;
+        endmodule
+        """
+        em, sim = sim_of(src)
+        sim.set_inputs({"a[0]": 0, "a[1]": 1})  # a = 2
+        assert sim.output_word(em.port_bits("cc")) == 0b1001
+        assert sim.output_word(em.port_bits("rep")) == 0b1010
+        assert sim.output_word(em.port_bits("shl")) == 0b1000
+
+    def test_reductions(self):
+        src = """
+        module red (input [3:0] v, output aa, output oo, output xx);
+            assign aa = &v;
+            assign oo = |v;
+            assign xx = ^v;
+        endmodule
+        """
+        em, sim = sim_of(src)
+        for value in range(16):
+            sim.set_inputs({f"v[{i}]": (value >> i) & 1 for i in range(4)})
+            assert sim.output("aa") == int(value == 15)
+            assert sim.output("oo") == int(value != 0)
+            assert sim.output("xx") == bin(value).count("1") % 2
+
+    def test_assign_chain_order_independent(self):
+        src = """
+        module chain (input a, output y);
+            assign y = w2;
+            wire w1, w2;
+            assign w2 = ~w1;
+            assign w1 = ~a;
+        endmodule
+        """
+        _, sim = sim_of(src)
+        sim.set_input("a", 1)
+        assert sim.output("y") == 1
+
+    def test_partial_bit_assigns(self):
+        src = """
+        module split (input a, input b, output [1:0] y);
+            assign y[0] = a;
+            assign y[1] = b;
+        endmodule
+        """
+        em, sim = sim_of(src)
+        sim.set_inputs({"a": 1, "b": 0})
+        assert sim.output_word(em.port_bits("y")) == 1
+
+
+class TestSequential:
+    def test_counter(self):
+        em, sim = sim_of(COUNTER)
+        sim.set_inputs({"rst": 0, "en": 1})
+        vals = []
+        for _ in range(18):
+            vals.append(sim.output_word(em.port_bits("q")))
+            sim.tick()
+        assert vals == [i % 16 for i in range(18)]
+
+    def test_enable_holds(self):
+        em, sim = sim_of(COUNTER)
+        sim.set_inputs({"rst": 0, "en": 1})
+        sim.tick(5)
+        sim.set_input("en", 0)
+        sim.tick(7)
+        assert sim.output_word(em.port_bits("q")) == 5
+
+    def test_reset_dominates(self):
+        em, sim = sim_of(COUNTER)
+        sim.set_inputs({"rst": 0, "en": 1})
+        sim.tick(9)
+        sim.set_input("rst", 1)
+        sim.tick()
+        assert sim.output_word(em.port_bits("q")) == 0
+
+    def test_shift_register(self):
+        src = """
+        module shifty (input clk, input din, output reg [3:0] taps);
+            always @(posedge clk) taps <= {taps[2:0], din};
+        endmodule
+        """
+        em, sim = sim_of(src)
+        for bit in (1, 0, 1, 1):
+            sim.set_input("din", bit)
+            sim.tick()
+        # bits entered LSB-first: 1,0,1,1 -> taps = 4'b1011
+        assert sim.output_word(em.port_bits("taps")) == 0b1011
+
+    def test_two_clock_domains(self):
+        src = """
+        module two (input cka, input ckb, output reg qa, output reg qb);
+            always @(posedge cka) qa <= ~qa;
+            always @(posedge ckb) qb <= ~qb;
+        endmodule
+        """
+        em, _sim = sim_of(src)
+        assert set(em.clocks) == {"cka", "ckb"}
+
+    def test_parameterized_width(self):
+        em, sim = sim_of(COUNTER, params={"WIDTH": 7})
+        assert len(em.port_bits("q")) == 7
+        sim.set_inputs({"rst": 0, "en": 1})
+        sim.tick(100)
+        assert sim.output_word(em.port_bits("q")) == 100
+
+
+class TestElaborationErrors:
+    @pytest.mark.parametrize(
+        "src,pattern",
+        [
+            ("module m (input clk, output y); always @(posedge clk) y <= 1; endmodule",
+             "not declared reg"),
+            ("module m (input a, output y); assign y = zz; endmodule", "undeclared"),
+            ("module m (input a, output y); endmodule", "never driven"),
+            ("module m (input a, output y); assign y = a; assign y = ~a; endmodule",
+             "two drivers"),
+            ("module m (input a, output y); wire w; assign w = ~y; assign y = w; endmodule",
+             "loop"),
+            ("module m (input [1:0] clk, output reg y); always @(posedge clk) y <= 1; endmodule",
+             "scalar input"),
+            ("module m (input a, output y); assign y = a[5]; endmodule", "out of range"),
+        ],
+    )
+    def test_errors(self, src, pattern):
+        with pytest.raises(VerilogError, match=pattern):
+            elaborate(src)
+
+    def test_unknown_param_override(self):
+        with pytest.raises(VerilogError, match="parameter"):
+            elaborate(COUNTER, params={"DEPTH": 3})
+
+    def test_write_from_two_clocks_rejected(self):
+        src = """
+        module m (input cka, input ckb, output reg q);
+            always @(posedge cka) q <= 1;
+            always @(posedge ckb) q <= 0;
+        endmodule
+        """
+        with pytest.raises(VerilogError, match="two clock domains"):
+            elaborate(src)

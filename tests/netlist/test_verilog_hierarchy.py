@@ -1,0 +1,195 @@
+"""Hierarchical Verilog tests: instantiation, parameters, clock threading."""
+
+import pytest
+
+from repro.netlist import NetlistSimulator
+from repro.netlist.verilog import VerilogError, elaborate, parse_verilog_library
+
+HIER = """
+module adder #(parameter W = 4) (
+    input [W-1:0] a, input [W-1:0] b, output [W:0] s
+);
+    assign s = a + b;
+endmodule
+
+module toggle (input clk, input en, output reg q);
+    always @(posedge clk) begin
+        if (en) q <= ~q;
+    end
+endmodule
+
+module top (
+    input clk,
+    input [3:0] x, input [3:0] y,
+    output [4:0] s,
+    output t
+);
+    adder #(.W(4)) a0 (.a(x), .b(y), .s(s));
+    toggle tg (.clk(clk), .en(s[0]), .q(t));
+endmodule
+"""
+
+
+class TestLibraryParsing:
+    def test_all_modules_found(self):
+        lib = parse_verilog_library(HIER)
+        assert set(lib) == {"adder", "toggle", "top"}
+
+    def test_duplicate_module_rejected(self):
+        with pytest.raises(VerilogError, match="duplicate"):
+            parse_verilog_library("module m (input a, output y); assign y=a; endmodule " * 2)
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(VerilogError, match="no modules"):
+            parse_verilog_library("// nothing\n")
+
+
+class TestTopSelection:
+    def test_auto_top_is_uninstantiated_root(self):
+        em = elaborate(HIER)
+        assert em.name == "top"
+
+    def test_explicit_top(self):
+        em = elaborate(HIER, params={"W": 6}, top="adder")
+        assert em.name == "adder"
+        assert len(em.port_bits("s")) == 7
+
+    def test_unknown_top(self):
+        with pytest.raises(VerilogError, match="no module named"):
+            elaborate(HIER, top="ghost")
+
+
+class TestHierarchySemantics:
+    def test_adder_through_hierarchy(self):
+        em = elaborate(HIER)
+        sim = NetlistSimulator(em.netlist)
+        for x, y in [(0, 0), (7, 8), (15, 15), (9, 3)]:
+            sim.set_inputs({f"x[{i}]": (x >> i) & 1 for i in range(4)})
+            sim.set_inputs({f"y[{i}]": (y >> i) & 1 for i in range(4)})
+            assert sim.output_word(em.port_bits("s")) == x + y
+
+    def test_clock_threaded_into_child(self):
+        em = elaborate(HIER)
+        sim = NetlistSimulator(em.netlist)
+        # s[0]=1 enables the toggle: x=1, y=0 -> s=1
+        sim.set_inputs({f"x[{i}]": 1 if i == 0 else 0 for i in range(4)})
+        sim.set_inputs({f"y[{i}]": 0 for i in range(4)})
+        seq = []
+        for _ in range(4):
+            seq.append(sim.output("t"))
+            sim.tick()
+        assert seq == [0, 1, 0, 1]
+        # disable: s[0] = 0 -> holds
+        sim.set_inputs({f"x[{i}]": 0 for i in range(4)})
+        held = sim.output("t")
+        sim.tick(3)
+        assert sim.output("t") == held
+
+    def test_instance_cells_prefixed(self):
+        em = elaborate(HIER)
+        assert any(name.startswith("a0/") for name in em.netlist.cells)
+        assert any(name.startswith("tg/") for name in em.netlist.cells)
+
+    def test_nested_hierarchy(self):
+        src = """
+        module inv (input a, output y);
+            assign y = ~a;
+        endmodule
+        module double_inv (input a, output y);
+            wire m;
+            inv i0 (.a(a), .y(m));
+            inv i1 (.a(m), .y(y));
+        endmodule
+        module top3 (input a, output y);
+            double_inv d (.a(a), .y(y));
+        endmodule
+        """
+        em = elaborate(src)
+        sim = NetlistSimulator(em.netlist)
+        sim.set_input("a", 1)
+        assert sim.output("y") == 1
+        assert any(name.startswith("d/i0/") for name in em.netlist.cells)
+
+    def test_instance_chain_dependency_order(self):
+        # instance output feeds another instance declared earlier in text
+        src = """
+        module inv (input a, output y); assign y = ~a; endmodule
+        module top4 (input a, output y);
+            wire m;
+            inv late (.a(m), .y(y));
+            inv early (.a(a), .y(m));
+        endmodule
+        """
+        em = elaborate(src)
+        sim = NetlistSimulator(em.netlist)
+        sim.set_input("a", 0)
+        assert sim.output("y") == 0
+
+
+class TestHierarchyErrors:
+    def test_unknown_module(self):
+        src = "module t (input a, output y); ghost g (.a(a), .y(y)); endmodule"
+        with pytest.raises(VerilogError, match="unknown module"):
+            elaborate(src)
+
+    def test_unknown_port(self):
+        src = """
+        module inv (input a, output y); assign y = ~a; endmodule
+        module t (input a, output y); inv i (.a(a), .z(y)); endmodule
+        """
+        with pytest.raises(VerilogError, match="no port"):
+            elaborate(src)
+
+    def test_unconnected_input(self):
+        src = """
+        module inv (input a, output y); assign y = ~a; endmodule
+        module t (input a, output y); inv i (.y(y)); endmodule
+        """
+        with pytest.raises(VerilogError, match="not connected"):
+            elaborate(src)
+
+    def test_clock_port_needs_clock(self):
+        src = """
+        module ff (input clk, input d, output reg q);
+            always @(posedge clk) q <= d;
+        endmodule
+        module t (input a, input d, output q);
+            ff f (.clk(a & d), .d(d), .q(q));
+        endmodule
+        """
+        with pytest.raises(VerilogError, match="clock"):
+            elaborate(src)
+
+    def test_instance_output_double_driver(self):
+        src = """
+        module inv (input a, output y); assign y = ~a; endmodule
+        module t (input a, output y);
+            assign y = a;
+            inv i (.a(a), .y(y));
+        endmodule
+        """
+        with pytest.raises(VerilogError, match="two drivers"):
+            elaborate(src)
+
+
+class TestHierarchyOnHardware:
+    def test_structural_design_runs(self):
+        from repro.bitstream.bitgen import bitgen
+        from repro.flow import run_flow
+        from repro.hwsim import Board, DesignHarness
+
+        em = elaborate(HIER)
+        flow = run_flow(em.netlist, "XCV50", seed=8)
+        board = Board("XCV50")
+        board.download(bitgen(flow.design))
+        h = DesignHarness(board, flow.design)
+        golden = NetlistSimulator(em.netlist)
+        for x, y in [(3, 4), (15, 1), (8, 8)]:
+            stim = {f"x[{i}]": (x >> i) & 1 for i in range(4)}
+            stim.update({f"y[{i}]": (y >> i) & 1 for i in range(4)})
+            golden.set_inputs(stim)
+            h.set_many(stim)
+            assert h.get_word(em.port_bits("s")) == x + y
+            golden.tick()
+            h.clock()
+            assert h.get("t") == golden.output("t")

@@ -1,0 +1,68 @@
+"""Direct tests of the shared helpers."""
+
+import numpy as np
+import pytest
+
+from repro import utils
+
+
+class TestBitHelpers:
+    def test_words_for_bits(self):
+        assert utils.words_for_bits(0) == 0
+        assert utils.words_for_bits(1) == 1
+        assert utils.words_for_bits(32) == 1
+        assert utils.words_for_bits(33) == 2
+
+    def test_msb_first_convention(self):
+        words = np.zeros(1, dtype=np.uint32)
+        utils.set_bit(words, 0, 1)
+        assert words[0] == 0x80000000
+        utils.set_bit(words, 31, 1)
+        assert words[0] == 0x80000001
+
+    def test_clear_bit(self):
+        words = np.full(1, 0xFFFFFFFF, dtype=np.uint32)
+        utils.set_bit(words, 5, 0)
+        assert utils.get_bit(words, 5) == 0
+        assert utils.get_bit(words, 4) == 1
+
+    def test_pack_unpack(self):
+        bits = [1, 0, 1, 1, 0, 0, 0, 1]
+        words = utils.pack_bits(bits)
+        assert utils.unpack_bits(words, 8) == bits
+
+    def test_words_bytes_big_endian(self):
+        words = np.asarray([0x01020304], dtype=np.uint32)
+        assert utils.words_to_bytes(words) == b"\x01\x02\x03\x04"
+        back = utils.bytes_to_words(b"\x01\x02\x03\x04")
+        assert back[0] == 0x01020304
+
+
+class TestRng:
+    def test_deterministic_default(self):
+        a = utils.make_rng(None)
+        b = utils.make_rng(None)
+        assert a.integers(1 << 30) == b.integers(1 << 30)
+
+    def test_seeded(self):
+        assert utils.make_rng(5).integers(1 << 30) == utils.make_rng(5).integers(1 << 30)
+        assert utils.make_rng(5).integers(1 << 30) != utils.make_rng(6).integers(1 << 30)
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        out = utils.format_table(["a", "long_header"], [["xx", 1], ["y", 22]])
+        lines = out.split("\n")
+        assert lines[0].startswith("a ")
+        assert all(len(line) <= len(lines[1]) + 2 for line in lines)
+
+    def test_table_empty(self):
+        out = utils.format_table(["h"], [])
+        assert out.split("\n") == ["h", "-"]
+
+    def test_si_bytes_units(self):
+        assert utils.si_bytes(0) == "0 B"
+        assert utils.si_bytes(1023) == "1023 B"
+        assert utils.si_bytes(1024) == "1.0 KB"
+        assert utils.si_bytes(1536) == "1.5 KB"
+        assert utils.si_bytes(1024 ** 2) == "1.0 MB"

@@ -1,0 +1,108 @@
+"""UCF parser tests."""
+
+import pytest
+
+from repro.errors import UcfParseError
+from repro.flow.floorplan import RegionRect
+from repro.ucf import UcfFile, parse_ucf, write_ucf
+
+
+SAMPLE = """
+# floorplan for the base design
+INST "u1/*" AREA_GROUP = AG_u1;
+AREA_GROUP "AG_u1" RANGE = CLB_R1C3:CLB_R16C10;
+INST "u2/*" AREA_GROUP = AG_u2;
+AREA_GROUP "AG_u2" RANGE = CLB_R1C11:CLB_R16C20;
+INST "ctrl/state_reg" LOC = CLB_R3C23.S0;   // pinned
+CONFIG PROHIBIT = CLB_R5C5;
+NET "clk" PERIOD = 20 ns;
+"""
+
+
+class TestParsing:
+    def test_area_groups(self):
+        ucf = parse_ucf(SAMPLE)
+        groups = {g.name: g for g in ucf.constraints.groups}
+        assert set(groups) == {"AG_u1", "AG_u2"}
+        assert groups["AG_u1"].patterns == ["u1/*"]
+        assert groups["AG_u1"].range == RegionRect(0, 2, 15, 9)
+
+    def test_loc(self):
+        ucf = parse_ucf(SAMPLE)
+        assert ucf.constraints.locs == {"ctrl/state_reg": "CLB_R3C23.S0"}
+
+    def test_prohibit(self):
+        ucf = parse_ucf(SAMPLE)
+        assert ucf.constraints.prohibited == {(4, 4)}
+
+    def test_period(self):
+        ucf = parse_ucf(SAMPLE)
+        assert ucf.periods_ns == {"clk": 20.0}
+
+    def test_period_units(self):
+        assert parse_ucf('NET "c" PERIOD = 0.1 us;').periods_ns["c"] == 100.0
+        assert parse_ucf('NET "c" PERIOD = 50 MHz;').periods_ns["c"] == 20.0
+        assert parse_ucf('NET "c" PERIOD = 5;').periods_ns["c"] == 5.0
+
+    def test_case_insensitive_keywords(self):
+        ucf = parse_ucf('inst "a/*" area_group = G;\narea_group "G" range = CLB_R1C1:CLB_R4C4;')
+        assert ucf.constraints.groups[0].range == RegionRect(0, 0, 3, 3)
+
+    def test_group_statement_order_independent(self):
+        text = (
+            'AREA_GROUP "G" RANGE = CLB_R1C1:CLB_R2C2;\n'
+            'INST "m/*" AREA_GROUP = G;\n'
+        )
+        ucf = parse_ucf(text)
+        g = ucf.constraints.groups[0]
+        assert g.patterns == ["m/*"] and g.range is not None
+
+    def test_multiline_statement(self):
+        ucf = parse_ucf('INST "a/*"\n  AREA_GROUP\n  = G;\nAREA_GROUP "G" RANGE = CLB_R1C1:CLB_R2C2;')
+        assert ucf.constraints.groups[0].patterns == ["a/*"]
+
+    def test_empty_file(self):
+        ucf = parse_ucf("\n# nothing here\n")
+        assert not ucf.constraints.groups and not ucf.constraints.locs
+
+
+class TestErrors:
+    def test_unterminated(self):
+        with pytest.raises(UcfParseError, match="unterminated"):
+            parse_ucf('INST "a" LOC = CLB_R1C1.S0')
+
+    def test_unknown_statement(self):
+        with pytest.raises(UcfParseError):
+            parse_ucf("TIMESPEC TS01 = FROM A TO B 10ns;")
+
+    def test_bad_range(self):
+        with pytest.raises(UcfParseError, match="RANGE"):
+            parse_ucf('AREA_GROUP "G" RANGE = CLB_R1C1;')
+
+    def test_bad_prohibit(self):
+        with pytest.raises(UcfParseError, match="PROHIBIT"):
+            parse_ucf("CONFIG PROHIBIT = IOB_L_R1_0;")
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_ucf("\n\nGARBAGE HERE;\n")
+        except UcfParseError as exc:
+            assert exc.line == 3
+        else:
+            pytest.fail("expected UcfParseError")
+
+
+class TestWriter:
+    def test_roundtrip(self):
+        ucf = parse_ucf(SAMPLE)
+        again = parse_ucf(write_ucf(ucf))
+        assert again.constraints.locs == ucf.constraints.locs
+        assert again.constraints.prohibited == ucf.constraints.prohibited
+        assert {g.name: (tuple(g.patterns), g.range) for g in again.constraints.groups} == {
+            g.name: (tuple(g.patterns), g.range) for g in ucf.constraints.groups
+        }
+        assert again.periods_ns == ucf.periods_ns
+
+    def test_write_empty(self):
+        text = write_ucf(UcfFile())
+        assert "generated" in text

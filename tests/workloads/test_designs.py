@@ -1,0 +1,77 @@
+"""Multi-region design factory tests."""
+
+import pytest
+
+from repro.errors import JpgError
+from repro.workloads import (
+    build_base_netlist,
+    figure4_plan,
+    make_project,
+    slab_regions,
+    version_name,
+)
+from repro.workloads.generators import ModuleSpec
+
+
+class TestSlabRegions:
+    def test_full_height(self):
+        rects = slab_regions("XCV50", ["a", "b", "c"])
+        assert len(rects) == 3
+        for rect in rects:
+            assert rect.rmin == 0 and rect.rmax == 15
+
+    def test_disjoint_with_margin(self):
+        rects = slab_regions("XCV50", ["a", "b"], margin=2)
+        assert rects[0].cmin == 2
+        assert rects[0].cmax < rects[1].cmin
+        assert rects[1].cmax <= 23 - 2
+
+    def test_too_many_slabs(self):
+        with pytest.raises(JpgError):
+            slab_regions("XCV50", [f"r{i}" for i in range(30)])
+
+
+class TestFigure4Plan:
+    def test_matches_paper_counts(self):
+        plans = figure4_plan()
+        assert [p.n_versions for p in plans] == [3, 3, 4]
+        total = sum(p.n_versions for p in plans)
+        assert total == 10  # the paper's "10 partial bitstreams"
+        combos = 1
+        for p in plans:
+            combos *= p.n_versions
+        assert combos == 36  # the paper's "36 runs of the CAD tool flow"
+
+    def test_regions_on_target_device(self):
+        plans = figure4_plan("XCV300")
+        from repro.devices import get_device
+
+        dev = get_device("XCV300")
+        for p in plans:
+            assert p.rect.rmax == dev.rows - 1
+            assert p.rect.cmax < dev.cols
+
+
+class TestBaseNetlist:
+    def test_contains_all_modules(self, two_region_plans):
+        nl = build_base_netlist("base", two_region_plans)
+        prefixes = {n.split("/", 1)[0] for n in nl.cells if "/" in n}
+        assert prefixes == {"r1", "r2"}
+        assert "clk" in nl.ports
+
+    def test_version_name(self):
+        assert version_name(ModuleSpec("counter", 4, "down")) == "down"
+        assert version_name(ModuleSpec("parity", 4)) == "parity"
+
+
+class TestMakeProject:
+    def test_project_complete(self, demo_project):
+        assert set(demo_project.regions) == {"r1", "r2"}
+        versions = {(r, v) for (r, v) in demo_project.versions}
+        assert ("r1", "down") in versions and ("r2", "right") in versions
+
+    def test_skip_variant_implementation(self, two_region_plans):
+        project = make_project(
+            "skinny", "XCV50", two_region_plans, seed=3, implement_variants=False
+        )
+        assert set(project.versions) == {("r1", "base"), ("r2", "base")}

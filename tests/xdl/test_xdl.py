@@ -1,0 +1,140 @@
+"""XDL writer/parser tests."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream.bitgen import generate_frames
+from repro.errors import XdlParseError
+from repro.xdl import parse_xdl, physical_init, save_xdl, write_xdl
+from repro.xdl.parser import _parse_cfg
+
+
+class TestWriter:
+    def test_statement_shapes_match_paper(self, counter_flow):
+        text = write_xdl(counter_flow.design)
+        assert text.startswith('design "counter"')
+        assert '"SLICE", placed R' in text
+        assert "#LUT:0x" in text
+        assert "#FF" in text
+        assert "outpin" in text and "inpin" in text
+        assert " -> " in text  # pip statements
+
+    def test_placed_sites_in_paper_format(self, counter_flow):
+        text = write_xdl(counter_flow.design)
+        for comp in counter_flow.design.slices.values():
+            r, c, s = comp.site
+            assert f"placed R{r+1}C{c+1} CLB_R{r+1}C{c+1}.S{s}" in text
+
+    def test_unplaced_rejected(self, counter_flow):
+        import copy
+
+        design = copy.deepcopy(counter_flow.design)
+        next(iter(design.slices.values())).site = None
+        with pytest.raises(Exception):
+            write_xdl(design)
+
+    def test_physical_init_applies_pin_map(self, counter_flow):
+        for comp in counter_flow.design.slices.values():
+            for bel in comp.bels.values():
+                if bel.lut_cell:
+                    init = physical_init(bel)
+                    assert 0 <= init < 65536
+
+    def test_save(self, counter_flow, tmp_path):
+        path = str(tmp_path / "c.xdl")
+        save_xdl(counter_flow.design, path)
+        with open(path) as f:
+            assert f.read() == write_xdl(counter_flow.design)
+
+
+class TestRoundtrip:
+    def test_frames_identical(self, counter_flow, counter_frames):
+        parsed = parse_xdl(write_xdl(counter_flow.design))
+        f2 = generate_frames(parsed)
+        assert np.array_equal(counter_frames.data, f2.data)
+
+    def test_structure_preserved(self, counter_flow):
+        parsed = parse_xdl(write_xdl(counter_flow.design))
+        design = counter_flow.design
+        assert parsed.part == design.part
+        assert set(parsed.slices) == set(design.slices)
+        assert set(parsed.nets) == set(design.nets)
+        for name, net in design.nets.items():
+            assert sorted(parsed.nets[name].pips) == sorted(net.pips)
+
+    def test_double_roundtrip_stable(self, counter_flow):
+        once = write_xdl(parse_xdl(write_xdl(counter_flow.design)))
+        twice = write_xdl(parse_xdl(once))
+        assert once == twice
+
+    def test_comp_nets_attached(self, counter_flow):
+        parsed = parse_xdl(write_xdl(counter_flow.design))
+        clocked = [c for c in parsed.slices.values() if c.clk_net]
+        assert clocked
+        for iob in parsed.iobs.values():
+            assert iob.net
+
+
+class TestParserErrors:
+    def test_not_xdl(self):
+        with pytest.raises(XdlParseError):
+            parse_xdl("hello world ;")
+
+    def test_unknown_inst_type(self):
+        with pytest.raises(XdlParseError, match="inst type"):
+            parse_xdl('design "d" v50 ;\ninst "x" "TBUF", placed R1C1 CLB_R1C1.S0, cfg "" ;')
+
+    def test_net_without_outpin(self):
+        with pytest.raises(XdlParseError, match="outpin"):
+            parse_xdl('design "d" v50 ;\nnet "n", ;')
+
+    def test_net_unknown_inst(self):
+        with pytest.raises(XdlParseError, match="unknown inst"):
+            parse_xdl('design "d" v50 ;\nnet "n", outpin "ghost" X, ;')
+
+    def test_bad_pip_tile(self):
+        text = (
+            'design "d" v50 ;\n'
+            'inst "a" "SLICE", placed R1C1 CLB_R1C1.S0, cfg "F:a:#LUT:0x0001" ;\n'
+            'net "n", outpin "a" X, pip XYZ OUT0 -> SE0, ;'
+        )
+        with pytest.raises(XdlParseError, match="pip tile"):
+            parse_xdl(text)
+
+    def test_bad_slice_pin(self):
+        text = (
+            'design "d" v50 ;\n'
+            'inst "a" "SLICE", placed R1C1 CLB_R1C1.S0, cfg "F:a:#LUT:0x0001" ;\n'
+            'net "n", outpin "a" Q7, ;'
+        )
+        with pytest.raises(XdlParseError, match="output pin"):
+            parse_xdl(text)
+
+    def test_truncated(self):
+        with pytest.raises(XdlParseError):
+            parse_xdl('design "d" v50 ;\ninst "a" "SLICE", placed')
+
+    def test_cemux_without_ce_net(self):
+        text = (
+            'design "d" v50 ;\n'
+            'inst "a" "SLICE", placed R1C1 CLB_R1C1.S0, '
+            'cfg "FFX:a:#FF INITX::0 DXMUX::1 CEMUX::CE SRMUX::0 SYNC_ATTR::SYNC" ;\n'
+        )
+        with pytest.raises(XdlParseError, match="CEMUX"):
+            parse_xdl(text)
+
+    def test_bad_cfg_token(self):
+        with pytest.raises(XdlParseError, match="cfg token"):
+            _parse_cfg("JUالسTBAD")
+
+
+class TestCfgStrings:
+    def test_parse_cfg_triplets(self):
+        attrs = _parse_cfg("CKINV::1 F:u1/c1:#LUT:0x8000 FFX:u1/r:#FF")
+        assert attrs["CKINV"] == ("", "1")
+        assert attrs["F"] == ("u1/c1", "#LUT:0x8000")
+        assert attrs["FFX"] == ("u1/r", "#FF")
+
+    def test_comments_ignored(self, counter_flow):
+        text = "# a comment line\n" + write_xdl(counter_flow.design)
+        parse_xdl(text)
