@@ -1,15 +1,18 @@
 """Reproduction of "JPG: A Partial Bitstream Generation Tool to Support
 Partial Reconfiguration in Virtex FPGAs" (Raghavan & Sutton, IPPS 2002).
 
-The package provides the paper's tool (``repro.core``) together with
-from-scratch simulated substrates for everything it depended on: a
-Virtex-class device model (``repro.devices``), the configuration bitstream
-format (``repro.bitstream``), a JBits-style API (``repro.jbits``), a full
+The package provides the paper's tool (``repro.core``) and its batch
+generation engine (``repro.batch``) together with from-scratch simulated
+substrates for everything it depended on: a Virtex-class device model
+(``repro.devices``), the configuration bitstream format
+(``repro.bitstream``), a JBits-style API (``repro.jbits``), a full
 CAD flow (``repro.flow``), XDL/UCF front-ends (``repro.xdl``,
 ``repro.ucf``), a hardware simulator (``repro.hwsim``), related-work
-baselines (``repro.baselines``) and workload generators
-(``repro.workloads``).  See DESIGN.md for the system inventory and
-EXPERIMENTS.md for the reproduced results.
+baselines (``repro.baselines``), workload generators
+(``repro.workloads``), and a pipeline observability layer
+(``repro.obs``).  See docs/ARCHITECTURE.md for the system walk-through,
+docs/API.md for the public API, DESIGN.md for the substitution
+inventory, and EXPERIMENTS.md for the reproduced results.
 
 Quick taste::
 

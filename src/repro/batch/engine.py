@@ -1,0 +1,288 @@
+"""The batch generation engine: N partial bitstreams from one base.
+
+The paper's headline scenario (§4.1 / Figure 4) is not one partial but a
+*library* of them: 3 regions with 3/3/4 module versions need 10 partial
+bitstreams generated against the same base design.  Driving
+:meth:`repro.core.jpg.Jpg.make_partial` once per module repeats three
+pieces of work that depend only on the base: parsing the base bitstream
+into frame memory, measuring the complete stream's size, and clearing
+each region's tiles.  :class:`BatchJpg` factors all three out:
+
+* the base configuration is parsed **once** and shared (each per-module
+  :class:`~repro.core.jpg.Jpg` clones it cheaply);
+* the complete-bitstream size is measured **once**;
+* cleared-region frames are shared through a content-keyed
+  :class:`~repro.batch.cache.FrameCache`, so K versions of one region
+  pay for one clear;
+
+and fans the independent per-module replay/emit pipelines out over a
+``concurrent.futures`` thread pool.  Because every module generates
+against the same immutable base state, the emitted partials are
+**byte-identical** to sequential ``make_partial`` calls, whatever the
+worker count, and results come back in manifest order.
+
+A :class:`~repro.obs.Metrics` registry is bound inside every worker, so
+one run aggregates stage timings, counters, and cache hit/miss stats
+across the whole pool; :meth:`BatchReport.table` renders the per-module
+summary the ``jpg batch`` CLI prints.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from .. import utils
+from ..bitstream.bitfile import BitFile
+from ..bitstream.frames import FrameMemory
+from ..core.jpg import Jpg, JpgOptions, PartialResult
+from ..errors import ReproError
+from ..flow.floorplan import RegionRect
+from ..flow.ncd import NcdDesign
+from ..jbits.api import JBits
+from ..obs import Metrics, use_metrics
+from ..ucf.parser import UcfFile, parse_ucf
+from .cache import CacheStats, FrameCache
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One module version to generate a partial for.
+
+    ``module`` is a parsed :class:`~repro.flow.ncd.NcdDesign` or XDL text;
+    ``ucf`` is a parsed :class:`~repro.ucf.parser.UcfFile` or UCF text.
+    ``region`` overrides the UCF's area group, exactly as in
+    :meth:`~repro.core.jpg.Jpg.make_partial`.
+    """
+
+    name: str
+    module: NcdDesign | str
+    region: RegionRect | None = None
+    ucf: UcfFile | str | None = None
+    options: JpgOptions | None = None
+
+
+@dataclass
+class BatchItemResult:
+    """Outcome of one item: the partial (or the error) plus its wall time."""
+
+    item: BatchItem
+    result: PartialResult | None
+    seconds: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """What the planner expects a manifest to cost.
+
+    Items are grouped by region footprint: the first generation of each
+    group clears the region (a cache miss), every later one reuses the
+    cached cleared frames (a hit).
+    """
+
+    total: int
+    groups: tuple[tuple[str, int], ...]  # (region range or "-", item count)
+
+    @property
+    def expected_cache_misses(self) -> int:
+        return sum(1 for name, _ in self.groups if name != "-")
+
+    @property
+    def expected_cache_hits(self) -> int:
+        return sum(n for name, n in self.groups if name != "-") - self.expected_cache_misses
+
+
+@dataclass
+class BatchReport:
+    """Everything one :meth:`BatchJpg.run` produced."""
+
+    results: list[BatchItemResult]
+    seconds: float
+    plan: BatchPlan
+    metrics: Metrics
+    cache_stats: CacheStats
+    full_size: int = 0
+    failures: list[BatchItemResult] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.failures = [r for r in self.results if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def partials(self) -> dict[str, PartialResult]:
+        """name -> :class:`~repro.core.jpg.PartialResult` for the successes."""
+        return {r.item.name: r.result for r in self.results if r.ok}
+
+    def table(self) -> str:
+        """The per-module timing/size table (what ``jpg batch`` prints)."""
+        rows = []
+        for r in self.results:
+            if r.ok:
+                p = r.result
+                rows.append((
+                    r.item.name,
+                    r.item.region.to_ucf() if r.item.region is not None
+                    else (p.region.to_ucf() if p.region is not None else "-"),
+                    len(p.frames),
+                    utils.si_bytes(p.size),
+                    f"{100 * p.ratio:.1f}%",
+                    f"{1e3 * r.seconds:.1f} ms",
+                ))
+            else:
+                rows.append((r.item.name, "-", "-", "-", "-", f"error: {r.error}"))
+        return utils.format_table(
+            ["module", "region", "frames", "partial", "of full", "time"], rows
+        )
+
+    def summary(self) -> str:
+        ok = [r for r in self.results if r.ok]
+        cs = self.cache_stats
+        lines = [
+            f"{len(ok)}/{len(self.results)} partials in {self.seconds:.2f} s "
+            f"(sum of per-module times {sum(r.seconds for r in self.results):.2f} s)",
+            f"frame cache: {cs.hits} hits / {cs.misses} misses "
+            f"({100 * cs.hit_rate:.0f}% hit rate)",
+        ]
+        if ok and self.full_size:
+            total = sum(r.result.size for r in ok)
+            lines.append(
+                f"storage: {utils.si_bytes(total)} of partials vs "
+                f"{utils.si_bytes(len(ok) * self.full_size)} as full bitstreams"
+            )
+        return "\n".join(lines)
+
+
+class BatchJpg:
+    """Plan and run many partial generations against one base bitstream."""
+
+    def __init__(
+        self,
+        part: str,
+        base_bitstream: bytes | BitFile | FrameMemory,
+        base_design: NcdDesign | None = None,
+        *,
+        cache: FrameCache | None = None,
+        metrics: Metrics | None = None,
+        max_workers: int | None = None,
+    ):
+        self.part = part
+        self.base_design = base_design
+        self.cache = cache if cache is not None else FrameCache()
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.max_workers = max_workers
+        with use_metrics(self.metrics):
+            jb = JBits(part)
+            with self.metrics.stage("batch.load_base", part=part):
+                jb.read(base_bitstream)
+            assert jb.frames is not None
+            self._base_frames = jb.frames
+            with self.metrics.stage("batch.measure_full", part=part):
+                self._full_size = len(jb.write())
+
+    @property
+    def full_size(self) -> int:
+        """Size in bytes of the base design's complete bitstream."""
+        return self._full_size
+
+    # -- planning -----------------------------------------------------------
+
+    def plan(self, items: list[BatchItem]) -> BatchPlan:
+        """Group a manifest by region footprint to predict shared work."""
+        groups: dict[str, int] = {}
+        for item in items:
+            region = item.region or self._region_of(item)
+            clear = item.options.clear_region if item.options is not None else True
+            key = region.to_ucf() if (region is not None and clear) else "-"
+            groups[key] = groups.get(key, 0) + 1
+        return BatchPlan(len(items), tuple(sorted(groups.items())))
+
+    def _region_of(self, item: BatchItem) -> RegionRect | None:
+        """Best-effort region for planning when only a UCF is given."""
+        ucf = item.ucf
+        if ucf is None:
+            return None
+        if isinstance(ucf, str):
+            try:
+                ucf = parse_ucf(ucf)
+            except ReproError:
+                return None
+        for group in ucf.constraints.groups:
+            if group.range is not None:
+                return group.range
+        return None
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, items: list[BatchItem], *, max_workers: int | None = None) -> BatchReport:
+        """Generate every item's partial; results come back in input order.
+
+        Per-item :class:`~repro.errors.ReproError` failures are recorded on
+        the item's result instead of aborting the batch.
+        """
+        plan = self.plan(items)
+        workers = max_workers or self.max_workers or min(8, max(1, len(items)))
+        start = time.perf_counter()
+        if not items:
+            results: list[BatchItemResult] = []
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(self._generate_one, items))
+        seconds = time.perf_counter() - start
+        return BatchReport(
+            results=results,
+            seconds=seconds,
+            plan=plan,
+            metrics=self.metrics,
+            cache_stats=self.cache.stats,
+            full_size=self._full_size,
+        )
+
+    def _generate_one(self, item: BatchItem) -> BatchItemResult:
+        start = time.perf_counter()
+        with use_metrics(self.metrics):
+            try:
+                jpg = Jpg(
+                    self.part,
+                    self._base_frames,
+                    base_design=self.base_design,
+                    frame_cache=self.cache,
+                    full_size=self._full_size,
+                )
+                ucf = item.ucf
+                if isinstance(ucf, str):
+                    ucf = parse_ucf(ucf)
+                result = jpg.make_partial(
+                    item.module,
+                    region=item.region,
+                    ucf=ucf,
+                    options=item.options,
+                )
+            except ReproError as exc:
+                self.metrics.count("batch.failures")
+                return BatchItemResult(item, None, time.perf_counter() - start, str(exc))
+        self.metrics.count("batch.partials")
+        return BatchItemResult(item, result, time.perf_counter() - start)
+
+
+def items_from_project(project) -> list[BatchItem]:
+    """The Figure-4 manifest of a :class:`~repro.core.project.JpgProject`:
+    one :class:`BatchItem` per non-base module version."""
+    items = []
+    for (region, version), mv in project.versions.items():
+        if version == "base":
+            continue
+        items.append(BatchItem(
+            name=f"{region}/{version}",
+            module=mv.xdl,
+            region=project.regions[region],
+            ucf=mv.ucf,
+        ))
+    return items

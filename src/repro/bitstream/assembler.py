@@ -23,6 +23,7 @@ from collections.abc import Iterable
 
 from ..devices import Device
 from ..errors import BitstreamError
+from ..obs import current_metrics
 from .bitfile import BitFile
 from .frames import FrameMemory, frame_runs
 from .packets import Command, PacketWriter, Register, far_encode
@@ -44,21 +45,27 @@ def _preamble(writer: PacketWriter, device: Device) -> None:
 def full_stream(frames: FrameMemory, *, cor: int = DEFAULT_COR, ctl: int = DEFAULT_CTL) -> bytes:
     """Serialize a complete configuration of the device."""
     device = frames.device
-    w = PacketWriter()
-    _preamble(w, device)
-    w.write_reg(Register.COR, cor)
-    w.write_reg(Register.MASK, 0xFFFFFFFF)
-    w.write_reg(Register.CTL, ctl)
-    w.write_reg(Register.FAR, far_encode(0, 0))
-    w.command(Command.WCFG)
-    w.write_fdri(frames.data.reshape(-1))
-    w.write_crc_check()
-    w.command(Command.LFRM)
-    w.nop(4)
-    w.command(Command.START)
-    w.command(Command.DESYNC)
-    w.dummy(4)
-    return w.to_bytes()
+    metrics = current_metrics()
+    with metrics.stage("assemble.full_stream", part=device.name,
+                       frames=device.geometry.total_frames):
+        w = PacketWriter()
+        _preamble(w, device)
+        w.write_reg(Register.COR, cor)
+        w.write_reg(Register.MASK, 0xFFFFFFFF)
+        w.write_reg(Register.CTL, ctl)
+        w.write_reg(Register.FAR, far_encode(0, 0))
+        w.command(Command.WCFG)
+        w.write_fdri(frames.data.reshape(-1))
+        w.write_crc_check()
+        w.command(Command.LFRM)
+        w.nop(4)
+        w.command(Command.START)
+        w.command(Command.DESYNC)
+        w.dummy(4)
+        data = w.to_bytes()
+    metrics.count("assemble.full_streams")
+    metrics.count("assemble.bytes_out", len(data))
+    return data
 
 
 def partial_stream(
@@ -78,24 +85,30 @@ def partial_stream(
     runs = frame_runs(frame_indices)
     if not runs:
         raise BitstreamError("partial bitstream with no frames")
-    g = device.geometry
-    w = PacketWriter()
-    _preamble(w, device)
-    for start, length in runs:
-        major, minor = g.frame_address(start)
-        # validate the run stays in range
-        g.frame_address(start + length - 1)
-        w.write_reg(Register.FAR, far_encode(major, minor))
-        w.command(Command.WCFG)
-        w.write_fdri(frames.data[start:start + length].reshape(-1))
-    w.write_crc_check()
-    w.command(Command.LFRM)
-    w.nop(4)
-    if startup:
-        w.command(Command.START)
-    w.command(Command.DESYNC)
-    w.dummy(2)
-    return w.to_bytes()
+    metrics = current_metrics()
+    with metrics.stage("assemble.partial_stream", part=device.name,
+                       frames=sum(n for _, n in runs), runs=len(runs)):
+        g = device.geometry
+        w = PacketWriter()
+        _preamble(w, device)
+        for start, length in runs:
+            major, minor = g.frame_address(start)
+            # validate the run stays in range
+            g.frame_address(start + length - 1)
+            w.write_reg(Register.FAR, far_encode(major, minor))
+            w.command(Command.WCFG)
+            w.write_fdri(frames.data[start:start + length].reshape(-1))
+        w.write_crc_check()
+        w.command(Command.LFRM)
+        w.nop(4)
+        if startup:
+            w.command(Command.START)
+        w.command(Command.DESYNC)
+        w.dummy(2)
+        data = w.to_bytes()
+    metrics.count("assemble.partial_streams")
+    metrics.count("assemble.bytes_out", len(data))
+    return data
 
 
 def full_bitfile(frames: FrameMemory, design_name: str, **kwargs) -> BitFile:

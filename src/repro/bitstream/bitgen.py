@@ -17,6 +17,7 @@ from ..devices.resources import SLICE
 from ..errors import FlowError
 from ..flow.ncd import NcdDesign
 from ..netlist.library import expand_init
+from ..obs import current_metrics
 from .bitfile import BitFile
 from .frames import FrameMemory
 
@@ -28,6 +29,15 @@ def generate_frames(design: NcdDesign, *, base: FrameMemory | None = None) -> Fr
     module drops onto an already-configured device); otherwise a blank
     frame memory is used.
     """
+    metrics = current_metrics()
+    with metrics.stage("bitgen.generate_frames", design=design.name,
+                       slices=len(design.slices), nets=len(design.nets)):
+        fm = _generate_frames(design, base)
+    metrics.count("bitgen.designs")
+    return fm
+
+
+def _generate_frames(design: NcdDesign, base: FrameMemory | None) -> FrameMemory:
     device = get_device(design.part)
     if not design.placed():
         raise FlowError("bitgen requires a placed design")

@@ -5,10 +5,16 @@ helpers::
 
     jpg info XCV300                      device/frame geometry
     jpg generate -p XCV100 --base b.bit --xdl m.xdl --ucf m.ucf -o out.bit
+    jpg batch -p XCV100 --base b.bit --manifest modules.json -o outdir
     jpg merge --base b.bit --partial p.bit -o merged.bit   (or --overwrite)
     jpg inspect some.bit                 packet-level bitstream summary
     jpg floorplan XCV100 --region r1=CLB_R1C3:CLB_R16C12   ASCII Figure 3
     jpg parbit --base b.bit --options o.txt -o out.bit     the baseline
+
+``jpg batch`` is the Figure-4 workflow: a JSON manifest lists N module
+versions (xdl/ucf/region each) and the engine generates all their partials
+against one base with shared frame caching, printing a per-module
+timing/size table (see :mod:`repro.batch`).
 """
 
 from __future__ import annotations
@@ -83,6 +89,69 @@ def _cmd_generate(args) -> int:
         ).save(args.base)
         print(f"overwrote {args.base} with the merged configuration (option 2)")
     return 0
+
+
+def _cmd_batch(args) -> int:
+    import json
+    import os
+
+    from ..batch import BatchItem, BatchJpg
+
+    with open(args.manifest) as f:
+        manifest = json.load(f)
+    modules = manifest.get("modules")
+    if not isinstance(modules, list) or not modules:
+        raise ReproError(f"{args.manifest}: manifest needs a non-empty 'modules' list")
+    root = os.path.dirname(os.path.abspath(args.manifest))
+
+    base = BitFile.load(args.base)
+    base_design = None
+    if args.base_ncd:
+        from ..flow.ncd import NcdDesign
+
+        base_design = NcdDesign.load(args.base_ncd)
+
+    items = []
+    for i, entry in enumerate(modules):
+        if not isinstance(entry, dict) or "xdl" not in entry:
+            raise ReproError(f"{args.manifest}: modules[{i}] needs at least an 'xdl' path")
+        with open(os.path.join(root, entry["xdl"])) as f:
+            xdl = f.read()
+        ucf = None
+        if entry.get("ucf"):
+            with open(os.path.join(root, entry["ucf"])) as f:
+                ucf = f.read()
+        region = RegionRect.from_ucf(entry["region"]) if entry.get("region") else None
+        name = entry.get("name") or os.path.splitext(os.path.basename(entry["xdl"]))[0]
+        options = JpgOptions(
+            granularity=Granularity(args.granularity),
+            check_region=not args.no_checks,
+            check_interface=base_design is not None,
+        )
+        items.append(BatchItem(name, xdl, region=region, ucf=ucf, options=options))
+
+    engine = BatchJpg(args.part, base, base_design=base_design, max_workers=args.jobs)
+    plan = engine.plan(items)
+    print(
+        f"batch: {plan.total} module(s) in {len(plan.groups)} region group(s), "
+        f"{plan.expected_cache_hits} shared clear(s) expected"
+    )
+    report = engine.run(items)
+    print(report.table())
+    print(report.summary())
+    if args.output_dir:
+        os.makedirs(args.output_dir, exist_ok=True)
+        for name, partial in report.partials().items():
+            path = os.path.join(args.output_dir, name.replace("/", "_") + ".bit")
+            partial.save(path, args.part)
+        print(f"wrote {len(report.partials())} partial(s) to {args.output_dir}")
+    if args.metrics:
+        print(utils.format_table(
+            ["stage", "count", "total", "mean"], report.metrics.stage_table()
+        ))
+    for failure in report.failures:
+        print(f"error: {failure.item.name}: {failure.error}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_merge(args) -> int:
@@ -246,6 +315,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--write-base", action="store_true",
                    help="also overwrite the base .bit with the merged result (option 2)")
     p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("batch", help="generate many partials from one base "
+                                     "(JSON manifest, shared frame cache)")
+    p.add_argument("-p", "--part", required=True)
+    p.add_argument("--base", required=True, help="base design .bit file")
+    p.add_argument("--base-ncd", help="base design .ncd (enables interface checks)")
+    p.add_argument("--manifest", required=True,
+                   help='JSON manifest: {"modules": [{"name", "xdl", "ucf", "region"}, ...]} '
+                        "(paths relative to the manifest file)")
+    p.add_argument("-o", "--output-dir", help="save each partial as NAME.bit here")
+    p.add_argument("-j", "--jobs", type=int, help="worker threads (default: auto)")
+    p.add_argument("--granularity", choices=["column", "frame"], default="column")
+    p.add_argument("--no-checks", action="store_true", help="skip region containment checks")
+    p.add_argument("--metrics", action="store_true",
+                   help="also print the aggregated per-stage timing table")
+    p.set_defaults(fn=_cmd_batch)
 
     p = sub.add_parser("merge", help="apply a partial onto a complete bitstream")
     p.add_argument("--base", required=True)

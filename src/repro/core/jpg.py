@@ -23,6 +23,7 @@ valid regardless of which version currently occupies the region.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..bitstream.bitfile import BitFile
 from ..bitstream.bitgen import generate_frames
@@ -32,7 +33,11 @@ from ..flow.floorplan import RegionRect
 from ..flow.ncd import NcdDesign
 from ..jbits.api import JBits
 from ..jbits.xhwif import Xhwif
+from ..obs import current_metrics
 from ..ucf.parser import UcfFile
+
+if TYPE_CHECKING:
+    from ..batch.cache import FrameCache
 from .partial import (
     Granularity,
     clb_column_frames,
@@ -94,14 +99,26 @@ class Jpg:
         part: str,
         base_bitstream: bytes | BitFile | FrameMemory,
         base_design: NcdDesign | None = None,
+        *,
+        frame_cache: FrameCache | None = None,
+        full_size: int | None = None,
     ):
+        """``frame_cache`` shares cleared-region work between instances
+        generating against the same base (see :mod:`repro.batch.cache`);
+        ``full_size`` skips re-serializing the complete bitstream when the
+        caller (e.g. the batch engine) already knows its length."""
         self.part = part
         self.jbits = JBits(part)
-        self.jbits.read(base_bitstream)
+        self.frame_cache = frame_cache
+        metrics = current_metrics()
+        with metrics.stage("jpg.init_base", part=part):
+            self.jbits.read(base_bitstream)
         self.base_design = base_design
         base = self.jbits.frames
         assert base is not None
-        self._full_size = len(self.jbits.write())
+        if full_size is None:
+            full_size = len(self.jbits.write())
+        self._full_size = full_size
 
     # -- configuration state -----------------------------------------------------
 
@@ -135,52 +152,61 @@ class Jpg:
         returned for saving/downloading.
         """
         opts = options or JpgOptions()
+        metrics = current_metrics()
         design = self._as_design(module)
         region = region or self._region_from_ucf(design, ucf)
 
-        if opts.check_region:
-            if region is None:
-                raise JpgError(
-                    f"module {design.name!r}: no target region (pass region= or "
-                    "a UCF with an AREA_GROUP RANGE)"
-                )
-            check_module_in_region(design, region).raise_if_failed()
-        if opts.check_interface and self.base_design is not None:
-            raise_on_interface_mismatch(self.base_design, design)
+        with metrics.stage("jpg.verify", module=design.name):
+            if opts.check_region:
+                if region is None:
+                    raise JpgError(
+                        f"module {design.name!r}: no target region (pass region= or "
+                        "a UCF with an AREA_GROUP RANGE)"
+                    )
+                check_module_in_region(design, region).raise_if_failed()
+            if opts.check_interface and self.base_design is not None:
+                raise_on_interface_mismatch(self.base_design, design)
 
         before = self.frames.clone()
 
         # 1. clear the floorplanned region so stale logic cannot survive
         if opts.clear_region and region is not None:
-            for r, c in region.sites():
-                self.jbits.clear_tile(r, c)
+            with metrics.stage("jpg.clear_region", module=design.name,
+                               region=region.to_ucf()):
+                self._clear_region(region)
 
         # 2. replay the module's implementation onto the configuration
-        merged = generate_frames(design, base=self.frames)
-        self.jbits.merge_frames(merged)
+        with metrics.stage("jpg.replay", module=design.name):
+            merged = generate_frames(design, base=self.frames)
+            self.jbits.merge_frames(merged)
 
         # 3. pick the frame set
-        if opts.granularity is Granularity.COLUMN:
-            columns = set(module_footprint_columns(design))
-            if region is not None:
-                columns.update(region.clb_columns())
-            frames = set(clb_column_frames(self.jbits.device, columns))
-            frames.update(iob_column_frames(self.jbits.device, module_iob_sides(design)))
-            # anything else the merge touched (e.g. the clock column)
-            frames.update(self.jbits.dirty_frames)
-            self.jbits.touch_frames(frames)
-        else:
-            frames = set(self.jbits.dirty_frames)
-            columns = set(module_footprint_columns(design))
-        if not frames:
-            # nothing changed (re-applying the active version): still emit
-            # the region's columns so the caller gets a usable bitstream
-            if region is None:
-                raise JpgError(f"module {design.name!r}: no frames to write")
-            frames = set(clb_column_frames(self.jbits.device, region.clb_columns()))
-            self.jbits.touch_frames(frames)
+        with metrics.stage("jpg.frame_select", module=design.name):
+            if opts.granularity is Granularity.COLUMN:
+                columns = set(module_footprint_columns(design))
+                if region is not None:
+                    columns.update(region.clb_columns())
+                frames = set(clb_column_frames(self.jbits.device, columns))
+                frames.update(iob_column_frames(self.jbits.device, module_iob_sides(design)))
+                # anything else the merge touched (e.g. the clock column)
+                frames.update(self.jbits.dirty_frames)
+                self.jbits.touch_frames(frames)
+            else:
+                frames = set(self.jbits.dirty_frames)
+                columns = set(module_footprint_columns(design))
+            if not frames:
+                # nothing changed (re-applying the active version): still emit
+                # the region's columns so the caller gets a usable bitstream
+                if region is None:
+                    raise JpgError(f"module {design.name!r}: no frames to write")
+                frames = set(clb_column_frames(self.jbits.device, region.clb_columns()))
+                self.jbits.touch_frames(frames)
 
-        data = self.jbits.write_partial(startup=opts.startup)
+        with metrics.stage("jpg.emit", module=design.name, frames=len(frames)):
+            data = self.jbits.write_partial(startup=opts.startup)
+        metrics.count("jpg.partials")
+        metrics.count("jpg.frames_written", len(frames))
+        metrics.count("jpg.partial_bytes", len(data))
         del before  # (kept for symmetry with verify tooling)
         return PartialResult(
             module_name=design.name,
@@ -206,12 +232,42 @@ class Jpg:
 
     # -- helpers ------------------------------------------------------------------------------
 
+    def _clear_region(self, region: RegionRect) -> None:
+        """Zero the region's tiles, dirtying the frames that change.
+
+        With a :class:`~repro.batch.cache.FrameCache` attached, the cleared
+        state is keyed by (current configuration content, region footprint)
+        and shared: every later clear of the same region on the same base
+        restores the cached frames instead of re-zeroing tile by tile.
+        """
+        if self.frame_cache is None:
+            for r, c in region.sites():
+                self.jbits.clear_tile(r, c)
+            return
+
+        base_key = self.frame_cache.base_key(self.frames)
+
+        def compute() -> tuple[FrameMemory, frozenset[int]]:
+            prev = set(self.jbits.dirty_frames)
+            for r, c in region.sites():
+                self.jbits.clear_tile(r, c)
+            added = frozenset(set(self.jbits.dirty_frames) - prev)
+            return self.frames.clone(), added
+
+        prev_dirty = set(self.jbits.dirty_frames)
+        cleared, clear_dirty = self.frame_cache.cleared(base_key, region, compute)
+        # converge on the cached state whether compute() ran here (miss,
+        # frames already cleared in place) or in another generation (hit)
+        self.jbits.read(cleared)
+        self.jbits.touch_frames(prev_dirty | clear_dirty)
+
     def _as_design(self, module: NcdDesign | str) -> NcdDesign:
         if isinstance(module, NcdDesign):
             return module
         from ..xdl.parser import parse_xdl
 
-        return parse_xdl(module)
+        with current_metrics().stage("jpg.parse_xdl"):
+            return parse_xdl(module)
 
     def _region_from_ucf(self, design: NcdDesign, ucf: UcfFile | None) -> RegionRect | None:
         if ucf is None:

@@ -23,6 +23,7 @@ from collections.abc import Iterable
 from ..devices import Device
 from ..flow.floorplan import RegionRect
 from ..flow.ncd import NcdDesign
+from ..obs import current_metrics
 
 
 class Granularity(enum.Enum):
@@ -36,9 +37,13 @@ def clb_column_frames(device: Device, columns: Iterable[int]) -> list[int]:
     """All linear frame indices of the given CLB fabric columns."""
     g = device.geometry
     frames: list[int] = []
-    for col in sorted(set(columns)):
+    cols = sorted(set(columns))
+    for col in cols:
         base = g.frame_base(g.major_of_clb_col(col))
         frames.extend(range(base, base + 48))
+    metrics = current_metrics()
+    metrics.count("partial.clb_columns_spanned", len(cols))
+    metrics.count("partial.clb_frames_spanned", len(frames))
     return frames
 
 
@@ -55,6 +60,7 @@ def iob_column_frames(device: Device, sides) -> list[int]:
     for side in sides:
         base = g.frame_base(g.major_of_iob(side))
         frames.extend(range(base, base + g.columns[g.major_of_iob(side)].frames))
+    current_metrics().count("partial.iob_frames_spanned", len(frames))
     return frames
 
 

@@ -1,0 +1,188 @@
+"""Pipeline observability: stage timers, counters, and structured events.
+
+The generation pipeline (parse -> verify -> clear -> replay -> frame
+selection -> emit) is instrumented with *stages*: named spans whose wall
+time and context are recorded as :class:`StageEvent` objects on the
+:class:`Metrics` registry active in the current context.  Counters track
+scalar totals (frames written, cache hits, bytes emitted); timers
+aggregate per-stage statistics (count/total/min/max).
+
+Activation is opt-in and scoped: library code always reports through
+:func:`current_metrics`, which resolves to a do-nothing :class:`NullMetrics`
+unless a caller has entered :func:`use_metrics`::
+
+    from repro.obs import Metrics, use_metrics
+
+    m = Metrics()
+    with use_metrics(m):
+        jpg.make_partial(...)
+    print(m.timers["jpg.emit"].total, m.counters["jpg.frames_written"])
+
+Scoping uses a :class:`contextvars.ContextVar`, so concurrent batch
+workers can each bind the same (or different) registries explicitly; the
+registry itself is thread-safe.  A pluggable *sink* — any callable taking
+a :class:`StageEvent` — observes events as they happen (live progress,
+structured logging); recorded events also stay on ``Metrics.events``
+unless ``keep_events=False``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from collections.abc import Callable, Iterator, Mapping
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One completed pipeline stage: what ran, for how long, with what."""
+
+    stage: str
+    seconds: float
+    detail: Mapping[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"{self.stage} {1e3 * self.seconds:.2f}ms{' ' + extra if extra else ''}"
+
+
+#: A sink receives every StageEvent the registry records.
+Sink = Callable[[StageEvent], None]
+
+
+@dataclass
+class TimerStats:
+    """Aggregate of every recording of one named timer."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        self.min = seconds if seconds < self.min else self.min
+        self.max = seconds if seconds > self.max else self.max
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Metrics:
+    """Thread-safe registry of counters, timers, and stage events."""
+
+    def __init__(self, *, sink: Sink | None = None, keep_events: bool = True):
+        self._lock = threading.Lock()
+        self.sink = sink
+        self.keep_events = keep_events
+        self.counters: dict[str, int] = {}
+        self.timers: dict[str, TimerStats] = {}
+        self.events: list[StageEvent] = []
+
+    # -- counters -------------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at zero on first use)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self.counters.get(name, 0)
+
+    # -- timers / stages ------------------------------------------------------
+
+    def record(self, stage: str, seconds: float, **detail: object) -> None:
+        """Record a completed stage: updates the timer and emits an event."""
+        event = StageEvent(stage, seconds, detail)
+        with self._lock:
+            self.timers.setdefault(stage, TimerStats()).record(seconds)
+            if self.keep_events:
+                self.events.append(event)
+            sink = self.sink
+        if sink is not None:
+            sink(event)
+
+    @contextlib.contextmanager
+    def stage(self, name: str, **detail: object) -> Iterator[None]:
+        """Time a pipeline stage: ``with metrics.stage("jpg.emit"): ...``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start, **detail)
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        """A plain-dict copy of every counter and timer (for reports)."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "timers": {
+                    k: {"count": t.count, "total": t.total, "min": t.min,
+                        "max": t.max, "mean": t.mean}
+                    for k, t in self.timers.items()
+                },
+            }
+
+    def stage_table(self) -> list[tuple[str, int, str, str]]:
+        """Rows (stage, count, total, mean) sorted by total time, descending
+        — ready for :func:`repro.utils.format_table`."""
+        with self._lock:
+            items = sorted(self.timers.items(), key=lambda kv: -kv[1].total)
+        return [
+            (name, t.count, f"{1e3 * t.total:.1f} ms", f"{1e3 * t.mean:.2f} ms")
+            for name, t in items
+        ]
+
+
+class NullMetrics(Metrics):
+    """The default registry: accepts everything, stores nothing."""
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def record(self, stage: str, seconds: float, **detail: object) -> None:
+        pass
+
+    @contextlib.contextmanager
+    def stage(self, name: str, **detail: object) -> Iterator[None]:
+        yield
+
+
+#: Process-wide fallback; never holds data.
+NULL_METRICS = NullMetrics()
+
+_current: ContextVar[Metrics] = ContextVar("repro_metrics", default=NULL_METRICS)
+
+
+def current_metrics() -> Metrics:
+    """The registry instrumented library code should report to."""
+    return _current.get()
+
+
+@contextlib.contextmanager
+def use_metrics(metrics: Metrics) -> Iterator[Metrics]:
+    """Bind ``metrics`` as the current registry for this context.
+
+    Worker threads do not inherit the caller's context automatically;
+    pool-based code must re-enter ``use_metrics`` inside each task (the
+    batch engine does).
+    """
+    token = _current.set(metrics)
+    try:
+        yield metrics
+    finally:
+        _current.reset(token)
+
+
+def recording_sink(into: list[StageEvent]) -> Sink:
+    """A sink that appends events to ``into`` (handy in tests and demos)."""
+    return into.append

@@ -222,3 +222,74 @@ class TestFloorplanAndParbit:
         from repro.bitstream.bitfile import BitFile
 
         assert BitFile.load(out).size > 1000
+
+
+class TestBatch:
+    @pytest.fixture()
+    def manifest(self, tmp_path, demo_project):
+        import json
+
+        base_bit = tmp_path / "base.bit"
+        demo_project.base_bitfile.save(str(base_bit))
+        modules = []
+        for (region, version), mv in sorted(demo_project.versions.items()):
+            if version == "base":
+                continue
+            stem = f"{region}_{version}"
+            (tmp_path / f"{stem}.xdl").write_text(mv.xdl)
+            (tmp_path / f"{stem}.ucf").write_text(mv.ucf)
+            modules.append({
+                "name": f"{region}/{version}",
+                "xdl": f"{stem}.xdl",
+                "ucf": f"{stem}.ucf",
+                "region": demo_project.regions[region].to_ucf(),
+            })
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({"modules": modules}))
+        return {"path": str(path), "base": str(base_bit), "tmp": tmp_path}
+
+    def test_batch_generates_all(self, manifest, capsys):
+        outdir = str(manifest["tmp"] / "out")
+        rc = main([
+            "batch", "-p", "XCV50",
+            "--base", manifest["base"],
+            "--manifest", manifest["path"],
+            "-o", outdir, "-j", "2", "--metrics",
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "4/4 partials" in text
+        assert "hit rate" in text
+        assert "r1/down" in text and "r2/right" in text
+        assert "jpg.emit" in text  # --metrics stage table
+        from repro.bitstream.bitfile import BitFile
+
+        for stem in ["r1_up", "r1_down", "r2_left", "r2_right"]:
+            assert BitFile.load(f"{outdir}/{stem}.bit").size > 1000
+
+    def test_batch_reports_failures(self, manifest, capsys):
+        import json
+
+        data = json.loads((manifest["tmp"] / "manifest.json").read_text())
+        del data["modules"][0]["region"]
+        del data["modules"][0]["ucf"]  # no region at all -> that item fails
+        (manifest["tmp"] / "manifest.json").write_text(json.dumps(data))
+        rc = main([
+            "batch", "-p", "XCV50",
+            "--base", manifest["base"],
+            "--manifest", manifest["path"],
+        ])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "3/4 partials" in captured.out
+        assert "error" in captured.err
+
+    def test_batch_bad_manifest(self, manifest, capsys):
+        (manifest["tmp"] / "manifest.json").write_text('{"modules": []}')
+        rc = main([
+            "batch", "-p", "XCV50",
+            "--base", manifest["base"],
+            "--manifest", manifest["path"],
+        ])
+        assert rc == 1
+        assert "manifest" in capsys.readouterr().err

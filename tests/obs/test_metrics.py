@@ -1,0 +1,144 @@
+"""Observability layer tests: registry semantics and pipeline coverage."""
+
+import threading
+
+import pytest
+
+from repro.core import Jpg
+from repro.obs import (
+    NULL_METRICS,
+    Metrics,
+    NullMetrics,
+    StageEvent,
+    current_metrics,
+    recording_sink,
+    use_metrics,
+)
+
+
+class TestCounters:
+    def test_count_and_read(self):
+        m = Metrics()
+        m.count("a")
+        m.count("a", 4)
+        assert m.counter("a") == 5
+        assert m.counter("never") == 0
+
+    def test_thread_safety(self):
+        m = Metrics()
+
+        def work():
+            for _ in range(1000):
+                m.count("n")
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.counter("n") == 8000
+
+
+class TestStages:
+    def test_stage_records_timer_and_event(self):
+        m = Metrics()
+        with m.stage("compile", module="m1"):
+            pass
+        with m.stage("compile", module="m2"):
+            pass
+        stats = m.timers["compile"]
+        assert stats.count == 2
+        assert stats.total >= stats.max >= stats.min >= 0
+        assert stats.mean == pytest.approx(stats.total / 2)
+        assert [e.stage for e in m.events] == ["compile", "compile"]
+        assert m.events[0].detail["module"] == "m1"
+
+    def test_stage_records_on_exception(self):
+        m = Metrics()
+        with pytest.raises(ValueError):
+            with m.stage("boom"):
+                raise ValueError("x")
+        assert m.timers["boom"].count == 1
+
+    def test_keep_events_off(self):
+        m = Metrics(keep_events=False)
+        with m.stage("s"):
+            pass
+        assert m.events == []
+        assert m.timers["s"].count == 1
+
+    def test_sink_sees_every_event(self):
+        seen: list[StageEvent] = []
+        m = Metrics(sink=recording_sink(seen))
+        m.record("s", 0.5, k=1)
+        assert len(seen) == 1
+        assert seen[0].seconds == 0.5
+        assert "0.5" not in str(seen[0].detail)  # detail holds k, not seconds
+        assert "500.00ms" in str(seen[0])
+
+    def test_stage_table_sorted_by_total(self):
+        m = Metrics()
+        m.record("fast", 0.001)
+        m.record("slow", 1.0)
+        table = m.stage_table()
+        assert [row[0] for row in table] == ["slow", "fast"]
+
+    def test_snapshot_plain_data(self):
+        m = Metrics()
+        m.count("c", 3)
+        m.record("t", 0.25)
+        snap = m.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["timers"]["t"]["count"] == 1
+
+
+class TestScoping:
+    def test_default_is_null(self):
+        assert isinstance(current_metrics(), NullMetrics)
+
+    def test_null_metrics_stores_nothing(self):
+        NULL_METRICS.count("x", 100)
+        with NULL_METRICS.stage("y"):
+            pass
+        NULL_METRICS.record("z", 1.0)
+        assert NULL_METRICS.counters == {}
+        assert NULL_METRICS.timers == {}
+        assert NULL_METRICS.events == []
+
+    def test_use_metrics_binds_and_restores(self):
+        m = Metrics()
+        with use_metrics(m) as bound:
+            assert bound is m
+            assert current_metrics() is m
+            inner = Metrics()
+            with use_metrics(inner):
+                assert current_metrics() is inner
+            assert current_metrics() is m
+        assert isinstance(current_metrics(), NullMetrics)
+
+
+class TestPipelineInstrumentation:
+    """The stages threaded through jpg/bitgen/assembler actually report."""
+
+    def test_make_partial_emits_stage_events(self, demo_project):
+        m = Metrics()
+        mv = demo_project.versions[("r1", "down")]
+        with use_metrics(m):
+            jpg = Jpg(demo_project.part, demo_project.base_bitfile,
+                      base_design=demo_project.base_flow.design)
+            jpg.make_partial(mv.design, region=demo_project.regions["r1"])
+        stages = {e.stage for e in m.events}
+        assert {"jpg.init_base", "jpg.verify", "jpg.clear_region", "jpg.replay",
+                "jpg.frame_select", "jpg.emit", "bitgen.generate_frames",
+                "assemble.partial_stream", "assemble.full_stream"} <= stages
+        assert m.counter("jpg.partials") == 1
+        assert m.counter("jpg.frames_written") > 0
+        assert m.counter("jpg.partial_bytes") > 0
+        assert m.counter("partial.clb_columns_spanned") > 0
+
+    def test_uninstrumented_run_records_nothing_globally(self, demo_project):
+        mv = demo_project.versions[("r1", "down")]
+        jpg = Jpg(demo_project.part, demo_project.base_bitfile)
+        jpg.make_partial(mv.design, region=demo_project.regions["r1"],)
+        assert NULL_METRICS.counters == {}
+        assert NULL_METRICS.events == []

@@ -1,0 +1,65 @@
+"""Docs cannot rot silently: run the docs-check and pydoc render in CI."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_docs_check_passes():
+    """tools/docs_check.py: src/ compiles, Markdown links/anchors resolve."""
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "docs_check.py")],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr or proc.stdout
+    assert "OK" in proc.stdout
+
+
+def test_docs_exist_and_cover_packages():
+    """ARCHITECTURE.md and API.md must mention every package under
+    src/repro/ — a new package without documentation fails here."""
+    packages = sorted(
+        p.parent.name
+        for p in (REPO_ROOT / "src" / "repro").glob("*/__init__.py")
+    )
+    assert packages, "no packages found under src/repro"
+    for doc in ["ARCHITECTURE.md", "API.md"]:
+        text = (REPO_ROOT / "docs" / doc).read_text()
+        missing = [pkg for pkg in packages if f"repro.{pkg}" not in text]
+        assert not missing, f"docs/{doc} does not mention: {missing}"
+
+
+def test_pydoc_renders_cleanly():
+    """`python -m pydoc repro` must render the package documentation."""
+    import os
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "pydoc", "repro"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "PACKAGE CONTENTS" in proc.stdout
+    for pkg in ["batch", "obs", "core", "bitstream"]:
+        assert pkg in proc.stdout
+
+
+def test_every_package_has_docstring():
+    """Module docstrings on every package __init__ (pydoc quality floor)."""
+    import ast
+
+    for init in sorted((REPO_ROOT / "src" / "repro").rglob("__init__.py")):
+        tree = ast.parse(init.read_text())
+        doc = ast.get_docstring(tree)
+        assert doc and len(doc.strip()) > 20, f"{init} has no useful docstring"

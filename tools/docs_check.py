@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""docs-check: keep the documentation from rotting silently.
+
+Two passes, both stdlib-only:
+
+1. ``python -m compileall`` over ``src/`` — every module must at least
+   parse (catches syntax rot in rarely-imported corners);
+2. a Markdown link/anchor checker over ``docs/*.md``, ``README.md``, and
+   the other top-level ``.md`` files: every relative link must point at an
+   existing file, and every ``#fragment`` must match a heading anchor in
+   the target document (GitHub anchor rules: lowercase, punctuation
+   stripped, spaces to dashes).  External ``http(s)``/``mailto`` links are
+   not fetched.
+
+Run from the repository root::
+
+    python tools/docs_check.py          # exit 0 iff everything checks out
+
+The test suite runs this via ``tests/test_docs_check.py``, so a broken
+link or a stale file reference fails CI.
+"""
+
+from __future__ import annotations
+
+import compileall
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files checked for links and anchors.
+DOC_GLOBS = ["README.md", "*.md", "docs/*.md"]
+
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor id transformation (close enough)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)            # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)   # links -> text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """Every anchor a Markdown file's headings define."""
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING_RE.match(line)
+        if m:
+            anchors.add(github_anchor(m.group(2)))
+    return anchors
+
+
+def markdown_links(path: Path) -> list[str]:
+    """Every non-image link target in a Markdown file (fences skipped)."""
+    targets: list[str] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        targets.extend(_LINK_RE.findall(line))
+    return targets
+
+
+def doc_files(root: Path) -> list[Path]:
+    seen: dict[Path, None] = {}
+    for glob in DOC_GLOBS:
+        for path in sorted(root.glob(glob)):
+            seen.setdefault(path.resolve(), None)
+    return list(seen)
+
+
+def check_links(root: Path) -> list[str]:
+    """Problems with relative links/anchors in the repo's Markdown files."""
+    problems: list[str] = []
+    for doc in doc_files(root):
+        rel = doc.relative_to(root)
+        for target in markdown_links(doc):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            file_part, _, fragment = target.partition("#")
+            dest = doc if not file_part else (doc.parent / file_part).resolve()
+            if not dest.exists():
+                problems.append(f"{rel}: broken link -> {target}")
+                continue
+            if fragment:
+                if dest.suffix.lower() != ".md":
+                    continue
+                if github_anchor(fragment) not in heading_anchors(dest):
+                    problems.append(f"{rel}: missing anchor -> {target}")
+    return problems
+
+
+def check_compile(root: Path) -> bool:
+    """True iff every source file under src/ compiles."""
+    return bool(compileall.compile_dir(str(root / "src"), quiet=2, force=False))
+
+
+def main() -> int:
+    ok = True
+    if not check_compile(REPO_ROOT):
+        print("docs-check: compileall failed over src/", file=sys.stderr)
+        ok = False
+    problems = check_links(REPO_ROOT)
+    for problem in problems:
+        print(f"docs-check: {problem}", file=sys.stderr)
+    if problems:
+        ok = False
+    if ok:
+        n = len(doc_files(REPO_ROOT))
+        print(f"docs-check: OK ({n} Markdown files, src/ compiles)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
