@@ -1,26 +1,34 @@
 #!/usr/bin/env python3
-"""Readback verify and SEU scrubbing — the reliability side of JBits.
+"""Fault-tolerant reconfiguration with the runtime layer.
 
-Configuration readback (CMD=RCFG + FDRO) streams frames back out of the
-device.  Era-typical uses, both shown here on a live design:
+The detect-and-repair loop this example once spelled out by hand now
+lives in :mod:`repro.runtime`:
 
-1. **readback verify** — prove the device holds exactly the intended
-   configuration after a download;
-2. **scrubbing** — detect single-event upsets (radiation flipping SRAM
-   configuration bits) by comparing readback against the golden frames,
-   then repair by re-writing only the corrupted frames as a partial
-   bitstream, without stopping the design.
+1. a :class:`FaultPlan` plugs into the simulated board and injects a
+   deterministic campaign of faults — transient send errors plus SEUs
+   (radiation flipping configuration-SRAM bits between port operations);
+2. a :class:`ReconfigSession` downloads with bounded retries, validating
+   each transfer against the port's CRC and frames-written report;
+3. a :class:`Scrubber` readback-verifies against the golden frames and
+   repairs corrupted frames with minimal partial bitstreams, escalating
+   to a full reconfiguration only if the loop does not converge.
 
-Run:  python examples/readback_scrubbing.py
+Everything is seeded and modeled (no wall clock), so the run below is
+byte-deterministic.  Run:  python examples/readback_scrubbing.py
 """
 
-import random
-
-from repro.bitstream.assembler import partial_stream
 from repro.bitstream.bitgen import bitgen, generate_frames
 from repro.flow import run_flow
 from repro.hwsim import Board, DesignHarness
-from repro.utils import si_bytes
+from repro.jbits import SimulatedXhwif
+from repro.obs import Metrics, use_metrics
+from repro.runtime import (
+    FaultPlan,
+    ReconfigSession,
+    RetryPolicy,
+    ScrubPolicy,
+    Scrubber,
+)
 from repro.workloads import ModuleSpec, build_module_netlist
 
 
@@ -31,52 +39,56 @@ def main() -> None:
     flow = run_flow(netlist, part, seed=21)
     golden = generate_frames(flow.design)
 
-    board = Board(part)
-    board.download(bitgen(flow.design))
-    h = DesignHarness(board, flow.design)
-    outs = [f"m_o{i}" for i in range(8)]
+    # a hostile environment: two transient send errors, then four SEUs
+    # landing in pairs between port operations
+    plan = FaultPlan(4, send_errors=2, send_error_every=2,
+                     seu_flips=4, seu_per_window=2)
+    board = Board(part, fault_plan=plan)
+    metrics = Metrics()
 
-    # -- 1. readback verify after configuration ---------------------------
-    data, report = board.readback_frames(0, board.device.geometry.total_frames)
-    mismatches = board.verify(golden)
-    print(
-        f"readback: {report.frames} frames, {si_bytes(report.data_bytes)} in "
-        f"{report.seconds * 1e3:.2f} ms -> {len(mismatches)} mismatching frames"
-    )
-    assert mismatches == []
+    with use_metrics(metrics):
+        # -- 1. configure through the retrying session -----------------------
+        session = ReconfigSession(
+            SimulatedXhwif(board), policy=RetryPolicy(max_attempts=4)
+        )
+        outcome = session.send(
+            bitgen(flow.design).config_bytes, label="base",
+            expect_frames=board.device.geometry.total_frames,
+        )
+        assert outcome.ok
+        print(
+            f"configured in {len(outcome.attempts)} attempt(s) "
+            f"({outcome.retries} retried), "
+            f"{outcome.seconds * 1e3:.2f} ms modeled transfer time"
+        )
 
-    h.clock(42)
-    print(f"counter running, value = {h.get_word(outs)}")
+        h = DesignHarness(board, flow.design)
+        outs = [f"m_o{i}" for i in range(8)]
+        h.clock(42)
+        print(f"counter running, value = {h.get_word(outs)}")
 
-    # -- 2. a radiation event flips configuration bits ----------------------
-    rng = random.Random(4)
-    upset_frames = []
-    for _ in range(3):
-        frame = rng.randrange(board.device.geometry.total_frames)
-        bit = rng.randrange(board.device.geometry.frame_bits)
-        board.frames.set_bit(frame, bit, 1 - board.frames.get_bit(frame, bit))
-        upset_frames.append(frame)
-    board._model = None  # the fabric now follows the corrupted SRAM
-    print(f"\ninjected SEUs into frames {sorted(upset_frames)}")
+        # -- 2+3. scrub: readback-verify, repair, repeat ---------------------
+        scrubber = Scrubber(session, golden, policy=ScrubPolicy(max_rounds=5))
+        report = scrubber.run()
 
-    # -- 3. scrub: detect via readback, repair via partial bitstream ---------
-    detected = board.verify(golden)
-    print(f"scrubber detected corrupted frames: {detected}")
-    assert set(detected) == set(upset_frames)
-
-    repair = partial_stream(golden, detected)
-    rep = board.download(repair)
-    print(
-        f"repair partial: {si_bytes(rep.bytes)}, {rep.frames_written} frames, "
-        f"{rep.seconds * 1e6:.0f} us"
-    )
-    assert board.verify(golden) == []
+    for rnd in report.rounds:
+        print(
+            f"scrub round {rnd.index}: detected frames {rnd.detected}, "
+            f"repaired {rnd.send.frames_written} with one partial "
+            f"({rnd.send.seconds * 1e6:.0f} us)"
+        )
+    assert report.verified and not report.escalated
+    seus = plan.seu_frames
+    print(f"device verified against golden; SEUs had hit frames {seus}")
+    assert report.frames_scrubbed == len(seus)
 
     h.clock(1)
+    print(f"counter alive after scrubbing, value = {h.get_word(outs)}")
     print(
-        f"counter alive after scrub, value = {h.get_word(outs)} "
-        f"(flip-flop state restarted: this simulation rebuilds the fabric "
-        f"model after direct SRAM corruption)"
+        f"runtime counters: retries={metrics.counter('runtime.retries')} "
+        f"verifies={metrics.counter('runtime.verifies')} "
+        f"frames_scrubbed={metrics.counter('runtime.frames_scrubbed')} "
+        f"escalations={metrics.counter('runtime.escalations')}"
     )
     print("OK - detect-and-repair scrubbing loop closed.")
 

@@ -245,6 +245,39 @@ class BatchJpg:
             full_size=self._full_size,
         )
 
+    # -- deployment ---------------------------------------------------------
+
+    def deploy(
+        self,
+        report: BatchReport,
+        xhwif,
+        *,
+        retry=None,
+        scrub=None,
+        deploy_base: bool = True,
+    ):
+        """Deploy every successful partial of ``report`` onto a board,
+        readback-verifying and scrubbing each (the optional
+        deploy-and-verify stage; see :class:`repro.runtime.Deployer`).
+
+        ``retry`` / ``scrub`` are :class:`~repro.runtime.RetryPolicy` /
+        :class:`~repro.runtime.ScrubPolicy` overrides.  Runtime metrics
+        land on this engine's registry, so one batch run aggregates
+        generation *and* deployment counters.  Returns the
+        :class:`~repro.runtime.DeployReport`.
+        """
+        from ..runtime import Deployer, DeployItem
+
+        items = [
+            DeployItem(name, partial.data)
+            for name, partial in report.partials().items()
+        ]
+        deployer = Deployer(
+            xhwif, self._base_frames,
+            retry=retry, scrub=scrub, metrics=self.metrics,
+        )
+        return deployer.run(items, deploy_base=deploy_base)
+
     def _generate_one(self, item: BatchItem) -> BatchItemResult:
         start = time.perf_counter()
         with use_metrics(self.metrics):

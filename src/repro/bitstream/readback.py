@@ -60,14 +60,56 @@ def decode_readback(device: Device, words: np.ndarray, n_frames: int) -> np.ndar
     return words.reshape(n_frames, fw)
 
 
+#: Per-device cache of capture-cell masks (devices are immutable singletons).
+_capture_masks: dict[str, np.ndarray] = {}
+
+
+def capture_mask(device: Device) -> np.ndarray:
+    """Mask of the SLICE capture-cell bits, shaped like the frame matrix.
+
+    GCAPTURE latches user flip-flop outputs into these configuration-memory
+    cells, so a readback taken after a capture legitimately differs from
+    the generated bitstream there: the cells hold *state*, not
+    configuration.  Verify and scrub must ignore them or a running design
+    would look permanently corrupted.
+    """
+    cached = _capture_masks.get(device.name)
+    if cached is not None:
+        return cached
+    from ..devices.resources import SLICE
+
+    g = device.geometry
+    mask = np.zeros((g.total_frames, g.frame_words), dtype=np.uint32)
+    for col in range(device.cols):
+        for row in range(device.rows):
+            for s in (0, 1):
+                for field in (SLICE[s].CAPTURE_X, SLICE[s].CAPTURE_Y):
+                    frame, bit = device.clb_bit_location(row, col, field.coords[0])
+                    mask[frame, bit // 32] |= np.uint32(1 << (31 - bit % 32))
+    _capture_masks[device.name] = mask
+    return mask
+
+
 def verify_frames(
-    expected: FrameMemory, got: np.ndarray, start_frame: int
+    expected: FrameMemory,
+    got: np.ndarray,
+    start_frame: int,
+    *,
+    mask: np.ndarray | None = None,
 ) -> list[int]:
     """Compare readback data to the expected configuration; returns the
-    linear indices of mismatching frames (empty = verified)."""
+    linear indices of mismatching frames (empty = verified).
+
+    ``mask`` (e.g. :func:`capture_mask`) marks bits to *ignore*: readback
+    after GCAPTURE carries flip-flop state in the capture cells, which is
+    not a configuration error.
+    """
     n = got.shape[0]
     window = expected.data[start_frame:start_frame + n]
-    bad = np.flatnonzero((window != got).any(axis=1))
+    diff = np.bitwise_xor(window, np.asarray(got, dtype=np.uint32))
+    if mask is not None:
+        diff = diff & ~mask[start_frame:start_frame + n]
+    bad = np.flatnonzero(diff.any(axis=1))
     return [start_frame + int(i) for i in bad]
 
 

@@ -70,6 +70,12 @@ class ConfigInterpreter:
     # -- public API -------------------------------------------------------------
 
     def feed_bytes(self, data: bytes) -> InterpreterStats:
+        if len(data) % 4:
+            # e.g. a transfer truncated mid-word: malformed config data,
+            # not a programming error
+            raise BitstreamError(
+                f"configuration stream length {len(data)} is not word aligned"
+            )
         return self.feed_words(utils.bytes_to_words(data))
 
     def feed_words(self, words: np.ndarray) -> InterpreterStats:

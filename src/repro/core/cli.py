@@ -6,6 +6,7 @@ helpers::
     jpg info XCV300                      device/frame geometry
     jpg generate -p XCV100 --base b.bit --xdl m.xdl --ucf m.ucf -o out.bit
     jpg batch -p XCV100 --base b.bit --manifest modules.json -o outdir
+    jpg deploy --base b.bit p1.bit p2.bit --seu 3          retry/verify/scrub
     jpg merge --base b.bit --partial p.bit -o merged.bit   (or --overwrite)
     jpg inspect some.bit                 packet-level bitstream summary
     jpg floorplan XCV100 --region r1=CLB_R1C3:CLB_R16C12   ASCII Figure 3
@@ -151,6 +152,65 @@ def _cmd_batch(args) -> int:
         ))
     for failure in report.failures:
         print(f"error: {failure.item.name}: {failure.error}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_deploy(args) -> int:
+    from ..devices import normalize_part_name
+    from ..hwsim import Board
+    from ..jbits import SimulatedXhwif
+    from ..runtime import Deployer, DeployItem, FaultPlan, RetryPolicy, ScrubPolicy
+
+    base = BitFile.load(args.base)
+    part = args.part or normalize_part_name(base.part_name)
+    plan = None
+    fault_args = (args.send_errors, args.readback_errors, args.corrupt,
+                  args.truncate, args.seu)
+    if any(fault_args):
+        plan = FaultPlan(
+            args.fault_seed,
+            send_errors=args.send_errors,
+            send_error_every=args.fault_every,
+            readback_errors=args.readback_errors,
+            readback_error_every=args.fault_every,
+            corruptions=args.corrupt,
+            corrupt_every=args.fault_every,
+            truncations=args.truncate,
+            truncate_every=args.fault_every,
+            seu_flips=args.seu,
+            seu_per_window=args.seu_per_window,
+        )
+        print(
+            f"fault plan: seed={args.fault_seed} send_errors={args.send_errors} "
+            f"readback_errors={args.readback_errors} corrupt={args.corrupt} "
+            f"truncate={args.truncate} seu={args.seu}"
+        )
+    board = Board(part, fault_plan=plan)
+    deployer = Deployer(
+        SimulatedXhwif(board),
+        base,
+        retry=RetryPolicy(max_attempts=args.retries),
+        scrub=ScrubPolicy(max_rounds=args.max_scrubs),
+    )
+    items = []
+    for path in args.partials:
+        import os
+
+        bf = BitFile.load(path)
+        items.append(DeployItem(os.path.splitext(os.path.basename(path))[0],
+                                bf.config_bytes))
+    report = deployer.run(items)
+    print(report.table())
+    print(report.summary())
+    if args.metrics:
+        print(utils.format_table(
+            ["stage", "count", "total", "mean"], report.metrics.stage_table()
+        ))
+        counters = [(k, v) for k, v in sorted(report.metrics.counters.items())
+                    if k.startswith("runtime.")]
+        print(utils.format_table(["counter", "value"], counters))
+    for failure in report.failures:
+        print(f"error: {failure.item.name}: not verified", file=sys.stderr)
     return 0 if report.ok else 1
 
 
@@ -331,6 +391,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", action="store_true",
                    help="also print the aggregated per-stage timing table")
     p.set_defaults(fn=_cmd_batch)
+
+    p = sub.add_parser("deploy", help="deploy base + partials onto a simulated "
+                                      "board with retries, verify, and scrubbing")
+    p.add_argument("partials", nargs="*", help="partial .bit files, deployed in order")
+    p.add_argument("-p", "--part", help="device (default: from the base .bit header)")
+    p.add_argument("--base", required=True, help="base design .bit file")
+    p.add_argument("--retries", type=int, default=4,
+                   help="max send/readback attempts per transfer (default 4)")
+    p.add_argument("--max-scrubs", type=int, default=3,
+                   help="partial-repair rounds before escalating to a full "
+                        "reconfiguration (default 3)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the injected-fault plan (deterministic)")
+    p.add_argument("--send-errors", type=int, default=0,
+                   help="inject N transient send errors")
+    p.add_argument("--readback-errors", type=int, default=0,
+                   help="inject N transient readback errors")
+    p.add_argument("--corrupt", type=int, default=0,
+                   help="corrupt N configuration streams in flight")
+    p.add_argument("--truncate", type=int, default=0,
+                   help="truncate N configuration streams in flight")
+    p.add_argument("--seu", type=int, default=0,
+                   help="inject N SEU bit-flips between port operations")
+    p.add_argument("--seu-per-window", type=int, default=1,
+                   help="SEU flips armed per completed download (default 1)")
+    p.add_argument("--fault-every", type=int, default=1,
+                   help="inject on every K-th opportunity (default 1)")
+    p.add_argument("--metrics", action="store_true",
+                   help="also print runtime.* counters and stage timings")
+    p.set_defaults(fn=_cmd_deploy)
 
     p = sub.add_parser("merge", help="apply a partial onto a complete bitstream")
     p.add_argument("--base", required=True)

@@ -39,8 +39,9 @@ def clb_column_frames(device: Device, columns: Iterable[int]) -> list[int]:
     frames: list[int] = []
     cols = sorted(set(columns))
     for col in cols:
-        base = g.frame_base(g.major_of_clb_col(col))
-        frames.extend(range(base, base + 48))
+        major = g.major_of_clb_col(col)
+        base = g.frame_base(major)
+        frames.extend(range(base, base + g.columns[major].frames))
     metrics = current_metrics()
     metrics.count("partial.clb_columns_spanned", len(cols))
     metrics.count("partial.clb_frames_spanned", len(frames))

@@ -32,11 +32,13 @@ class Board:
         mode: PortMode = PortMode.SELECTMAP,
         cclk_hz: float = DEFAULT_CCLK_HZ,
         name: str = "sim-board",
+        fault_plan=None,
     ):
         self.device = part if isinstance(part, Device) else get_device(part)
         self.name = name
         self.frames = FrameMemory(self.device)
-        self.port = ConfigPort(self.frames, mode=mode, cclk_hz=cclk_hz)
+        self.port = ConfigPort(self.frames, mode=mode, cclk_hz=cclk_hz,
+                               fault_plan=fault_plan)
         self._model: HardwareModel | None = None
         self.configured = False
 
@@ -176,6 +178,8 @@ class DesignHarness:
         self.set_many({p: (value >> i) & 1 for i, p in enumerate(ports)})
 
     def clock(self, n: int = 1, port: str | None = None) -> None:
+        if port is not None and port not in self.clocks:
+            raise SimulationError(f"{port!r} is not a clock port of the design")
         gclk = self.clocks[port] if port is not None else None
         self.board.clock(n, gclk=gclk)
 

@@ -68,6 +68,17 @@ class ConfigPort:
     The interpreter persists across downloads, exactly like the device's
     configuration logic: a partial bitstream re-syncs and writes over the
     frames that a previous full bitstream loaded.
+
+    ``fault_plan`` is a pluggable fault injector (duck-typed; see
+    :class:`repro.runtime.FaultPlan`) with three hooks:
+
+    * ``on_download(data, frames) -> bytes`` — called before a download;
+      may flip SRAM bits, corrupt or truncate the stream in flight, or
+      raise a transient :class:`~repro.errors.XhwifError`;
+    * ``on_readback(frames)`` — called before a readback session; may
+      flip SRAM bits or raise a transient error;
+    * ``after_download()`` — called after a *successful* download (arms
+      the next SEU window).
     """
 
     def __init__(
@@ -76,10 +87,12 @@ class ConfigPort:
         *,
         mode: PortMode = PortMode.SELECTMAP,
         cclk_hz: float = DEFAULT_CCLK_HZ,
+        fault_plan=None,
     ):
         self.frames = frames
         self.mode = mode
         self.cclk_hz = float(cclk_hz)
+        self.fault_plan = fault_plan
         self.total_cycles = 0
         self.downloads: list[DownloadReport] = []
 
@@ -91,10 +104,16 @@ class ConfigPort:
 
     def download(self, data: bytes) -> DownloadReport:
         """Feed a configuration byte stream through the port."""
+        if self.fault_plan is not None:
+            data = self.fault_plan.on_download(data, self.frames)
         interp = ConfigInterpreter(self.frames)
-        stats = interp.feed_bytes(data)
-        cycles = self.cycles_for(len(data))
-        self.total_cycles += cycles
+        try:
+            stats = interp.feed_bytes(data)
+        finally:
+            # the bytes were clocked in even if the stream turned out to
+            # be corrupt; the transfer time was spent either way
+            cycles = self.cycles_for(len(data))
+            self.total_cycles += cycles
         report = DownloadReport(
             bytes=len(data),
             cycles=cycles,
@@ -103,6 +122,8 @@ class ConfigPort:
             stats=stats,
         )
         self.downloads.append(report)
+        if self.fault_plan is not None:
+            self.fault_plan.after_download()
         return report
 
     def readback(self, start_frame: int, n_frames: int) -> tuple[np.ndarray, ReadbackReport]:
@@ -111,6 +132,8 @@ class ConfigPort:
         Returns the frame matrix and a timing report covering both the
         command stream (host -> device) and the data (device -> host).
         """
+        if self.fault_plan is not None:
+            self.fault_plan.on_readback(self.frames)
         device = self.frames.device
         cmd = readback_command_stream(device, start_frame, n_frames)
         interp = ConfigInterpreter(self.frames)

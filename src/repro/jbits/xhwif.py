@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
 from ..bitstream.frames import FrameMemory
 from ..errors import XhwifError
 from ..hwsim.board import Board
+from ..hwsim.configport import DEFAULT_CCLK_HZ, DownloadReport, PortMode, ReadbackReport
 
 
 class Xhwif(abc.ABC):
@@ -35,6 +38,27 @@ class Xhwif(abc.ABC):
     def clock_step(self, cycles: int) -> None:
         """Step the on-board clock."""
 
+    def send_report(self, data: bytes) -> DownloadReport | None:
+        """Send configuration data and return the port's download report
+        when the transport exposes one (``None`` otherwise).  The report
+        carries frames-written and CRC-check counts, which the runtime
+        layer uses to validate a transfer."""
+        self.send(data)
+        return None
+
+    def readback_window(self, start: int, count: int) -> tuple[np.ndarray, ReadbackReport]:
+        """Read ``count`` frames starting at linear index ``start``.
+
+        Windowed readback is optional; boards that only support full
+        readback raise :class:`~repro.errors.XhwifError`."""
+        raise XhwifError(f"{type(self).__name__} does not support windowed readback")
+
+    def seconds_for(self, nbytes: int) -> float:
+        """First-order transfer-time model: one byte per CCLK on the 8-bit
+        SelectMAP port at the default clock (overridden by transports that
+        know their real interface)."""
+        return nbytes * 8 / PortMode.SELECTMAP.bits_per_cycle / DEFAULT_CCLK_HZ
+
     def connected(self) -> bool:
         return True
 
@@ -51,26 +75,41 @@ class SimulatedXhwif(Xhwif):
     def send(self, data: bytes) -> float:
         return self.board.download(data).seconds
 
+    def send_report(self, data: bytes) -> DownloadReport:
+        return self.board.download(data)
+
     def readback(self) -> FrameMemory:
         return self.board.readback()
+
+    def readback_window(self, start: int, count: int) -> tuple[np.ndarray, ReadbackReport]:
+        return self.board.readback_frames(start, count)
+
+    def seconds_for(self, nbytes: int) -> float:
+        return self.board.port.seconds_for(nbytes)
 
     def clock_step(self, cycles: int) -> None:
         self.board.clock(cycles)
 
 
 class NullXhwif(Xhwif):
-    """No hardware attached: sends are counted, everything else fails."""
+    """No hardware attached: sends are counted and timed with the SelectMAP
+    first-order model, everything else fails."""
 
-    def __init__(self, device_name: str = "XCV50"):
+    def __init__(self, device_name: str = "XCV50", *, cclk_hz: float = DEFAULT_CCLK_HZ):
         self.device_name = device_name
+        self.cclk_hz = float(cclk_hz)
         self.bytes_sent = 0
 
     def get_device_name(self) -> str:
         return self.device_name
 
+    def seconds_for(self, nbytes: int) -> float:
+        return nbytes * 8 / PortMode.SELECTMAP.bits_per_cycle / self.cclk_hz
+
     def send(self, data: bytes) -> float:
         self.bytes_sent += len(data)
-        return 0.0
+        # a 0.0 return would poison every bytes/second computation downstream
+        return self.seconds_for(len(data))
 
     def readback(self) -> FrameMemory:
         raise XhwifError("no hardware attached (NullXhwif)")

@@ -1,0 +1,32 @@
+"""Fault-tolerant reconfiguration runtime.
+
+The paper's payoff is runtime partial reconfiguration onto a live device;
+this package is the robustness layer that makes that survivable at scale:
+
+* :mod:`repro.runtime.faults` — :class:`FaultPlan`, a seeded, pluggable
+  fault injector for :class:`~repro.hwsim.configport.ConfigPort`
+  (transient interface errors, in-flight stream corruption/truncation,
+  SEU bit-flips between port operations);
+* :mod:`repro.runtime.session` — :class:`ReconfigSession`, bounded
+  retries with deterministic backoff, per-attempt timeout accounting and
+  download-report validation around any :class:`~repro.jbits.xhwif.Xhwif`;
+* :mod:`repro.runtime.scrub` — :class:`Scrubber`, the readback-verify /
+  partial-repair / escalate-to-full loop (promoted from the scrubbing
+  example);
+* :mod:`repro.runtime.deploy` — :class:`Deployer`, multi-module
+  deploy-and-verify with a host-side golden image as the oracle.
+
+Everything reports ``runtime.*`` metrics through :mod:`repro.obs` and is
+byte-deterministic under a fixed fault seed.
+"""
+
+from .deploy import Deployer, DeployItem, DeployReport, DeployResult
+from .faults import FaultKind, FaultPlan, InjectedFault
+from .scrub import ScrubPolicy, ScrubReport, ScrubRound, Scrubber
+from .session import AttemptRecord, ReconfigSession, RetryPolicy, SendOutcome
+
+__all__ = [
+    "AttemptRecord", "Deployer", "DeployItem", "DeployReport", "DeployResult",
+    "FaultKind", "FaultPlan", "InjectedFault", "ReconfigSession", "RetryPolicy",
+    "ScrubPolicy", "ScrubReport", "ScrubRound", "Scrubber", "SendOutcome",
+]

@@ -1,0 +1,234 @@
+"""Deploy-and-verify orchestration: many modules onto one live board.
+
+:class:`Deployer` is the runtime counterpart of the batch generator: given
+a base configuration and a sequence of partial bitstreams, it downloads
+each through a retrying :class:`~repro.runtime.session.ReconfigSession`,
+maintains the **golden image** (an offline
+:class:`~repro.bitstream.reader.ConfigInterpreter` applies every stream to
+a host-side frame memory first — the oracle for what the board must hold),
+then readback-verifies and scrubs with a
+:class:`~repro.runtime.scrub.Scrubber`:
+
+1. the stream is applied to the golden image (yielding the exact frame
+   count and indices the transfer must write);
+2. the stream is sent with bounded retries and report validation;
+3. the written frames are verified through a windowed readback
+   (:func:`~repro.bitstream.readback.readback_plan` bursts);
+4. a full-device scrub loop repairs any corruption — transfer damage
+   or SEUs that landed anywhere on the device — with minimal partial
+   rewrites, escalating to one full reconfiguration if it does not
+   converge.
+
+:meth:`DeployReport.table` renders the per-attempt/per-repair rows the
+``jpg deploy`` CLI prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import utils
+from ..bitstream.assembler import full_stream
+from ..bitstream.bitfile import BitFile
+from ..bitstream.frames import FrameMemory
+from ..bitstream.reader import apply_bitstream, parse_bitstream
+from ..devices import get_device
+from ..jbits.xhwif import Xhwif
+from ..obs import Metrics, current_metrics, use_metrics
+from .scrub import ScrubPolicy, ScrubReport, Scrubber
+from .session import ReconfigSession, RetryPolicy, SendOutcome
+
+
+@dataclass(frozen=True)
+class DeployItem:
+    """One configuration stream to deploy (full or partial)."""
+
+    name: str
+    stream: bytes
+
+
+@dataclass
+class DeployResult:
+    """Everything that happened deploying one item."""
+
+    item: DeployItem
+    frames: list[int]               # frames the stream writes (oracle)
+    send: SendOutcome
+    window_bad: list[int]           # windowed post-send verify mismatches
+    scrub: ScrubReport
+
+    @property
+    def ok(self) -> bool:
+        return self.scrub.verified
+
+    @property
+    def seconds(self) -> float:
+        """Modeled transfer seconds spent on this item (sends + repairs)."""
+        total = self.send.seconds
+        for rnd in self.scrub.rounds:
+            if rnd.send is not None:
+                total += rnd.send.seconds
+        if self.scrub.escalation is not None:
+            total += self.scrub.escalation.seconds
+        return total
+
+
+@dataclass
+class DeployReport:
+    """Outcome of one :meth:`Deployer.run`."""
+
+    results: list[DeployResult] = field(default_factory=list)
+    metrics: Metrics | None = None
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def failures(self) -> list[DeployResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def seconds(self) -> float:
+        return sum(r.seconds for r in self.results)
+
+    def table(self) -> str:
+        """Per-attempt / per-repair rows (what ``jpg deploy`` prints)."""
+        rows = []
+        for r in self.results:
+            for a in r.send.attempts:
+                detail = a.error if a.error else f"crc checks: {a.crc_checks}"
+                rows.append((
+                    r.item.name,
+                    f"send#{a.index}",
+                    "ok" if a.ok else "failed",
+                    a.frames_written if a.ok else "-",
+                    f"{1e3 * a.seconds:.2f} ms",
+                    detail,
+                ))
+            rows.append((
+                r.item.name,
+                "verify",
+                "clean" if not r.window_bad else f"{len(r.window_bad)} bad",
+                len(r.frames),
+                "-",
+                "windowed readback of written frames",
+            ))
+            for rnd in r.scrub.rounds:
+                send = rnd.send
+                rows.append((
+                    r.item.name,
+                    f"scrub#{rnd.index}",
+                    "repaired" if rnd.repaired else "failed",
+                    len(rnd.detected),
+                    f"{1e3 * send.seconds:.2f} ms" if send is not None else "-",
+                    "frames " + ",".join(str(f) for f in rnd.detected[:6])
+                    + ("..." if len(rnd.detected) > 6 else ""),
+                ))
+            if r.scrub.escalated:
+                esc = r.scrub.escalation
+                rows.append((
+                    r.item.name,
+                    "full",
+                    "ok" if (esc is not None and esc.ok) else "failed",
+                    esc.frames_written if esc is not None else "-",
+                    f"{1e3 * esc.seconds:.2f} ms" if esc is not None else "-",
+                    "escalated to full reconfiguration",
+                ))
+        return utils.format_table(
+            ["module", "step", "result", "frames", "time", "detail"], rows
+        )
+
+    def summary(self) -> str:
+        ok = [r for r in self.results if r.ok]
+        retries = sum(r.send.retries for r in self.results)
+        scrubbed = sum(r.scrub.frames_scrubbed for r in self.results)
+        escalations = sum(1 for r in self.results if r.scrub.escalated)
+        return (
+            f"{len(ok)}/{len(self.results)} module(s) deployed and verified in "
+            f"{1e3 * self.seconds:.2f} ms of modeled transfer time "
+            f"({retries} send retries, {scrubbed} frames scrubbed, "
+            f"{escalations} escalation(s))"
+        )
+
+
+class Deployer:
+    """Deploy a sequence of configuration streams, verifying each."""
+
+    def __init__(
+        self,
+        xhwif: Xhwif,
+        base: FrameMemory | BitFile | bytes,
+        *,
+        retry: RetryPolicy | None = None,
+        scrub: ScrubPolicy | None = None,
+        metrics: Metrics | None = None,
+    ):
+        self.xhwif = xhwif
+        self.metrics = metrics if metrics is not None else Metrics()
+        device = get_device(xhwif.get_device_name())
+        if isinstance(base, BitFile):
+            base = base.config_bytes
+        if isinstance(base, bytes):
+            self._base_stream = base
+            self.golden, _stats = parse_bitstream(device, base)
+        else:
+            if base.device != device:
+                raise ValueError(
+                    f"base frames are for {base.device.name}, "
+                    f"board is {device.name}"
+                )
+            self.golden = base.clone()
+            self._base_stream = full_stream(self.golden)
+        self.session = ReconfigSession(xhwif, policy=retry)
+        self.scrubber = Scrubber(self.session, self.golden, policy=scrub)
+
+    def run(self, items: list[DeployItem], *, deploy_base: bool = True) -> DeployReport:
+        """Deploy the base (optionally) then every item, in order.
+
+        A failed item does not abort the run: later items still deploy
+        (their golden state accounts for every earlier stream), and the
+        report records which modules verified.
+        """
+        report = DeployReport(metrics=self.metrics)
+        with use_metrics(self.metrics):
+            if deploy_base:
+                report.results.append(
+                    self._deploy_one(DeployItem("base", self._base_stream),
+                                     is_base=True)
+                )
+            for item in items:
+                report.results.append(self._deploy_one(item))
+        return report
+
+    def _deploy_one(self, item: DeployItem, *, is_base: bool = False) -> DeployResult:
+        metrics = current_metrics()
+        metrics.count("runtime.deploys")
+        # 1. the oracle: apply the stream to the golden image host-side
+        if is_base:
+            # the base *is* the golden image already; it writes every frame
+            frames = list(range(self.golden.device.geometry.total_frames))
+            expect = len(frames)
+        else:
+            stats = apply_bitstream(self.golden, item.stream)
+            frames = [
+                f for start, count in stats.writes for f in range(start, start + count)
+            ]
+            expect = stats.frames_written
+        # 2. transfer with retries + validation
+        outcome = self.session.send(
+            item.stream, label=item.name, expect_frames=expect
+        )
+        # 3. fast windowed verify of exactly the frames this stream wrote
+        window_bad = self.scrubber.verify(frames) if frames else []
+        # 4. full-device scrub loop (repairs transfer damage and SEUs alike)
+        scrub_report = self.scrubber.run(label=item.name)
+        if not scrub_report.verified:
+            metrics.count("runtime.deploy_failures")
+        return DeployResult(
+            item=item,
+            frames=frames,
+            send=outcome,
+            window_bad=window_bad,
+            scrub=scrub_report,
+        )

@@ -1,0 +1,218 @@
+"""Deterministic fault injection for the simulated hardware path.
+
+A :class:`FaultPlan` plugs into a :class:`~repro.hwsim.configport.ConfigPort`
+(``ConfigPort(..., fault_plan=plan)`` / ``Board(..., fault_plan=plan)``) and
+models the three failure classes a reconfiguration runtime must survive:
+
+* **transient interface errors** — :class:`~repro.errors.XhwifError` raised
+  at the start of a download or readback session (a flaky cable, a busy
+  port): the operation had no effect and a retry may succeed;
+* **in-flight stream damage** — bytes of a configuration stream XOR-flipped
+  or the stream truncated before it all arrives: the device's CRC check
+  (or the runtime's frames-written validation) catches it;
+* **single-event upsets (SEUs)** — configuration-SRAM bits flipped *between*
+  port operations, modelling radiation upsets accumulating while the design
+  runs.  Each successful download arms a window of ``seu_per_window`` flips
+  (drawn from the ``seu_flips`` budget) that are applied to the frame
+  memory at the start of the *next* port operation — exactly where a
+  scrubbing loop must find them.
+
+Everything is driven by one seeded :class:`random.Random`; no wall-clock or
+global randomness is consulted, so a plan replays byte-identically under a
+fixed seed.  Every injected fault is recorded on :attr:`FaultPlan.injected`
+so tests can equate runtime metrics with ground truth.
+
+Placement of transient errors and stream damage is by *opportunity count*,
+not probability: fault type X with budget N and spacing ``every=k`` fires
+on every k-th opportunity until its budget is exhausted.  This keeps
+"2 transient errors then success" trivially expressible (budget 2, spacing
+1, three attempts).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from ..bitstream.frames import FrameMemory
+from ..errors import XhwifError
+
+
+class FaultKind(enum.Enum):
+    """What a single injected fault did."""
+
+    SEND_ERROR = "send_error"          # transient XhwifError on download
+    READBACK_ERROR = "readback_error"  # transient XhwifError on readback
+    CORRUPT = "corrupt"                # XOR-flipped a byte in flight
+    TRUNCATE = "truncate"              # dropped the tail of the stream
+    SEU = "seu"                        # flipped one configuration-SRAM bit
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault the plan actually injected (the ground-truth record)."""
+
+    kind: FaultKind
+    op_index: int            # global port-operation count at injection time
+    frame: int | None = None  # SEU: linear frame index
+    bit: int | None = None    # SEU: bit offset within the frame
+    offset: int | None = None  # corrupt/truncate: byte offset in the stream
+
+
+class _Budget:
+    """Countdown of one fault type, fired every ``every``-th opportunity."""
+
+    def __init__(self, total: int, every: int):
+        if total < 0:
+            raise ValueError(f"fault budget must be >= 0, got {total}")
+        if every < 1:
+            raise ValueError(f"fault spacing must be >= 1, got {every}")
+        self.remaining = total
+        self.every = every
+        self.opportunities = 0
+
+    def take(self) -> bool:
+        self.opportunities += 1
+        if self.remaining > 0 and self.opportunities % self.every == 0:
+            self.remaining -= 1
+            return True
+        return False
+
+
+class FaultPlan:
+    """A seeded, bounded schedule of faults for one board's config port.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the private RNG that places SEUs and stream damage.
+    send_errors / send_error_every:
+        Budget and spacing of transient download errors.
+    readback_errors / readback_error_every:
+        Budget and spacing of transient readback errors.
+    corruptions / corrupt_every:
+        Budget and spacing of single-byte XOR corruptions in flight.
+    truncations / truncate_every:
+        Budget and spacing of stream truncations in flight.
+    seu_flips / seu_per_window:
+        Total SEU budget, and how many flips each completed download arms
+        for the window before the next port operation.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        send_errors: int = 0,
+        send_error_every: int = 1,
+        readback_errors: int = 0,
+        readback_error_every: int = 1,
+        corruptions: int = 0,
+        corrupt_every: int = 1,
+        truncations: int = 0,
+        truncate_every: int = 1,
+        seu_flips: int = 0,
+        seu_per_window: int = 1,
+    ):
+        self.rng = random.Random(seed)
+        self._send_errors = _Budget(send_errors, send_error_every)
+        self._readback_errors = _Budget(readback_errors, readback_error_every)
+        self._corruptions = _Budget(corruptions, corrupt_every)
+        self._truncations = _Budget(truncations, truncate_every)
+        if seu_flips < 0:
+            raise ValueError(f"seu_flips must be >= 0, got {seu_flips}")
+        if seu_per_window < 1:
+            raise ValueError(f"seu_per_window must be >= 1, got {seu_per_window}")
+        self._seu_budget = seu_flips
+        self._seu_per_window = seu_per_window
+        self._pending_seus = 0
+        self._flipped: set[tuple[int, int]] = set()
+        self._op = 0
+        self.injected: list[InjectedFault] = []
+
+    # -- introspection (ground truth for tests and reports) -------------------
+
+    def count(self, kind: FaultKind) -> int:
+        """How many faults of ``kind`` have been injected so far."""
+        return sum(1 for f in self.injected if f.kind is kind)
+
+    @property
+    def seu_frames(self) -> list[int]:
+        """Distinct frames hit by injected SEUs, sorted."""
+        return sorted({f.frame for f in self.injected if f.kind is FaultKind.SEU})
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every budget has been spent and nothing is pending."""
+        return (
+            self._send_errors.remaining == 0
+            and self._readback_errors.remaining == 0
+            and self._corruptions.remaining == 0
+            and self._truncations.remaining == 0
+            and self._seu_budget == 0
+            and self._pending_seus == 0
+        )
+
+    # -- ConfigPort hooks ------------------------------------------------------
+
+    def on_download(self, data: bytes, frames: FrameMemory) -> bytes:
+        """Hook run at the start of every download; returns the (possibly
+        damaged) stream, or raises a transient :class:`XhwifError`."""
+        self._op += 1
+        self._apply_pending_seus(frames)
+        if self._send_errors.take():
+            self.injected.append(InjectedFault(FaultKind.SEND_ERROR, self._op))
+            raise XhwifError(
+                f"injected transient send fault (op {self._op})"
+            )
+        if self._truncations.take() and len(data) > 1:
+            offset = self.rng.randrange(1, len(data))
+            self.injected.append(
+                InjectedFault(FaultKind.TRUNCATE, self._op, offset=offset)
+            )
+            data = data[:offset]
+        if self._corruptions.take() and data:
+            offset = self.rng.randrange(len(data))
+            flip = self.rng.randrange(1, 256)
+            self.injected.append(
+                InjectedFault(FaultKind.CORRUPT, self._op, offset=offset)
+            )
+            data = data[:offset] + bytes([data[offset] ^ flip]) + data[offset + 1:]
+        return data
+
+    def after_download(self) -> None:
+        """Hook run after every successful download: arm the next window of
+        SEUs (they land before the next port operation)."""
+        arm = min(self._seu_per_window, self._seu_budget)
+        self._seu_budget -= arm
+        self._pending_seus += arm
+
+    def on_readback(self, frames: FrameMemory) -> None:
+        """Hook run at the start of every readback session."""
+        self._op += 1
+        self._apply_pending_seus(frames)
+        if self._readback_errors.take():
+            self.injected.append(InjectedFault(FaultKind.READBACK_ERROR, self._op))
+            raise XhwifError(
+                f"injected transient readback fault (op {self._op})"
+            )
+
+    # -- SEU model -------------------------------------------------------------
+
+    def _apply_pending_seus(self, frames: FrameMemory) -> None:
+        g = frames.device.geometry
+        while self._pending_seus > 0:
+            self._pending_seus -= 1
+            # sample without replacement: flipping the same bit twice would
+            # silently cancel out and break fault-count accounting
+            while True:
+                frame = self.rng.randrange(g.total_frames)
+                bit = self.rng.randrange(g.frame_bits)
+                if (frame, bit) not in self._flipped:
+                    break
+            self._flipped.add((frame, bit))
+            frames.set_bit(frame, bit, 1 - frames.get_bit(frame, bit))
+            self.injected.append(
+                InjectedFault(FaultKind.SEU, self._op, frame=frame, bit=bit)
+            )

@@ -1,0 +1,172 @@
+"""Readback-verify and SEU scrubbing as library code.
+
+Promoted from ``examples/readback_scrubbing.py``: the era's reliability
+loop (detect upsets by comparing readback against the golden frames,
+repair by rewriting only the corrupted frames as a partial bitstream)
+wrapped in policy and accounting:
+
+* verification is **windowed** when a frame set is given
+  (:func:`~repro.bitstream.readback.readback_plan` collapses it into
+  FDRO bursts) and full-device otherwise;
+* comparison ignores SLICE capture cells by default
+  (:func:`~repro.bitstream.readback.capture_mask`) — GCAPTURE latches
+  flip-flop *state* there, which is not corruption;
+* repair streams carry only the corrupted frames; after
+  :attr:`ScrubPolicy.max_rounds` rounds still fail to converge the
+  scrubber **escalates** to one full reconfiguration (graceful
+  degradation, the last resort that always restores golden).
+
+All transfers go through a :class:`~repro.runtime.session.ReconfigSession`
+so transient faults are retried and everything lands in ``runtime.*``
+metrics.  Under a fixed :class:`~repro.runtime.faults.FaultPlan` seed the
+whole loop is byte-deterministic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bitstream.assembler import full_stream, partial_stream
+from ..bitstream.frames import FrameMemory
+from ..bitstream.readback import capture_mask, readback_plan, verify_frames
+from ..obs import current_metrics
+from .session import ReconfigSession, SendOutcome
+
+
+@dataclass(frozen=True)
+class ScrubPolicy:
+    """How hard the scrubber tries before escalating."""
+
+    max_rounds: int = 3          # partial-repair rounds before escalation
+    mask_capture: bool = True    # ignore SLICE capture cells when comparing
+    escalate: bool = True        # allow one full reconfiguration as last resort
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+
+
+@dataclass
+class ScrubRound:
+    """One detect-and-repair pass."""
+
+    index: int                  # 1-based round number
+    detected: list[int]         # mismatching linear frame indices
+    send: SendOutcome | None    # the repair transfer (None if nothing to do)
+
+    @property
+    def repaired(self) -> list[int]:
+        return self.detected if (self.send is not None and self.send.ok) else []
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of one :meth:`Scrubber.run` loop."""
+
+    rounds: list[ScrubRound] = field(default_factory=list)
+    verified: bool = False
+    escalated: bool = False
+    escalation: SendOutcome | None = None
+
+    @property
+    def frames_scrubbed(self) -> int:
+        """Frames repaired by partial rewrites (escalation not counted)."""
+        return sum(len(r.repaired) for r in self.rounds)
+
+    @property
+    def clean(self) -> bool:
+        """Verified without ever finding a corrupted frame."""
+        return self.verified and not self.rounds and not self.escalated
+
+
+class Scrubber:
+    """Verify-and-repair loop bound to one session and a golden image."""
+
+    def __init__(
+        self,
+        session: ReconfigSession,
+        golden: FrameMemory,
+        *,
+        policy: ScrubPolicy | None = None,
+    ):
+        self.session = session
+        self.golden = golden
+        self.policy = policy if policy is not None else ScrubPolicy()
+        self.mask = capture_mask(golden.device) if self.policy.mask_capture else None
+
+    # -- verification ----------------------------------------------------------
+
+    def verify(self, frames: Iterable[int] | None = None) -> list[int]:
+        """Readback-verify against golden; returns mismatching frame indices.
+
+        With ``frames`` given, only those are read (in
+        :func:`readback_plan` bursts); otherwise the full device is read.
+        """
+        metrics = current_metrics()
+        if frames is None:
+            got = self.session.readback()
+            bad = verify_frames(self.golden, got.data, 0, mask=self.mask)
+        else:
+            bad = []
+            for start, count in readback_plan(frames):
+                window = self.session.readback_window(start, count)
+                bad += verify_frames(self.golden, window, start, mask=self.mask)
+        metrics.count("runtime.verifies")
+        metrics.count("runtime.mismatched_frames", len(bad))
+        return bad
+
+    # -- repair ----------------------------------------------------------------
+
+    def repair(self, bad: Iterable[int], *, label: str = "scrub") -> SendOutcome:
+        """Rewrite only the corrupted frames from golden (dynamic partial)."""
+        bad = sorted(set(bad))
+        stream = partial_stream(self.golden, bad)
+        metrics = current_metrics()
+        metrics.count("runtime.repair_bytes", len(stream))
+        return self.session.send(
+            stream, label=label, expect_frames=len(bad), require_crc=True
+        )
+
+    def escalate(self, *, label: str = "escalate") -> SendOutcome:
+        """Full reconfiguration from golden — the graceful-degradation path."""
+        metrics = current_metrics()
+        metrics.count("runtime.escalations")
+        stream = full_stream(self.golden)
+        return self.session.send(
+            stream,
+            label=label,
+            expect_frames=self.golden.device.geometry.total_frames,
+            require_crc=True,
+        )
+
+    # -- the loop --------------------------------------------------------------
+
+    def run(self, *, label: str = "scrub") -> ScrubReport:
+        """Verify; repair corrupted frames with minimal partials; escalate
+        to a full reconfiguration if ``max_rounds`` rounds do not converge."""
+        metrics = current_metrics()
+        report = ScrubReport()
+        for rnd in range(1, self.policy.max_rounds + 1):
+            bad = self.verify()
+            if not bad:
+                report.verified = True
+                return report
+            outcome = self.repair(bad, label=f"{label}#{rnd}")
+            report.rounds.append(ScrubRound(rnd, bad, outcome))
+            metrics.count("runtime.scrub_rounds")
+            if outcome.ok:
+                metrics.count("runtime.frames_scrubbed", len(bad))
+        # did the last round converge?
+        bad = self.verify()
+        if not bad:
+            report.verified = True
+            return report
+        if self.policy.escalate:
+            report.escalated = True
+            report.escalation = self.escalate(label=f"{label}:full")
+            bad = self.verify() if report.escalation.ok else bad
+        report.verified = not bad
+        return report

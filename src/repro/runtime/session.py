@@ -1,0 +1,230 @@
+"""Resilient XHWIF transfers: bounded retries, backoff, validation.
+
+:class:`ReconfigSession` wraps an :class:`~repro.jbits.xhwif.Xhwif`
+connection with the policies a production deployment loop needs:
+
+* **bounded retries** over transient :class:`~repro.errors.XhwifError` /
+  :class:`~repro.errors.BitstreamError` failures, with a deterministic
+  exponential backoff schedule (``base * factor**k``, capped) that is
+  *accounted*, not slept — all time in a session is modeled transfer
+  time, so runs replay identically;
+* **per-attempt timeout accounting** — an attempt whose modeled transfer
+  time exceeds ``attempt_timeout`` is treated as failed (the host would
+  have aborted it), and a session-wide ``deadline`` stops retrying when
+  the accumulated modeled time would overrun;
+* **transfer validation** from the port's
+  :class:`~repro.hwsim.configport.DownloadReport`: a download that raised
+  no error but wrote the wrong number of frames, or never passed a CRC
+  check, is still a failed attempt (this is what catches truncation that
+  lands between packets).
+
+Every outcome is recorded per attempt (:class:`AttemptRecord`) and
+aggregated into ``runtime.*`` metrics on the ambient
+:class:`~repro.obs.Metrics` registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bitstream.frames import FrameMemory
+from ..errors import BitstreamError, XhwifError
+from ..jbits.xhwif import Xhwif
+from ..obs import current_metrics
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic retry/backoff/timeout policy of one session."""
+
+    max_attempts: int = 4
+    backoff_base: float = 100e-6      # modeled seconds before the 1st retry
+    backoff_factor: float = 2.0
+    backoff_max: float = 10e-3
+    attempt_timeout: float | None = None  # modeled seconds per attempt
+    deadline: float | None = None         # modeled seconds per operation
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def backoff(self, failures: int) -> float:
+        """Backoff charged after the ``failures``-th failed attempt (1-based)."""
+        return min(self.backoff_max,
+                   self.backoff_base * self.backoff_factor ** (failures - 1))
+
+
+@dataclass
+class AttemptRecord:
+    """One try of one operation, with its modeled cost."""
+
+    index: int                 # 1-based attempt number
+    ok: bool
+    seconds: float             # modeled transfer time of this attempt
+    backoff: float = 0.0       # backoff charged after this attempt (failures only)
+    error: str | None = None
+    frames_written: int = 0
+    crc_checks: int = 0
+
+
+@dataclass
+class SendOutcome:
+    """Everything one :meth:`ReconfigSession.send` call did."""
+
+    label: str
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    seconds: float = 0.0       # total modeled time: transfers + backoffs
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.attempts) and self.attempts[-1].ok
+
+    @property
+    def retries(self) -> int:
+        return max(0, len(self.attempts) - 1)
+
+    @property
+    def frames_written(self) -> int:
+        return self.attempts[-1].frames_written if self.ok else 0
+
+    @property
+    def error(self) -> str | None:
+        return None if self.ok else (self.attempts[-1].error if self.attempts else "no attempts")
+
+
+class ReconfigSession:
+    """Retrying, validating wrapper around one XHWIF connection."""
+
+    #: Exception types a retry may fix (transient interface faults and
+    #: in-flight stream damage; programming errors propagate).
+    RETRYABLE = (XhwifError, BitstreamError)
+
+    def __init__(self, xhwif: Xhwif, *, policy: RetryPolicy | None = None):
+        self.xhwif = xhwif
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.outcomes: list[SendOutcome] = []
+
+    # -- configuration downloads ----------------------------------------------
+
+    def send(
+        self,
+        data: bytes,
+        *,
+        label: str = "stream",
+        expect_frames: int | None = None,
+        require_crc: bool = True,
+    ) -> SendOutcome:
+        """Send a configuration stream with retries; never raises for
+        transport failures — inspect :attr:`SendOutcome.ok`.
+
+        ``expect_frames`` (when known) and ``require_crc`` validate the
+        transfer from the port's download report: a silently short or
+        CRC-less transfer counts as a failed attempt.  Transports without
+        reports (e.g. :class:`~repro.jbits.xhwif.NullXhwif`) skip the
+        validation.
+        """
+        metrics = current_metrics()
+        policy = self.policy
+        outcome = SendOutcome(label=label)
+        failures = 0
+        for attempt in range(1, policy.max_attempts + 1):
+            error: str | None = None
+            seconds = self.xhwif.seconds_for(len(data))
+            frames_written = 0
+            crc_checks = 0
+            try:
+                report = self.xhwif.send_report(data)
+            except self.RETRYABLE as exc:
+                error = str(exc)
+            else:
+                if report is not None:
+                    seconds = report.seconds
+                    frames_written = report.frames_written
+                    crc_checks = report.stats.crc_checks_passed
+                    error = self._validate(report, expect_frames, require_crc)
+            if error is None and policy.attempt_timeout is not None \
+                    and seconds > policy.attempt_timeout:
+                error = (
+                    f"attempt exceeded timeout "
+                    f"({seconds * 1e3:.3f} ms > {policy.attempt_timeout * 1e3:.3f} ms)"
+                )
+            record = AttemptRecord(
+                index=attempt,
+                ok=error is None,
+                seconds=seconds,
+                error=error,
+                frames_written=frames_written,
+                crc_checks=crc_checks,
+            )
+            outcome.attempts.append(record)
+            outcome.seconds += seconds
+            metrics.count("runtime.sends")
+            metrics.count("runtime.bytes_sent", len(data))
+            if record.ok:
+                metrics.record("runtime.send", seconds, label=label, attempt=attempt)
+                metrics.count("runtime.frames_written", frames_written)
+                break
+            metrics.count("runtime.send_failures")
+            if attempt == policy.max_attempts:
+                break
+            failures += 1
+            backoff = policy.backoff(failures)
+            if policy.deadline is not None and outcome.seconds + backoff > policy.deadline:
+                record.error = f"{error}; deadline exceeded, not retrying"
+                metrics.count("runtime.deadline_exceeded")
+                break
+            record.backoff = backoff
+            outcome.seconds += backoff
+            metrics.count("runtime.retries")
+            metrics.record("runtime.backoff", backoff, label=label)
+        self.outcomes.append(outcome)
+        return outcome
+
+    @staticmethod
+    def _validate(report, expect_frames: int | None, require_crc: bool) -> str | None:
+        if expect_frames is not None and report.frames_written != expect_frames:
+            return (
+                f"transfer wrote {report.frames_written} frames, "
+                f"expected {expect_frames}"
+            )
+        if require_crc and report.stats.crc_checks_passed < 1:
+            return "transfer passed no CRC check"
+        return None
+
+    # -- readback --------------------------------------------------------------
+
+    def readback(self, *, label: str = "readback") -> FrameMemory:
+        """Full-device readback with retries; raises the last transient
+        error if every attempt fails."""
+        return self._readback_with_retries(self.xhwif.readback, label)
+
+    def readback_window(self, start: int, count: int, *, label: str = "readback") -> np.ndarray:
+        """Windowed readback with retries; returns the frame matrix."""
+        def read():
+            data, _report = self.xhwif.readback_window(start, count)
+            return data
+
+        return self._readback_with_retries(read, f"{label}[{start}+{count}]")
+
+    def _readback_with_retries(self, read, label: str):
+        metrics = current_metrics()
+        policy = self.policy
+        failures = 0
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                result = read()
+            except self.RETRYABLE as exc:
+                metrics.count("runtime.readback_failures")
+                if attempt == policy.max_attempts:
+                    raise XhwifError(
+                        f"{label}: readback failed after {attempt} attempts: {exc}"
+                    ) from exc
+                failures += 1
+                metrics.count("runtime.retries")
+                metrics.record("runtime.backoff", policy.backoff(failures), label=label)
+                continue
+            metrics.count("runtime.readbacks")
+            return result
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -1,5 +1,6 @@
 """Configuration CRC tests."""
 
+import numpy as np
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -58,6 +59,19 @@ class TestBurst:
             one.update_word(addr, w)
         burst = ConfigCrc()
         burst.update_words(addr, words)
+        assert one.value == burst.value
+
+    def test_numpy_burst_equals_words(self):
+        """The vectorised update_words path over a uint32 array (the FDRI
+        hot path inside the interpreter) must match one-word-at-a-time
+        updates exactly."""
+        rng = np.random.default_rng(1234)
+        words = rng.integers(0, 1 << 32, size=257, dtype=np.uint64).astype(np.uint32)
+        one = ConfigCrc()
+        for w in words:
+            one.update_word(2, int(w))
+        burst = ConfigCrc()
+        burst.update_words(2, words)
         assert one.value == burst.value
 
     def test_crc_of_helper(self):

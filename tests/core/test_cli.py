@@ -224,6 +224,48 @@ class TestFloorplanAndParbit:
         assert BitFile.load(out).size > 1000
 
 
+class TestDeploy:
+    @pytest.fixture()
+    def deploy_files(self, artifacts):
+        partial = str(artifacts["tmp"] / "p.bit")
+        main([
+            "generate", "-p", "XCV50",
+            "--base", artifacts["base_bit"],
+            "--xdl", artifacts["xdl"],
+            "--ucf", artifacts["ucf"],
+            "-o", partial,
+        ])
+        return {"base": artifacts["base_bit"], "partial": partial}
+
+    def test_clean_deploy(self, deploy_files, capsys):
+        rc = main(["deploy", "--base", deploy_files["base"],
+                   deploy_files["partial"]])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2/2 module(s) deployed and verified" in out  # base + partial
+        assert "send#1" in out and "verify" in out
+
+    def test_deploy_under_faults_with_metrics(self, deploy_files, capsys):
+        rc = main([
+            "deploy", "--base", deploy_files["base"], deploy_files["partial"],
+            "--send-errors", "1", "--seu", "2", "--fault-seed", "5",
+            "--metrics",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault plan" in out
+        assert "scrub#1" in out                      # the SEUs got repaired
+        assert "runtime.frames_scrubbed" in out      # --metrics counter table
+        assert "1 send retries" in out
+        assert "deployed and verified" in out
+
+    def test_deploy_part_mismatch_is_error(self, deploy_files, capsys):
+        rc = main(["deploy", "-p", "XCV100", "--base", deploy_files["base"],
+                   deploy_files["partial"]])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestBatch:
     @pytest.fixture()
     def manifest(self, tmp_path, demo_project):

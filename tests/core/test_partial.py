@@ -29,6 +29,21 @@ class TestColumnFrames:
         g = dev.geometry
         assert frames[0] == g.frame_base(g.major_of_clb_col(3))
 
+    def test_frame_count_follows_geometry_on_every_device(self):
+        """Regression: the span math hardcoded 48 frames per CLB column
+        instead of reading the per-column count from the device geometry."""
+        from repro.devices import part_names
+
+        for name in part_names():
+            d = get_device(name)
+            g = d.geometry
+            for col in sorted({0, d.cols // 2, d.cols - 1}):
+                major = g.major_of_clb_col(col)
+                expected = g.columns[major].frames
+                base = g.frame_base(major)
+                frames = clb_column_frames(d, [col])
+                assert frames == list(range(base, base + expected)), (name, col)
+
     def test_columns_deduped_and_sorted(self, dev):
         frames = clb_column_frames(dev, [5, 3, 5])
         assert len(frames) == 96

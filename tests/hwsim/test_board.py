@@ -102,6 +102,13 @@ class TestDesignHarness:
         h.clock(2, port="clk")
         assert h.get_word([f"u1_o{i}" for i in range(4)]) == 2
 
+    def test_unknown_clock_port_rejected(self, running_counter):
+        """Regression: a bad port name leaked a bare KeyError instead of
+        the harness's SimulationError."""
+        _, h = running_counter
+        with pytest.raises(SimulationError, match="not a clock port"):
+            h.clock(port="nope")
+
     def test_set_word(self, comb_flow, counter_bitfile):
         from repro.bitstream.bitgen import bitgen
 

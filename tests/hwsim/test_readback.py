@@ -3,8 +3,11 @@
 import numpy as np
 import pytest
 
+from repro import utils
 from repro.bitstream.frames import FrameMemory
 from repro.bitstream.readback import (
+    capture_mask,
+    capture_stream,
     decode_readback,
     readback_command_stream,
     readback_plan,
@@ -14,7 +17,7 @@ from repro.bitstream.reader import ConfigInterpreter
 from repro.devices import get_device
 from repro.devices.resources import SLICE
 from repro.errors import BitstreamError
-from repro.hwsim import Board
+from repro.hwsim import Board, DesignHarness
 
 
 class TestCommandStream:
@@ -44,6 +47,38 @@ class TestCommandStream:
         interp = ConfigInterpreter(counter_frames.clone())
         stats = interp.feed_bytes(cmd)
         assert stats.frames_read == dev.geometry.total_frames
+
+    def test_type1_type2_boundary_headers(self):
+        """A type-1 packet carries at most 0x7FF data words; longer FDRO
+        reads need the zero-count type-1 + type-2 header pair."""
+        from repro.bitstream.packets import (
+            Opcode, Register, type1_header, type2_header,
+        )
+
+        dev = get_device("XCV50")
+        fw = dev.geometry.frame_words
+        at_limit = 0x7FF // fw          # largest frame count still <= 0x7FF words
+        over = at_limit + 1
+        small = set(map(int, utils.bytes_to_words(
+            readback_command_stream(dev, 0, at_limit))))
+        assert type1_header(Opcode.READ, Register.FDRO, at_limit * fw) in small
+        assert type2_header(Opcode.READ, at_limit * fw) not in small
+        large = set(map(int, utils.bytes_to_words(
+            readback_command_stream(dev, 0, over))))
+        assert type1_header(Opcode.READ, Register.FDRO, 0) in large
+        assert type2_header(Opcode.READ, over * fw) in large
+
+    def test_boundary_reads_roundtrip(self, counter_frames):
+        dev = get_device("XCV50")
+        fw = dev.geometry.frame_words
+        for n in (0x7FF // fw, 0x7FF // fw + 1):
+            interp = ConfigInterpreter(counter_frames.clone())
+            stats = interp.feed_bytes(readback_command_stream(dev, 10, n))
+            assert stats.readback_requests == [(10, n)]
+            assert np.array_equal(
+                decode_readback(dev, interp.take_output(), n),
+                counter_frames.data[10:10 + n],
+            )
 
     def test_bounds_checked(self):
         dev = get_device("XCV50")
@@ -121,6 +156,37 @@ class TestVerifyHelpers:
 
     def test_readback_plan(self):
         assert readback_plan([1, 2, 3, 10]) == [(1, 3), (10, 1)]
+
+
+class TestCaptureMask:
+    def test_mask_marks_every_capture_cell(self):
+        dev = get_device("XCV50")
+        mask = capture_mask(dev)
+        bits = int(np.unpackbits(mask.view(np.uint8)).sum())
+        assert bits == dev.rows * dev.cols * 4  # CAPTURE_X/Y in both slices
+        frame, bit = dev.clb_bit_location(0, 0, SLICE[0].CAPTURE_X.coords[0])
+        assert (int(mask[frame, bit // 32]) >> (31 - bit % 32)) & 1
+
+    def test_mask_is_cached_per_device(self):
+        dev = get_device("XCV50")
+        assert capture_mask(dev) is capture_mask(dev)
+
+    def test_verify_after_gcapture(self, counter_bitfile, counter_frames, counter_flow):
+        """Regression: readback taken after GCAPTURE reported latched
+        flip-flop state in the capture cells as configuration corruption."""
+        board = Board("XCV50")
+        board.download(counter_bitfile)
+        h = DesignHarness(board, counter_flow.design)
+        h.clock(3)  # count to 3: some flip-flops now hold 1
+        board.download(capture_stream(board.device))
+        got = board.readback().data
+        assert verify_frames(counter_frames, got, 0) != []  # the defect
+        mask = capture_mask(board.device)
+        assert verify_frames(counter_frames, got, 0, mask=mask) == []
+        # a genuine upset is still caught through the mask
+        board.frames.set_bit(444, 7, 1 - board.frames.get_bit(444, 7))
+        got = board.readback().data
+        assert verify_frames(counter_frames, got, 0, mask=mask) == [444]
 
 
 class TestPartialThenReadback:

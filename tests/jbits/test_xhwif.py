@@ -1,9 +1,11 @@
 """XHWIF interface tests."""
 
+import numpy as np
 import pytest
 
 from repro.errors import XhwifError
 from repro.hwsim import Board
+from repro.hwsim.configport import DEFAULT_CCLK_HZ
 from repro.jbits import NullXhwif, SimulatedXhwif
 
 
@@ -32,13 +34,46 @@ class TestSimulatedXhwif:
         xh.send(counter_bitfile.config_bytes)
         xh.clock_step(3)  # must not raise
 
+    def test_send_report_exposes_interpreter_results(self, counter_bitfile):
+        board = Board("XCV50")
+        xh = SimulatedXhwif(board)
+        report = xh.send_report(counter_bitfile.config_bytes)
+        assert report is not None
+        assert report.frames_written == board.device.geometry.total_frames
+        assert report.stats.crc_checks_passed >= 1
+
+    def test_readback_window(self, counter_bitfile, counter_frames):
+        board = Board("XCV50")
+        xh = SimulatedXhwif(board)
+        xh.send(counter_bitfile.config_bytes)
+        data, _report = xh.readback_window(200, 10)
+        assert np.array_equal(data, counter_frames.data[200:210])
+
+    def test_seconds_for_matches_port_model(self, counter_bitfile):
+        board = Board("XCV50")
+        xh = SimulatedXhwif(board)
+        assert xh.seconds_for(1000) == board.port.seconds_for(1000)
+
 
 class TestNullXhwif:
-    def test_counts_bytes(self):
+    def test_counts_bytes_and_models_time(self):
         xh = NullXhwif("XCV50")
-        assert xh.send(b"abcd") == 0.0
+        seconds = xh.send(b"abcd")
         assert xh.bytes_sent == 4
         assert not xh.connected()
+        # regression: send() returned 0.0 seconds, poisoning every
+        # bytes-per-second computation downstream with divisions by zero
+        assert seconds > 0
+        assert seconds == pytest.approx(4 / DEFAULT_CCLK_HZ)  # 8-bit SelectMAP
+
+    def test_cclk_scales_the_model(self):
+        fast = NullXhwif(cclk_hz=100e6)
+        slow = NullXhwif(cclk_hz=25e6)
+        assert fast.send(b"x" * 400) == pytest.approx(slow.send(b"x" * 400) / 4)
+
+    def test_no_windowed_readback(self):
+        with pytest.raises(XhwifError, match="windowed readback"):
+            NullXhwif().readback_window(0, 1)
 
     def test_no_hardware_operations(self):
         xh = NullXhwif()

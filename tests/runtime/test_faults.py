@@ -1,0 +1,143 @@
+"""FaultPlan unit and ConfigPort-integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream.frames import FrameMemory
+from repro.devices import get_device
+from repro.errors import BitstreamError, XhwifError
+from repro.hwsim import Board
+from repro.runtime import FaultKind, FaultPlan, InjectedFault
+
+
+class TestBudgets:
+    def test_send_error_budget_and_spacing(self, counter_bitfile):
+        plan = FaultPlan(1, send_errors=2, send_error_every=2)
+        board = Board("XCV50", fault_plan=plan)
+        data = counter_bitfile.config_bytes
+        board.download(data)                      # opportunity 1: clean
+        with pytest.raises(XhwifError, match="injected transient send"):
+            board.download(data)                  # opportunity 2: fault
+        board.download(data)                      # opportunity 3: clean
+        with pytest.raises(XhwifError):
+            board.download(data)                  # opportunity 4: fault
+        board.download(data)                      # budget exhausted
+        board.download(data)
+        assert plan.count(FaultKind.SEND_ERROR) == 2
+
+    def test_readback_error_budget(self, counter_bitfile):
+        plan = FaultPlan(1, readback_errors=1)
+        board = Board("XCV50", fault_plan=plan)
+        board.download(counter_bitfile.config_bytes)
+        with pytest.raises(XhwifError, match="injected transient readback"):
+            board.readback()
+        board.readback()  # transient: the retry succeeds
+        assert plan.count(FaultKind.READBACK_ERROR) == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(0, send_errors=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(0, send_error_every=0)
+        with pytest.raises(ValueError):
+            FaultPlan(0, seu_flips=-2)
+        with pytest.raises(ValueError):
+            FaultPlan(0, seu_per_window=0)
+
+
+class TestStreamDamage:
+    def test_corruption_detected_by_device(self, counter_bitfile):
+        """An in-flight byte flip must surface as a stream error (CRC,
+        packet, or sync failure) — never a silent success."""
+        failures = 0
+        for seed in range(8):
+            plan = FaultPlan(seed, corruptions=1)
+            board = Board("XCV50", fault_plan=plan)
+            try:
+                board.download(counter_bitfile.config_bytes)
+            except (BitstreamError, XhwifError):
+                failures += 1
+        assert failures >= 6  # rare pad-byte hits may slip through CRC
+
+    def test_truncation_shortens_stream(self, counter_bitfile):
+        plan = FaultPlan(3, truncations=1)
+        board = Board("XCV50", fault_plan=plan)
+        try:
+            report = board.download(counter_bitfile.config_bytes)
+        except BitstreamError:
+            pass  # cut mid-packet
+        else:
+            # cut between packets: silently short — the runtime's
+            # report validation exists exactly for this case
+            assert report.bytes < len(counter_bitfile.config_bytes)
+        [fault] = plan.injected
+        assert fault.kind is FaultKind.TRUNCATE
+        assert 0 < fault.offset < len(counter_bitfile.config_bytes)
+
+
+class TestSeuModel:
+    def test_seus_land_between_downloads(self, counter_bitfile, counter_frames):
+        plan = FaultPlan(5, seu_flips=3, seu_per_window=3)
+        board = Board("XCV50", fault_plan=plan)
+        board.download(counter_bitfile.config_bytes)
+        # armed but not yet applied: the gap has not been observed yet
+        assert plan.count(FaultKind.SEU) == 0
+        assert board.frames == counter_frames
+        board.readback()
+        assert plan.count(FaultKind.SEU) == 3
+        seus = [f for f in plan.injected if f.kind is FaultKind.SEU]
+        for f in seus:
+            golden_bit = counter_frames.get_bit(f.frame, f.bit)
+            assert board.frames.get_bit(f.frame, f.bit) == 1 - golden_bit
+
+    def test_seu_bits_are_distinct(self):
+        device = get_device("XCV50")
+        plan = FaultPlan(0, seu_flips=64, seu_per_window=64)
+        frames = FrameMemory(device)
+        plan.after_download()
+        plan.on_readback(frames)
+        hits = {(f.frame, f.bit) for f in plan.injected}
+        assert len(hits) == 64
+        assert int(np.count_nonzero(frames.data)) >= 1
+
+    def test_budget_spread_over_windows(self, counter_bitfile):
+        plan = FaultPlan(2, seu_flips=5, seu_per_window=2)
+        board = Board("XCV50", fault_plan=plan)
+        board.download(counter_bitfile.config_bytes)
+        board.readback()
+        assert plan.count(FaultKind.SEU) == 2
+        board.download(counter_bitfile.config_bytes)
+        board.readback()
+        assert plan.count(FaultKind.SEU) == 4
+        board.download(counter_bitfile.config_bytes)
+        board.readback()
+        assert plan.count(FaultKind.SEU) == 5  # budget, not window, limits
+        assert plan.exhausted
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self, counter_bitfile):
+        def run(seed):
+            plan = FaultPlan(seed, send_errors=1, send_error_every=2,
+                             seu_flips=4, seu_per_window=2)
+            board = Board("XCV50", fault_plan=plan)
+            board.download(counter_bitfile.config_bytes)
+            board.readback()
+            try:
+                board.download(counter_bitfile.config_bytes)
+            except XhwifError:
+                pass
+            board.readback()
+            return plan.injected, board.frames.data.copy()
+
+        faults_a, frames_a = run(42)
+        faults_b, frames_b = run(42)
+        assert faults_a == faults_b
+        assert np.array_equal(frames_a, frames_b)
+        faults_c, _ = run(43)
+        assert faults_c != faults_a
+
+    def test_injected_fault_is_frozen(self):
+        fault = InjectedFault(FaultKind.SEU, 1, frame=2, bit=3)
+        with pytest.raises(AttributeError):
+            fault.frame = 9

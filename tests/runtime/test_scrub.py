@@ -1,0 +1,148 @@
+"""Scrubber tests: detect, repair, windowing, capture mask, escalation."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream.readback import capture_stream
+from repro.errors import XhwifError
+from repro.hwsim import Board, DesignHarness
+from repro.jbits import SimulatedXhwif
+from repro.obs import Metrics, use_metrics
+from repro.runtime import ReconfigSession, RetryPolicy, ScrubPolicy, Scrubber
+
+
+def make_scrubber(counter_bitfile, counter_frames, *, policy=None):
+    board = Board("XCV50")
+    board.download(counter_bitfile.config_bytes)
+    session = ReconfigSession(SimulatedXhwif(board))
+    return board, Scrubber(session, counter_frames.clone(), policy=policy)
+
+
+def corrupt(board, frame, bit=7):
+    board.frames.set_bit(frame, bit, 1 - board.frames.get_bit(frame, bit))
+
+
+class TestVerify:
+    def test_clean_device_verifies(self, counter_bitfile, counter_frames):
+        _board, scrubber = make_scrubber(counter_bitfile, counter_frames)
+        assert scrubber.verify() == []
+
+    def test_full_verify_detects_corruption(self, counter_bitfile, counter_frames):
+        board, scrubber = make_scrubber(counter_bitfile, counter_frames)
+        corrupt(board, 321)
+        assert scrubber.verify() == [321]
+
+    def test_windowed_verify_reads_only_window(self, counter_bitfile, counter_frames):
+        board, scrubber = make_scrubber(counter_bitfile, counter_frames)
+        corrupt(board, 100)
+        corrupt(board, 500)
+        assert scrubber.verify(range(96, 144)) == [100]
+        # bursts follow readback_plan: disjoint runs, one read each
+        assert scrubber.verify([100, 500]) == [100, 500]
+
+
+class TestRepairLoop:
+    def test_scrub_repairs_with_partials_only(self, counter_bitfile, counter_frames):
+        board, scrubber = make_scrubber(counter_bitfile, counter_frames)
+        for frame in (33, 34, 700):
+            corrupt(board, frame)
+        metrics = Metrics()
+        with use_metrics(metrics):
+            report = scrubber.run()
+        assert report.verified and not report.escalated
+        assert report.frames_scrubbed == 3
+        assert report.rounds[0].detected == [33, 34, 700]
+        assert board.frames == counter_frames
+        assert metrics.counter("runtime.frames_scrubbed") == 3
+        assert metrics.counter("runtime.escalations") == 0
+        # the repair was a partial stream: far smaller than a full config
+        repair = report.rounds[0].send
+        assert repair.ok and repair.frames_written == 3
+
+    def test_clean_run_is_flagged_clean(self, counter_bitfile, counter_frames):
+        _board, scrubber = make_scrubber(counter_bitfile, counter_frames)
+        report = scrubber.run()
+        assert report.clean and report.verified and report.rounds == []
+
+
+class _NoPartialsXhwif(SimulatedXhwif):
+    """A transport whose partial writes always fail (full configs pass) —
+    forces the scrubber down its escalation path."""
+
+    def __init__(self, board, threshold):
+        super().__init__(board)
+        self.threshold = threshold
+
+    def send_report(self, data):
+        if len(data) < self.threshold:
+            raise XhwifError("injected: partial transfers unavailable")
+        return super().send_report(data)
+
+
+class TestEscalation:
+    def make(self, counter_bitfile, counter_frames, **policy):
+        board = Board("XCV50")
+        board.download(counter_bitfile.config_bytes)
+        xh = _NoPartialsXhwif(board, len(counter_bitfile.config_bytes) // 2)
+        session = ReconfigSession(xh, policy=RetryPolicy(max_attempts=2))
+        policy = ScrubPolicy(max_rounds=2, **policy)
+        return board, Scrubber(session, counter_frames.clone(), policy=policy)
+
+    def test_escalates_to_full_reconfig(self, counter_bitfile, counter_frames):
+        board, scrubber = self.make(counter_bitfile, counter_frames)
+        corrupt(board, 55)
+        metrics = Metrics()
+        with use_metrics(metrics):
+            report = scrubber.run()
+        assert report.escalated and report.verified
+        assert report.frames_scrubbed == 0      # no partial repair ever landed
+        assert report.escalation.ok
+        assert board.frames == counter_frames   # graceful degradation restored golden
+        assert metrics.counter("runtime.escalations") == 1
+        assert len(report.rounds) == 2
+
+    def test_escalation_can_be_disabled(self, counter_bitfile, counter_frames):
+        board, scrubber = self.make(counter_bitfile, counter_frames, escalate=False)
+        corrupt(board, 55)
+        report = scrubber.run()
+        assert not report.verified and not report.escalated
+
+
+class TestCaptureMask:
+    @pytest.fixture()
+    def captured_board(self, counter_bitfile, counter_flow):
+        """A running counter whose flip-flop states were GCAPTUREd into the
+        configuration memory's capture cells."""
+        board = Board("XCV50")
+        board.download(counter_bitfile.config_bytes)
+        h = DesignHarness(board, counter_flow.design)
+        h.clock(3)  # count to 3: some flip-flops now hold 1
+        board.download(capture_stream(board.device))
+        return board
+
+    def test_masked_verify_ignores_captured_state(
+        self, captured_board, counter_frames
+    ):
+        session = ReconfigSession(SimulatedXhwif(captured_board))
+        scrubber = Scrubber(session, counter_frames.clone())
+        assert scrubber.verify() == []
+
+    def test_unmasked_verify_would_false_positive(
+        self, captured_board, counter_frames
+    ):
+        session = ReconfigSession(SimulatedXhwif(captured_board))
+        raw = Scrubber(session, counter_frames.clone(),
+                       policy=ScrubPolicy(mask_capture=False))
+        assert raw.verify() != []  # the original defect: state reads as corruption
+
+    def test_masked_verify_still_catches_real_corruption(
+        self, captured_board, counter_frames
+    ):
+        corrupt(captured_board, 444)
+        session = ReconfigSession(SimulatedXhwif(captured_board))
+        scrubber = Scrubber(session, counter_frames.clone())
+        assert scrubber.verify() == [444]
+
+    def test_policy_rejects_zero_rounds(self):
+        with pytest.raises(ValueError):
+            ScrubPolicy(max_rounds=0)

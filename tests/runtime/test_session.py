@@ -1,0 +1,151 @@
+"""ReconfigSession tests: retries, backoff, validation, timeouts."""
+
+import pytest
+
+from repro.bitstream.readback import capture_stream
+from repro.devices import get_device
+from repro.errors import XhwifError
+from repro.hwsim import Board
+from repro.jbits import NullXhwif, SimulatedXhwif
+from repro.obs import Metrics, use_metrics
+from repro.runtime import FaultPlan, ReconfigSession, RetryPolicy
+
+
+def make_session(counter_bitfile, *, plan=None, policy=None):
+    board = Board("XCV50", fault_plan=plan)
+    return board, ReconfigSession(SimulatedXhwif(board), policy=policy)
+
+
+class TestRetries:
+    def test_transient_errors_are_retried(self, counter_bitfile):
+        plan = FaultPlan(0, send_errors=2)
+        board, session = make_session(counter_bitfile, plan=plan)
+        metrics = Metrics()
+        with use_metrics(metrics):
+            outcome = session.send(counter_bitfile.config_bytes, label="base")
+        assert outcome.ok
+        assert outcome.retries == 2
+        assert [a.ok for a in outcome.attempts] == [False, False, True]
+        assert board.configured
+        assert metrics.counter("runtime.retries") == 2
+        assert metrics.counter("runtime.send_failures") == 2
+        assert metrics.counter("runtime.sends") == 3
+
+    def test_bounded_attempts(self, counter_bitfile):
+        plan = FaultPlan(0, send_errors=10)
+        board, session = make_session(
+            counter_bitfile, plan=plan, policy=RetryPolicy(max_attempts=3)
+        )
+        outcome = session.send(counter_bitfile.config_bytes)
+        assert not outcome.ok
+        assert len(outcome.attempts) == 3
+        assert "injected transient send" in outcome.error
+        assert not board.configured
+
+    def test_corrupt_stream_retried_to_success(self, counter_bitfile):
+        plan = FaultPlan(1, corruptions=1)
+        board, session = make_session(counter_bitfile, plan=plan)
+        total = get_device("XCV50").geometry.total_frames
+        outcome = session.send(counter_bitfile.config_bytes, expect_frames=total)
+        assert outcome.ok
+        assert outcome.frames_written == total
+        assert board.frames.data.any()
+
+    def test_backoff_schedule_is_deterministic(self):
+        policy = RetryPolicy(backoff_base=1e-4, backoff_factor=2.0, backoff_max=3e-4)
+        assert [policy.backoff(k) for k in (1, 2, 3, 4)] == \
+            [1e-4, 2e-4, 3e-4, 3e-4]
+
+    def test_backoff_accounted_in_outcome(self, counter_bitfile):
+        plan = FaultPlan(0, send_errors=2)
+        policy = RetryPolicy(backoff_base=1e-3, backoff_factor=2.0, backoff_max=1.0)
+        _board, session = make_session(counter_bitfile, plan=plan, policy=policy)
+        outcome = session.send(counter_bitfile.config_bytes)
+        assert outcome.attempts[0].backoff == 1e-3
+        assert outcome.attempts[1].backoff == 2e-3
+        assert outcome.attempts[2].backoff == 0.0
+        transfer = sum(a.seconds for a in outcome.attempts)
+        assert outcome.seconds == pytest.approx(transfer + 3e-3)
+
+
+class TestValidation:
+    def test_frames_written_mismatch_fails(self, counter_bitfile):
+        _board, session = make_session(
+            counter_bitfile, policy=RetryPolicy(max_attempts=2)
+        )
+        outcome = session.send(counter_bitfile.config_bytes, expect_frames=7)
+        assert not outcome.ok
+        assert "expected 7" in outcome.error
+
+    def test_missing_crc_check_fails(self, counter_bitfile):
+        board, session = make_session(
+            counter_bitfile, policy=RetryPolicy(max_attempts=2)
+        )
+        board.download(counter_bitfile.config_bytes)
+        stream = capture_stream(board.device)
+        assert not session.send(stream).ok  # no CRC packet in a capture stream
+        assert session.send(stream, require_crc=False).ok
+
+    def test_null_xhwif_skips_validation(self):
+        session = ReconfigSession(NullXhwif("XCV50"))
+        outcome = session.send(b"\xff" * 64, expect_frames=123)
+        assert outcome.ok  # no report available, nothing to validate
+        assert outcome.attempts[0].seconds > 0
+
+
+class TestTimeouts:
+    def test_attempt_timeout(self, counter_bitfile):
+        # a full XCV50 bitstream takes ~1.4 ms at 50 MHz SelectMAP
+        policy = RetryPolicy(max_attempts=2, attempt_timeout=1e-6)
+        _board, session = make_session(counter_bitfile, policy=policy)
+        outcome = session.send(counter_bitfile.config_bytes)
+        assert not outcome.ok
+        assert all("timeout" in a.error for a in outcome.attempts)
+
+    def test_deadline_stops_retrying(self, counter_bitfile):
+        plan = FaultPlan(0, send_errors=10)
+        policy = RetryPolicy(max_attempts=8, backoff_base=1.0,
+                             backoff_max=10.0, deadline=1.5)
+        _board, session = make_session(counter_bitfile, plan=plan, policy=policy)
+        metrics = Metrics()
+        with use_metrics(metrics):
+            outcome = session.send(counter_bitfile.config_bytes)
+        assert not outcome.ok
+        assert len(outcome.attempts) < 8
+        assert "deadline exceeded" in outcome.error
+        assert metrics.counter("runtime.deadline_exceeded") == 1
+
+    def test_policy_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestReadback:
+    def test_readback_retried(self, counter_bitfile, counter_frames):
+        plan = FaultPlan(0, readback_errors=1)
+        board, session = make_session(counter_bitfile, plan=plan)
+        board.download(counter_bitfile.config_bytes)
+        metrics = Metrics()
+        with use_metrics(metrics):
+            got = session.readback()
+        assert got == counter_frames
+        assert metrics.counter("runtime.retries") == 1
+        assert metrics.counter("runtime.readback_failures") == 1
+
+    def test_readback_exhaustion_raises(self, counter_bitfile):
+        plan = FaultPlan(0, readback_errors=10)
+        board, session = make_session(
+            counter_bitfile, plan=plan, policy=RetryPolicy(max_attempts=2)
+        )
+        board.download(counter_bitfile.config_bytes)
+        with pytest.raises(XhwifError, match="after 2 attempts"):
+            session.readback()
+
+    def test_windowed_readback_retried(self, counter_bitfile, counter_frames):
+        import numpy as np
+
+        plan = FaultPlan(0, readback_errors=1)
+        board, session = make_session(counter_bitfile, plan=plan)
+        board.download(counter_bitfile.config_bytes)
+        window = session.readback_window(100, 5)
+        assert np.array_equal(window, counter_frames.data[100:105])
