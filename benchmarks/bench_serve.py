@@ -1,0 +1,178 @@
+"""SERVE — cold vs. warm vs. coalesced latency through the generation service.
+
+The service front-end (:mod:`repro.serve`) exists to amortize generation:
+the first request for a module pays the full clear/replay/emit pipeline,
+a repeat request is a content-addressed disk hit, and identical requests
+arriving together share one computation.  The paper's Figure-4 economics
+(many module versions against one base) are exactly the workload where
+those two caches dominate.
+
+Claims measured here:
+
+* a served partial is **byte-identical** to single-shot ``BatchJpg``
+  generation, whether it came cold, from disk, from a warm restart
+  (a brand-new service process over the same cache directory), or
+  coalesced;
+* a warm request (disk hit) is at least an order of magnitude faster
+  than cold generation;
+* N identical concurrent submissions cost ~one generation, not N
+  (``serve.coalesced`` counts the pile-on).
+
+``pytest benchmarks/bench_serve.py --benchmark-only`` times the three
+paths.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.batch import BatchItem, BatchJpg
+from repro.serve import GenRequest, GenerationService, Scheduler
+
+from .conftest import BENCH_PART
+
+
+def requests_from(project):
+    reqs = []
+    for (region, version), mv in project.versions.items():
+        if version == "base":
+            continue
+        reqs.append(GenRequest(
+            name=f"{region}/{version}", xdl=mv.xdl, ucf=mv.ucf,
+            region=project.regions[region].to_ucf(),
+        ))
+    return reqs
+
+
+@pytest.fixture(scope="module")
+def serve_cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("serve-bench-cache"))
+
+
+@pytest.fixture(scope="module")
+def warm_service(fig4_project, serve_cache_dir):
+    """A service whose disk cache holds every Figure-4 partial."""
+    svc = GenerationService(BENCH_PART, fig4_project.base_bitfile,
+                            cache_dir=serve_cache_dir)
+    for req in requests_from(fig4_project):
+        result = svc.generate(req)
+        assert result.ok, result.error
+    return svc
+
+
+class TestEquivalence:
+    def test_served_matches_batch_generation(self, fig4_project, tmp_path):
+        """Cold serve, disk re-serve, and a warm *restart* all return the
+        exact bytes single-shot BatchJpg emits."""
+        engine = BatchJpg(BENCH_PART, fig4_project.base_bitfile)
+        svc = GenerationService(BENCH_PART, fig4_project.base_bitfile,
+                                cache_dir=str(tmp_path / "cache"))
+        req = requests_from(fig4_project)[0]
+        direct = engine.generate_one(
+            BatchItem(req.name, req.xdl, region=req.region_rect(),
+                      ucf=req.ucf)
+        )
+        assert direct.ok, direct.error
+
+        cold = svc.generate(req)
+        assert cold.ok and cold.source == "generated"
+        assert cold.data == direct.result.data
+
+        warm = svc.generate(req)
+        assert warm.source == "disk" and warm.data == direct.result.data
+
+        # a new service over the same directory: the "restarted process"
+        restarted = GenerationService(BENCH_PART, fig4_project.base_bitfile,
+                                      cache_dir=str(tmp_path / "cache"))
+        again = restarted.generate(req)
+        assert again.source == "disk" and again.data == direct.result.data
+
+    def test_coalesced_result_identical_and_single_compute(self, fig4_project):
+        svc = GenerationService(BENCH_PART, fig4_project.base_bitfile)
+        req = requests_from(fig4_project)[1]
+
+        async def main():
+            sched = Scheduler(svc, max_queue=8, workers=4)
+            results = await asyncio.gather(*[sched.submit(req)
+                                             for _ in range(4)])
+            await sched.aclose()
+            return results
+
+        results = asyncio.run(main())
+        assert all(r.ok for r in results)
+        assert len({r.data for r in results}) == 1
+        assert svc.metrics.counter("serve.accepted") == 1
+        assert svc.metrics.counter("serve.coalesced") == 3
+
+    def test_warm_restart_beats_cold_by_wide_margin(self, fig4_project,
+                                                    warm_service,
+                                                    serve_cache_dir):
+        """Sanity claim without the benchmark harness: one timed cold
+        generation vs one timed warm-restart serve of the same module."""
+        req = requests_from(fig4_project)[2]
+
+        cold_svc = GenerationService(BENCH_PART, fig4_project.base_bitfile)
+        t0 = time.perf_counter()
+        cold = cold_svc.generate(req)
+        cold_s = time.perf_counter() - t0
+        assert cold.ok and cold.source == "generated"
+
+        restarted = GenerationService(BENCH_PART, fig4_project.base_bitfile,
+                                      cache_dir=serve_cache_dir)
+        t0 = time.perf_counter()
+        warm = restarted.generate(req)
+        warm_s = time.perf_counter() - t0
+        assert warm.ok and warm.source == "disk"
+        assert warm.data == cold.data
+        assert warm_s < cold_s / 2, (
+            f"disk hit ({warm_s:.3f}s) should easily beat cold "
+            f"generation ({cold_s:.3f}s)"
+        )
+
+
+class TestLatency:
+    def test_cold_generation(self, benchmark, fig4_project):
+        reqs = requests_from(fig4_project)
+
+        def cold():
+            svc = GenerationService(BENCH_PART, fig4_project.base_bitfile)
+            return [svc.generate(r) for r in reqs]
+
+        results = benchmark.pedantic(cold, rounds=2, iterations=1)
+        assert all(r.ok and r.source == "generated" for r in results)
+
+    def test_warm_disk_serve(self, benchmark, fig4_project, warm_service,
+                             serve_cache_dir):
+        reqs = requests_from(fig4_project)
+
+        def warm():
+            svc = GenerationService(BENCH_PART, fig4_project.base_bitfile,
+                                    cache_dir=serve_cache_dir)
+            return [svc.generate(r) for r in reqs]
+
+        results = benchmark.pedantic(warm, rounds=3, iterations=1)
+        assert all(r.ok and r.source == "disk" for r in results)
+
+    def test_coalesced_burst(self, benchmark, fig4_project):
+        """8 identical submissions through the scheduler: ~1 generation."""
+        req = requests_from(fig4_project)[3]
+
+        def burst():
+            svc = GenerationService(BENCH_PART, fig4_project.base_bitfile)
+
+            async def main():
+                sched = Scheduler(svc, max_queue=16, workers=4)
+                results = await asyncio.gather(*[sched.submit(req)
+                                                 for _ in range(8)])
+                await sched.aclose()
+                return results, svc
+
+            return asyncio.run(main())
+
+        (results, svc) = benchmark.pedantic(burst, rounds=2, iterations=1)
+        assert all(r.ok for r in results)
+        assert svc.metrics.counter("serve.accepted") == 1
+        assert svc.metrics.counter("serve.coalesced") == 7

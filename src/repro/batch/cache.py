@@ -23,9 +23,11 @@ and on the context's metrics registry (``framecache.hit`` /
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import threading
 from collections.abc import Callable
+from contextlib import AbstractContextManager
 from dataclasses import dataclass
 
 from ..bitstream.frames import FrameMemory
@@ -146,13 +148,40 @@ class FrameCache:
         metrics = current_metrics()
         with entry.lock:
             if entry.value is None:
-                value = factory()
+                # spill layer first: another process (or a previous run of
+                # this one) may already have computed this state.  The
+                # compute lock makes the fetch-or-compute single-flight
+                # *across processes* for disk-backed subclasses.
+                with self._compute_lock(base_key, region):
+                    value = self._fetch(base_key, region)
+                    if value is None:
+                        value = factory()
+                        self._store(base_key, region, value)
+                        with self._lock:
+                            self._misses += 1
+                        metrics.count("framecache.miss")
+                    else:
+                        with self._lock:
+                            self._hits += 1
+                        metrics.count("framecache.hit")
                 entry.value = value
-                with self._lock:
-                    self._misses += 1
-                metrics.count("framecache.miss")
             else:
                 with self._lock:
                     self._hits += 1
                 metrics.count("framecache.hit")
             return entry.value
+
+    # -- spill hooks (overridden by persistent subclasses) --------------------
+
+    def _fetch(self, base_key: str, region: RegionRect) -> ClearedState | None:
+        """Look a cleared state up in a backing store (None = not there).
+        The in-memory cache stores nothing beyond the process."""
+        return None
+
+    def _store(self, base_key: str, region: RegionRect, value: ClearedState) -> None:
+        """Spill a freshly computed cleared state to a backing store."""
+
+    def _compute_lock(self, base_key: str, region: RegionRect) -> AbstractContextManager:
+        """Serialize fetch-or-compute for one key across *processes*.
+        In-memory caching needs no cross-process lock."""
+        return contextlib.nullcontext()

@@ -192,6 +192,12 @@ class BatchJpg:
         """Size in bytes of the base design's complete bitstream."""
         return self._full_size
 
+    @property
+    def base_frames(self) -> FrameMemory:
+        """The parsed base configuration (treat as read-only; clone before
+        mutating).  Long-lived services fingerprint this for cache keys."""
+        return self._base_frames
+
     # -- planning -----------------------------------------------------------
 
     def plan(self, items: list[BatchItem]) -> BatchPlan:
@@ -234,7 +240,7 @@ class BatchJpg:
             results: list[BatchItemResult] = []
         else:
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(self._generate_one, items))
+                results = list(pool.map(self.generate_one, items))
         seconds = time.perf_counter() - start
         return BatchReport(
             results=results,
@@ -278,7 +284,14 @@ class BatchJpg:
         )
         return deployer.run(items, deploy_base=deploy_base)
 
-    def _generate_one(self, item: BatchItem) -> BatchItemResult:
+    def generate_one(self, item: BatchItem) -> BatchItemResult:
+        """Generate one item's partial against the shared base state.
+
+        This is the unit of work :meth:`run` fans out, exposed so long-lived
+        callers (the generation service) can drive single requests through
+        the same shared-base/shared-cache path without building a manifest.
+        Thread-safe; per-item failures come back on the result's ``error``.
+        """
         start = time.perf_counter()
         with use_metrics(self.metrics):
             try:

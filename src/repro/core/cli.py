@@ -11,11 +11,26 @@ helpers::
     jpg inspect some.bit                 packet-level bitstream summary
     jpg floorplan XCV100 --region r1=CLB_R1C3:CLB_R16C12   ASCII Figure 3
     jpg parbit --base b.bit --options o.txt -o out.bit     the baseline
+    jpg serve -p XCV100 --base b.bit --socket /tmp/jpg.sock --cache-dir .jpgcache
+    jpg submit --socket /tmp/jpg.sock --xdl m.xdl --ucf m.ucf -o out.bit
 
 ``jpg batch`` is the Figure-4 workflow: a JSON manifest lists N module
 versions (xdl/ucf/region each) and the engine generates all their partials
 against one base with shared frame caching, printing a per-module
-timing/size table (see :mod:`repro.batch`).
+timing/size table (see :mod:`repro.batch`).  ``jpg serve`` keeps that
+engine resident (see :mod:`repro.serve`): clients ``jpg submit`` requests
+over a unix socket and repeated requests are answered from the persistent
+on-disk cache.
+
+Exit codes are distinct so scripts can branch without parsing stderr:
+
+* ``0`` — success;
+* ``1`` — the operation ran and failed (generation error, unverified
+  deployment, diverging bitstreams);
+* ``2`` — usage error: bad arguments, unknown part, unreadable input,
+  malformed manifest (argparse's own errors also exit 2);
+* ``3`` — the generation service is unavailable or shedding load
+  (no socket / connection refused / bounded queue full).
 """
 
 from __future__ import annotations
@@ -27,10 +42,21 @@ from .. import utils
 from ..bitstream.bitfile import BitFile
 from ..bitstream.reader import parse_bitstream
 from ..devices import get_device, part_names
-from ..errors import ReproError
+from ..errors import (
+    QueueFullError,
+    ReproError,
+    ServiceUnavailableError,
+    UnknownPartError,
+    UsageError,
+)
 from ..flow.floorplan import RegionRect
 from .jpg import Jpg, JpgOptions
 from .partial import Granularity
+
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_UNAVAILABLE = 3
 
 
 def _cmd_info(args) -> int:
@@ -102,7 +128,7 @@ def _cmd_batch(args) -> int:
         manifest = json.load(f)
     modules = manifest.get("modules")
     if not isinstance(modules, list) or not modules:
-        raise ReproError(f"{args.manifest}: manifest needs a non-empty 'modules' list")
+        raise UsageError(f"{args.manifest}: manifest needs a non-empty 'modules' list")
     root = os.path.dirname(os.path.abspath(args.manifest))
 
     base = BitFile.load(args.base)
@@ -115,7 +141,7 @@ def _cmd_batch(args) -> int:
     items = []
     for i, entry in enumerate(modules):
         if not isinstance(entry, dict) or "xdl" not in entry:
-            raise ReproError(f"{args.manifest}: modules[{i}] needs at least an 'xdl' path")
+            raise UsageError(f"{args.manifest}: modules[{i}] needs at least an 'xdl' path")
         with open(os.path.join(root, entry["xdl"])) as f:
             xdl = f.read()
         ucf = None
@@ -259,7 +285,7 @@ def _cmd_floorplan(args) -> int:
     for spec in args.region or []:
         name, _, rng = spec.partition("=")
         if not rng:
-            raise ReproError(f"--region wants NAME=SITE:SITE, got {spec!r}")
+            raise UsageError(f"--region wants NAME=SITE:SITE, got {spec!r}")
         regions[name] = RegionRect.from_ucf(rng)
     print(render_floorplan(dev, regions))
     return 0
@@ -277,7 +303,7 @@ def _cmd_flow(args) -> int:
     for spec in args.param or []:
         name, _, value = spec.partition("=")
         if not value:
-            raise ReproError(f"--param wants NAME=INT, got {spec!r}")
+            raise UsageError(f"--param wants NAME=INT, got {spec!r}")
         params[name] = int(value, 0)
     em = elaborate(src, params or None, top=args.top)
     constraints = load_ucf(args.ucf).constraints if args.ucf else None
@@ -306,7 +332,7 @@ def _cmd_diff(args) -> int:
     b = BitFile.load(args.second)
     dev = get_device(a.part_name)
     if get_device(b.part_name) != dev:
-        raise ReproError(
+        raise UsageError(
             f"cannot diff bitstreams for different parts "
             f"({a.part_name} vs {b.part_name})"
         )
@@ -337,6 +363,92 @@ def _cmd_diff(args) -> int:
     if cols:
         print(f"CLB columns touched: {[c + 1 for c in cols]}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from ..serve import GenerationService, JpgServer
+
+    if bool(args.socket) == bool(args.stdio):
+        raise UsageError("serve needs exactly one of --socket PATH or --stdio")
+    base = BitFile.load(args.base)
+    base_design = None
+    if args.base_ncd:
+        from ..flow.ncd import NcdDesign
+
+        base_design = NcdDesign.load(args.base_ncd)
+    xhwif = None
+    if args.deploy_sim:
+        from ..hwsim import Board
+        from ..jbits import SimulatedXhwif
+
+        xhwif = SimulatedXhwif(Board(args.part))
+    service = GenerationService(
+        args.part,
+        base,
+        base_design,
+        cache_dir=args.cache_dir,
+        max_cache_bytes=args.max_cache_bytes,
+        xhwif=xhwif,
+    )
+    server = JpgServer(service, max_queue=args.max_queue, workers=args.workers)
+    if args.stdio:
+        asyncio.run(server.serve_stdio())
+    else:
+        print(f"jpg serve: {args.part}, listening on {args.socket}", file=sys.stderr)
+        asyncio.run(server.serve_unix(args.socket))
+    print("jpg serve: drained and stopped", file=sys.stderr)
+    return EXIT_OK
+
+
+def _cmd_submit(args) -> int:
+    from ..serve import ServeClient, decode_partial
+
+    with ServeClient(args.socket, timeout=args.timeout) as client:
+        if args.shutdown:
+            client.shutdown()
+            print("server drained and shut down")
+            return EXIT_OK
+        if args.stats:
+            import json
+
+            print(json.dumps(client.stats()["stats"], indent=2, sort_keys=True))
+            return EXIT_OK
+        if not args.xdl:
+            raise UsageError("submit needs --xdl (or --stats / --shutdown)")
+        with open(args.xdl) as f:
+            xdl = f.read()
+        ucf = None
+        if args.ucf:
+            with open(args.ucf) as f:
+                ucf = f.read()
+        import os
+
+        name = args.name or os.path.splitext(os.path.basename(args.xdl))[0]
+        resp = client.submit(
+            name, xdl, ucf=ucf, region=args.region, granularity=args.granularity
+        )
+    if not resp.get("ok"):
+        code = resp.get("code")
+        if code == "queue-full":
+            raise QueueFullError(resp.get("error", "queue full"))
+        if code == "bad-request":
+            raise UsageError(resp.get("error", "bad request"))
+        print(f"error: {name}: {resp.get('error')}", file=sys.stderr)
+        return EXIT_FAILURE
+    data = decode_partial(resp)
+    deployed = ", deployed" if resp.get("deployed") else ""
+    print(
+        f"{name}: {utils.si_bytes(len(data))} from {resp['source']} "
+        f"({100 * len(data) / resp['full_size']:.1f}% of full{deployed})"
+    )
+    if args.output:
+        BitFile(design_name=name, part_name=resp["part"], config_bytes=data).save(
+            args.output
+        )
+        print(f"wrote {args.output}")
+    return EXIT_OK
 
 
 def _cmd_parbit(args) -> int:
@@ -457,6 +569,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=20, help="max runs to list")
     p.set_defaults(fn=_cmd_diff)
 
+    p = sub.add_parser("serve", help="long-lived generation service on a unix "
+                                     "socket (persistent cache, coalescing)")
+    p.add_argument("-p", "--part", required=True)
+    p.add_argument("--base", required=True, help="base design .bit file")
+    p.add_argument("--base-ncd", help="base design .ncd (enables interface checks)")
+    p.add_argument("--socket", help="unix socket path to listen on")
+    p.add_argument("--stdio", action="store_true",
+                   help="serve one client over stdin/stdout instead of a socket")
+    p.add_argument("--cache-dir",
+                   help="persistent cache directory (cleared states + partials "
+                        "survive restarts; omit for in-memory only)")
+    p.add_argument("--max-cache-bytes", type=int,
+                   help="LRU-evict the disk cache past this size")
+    p.add_argument("--max-queue", type=int, default=32,
+                   help="pending-request bound before rejecting (default 32)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent generation threads (default 2)")
+    p.add_argument("--deploy-sim", action="store_true",
+                   help="deploy each served partial onto a simulated board")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("submit", help="submit one generation request to a "
+                                      "running jpg serve")
+    p.add_argument("--socket", required=True, help="unix socket of the server")
+    p.add_argument("--xdl", help="module implementation .xdl")
+    p.add_argument("--ucf", help="constraints .ucf (provides the region)")
+    p.add_argument("--region", help="explicit region SITE:SITE (overrides UCF)")
+    p.add_argument("--name", help="module name (default: xdl basename)")
+    p.add_argument("--granularity", choices=["column", "frame"], default="column")
+    p.add_argument("-o", "--output", help="save the partial as a .bit here")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="seconds to wait for the server (default 300)")
+    p.add_argument("--stats", action="store_true",
+                   help="print the server's stats snapshot instead of submitting")
+    p.add_argument("--shutdown", action="store_true",
+                   help="drain and stop the server instead of submitting")
+    p.set_defaults(fn=_cmd_submit)
+
     p = sub.add_parser("parbit", help="PARBIT baseline: extract a region from a full .bit")
     p.add_argument("--base", required=True)
     p.add_argument("--options", required=True, help="PARBIT options file")
@@ -473,9 +623,20 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("merge needs -o/--output or --overwrite")
     try:
         return args.fn(args)
+    except (QueueFullError, ServiceUnavailableError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_UNAVAILABLE
+    except (UsageError, UnknownPartError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
+    except OSError as exc:
+        # unreadable/missing inputs and unwritable outputs are invocation
+        # problems, not generation failures
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":

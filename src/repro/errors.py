@@ -101,6 +101,24 @@ class XhwifError(ReproError):
     """Hardware-interface (board) communication failure."""
 
 
+class UsageError(ReproError):
+    """Invalid invocation: bad arguments, unreadable inputs, malformed
+    manifests.  The CLI maps this to a distinct exit code (2) so callers
+    can tell "you asked wrong" from "the operation failed"."""
+
+
+class ServeError(ReproError):
+    """Generation-service error (scheduler, disk cache, protocol)."""
+
+
+class QueueFullError(ServeError):
+    """The service's bounded job queue rejected a request (backpressure)."""
+
+
+class ServiceUnavailableError(ServeError):
+    """The generation service cannot be reached (no socket, refused)."""
+
+
 class JpgError(ReproError):
     """JPG core tool error (project, interface mismatch, merge conflict)."""
 

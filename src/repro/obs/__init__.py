@@ -11,6 +11,7 @@ pool so a whole run aggregates into a single set of counters, timers, and
 
 from .metrics import (
     NULL_METRICS,
+    GaugeStats,
     Metrics,
     NullMetrics,
     Sink,
@@ -22,6 +23,7 @@ from .metrics import (
 )
 
 __all__ = [
-    "NULL_METRICS", "Metrics", "NullMetrics", "Sink", "StageEvent",
-    "TimerStats", "current_metrics", "recording_sink", "use_metrics",
+    "NULL_METRICS", "GaugeStats", "Metrics", "NullMetrics", "Sink",
+    "StageEvent", "TimerStats", "current_metrics", "recording_sink",
+    "use_metrics",
 ]

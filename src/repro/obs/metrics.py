@@ -73,8 +73,24 @@ class TimerStats:
         return self.total / self.count if self.count else 0.0
 
 
+@dataclass
+class GaugeStats:
+    """Last/extreme values of a sampled quantity (queue depth, pool size)."""
+
+    last: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+    updates: int = 0
+
+    def set(self, value: float) -> None:
+        self.last = value
+        self.min = value if value < self.min else self.min
+        self.max = value if value > self.max else self.max
+        self.updates += 1
+
+
 class Metrics:
-    """Thread-safe registry of counters, timers, and stage events."""
+    """Thread-safe registry of counters, timers, gauges, and stage events."""
 
     def __init__(self, *, sink: Sink | None = None, keep_events: bool = True):
         self._lock = threading.Lock()
@@ -82,6 +98,7 @@ class Metrics:
         self.keep_events = keep_events
         self.counters: dict[str, int] = {}
         self.timers: dict[str, TimerStats] = {}
+        self.gauges: dict[str, GaugeStats] = {}
         self.events: list[StageEvent] = []
 
     # -- counters -------------------------------------------------------------
@@ -95,6 +112,19 @@ class Metrics:
         """Current value of counter ``name`` (0 if never incremented)."""
         with self._lock:
             return self.counters.get(name, 0)
+
+    # -- gauges ---------------------------------------------------------------
+
+    def gauge(self, name: str, value: float) -> None:
+        """Sample gauge ``name`` at ``value`` (tracks last/min/max)."""
+        with self._lock:
+            self.gauges.setdefault(name, GaugeStats()).set(value)
+
+    def gauge_value(self, name: str) -> float:
+        """Last sampled value of gauge ``name`` (0.0 if never sampled)."""
+        with self._lock:
+            g = self.gauges.get(name)
+            return g.last if g is not None else 0.0
 
     # -- timers / stages ------------------------------------------------------
 
@@ -130,6 +160,11 @@ class Metrics:
                         "max": t.max, "mean": t.mean}
                     for k, t in self.timers.items()
                 },
+                "gauges": {
+                    k: {"last": g.last, "min": g.min, "max": g.max,
+                        "updates": g.updates}
+                    for k, g in self.gauges.items()
+                },
             }
 
     def stage_table(self) -> list[tuple[str, int, str, str]]:
@@ -147,6 +182,9 @@ class NullMetrics(Metrics):
     """The default registry: accepts everything, stores nothing."""
 
     def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
         pass
 
     def record(self, stage: str, seconds: float, **detail: object) -> None:

@@ -1,0 +1,313 @@
+"""JSON-lines wire protocol: ``jpg serve`` and ``jpg submit``.
+
+One request or response per line, UTF-8 JSON.  Ops:
+
+``{"op": "ping", "id": 1}``
+    → ``{"id": 1, "ok": true, "op": "pong"}``
+``{"op": "stats", "id": 2}``
+    → ``{"id": 2, "ok": true, "stats": {...}, "pending": N}``
+``{"op": "submit", "id": 3, "name": ..., "xdl": ..., "ucf": ...,
+"region": ..., "granularity": ...}``
+    → ``{"id": 3, "ok": true, "name": ..., "part": ..., "size": N,
+    "frames": N, "source": "generated"|"disk", "full_size": N,
+    "data": <base64 config bytes>}``
+    or ``{"id": 3, "ok": false, "code": "queue-full"|"bad-request"|
+    "generation-failed", "error": "..."}``
+``{"op": "shutdown", "id": 4}``
+    → ``{"id": 4, "ok": true}`` after the scheduler drains; the server
+    then stops accepting connections.
+
+Submits are pipelined: a client may send many on one connection without
+waiting; responses carry the request's ``id`` and arrive in completion
+order.  Identical concurrent submits — same XDL/UCF/region/granularity
+against the same base — coalesce onto one generation (see
+:mod:`repro.serve.scheduler`).
+
+The server listens on a unix socket (``jpg serve --socket PATH``) or on
+stdin/stdout (``--stdio``, one client);
+:class:`ServeClient` is the blocking client the ``jpg submit`` CLI uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import contextlib
+import json
+import socket
+import sys
+
+from ..errors import (
+    QueueFullError,
+    ReproError,
+    ServiceUnavailableError,
+    UsageError,
+)
+from .scheduler import Scheduler
+from .service import GenerationService, GenRequest
+
+
+def _encode(obj: dict) -> bytes:
+    return json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+
+
+class JpgServer:
+    """The asyncio generation server (one scheduler, many connections)."""
+
+    def __init__(
+        self,
+        service: GenerationService,
+        *,
+        max_queue: int = 32,
+        workers: int = 2,
+    ):
+        self.service = service
+        self.scheduler = Scheduler(service, max_queue=max_queue, workers=workers)
+        self._shutdown = asyncio.Event()
+
+    # -- transports -----------------------------------------------------------
+
+    async def serve_unix(self, path: str) -> None:
+        """Listen on a unix socket until a ``shutdown`` op arrives."""
+        server = await asyncio.start_unix_server(self._handle, path=path)
+        try:
+            await self._shutdown.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await self.scheduler.aclose()
+            with contextlib.suppress(OSError):
+                import os
+
+                os.unlink(path)
+
+    async def serve_stdio(self) -> None:
+        """Serve one client over stdin/stdout (stdout stays protocol-only)."""
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader()
+        await loop.connect_read_pipe(
+            lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+        )
+        w_transport, w_protocol = await loop.connect_write_pipe(
+            asyncio.streams.FlowControlMixin, sys.stdout
+        )
+        writer = asyncio.StreamWriter(w_transport, w_protocol, reader, loop)
+        await self._handle(reader, writer)
+        await self.scheduler.aclose()
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        wlock = asyncio.Lock()
+        conn_tasks: set[asyncio.Task] = set()
+        try:
+            while not self._shutdown.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    msg = json.loads(line)
+                    if not isinstance(msg, dict):
+                        raise ValueError("message is not an object")
+                except ValueError as exc:
+                    await self._send(writer, wlock, {
+                        "id": None, "ok": False, "code": "bad-request",
+                        "error": f"malformed request line: {exc}",
+                    })
+                    continue
+                op = msg.get("op")
+                if op == "submit":
+                    task = asyncio.get_running_loop().create_task(
+                        self._submit(msg, writer, wlock)
+                    )
+                    conn_tasks.add(task)
+                    task.add_done_callback(conn_tasks.discard)
+                elif op == "ping":
+                    await self._send(writer, wlock,
+                                     {"id": msg.get("id"), "ok": True, "op": "pong"})
+                elif op == "stats":
+                    await self._send(writer, wlock, {
+                        "id": msg.get("id"), "ok": True,
+                        "pending": self.scheduler.pending,
+                        "stats": self.service.stats(),
+                    })
+                elif op == "shutdown":
+                    await self.scheduler.drain()
+                    await self._send(writer, wlock,
+                                     {"id": msg.get("id"), "ok": True})
+                    self._shutdown.set()
+                    break
+                else:
+                    await self._send(writer, wlock, {
+                        "id": msg.get("id"), "ok": False, "code": "bad-request",
+                        "error": f"unknown op {op!r}",
+                    })
+            if conn_tasks:
+                await asyncio.wait(set(conn_tasks))
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _submit(self, msg: dict, writer: asyncio.StreamWriter,
+                      wlock: asyncio.Lock) -> None:
+        rid = msg.get("id")
+        try:
+            request = self._parse_submit(msg)
+        except UsageError as exc:
+            await self._send(writer, wlock, {
+                "id": rid, "ok": False, "code": "bad-request", "error": str(exc),
+            })
+            return
+        try:
+            result = await self.scheduler.submit(request)
+        except QueueFullError as exc:
+            await self._send(writer, wlock, {
+                "id": rid, "ok": False, "code": "queue-full", "error": str(exc),
+            })
+            return
+        except ReproError as exc:
+            # a request the engine could not even start on (unparseable
+            # region, bad granularity): the client must still get an answer
+            await self._send(writer, wlock, {
+                "id": rid, "ok": False, "code": "bad-request", "error": str(exc),
+            })
+            return
+        if not result.ok:
+            await self._send(writer, wlock, {
+                "id": rid, "ok": False, "code": "generation-failed",
+                "error": result.error,
+            })
+            return
+        assert result.data is not None
+        await self._send(writer, wlock, {
+            "id": rid,
+            "ok": True,
+            "name": request.name,
+            "part": self.service.part,
+            "size": result.size,
+            "frames": result.frames,
+            "source": result.source,
+            "full_size": self.service.full_size,
+            "deployed": result.deployed,
+            "seconds": result.seconds,
+            "data": base64.b64encode(result.data).decode(),
+        })
+
+    @staticmethod
+    def _parse_submit(msg: dict) -> GenRequest:
+        xdl = msg.get("xdl")
+        if not isinstance(xdl, str) or not xdl.strip():
+            raise UsageError("submit needs non-empty 'xdl' text")
+        ucf = msg.get("ucf")
+        region = msg.get("region")
+        for field, value in (("ucf", ucf), ("region", region)):
+            if value is not None and not isinstance(value, str):
+                raise UsageError(f"'{field}' must be a string when present")
+        name = msg.get("name") or "module"
+        return GenRequest(
+            name=str(name),
+            xdl=xdl,
+            ucf=ucf,
+            region=region,
+            granularity=str(msg.get("granularity", "column")),
+        )
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, wlock: asyncio.Lock,
+                    obj: dict) -> None:
+        async with wlock:
+            writer.write(_encode(obj))
+            with contextlib.suppress(ConnectionError):
+                await writer.drain()
+
+
+class ServeClient:
+    """Blocking JSON-lines client over a unix socket (``jpg submit``)."""
+
+    def __init__(self, socket_path: str, *, timeout: float = 300.0):
+        self.socket_path = socket_path
+        try:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        except OSError as exc:
+            raise ServiceUnavailableError(
+                f"cannot reach jpg serve at {socket_path}: {exc}"
+            ) from exc
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        with contextlib.suppress(OSError):
+            self._file.close()
+        with contextlib.suppress(OSError):
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- requests -------------------------------------------------------------
+
+    def request(self, msg: dict) -> dict:
+        """Send one op and return its (id-matched) response."""
+        self._next_id += 1
+        rid = msg.get("id", self._next_id)
+        msg = {**msg, "id": rid}
+        try:
+            self._file.write(_encode(msg))
+            self._file.flush()
+            while True:
+                line = self._file.readline()
+                if not line:
+                    raise ServiceUnavailableError(
+                        f"jpg serve at {self.socket_path} closed the connection"
+                    )
+                resp = json.loads(line)
+                if resp.get("id") == rid:
+                    return resp
+        except (OSError, ValueError) as exc:
+            raise ServiceUnavailableError(
+                f"protocol failure talking to {self.socket_path}: {exc}"
+            ) from exc
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def submit(
+        self,
+        name: str,
+        xdl: str,
+        *,
+        ucf: str | None = None,
+        region: str | None = None,
+        granularity: str = "column",
+    ) -> dict:
+        """Submit one generation request; returns the raw response dict
+        (``data`` still base64).  Use :func:`decode_partial` for the bytes."""
+        return self.request({
+            "op": "submit", "name": name, "xdl": xdl, "ucf": ucf,
+            "region": region, "granularity": granularity,
+        })
+
+
+def decode_partial(response: dict) -> bytes:
+    """The raw partial-bitstream bytes of a successful submit response."""
+    if not response.get("ok"):
+        raise ServiceUnavailableError(
+            f"response is not a successful submit: {response.get('error')}"
+        )
+    return base64.b64decode(response["data"])

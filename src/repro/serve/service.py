@@ -1,0 +1,248 @@
+"""The generation service: one long-lived base, many client requests.
+
+:class:`GenerationService` is the synchronous core the async scheduler
+and the wire protocol sit on.  It owns one :class:`~repro.batch.BatchJpg`
+(the base bitstream parsed once, the full-stream size measured once), a
+disk-backed :class:`~repro.serve.diskcache.PersistentFrameCache` for
+cleared-region sharing, and a :class:`~repro.serve.diskcache.DiskCache`
+of finished partials — so repeated requests are answered from disk
+byte-identically, even across restarts or from a second process.
+
+Requests are plain data (:class:`GenRequest`): XDL text, optional UCF
+text, optional explicit region, granularity.  The request **digest**
+hashes all of it, and the partial cache key is ``(base fingerprint,
+region footprint, request digest)`` — three coordinates that completely
+determine the output bytes, which is what makes serving from disk safe.
+
+With an ``xhwif`` attached the service also deploys each generated (or
+disk-served) partial to the board through a retrying
+:class:`~repro.runtime.ReconfigSession` — the paper's "option 2" as a
+service feature (deploy-on-generate).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+
+from ..batch.cache import FrameCache, fingerprint
+from ..batch.engine import BatchItem, BatchJpg
+from ..bitstream.bitfile import BitFile
+from ..bitstream.frames import FrameMemory
+from ..core.jpg import JpgOptions
+from ..core.partial import Granularity
+from ..errors import UsageError
+from ..flow.floorplan import RegionRect
+from ..flow.ncd import NcdDesign
+from ..obs import Metrics, use_metrics
+from ..runtime import ReconfigSession, RetryPolicy
+from .diskcache import DiskCache, PersistentFrameCache
+
+
+@dataclass(frozen=True)
+class GenRequest:
+    """One client request: everything needed to generate one partial.
+
+    All fields are text so requests survive JSON serialization unchanged;
+    :meth:`digest` hashes the canonical JSON form, making equal requests
+    collapse onto one cache entry (and one in-flight generation).
+    """
+
+    name: str
+    xdl: str
+    ucf: str | None = None
+    region: str | None = None          # UCF range text, e.g. "CLB_R1C3:CLB_R16C12"
+    granularity: str = "column"
+
+    def digest(self) -> str:
+        """Content digest over every request field (the module key)."""
+        canonical = json.dumps(
+            {
+                "name": self.name,
+                "xdl": self.xdl,
+                "ucf": self.ucf,
+                "region": self.region,
+                "granularity": self.granularity,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def region_rect(self) -> RegionRect | None:
+        """The explicit region, parsed (None when only the UCF names one)."""
+        if self.region is None:
+            return None
+        return RegionRect.from_ucf(self.region)
+
+    def to_item(self, *, check_interface: bool) -> BatchItem:
+        if self.granularity not in ("column", "frame"):
+            raise UsageError(
+                f"granularity must be 'column' or 'frame', got {self.granularity!r}"
+            )
+        return BatchItem(
+            name=self.name,
+            module=self.xdl,
+            region=self.region_rect(),
+            ucf=self.ucf,
+            options=JpgOptions(
+                granularity=Granularity(self.granularity),
+                check_interface=check_interface,
+            ),
+        )
+
+
+@dataclass
+class ServeResult:
+    """One served request: the partial bytes (or the error) and provenance."""
+
+    request: GenRequest
+    data: bytes | None
+    seconds: float
+    source: str                       # "generated" | "disk"
+    frames: int = 0
+    error: str | None = None
+    deployed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def size(self) -> int:
+        return len(self.data) if self.data is not None else 0
+
+
+class GenerationService:
+    """Serve partial-bitstream generations against one base design."""
+
+    def __init__(
+        self,
+        part: str,
+        base_bitstream: bytes | BitFile | FrameMemory,
+        base_design: NcdDesign | None = None,
+        *,
+        cache_dir: str | None = None,
+        max_cache_bytes: int | None = None,
+        metrics: Metrics | None = None,
+        xhwif=None,
+        retry: RetryPolicy | None = None,
+    ):
+        self.metrics = metrics if metrics is not None else Metrics(keep_events=False)
+        self.disk: DiskCache | None = (
+            DiskCache(cache_dir, max_bytes=max_cache_bytes) if cache_dir else None
+        )
+        cache = PersistentFrameCache(self.disk) if self.disk else FrameCache()
+        with use_metrics(self.metrics):
+            self.engine = BatchJpg(
+                part,
+                base_bitstream,
+                base_design=base_design,
+                cache=cache,
+                metrics=self.metrics,
+            )
+        self.part = part
+        self.base_design = base_design
+        #: content key of the base configuration every request generates against
+        self.base_key = fingerprint(self.engine.base_frames)
+        self._session = (
+            ReconfigSession(xhwif, policy=retry) if xhwif is not None else None
+        )
+
+    @property
+    def full_size(self) -> int:
+        return self.engine.full_size
+
+    @property
+    def cache_stats(self):
+        return self.engine.cache.stats
+
+    def partial_key(self, request: GenRequest) -> tuple[str, str, str]:
+        """The (base fingerprint, region tag, module digest) cache key."""
+        from .diskcache import region_tag
+
+        return self.base_key, region_tag(request.region_rect()), request.digest()
+
+    # -- the serving path -----------------------------------------------------
+
+    def generate(self, request: GenRequest) -> ServeResult:
+        """Serve one request: from the partial disk cache when possible,
+        through the shared-base engine otherwise.  Generation *failures*
+        come back on the result (``error``), not as exceptions."""
+        start = time.perf_counter()
+        with use_metrics(self.metrics):
+            region = request.region_rect()
+            if self.disk is not None:
+                data = self.disk.load_partial(
+                    self.base_key, region, request.digest()
+                )
+                if data is not None:
+                    self.metrics.count("serve.served_from_disk")
+                    result = ServeResult(
+                        request, data, time.perf_counter() - start, "disk"
+                    )
+                    self._maybe_deploy(result)
+                    return result
+            item = request.to_item(check_interface=self.base_design is not None)
+            with self.metrics.stage("serve.generate", module=request.name):
+                item_result = self.engine.generate_one(item)
+            if not item_result.ok:
+                self.metrics.count("serve.failures")
+                return ServeResult(
+                    request, None, time.perf_counter() - start, "generated",
+                    error=item_result.error,
+                )
+            partial = item_result.result
+            assert partial is not None
+            if self.disk is not None:
+                self.disk.store_partial(
+                    self.base_key, region, request.digest(), partial.data
+                )
+            self.metrics.count("serve.generated")
+            result = ServeResult(
+                request, partial.data, time.perf_counter() - start, "generated",
+                frames=len(partial.frames),
+            )
+            self._maybe_deploy(result)
+            return result
+
+    def _maybe_deploy(self, result: ServeResult) -> None:
+        """Deploy-on-generate: push a served partial to the attached board."""
+        if self._session is None or result.data is None:
+            return
+        with use_metrics(self.metrics):
+            outcome = self._session.send(result.data, label=result.request.name)
+        if not outcome.ok:
+            result.error = f"deploy failed: {outcome.error}"
+            self.metrics.count("serve.deploy_failures")
+            return
+        result.deployed = True
+        self.metrics.count("serve.deploys")
+
+    def stats(self) -> dict:
+        """A JSON-ready snapshot for the ``stats`` protocol op."""
+        cs = self.cache_stats
+        snap = self.metrics.snapshot()
+        out = {
+            "part": self.part,
+            "base_key": self.base_key,
+            "full_size": self.full_size,
+            "frame_cache": {"hits": cs.hits, "misses": cs.misses},
+            "counters": {
+                k: v for k, v in sorted(snap["counters"].items())
+                if k.startswith(("serve.", "framecache.", "batch."))
+            },
+            "gauges": snap["gauges"],
+        }
+        if self.disk is not None:
+            ds = self.disk.stats
+            out["disk"] = {
+                "root": self.disk.root,
+                "hits": ds.hits,
+                "misses": ds.misses,
+                "stores": ds.stores,
+                "evictions": ds.evictions,
+                "bytes": self.disk.size_bytes(),
+            }
+        return out

@@ -192,7 +192,7 @@ class TestFlowCommand:
         src.write_text(self.VERILOG)
         rc = main(["flow", str(src), "-p", "XCV50",
                    "-o", str(tmp_path / "x.bit"), "--param", "W"])
-        assert rc == 1
+        assert rc == 2  # malformed --param is a usage error, not a flow failure
 
     def test_verilog_error_reported(self, tmp_path, capsys):
         src = tmp_path / "bad.v"
@@ -210,7 +210,7 @@ class TestFloorplanAndParbit:
         assert "XCV50" in out and "M" in out
 
     def test_floorplan_bad_region(self, capsys):
-        assert main(["floorplan", "XCV50", "--region", "oops"]) == 1
+        assert main(["floorplan", "XCV50", "--region", "oops"]) == 2
 
     def test_parbit(self, artifacts, capsys):
         opts = artifacts["tmp"] / "opts.txt"
@@ -263,6 +263,11 @@ class TestDeploy:
         rc = main(["deploy", "-p", "XCV100", "--base", deploy_files["base"],
                    deploy_files["partial"]])
         assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_deploy_missing_base(self, tmp_path, capsys):
+        rc = main(["deploy", "--base", str(tmp_path / "nope.bit")])
+        assert rc == 2
         assert "error" in capsys.readouterr().err
 
 
@@ -326,6 +331,24 @@ class TestBatch:
         assert "3/4 partials" in captured.out
         assert "error" in captured.err
 
+    def test_batch_missing_manifest(self, manifest, capsys):
+        rc = main([
+            "batch", "-p", "XCV50",
+            "--base", manifest["base"],
+            "--manifest", str(manifest["tmp"] / "nope.json"),
+        ])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_batch_unknown_part(self, manifest, capsys):
+        rc = main([
+            "batch", "-p", "XCV9000",
+            "--base", manifest["base"],
+            "--manifest", manifest["path"],
+        ])
+        assert rc == 2
+        assert "XCV9000" in capsys.readouterr().err
+
     def test_batch_bad_manifest(self, manifest, capsys):
         (manifest["tmp"] / "manifest.json").write_text('{"modules": []}')
         rc = main([
@@ -333,5 +356,158 @@ class TestBatch:
             "--base", manifest["base"],
             "--manifest", manifest["path"],
         ])
-        assert rc == 1
+        assert rc == 2
         assert "manifest" in capsys.readouterr().err
+
+
+@pytest.mark.serve
+class TestServeSubmit:
+    """jpg serve / jpg submit over a real unix socket (server in a thread)."""
+
+    @pytest.fixture()
+    def server(self, artifacts, tmp_path):
+        import asyncio
+        import threading
+        import time
+
+        from repro.bitstream.bitfile import BitFile
+        from repro.serve import GenerationService, JpgServer
+
+        sock = str(tmp_path / "jpg.sock")
+        service = GenerationService(
+            "XCV50", BitFile.load(artifacts["base_bit"]),
+            cache_dir=str(tmp_path / "cache"),
+        )
+        srv = JpgServer(service, max_queue=8, workers=2)
+        thread = threading.Thread(
+            target=lambda: asyncio.run(srv.serve_unix(sock)), daemon=True
+        )
+        thread.start()
+        # wait until the server is actually *listening* (socket-file
+        # existence alone leaves a bind->listen race window)
+        import socket as socketlib
+        deadline = time.monotonic() + 30
+        while True:
+            probe = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+            try:
+                probe.connect(sock)
+                probe.close()
+                break
+            except OSError:
+                probe.close()
+                assert time.monotonic() < deadline, "server never listened"
+                time.sleep(0.02)
+        yield {"sock": sock, "service": service}
+        if thread.is_alive():
+            main(["submit", "--socket", sock, "--shutdown"])
+            thread.join(timeout=30)
+
+    def test_submit_roundtrip_disk_and_stats(self, server, artifacts, capsys):
+        out1 = str(artifacts["tmp"] / "s1.bit")
+        out2 = str(artifacts["tmp"] / "s2.bit")
+        rc = main(["submit", "--socket", server["sock"],
+                   "--xdl", artifacts["xdl"], "--ucf", artifacts["ucf"],
+                   "-o", out1])
+        assert rc == 0
+        assert "from generated" in capsys.readouterr().out
+        rc = main(["submit", "--socket", server["sock"],
+                   "--xdl", artifacts["xdl"], "--ucf", artifacts["ucf"],
+                   "-o", out2])
+        assert rc == 0
+        assert "from disk" in capsys.readouterr().out
+
+        from repro.bitstream.bitfile import BitFile
+
+        served = BitFile.load(out1).config_bytes
+        assert served == BitFile.load(out2).config_bytes
+
+        # byte-identical to the single-shot jpg generate path
+        direct = str(artifacts["tmp"] / "direct.bit")
+        assert main(["generate", "-p", "XCV50",
+                     "--base", artifacts["base_bit"],
+                     "--xdl", artifacts["xdl"], "--ucf", artifacts["ucf"],
+                     "-o", direct]) == 0
+        assert served == BitFile.load(direct).config_bytes
+        capsys.readouterr()
+
+        assert main(["submit", "--socket", server["sock"], "--stats"]) == 0
+        stats = capsys.readouterr().out
+        assert "serve.generated" in stats and "disk" in stats
+
+    def test_submit_bad_region_is_usage_error(self, server, artifacts, capsys):
+        rc = main(["submit", "--socket", server["sock"],
+                   "--xdl", artifacts["xdl"], "--region", "oops"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_submit_generation_failure(self, server, artifacts, capsys):
+        # no region anywhere: the engine cannot place the module
+        rc = main(["submit", "--socket", server["sock"],
+                   "--xdl", artifacts["xdl"]])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeSubmitErrors:
+    def test_submit_without_server(self, tmp_path, capsys):
+        rc = main(["submit", "--socket", str(tmp_path / "absent.sock"),
+                   "--xdl", "whatever.xdl"])
+        assert rc == 3
+        assert "error" in capsys.readouterr().err
+
+    def test_submit_queue_full(self, tmp_path, capsys):
+        """A shedding server answers queue-full; the CLI exits 3."""
+        import json
+        import socket
+        import threading
+
+        sock_path = str(tmp_path / "fake.sock")
+        srv = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        srv.bind(sock_path)
+        srv.listen(1)
+
+        def shed_one():
+            conn, _ = srv.accept()
+            f = conn.makefile("rwb")
+            req = json.loads(f.readline())
+            f.write((json.dumps({
+                "id": req["id"], "ok": False, "code": "queue-full",
+                "error": "queue full: 8 request(s) pending (max 8)",
+            }) + "\n").encode())
+            f.flush()
+            conn.close()
+
+        thread = threading.Thread(target=shed_one, daemon=True)
+        thread.start()
+        xdl = tmp_path / "m.xdl"
+        xdl.write_text("design d XCV50;\n")
+        rc = main(["submit", "--socket", sock_path, "--xdl", str(xdl)])
+        thread.join(timeout=10)
+        srv.close()
+        assert rc == 3
+        assert "queue full" in capsys.readouterr().err
+
+    def test_serve_needs_a_transport(self, tmp_path, capsys):
+        base = tmp_path / "b.bit"
+        base.write_bytes(b"")
+        rc = main(["serve", "-p", "XCV50", "--base", str(base)])
+        assert rc == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_submit_needs_xdl(self, tmp_path, capsys):
+        """--stats/--shutdown aside, a submit without --xdl is usage."""
+        import json
+        import socket
+        import threading
+
+        sock_path = str(tmp_path / "fake2.sock")
+        srv = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        srv.bind(sock_path)
+        srv.listen(1)
+        thread = threading.Thread(
+            target=lambda: (srv.accept(), None), daemon=True
+        )
+        thread.start()
+        rc = main(["submit", "--socket", sock_path])
+        srv.close()
+        assert rc == 2

@@ -1,0 +1,268 @@
+"""DiskCache / PersistentFrameCache: persistence, locking, eviction,
+cross-process single-flight, and survival of an unclean death (kill -9).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.batch.cache import FrameCache
+from repro.bitstream.frames import FrameMemory
+from repro.devices import get_device
+from repro.flow.floorplan import RegionRect
+from repro.serve import DiskCache, PersistentFrameCache, region_tag
+
+KEY = "a" * 64
+DIGEST = "d" * 64
+REGION = RegionRect(0, 2, 15, 11)
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _frames(seed: int = 0) -> FrameMemory:
+    fm = FrameMemory(get_device("XCV50"))
+    rng = np.random.default_rng(seed)
+    fm.data[:] = rng.integers(0, 2**32, size=fm.data.shape,
+                              dtype=np.uint64).astype(np.uint32) & fm._payload_mask[None, :]
+    return fm
+
+
+class TestRegionTag:
+    def test_tag_shapes(self):
+        assert region_tag(REGION) == "0_2_15_11"
+        assert region_tag(None) == "none"
+
+
+class TestClearedRoundtrip:
+    def test_store_load(self, tmp_path):
+        disk = DiskCache(str(tmp_path))
+        fm = _frames(1)
+        disk.store_cleared(KEY, REGION, (fm, frozenset({3, 4, 5})))
+        loaded = disk.load_cleared(KEY, REGION)
+        assert loaded is not None
+        frames, dirty = loaded
+        assert frames == fm and frames.device.name == "XCV50"
+        assert dirty == frozenset({3, 4, 5})
+        assert disk.stats.hits == 1 and disk.stats.stores == 1
+
+    def test_absent_is_miss(self, tmp_path):
+        disk = DiskCache(str(tmp_path))
+        assert disk.load_cleared(KEY, REGION) is None
+        assert disk.load_partial(KEY, REGION, DIGEST) is None
+        assert disk.stats.misses == 2
+
+    def test_corrupt_entry_is_dropped(self, tmp_path):
+        disk = DiskCache(str(tmp_path))
+        path = disk.cleared_path(KEY, REGION)
+        with open(path, "wb") as f:
+            f.write(b"this is not an npz")
+        assert disk.load_cleared(KEY, REGION) is None
+        assert not os.path.exists(path), "corrupt entry must be deleted"
+        assert disk.stats.misses == 1
+
+    def test_tmp_litter_is_ignored(self, tmp_path):
+        disk = DiskCache(str(tmp_path), max_bytes=10_000_000)
+        litter = os.path.join(str(tmp_path), "partials", "torn.tmp")
+        with open(litter, "wb") as f:
+            f.write(b"x" * 100)
+        disk.store_partial(KEY, REGION, DIGEST, b"payload")
+        assert disk.load_partial(KEY, REGION, DIGEST) == b"payload"
+        assert disk.size_bytes() == len(b"payload")
+
+
+class TestPartialsAndEviction:
+    def test_partial_roundtrip_region_none(self, tmp_path):
+        disk = DiskCache(str(tmp_path))
+        disk.store_partial(KEY, None, DIGEST, b"\x00\x01\x02")
+        assert disk.load_partial(KEY, None, DIGEST) == b"\x00\x01\x02"
+
+    def test_lru_eviction_prefers_cold_entries(self, tmp_path):
+        disk = DiskCache(str(tmp_path), max_bytes=3500)
+        digests = [str(i) * 64 for i in range(3)]
+        for i, digest in enumerate(digests):
+            disk.store_partial(KEY, None, digest, bytes(1000))
+            os.utime(disk.partial_path(KEY, None, digest),
+                     (i + 1, i + 1))  # deterministic recency order
+        # touch entry 0 so entry 1 is now the coldest
+        assert disk.load_partial(KEY, None, digests[0]) is not None
+        disk.store_partial(KEY, None, "f" * 64, bytes(1000))
+        assert disk.stats.evictions >= 1
+        assert disk.size_bytes() <= 3500
+        assert disk.load_partial(KEY, None, digests[1]) is None  # evicted
+        assert disk.load_partial(KEY, None, "f" * 64) is not None
+        assert disk.load_partial(KEY, None, digests[0]) is not None  # kept
+
+    def test_max_bytes_must_be_positive(self, tmp_path):
+        from repro.errors import ServeError
+
+        with pytest.raises(ServeError):
+            DiskCache(str(tmp_path), max_bytes=0)
+
+
+class TestPersistentFrameCache:
+    def test_second_cache_fetches_from_disk(self, tmp_path):
+        disk = DiskCache(str(tmp_path))
+        fm = _frames(2)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return fm, frozenset({9})
+
+        first = PersistentFrameCache(disk)
+        out1 = first.cleared(KEY, REGION, factory)
+        assert len(calls) == 1 and first.stats.misses == 1
+
+        # a fresh in-memory cache over the same disk: factory must NOT run
+        second = PersistentFrameCache(DiskCache(str(tmp_path)))
+        out2 = second.cleared(KEY, REGION, factory)
+        assert len(calls) == 1
+        assert second.stats.hits == 1 and second.stats.misses == 0
+        assert out2[0] == out1[0] and out2[1] == out1[1]
+
+    def test_thread_stress_exactly_one_compute(self, tmp_path):
+        """Satellite (c): N threads, one key -> one compute, stats add up."""
+        disk = DiskCache(str(tmp_path))
+        cache = PersistentFrameCache(disk)
+        computes = []
+        gate = threading.Barrier(8)
+        results = []
+
+        def worker():
+            def factory():
+                computes.append(threading.get_ident())
+                time.sleep(0.05)  # widen the race window
+                return _frames(3), frozenset({1})
+
+            gate.wait()
+            results.append(cache.cleared(KEY, REGION, factory))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(computes) == 1
+        assert cache.stats.misses == 1 and cache.stats.hits == 7
+        assert all(r[0] is results[0][0] for r in results)
+
+    def test_disk_backed_thread_stress_two_caches(self, tmp_path):
+        """Same stress, but threads split across two cache instances sharing
+        one disk root: still exactly one compute (the file lock arbitrates)."""
+        caches = [PersistentFrameCache(DiskCache(str(tmp_path)))
+                  for _ in range(2)]
+        computes = []
+        gate = threading.Barrier(6)
+
+        def worker(i):
+            def factory():
+                computes.append(i)
+                time.sleep(0.05)
+                return _frames(4), frozenset()
+
+            gate.wait()
+            caches[i % 2].cleared(KEY, REGION, factory)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(computes) == 1
+        total = sum(c.stats.hits + c.stats.misses for c in caches)
+        assert total == 6
+
+
+WORKER_SCRIPT = """
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.serve import DiskCache, PersistentFrameCache
+from repro.bitstream.frames import FrameMemory
+from repro.devices import get_device
+from repro.flow.floorplan import RegionRect
+
+root, marker = sys.argv[1], sys.argv[2]
+cache = PersistentFrameCache(DiskCache(root))
+
+def factory():
+    with open(marker, "a") as f:
+        f.write("compute\\n")
+    time.sleep(0.4)   # long enough for the sibling to pile on the lock
+    return FrameMemory(get_device("XCV50")), frozenset({{7}})
+
+frames, dirty = cache.cleared("k" * 64, RegionRect(0, 2, 15, 11), factory)
+assert dirty == frozenset({{7}})
+print("done", cache.stats.hits, cache.stats.misses)
+"""
+
+
+class TestCrossProcess:
+    @pytest.mark.serve
+    def test_two_processes_single_flight(self, tmp_path):
+        """Two processes race one key: the file lock admits one compute;
+        the loser fetches the winner's spill from disk."""
+        script = tmp_path / "worker.py"
+        script.write_text(WORKER_SCRIPT.format(src=os.path.abspath(SRC)))
+        marker = str(tmp_path / "computes.log")
+        root = str(tmp_path / "cache")
+        procs = [
+            subprocess.Popen([sys.executable, str(script), root, marker],
+                             stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+            for _ in range(2)
+        ]
+        outs = [p.communicate(timeout=120) for p in procs]
+        for p, (out, err) in zip(procs, outs):
+            assert p.returncode == 0, err.decode()
+            assert out.decode().startswith("done")
+        with open(marker) as f:
+            computes = f.read().splitlines()
+        assert computes == ["compute"], (
+            f"expected exactly one cross-process compute, got {len(computes)}"
+        )
+
+    @pytest.mark.serve
+    def test_cache_survives_kill_minus_nine(self, tmp_path):
+        """A process is SIGKILLed after populating the cache; a new process
+        (here: a new DiskCache) finds every completed entry intact."""
+        script = tmp_path / "populate.py"
+        script.write_text(f"""
+import sys, time
+sys.path.insert(0, {os.path.abspath(SRC)!r})
+from repro.serve import DiskCache
+from repro.bitstream.frames import FrameMemory
+from repro.devices import get_device
+from repro.flow.floorplan import RegionRect
+
+disk = DiskCache(sys.argv[1])
+fm = FrameMemory(get_device("XCV50"))
+fm.set_bit(10, 0, 1)
+disk.store_cleared("b" * 64, RegionRect(0, 2, 15, 11), (fm, frozenset({{10}})))
+disk.store_partial("b" * 64, None, "m" * 64, b"partial-bytes")
+print("READY", flush=True)
+time.sleep(300)   # spin until killed
+""")
+        root = str(tmp_path / "cache")
+        proc = subprocess.Popen([sys.executable, str(script), root],
+                                stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        try:
+            line = proc.stdout.readline()
+            assert b"READY" in line, proc.stderr.read().decode()
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == -signal.SIGKILL
+
+        disk = DiskCache(root)
+        loaded = disk.load_cleared("b" * 64, RegionRect(0, 2, 15, 11))
+        assert loaded is not None
+        frames, dirty = loaded
+        assert frames.get_bit(10, 0) == 1 and dirty == frozenset({10})
+        assert disk.load_partial("b" * 64, None, "m" * 64) == b"partial-bytes"

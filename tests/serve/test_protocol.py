@@ -1,0 +1,167 @@
+"""JSON-lines protocol: server ops, error envelopes, pipelining, client.
+
+The server runs in a thread over a real unix socket with the fake service
+from the scheduler tests (fast, deterministic); the CLI-level tests in
+``tests/core/test_cli.py`` cover the real-generation path.
+"""
+
+import asyncio
+import base64
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceUnavailableError
+from repro.serve import JpgServer, ServeClient, decode_partial
+
+from .test_scheduler import FakeService
+
+
+def connect(path: str, deadline: float = 10.0) -> socket.socket:
+    """Connect to a unix socket, retrying the bind->listen window."""
+    end = time.monotonic() + deadline
+    while True:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(path)
+            return sock
+        except (ConnectionRefusedError, FileNotFoundError):
+            sock.close()
+            if time.monotonic() > end:
+                raise
+            time.sleep(0.01)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    service = FakeService()
+    srv = JpgServer(service, max_queue=8, workers=2)
+    sock = str(tmp_path / "jpg.sock")
+    thread = threading.Thread(
+        target=lambda: asyncio.run(srv.serve_unix(sock)), daemon=True
+    )
+    thread.start()
+    connect(sock).close()  # wait until the server is actually listening
+    yield {"sock": sock, "service": service, "thread": thread}
+    if thread.is_alive():
+        try:
+            with ServeClient(sock) as c:
+                c.shutdown()
+        except ServiceUnavailableError:
+            pass
+        thread.join(timeout=10)
+
+
+class TestOps:
+    def test_ping(self, server):
+        with ServeClient(server["sock"]) as client:
+            resp = client.ping()
+        assert resp["ok"] and resp["op"] == "pong"
+
+    def test_stats(self, server):
+        with ServeClient(server["sock"]) as client:
+            resp = client.stats()
+        assert resp["ok"] and resp["pending"] == 0
+        assert resp["stats"] == {"calls": 0}
+
+    def test_submit_roundtrip(self, server):
+        with ServeClient(server["sock"]) as client:
+            resp = client.submit("mod", "some xdl text", region="CLB_R1C3:CLB_R4C6")
+        assert resp["ok"]
+        assert resp["name"] == "mod"
+        assert resp["part"] == "XCV50"
+        assert resp["source"] == "generated"
+        assert decode_partial(resp) == b"data:mod"
+        assert resp["size"] == len(b"data:mod")
+
+    def test_generation_failure_envelope(self, server):
+        with ServeClient(server["sock"]) as client:
+            resp = client.submit("explode", "boom")
+        assert not resp["ok"]
+        assert resp["code"] == "generation-failed"
+        assert "synthetic" in resp["error"]
+
+    def test_missing_xdl_is_bad_request(self, server):
+        with ServeClient(server["sock"]) as client:
+            resp = client.request({"op": "submit", "name": "x"})
+        assert not resp["ok"] and resp["code"] == "bad-request"
+
+    def test_unknown_op(self, server):
+        with ServeClient(server["sock"]) as client:
+            resp = client.request({"op": "frobnicate"})
+        assert not resp["ok"] and resp["code"] == "bad-request"
+        assert "frobnicate" in resp["error"]
+
+    def test_malformed_line(self, server):
+        sock = connect(server["sock"])
+        f = sock.makefile("rwb")
+        f.write(b"this is not json\n")
+        f.flush()
+        resp = json.loads(f.readline())
+        assert not resp["ok"] and resp["code"] == "bad-request"
+        sock.close()
+
+    def test_shutdown_stops_server(self, server):
+        with ServeClient(server["sock"]) as client:
+            assert client.shutdown()["ok"]
+        server["thread"].join(timeout=10)
+        assert not server["thread"].is_alive()
+        with pytest.raises(ServiceUnavailableError):
+            ServeClient(server["sock"]).ping()
+
+
+class TestPipelining:
+    def test_many_submits_one_connection(self, server):
+        """Responses are id-matched, whatever order they complete in."""
+        sock = connect(server["sock"])
+        f = sock.makefile("rwb")
+        for i in range(5):
+            f.write((json.dumps({
+                "op": "submit", "id": i, "name": f"m{i}", "xdl": f"xdl {i}",
+            }) + "\n").encode())
+        f.flush()
+        got = {}
+        for _ in range(5):
+            resp = json.loads(f.readline())
+            got[resp["id"]] = resp
+        sock.close()
+        assert sorted(got) == list(range(5))
+        for i, resp in got.items():
+            assert resp["ok"]
+            assert base64.b64decode(resp["data"]) == f"data:m{i}".encode()
+
+    def test_interleaved_ping_answers_before_slow_submit(self, tmp_path):
+        service = FakeService(delay=0.3)
+        srv = JpgServer(service, max_queue=8, workers=2)
+        path = str(tmp_path / "s.sock")
+        thread = threading.Thread(
+            target=lambda: asyncio.run(srv.serve_unix(path)), daemon=True
+        )
+        thread.start()
+        sock = connect(path)
+        f = sock.makefile("rwb")
+        f.write(b'{"op": "submit", "id": 1, "name": "slow", "xdl": "x"}\n')
+        f.write(b'{"op": "ping", "id": 2}\n')
+        f.flush()
+        first = json.loads(f.readline())
+        second = json.loads(f.readline())
+        sock.close()
+        assert first["id"] == 2 and first["op"] == "pong"
+        assert second["id"] == 1 and second["ok"]
+        with ServeClient(path) as c:
+            c.shutdown()
+        thread.join(timeout=10)
+
+
+class TestClient:
+    def test_connect_failure_raises_unavailable(self, tmp_path):
+        with pytest.raises(ServiceUnavailableError) as exc:
+            ServeClient(str(tmp_path / "absent.sock"))
+        assert "cannot reach" in str(exc.value)
+
+    def test_decode_partial_rejects_failures(self):
+        with pytest.raises(ServiceUnavailableError):
+            decode_partial({"ok": False, "error": "nope"})

@@ -1,0 +1,83 @@
+"""GenerationService: request shaping, failure modes, deploy-on-generate.
+
+Real-generation paths (cold/warm/byte-identity) live in the differential
+and CLI suites; this file covers the service's own contract.
+"""
+
+import pytest
+
+from repro.errors import UsageError
+from repro.serve import GenRequest, GenerationService
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture(scope="module")
+def service(demo_project, tmp_path_factory):
+    return GenerationService(
+        "XCV50", demo_project.base_bitfile,
+        cache_dir=str(tmp_path_factory.mktemp("svc-cache")),
+    )
+
+
+def request_for(demo_project, region="r1", version="down"):
+    mv = demo_project.versions[(region, version)]
+    return GenRequest(
+        name=f"{region}/{version}", xdl=mv.xdl, ucf=mv.ucf,
+        region=demo_project.regions[region].to_ucf(),
+    )
+
+
+class TestRequests:
+    def test_bad_granularity_is_usage_error(self):
+        req = GenRequest(name="x", xdl="text", granularity="nibble")
+        with pytest.raises(UsageError):
+            req.to_item(check_interface=False)
+
+    def test_partial_key_coordinates(self, service, demo_project):
+        req = request_for(demo_project)
+        base, region, digest = service.partial_key(req)
+        assert base == service.base_key
+        assert region != "none"
+        assert digest == req.digest()
+
+    def test_generation_failure_is_a_result_not_an_exception(self, service):
+        req = GenRequest(name="nowhere", xdl="design bad XCV50;")
+        result = service.generate(req)
+        assert not result.ok
+        assert result.data is None and result.size == 0
+        assert service.metrics.counter("serve.failures") >= 1
+
+    def test_stats_shape(self, service):
+        stats = service.stats()
+        assert stats["part"] == "XCV50"
+        assert len(stats["base_key"]) == 64
+        assert stats["full_size"] > 0
+        assert "disk" in stats and stats["disk"]["root"]
+        assert isinstance(stats["counters"], dict)
+
+
+class TestDeployOnGenerate:
+    def test_generated_partial_reaches_the_board(self, demo_project, tmp_path):
+        from repro.hwsim import Board
+        from repro.jbits import SimulatedXhwif
+
+        board = Board("XCV50")
+        svc = GenerationService(
+            "XCV50", demo_project.base_bitfile,
+            cache_dir=str(tmp_path / "cache"),
+            xhwif=SimulatedXhwif(board),
+        )
+        result = svc.generate(request_for(demo_project))
+        assert result.ok, result.error
+        assert result.deployed
+        assert svc.metrics.counter("serve.deploys") == 1
+
+        # a second (disk-served) request deploys the cached bytes too
+        again = svc.generate(request_for(demo_project))
+        assert again.source == "disk" and again.deployed
+        assert svc.metrics.counter("serve.deploys") == 2
+
+    def test_no_board_no_deploy_flag(self, service, demo_project):
+        result = service.generate(request_for(demo_project, version="up"))
+        assert result.ok and not result.deployed
