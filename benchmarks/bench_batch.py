@@ -17,8 +17,6 @@ Claims measured here:
 
 import time
 
-import pytest
-
 from repro.batch import BatchJpg, FrameCache, items_from_project
 from repro.core import Jpg
 from repro.obs import Metrics

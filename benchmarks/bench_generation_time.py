@@ -17,7 +17,6 @@ import pytest
 
 from repro.baselines.jbitsdiff import extract_core, replay_core
 from repro.baselines.parbit import ParbitOptions, parbit
-from repro.bitstream.bitgen import generate_frames
 from repro.core import Jpg
 from repro.jbits import JBits
 from repro.ucf.parser import parse_ucf

@@ -1,0 +1,87 @@
+"""ANALYZE — what the pre-deploy verifier costs, next to what it saves.
+
+The static verifier (`jpg lint`, `PreDeployGate`) runs in-line with
+deployment and serving, so its cost is part of every guarded download.
+These benches measure the three tiers separately on the Figure-4
+partials:
+
+* raw stream decoding (sync hunt, packets, CRC, FAR tracking) — the
+  floor every rule family pays;
+* a full single-target lint with region, design, and UCF in hand — the
+  `jpg lint` steady state;
+* the composite gate over one partial per region — what `jpg deploy
+  --lint` adds before the first byte reaches the board.
+
+Every timed call is also checked clean: the shipped partials must lint
+with zero findings, otherwise the timing is measuring error paths.
+"""
+
+import pytest
+
+from repro.analyze import LintTarget, PreDeployGate, RuleEngine, decode_stream
+from repro.devices import get_device
+from repro.ucf.parser import parse_ucf
+
+from .conftest import BENCH_PART
+
+
+@pytest.fixture(scope="module")
+def device():
+    return get_device(BENCH_PART)
+
+
+@pytest.fixture(scope="module")
+def targets(fig4_project, fig4_partials):
+    """Full-context lint targets, one per generated partial."""
+    out = {}
+    for (region, version), partial in sorted(fig4_partials.items()):
+        mv = fig4_project.versions[(region, version)]
+        out[(region, version)] = LintTarget(
+            f"{region}-{version}",
+            data=partial.data,
+            region=fig4_project.regions[region],
+            design=mv.design,
+            constraints=parse_ucf(mv.ucf).constraints,
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def one_per_region(targets):
+    """A deployable set: one version per region, disjoint by construction."""
+    picked = {}
+    for (region, _version), target in sorted(targets.items()):
+        picked.setdefault(region, target)
+    return list(picked.values())
+
+
+class TestLintCost:
+    def test_decode_stream(self, benchmark, device, targets):
+        target = next(iter(targets.values()))
+
+        model = benchmark(lambda: decode_stream(device, target.data))
+        assert model.findings == []
+        assert model.writes
+
+    def test_single_target_full_context(self, benchmark, device, targets):
+        engine = RuleEngine(device)
+        target = next(iter(targets.values()))
+
+        report = benchmark(lambda: engine.run([target]))
+        assert report.ok(strict=True)
+
+    def test_sweep_all_partials(self, benchmark, device, targets):
+        """Each partial linted alone — the `jpg lint` batch shape."""
+        engine = RuleEngine(device)
+        sweep = list(targets.values())
+
+        reports = benchmark(lambda: [engine.run([t]) for t in sweep])
+        assert all(r.ok(strict=True) for r in reports)
+
+    def test_gate_one_per_region(self, benchmark, device, one_per_region):
+        """The deploy-time composite: streams + duplicates + conflicts."""
+        gate = PreDeployGate(device)
+
+        report = benchmark(lambda: gate.require(one_per_region))
+        assert report.ok()
+        assert sorted(report.targets) == sorted(t.name for t in one_per_region)

@@ -10,7 +10,6 @@ import numpy as np
 import pytest
 
 from repro.bitstream.crc import ConfigCrc
-from repro.bitstream.frames import FrameMemory
 from repro.bitstream.reader import parse_bitstream
 from repro.devices import get_device
 from repro.flow.pack import pack

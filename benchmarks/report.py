@@ -14,7 +14,7 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.baselines.fullflow import enumerate_combinations, run_full_flow_baseline
+from repro.baselines.fullflow import enumerate_combinations
 from repro.baselines.jbitsdiff import extract_core
 from repro.baselines.parbit import ParbitOptions, parbit
 from repro.bitstream.assembler import full_stream, partial_stream

@@ -1,0 +1,47 @@
+"""Static analysis of designs and partial bitstreams (``jpg lint``).
+
+Four rule families, all checked without replaying anything on a device
+model:
+
+* ``S*`` — packet-stream lint (:mod:`.stream`): CRC mismatches, word
+  alignment, read-only register writes, frame-count/header disagreement;
+* ``C*`` — region containment (:mod:`.containment`): every decoded frame
+  write must land in a column the declared region sanctions;
+* ``X*`` — frame-conflict detection (:mod:`.conflict`): content-aware
+  races between partials destined for concurrent deployment;
+* ``N*`` — netlist/constraint lint (:mod:`.netlist`): placements outside
+  their RANGE, unsanctioned region-crossing nets, antenna routes.
+
+:class:`RuleEngine` runs whatever the available inputs support;
+:class:`PreDeployGate` turns blocking findings into
+:class:`~repro.errors.AnalysisError` for the runtime/serve layers.  The
+rule catalog is documented in ``docs/ANALYSIS.md``.
+"""
+
+from .conflict import check_conflicts, check_duplicates
+from .containment import check_containment, sanctioned_route_columns
+from .engine import LintTarget, RuleEngine, lint_partial
+from .findings import RULES, AnalysisReport, Finding, Rule, Severity
+from .gate import PreDeployGate
+from .netlist import check_netlist
+from .stream import FrameWrite, StreamModel, decode_stream
+
+__all__ = [
+    "RULES",
+    "AnalysisReport",
+    "Finding",
+    "FrameWrite",
+    "LintTarget",
+    "PreDeployGate",
+    "Rule",
+    "RuleEngine",
+    "Severity",
+    "StreamModel",
+    "check_conflicts",
+    "check_containment",
+    "check_duplicates",
+    "check_netlist",
+    "decode_stream",
+    "lint_partial",
+    "sanctioned_route_columns",
+]

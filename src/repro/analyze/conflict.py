@@ -1,0 +1,88 @@
+"""Cross-partial frame-conflict ("race") detection (the ``X*`` family).
+
+Given N partials destined for concurrent deployment, two streams that
+write the same frame with *different* content race: whichever lands last
+wins, and the design on the device depends on deployment order.  The
+static decoder records a content digest per frame write
+(:class:`~repro.analyze.stream.FrameWrite`), so conflicts are detected
+content-aware: identical payloads (e.g. shared clock-column state both
+partials carry verbatim) commute and are not flagged.
+
+``X003`` applies the same idea within a single stream — a frame written
+twice by one partial — mirroring the assembler invariant
+(:func:`repro.bitstream.assembler.partial_stream` refuses duplicate
+frame indices outright).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..flow.floorplan import RegionRect
+from .findings import Finding, Severity, rule
+from .stream import StreamModel
+
+X001 = rule("X001", "frame-conflict", Severity.ERROR,
+            "two partials write the same frame with different content; "
+            "deployment order decides which survives")
+X002 = rule("X002", "region-overlap", Severity.WARNING,
+            "the declared regions overlap; concurrent deployment is only "
+            "safe if the partials never disagree on shared frames")
+X003 = rule("X003", "duplicate-frame-write", Severity.ERROR,
+            "one stream writes the same frame twice; later writes "
+            "silently shadow earlier ones")
+
+
+def check_duplicates(model: StreamModel) -> list[Finding]:
+    """``X003``: repeated writes to one frame inside a single stream."""
+    findings: list[Finding] = []
+    seen: dict[int, str] = {}
+    reported: set[int] = set()
+    for w in model.writes:
+        prev = seen.get(w.index)
+        if prev is None:
+            seen[w.index] = w.digest
+            continue
+        if w.index in reported:
+            continue
+        reported.add(w.index)
+        same = prev == w.digest
+        findings.append(Finding(
+            X003, model.subject,
+            f"frame {w.index} written more than once "
+            f"({'identical' if same else 'differing'} content)",
+            severity=Severity.WARNING if same else Severity.ERROR,
+            frame=w.index,
+            address=w.address,
+        ))
+    return findings
+
+
+def check_conflicts(
+    models: list[StreamModel],
+    regions: dict[str, RegionRect] | None = None,
+) -> list[Finding]:
+    """``X001``/``X002`` across a set of partials deployed together."""
+    findings: list[Finding] = []
+    regions = regions or {}
+    frame_maps = [(m, m.frames_by_index()) for m in models]
+    for (ma, fa), (mb, fb) in combinations(frame_maps, 2):
+        pair = f"{ma.subject}+{mb.subject}"
+        shared = sorted(set(fa) & set(fb))
+        conflicting = [i for i in shared if fa[i].digest != fb[i].digest]
+        if conflicting:
+            first = conflicting[0]
+            findings.append(Finding(
+                X001, pair,
+                f"{len(conflicting)} frame(s) written by both with "
+                f"differing content (first: frame {first})",
+                frame=first,
+                address=fa[first].address,
+            ))
+        ra, rb = regions.get(ma.subject), regions.get(mb.subject)
+        if ra is not None and rb is not None and ra.overlaps(rb):
+            findings.append(Finding(
+                X002, pair,
+                f"declared regions {ra.to_ucf()} and {rb.to_ucf()} overlap",
+            ))
+    return findings

@@ -1,0 +1,120 @@
+"""Region containment (the ``C*`` rule family).
+
+The paper's safety argument is that a partial bitstream touches only the
+configuration frames of its floorplanned region.  These checks prove it
+from the decoded stream alone: every frame write must land in a column
+the region *sanctions* — the region's own CLB columns, the clock column
+(global clock state rides along with any partial), and, when the
+module's physical design is available, the columns its boundary routing
+legitimately spills into (IO nets to edge pads widen a partial's column
+span; see :func:`repro.core.verify.check_module_in_region`).
+
+Without a design there is no way to tell a sanctioned boundary spill
+from a real escape, so out-of-region CLB writes degrade to warnings;
+with a design they are errors.
+"""
+
+from __future__ import annotations
+
+from ..devices import ColumnKind, Device
+from ..flow.floorplan import RegionRect
+from ..flow.ncd import NcdDesign, PhysNet
+from .findings import Finding, Severity, rule
+from .stream import StreamModel
+
+C001 = rule("C001", "frame-outside-region", Severity.ERROR,
+            "the partial writes CLB columns the declared region does not "
+            "sanction; re-floorplan or fix the region declaration")
+C002 = rule("C002", "unexpected-column-kind", Severity.WARNING,
+            "the partial writes IOB/BRAM columns its design gives no "
+            "reason to touch")
+C003 = rule("C003", "region-exceeds-device", Severity.ERROR,
+            "the declared region does not fit on the device; fix the "
+            "RANGE constraint")
+
+
+def net_is_sanctioned(design: NcdDesign, net: PhysNet) -> bool:
+    """A boundary net allowed to cross the region edge: the clock tree,
+    or any net with an IOB/GCLK terminal (module IO must reach pads)."""
+    if net.is_clock:
+        return True
+    comps = {net.source.comp} | {s.ref.comp for s in net.sinks}
+    return any(c in design.iobs or c in design.gclks for c in comps)
+
+
+def sanctioned_route_columns(design: NcdDesign) -> set[int]:
+    """CLB columns that sanctioned boundary nets route through."""
+    cols: set[int] = set()
+    for net in design.nets.values():
+        if net_is_sanctioned(design, net):
+            cols.update(col for _, col, _ in net.pips)
+    return cols
+
+
+def check_containment(
+    device: Device,
+    model: StreamModel,
+    region: RegionRect,
+    design: NcdDesign | None = None,
+) -> list[Finding]:
+    """Prove every frame write of ``model`` falls in ``region``."""
+    findings: list[Finding] = []
+    subject = model.subject
+    if region.clip_to(device) != region:
+        findings.append(Finding(
+            C003, subject,
+            f"region {region.to_ucf()} exceeds the {device.name} array "
+            f"({device.rows}x{device.cols})",
+        ))
+        return findings
+
+    allowed_clb = set(region.clb_columns())
+    route_cols: set[int] = set()
+    if design is not None:
+        route_cols = sanctioned_route_columns(design)
+
+    # one finding per offending column, not per frame
+    offenders: dict[int, list] = {}
+    kind_offenders: dict[str, list] = {}
+    for w in model.writes:
+        col = device.geometry.column(w.major)
+        if col.kind is ColumnKind.CLOCK:
+            continue
+        if col.kind is ColumnKind.CLB:
+            assert col.clb_col is not None
+            if col.clb_col in allowed_clb or col.clb_col in route_cols:
+                continue
+            offenders.setdefault(col.clb_col, []).append(w)
+        elif col.kind is ColumnKind.IOB:
+            if design is None or design.iobs:
+                continue
+            kind_offenders.setdefault("IOB", []).append(w)
+        else:                              # BRAM interconnect/content
+            kind_offenders.setdefault(col.kind.value, []).append(w)
+
+    severity = Severity.ERROR if design is not None else Severity.WARNING
+    proof = ("not sanctioned by the design's boundary routing"
+             if design is not None
+             else "possibly boundary routing (no design to prove it)")
+    for clb_col in sorted(offenders):
+        writes = offenders[clb_col]
+        first = writes[0]
+        findings.append(Finding(
+            C001, subject,
+            f"{len(writes)} frame(s) written in CLB column {clb_col + 1}, "
+            f"outside region {region.to_ucf()} ({proof})",
+            severity=severity,
+            frame=first.index,
+            address=first.address,
+        ))
+    for kind in sorted(kind_offenders):
+        writes = kind_offenders[kind]
+        first = writes[0]
+        findings.append(Finding(
+            C002, subject,
+            f"{len(writes)} frame(s) written in {kind} column(s) the "
+            f"design does not use",
+            frame=first.index,
+            address=first.address,
+        ))
+    return findings

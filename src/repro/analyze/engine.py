@@ -1,0 +1,129 @@
+"""The rule engine: one entry point over every rule family.
+
+A :class:`LintTarget` bundles whatever is known about one artifact — a
+partial's config bytes, its declared region, its physical design, its
+UCF constraints — and :class:`RuleEngine` runs every rule the available
+inputs support: stream lint needs bytes, containment needs bytes and a
+region, netlist lint needs a design, conflict detection needs two or
+more targets with bytes.  Checks never replay anything on a device
+model; each stream is decoded statically exactly once.
+
+Counters (``analyze.runs``, ``analyze.targets``, ``analyze.findings``,
+``analyze.errors``) and an ``analyze.run`` stage timer report to the
+metrics registry bound in the current context (:mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..devices import Device, get_device
+from ..errors import UsageError
+from ..flow.floorplan import Constraints, RegionRect
+from ..flow.ncd import NcdDesign
+from ..obs import current_metrics
+from .containment import check_containment
+from .conflict import check_conflicts, check_duplicates
+from .findings import AnalysisReport
+from .netlist import check_netlist
+from .stream import StreamModel, decode_stream
+
+
+@dataclass
+class LintTarget:
+    """Everything known about one artifact under analysis."""
+
+    name: str
+    data: bytes | None = None            # partial config bytes
+    region: RegionRect | None = None     # declared region
+    design: NcdDesign | None = None      # module physical design
+    constraints: Constraints | None = None   # parsed UCF constraints
+
+    def effective_region(self) -> RegionRect | None:
+        """The declared region, falling back to a single UCF RANGE."""
+        if self.region is not None:
+            return self.region
+        if self.constraints is not None:
+            ranges = [g.range for g in self.constraints.groups
+                      if g.range is not None]
+            if len(ranges) == 1:
+                return ranges[0]
+        return None
+
+
+class RuleEngine:
+    """Run every applicable rule family over a set of targets."""
+
+    def __init__(self, device: Device | str | None = None, *,
+                 conflicts: bool = True):
+        if isinstance(device, str):
+            device = get_device(device)
+        self.device = device
+        self.conflicts = conflicts
+
+    def _device_for(self, targets: list[LintTarget]) -> Device:
+        if self.device is not None:
+            return self.device
+        for t in targets:
+            if t.design is not None:
+                return t.design.device
+        raise UsageError(
+            "lint needs a device: pass one to RuleEngine or include a "
+            "target with a design"
+        )
+
+    def run(self, targets: list[LintTarget]) -> AnalysisReport:
+        metrics = current_metrics()
+        start = time.perf_counter()
+        report = AnalysisReport(targets=[t.name for t in targets])
+        models: list[StreamModel] = []
+        regions: dict[str, RegionRect] = {}
+        for target in targets:
+            region = target.effective_region()
+            if region is not None:
+                regions[target.name] = region
+            if target.data is not None:
+                device = self._device_for(targets)
+                model = decode_stream(device, target.data,
+                                      subject=target.name)
+                models.append(model)
+                report.extend(model.findings)
+                report.extend(check_duplicates(model))
+                if region is not None:
+                    report.extend(check_containment(
+                        device, model, region, target.design
+                    ))
+            if target.design is not None:
+                report.extend(check_netlist(
+                    target.design,
+                    subject=target.name,
+                    region=region,
+                    constraints=target.constraints,
+                ))
+        if self.conflicts and len(models) > 1:
+            report.extend(check_conflicts(models, regions))
+        metrics.count("analyze.runs")
+        metrics.count("analyze.targets", len(targets))
+        metrics.count("analyze.findings", len(report.findings))
+        metrics.count("analyze.errors", len(report.errors))
+        metrics.record("analyze.run", time.perf_counter() - start,
+                       targets=len(targets), findings=len(report.findings))
+        return report
+
+
+def lint_partial(
+    device: Device | str,
+    data: bytes,
+    *,
+    name: str = "partial",
+    region: RegionRect | None = None,
+    design: NcdDesign | None = None,
+    constraints: Constraints | None = None,
+) -> AnalysisReport:
+    """One-shot lint of a single partial bitstream."""
+    engine = RuleEngine(device)
+    return engine.run([LintTarget(
+        name, data=data, region=region, design=design,
+        constraints=constraints,
+    )])

@@ -1,0 +1,173 @@
+"""Structured diagnostics: rules, findings, and analysis reports.
+
+Every check in :mod:`repro.analyze` reports through this module: a
+:class:`Rule` describes *what kind* of defect a check looks for (stable
+id, default severity, fix hint), a :class:`Finding` is *one occurrence*
+(subject, message, frame/site/net location), and an
+:class:`AnalysisReport` aggregates findings across targets with the
+render/serialize helpers the ``jpg lint`` CLI uses.
+
+Rule ids are grouped by family — ``S*`` packet-stream lint, ``C*``
+region containment, ``X*`` cross-partial conflicts, ``N*``
+netlist/constraint lint — and the full catalog lives in
+``docs/ANALYSIS.md`` (``tools/docs_check.py`` enforces that every id
+registered here is documented there).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+from .. import utils
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordering is meaningful (ERROR > WARNING)."""
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered analysis rule."""
+
+    id: str
+    title: str
+    severity: Severity
+    hint: str
+
+
+#: Every registered rule, by id (populated by :func:`rule` at import time).
+RULES: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, title: str, severity: Severity, hint: str) -> Rule:
+    """Register a rule in the catalog (ids must be unique)."""
+    if rule_id in RULES:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    r = Rule(rule_id, title, severity, hint)
+    RULES[rule_id] = r
+    return r
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``severity`` defaults to the rule's but may be downgraded per
+    occurrence (e.g. containment escapes become warnings when no design
+    is available to prove them unsanctioned).
+    """
+
+    rule: Rule
+    subject: str                    # which target (partial/design name)
+    message: str
+    severity: Severity | None = None
+    frame: int | None = None        # linear frame index
+    address: str | None = None      # "major.minor" frame address
+    site: str | None = None         # CLB/IOB site name
+    net: str | None = None
+    hint: str | None = None
+
+    @property
+    def effective_severity(self) -> Severity:
+        return self.severity if self.severity is not None else self.rule.severity
+
+    @property
+    def location(self) -> str:
+        parts = []
+        if self.frame is not None:
+            parts.append(f"frame {self.frame}")
+        if self.address is not None:
+            parts.append(f"@{self.address}")
+        if self.site is not None:
+            parts.append(self.site)
+        if self.net is not None:
+            parts.append(f"net {self.net}")
+        return " ".join(parts) or "-"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule.id,
+            "title": self.rule.title,
+            "severity": str(self.effective_severity),
+            "subject": self.subject,
+            "message": self.message,
+            "frame": self.frame,
+            "address": self.address,
+            "site": self.site,
+            "net": self.net,
+            "hint": self.hint if self.hint is not None else self.rule.hint,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """All findings of one :meth:`RuleEngine.run` across its targets."""
+
+    findings: list[Finding] = field(default_factory=list)
+    targets: list[str] = field(default_factory=list)
+
+    def extend(self, findings: list[Finding]) -> None:
+        self.findings.extend(findings)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings
+                if f.effective_severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings
+                if f.effective_severity is Severity.WARNING]
+
+    def ok(self, *, strict: bool = False) -> bool:
+        """Clean bill of health: no errors (and, in strict mode, no
+        warnings either)."""
+        if strict:
+            return not self.findings
+        return not self.errors
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule.id] = counts.get(f.rule.id, 0) + 1
+        return counts
+
+    def table(self) -> str:
+        """The human-readable table ``jpg lint`` prints."""
+        ordered = sorted(
+            self.findings,
+            key=lambda f: (-int(f.effective_severity), f.subject, f.rule.id),
+        )
+        rows = [
+            (f.rule.id, str(f.effective_severity), f.subject, f.location,
+             f.message)
+            for f in ordered
+        ]
+        return utils.format_table(
+            ["rule", "severity", "target", "location", "message"], rows
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.targets)} target(s): {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "targets": list(self.targets),
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

@@ -1,0 +1,74 @@
+"""The pre-deploy gate: static analysis as a go/no-go check.
+
+:class:`PreDeployGate` wraps a :class:`~repro.analyze.engine.RuleEngine`
+for the runtime and serve layers: before any configuration bytes reach a
+board (or a client), the gate decodes every stream statically, runs
+duplicate/conflict detection across the set, and — on blocking findings
+— raises :class:`~repro.errors.AnalysisError` carrying the findings, so
+nothing is ever half-deployed.
+
+The gate deliberately checks only the *partial* streams of a deployment:
+the base configuration writes every frame of the device by construction,
+so containment/conflict rules are meaningless for it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..devices import Device
+from ..errors import AnalysisError
+from ..obs import current_metrics
+from .engine import LintTarget, RuleEngine
+from .findings import AnalysisReport
+
+
+def _as_target(item: object) -> LintTarget:
+    """Accept (name, bytes) pairs, DeployItem-likes, or LintTargets."""
+    if isinstance(item, LintTarget):
+        return item
+    if isinstance(item, tuple) and len(item) == 2:
+        name, data = item
+        return LintTarget(str(name), data=bytes(data))
+    name = getattr(item, "name", None)
+    data = getattr(item, "stream", None)
+    if data is None:
+        data = getattr(item, "data", None)
+    if name is None or data is None:
+        raise TypeError(
+            f"cannot lint {item!r}: expected a LintTarget, a (name, bytes) "
+            f"pair, or an object with .name and .stream/.data"
+        )
+    return LintTarget(str(name), data=bytes(data))
+
+
+class PreDeployGate:
+    """Block deployments whose streams fail static analysis."""
+
+    def __init__(self, device: Device | str, *, strict: bool = False,
+                 conflicts: bool = True):
+        self.engine = RuleEngine(device, conflicts=conflicts)
+        self.strict = strict
+
+    def check(self, items: Iterable[object]) -> AnalysisReport:
+        """Analyze the streams; never raises on findings."""
+        return self.engine.run([_as_target(i) for i in items])
+
+    def require(self, items: Iterable[object]) -> AnalysisReport:
+        """Analyze and raise :class:`AnalysisError` on blocking findings."""
+        report = self.check(items)
+        metrics = current_metrics()
+        if not report.ok(strict=self.strict):
+            blocking = (report.findings if self.strict else report.errors)
+            metrics.count("analyze.gate.blocked")
+            summary = "; ".join(
+                f"{f.rule.id} {f.subject}: {f.message}" for f in blocking[:3]
+            )
+            more = f" (+{len(blocking) - 3} more)" if len(blocking) > 3 else ""
+            raise AnalysisError(
+                f"pre-deploy gate blocked {len(blocking)} finding(s): "
+                f"{summary}{more}",
+                findings=blocking,
+            )
+        metrics.count("analyze.gate.passed")
+        return report

@@ -1,0 +1,141 @@
+"""Netlist and constraint lint (the ``N*`` rule family).
+
+Static checks over a physical design (:class:`~repro.flow.ncd.NcdDesign`)
+and its UCF constraints — the front half of the containment story: a
+module whose *placement* already escapes its RANGE will produce a
+partial that escapes its region, so these rules catch the defect one
+stage earlier and point at sites and nets instead of frames.
+
+Escape detection uses the same boundary-net sanction as the stream-side
+containment rules (:func:`repro.analyze.containment.net_is_sanctioned`):
+the clock tree and nets with IOB/GCLK terminals legitimately cross
+region edges; everything else must route inside its region's columns.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+
+from ..devices import slice_site_name
+from ..flow.floorplan import Constraints, RegionRect
+from ..flow.ncd import NcdDesign
+from .containment import net_is_sanctioned
+from .findings import Finding, Severity, rule
+
+N001 = rule("N001", "placement-outside-region", Severity.ERROR,
+            "the component is placed outside its RANGE/region; re-place "
+            "with the constraint applied")
+N002 = rule("N002", "unplaced-component", Severity.ERROR,
+            "the design is not fully placed; run placement before "
+            "generating a partial")
+N003 = rule("N003", "unrouted-net", Severity.ERROR,
+            "the design is not fully routed; run routing before "
+            "generating a partial")
+N004 = rule("N004", "antenna-net", Severity.ERROR,
+            "the net occupies routing (PIPs) but reaches no sink; remove "
+            "the dangling route")
+N005 = rule("N005", "net-escapes-region", Severity.ERROR,
+            "an internal net routes through columns outside the region "
+            "without an IOB/clock terminal sanctioning the crossing")
+N006 = rule("N006", "loc-mismatch", Severity.ERROR,
+            "the component is placed on a different site than its LOC "
+            "constraint pins it to")
+
+
+def _range_for(name: str, constraints: Constraints | None,
+               region: RegionRect | None) -> RegionRect | None:
+    """The rectangle that constrains one instance: its area group's
+    RANGE when the UCF names one, else the target's declared region."""
+    if constraints is not None:
+        group = constraints.group_of(name)
+        if group is not None and group.range is not None:
+            return group.range
+    return region
+
+
+def check_netlist(
+    design: NcdDesign,
+    *,
+    subject: str,
+    region: RegionRect | None = None,
+    constraints: Constraints | None = None,
+) -> list[Finding]:
+    """Run every ``N*`` rule over one physical design."""
+    findings: list[Finding] = []
+
+    # placement: every comp placed, and inside its rectangle
+    for comp in design.slices.values():
+        if comp.site is None:
+            findings.append(Finding(
+                N002, subject, f"slice {comp.name!r} is not placed",
+            ))
+            continue
+        row, col, s = comp.site
+        rect = _range_for(comp.name, constraints, region)
+        if rect is not None and not rect.contains(row, col):
+            findings.append(Finding(
+                N001, subject,
+                f"slice {comp.name!r} placed outside {rect.to_ucf()}",
+                site=slice_site_name(row, col, s),
+            ))
+    for iob in design.iobs.values():
+        if iob.site is None:
+            findings.append(Finding(
+                N002, subject, f"IOB {iob.name!r} is not placed",
+            ))
+
+    # routing: complete, no antennas, no unsanctioned escapes
+    for net in design.nets.values():
+        if net.pips and not net.sinks:
+            findings.append(Finding(
+                N004, subject,
+                f"net {net.name!r} occupies {len(net.pips)} PIP(s) but "
+                f"has no sinks",
+                net=net.name,
+            ))
+            continue
+        if net.sinks and not net.routed:
+            findings.append(Finding(
+                N003, subject, f"net {net.name!r} is not routed",
+                net=net.name,
+            ))
+            continue
+        rect = _range_for(net.source.comp, constraints, region)
+        if rect is None or net_is_sanctioned(design, net):
+            continue
+        allowed = set(rect.clb_columns())
+        escaped = sorted({col for _, col, _ in net.pips
+                          if col not in allowed})
+        if escaped:
+            findings.append(Finding(
+                N005, subject,
+                f"net {net.name!r} routes through CLB column(s) "
+                f"{[c + 1 for c in escaped]} outside {rect.to_ucf()}",
+                net=net.name,
+            ))
+
+    # LOC constraints: pinned instances sit where the UCF says
+    if constraints is not None:
+        for pattern, loc in constraints.locs.items():
+            for comp in design.slices.values():
+                if not fnmatchcase(comp.name, pattern) or comp.site is None:
+                    continue
+                actual = slice_site_name(*comp.site)
+                if actual.upper() != loc.upper():
+                    findings.append(Finding(
+                        N006, subject,
+                        f"slice {comp.name!r} placed on {actual}, "
+                        f"LOC pins it to {loc}",
+                        site=actual,
+                    ))
+            for iob in design.iobs.values():
+                if not fnmatchcase(iob.name, pattern) or iob.site is None:
+                    continue
+                if iob.site.name.upper() != loc.upper():
+                    findings.append(Finding(
+                        N006, subject,
+                        f"IOB {iob.name!r} placed on {iob.site.name}, "
+                        f"LOC pins it to {loc}",
+                        site=iob.site.name,
+                    ))
+    return findings

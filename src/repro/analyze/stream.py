@@ -1,0 +1,341 @@
+"""Static packet-stream decoder and lint (the ``S*`` rule family).
+
+:func:`decode_stream` walks a configuration byte stream the way the
+device's config logic would — sync hunt, type-1/type-2 packets, FAR
+auto-increment, running CRC — but *statically*: nothing is written to a
+frame memory, and malformed input produces :class:`Finding` diagnostics
+instead of exceptions, so one pass reports every problem it can see.
+
+The result, a :class:`StreamModel`, records each frame write as a
+:class:`FrameWrite` with a content digest of its payload; the
+containment (``C*``) and conflict (``X*``) rules consume that model, so
+a stream is decoded exactly once per analysis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from .. import utils
+from ..bitstream.crc import ConfigCrc
+from ..bitstream.packets import (
+    CRC_COVERED,
+    DUMMY_WORD,
+    SYNC_WORD,
+    Command,
+    Opcode,
+    Register,
+    decode_header,
+    far_decode,
+)
+from ..devices import Device
+from ..errors import DeviceError, PacketError
+from .findings import Finding, Severity, rule
+
+S001 = rule("S001", "crc-mismatch", Severity.ERROR,
+            "regenerate the stream; the CRC check word does not match the "
+            "covered register writes")
+S002 = rule("S002", "not-word-aligned", Severity.ERROR,
+            "configuration streams are 32-bit word sequences; pad or fix "
+            "the truncated transfer")
+S003 = rule("S003", "readonly-register-write", Severity.ERROR,
+            "STAT and FDRO are read-only; writes indicate a corrupt or "
+            "mis-assembled stream")
+S004 = rule("S004", "frame-length-mismatch", Severity.ERROR,
+            "FDRI bursts must be a whole number of frames; check the FLR "
+            "value used at assembly time")
+S005 = rule("S005", "flr-missing-or-wrong", Severity.ERROR,
+            "program FLR with the device's frame length before any frame "
+            "data write")
+S006 = rule("S006", "idcode-mismatch", Severity.ERROR,
+            "the stream targets a different part; regenerate for this "
+            "device")
+S007 = rule("S007", "presync-garbage", Severity.ERROR,
+            "only dummy padding may precede the sync word; the stream "
+            "head is corrupt")
+S008 = rule("S008", "no-desync", Severity.WARNING,
+            "end partials with a DESYNC command so the config port "
+            "releases cleanly")
+S009 = rule("S009", "write-outside-wcfg", Severity.ERROR,
+            "issue CMD=WCFG before streaming FDRI frame data")
+S010 = rule("S010", "bad-frame-address", Severity.ERROR,
+            "the FAR value or burst length runs outside the device's "
+            "frame space")
+S011 = rule("S011", "no-crc-check", Severity.WARNING,
+            "write the accumulated CRC so the device validates the "
+            "transfer")
+S012 = rule("S012", "truncated-packet", Severity.ERROR,
+            "the header promises more data words than the stream holds")
+S013 = rule("S013", "malformed-header", Severity.ERROR,
+            "undecodable packet header; decoding cannot continue past it")
+
+
+@dataclass(frozen=True)
+class FrameWrite:
+    """One frame written by an FDRI burst."""
+
+    index: int                       # linear frame index
+    major: int
+    minor: int
+    digest: str                      # content hash of the frame payload
+
+    @property
+    def address(self) -> str:
+        return f"{self.major}.{self.minor}"
+
+
+@dataclass
+class StreamModel:
+    """What a static decode learned about one configuration stream."""
+
+    subject: str
+    findings: list[Finding] = field(default_factory=list)
+    writes: list[FrameWrite] = field(default_factory=list)
+    commands: list[Command] = field(default_factory=list)
+    packets: int = 0
+    crc_checks: int = 0
+    synced: bool = False
+    desynced: bool = False
+    decode_complete: bool = False     # False when lint had to stop early
+
+    def frame_indices(self) -> set[int]:
+        return {w.index for w in self.writes}
+
+    def frames_by_index(self) -> dict[int, FrameWrite]:
+        """Last write per frame (later writes shadow earlier ones)."""
+        return {w.index: w for w in self.writes}
+
+
+def _digest(payload: bytes) -> str:
+    return hashlib.blake2b(payload, digest_size=8).hexdigest()
+
+
+class _Decoder:
+    """One static decode pass; findings accumulate, nothing raises."""
+
+    def __init__(self, device: Device, model: StreamModel):
+        self.device = device
+        self.model = model
+        self.crc = ConfigCrc()
+        self.synced = False
+        self.cmd = Command.NULL
+        self.far_linear: int | None = 0
+        self.flr_ok = False
+        self.presync_noise = 0
+
+    def finding(self, r, message: str, **kwargs) -> None:
+        self.model.findings.append(
+            Finding(r, self.model.subject, message, **kwargs)
+        )
+
+    # -- driving ----------------------------------------------------------------
+
+    def run(self, words: list[int]) -> None:
+        i, n = 0, len(words)
+        while i < n:
+            if not self.synced:
+                w = words[i]
+                i += 1
+                if w == SYNC_WORD:
+                    self.synced = True
+                    self.model.synced = True
+                elif w != DUMMY_WORD:
+                    self.presync_noise += 1
+                continue
+            step = self._packet(words, i)
+            if step is None:
+                return                      # unrecoverable; stop decoding
+            i = step
+        self.model.decode_complete = True
+
+    def _packet(self, words: list[int], i: int) -> int | None:
+        try:
+            hdr = decode_header(words[i])
+        except PacketError as exc:
+            self.finding(S013, str(exc))
+            return None
+        i += 1
+        self.model.packets += 1
+        count, reg = hdr.count, hdr.reg
+        if hdr.type == 2:
+            self.finding(
+                S013, "type-2 packet without a preceding zero-count type-1"
+            )
+            return None
+        if hdr.op is Opcode.NOP:
+            return i
+        if count == 0 and i < len(words):
+            try:
+                nxt = decode_header(words[i])
+            except PacketError:
+                nxt = None
+            if nxt is not None and nxt.type == 2:
+                if nxt.op != hdr.op:
+                    self.finding(S013, "type-2 opcode does not match its type-1")
+                    return None
+                i += 1
+                count = nxt.count
+        if hdr.op is Opcode.READ:
+            return i                        # readback requests carry no data
+        assert reg is not None
+        if i + count > len(words):
+            self.finding(
+                S012,
+                f"truncated packet: {count} data words promised, "
+                f"{len(words) - i} available",
+            )
+            return None
+        data = words[i:i + count]
+        self._write(reg, data)
+        return i + count
+
+    # -- register semantics ------------------------------------------------------
+
+    def _write(self, reg: Register, data: list[int]) -> None:
+        if reg is Register.FDRI:
+            self.crc.update_words(int(reg), data)
+            self._write_frames(data)
+            return
+        if reg in (Register.STAT, Register.FDRO):
+            self.finding(
+                S003, f"write to read-only register {reg.name}"
+            )
+            return
+        for w in data:
+            if reg in CRC_COVERED:
+                self.crc.update_word(int(reg), w)
+            self._execute(reg, w)
+
+    def _execute(self, reg: Register, value: int) -> None:
+        g = self.device.geometry
+        if reg is Register.CMD:
+            try:
+                cmd = Command(value)
+            except ValueError:
+                self.finding(S013, f"unknown CMD opcode {value}")
+                return
+            self.cmd = cmd
+            self.model.commands.append(cmd)
+            if cmd is Command.RCRC:
+                self.crc.reset()
+            elif cmd is Command.DESYNC:
+                self.synced = False
+                self.model.desynced = True
+        elif reg is Register.FAR:
+            major, minor = far_decode(value)
+            try:
+                self.far_linear = g.frame_index(major, minor)
+            except DeviceError:
+                self.far_linear = None
+                self.finding(
+                    S010,
+                    f"FAR {major}.{minor} is not a frame of {self.device.name}",
+                    address=f"{major}.{minor}",
+                )
+        elif reg is Register.FLR:
+            if value != g.flr_value:
+                self.finding(
+                    S005,
+                    f"FLR {value} does not match {self.device.name} "
+                    f"(expected {g.flr_value})",
+                )
+            else:
+                self.flr_ok = True
+        elif reg is Register.IDCODE:
+            if value != self.device.part.idcode:
+                self.finding(
+                    S006,
+                    f"IDCODE 0x{value:08x} does not match {self.device.name} "
+                    f"(0x{self.device.part.idcode:08x})",
+                )
+        elif reg is Register.CRC:
+            if value != self.crc.value:
+                self.finding(
+                    S001,
+                    f"CRC mismatch: stream says 0x{value:04x}, device would "
+                    f"compute 0x{self.crc.value:04x}",
+                )
+            else:
+                self.model.crc_checks += 1
+            self.crc.reset()
+
+    def _write_frames(self, data: list[int]) -> None:
+        if self.cmd is not Command.WCFG:
+            self.finding(S009, "FDRI write outside WCFG mode")
+        if not self.flr_ok:
+            self.finding(S005, "FDRI write before FLR was programmed")
+        g = self.device.geometry
+        fw = g.frame_words
+        if len(data) % fw:
+            self.finding(
+                S004,
+                f"FDRI burst of {len(data)} words is not a multiple of the "
+                f"frame length ({fw} words)",
+            )
+            return
+        if self.far_linear is None:
+            return                          # already reported as S010
+        nframes = len(data) // fw
+        start, end = self.far_linear, self.far_linear + nframes
+        if end > g.total_frames:
+            self.finding(
+                S010,
+                f"FDRI burst overruns frame space: frames {start}..{end - 1} "
+                f"of {g.total_frames}",
+                frame=start,
+            )
+            nframes = g.total_frames - start
+            end = g.total_frames
+        payload = b"".join(
+            w.to_bytes(4, "big") for w in data
+        )
+        for k in range(nframes):
+            index = start + k
+            major, minor = g.frame_address(index)
+            self.model.writes.append(FrameWrite(
+                index, major, minor,
+                _digest(payload[k * 4 * fw:(k + 1) * 4 * fw]),
+            ))
+        self.far_linear = end if end < g.total_frames else 0
+
+
+def decode_stream(device: Device, data: bytes, *,
+                  subject: str = "stream") -> StreamModel:
+    """Statically decode one configuration byte stream.
+
+    Returns a :class:`StreamModel` whose ``findings`` hold every ``S*``
+    diagnostic; decoding is tolerant and only stops at defects it cannot
+    skip past (malformed headers, truncation).
+    """
+    model = StreamModel(subject=subject)
+    trailing = len(data) % 4
+    if trailing:
+        model.findings.append(Finding(
+            S002, subject,
+            f"stream length {len(data)} is not word aligned "
+            f"({trailing} trailing byte(s) ignored)",
+        ))
+        data = data[:len(data) - trailing]
+    words = [int(w) for w in utils.bytes_to_words(data)]
+    dec = _Decoder(device, model)
+    dec.run(words)
+    if dec.presync_noise:
+        model.findings.append(Finding(
+            S007, subject,
+            f"{dec.presync_noise} non-dummy word(s) before sync",
+        ))
+    if not model.decode_complete:
+        return model
+    if model.synced and not model.desynced:
+        model.findings.append(Finding(
+            S008, subject, "stream ends without a DESYNC command",
+        ))
+    if model.writes and not model.crc_checks:
+        has_mismatch = any(f.rule is S001 for f in model.findings)
+        if not has_mismatch:
+            model.findings.append(Finding(
+                S011, subject,
+                "frame data written but the stream never checks the CRC",
+            ))
+    return model

@@ -19,6 +19,7 @@ FAR across minor and major boundaries, so one burst can span columns.
 
 from __future__ import annotations
 
+from collections import Counter
 from collections.abc import Iterable
 
 from ..devices import Device
@@ -82,7 +83,18 @@ def partial_stream(
     sequence after the write (shutdown-style reconfiguration).
     """
     device = frames.device
-    runs = frame_runs(frame_indices)
+    indices = list(frame_indices)
+    duplicates: list[int] = []
+    if len(indices) != len(set(indices)):
+        counts = Counter(indices)
+        duplicates = sorted(i for i, n in counts.items() if n > 1)
+    if duplicates:
+        shown = ", ".join(str(i) for i in duplicates[:6])
+        raise BitstreamError(
+            f"duplicate frame indices in partial: {shown}"
+            + ("..." if len(duplicates) > 6 else "")
+        )
+    runs = frame_runs(indices)
     if not runs:
         raise BitstreamError("partial bitstream with no frames")
     metrics = current_metrics()

@@ -125,7 +125,12 @@ def _cmd_batch(args) -> int:
     from ..batch import BatchItem, BatchJpg
 
     with open(args.manifest) as f:
-        manifest = json.load(f)
+        try:
+            manifest = json.load(f)
+        except json.JSONDecodeError as exc:
+            raise UsageError(f"{args.manifest}: not valid JSON: {exc}") from None
+    if not isinstance(manifest, dict):
+        raise UsageError(f"{args.manifest}: manifest must be a JSON object")
     modules = manifest.get("modules")
     if not isinstance(modules, list) or not modules:
         raise UsageError(f"{args.manifest}: manifest needs a non-empty 'modules' list")
@@ -212,11 +217,17 @@ def _cmd_deploy(args) -> int:
             f"truncate={args.truncate} seu={args.seu}"
         )
     board = Board(part, fault_plan=plan)
+    gate = None
+    if args.lint:
+        from ..analyze import PreDeployGate
+
+        gate = PreDeployGate(part)
     deployer = Deployer(
         SimulatedXhwif(board),
         base,
         retry=RetryPolicy(max_attempts=args.retries),
         scrub=ScrubPolicy(max_rounds=args.max_scrubs),
+        gate=gate,
     )
     items = []
     for path in args.partials:
@@ -304,7 +315,10 @@ def _cmd_flow(args) -> int:
         name, _, value = spec.partition("=")
         if not value:
             raise UsageError(f"--param wants NAME=INT, got {spec!r}")
-        params[name] = int(value, 0)
+        try:
+            params[name] = int(value, 0)
+        except ValueError:
+            raise UsageError(f"--param wants NAME=INT, got {spec!r}") from None
     em = elaborate(src, params or None, top=args.top)
     constraints = load_ucf(args.ucf).constraints if args.ucf else None
     result = run_flow(em.netlist, args.part, constraints, seed=args.seed)
@@ -391,6 +405,7 @@ def _cmd_serve(args) -> int:
         cache_dir=args.cache_dir,
         max_cache_bytes=args.max_cache_bytes,
         xhwif=xhwif,
+        lint=args.lint,
     )
     server = JpgServer(service, max_queue=args.max_queue, workers=args.workers)
     if args.stdio:
@@ -449,6 +464,81 @@ def _cmd_submit(args) -> int:
         )
         print(f"wrote {args.output}")
     return EXIT_OK
+
+
+def _cmd_lint(args) -> int:
+    import json
+    import os
+
+    from ..analyze import LintTarget, RuleEngine
+    from ..devices import normalize_part_name
+    from ..flow.ncd import NcdDesign
+    from ..ucf.parser import load_ucf
+    from ..xdl.parser import load_xdl
+
+    files = args.bitfiles or []
+    xdls = args.xdl or []
+    ucfs = args.ucf or []
+    regions = args.region or []
+    if not files and not xdls:
+        raise UsageError("lint needs at least one partial .bit or --xdl design")
+    n = max(len(files), len(xdls), 1)
+
+    def spread(values: list, what: str) -> list:
+        """One value applies to every target; N values pair positionally."""
+        if not values:
+            return [None] * n
+        if len(values) == 1:
+            return values * n
+        if len(values) != n:
+            raise UsageError(
+                f"{what} given {len(values)} time(s) for {n} target(s); "
+                f"pass it once or once per target"
+            )
+        return values
+    if files and xdls and len(files) != len(xdls) and len(xdls) != 1:
+        raise UsageError(
+            f"{len(files)} bitstream(s) but {len(xdls)} --xdl design(s); "
+            f"pass one --xdl per file or a single shared one"
+        )
+
+    xdls = spread(xdls, "--xdl")
+    ucfs = spread(ucfs, "--ucf")
+    regions = spread(regions, "--region")
+    part = args.part
+    targets = []
+    for i in range(n):
+        data = None
+        name = None
+        if i < len(files):
+            bf = BitFile.load(files[i])
+            data = bf.config_bytes
+            name = os.path.splitext(os.path.basename(files[i]))[0]
+            if part is None:
+                part = normalize_part_name(bf.part_name)
+        design = None
+        if xdls[i]:
+            if args.ncd:
+                design = NcdDesign.load(xdls[i])
+            else:
+                design = load_xdl(xdls[i])
+            if name is None:
+                name = os.path.splitext(os.path.basename(xdls[i]))[0]
+        constraints = load_ucf(ucfs[i]).constraints if ucfs[i] else None
+        region = RegionRect.from_ucf(regions[i]) if regions[i] else None
+        targets.append(LintTarget(
+            name or f"target{i}", data=data, region=region,
+            design=design, constraints=constraints,
+        ))
+    engine = RuleEngine(part, conflicts=not args.no_conflicts)
+    report = engine.run(targets)
+    if args.json:
+        print(report.to_json())
+    else:
+        if report.findings:
+            print(report.table())
+        print(report.summary())
+    return EXIT_OK if report.ok(strict=args.strict) else EXIT_FAILURE
 
 
 def _cmd_parbit(args) -> int:
@@ -530,6 +620,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="SEU flips armed per completed download (default 1)")
     p.add_argument("--fault-every", type=int, default=1,
                    help="inject on every K-th opportunity (default 1)")
+    p.add_argument("--lint", action="store_true",
+                   help="run the static pre-deploy gate; conflicting or "
+                        "malformed partials abort before any transfer")
     p.add_argument("--metrics", action="store_true",
                    help="also print runtime.* counters and stage timings")
     p.set_defaults(fn=_cmd_deploy)
@@ -588,6 +681,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="concurrent generation threads (default 2)")
     p.add_argument("--deploy-sim", action="store_true",
                    help="deploy each served partial onto a simulated board")
+    p.add_argument("--lint", action="store_true",
+                   help="gate every served partial through static analysis; "
+                        "requests whose streams fail are answered with an error")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("submit", help="submit one generation request to a "
@@ -606,6 +702,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shutdown", action="store_true",
                    help="drain and stop the server instead of submitting")
     p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser("lint", help="static analysis of partials and designs "
+                                    "(containment, conflicts, netlist, stream)")
+    p.add_argument("bitfiles", nargs="*", help="partial .bit files to analyze")
+    p.add_argument("-p", "--part", help="device (default: from the first .bit header)")
+    p.add_argument("--xdl", action="append", metavar="FILE",
+                   help="module design (.xdl) — once for all targets, or once "
+                        "per target (enables netlist rules and containment "
+                        "proof of boundary routing)")
+    p.add_argument("--ncd", action="store_true",
+                   help="treat --xdl arguments as binary .ncd databases")
+    p.add_argument("--ucf", action="append", metavar="FILE",
+                   help="constraints file — once for all targets, or once per "
+                        "target (provides RANGE/LOC for the N* rules)")
+    p.add_argument("--region", action="append", metavar="SITE:SITE",
+                   help="declared region — once for all targets, or once per "
+                        "target (overrides any UCF RANGE)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the findings as JSON instead of a table")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 on warnings too, not just errors")
+    p.add_argument("--no-conflicts", action="store_true",
+                   help="skip cross-partial conflict detection")
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser("parbit", help="PARBIT baseline: extract a region from a full .bit")
     p.add_argument("--base", required=True)

@@ -22,7 +22,7 @@ valid regardless of which version currently occupies the region.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..bitstream.bitfile import BitFile

@@ -119,6 +119,18 @@ class ServiceUnavailableError(ServeError):
     """The generation service cannot be reached (no socket, refused)."""
 
 
+class AnalysisError(ReproError):
+    """Static analysis found blocking findings (the pre-deploy gate).
+
+    Carries the blocking :class:`~repro.analyze.Finding` objects so
+    callers can render rule ids and locations without re-running the
+    analysis."""
+
+    def __init__(self, message: str, findings: object = ()):
+        self.findings = list(findings)  # type: ignore[call-overload]
+        super().__init__(message)
+
+
 class JpgError(ReproError):
     """JPG core tool error (project, interface mismatch, merge conflict)."""
 

@@ -26,6 +26,7 @@ then readback-verifies and scrubs with a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from .. import utils
 from ..bitstream.assembler import full_stream
@@ -37,6 +38,9 @@ from ..jbits.xhwif import Xhwif
 from ..obs import Metrics, current_metrics, use_metrics
 from .scrub import ScrubPolicy, ScrubReport, Scrubber
 from .session import ReconfigSession, RetryPolicy, SendOutcome
+
+if TYPE_CHECKING:
+    from ..analyze import PreDeployGate
 
 
 @dataclass(frozen=True)
@@ -163,10 +167,16 @@ class Deployer:
         retry: RetryPolicy | None = None,
         scrub: ScrubPolicy | None = None,
         metrics: Metrics | None = None,
+        gate: "PreDeployGate | bool | None" = None,
     ):
         self.xhwif = xhwif
         self.metrics = metrics if metrics is not None else Metrics()
         device = get_device(xhwif.get_device_name())
+        if gate is True:
+            from ..analyze import PreDeployGate
+
+            gate = PreDeployGate(device)
+        self.gate = gate or None
         if isinstance(base, BitFile):
             base = base.config_bytes
         if isinstance(base, bytes):
@@ -189,9 +199,17 @@ class Deployer:
         A failed item does not abort the run: later items still deploy
         (their golden state accounts for every earlier stream), and the
         report records which modules verified.
+
+        With a pre-deploy ``gate`` attached, every partial is statically
+        analyzed first — stream lint, duplicate detection, cross-partial
+        conflicts — and :class:`~repro.errors.AnalysisError` aborts the
+        whole run *before any byte reaches the board* (the base stream is
+        exempt: it writes every frame by construction).
         """
         report = DeployReport(metrics=self.metrics)
         with use_metrics(self.metrics):
+            if self.gate is not None and items:
+                self.gate.require(items)
             if deploy_base:
                 report.results.append(
                     self._deploy_one(DeployItem("base", self._base_stream),

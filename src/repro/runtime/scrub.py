@@ -27,8 +27,6 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from ..bitstream.assembler import full_stream, partial_stream
 from ..bitstream.frames import FrameMemory
 from ..bitstream.readback import capture_mask, readback_plan, verify_frames

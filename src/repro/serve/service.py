@@ -128,6 +128,7 @@ class GenerationService:
         metrics: Metrics | None = None,
         xhwif=None,
         retry: RetryPolicy | None = None,
+        lint: bool = False,
     ):
         self.metrics = metrics if metrics is not None else Metrics(keep_events=False)
         self.disk: DiskCache | None = (
@@ -149,6 +150,11 @@ class GenerationService:
         self._session = (
             ReconfigSession(xhwif, policy=retry) if xhwif is not None else None
         )
+        self._gate = None
+        if lint:
+            from ..analyze import PreDeployGate
+
+            self._gate = PreDeployGate(part)
 
     @property
     def full_size(self) -> int:
@@ -182,7 +188,8 @@ class GenerationService:
                     result = ServeResult(
                         request, data, time.perf_counter() - start, "disk"
                     )
-                    self._maybe_deploy(result)
+                    if self._lint_ok(result):
+                        self._maybe_deploy(result)
                     return result
             item = request.to_item(check_interface=self.base_design is not None)
             with self.metrics.stage("serve.generate", module=request.name):
@@ -204,8 +211,49 @@ class GenerationService:
                 request, partial.data, time.perf_counter() - start, "generated",
                 frames=len(partial.frames),
             )
-            self._maybe_deploy(result)
+            if self._lint_ok(result):
+                self._maybe_deploy(result)
             return result
+
+    def _lint_ok(self, result: ServeResult) -> bool:
+        """Pre-serve gate: statically analyze the bytes about to leave.
+
+        Catches corrupt disk-cache entries and generation defects alike;
+        a blocked request comes back as an error result, never as raw
+        bytes.  With no gate configured this is a no-op."""
+        if self._gate is None or result.data is None:
+            return True
+        from ..analyze import LintTarget
+        from ..errors import AnalysisError, ReproError
+
+        request = result.request
+        design = None
+        constraints = None
+        try:
+            from ..xdl.parser import parse_xdl
+
+            design = parse_xdl(request.xdl)
+        except ReproError:
+            design = None                 # stream rules still apply
+        if request.ucf:
+            try:
+                from ..ucf.parser import parse_ucf
+
+                constraints = parse_ucf(request.ucf).constraints
+            except ReproError:
+                constraints = None
+        target = LintTarget(
+            request.name, data=result.data, region=request.region_rect(),
+            design=design, constraints=constraints,
+        )
+        try:
+            with self.metrics.stage("serve.lint", module=request.name):
+                self._gate.require([target])
+        except AnalysisError as exc:
+            result.error = f"lint: {exc}"
+            self.metrics.count("serve.lint_blocked")
+            return False
+        return True
 
     def _maybe_deploy(self, result: ServeResult) -> None:
         """Deploy-on-generate: push a served partial to the attached board."""
@@ -231,7 +279,7 @@ class GenerationService:
             "frame_cache": {"hits": cs.hits, "misses": cs.misses},
             "counters": {
                 k: v for k, v in sorted(snap["counters"].items())
-                if k.startswith(("serve.", "framecache.", "batch."))
+                if k.startswith(("serve.", "framecache.", "batch.", "analyze."))
             },
             "gauges": snap["gauges"],
         }

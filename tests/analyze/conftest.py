@@ -1,0 +1,50 @@
+"""Shared fixtures for the static-analyzer suites.
+
+Partial generation over the demo project is the expensive part, so the
+four generated partials are session-scoped; tests must treat them (and
+the project) as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyze import LintTarget
+from repro.ucf.parser import parse_ucf
+
+
+@pytest.fixture(scope="session")
+def demo_partials(demo_project):
+    """All four non-base partials of the two-region demo project."""
+    return demo_project.generate_all_partials()
+
+
+def make_target(
+    project,
+    partials,
+    region: str,
+    version: str,
+    *,
+    with_design: bool = True,
+    with_ucf: bool = True,
+    override_region=None,
+) -> LintTarget:
+    """A fully-populated LintTarget for one demo module version."""
+    mv = project.versions[(region, version)]
+    partial = partials[(region, version)]
+    return LintTarget(
+        f"{region}-{version}",
+        data=partial.data,
+        region=override_region if override_region is not None else project.regions[region],
+        design=mv.design if with_design else None,
+        constraints=parse_ucf(mv.ucf).constraints if with_ucf else None,
+    )
+
+
+@pytest.fixture(scope="session")
+def demo_targets(demo_project, demo_partials):
+    """One full-context target per generated partial (sorted by key)."""
+    return [
+        make_target(demo_project, demo_partials, region, version)
+        for region, version in sorted(demo_partials)
+    ]

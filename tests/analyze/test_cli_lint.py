@@ -1,0 +1,138 @@
+"""``jpg lint``: exit-code contract, JSON output, option spreading."""
+
+import json
+
+import pytest
+
+from repro.bitstream.bitfile import BitFile
+from repro.core.cli import main
+
+from .test_stream_lint import craft
+
+pytestmark = pytest.mark.lint
+
+
+@pytest.fixture()
+def lint_files(tmp_path, demo_project, demo_partials):
+    """Partials + XDL/UCF of three demo versions, on disk for the CLI."""
+    files = {"tmp": tmp_path}
+    for region, version in [("r1", "up"), ("r1", "down"), ("r2", "right")]:
+        stem = f"{region}_{version}"
+        demo_partials[(region, version)].save(str(tmp_path / f"{stem}.bit"), "XCV50")
+        mv = demo_project.versions[(region, version)]
+        (tmp_path / f"{stem}.xdl").write_text(mv.xdl)
+        (tmp_path / f"{stem}.ucf").write_text(mv.ucf)
+        files[stem] = str(tmp_path / f"{stem}.bit")
+    files["r1"] = demo_project.regions["r1"].to_ucf()
+    files["r2"] = demo_project.regions["r2"].to_ucf()
+    return files
+
+
+class TestExitCodes:
+    def test_clean_partial_exits_zero(self, lint_files, capsys):
+        rc = main([
+            "lint", lint_files["r1_up"],
+            "--xdl", str(lint_files["tmp"] / "r1_up.xdl"),
+            "--ucf", str(lint_files["tmp"] / "r1_up.ucf"),
+            "--region", lint_files["r1"],
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_sweep_of_compatible_partials_exits_zero(self, lint_files, capsys):
+        """One version per region — the shipped-artifact zero-FP sweep."""
+        rc = main([
+            "lint", lint_files["r1_up"], lint_files["r2_right"],
+            "--region", lint_files["r1"], "--region", lint_files["r2"],
+        ])
+        assert rc == 0
+        assert "2 target(s): 0 error(s)" in capsys.readouterr().out
+
+    def test_conflicting_pair_exits_one(self, lint_files, capsys):
+        rc = main(["lint", lint_files["r1_up"], lint_files["r1_down"]])
+        assert rc == 1
+        assert "X001" in capsys.readouterr().out
+
+    def test_usage_error_no_inputs(self, capsys):
+        assert main(["lint"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_usage_error_mismatched_regions(self, lint_files, capsys):
+        rc = main([
+            "lint", lint_files["r1_up"], lint_files["r1_down"],
+            "--region", lint_files["r1"], "--region", lint_files["r1"],
+            "--region", lint_files["r2"],
+        ])
+        assert rc == 2
+        assert "--region" in capsys.readouterr().err
+
+    def test_unknown_part_is_usage_error(self, lint_files, capsys):
+        rc = main(["lint", lint_files["r1_up"], "-p", "XCV9000"])
+        assert rc == 2
+        assert "XCV9000" in capsys.readouterr().err
+
+
+class TestSeededViolationsThroughCli:
+    def test_escape_reported_as_json(self, lint_files, capsys):
+        """The r1 partial against the r2 region: C001 in the JSON report."""
+        rc = main([
+            "lint", lint_files["r1_down"],
+            "--xdl", str(lint_files["tmp"] / "r1_down.xdl"),
+            "--region", lint_files["r2"],
+            "--json",
+        ])
+        assert rc == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["errors"] > 0
+        rules = {f["rule"] for f in report["findings"]}
+        assert "C001" in rules
+        c001 = next(f for f in report["findings"] if f["rule"] == "C001")
+        assert c001["severity"] == "error"
+        assert c001["hint"]
+
+    def test_strict_promotes_warnings(self, xcv50, tmp_path, capsys):
+        """A stream that never desyncs: S008 is a warning, so the default
+        gate passes and --strict fails."""
+        bit = tmp_path / "nodesync.bit"
+        BitFile(
+            design_name="nodesync", part_name="v50bg432",
+            config_bytes=craft(xcv50, desync=False),
+        ).save(str(bit))
+        assert main(["lint", str(bit)]) == 0
+        out = capsys.readouterr().out
+        assert "S008" in out and "warning" in out
+        assert main(["lint", str(bit), "--strict"]) == 1
+
+    def test_design_only_lint(self, lint_files, capsys):
+        """--xdl without a bitstream runs the netlist rules alone."""
+        rc = main([
+            "lint",
+            "--xdl", str(lint_files["tmp"] / "r2_right.xdl"),
+            "--ucf", str(lint_files["tmp"] / "r2_right.ucf"),
+        ])
+        assert rc == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_deploy_lint_flag_blocks_conflicts(
+        self, lint_files, demo_project, capsys
+    ):
+        """``jpg deploy --lint`` with two rival versions of one region:
+        the gate aborts before the simulated board sees a byte."""
+        base = lint_files["tmp"] / "base.bit"
+        demo_project.base_bitfile.save(str(base))
+        rc = main([
+            "deploy", "--lint", "--base", str(base),
+            lint_files["r1_up"], lint_files["r1_down"],
+        ])
+        assert rc == 1
+        assert "pre-deploy gate blocked" in capsys.readouterr().err
+
+    def test_no_conflicts_flag_scopes_to_single_streams(self, lint_files):
+        """--no-conflicts: the same conflicting pair now passes, because
+        each stream is individually well-formed."""
+        rc = main([
+            "lint", lint_files["r1_up"], lint_files["r1_down"],
+            "--no-conflicts",
+        ])
+        assert rc == 0

@@ -1,0 +1,109 @@
+"""Cross-partial conflicts (X*): content-aware frame races and duplicates."""
+
+import numpy as np
+import pytest
+
+from repro.analyze import (
+    RuleEngine,
+    check_conflicts,
+    check_duplicates,
+    decode_stream,
+)
+from repro.analyze.findings import Severity
+
+from .conftest import make_target
+
+pytestmark = pytest.mark.lint
+
+
+class TestCrossPartialConflicts:
+    def test_x001_two_versions_of_one_region(
+        self, demo_project, demo_partials
+    ):
+        """r1/up and r1/down rewrite the same column span with different
+        logic: deploying both together is a race the engine must flag."""
+        engine = RuleEngine("XCV50")
+        report = engine.run([
+            make_target(demo_project, demo_partials, "r1", "up"),
+            make_target(demo_project, demo_partials, "r1", "down"),
+        ])
+        assert "X001" in report.by_rule()
+        (x001,) = [f for f in report.findings if f.rule.id == "X001"]
+        assert x001.subject == "r1-up+r1-down"
+        assert x001.effective_severity is Severity.ERROR
+        # overlapping declared regions ride along as the X002 warning
+        assert "X002" in report.by_rule()
+
+    def test_disjoint_regions_do_not_conflict(
+        self, demo_project, demo_partials
+    ):
+        """One version per region is exactly the deployment the paper
+        describes: no shared frames, no findings."""
+        engine = RuleEngine("XCV50")
+        report = engine.run([
+            make_target(demo_project, demo_partials, "r1", "up"),
+            make_target(demo_project, demo_partials, "r2", "right"),
+        ])
+        assert report.findings == []
+
+    def test_identical_content_commutes(self, xcv50, demo_partials):
+        """The same bytes twice: every shared frame agrees, so there is
+        no X001 — only the region-overlap warning."""
+        data = demo_partials[("r1", "up")].data
+        a = decode_stream(xcv50, data, subject="a")
+        b = decode_stream(xcv50, data, subject="b")
+        findings = check_conflicts([a, b])
+        assert findings == []
+
+    def test_x002_region_overlap_is_warning(self, demo_project, demo_partials):
+        data = demo_partials[("r1", "up")].data
+        engine = RuleEngine("XCV50")
+        report = engine.run([
+            make_target(demo_project, demo_partials, "r1", "up"),
+            make_target(demo_project, demo_partials, "r1", "up"),
+        ])
+        assert "X001" not in report.by_rule()
+        assert "X002" in report.by_rule()
+        assert report.ok() and not report.ok(strict=True)
+        assert data  # fixture sanity
+
+
+class TestInStreamDuplicates:
+    def _double_write(self, device, *, same_content: bool) -> bytes:
+        from repro.bitstream.packets import Command, PacketWriter, Register, far_encode
+
+        g = device.geometry
+        w = PacketWriter()
+        w.dummy()
+        w.sync()
+        w.command(Command.RCRC)
+        w.write_reg(Register.IDCODE, device.part.idcode)
+        w.write_reg(Register.FLR, g.flr_value)
+        for fill in (1, 1 if same_content else 2):
+            w.write_reg(Register.FAR, far_encode(1, 0))
+            w.command(Command.WCFG)
+            w.write_fdri(np.full(g.frame_words, fill, dtype=np.uint32))
+        w.write_crc_check()
+        w.command(Command.LFRM)
+        w.command(Command.DESYNC)
+        return w.to_bytes()
+
+    def test_x003_differing_content_is_error(self, xcv50):
+        model = decode_stream(xcv50, self._double_write(xcv50, same_content=False))
+        assert model.findings == []        # stream-grammar clean
+        (finding,) = check_duplicates(model)
+        assert finding.rule.id == "X003"
+        assert finding.effective_severity is Severity.ERROR
+        assert "differing" in finding.message
+
+    def test_x003_identical_content_is_warning(self, xcv50):
+        model = decode_stream(xcv50, self._double_write(xcv50, same_content=True))
+        (finding,) = check_duplicates(model)
+        assert finding.rule.id == "X003"
+        assert finding.effective_severity is Severity.WARNING
+        assert "identical" in finding.message
+
+    def test_shipped_partials_have_no_duplicates(self, xcv50, demo_partials):
+        for key, partial in demo_partials.items():
+            model = decode_stream(xcv50, partial.data)
+            assert check_duplicates(model) == [], key

@@ -1,0 +1,110 @@
+"""Region containment (C*): shipped partials prove clean, escapes flag."""
+
+import pytest
+
+from repro.analyze import RuleEngine, lint_partial
+from repro.analyze.findings import Severity
+from repro.flow.floorplan import RegionRect
+
+from .conftest import make_target
+
+pytestmark = pytest.mark.lint
+
+
+class TestZeroFalsePositives:
+    def test_each_demo_partial_clean_in_its_region(self, demo_targets):
+        """Full context (bytes + region + design + UCF): zero findings."""
+        engine = RuleEngine("XCV50")
+        for target in demo_targets:
+            report = engine.run([target])
+            assert report.findings == [], (target.name, report.summary())
+
+    def test_region_from_ucf_range_when_not_explicit(
+        self, demo_project, demo_partials
+    ):
+        """With no explicit region the single UCF RANGE stands in for it."""
+        target = make_target(demo_project, demo_partials, "r1", "up")
+        target.region = None
+        assert target.effective_region() == demo_project.regions["r1"]
+        report = RuleEngine("XCV50").run([target])
+        assert report.findings == []
+
+
+class TestSeededEscape:
+    def test_c001_partial_escapes_declared_region(
+        self, xcv50, demo_project, demo_partials
+    ):
+        """The r1 partial linted against the r2 region: a hard escape."""
+        mv = demo_project.versions[("r1", "down")]
+        report = lint_partial(
+            xcv50,
+            demo_partials[("r1", "down")].data,
+            name="r1-down",
+            region=demo_project.regions["r2"],
+            design=mv.design,
+        )
+        assert "C001" in report.by_rule()
+        assert not report.ok()
+        c001 = [f for f in report.findings if f.rule.id == "C001"]
+        assert all(f.effective_severity is Severity.ERROR for f in c001)
+        assert all(f.frame is not None and f.address is not None for f in c001)
+
+    def test_c001_downgrades_to_warning_without_design(
+        self, xcv50, demo_project, demo_partials
+    ):
+        """No design means a boundary spill cannot be disproven."""
+        report = lint_partial(
+            xcv50,
+            demo_partials[("r1", "down")].data,
+            name="r1-down",
+            region=demo_project.regions["r2"],
+        )
+        c001 = [f for f in report.findings if f.rule.id == "C001"]
+        assert c001
+        assert all(f.effective_severity is Severity.WARNING for f in c001)
+        assert report.ok() and not report.ok(strict=True)
+
+
+class TestColumnKinds:
+    def _bram_stream(self, device):
+        import numpy as np
+
+        from repro.bitstream.packets import Command, PacketWriter, Register, far_encode
+
+        bram_major = next(
+            major for major, col in enumerate(device.geometry.columns)
+            if col.kind.name == "BRAM_INT"
+        )
+        g = device.geometry
+        w = PacketWriter()
+        w.dummy()
+        w.sync()
+        w.command(Command.RCRC)
+        w.write_reg(Register.IDCODE, device.part.idcode)
+        w.write_reg(Register.FLR, g.flr_value)
+        w.write_reg(Register.FAR, far_encode(bram_major, 0))
+        w.command(Command.WCFG)
+        w.write_fdri(np.zeros(g.frame_words, dtype=np.uint32))
+        w.write_crc_check()
+        w.command(Command.LFRM)
+        w.command(Command.DESYNC)
+        return w.to_bytes()
+
+    def test_c002_unexpected_bram_column(self, xcv50, demo_project):
+        report = lint_partial(
+            xcv50, self._bram_stream(xcv50),
+            name="bram-writer", region=demo_project.regions["r1"],
+        )
+        assert "C002" in report.by_rule()
+        (finding,) = [f for f in report.findings if f.rule.id == "C002"]
+        assert finding.effective_severity is Severity.WARNING
+
+    def test_c003_region_exceeds_device(self, xcv50, demo_partials):
+        report = lint_partial(
+            xcv50,
+            demo_partials[("r1", "up")].data,
+            name="r1-up",
+            region=RegionRect.from_ucf("CLB_R1C1:CLB_R32C48"),
+        )
+        assert report.by_rule() == {"C003": 1}
+        assert not report.ok()

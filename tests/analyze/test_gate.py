@@ -1,0 +1,161 @@
+"""The pre-deploy gate: go/no-go enforcement in the runtime and serve layers."""
+
+import pytest
+
+from repro.analyze import LintTarget, PreDeployGate
+from repro.errors import AnalysisError
+from repro.hwsim import Board
+from repro.jbits import SimulatedXhwif
+from repro.runtime import Deployer, DeployItem
+
+from .conftest import make_target
+from .test_stream_lint import craft
+
+pytestmark = pytest.mark.lint
+
+
+class CountingXhwif(SimulatedXhwif):
+    """Counts every transfer so tests can prove nothing reached the board."""
+
+    def __init__(self, board):
+        super().__init__(board)
+        self.sends = 0
+
+    def send(self, data):
+        self.sends += 1
+        return super().send(data)
+
+    def send_report(self, data):
+        self.sends += 1
+        return super().send_report(data)
+
+
+class TestGateApi:
+    def test_clean_targets_pass(self, demo_project, demo_partials):
+        gate = PreDeployGate("XCV50")
+        report = gate.require([
+            make_target(demo_project, demo_partials, "r1", "up"),
+            make_target(demo_project, demo_partials, "r2", "left"),
+        ])
+        assert report.ok()
+
+    def test_conflicting_pair_blocks(self, demo_partials):
+        gate = PreDeployGate("XCV50")
+        items = [
+            ("r1-up", demo_partials[("r1", "up")].data),
+            ("r1-down", demo_partials[("r1", "down")].data),
+        ]
+        with pytest.raises(AnalysisError) as excinfo:
+            gate.require(items)
+        assert excinfo.value.findings
+        assert any(f.rule.id == "X001" for f in excinfo.value.findings)
+        assert "pre-deploy gate blocked" in str(excinfo.value)
+        # check() sees the same defects but never raises
+        report = gate.check(items)
+        assert not report.ok() and "X001" in report.by_rule()
+
+    def test_strict_gate_blocks_on_warnings(self, xcv50):
+        data = craft(xcv50, desync=False)          # S008: warning only
+        assert PreDeployGate(xcv50).require([("p", data)]).ok()
+        with pytest.raises(AnalysisError):
+            PreDeployGate(xcv50, strict=True).require([("p", data)])
+
+    def test_unrecognized_item_is_a_type_error(self, xcv50):
+        with pytest.raises(TypeError):
+            PreDeployGate(xcv50).check([42])
+
+    def test_accepts_lint_targets_and_deploy_items(self, xcv50):
+        data = craft(xcv50)
+        report = PreDeployGate(xcv50).require([
+            LintTarget("t", data=data),
+            DeployItem("d", craft(xcv50, far=(3, 0))),
+        ])
+        assert report.ok() and report.targets == ["t", "d"]
+
+
+class TestDeployerIntegration:
+    def test_gate_blocks_conflicting_deploy_before_any_transfer(
+        self, demo_project, demo_partials
+    ):
+        xhwif = CountingXhwif(Board("XCV50"))
+        deployer = Deployer(xhwif, demo_project.base_bitfile, gate=True)
+        conflicting = [
+            DeployItem("r1-up", demo_partials[("r1", "up")].data),
+            DeployItem("r1-down", demo_partials[("r1", "down")].data),
+        ]
+        with pytest.raises(AnalysisError) as excinfo:
+            deployer.run(conflicting)
+        assert any(f.rule.id == "X001" for f in excinfo.value.findings)
+        assert xhwif.sends == 0            # blocked before any byte moved
+        assert deployer.metrics.snapshot()["counters"]["analyze.gate.blocked"] == 1
+
+    def test_gate_passes_compatible_deploy(self, demo_project, demo_partials):
+        xhwif = CountingXhwif(Board("XCV50"))
+        deployer = Deployer(xhwif, demo_project.base_bitfile, gate=True)
+        report = deployer.run([
+            DeployItem("r1-up", demo_partials[("r1", "up")].data),
+            DeployItem("r2-right", demo_partials[("r2", "right")].data),
+        ])
+        assert report.ok
+        assert xhwif.sends > 0
+        assert deployer.metrics.snapshot()["counters"]["analyze.gate.passed"] == 1
+
+
+class TestServeIntegration:
+    def _service(self, demo_project, cache_dir, **kwargs):
+        from repro.serve import GenerationService
+
+        return GenerationService(
+            "XCV50",
+            demo_project.base_bitfile,
+            demo_project.base_flow.design,
+            cache_dir=str(cache_dir),
+            lint=True,
+            **kwargs,
+        )
+
+    def test_corrupt_disk_cache_entry_is_blocked(
+        self, tmp_path, demo_project, demo_partials
+    ):
+        from repro.serve import GenRequest
+
+        mv = demo_project.versions[("r1", "up")]
+        request = GenRequest(
+            "r1-up", xdl=mv.xdl, ucf=mv.ucf,
+            region=demo_project.regions["r1"].to_ucf(),
+        )
+        service = self._service(demo_project, tmp_path / "cache")
+        first = service.generate(request)
+        assert first.ok and first.source == "generated"
+
+        # flip one byte of the stored partial (mid-file: FDRI payload)
+        path = service.disk.partial_path(
+            service.base_key, request.region_rect(), request.digest()
+        )
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        with open(path, "wb") as f:
+            f.write(bytes(blob))
+
+        fresh = self._service(demo_project, tmp_path / "cache")
+        served = fresh.generate(request)
+        assert served.source == "disk"
+        assert not served.ok
+        assert served.error.startswith("lint:")
+        assert not served.deployed
+        assert fresh.stats()["counters"]["serve.lint_blocked"] == 1
+
+    def test_clean_request_lints_and_serves(self, tmp_path, demo_project):
+        from repro.serve import GenRequest
+
+        mv = demo_project.versions[("r2", "right")]
+        request = GenRequest(
+            "r2-right", xdl=mv.xdl, ucf=mv.ucf,
+            region=demo_project.regions["r2"].to_ucf(),
+        )
+        service = self._service(demo_project, tmp_path / "cache2")
+        result = service.generate(request)
+        assert result.ok, result.error
+        counters = service.stats()["counters"]
+        assert counters.get("analyze.gate.passed") == 1
+        assert "serve.lint_blocked" not in counters

@@ -1,0 +1,155 @@
+"""Netlist/constraint lint (N*): placement, routing, and LOC rules."""
+
+import pytest
+
+from repro.analyze import check_netlist
+from repro.analyze.findings import Severity
+from repro.flow.floorplan import Constraints, RegionRect
+from repro.flow.ncd import NcdDesign, PhysNet, PinRef, SinkRef, SliceComp
+from repro.ucf.parser import parse_ucf
+
+pytestmark = pytest.mark.lint
+
+
+def rules_of(findings) -> set[str]:
+    return {f.rule.id for f in findings}
+
+
+def synthetic_design() -> NcdDesign:
+    """A tiny placed-and-routed design: two slices, one clean net."""
+    d = NcdDesign("synthetic", "XCV50")
+    d.slices["a"] = SliceComp("a", site=(2, 2, 0))
+    d.slices["b"] = SliceComp("b", site=(2, 3, 0))
+    d.nets["n1"] = PhysNet(
+        "n1", PinRef("a", "X"),
+        sinks=[SinkRef(PinRef("b", "F", 0))],
+        pips=[(2, 2, 0), (2, 3, 1)],
+        routed=True,
+    )
+    return d
+
+
+REGION = RegionRect(0, 0, 15, 5)       # rows 1-16, cols 1-6 (1-based)
+
+
+class TestZeroFalsePositives:
+    def test_demo_designs_clean(self, demo_project):
+        """Every shipped module design against its own region + UCF."""
+        for (region, version), mv in sorted(demo_project.versions.items()):
+            findings = check_netlist(
+                mv.design,
+                subject=f"{region}-{version}",
+                region=demo_project.regions[region],
+                constraints=parse_ucf(mv.ucf).constraints,
+            )
+            assert findings == [], (region, version)
+
+    def test_synthetic_clean(self):
+        assert check_netlist(synthetic_design(), subject="syn",
+                             region=REGION) == []
+
+
+class TestPlacement:
+    def test_n001_demo_design_in_wrong_region(self, demo_project):
+        """The r1 module checked against r2's rectangle: every slice is
+        out of place, and its internal nets escape too."""
+        mv = demo_project.versions[("r1", "down")]
+        findings = check_netlist(
+            mv.design, subject="r1-down",
+            region=demo_project.regions["r2"],
+        )
+        ids = rules_of(findings)
+        assert "N001" in ids and "N005" in ids
+        n001 = [f for f in findings if f.rule.id == "N001"]
+        assert all(f.site is not None for f in n001)
+        assert all(f.effective_severity is Severity.ERROR for f in findings)
+
+    def test_n001_site_outside_range(self):
+        d = synthetic_design()
+        d.slices["a"].site = (2, 10, 0)    # col 11, outside cols 1-6
+        findings = check_netlist(d, subject="syn", region=REGION)
+        # the moved slice also drags its net's source out of sanction
+        assert "N001" in rules_of(findings)
+        (n001,) = [f for f in findings if f.rule.id == "N001"]
+        assert n001.site == "CLB_R3C11.S0"
+
+    def test_n002_unplaced_slice(self):
+        d = synthetic_design()
+        d.slices["a"].site = None
+        findings = check_netlist(d, subject="syn", region=REGION)
+        assert "N002" in rules_of(findings)
+
+    def test_ucf_range_overrides_region(self):
+        """An AREA_GROUP RANGE matching the instance wins over the
+        target-level region, so a 'wrong' region is not flagged."""
+        d = synthetic_design()
+        constraints = parse_ucf(
+            'INST "a" AREA_GROUP = AG_syn;\n'
+            'INST "b" AREA_GROUP = AG_syn;\n'
+            'AREA_GROUP "AG_syn" RANGE = CLB_R1C1:CLB_R16C6;\n'
+        ).constraints
+        wrong = RegionRect(0, 20, 15, 22)
+        assert check_netlist(d, subject="syn", region=wrong,
+                             constraints=constraints) == []
+
+
+class TestRouting:
+    def test_n003_unrouted_net(self):
+        d = synthetic_design()
+        d.nets["n1"].routed = False
+        findings = check_netlist(d, subject="syn", region=REGION)
+        assert rules_of(findings) == {"N003"}
+        (finding,) = findings
+        assert finding.net == "n1"
+
+    def test_n004_antenna_net(self):
+        d = synthetic_design()
+        d.nets["dangling"] = PhysNet(
+            "dangling", PinRef("a", "Y"), sinks=[],
+            pips=[(4, 4, 7)], routed=False,
+        )
+        findings = check_netlist(d, subject="syn", region=REGION)
+        assert rules_of(findings) == {"N004"}
+        (finding,) = findings
+        assert finding.net == "dangling"
+
+    def test_n005_net_escapes_region(self):
+        d = synthetic_design()
+        d.nets["n1"].pips.append((2, 12, 0))   # col 13, outside cols 1-6
+        findings = check_netlist(d, subject="syn", region=REGION)
+        assert rules_of(findings) == {"N005"}
+        assert "n1" in findings[0].message
+
+    def test_sanctioned_boundary_net_may_escape(self):
+        """A net with an IOB terminal legitimately crosses the edge."""
+        from repro.flow.ncd import IobComp
+
+        d = synthetic_design()
+        d.iobs["pad"] = IobComp("pad", "out", "y", "n_out")
+        d.nets["n_out"] = PhysNet(
+            "n_out", PinRef("a", "X"),
+            sinks=[SinkRef(PinRef("pad", "PAD_OUT"))],
+            pips=[(2, 20, 0)],                 # far outside the region
+            routed=True,
+        )
+        findings = check_netlist(d, subject="syn", region=REGION)
+        # the unplaced IOB is reported, but the escape is sanctioned
+        assert rules_of(findings) == {"N002"}
+
+
+class TestLocConstraints:
+    def test_n006_slice_loc_mismatch(self):
+        d = synthetic_design()
+        constraints = Constraints(locs={"a": "CLB_R5C5.S1"})
+        findings = check_netlist(d, subject="syn", region=REGION,
+                                 constraints=constraints)
+        assert rules_of(findings) == {"N006"}
+        (finding,) = findings
+        assert finding.site == "CLB_R3C3.S0"
+        assert "CLB_R5C5.S1" in finding.message
+
+    def test_loc_match_is_silent(self):
+        d = synthetic_design()
+        constraints = Constraints(locs={"a": "clb_r3c3.s0"})  # case-blind
+        assert check_netlist(d, subject="syn", region=REGION,
+                             constraints=constraints) == []

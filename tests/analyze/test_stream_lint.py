@@ -1,0 +1,175 @@
+"""Packet-stream lint (S*): every rule fires on a seeded defect and stays
+quiet on every stream the repo itself assembles."""
+
+import numpy as np
+import pytest
+
+from repro.analyze import decode_stream
+from repro.bitstream.packets import (
+    Command,
+    Opcode,
+    PacketWriter,
+    Register,
+    far_encode,
+    type2_header,
+)
+
+pytestmark = pytest.mark.lint
+
+
+def craft(
+    device,
+    *,
+    presync_garbage: int = 0,
+    idcode: int | None = None,
+    flr: str | None = "good",          # "good" | "wrong" | None (skip)
+    readonly_write: bool = False,
+    far=(1, 0),
+    wcfg: bool = True,
+    frames: int = 1,
+    extra_words: int = 0,
+    crc: str | None = "good",          # "good" | "bad" | None (skip)
+    desync: bool = True,
+) -> bytes:
+    """One partial-shaped stream with a single seeded defect (or none)."""
+    g = device.geometry
+    w = PacketWriter()
+    w.dummy()
+    for _ in range(presync_garbage):
+        w.raw(0xDEADBEEF)
+    w.sync()
+    w.command(Command.RCRC)
+    w.write_reg(Register.IDCODE, device.part.idcode if idcode is None else idcode)
+    if flr == "good":
+        w.write_reg(Register.FLR, g.flr_value)
+    elif flr == "wrong":
+        w.write_reg(Register.FLR, g.flr_value + 1)
+    if readonly_write:
+        w.write_reg(Register.STAT, 0)
+    w.write_reg(Register.FAR, far_encode(*far))
+    if wcfg:
+        w.command(Command.WCFG)
+    payload = np.arange(frames * g.frame_words + extra_words, dtype=np.uint32)
+    w.write_fdri(payload)
+    if crc == "good":
+        w.write_crc_check()
+    elif crc == "bad":
+        w.write_reg(Register.CRC, (w._crc.value ^ 0x0F0F) & 0xFFFF)
+    w.command(Command.LFRM)
+    if desync:
+        w.command(Command.DESYNC)
+        w.dummy(2)            # trailing pad is only legal once desynced
+    return w.to_bytes()
+
+
+def rules_of(model) -> set[str]:
+    return {f.rule.id for f in model.findings}
+
+
+class TestSeededDefects:
+    def test_clean_stream_has_no_findings(self, xcv50):
+        model = decode_stream(xcv50, craft(xcv50))
+        assert model.findings == []
+        assert model.decode_complete and model.synced and model.desynced
+        assert len(model.writes) == 1
+        assert model.writes[0].address == "1.0"
+
+    def test_s001_crc_mismatch(self, xcv50):
+        model = decode_stream(xcv50, craft(xcv50, crc="bad"))
+        assert rules_of(model) == {"S001"}
+        # a failed check is not *no* check: S011 must not pile on
+        assert model.crc_checks == 0
+
+    def test_s002_not_word_aligned(self, xcv50):
+        model = decode_stream(xcv50, craft(xcv50) + b"\xab")
+        assert rules_of(model) == {"S002"}
+
+    def test_s003_readonly_register_write(self, xcv50):
+        model = decode_stream(xcv50, craft(xcv50, readonly_write=True))
+        assert rules_of(model) == {"S003"}
+
+    def test_s004_frame_length_mismatch(self, xcv50):
+        model = decode_stream(xcv50, craft(xcv50, extra_words=1))
+        assert rules_of(model) == {"S004"}
+        assert model.writes == []          # the ragged burst is not recorded
+
+    def test_s005_flr_wrong(self, xcv50):
+        model = decode_stream(xcv50, craft(xcv50, flr="wrong"))
+        assert "S005" in rules_of(model)
+
+    def test_s005_flr_missing(self, xcv50):
+        model = decode_stream(xcv50, craft(xcv50, flr=None))
+        assert rules_of(model) == {"S005"}
+
+    def test_s006_idcode_mismatch(self, xcv50):
+        model = decode_stream(xcv50, craft(xcv50, idcode=0x12345678))
+        assert rules_of(model) == {"S006"}
+
+    def test_s007_presync_garbage(self, xcv50):
+        model = decode_stream(xcv50, craft(xcv50, presync_garbage=3))
+        assert rules_of(model) == {"S007"}
+        assert "3 non-dummy" in model.findings[0].message
+
+    def test_s008_no_desync_is_warning(self, xcv50):
+        model = decode_stream(xcv50, craft(xcv50, desync=False))
+        assert rules_of(model) == {"S008"}
+        (finding,) = model.findings
+        assert str(finding.effective_severity) == "warning"
+
+    def test_s009_write_outside_wcfg(self, xcv50):
+        model = decode_stream(xcv50, craft(xcv50, wcfg=False))
+        assert rules_of(model) == {"S009"}
+
+    def test_s010_bad_far(self, xcv50):
+        model = decode_stream(xcv50, craft(xcv50, far=(200, 0)))
+        assert rules_of(model) == {"S010"}
+        assert model.writes == []
+
+    def test_s010_burst_overrun(self, xcv50):
+        g = xcv50.geometry
+        last = g.frame_address(g.total_frames - 1)
+        model = decode_stream(xcv50, craft(xcv50, far=last, frames=2))
+        assert "S010" in rules_of(model)
+        # the in-range frame is still recorded (clamped, not dropped)
+        assert model.frame_indices() == {g.total_frames - 1}
+
+    def test_s011_no_crc_check(self, xcv50):
+        model = decode_stream(xcv50, craft(xcv50, crc=None))
+        assert rules_of(model) == {"S011"}
+
+    def test_s012_truncated_packet(self, xcv50):
+        data = craft(xcv50, crc=None, desync=False)
+        model = decode_stream(xcv50, data[:-16])   # cut into the FDRI burst
+        assert "S012" in rules_of(model)
+        assert not model.decode_complete
+        # decode stopped early: end-of-stream rules must not also fire
+        assert "S008" not in rules_of(model) and "S011" not in rules_of(model)
+
+    def test_s013_type2_without_type1(self, xcv50):
+        w = PacketWriter()
+        w.dummy()
+        w.sync()
+        w.raw(type2_header(Opcode.WRITE, 5))
+        model = decode_stream(xcv50, w.to_bytes())
+        assert rules_of(model) == {"S013"}
+
+
+class TestShippedStreamsAreClean:
+    """Zero false positives on everything the repo's own assembler emits."""
+
+    def test_full_bitstream_clean(self, xcv50, counter_bitfile):
+        model = decode_stream(xcv50, counter_bitfile.config_bytes)
+        assert model.findings == []
+        assert model.decode_complete
+
+    def test_demo_base_clean(self, xcv50, demo_project):
+        model = decode_stream(xcv50, demo_project.base_bitfile.config_bytes)
+        assert model.findings == []
+
+    def test_all_demo_partials_clean(self, xcv50, demo_partials):
+        for (region, version), partial in sorted(demo_partials.items()):
+            model = decode_stream(
+                xcv50, partial.data, subject=f"{region}-{version}"
+            )
+            assert model.findings == [], (region, version)
+            assert model.frame_indices() == set(partial.frames)

@@ -86,6 +86,17 @@ class TestPartialStream:
         _, stats = parse_bitstream(dev, data)
         assert stats.started
 
+    def test_duplicate_frame_indices_rejected(self, dev):
+        """A repeated index would make later writes silently shadow earlier
+        ones; the assembler refuses outright."""
+        fm = configured_memory(dev)
+        with pytest.raises(BitstreamError, match="duplicate frame indices"):
+            partial_stream(fm, [5, 6, 5])
+        with pytest.raises(BitstreamError, match="5, 7"):
+            partial_stream(fm, [5, 7, 5, 7, 9])
+        # order alone is fine: disjoint but unsorted indices still assemble
+        assert partial_stream(fm, [9, 5, 7])
+
     def test_contiguous_runs_become_single_bursts(self, dev):
         fm = configured_memory(dev)
         data = partial_stream(fm, range(100, 130))

@@ -194,6 +194,14 @@ class TestFlowCommand:
                    "-o", str(tmp_path / "x.bit"), "--param", "W"])
         assert rc == 2  # malformed --param is a usage error, not a flow failure
 
+    def test_non_integer_param_value(self, tmp_path, capsys):
+        src = tmp_path / "p.v"
+        src.write_text(self.VERILOG)
+        rc = main(["flow", str(src), "-p", "XCV50",
+                   "-o", str(tmp_path / "x.bit"), "--param", "W=six"])
+        assert rc == 2
+        assert "NAME=INT" in capsys.readouterr().err
+
     def test_verilog_error_reported(self, tmp_path, capsys):
         src = tmp_path / "bad.v"
         src.write_text("module broken (input a, output y); assign y = ; endmodule")
@@ -348,6 +356,16 @@ class TestBatch:
         ])
         assert rc == 2
         assert "XCV9000" in capsys.readouterr().err
+
+    def test_batch_manifest_not_json(self, manifest, capsys):
+        (manifest["tmp"] / "manifest.json").write_text("{not json")
+        rc = main([
+            "batch", "-p", "XCV50",
+            "--base", manifest["base"],
+            "--manifest", manifest["path"],
+        ])
+        assert rc == 2
+        assert "not valid JSON" in capsys.readouterr().err
 
     def test_batch_bad_manifest(self, manifest, capsys):
         (manifest["tmp"] / "manifest.json").write_text('{"modules": []}')

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """docs-check: keep the documentation from rotting silently.
 
-Two passes, both stdlib-only:
+Three passes, all stdlib-only:
 
 1. ``python -m compileall`` over ``src/`` — every module must at least
    parse (catches syntax rot in rarely-imported corners);
@@ -10,7 +10,9 @@ Two passes, both stdlib-only:
    existing file, and every ``#fragment`` must match a heading anchor in
    the target document (GitHub anchor rules: lowercase, punctuation
    stripped, spaces to dashes).  External ``http(s)``/``mailto`` links are
-   not fetched.
+   not fetched;
+3. a rule-catalog check: every analyzer rule id registered in
+   ``src/repro/analyze`` must be documented in ``docs/ANALYSIS.md``.
 
 Run from the repository root::
 
@@ -110,19 +112,44 @@ def check_compile(root: Path) -> bool:
     return bool(compileall.compile_dir(str(root / "src"), quiet=2, force=False))
 
 
+_RULE_RE = re.compile(r"""\brule\(\s*["']([A-Z]\d{3})["']""")
+
+
+def check_rule_catalog(root: Path) -> list[str]:
+    """Every analyzer rule id registered in ``src/repro/analyze`` must be
+    documented in ``docs/ANALYSIS.md`` (the user-facing catalog)."""
+    problems: list[str] = []
+    catalog = root / "docs" / "ANALYSIS.md"
+    analyze = root / "src" / "repro" / "analyze"
+    if not analyze.is_dir():
+        return problems
+    if not catalog.exists():
+        return [f"docs/ANALYSIS.md missing but {analyze} registers rules"]
+    documented = catalog.read_text(encoding="utf-8")
+    for src in sorted(analyze.glob("*.py")):
+        for rule_id in _RULE_RE.findall(src.read_text(encoding="utf-8")):
+            if rule_id not in documented:
+                problems.append(
+                    f"{src.relative_to(root)}: rule {rule_id} is not "
+                    f"documented in docs/ANALYSIS.md"
+                )
+    return problems
+
+
 def main() -> int:
     ok = True
     if not check_compile(REPO_ROOT):
         print("docs-check: compileall failed over src/", file=sys.stderr)
         ok = False
-    problems = check_links(REPO_ROOT)
+    problems = check_links(REPO_ROOT) + check_rule_catalog(REPO_ROOT)
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
     if problems:
         ok = False
     if ok:
         n = len(doc_files(REPO_ROOT))
-        print(f"docs-check: OK ({n} Markdown files, src/ compiles)")
+        print(f"docs-check: OK ({n} Markdown files, src/ compiles, "
+              f"rule catalog complete)")
     return 0 if ok else 1
 
 
