@@ -7,18 +7,26 @@ the batch engine (:mod:`repro.batch`) does each of those once and shares
 cleared-region frames through a content-keyed cache.
 
 Claims measured here:
-* batched output is **byte-identical** to 10 sequential runs;
+* batched output is **byte-identical** to 10 sequential runs — and
+  identical across every execution backend (serial, thread, process);
 * the frame cache hits for every repeated region footprint
   (7 hits / 3 misses over the 3x(3,3,4) manifest);
-* batching wins wall-clock over sequential generation.
+* batching wins wall-clock over sequential generation;
+* on a multi-core machine the process backend beats serial by >= 2x
+  (``-m bench``; report-only below 4 cores — ``tools/perf_gate.py`` is
+  the CI entry point and writes ``BENCH_5.json``).
 
 ``pytest benchmarks/bench_batch.py --benchmark-only`` times both flows.
 """
 
+import os
 import time
+
+import pytest
 
 from repro.batch import BatchJpg, FrameCache, items_from_project
 from repro.core import Jpg
+from repro.exec import BACKEND_NAMES
 from repro.obs import Metrics
 from repro.ucf.parser import parse_ucf
 from repro.xdl.parser import parse_xdl
@@ -39,15 +47,19 @@ def generate_sequential(project):
     return out
 
 
-def generate_batched(project, *, max_workers=4):
+def generate_batched(project, *, max_workers=4, backend="thread"):
     engine = BatchJpg(
         project.part,
         project.base_bitfile,
         base_design=project.base_flow.design,
         cache=FrameCache(),
         metrics=Metrics(keep_events=False),
+        backend=backend,
     )
-    report = engine.run(items_from_project(project), max_workers=max_workers)
+    try:
+        report = engine.run(items_from_project(project), max_workers=max_workers)
+    finally:
+        engine.close()
     assert report.ok, [r.error for r in report.failures]
     return report
 
@@ -79,6 +91,21 @@ class TestEquivalence:
         many = generate_batched(fig4_project, max_workers=8).partials()
         assert {k: v.data for k, v in one.items()} == {k: v.data for k, v in many.items()}
 
+    def test_backends_byte_identical(self, fig4_project):
+        """The backend axis never changes the bytes: serial, thread, and
+        process runs of the manifest all emit the same partials."""
+        outputs = {
+            backend: {
+                k: v.data
+                for k, v in generate_batched(
+                    fig4_project, backend=backend
+                ).partials().items()
+            }
+            for backend in BACKEND_NAMES
+        }
+        assert outputs["thread"] == outputs["serial"]
+        assert outputs["process"] == outputs["serial"]
+
 
 class TestWallClock:
     def test_batch_beats_sequential(self, fig4_project):
@@ -109,3 +136,30 @@ class TestWallClock:
             lambda: generate_batched(fig4_project), rounds=3, iterations=1
         )
         assert len(report.partials()) == 10
+
+
+@pytest.mark.bench
+class TestBackendWallClock:
+    """The claim behind ``--backend process``: real CPU parallelism.
+
+    Deselected by default (``-m "not bench"``) because the assertion is
+    hardware-conditional; ``tools/perf_gate.py`` runs the same comparison
+    in CI and writes ``BENCH_5.json``.
+    """
+
+    def test_process_backend_speedup(self, fig4_project):
+        timings = {}
+        for backend in BACKEND_NAMES:
+            t0 = time.perf_counter()
+            generate_batched(fig4_project, backend=backend)
+            timings[backend] = time.perf_counter() - t0
+        for backend, t in sorted(timings.items(), key=lambda kv: kv[1]):
+            print(f"\n{backend}: {t:.3f} s")
+        cpus = os.cpu_count() or 1
+        if cpus >= 4:
+            assert timings["process"] * 2 <= timings["serial"], (
+                f"process backend should be >= 2x serial on {cpus} cores: "
+                f"{timings}"
+            )
+        else:
+            print(f"(report-only: {cpus} cpu(s) — nothing to parallelise into)")

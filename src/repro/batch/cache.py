@@ -150,26 +150,53 @@ class FrameCache:
             if entry.value is None:
                 # spill layer first: another process (or a previous run of
                 # this one) may already have computed this state.  The
-                # compute lock makes the fetch-or-compute single-flight
-                # *across processes* for disk-backed subclasses.
+                # cross-process lock covers only the fetch and the store —
+                # never the compute.  Holding it across factory() (as an
+                # earlier version did) stalls every other process behind
+                # one slow clear; instead a racing process may duplicate
+                # the compute, and the store re-verifies under the lock so
+                # whichever entry landed first wins.  Content keying makes
+                # the duplicates byte-identical, so either answer is right.
                 with self._compute_lock(base_key, region):
                     value = self._fetch(base_key, region)
-                    if value is None:
-                        value = factory()
-                        self._store(base_key, region, value)
-                        with self._lock:
-                            self._misses += 1
-                        metrics.count("framecache.miss")
-                    else:
-                        with self._lock:
-                            self._hits += 1
-                        metrics.count("framecache.hit")
+                if value is None:
+                    value = factory()
+                    with self._compute_lock(base_key, region):
+                        stored = self._fetch(base_key, region)
+                        if stored is None:
+                            self._store(base_key, region, value)
+                        else:
+                            value = stored  # lost the race: converge on theirs
+                    with self._lock:
+                        self._misses += 1
+                    metrics.count("framecache.miss")
+                    self._computed(base_key, region, value)
+                else:
+                    with self._lock:
+                        self._hits += 1
+                    metrics.count("framecache.hit")
                 entry.value = value
             else:
                 with self._lock:
                     self._hits += 1
                 metrics.count("framecache.hit")
             return entry.value
+
+    def put(self, base_key: str, region: RegionRect, value: ClearedState) -> bool:
+        """Seed an entry computed elsewhere (a pool worker, a warm-up job)
+        without touching hit/miss accounting.  An already-populated entry
+        is kept — content keying makes both values identical — and False
+        is returned."""
+        key = (base_key, region_key(region))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = self._entries[key] = _Entry()
+        with entry.lock:
+            if entry.value is None:
+                entry.value = value
+                return True
+            return False
 
     # -- spill hooks (overridden by persistent subclasses) --------------------
 
@@ -182,6 +209,11 @@ class FrameCache:
         """Spill a freshly computed cleared state to a backing store."""
 
     def _compute_lock(self, base_key: str, region: RegionRect) -> AbstractContextManager:
-        """Serialize fetch-or-compute for one key across *processes*.
-        In-memory caching needs no cross-process lock."""
+        """Serialize fetch/store for one key across *processes* (held only
+        around those, never around the compute itself).  In-memory caching
+        needs no cross-process lock."""
         return contextlib.nullcontext()
+
+    def _computed(self, base_key: str, region: RegionRect, value: ClearedState) -> None:
+        """Hook: ``value`` was just computed (not fetched) here.  Pool
+        workers override this to ship fresh states back to the parent."""

@@ -15,11 +15,14 @@ each region's tiles.  :class:`BatchJpg` factors all three out:
   :class:`~repro.batch.cache.FrameCache`, so K versions of one region
   pay for one clear;
 
-and fans the independent per-module replay/emit pipelines out over a
-``concurrent.futures`` thread pool.  Because every module generates
-against the same immutable base state, the emitted partials are
-**byte-identical** to sequential ``make_partial`` calls, whatever the
-worker count, and results come back in manifest order.
+and fans the independent per-module replay/emit pipelines out through a
+pluggable :mod:`execution backend <repro.exec>` — ``serial`` (inline),
+``thread`` (the default: a ``concurrent.futures`` thread pool), or
+``process`` (a process pool over a shared-memory base, the one that
+scales with cores).  Because every module generates against the same
+immutable base state, the emitted partials are **byte-identical** to
+sequential ``make_partial`` calls, whatever the backend or worker count,
+and results come back in manifest order.
 
 A :class:`~repro.obs.Metrics` registry is bound inside every worker, so
 one run aggregates stage timings, counters, and cache hit/miss stats
@@ -30,7 +33,6 @@ summary the ``jpg batch`` CLI prints.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from .. import utils
@@ -38,6 +40,7 @@ from ..bitstream.bitfile import BitFile
 from ..bitstream.frames import FrameMemory
 from ..core.jpg import Jpg, JpgOptions, PartialResult
 from ..errors import ReproError
+from ..exec.backend import Backend, get_backend
 from ..flow.floorplan import RegionRect
 from ..flow.ncd import NcdDesign
 from ..jbits.api import JBits
@@ -172,20 +175,41 @@ class BatchJpg:
         cache: FrameCache | None = None,
         metrics: Metrics | None = None,
         max_workers: int | None = None,
+        backend: str | Backend = "thread",
+        full_size: int | None = None,
     ):
+        """``backend`` picks the execution strategy (``"serial"`` /
+        ``"thread"`` / ``"process"`` or a :class:`~repro.exec.Backend`
+        instance).  ``full_size`` (with a :class:`FrameMemory` base) skips
+        both the base re-parse *and* the defensive clone — the zero-copy
+        path pool workers use over a shared, read-only base."""
         self.part = part
         self.base_design = base_design
         self.cache = cache if cache is not None else FrameCache()
         self.metrics = metrics if metrics is not None else Metrics()
         self.max_workers = max_workers
-        with use_metrics(self.metrics):
-            jb = JBits(part)
-            with self.metrics.stage("batch.load_base", part=part):
-                jb.read(base_bitstream)
-            assert jb.frames is not None
-            self._base_frames = jb.frames
-            with self.metrics.stage("batch.measure_full", part=part):
-                self._full_size = len(jb.write())
+        self.backend = get_backend(backend)
+        if isinstance(base_bitstream, FrameMemory) and full_size is not None:
+            from ..devices import get_device
+
+            if base_bitstream.device != get_device(part):
+                raise ReproError(
+                    f"frame memory is for {base_bitstream.device.name}, "
+                    f"engine is for {part}"
+                )
+            # trusted fast path: the caller vouches the memory is the base
+            # and will not mutate it (per-item Jpgs clone before writing)
+            self._base_frames = base_bitstream
+            self._full_size = full_size
+        else:
+            with use_metrics(self.metrics):
+                jb = JBits(part)
+                with self.metrics.stage("batch.load_base", part=part):
+                    jb.read(base_bitstream)
+                assert jb.frames is not None
+                self._base_frames = jb.frames
+                with self.metrics.stage("batch.measure_full", part=part):
+                    self._full_size = len(jb.write())
 
     @property
     def full_size(self) -> int:
@@ -231,25 +255,35 @@ class BatchJpg:
         """Generate every item's partial; results come back in input order.
 
         Per-item :class:`~repro.errors.ReproError` failures are recorded on
-        the item's result instead of aborting the batch.
+        the item's result instead of aborting the batch; a failure of the
+        execution backend itself (e.g. a dead pool worker) raises
+        :class:`~repro.errors.ExecError` and aborts the whole run.
         """
         plan = self.plan(items)
-        workers = max_workers or self.max_workers or min(8, max(1, len(items)))
+        workers = max_workers or self.max_workers
         start = time.perf_counter()
-        if not items:
-            results: list[BatchItemResult] = []
-        else:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(self.generate_one, items))
+        with use_metrics(self.metrics):
+            results = self.backend.run(self, items, workers)
         seconds = time.perf_counter() - start
         return BatchReport(
             results=results,
             seconds=seconds,
             plan=plan,
             metrics=self.metrics,
-            cache_stats=self.cache.stats,
+            cache_stats=self.backend.cache_stats(self),
             full_size=self._full_size,
         )
+
+    def run_one(self, item: BatchItem) -> BatchItemResult:
+        """Generate one item through this engine's backend (the long-lived
+        generation service's request path)."""
+        with use_metrics(self.metrics):
+            return self.backend.run_one(self, item)
+
+    def close(self) -> None:
+        """Release backend resources (process pools, shared memory).
+        Idempotent; the serial and thread backends hold nothing."""
+        self.backend.close()
 
     # -- deployment ---------------------------------------------------------
 

@@ -3,8 +3,18 @@
 The configuration logic maintains a 16-bit CRC over every word written to a
 CRC-covered register: the 32 data bits are shifted in LSB-first, followed by
 the 4-bit register address.  The polynomial is CRC-16 (x^16 + x^15 + x^2 +
-1, 0x8005), implemented here in its reflected form (0xA001) with a
-byte-wise lookup table so long FDRI bursts stay cheap.
+1, 0x8005), implemented here in its reflected form (0xA001).
+
+Two table layers keep long FDRI bursts cheap:
+
+* single writes (:meth:`ConfigCrc.update_word`) use the classic byte-wise
+  lookup table for the data bits plus a 16-entry table that shifts in the
+  whole 4-bit register address at once;
+* bursts (:meth:`ConfigCrc.update_words`) exploit that one word+address
+  step is *affine over GF(2)* in (state, data, address): the per-word data
+  contribution is computed for the entire burst in one vectorized numpy
+  pass over four position tables, leaving only a 2-lookup-per-word carry
+  loop for the serial state dependency.
 
 Writing the accumulated value to the CRC register makes the device compare
 and reset; the RCRC command resets the accumulator.
@@ -30,6 +40,52 @@ def _build_table() -> list[int]:
 _TABLE = _build_table()
 
 
+def _build_nibble_table() -> list[int]:
+    """4-bit analogue of the byte table (shifts in one register address)."""
+    table = []
+    for nibble in range(16):
+        crc = nibble
+        for _ in range(4):
+            crc = (crc >> 1) ^ _POLY_REFLECTED if crc & 1 else crc >> 1
+        table.append(crc)
+    return table
+
+
+_ADDR_TABLE = _build_nibble_table()
+
+
+def _step(crc: int, word: int, addr: int) -> int:
+    """One full register write folded into the CRC (reference form)."""
+    w = word & 0xFFFFFFFF
+    for _ in range(4):
+        crc = (crc >> 8) ^ _TABLE[(crc ^ w) & 0xFF]
+        w >>= 8
+    return (crc >> 4) ^ _ADDR_TABLE[(crc ^ addr) & 0xF]
+
+
+def _build_burst_tables():
+    """Precompute the affine decomposition of one word+address step.
+
+    ``_step(crc, w, a)`` is linear over GF(2) in the bits of ``crc``,
+    ``w``, and ``a`` jointly, so it splits as ``A(crc) ^ G(w) ^ C(a)``:
+
+    * ``A`` (the state carry) as two 256-entry tables over the state's
+      high/low bytes;
+    * ``G`` (the data contribution) as four 256-entry tables, one per
+      byte position — evaluated for a whole burst in one numpy pass;
+    * ``C`` (the address contribution) as a 16-entry constant table.
+    """
+    a_lo = [_step(x, 0, 0) for x in range(256)]
+    a_hi = [_step(x << 8, 0, 0) for x in range(256)]
+    g = [np.array([_step(0, b << (8 * k), 0) for b in range(256)], dtype=np.uint16)
+         for k in range(4)]
+    addr_c = np.array([_step(0, 0, a) for a in range(16)], dtype=np.uint16)
+    return a_lo, a_hi, g, addr_c
+
+
+_A_LO, _A_HI, (_G0, _G1, _G2, _G3), _ADDR_CONTRIB = _build_burst_tables()
+
+
 class ConfigCrc:
     """Accumulating configuration CRC (16-bit)."""
 
@@ -47,30 +103,29 @@ class ConfigCrc:
         for _ in range(4):
             crc = (crc >> 8) ^ _TABLE[(crc ^ w) & 0xFF]
             w >>= 8
-        a = reg_addr & 0xF
-        for _ in range(4):
-            crc = (crc >> 1) ^ _POLY_REFLECTED if (crc ^ a) & 1 else crc >> 1
-            a >>= 1
-        self.value = crc
+        self.value = (crc >> 4) ^ _ADDR_TABLE[(crc ^ reg_addr) & 0xF]
 
     def update_words(self, reg_addr: int, words: np.ndarray | list[int]) -> None:
         """Shift in a burst of writes to one register (e.g. an FDRI block)."""
+        payload = np.asarray(words)
+        if payload.size == 0:
+            return
+        if payload.dtype != np.uint32:
+            payload = payload.astype(np.uint64, copy=False).astype(np.uint32)
+        # vectorized data+address contribution of every word in the burst
+        contrib = (
+            _G0[payload & 0xFF]
+            ^ _G1[(payload >> np.uint32(8)) & 0xFF]
+            ^ _G2[(payload >> np.uint32(16)) & 0xFF]
+            ^ _G3[payload >> np.uint32(24)]
+            ^ _ADDR_CONTRIB[reg_addr & 0xF]
+        )
+        # serial state carry: two table lookups per word
         crc = self.value
-        table = _TABLE
-        addr = reg_addr & 0xF
-        for word in words:
-            w = int(word)
-            crc = (crc >> 8) ^ table[(crc ^ w) & 0xFF]
-            w >>= 8
-            crc = (crc >> 8) ^ table[(crc ^ w) & 0xFF]
-            w >>= 8
-            crc = (crc >> 8) ^ table[(crc ^ w) & 0xFF]
-            w >>= 8
-            crc = (crc >> 8) ^ table[(crc ^ w) & 0xFF]
-            a = addr
-            for _ in range(4):
-                crc = (crc >> 1) ^ _POLY_REFLECTED if (crc ^ a) & 1 else crc >> 1
-                a >>= 1
+        a_hi = _A_HI
+        a_lo = _A_LO
+        for g in contrib.tolist():
+            crc = a_hi[crc >> 8] ^ a_lo[crc & 0xFF] ^ g
         self.value = crc
 
 

@@ -92,6 +92,30 @@ class FrameMemory:
                 f"frame index {index} out of range 0..{self.data.shape[0] - 1}"
             )
 
+    def clear_bit_range(self, frame_start: int, frame_count: int,
+                        bit_lo: int, bit_hi: int) -> list[int]:
+        """Zero payload bits ``[bit_lo, bit_hi)`` of ``frame_count`` frames
+        starting at ``frame_start``; returns the frames that changed.
+
+        This is the vectorized hot path of region clearing: one numpy
+        mask-and-compare over the whole frame block replaces per-bit
+        ``get_bit``/``set_bit`` loops.
+        """
+        self._check_frame(frame_start)
+        self._check_frame(frame_start + frame_count - 1)
+        if not 0 <= bit_lo <= bit_hi <= self.device.geometry.frame_bits:
+            raise BitstreamError(
+                f"bit range [{bit_lo}, {bit_hi}) beyond frame payload "
+                f"({self.device.geometry.frame_bits})"
+            )
+        mask = _bit_range_mask(self.device.geometry.frame_words, bit_lo, bit_hi)
+        block = self.data[frame_start:frame_start + frame_count]
+        hit = (block & mask).any(axis=1)
+        if not hit.any():
+            return []
+        block[hit] &= ~mask
+        return (np.flatnonzero(hit) + frame_start).tolist()
+
     def frames_equal(self, other: "FrameMemory", index: int) -> bool:
         return bool(np.array_equal(self.data[index], other.data[index]))
 
@@ -227,6 +251,24 @@ class FrameMemory:
     def nonzero_frames(self) -> list[int]:
         """Frames with at least one bit set (cheap emptiness scan)."""
         return np.flatnonzero(self.data.any(axis=1)).tolist()
+
+
+_MASK_CACHE: dict[tuple[int, int, int], np.ndarray] = {}
+
+
+def _bit_range_mask(frame_words: int, bit_lo: int, bit_hi: int) -> np.ndarray:
+    """Per-word mask with frame bits ``[bit_lo, bit_hi)`` set (MSB-first
+    bit order, matching :mod:`repro.utils`).  Cached: region clears reuse
+    the same few (offset, width) combinations thousands of times."""
+    key = (frame_words, bit_lo, bit_hi)
+    mask = _MASK_CACHE.get(key)
+    if mask is None:
+        mask = np.zeros(frame_words, dtype=np.uint32)
+        for b in range(bit_lo, bit_hi):
+            mask[b // 32] |= np.uint32(1 << (31 - b % 32))
+        mask.setflags(write=False)
+        _MASK_CACHE[key] = mask
+    return mask
 
 
 def frame_runs(frame_indices: Iterable[int]) -> list[tuple[int, int]]:

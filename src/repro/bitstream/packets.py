@@ -220,7 +220,7 @@ class PacketWriter:
             arrays = self._arrays
             self._arrays = []
             for a in arrays:
-                self.words.extend(int(w) for w in a)
+                self.words.extend(a.tolist())
 
     def to_words(self) -> np.ndarray:
         self._flush_arrays()

@@ -162,13 +162,17 @@ def _cmd_batch(args) -> int:
         )
         items.append(BatchItem(name, xdl, region=region, ucf=ucf, options=options))
 
-    engine = BatchJpg(args.part, base, base_design=base_design, max_workers=args.jobs)
+    engine = BatchJpg(args.part, base, base_design=base_design,
+                      max_workers=args.jobs, backend=args.backend)
     plan = engine.plan(items)
     print(
         f"batch: {plan.total} module(s) in {len(plan.groups)} region group(s), "
         f"{plan.expected_cache_hits} shared clear(s) expected"
     )
-    report = engine.run(items)
+    try:
+        report = engine.run(items)
+    finally:
+        engine.close()
     print(report.table())
     print(report.summary())
     if args.output_dir:
@@ -406,6 +410,7 @@ def _cmd_serve(args) -> int:
         max_cache_bytes=args.max_cache_bytes,
         xhwif=xhwif,
         lint=args.lint,
+        backend=args.backend,
     )
     server = JpgServer(service, max_queue=args.max_queue, workers=args.workers)
     if args.stdio:
@@ -587,7 +592,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help='JSON manifest: {"modules": [{"name", "xdl", "ucf", "region"}, ...]} '
                         "(paths relative to the manifest file)")
     p.add_argument("-o", "--output-dir", help="save each partial as NAME.bit here")
-    p.add_argument("-j", "--jobs", type=int, help="worker threads (default: auto)")
+    p.add_argument("-j", "--jobs", type=int,
+                   help="pool workers (default: auto — JPG_WORKERS, then CPU count)")
+    p.add_argument("--backend", choices=["serial", "thread", "process"],
+                   default="thread",
+                   help="execution backend: serial (inline), thread (GIL-bound "
+                        "pool, default), process (scales with cores; base "
+                        "shared zero-copy via shared memory)")
     p.add_argument("--granularity", choices=["column", "frame"], default="column")
     p.add_argument("--no-checks", action="store_true", help="skip region containment checks")
     p.add_argument("--metrics", action="store_true",
@@ -677,8 +688,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="LRU-evict the disk cache past this size")
     p.add_argument("--max-queue", type=int, default=32,
                    help="pending-request bound before rejecting (default 32)")
-    p.add_argument("--workers", type=int, default=2,
-                   help="concurrent generation threads (default 2)")
+    p.add_argument("--workers", type=int,
+                   help="concurrent generations (default: auto — JPG_WORKERS, "
+                        "then CPU count)")
+    p.add_argument("--backend", choices=["serial", "thread", "process"],
+                   default="thread",
+                   help="execution backend for generations (process = a "
+                        "worker-process pool over a shared-memory base)")
     p.add_argument("--deploy-sim", action="store_true",
                    help="deploy each served partial onto a simulated board")
     p.add_argument("--lint", action="store_true",

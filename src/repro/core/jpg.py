@@ -167,8 +167,6 @@ class Jpg:
             if opts.check_interface and self.base_design is not None:
                 raise_on_interface_mismatch(self.base_design, design)
 
-        before = self.frames.clone()
-
         # 1. clear the floorplanned region so stale logic cannot survive
         if opts.clear_region and region is not None:
             with metrics.stage("jpg.clear_region", module=design.name,
@@ -207,7 +205,6 @@ class Jpg:
         metrics.count("jpg.partials")
         metrics.count("jpg.frames_written", len(frames))
         metrics.count("jpg.partial_bytes", len(data))
-        del before  # (kept for symmetry with verify tooling)
         return PartialResult(
             module_name=design.name,
             data=data,
@@ -264,10 +261,12 @@ class Jpg:
     def _as_design(self, module: NcdDesign | str) -> NcdDesign:
         if isinstance(module, NcdDesign):
             return module
-        from ..xdl.parser import parse_xdl
+        from ..xdl.parser import parse_xdl_cached
 
         with current_metrics().stage("jpg.parse_xdl"):
-            return parse_xdl(module)
+            # content-hash memoized: repeated regenerations of one module
+            # (serve requests, pool workers) parse once per process
+            return parse_xdl_cached(module)
 
     def _region_from_ucf(self, design: NcdDesign, ucf: UcfFile | None) -> RegionRect | None:
         if ucf is None:

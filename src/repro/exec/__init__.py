@@ -1,0 +1,45 @@
+"""Execution backends for batch partial-bitstream generation.
+
+Public surface of the backend subsystem (see :mod:`repro.exec.backend`
+for the strategy classes and :mod:`repro.exec.shm` for the zero-copy
+frame transport the process backend rides on)::
+
+    from repro.exec import default_workers, get_backend
+
+    engine = BatchJpg("XCV100", base, backend="process")
+    report = engine.run(items)      # byte-identical to backend="serial"
+    engine.close()                  # returns the pool + shared memory
+"""
+
+from ..errors import ExecError
+from .backend import (
+    BACKEND_NAMES,
+    MAX_DEFAULT_WORKERS,
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    default_workers,
+    get_backend,
+    in_worker_process,
+    mark_worker_process,
+)
+from .shm import FrameDelta, SharedFrames, ShmSpec, attach_frames
+
+__all__ = [
+    "BACKEND_NAMES",
+    "MAX_DEFAULT_WORKERS",
+    "Backend",
+    "ExecError",
+    "FrameDelta",
+    "ProcessBackend",
+    "SerialBackend",
+    "SharedFrames",
+    "ShmSpec",
+    "ThreadBackend",
+    "attach_frames",
+    "default_workers",
+    "get_backend",
+    "in_worker_process",
+    "mark_worker_process",
+]

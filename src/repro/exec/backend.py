@@ -1,0 +1,314 @@
+"""Execution backends: how a batch of generations actually runs.
+
+The batch engine used to be welded to one strategy (a thread pool).  This
+module factors the strategy out into a small :class:`Backend` interface
+with three implementations:
+
+* :class:`SerialBackend` — items run inline on the calling thread.  The
+  reference semantics; every other backend must match its output
+  byte-for-byte.
+* :class:`ThreadBackend` — a per-run ``ThreadPoolExecutor``.  Cheap to
+  start and shares the in-process frame cache directly, but generation is
+  CPU-bound numpy-plus-Python work, so the GIL caps the speedup.
+* :class:`ProcessBackend` — a persistent ``ProcessPoolExecutor``.  The
+  base frame memory is published once via :mod:`repro.exec.shm` and
+  attached zero-copy by every worker; tasks and results are small
+  pickles, and cleared-region states come home as dirty-frame deltas
+  that re-seed the parent's cache.  This is the backend that scales with
+  cores.
+
+Backends are engine-agnostic objects: ``run(engine, items)`` executes a
+manifest for one :class:`~repro.batch.engine.BatchJpg` and returns results
+in manifest order.  A backend failure (dead worker, lost shared memory)
+raises :class:`~repro.errors.ExecError` and aborts the run — per-item
+generation errors, by contrast, land on the item's result exactly as in
+the serial path, so a batch never silently loses items.
+
+:func:`default_workers` is the one sizing policy everything shares: the
+``JPG_WORKERS`` environment variable wins, a pool worker always answers 1
+(a process worker must never nest its own pool), and otherwise the CPU
+count decides, capped at 8.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+from ..batch.cache import CacheStats
+from ..errors import ExecError
+
+if TYPE_CHECKING:
+    from ..batch.engine import BatchItem, BatchItemResult, BatchJpg
+
+#: Worker cap when sizing from the CPU count (a generation pipeline stops
+#: scaling well before the core counts of large hosts).
+MAX_DEFAULT_WORKERS = 8
+
+#: Set (via :func:`mark_worker_process`) inside pool worker processes so
+#: nested sizing decisions collapse to 1.
+_IN_WORKER = False
+
+
+def mark_worker_process() -> None:
+    """Record that this process is a pool worker (called by the worker
+    initializer; never unset — workers die with the pool)."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def in_worker_process() -> bool:
+    return _IN_WORKER
+
+
+def default_workers(limit: int | None = None) -> int:
+    """How many workers a pool should get, absent an explicit count.
+
+    Priority: the ``JPG_WORKERS`` environment variable, then 1 if this
+    process is itself a pool worker (no nested pools), then the CPU count
+    capped at :data:`MAX_DEFAULT_WORKERS`.  ``limit`` (e.g. the number of
+    items) bounds the answer; the result is always >= 1.
+    """
+    env = os.environ.get("JPG_WORKERS")
+    if env:
+        try:
+            n = int(env)
+        except ValueError:
+            raise ExecError(f"JPG_WORKERS must be an integer, got {env!r}") from None
+        if n < 1:
+            raise ExecError(f"JPG_WORKERS must be >= 1, got {n}")
+    elif _IN_WORKER:
+        n = 1
+    else:
+        n = min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS)
+    if limit is not None:
+        n = min(n, max(1, limit))
+    return max(1, n)
+
+
+class Backend(ABC):
+    """Strategy for executing a manifest of independent generations."""
+
+    #: Name used by ``--backend`` and reports.
+    name: str = "?"
+
+    @abstractmethod
+    def run(
+        self,
+        engine: "BatchJpg",
+        items: list["BatchItem"],
+        workers: int | None = None,
+    ) -> list["BatchItemResult"]:
+        """Generate every item; results in manifest order.  Raises
+        :class:`ExecError` if the backend itself fails."""
+
+    def run_one(self, engine: "BatchJpg", item: "BatchItem") -> "BatchItemResult":
+        """Generate a single item (the long-lived-service path).  Default:
+        inline on the calling thread."""
+        return engine.generate_one(item)
+
+    def cache_stats(self, engine: "BatchJpg") -> CacheStats:
+        """Frame-cache accounting for a finished run.  In-process backends
+        read the engine's cache; the process backend aggregates what its
+        workers reported."""
+        return engine.cache.stats
+
+    def close(self) -> None:
+        """Release pools / shared memory.  Idempotent."""
+
+
+class SerialBackend(Backend):
+    """Run items inline, one after another — the reference semantics."""
+
+    name = "serial"
+
+    def run(self, engine, items, workers=None):
+        return [engine.generate_one(item) for item in items]
+
+
+class ThreadBackend(Backend):
+    """A per-run thread pool (the engine's historical behavior)."""
+
+    name = "thread"
+
+    def __init__(self, workers: int | None = None):
+        self.workers = workers
+
+    def run(self, engine, items, workers=None):
+        if not items:
+            return []
+        n = workers or self.workers or default_workers(limit=len(items))
+        engine.metrics.gauge("exec.pool_workers", n)
+        with ThreadPoolExecutor(max_workers=n) as pool:
+            return list(pool.map(engine.generate_one, items))
+
+
+class ProcessBackend(Backend):
+    """A persistent process pool over a shared-memory base.
+
+    Created lazily on first use and bound to one engine (its base frames
+    are what the workers attached to); reuse across runs amortizes the
+    fork/attach cost for services.  Call :meth:`close` (or
+    ``engine.close()``) when done so the segment is unlinked.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None, *, start_method: str | None = None):
+        self.workers = workers
+        self.start_method = start_method
+        self._pool = None
+        self._shared = None
+        self._engine: BatchJpg | None = None
+        self._resolved_workers = 0
+        self._worker_hits = 0
+        self._worker_misses = 0
+
+    # -- pool lifecycle -------------------------------------------------------
+
+    def _ensure_pool(self, engine: "BatchJpg", workers: int | None) -> None:
+        if self._pool is not None:
+            if engine is not self._engine:
+                raise ExecError(
+                    "process backend is already bound to another engine; "
+                    "use one ProcessBackend per BatchJpg"
+                )
+            return
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        from .shm import SharedFrames
+        from .worker import worker_init
+
+        method = self.start_method
+        if method is None:
+            # fork is dramatically cheaper where it exists (no re-import,
+            # parsed device models inherited); fall back to the default
+            method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        ctx = multiprocessing.get_context(method)
+        n = workers or self.workers or default_workers()
+        shared = SharedFrames.publish(engine.base_frames)
+        cache_spec = _cache_spec(engine)
+        try:
+            self._pool = ProcessPoolExecutor(
+                max_workers=n,
+                mp_context=ctx,
+                initializer=worker_init,
+                initargs=(
+                    engine.part,
+                    shared.spec,
+                    engine.base_design,
+                    engine.full_size,
+                    cache_spec,
+                ),
+            )
+        except BaseException:
+            shared.unlink()
+            raise
+        self._shared = shared
+        self._engine = engine
+        self._resolved_workers = n
+        engine.metrics.gauge("exec.pool_workers", n)
+        engine.metrics.gauge("exec.shm_bytes", shared.nbytes)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        if self._shared is not None:
+            self._shared.unlink()
+            self._shared = None
+        self._engine = None
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, engine, items, workers=None):
+        if not items:
+            return []
+        from concurrent.futures.process import BrokenProcessPool
+
+        from .worker import worker_task
+
+        self._ensure_pool(engine, workers)
+        engine.metrics.count("exec.tasks", len(items))
+        try:
+            with engine.metrics.stage("exec.pool_map", backend=self.name,
+                                      items=len(items), workers=self._resolved_workers):
+                raw = list(self._pool.map(worker_task, items))
+        except BrokenProcessPool as exc:
+            # a worker died (OOM kill, crash, os._exit): the whole batch
+            # aborts — partial results must never pass for a finished run
+            self.close()
+            raise ExecError(
+                f"process backend lost a worker mid-batch ({len(items)} items "
+                f"aborted): {exc}"
+            ) from exc
+        return [self._ingest(engine, r) for r in raw]
+
+    def run_one(self, engine, item):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from .worker import worker_task
+
+        self._ensure_pool(engine, None)
+        engine.metrics.count("exec.tasks")
+        try:
+            raw = self._pool.submit(worker_task, item).result()
+        except BrokenProcessPool as exc:
+            self.close()
+            raise ExecError(f"process backend lost a worker: {exc}") from exc
+        return self._ingest(engine, raw)
+
+    def _ingest(self, engine, raw):
+        """Fold one worker reply into the parent: merge its metrics
+        snapshot, re-seed the cache from its cleared-state deltas, and
+        hand back the plain result."""
+        result, snapshot, cleared = raw
+        counters = snapshot.get("counters", {})
+        self._worker_hits += counters.get("framecache.hit", 0)
+        self._worker_misses += counters.get("framecache.miss", 0)
+        engine.metrics.merge(snapshot)
+        for base_key, region, dirty, delta in cleared:
+            state = (delta.apply(engine.base_frames), frozenset(dirty))
+            engine.cache.put(base_key, region, state)
+        return result
+
+    def cache_stats(self, engine):
+        """Hits/misses as the workers saw them (their caches did the work)."""
+        return CacheStats(self._worker_hits, self._worker_misses)
+
+
+def _cache_spec(engine: "BatchJpg"):
+    """A picklable recipe for the worker-side cache: disk-backed workers
+    rebuild the engine's persistent cache (sharing entries through the
+    filesystem); everyone else gets a private in-memory cache whose
+    computes come home as deltas."""
+    disk = getattr(engine.cache, "disk", None)
+    if disk is not None:
+        return ("disk", disk.root, disk.max_bytes)
+    return None
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+#: Names accepted by ``--backend`` / ``backend=``.
+BACKEND_NAMES = tuple(_BACKENDS)
+
+
+def get_backend(backend: str | Backend) -> Backend:
+    """Resolve a backend argument: a :class:`Backend` instance passes
+    through, a name constructs the matching class."""
+    if isinstance(backend, Backend):
+        return backend
+    cls = _BACKENDS.get(backend)
+    if cls is None:
+        raise ExecError(
+            f"unknown backend {backend!r} (expected one of {', '.join(_BACKENDS)})"
+        )
+    return cls()

@@ -1,0 +1,146 @@
+"""Zero-copy frame-memory transport for the process backend.
+
+The base configuration is by far the largest thing a pool worker needs —
+on an XCV100 it is a few hundred kilobytes of frame words, and pickling
+it into every worker (or worse, into every task) would dominate the cost
+the process backend is supposed to remove.  :class:`SharedFrames` instead
+publishes the parent's :class:`~repro.bitstream.frames.FrameMemory` once
+through :mod:`multiprocessing.shared_memory`; workers *attach* to the
+segment and wrap the mapped buffer in a read-only numpy view, so the base
+crosses the process boundary zero-copy and exists in physical memory
+exactly once.
+
+Results travel the other way as :class:`FrameDelta` objects: only the
+frames that differ from the shared base (their indices plus their raw
+words), never a whole frame memory.  Between the two, task payloads and
+results stay small — a parsed module, a region rectangle, a handful of
+changed frames.
+
+Lifecycle: the parent owns the segment (:meth:`SharedFrames.publish` /
+:meth:`SharedFrames.unlink`); workers only ever attach and close.  A
+CPython 3.x wart needs explicit handling: attaching registers the segment
+with the process's ``resource_tracker`` as if the attacher owned it.
+Under the ``fork`` start method children share the parent's tracker (the
+duplicate registration dedupes harmlessly), but under ``spawn`` each
+worker gets its *own* tracker, which would unlink the segment when the
+worker exits — destroying it for everyone else.  :func:`attach_frames`
+therefore unregisters after attaching on non-fork start methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from ..bitstream.frames import FrameMemory
+from ..devices import get_device
+from ..errors import ExecError
+
+
+@dataclass(frozen=True)
+class ShmSpec:
+    """Everything a worker needs to attach to a published frame memory.
+
+    Picklable and tiny — it rides in the pool initializer's arguments.
+    """
+
+    name: str      # shared-memory segment name
+    device: str    # part name, e.g. "XCV100"
+    frames: int    # array shape, so attach never trusts the segment size
+    words: int
+
+
+class SharedFrames:
+    """A frame memory published read-only in shared memory (parent side)."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, spec: ShmSpec):
+        self._shm = shm
+        self.spec = spec
+
+    @classmethod
+    def publish(cls, frames: FrameMemory) -> "SharedFrames":
+        """Copy ``frames`` into a new shared segment (the one copy there is)."""
+        data = frames.data
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=data.nbytes)
+        except OSError as exc:  # pragma: no cover - /dev/shm full or absent
+            raise ExecError(f"cannot create shared memory for base frames: {exc}") from exc
+        view = np.ndarray(data.shape, dtype=np.uint32, buffer=shm.buf)
+        view[:] = data
+        spec = ShmSpec(shm.name, frames.device.name, data.shape[0], data.shape[1])
+        return cls(shm, spec)
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (parent only, after the pool is gone)."""
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def attach_frames(spec: ShmSpec) -> tuple[FrameMemory, shared_memory.SharedMemory]:
+    """Attach to a published base (worker side): a read-only, zero-copy
+    :class:`FrameMemory` over the mapped segment, plus the handle to keep
+    the mapping alive (close it when the worker dies; never unlink)."""
+    try:
+        shm = shared_memory.SharedMemory(name=spec.name)
+    except FileNotFoundError as exc:
+        raise ExecError(f"shared base frames {spec.name!r} are gone: {exc}") from exc
+    if multiprocessing.get_start_method(allow_none=True) != "fork":
+        # see module docstring: without this, a spawn-started worker's own
+        # resource tracker unlinks the segment out from under the pool
+        try:  # pragma: no cover - spawn-only path
+            resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+    device = get_device(spec.device)
+    view = np.ndarray((spec.frames, spec.words), dtype=np.uint32, buffer=shm.buf)
+    view.setflags(write=False)
+    return FrameMemory(device, view), shm
+
+
+@dataclass(frozen=True)
+class FrameDelta:
+    """Frames of one memory that differ from a shared base.
+
+    ``indices`` are linear frame numbers; ``words`` is the raw uint32
+    payload of those frames, row-major, serialized as bytes so the object
+    pickles compactly.  This is the wire format of every cleared-region
+    state a worker sends home.
+    """
+
+    indices: tuple[int, ...]
+    words: bytes
+
+    @classmethod
+    def between(cls, base: FrameMemory, other: FrameMemory) -> "FrameDelta":
+        """The delta that turns ``base`` into ``other``."""
+        changed = base.diff_frames(other)
+        if not changed:
+            return cls((), b"")
+        return cls(tuple(changed), other.data[changed].tobytes())
+
+    def apply(self, base: FrameMemory) -> FrameMemory:
+        """A clone of ``base`` with this delta's frames overwritten."""
+        out = base.clone()
+        if self.indices:
+            rows = np.frombuffer(self.words, dtype=np.uint32).reshape(
+                len(self.indices), base.data.shape[1]
+            )
+            out.data[list(self.indices)] = rows
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.words)

@@ -1,0 +1,120 @@
+"""What runs inside a process-pool worker.
+
+One worker = one long-lived :class:`~repro.batch.engine.BatchJpg` built in
+:func:`worker_init` over the parent's shared-memory base (attached
+zero-copy, never cloned) and reused for every task the worker receives.
+:func:`worker_task` is the unit of work the parent submits: generate one
+item, then ship home a small pickle of
+
+* the :class:`~repro.batch.engine.BatchItemResult` itself (the partial's
+  bytes are the product; they are already small),
+* a metrics snapshot of this task's counters/timers, merged into the
+  parent registry so one report covers the whole pool, and
+* any cleared-region states this task computed, encoded as
+  :class:`~repro.exec.shm.FrameDelta` against the shared base — the
+  parent re-seeds its own cache from these, so work done in a worker
+  warms every later run.
+
+With a disk-backed cache, workers share cleared states through the
+filesystem instead and the delta list stays empty.
+
+Both functions are module-level so they pickle by reference under the
+``spawn`` start method.  ``JPG_EXEC_CRASH=<item name>`` (or ``*``) makes a
+worker die mid-task with ``os._exit`` — the hook the crash tests use to
+prove a broken pool aborts the batch loudly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from ..batch.cache import ClearedState, FrameCache
+from ..errors import ExecError
+from ..obs import Metrics
+from .backend import mark_worker_process
+from .shm import FrameDelta, ShmSpec, attach_frames
+
+if TYPE_CHECKING:
+    from ..batch.engine import BatchItem, BatchItemResult
+    from ..flow.floorplan import RegionRect
+    from ..flow.ncd import NcdDesign
+
+#: One cleared state on the wire: (base key, region, dirty frames, delta).
+ClearedRecord = tuple[str, "RegionRect", tuple[int, ...], FrameDelta]
+
+#: Worker-global state set once by :func:`worker_init`.
+_STATE: dict | None = None
+
+
+class _RecordingCache(FrameCache):
+    """An in-memory frame cache that remembers what it computed, as deltas
+    against the shared base, so tasks can send those states home."""
+
+    def __init__(self, base) -> None:
+        super().__init__()
+        self._base = base
+        self._records: list[ClearedRecord] = []
+
+    def _computed(self, base_key: str, region, value: ClearedState) -> None:
+        frames, dirty = value
+        self._records.append(
+            (base_key, region, tuple(sorted(dirty)), FrameDelta.between(self._base, frames))
+        )
+
+    def drain(self) -> list[ClearedRecord]:
+        records, self._records = self._records, []
+        return records
+
+
+def worker_init(
+    part: str,
+    spec: ShmSpec,
+    base_design: "NcdDesign | None",
+    full_size: int,
+    cache_spec: tuple | None,
+) -> None:
+    """Pool initializer: attach the shared base and build this worker's
+    engine.  Runs once per worker process."""
+    global _STATE
+    mark_worker_process()
+    frames, shm = attach_frames(spec)
+    if cache_spec is not None and cache_spec[0] == "disk":
+        from ..serve.diskcache import DiskCache, PersistentFrameCache
+
+        cache: FrameCache = PersistentFrameCache(
+            DiskCache(cache_spec[1], max_bytes=cache_spec[2])
+        )
+    else:
+        cache = _RecordingCache(frames)
+    from ..batch.engine import BatchJpg
+
+    engine = BatchJpg(
+        part,
+        frames,                  # zero-copy: full_size set, so no reparse/clone
+        base_design,
+        cache=cache,
+        backend="serial",        # a worker never nests a pool
+        full_size=full_size,
+    )
+    _STATE = {"engine": engine, "shm": shm, "cache": cache}
+
+
+def worker_task(item: "BatchItem") -> tuple["BatchItemResult", dict, list[ClearedRecord]]:
+    """Generate one item in this worker; see the module docstring for the
+    reply format."""
+    if _STATE is None:  # pragma: no cover - initializer cannot have failed silently
+        raise ExecError("worker used before worker_init")
+    crash = os.environ.get("JPG_EXEC_CRASH")
+    if crash and crash in ("*", item.name):
+        os._exit(17)  # simulate a dying worker (OOM kill, segfault)
+    engine = _STATE["engine"]
+    cache = _STATE["cache"]
+    # fresh per-task registry: a worker runs tasks one at a time, so
+    # rebinding the engine's registry cleanly scopes the snapshot
+    metrics = Metrics(keep_events=False)
+    engine.metrics = metrics
+    with metrics.stage("exec.task", item=item.name, pid=os.getpid()):
+        result = engine.generate_one(item)
+    cleared = cache.drain() if isinstance(cache, _RecordingCache) else []
+    return result, metrics.snapshot(), cleared

@@ -142,20 +142,16 @@ class JBits:
         self._dirty.add(frame)
 
     def clear_tile(self, row: int, col: int) -> None:
-        """Zero every configuration bit of one CLB tile (all 48 minors)."""
+        """Zero every configuration bit of one CLB tile (all 48 minors).
+
+        Vectorized through :meth:`FrameMemory.clear_bit_range` — the
+        dominant cost of a region clear, so it matters that this is one
+        numpy pass instead of 864 per-bit accesses."""
         fm = self._require()
         g = self.device.geometry
         base = g.frame_base(g.major_of_clb_col(col))
         off = g.row_bit_offset(row)
-        for minor in range(48):
-            frame = base + minor
-            changed = False
-            for bit in range(off, off + 18):
-                if fm.get_bit(frame, bit):
-                    fm.set_bit(frame, bit, 0)
-                    changed = True
-            if changed:
-                self._dirty.add(frame)
+        self._dirty.update(fm.clear_bit_range(base, 48, off, off + 18))
 
     # -- convenience (mirrors common JBits idioms) ------------------------------------
 

@@ -148,6 +148,36 @@ class Metrics:
         finally:
             self.record(name, time.perf_counter() - start, **detail)
 
+    # -- aggregation ----------------------------------------------------------
+
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add; timers combine count/total/min/max (mean follows);
+        gauges combine extremes, keep the snapshot's last value, and add
+        update counts.  This is how the process backend folds per-worker
+        registries into the parent's, so one report covers a whole pool.
+        Events do not travel in snapshots and are not merged.
+        """
+        counters = snapshot.get("counters", {})
+        timers = snapshot.get("timers", {})
+        gauges = snapshot.get("gauges", {})
+        with self._lock:
+            for name, n in counters.items():
+                self.counters[name] = self.counters.get(name, 0) + n
+            for name, t in timers.items():
+                mine = self.timers.setdefault(name, TimerStats())
+                mine.count += t["count"]
+                mine.total += t["total"]
+                mine.min = min(mine.min, t["min"])
+                mine.max = max(mine.max, t["max"])
+            for name, g in gauges.items():
+                mine = self.gauges.setdefault(name, GaugeStats())
+                mine.last = g["last"]
+                mine.min = min(mine.min, g["min"])
+                mine.max = max(mine.max, g["max"])
+                mine.updates += g["updates"]
+
     # -- reporting -----------------------------------------------------------
 
     def snapshot(self) -> dict[str, object]:
@@ -188,6 +218,9 @@ class NullMetrics(Metrics):
         pass
 
     def record(self, stage: str, seconds: float, **detail: object) -> None:
+        pass
+
+    def merge(self, snapshot: Mapping[str, object]) -> None:
         pass
 
     @contextlib.contextmanager

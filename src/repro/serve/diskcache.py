@@ -19,10 +19,13 @@ kill) can trust whatever it finds.  Writes are atomic (temp file +
 entries are treated as misses and deleted.
 
 Cross-process coordination uses ``fcntl`` file locks under
-``<root>/locks/``: :meth:`DiskCache.lock` serializes fetch-or-compute for
-one key so N processes asking for the same cleared state run exactly one
-compute (the same single-flight guarantee :class:`FrameCache` gives
-threads).  Total size is LRU-capped: loads refresh an entry's mtime and
+``<root>/locks/``: :meth:`DiskCache.lock` serializes the *fetch* and the
+*store* of one key — never the compute in between, so one process's slow
+clear cannot stall every other process on the same key.  Two racers may
+duplicate a compute, but stores re-verify under the lock and the first
+entry wins; content keying makes the duplicates byte-identical, so the
+outcome is one entry either way.  Total size is LRU-capped: loads
+refresh an entry's mtime and
 stores evict the stalest entries once ``max_bytes`` is exceeded.
 
 Disk traffic is observable as ``serve.disk_hit`` / ``serve.disk_miss`` /
@@ -278,10 +281,11 @@ class PersistentFrameCache(FrameCache):
     """A :class:`FrameCache` that spills cleared states through a
     :class:`DiskCache`.
 
-    Lookups fall through memory to disk before computing, computes are
-    written back, and the per-key file lock extends single-flight across
-    processes: N processes clearing the same region on the same base run
-    exactly one compute between them.
+    Lookups fall through memory to disk before computing and computes are
+    written back under the per-key file lock.  The lock covers only the
+    disk fetch/store, so a racing process may duplicate a compute, but
+    every store re-verifies the entry first: the key converges on a
+    single value and nobody ever blocks behind another process's clear.
     """
 
     def __init__(self, disk: DiskCache):

@@ -59,7 +59,7 @@ class JpgServer:
         service: GenerationService,
         *,
         max_queue: int = 32,
-        workers: int = 2,
+        workers: int | None = None,
     ):
         self.service = service
         self.scheduler = Scheduler(service, max_queue=max_queue, workers=workers)
@@ -76,6 +76,7 @@ class JpgServer:
             server.close()
             await server.wait_closed()
             await self.scheduler.aclose()
+            self._close_service()
             with contextlib.suppress(OSError):
                 import os
 
@@ -94,6 +95,14 @@ class JpgServer:
         writer = asyncio.StreamWriter(w_transport, w_protocol, reader, loop)
         await self._handle(reader, writer)
         await self.scheduler.aclose()
+        self._close_service()
+
+    def _close_service(self) -> None:
+        """Release the service's execution backend on shutdown (tolerates
+        service doubles that do not implement close)."""
+        close = getattr(self.service, "close", None)
+        if close is not None:
+            close()
 
     # -- connection handling --------------------------------------------------
 

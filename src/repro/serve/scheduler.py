@@ -35,6 +35,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from ..errors import QueueFullError
+from ..exec import default_workers
 from .service import GenerationService, GenRequest, ServeResult
 
 
@@ -43,6 +44,11 @@ class Scheduler:
 
     All methods must be called from one running event loop (the server's);
     the blocking generation work happens on the internal thread pool.
+    ``workers=None`` sizes that pool with :func:`repro.exec.default_workers`
+    (``JPG_WORKERS``, then CPU count) — the same policy the batch engine
+    uses.  When the service runs a process backend, these threads only
+    shepherd requests into the worker pool; the event loop itself stays
+    single-threaded either way.
     """
 
     def __init__(
@@ -50,10 +56,12 @@ class Scheduler:
         service: GenerationService,
         *,
         max_queue: int = 32,
-        workers: int = 2,
+        workers: int | None = None,
     ):
         if max_queue < 1:
             raise QueueFullError(f"max_queue must be >= 1, got {max_queue}")
+        if workers is None:
+            workers = default_workers()
         self.service = service
         self.metrics = service.metrics
         self.max_queue = max_queue

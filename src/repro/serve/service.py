@@ -34,6 +34,7 @@ from ..bitstream.frames import FrameMemory
 from ..core.jpg import JpgOptions
 from ..core.partial import Granularity
 from ..errors import UsageError
+from ..exec.backend import Backend
 from ..flow.floorplan import RegionRect
 from ..flow.ncd import NcdDesign
 from ..obs import Metrics, use_metrics
@@ -129,7 +130,12 @@ class GenerationService:
         xhwif=None,
         retry: RetryPolicy | None = None,
         lint: bool = False,
+        backend: str | Backend = "thread",
     ):
+        """``backend`` picks how generations execute (see
+        :mod:`repro.exec`): ``"thread"`` runs them inline on the
+        scheduler's threads, ``"process"`` fans them out to a pool of
+        worker processes over a shared-memory base."""
         self.metrics = metrics if metrics is not None else Metrics(keep_events=False)
         self.disk: DiskCache | None = (
             DiskCache(cache_dir, max_bytes=max_cache_bytes) if cache_dir else None
@@ -142,6 +148,7 @@ class GenerationService:
                 base_design=base_design,
                 cache=cache,
                 metrics=self.metrics,
+                backend=backend,
             )
         self.part = part
         self.base_design = base_design
@@ -193,7 +200,7 @@ class GenerationService:
                     return result
             item = request.to_item(check_interface=self.base_design is not None)
             with self.metrics.stage("serve.generate", module=request.name):
-                item_result = self.engine.generate_one(item)
+                item_result = self.engine.run_one(item)
             if not item_result.ok:
                 self.metrics.count("serve.failures")
                 return ServeResult(
@@ -230,9 +237,9 @@ class GenerationService:
         design = None
         constraints = None
         try:
-            from ..xdl.parser import parse_xdl
+            from ..xdl.parser import parse_xdl_cached
 
-            design = parse_xdl(request.xdl)
+            design = parse_xdl_cached(request.xdl)
         except ReproError:
             design = None                 # stream rules still apply
         if request.ucf:
@@ -267,6 +274,11 @@ class GenerationService:
             return
         result.deployed = True
         self.metrics.count("serve.deploys")
+
+    def close(self) -> None:
+        """Release the engine's execution backend (process pool, shared
+        memory).  Idempotent; thread-backed services hold nothing."""
+        self.engine.close()
 
     def stats(self) -> dict:
         """A JSON-ready snapshot for the ``stats`` protocol op."""

@@ -9,7 +9,10 @@ the test suite checks.
 
 from __future__ import annotations
 
+import hashlib
 import re
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..devices import parse_iob_site, parse_slice_site
@@ -333,6 +336,43 @@ def _parse_cfg(cfg: str) -> dict[str, tuple[str, str]]:
 def parse_xdl(text: str) -> NcdDesign:
     """Parse XDL text into a physical-form design database."""
     return XdlParser(text).parse()
+
+
+_PARSE_CACHE_MAX = 64
+_parse_cache: OrderedDict[str, NcdDesign] = OrderedDict()
+_parse_lock = threading.Lock()
+
+
+def parse_xdl_cached(text: str) -> NcdDesign:
+    """Memoized :func:`parse_xdl`, keyed by a content hash of the text.
+
+    Regenerating the same module (repeated serve requests, a batch item
+    retried on a new base, every worker of a pool parsing one manifest)
+    pays for one parse.  The returned design is **shared**: callers must
+    treat it as read-only, which everything downstream of
+    :meth:`repro.core.jpg.Jpg.make_partial` already does.  The cache is
+    process-local, thread-safe, and LRU-capped at ``_PARSE_CACHE_MAX``
+    entries.
+    """
+    key = hashlib.sha256(text.encode()).hexdigest()
+    with _parse_lock:
+        design = _parse_cache.get(key)
+        if design is not None:
+            _parse_cache.move_to_end(key)
+            return design
+    design = parse_xdl(text)
+    with _parse_lock:
+        _parse_cache[key] = design
+        _parse_cache.move_to_end(key)
+        while len(_parse_cache) > _PARSE_CACHE_MAX:
+            _parse_cache.popitem(last=False)
+    return design
+
+
+def clear_parse_cache() -> None:
+    """Drop every memoized design (tests and long-lived services)."""
+    with _parse_lock:
+        _parse_cache.clear()
 
 
 def load_xdl(path: str) -> NcdDesign:

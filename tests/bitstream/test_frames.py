@@ -208,3 +208,72 @@ class TestFrameRuns:
         assert flat == sorted(flat)
         for (s1, n1), (s2, _) in zip(runs, runs[1:]):
             assert s1 + n1 < s2  # a gap separates consecutive runs
+
+
+class TestClearBitRange:
+    """The vectorized region-clear hot path vs the per-bit reference."""
+
+    def _reference_clear(self, fm, frame_start, frame_count, bit_lo, bit_hi):
+        changed = []
+        for f in range(frame_start, frame_start + frame_count):
+            touched = False
+            for b in range(bit_lo, bit_hi):
+                if fm.get_bit(f, b):
+                    fm.set_bit(f, b, 0)
+                    touched = True
+            if touched:
+                changed.append(f)
+        return changed
+
+    @given(st.integers(min_value=0, max_value=1_000_000), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_per_bit_clear(self, seed, data):
+        fm = FrameMemory(get_device("XCV50"))
+        rng = np.random.default_rng(seed)
+        fm.data[:] = rng.integers(0, 2**32, size=fm.data.shape,
+                                  dtype=np.uint64).astype(np.uint32)
+        fm.data &= fm._payload_mask[None, :]
+        frame_bits = fm.device.geometry.frame_bits
+        start = data.draw(st.integers(0, fm.data.shape[0] - 4))
+        count = data.draw(st.integers(1, 4))
+        lo = data.draw(st.integers(0, frame_bits - 1))
+        hi = data.draw(st.integers(lo, frame_bits))
+        ref = fm.clone()
+        expected = self._reference_clear(ref, start, count, lo, hi)
+        got = fm.clear_bit_range(start, count, lo, hi)
+        assert got == expected
+        assert fm == ref
+
+    def test_untouched_frames_not_reported(self, fm):
+        fm.set_bit(10, 100, 1)
+        # bits [0, 50) of frames 9..12 are already clear
+        assert fm.clear_bit_range(9, 4, 0, 50) == []
+        assert fm.get_bit(10, 100) == 1
+
+    def test_changed_frames_reported_absolute(self, fm):
+        fm.set_bit(20, 5, 1)
+        fm.set_bit(22, 5, 1)
+        assert fm.clear_bit_range(19, 6, 0, 18) == [20, 22]
+        assert not fm.data[19:25].any()
+
+    def test_range_validation(self, fm):
+        frame_bits = fm.device.geometry.frame_bits
+        with pytest.raises(BitstreamError):
+            fm.clear_bit_range(0, 1, 0, frame_bits + 1)
+        with pytest.raises(DeviceError):
+            fm.clear_bit_range(fm.data.shape[0] - 1, 2, 0, 18)
+
+    def test_clearing_a_tile_matches_jbits_semantics(self, fm):
+        """Clearing [off, off+18) of a column's 48 frames is exactly one
+        CLB tile (what JBits.clear_tile vectorizes)."""
+        g = fm.device.geometry
+        base = g.frame_base(g.major_of_clb_col(3))
+        off = g.row_bit_offset(2)
+        fm.set_field(2, 3, SLICE[0].lut("F"), 0xBEEF)
+        before = fm.clone()
+        changed = fm.clear_bit_range(base, 48, off, off + 18)
+        assert changed, "clearing a configured tile must dirty frames"
+        assert fm.get_field(2, 3, SLICE[0].lut("F")) == 0
+        # no bit outside the tile's column/row window may change
+        diff = np.flatnonzero((fm.data != before.data).any(axis=1))
+        assert set(diff) <= set(range(base, base + 48))

@@ -1,0 +1,100 @@
+"""Backend selection, worker sizing, and the pool-sizing policy."""
+
+import pytest
+
+from repro.errors import ExecError
+from repro.exec import (
+    BACKEND_NAMES,
+    MAX_DEFAULT_WORKERS,
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    default_workers,
+    get_backend,
+)
+
+
+class TestGetBackend:
+    def test_names_resolve(self):
+        assert isinstance(get_backend("serial"), SerialBackend)
+        assert isinstance(get_backend("thread"), ThreadBackend)
+        assert isinstance(get_backend("process"), ProcessBackend)
+
+    def test_instances_pass_through(self):
+        be = ThreadBackend(workers=3)
+        assert get_backend(be) is be
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ExecError, match="unknown backend"):
+            get_backend("gpu")
+
+    def test_names_list_is_complete(self):
+        assert set(BACKEND_NAMES) == {"serial", "thread", "process"}
+        for name in BACKEND_NAMES:
+            assert isinstance(get_backend(name), Backend)
+            assert get_backend(name).name == name
+
+
+class TestDefaultWorkers:
+    def test_env_var_wins(self, monkeypatch):
+        monkeypatch.setenv("JPG_WORKERS", "5")
+        assert default_workers() == 5
+
+    def test_env_var_bounded_by_limit(self, monkeypatch):
+        monkeypatch.setenv("JPG_WORKERS", "5")
+        assert default_workers(limit=2) == 2
+
+    def test_env_var_must_be_an_integer(self, monkeypatch):
+        monkeypatch.setenv("JPG_WORKERS", "many")
+        with pytest.raises(ExecError, match="integer"):
+            default_workers()
+
+    def test_env_var_must_be_positive(self, monkeypatch):
+        monkeypatch.setenv("JPG_WORKERS", "0")
+        with pytest.raises(ExecError, match=">= 1"):
+            default_workers()
+
+    def test_cpu_count_capped(self, monkeypatch):
+        monkeypatch.delenv("JPG_WORKERS", raising=False)
+        n = default_workers()
+        assert 1 <= n <= MAX_DEFAULT_WORKERS
+
+    def test_limit_never_below_one(self, monkeypatch):
+        monkeypatch.delenv("JPG_WORKERS", raising=False)
+        assert default_workers(limit=0) == 1
+
+    def test_inside_a_worker_process_answers_one(self, monkeypatch):
+        """A pool worker must never nest its own pool — whatever the CPU
+        count says."""
+        from repro.exec import backend as backend_mod
+
+        monkeypatch.delenv("JPG_WORKERS", raising=False)
+        monkeypatch.setattr(backend_mod, "_IN_WORKER", True)
+        assert default_workers() == 1
+        # ... unless the operator explicitly overrides via the env var
+        monkeypatch.setenv("JPG_WORKERS", "2")
+        assert default_workers() == 2
+
+
+class TestProcessBackendBinding:
+    def test_rebinding_to_another_engine_raises(self, demo_project):
+        from repro.batch import BatchJpg
+        from repro.batch.engine import items_from_project
+
+        backend = ProcessBackend(workers=1)
+        a = BatchJpg("XCV50", demo_project.base_bitfile, backend=backend)
+        b = BatchJpg("XCV50", demo_project.base_bitfile, backend=backend)
+        items = items_from_project(demo_project)[:1]
+        try:
+            report = a.run(items)
+            assert report.ok
+            with pytest.raises(ExecError, match="already bound"):
+                b.run(items)
+        finally:
+            a.close()
+
+    def test_close_is_idempotent(self):
+        backend = ProcessBackend()
+        backend.close()
+        backend.close()

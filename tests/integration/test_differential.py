@@ -4,7 +4,9 @@ Three generators that share no code path above the frame layer must agree
 on the final device state:
 
 * **BatchJpg** (shared base, frame cache) emitting a partial that is then
-  applied to a clone of the base configuration;
+  applied to a clone of the base configuration — on *every* execution
+  backend: serial, thread, and process (the conformance matrix that keeps
+  the process backend honest);
 * the sequential **Jpg** single-shot path (`make_partial`), whose partial
   must be byte-identical to BatchJpg's;
 * **JBitsDiff** core extraction/replay (`repro.baselines.jbitsdiff`),
@@ -12,7 +14,9 @@ on the final device state:
   configuration stream.
 
 Any divergence fails with a frame-level dump (frame index, major.minor
-address, column kind) so the first differing frame is attributable.
+address, column kind) so the first differing frame is attributable.  A
+dying pool worker must abort the whole batch with an ExecError — never
+hand back a report missing items.
 """
 
 from __future__ import annotations
@@ -24,9 +28,22 @@ from repro.batch import BatchItem, BatchJpg
 from repro.bitstream.frames import FrameMemory, frame_runs
 from repro.bitstream.reader import apply_bitstream, parse_bitstream
 from repro.core.jpg import Jpg
+from repro.exec import BACKEND_NAMES
 from repro.jbits import JBits
 
 VERSIONS = [("r1", "up"), ("r1", "down"), ("r2", "left"), ("r2", "right")]
+
+
+def _items(demo_project) -> list[BatchItem]:
+    return [
+        BatchItem(
+            f"{region}/{version}",
+            demo_project.versions[(region, version)].xdl,
+            region=demo_project.regions[region],
+            ucf=demo_project.versions[(region, version)].ucf,
+        )
+        for region, version in VERSIONS
+    ]
 
 
 def frame_diff_dump(a: FrameMemory, b: FrameMemory, *, label_a: str,
@@ -75,6 +92,19 @@ def engine(demo_project):
     return BatchJpg("XCV50", demo_project.base_bitfile)
 
 
+@pytest.fixture(scope="module")
+def sequential_partials(demo_project):
+    """name -> bytes from the single-shot Jpg path (the reference)."""
+    out = {}
+    for region, version in VERSIONS:
+        mv = demo_project.versions[(region, version)]
+        result = Jpg("XCV50", demo_project.base_bitfile).make_partial(
+            mv.xdl, region=demo_project.regions[region], ucf=mv.ucf
+        )
+        out[f"{region}/{version}"] = result.data
+    return out
+
+
 class TestBatchVsSequential:
     @pytest.mark.parametrize("region,version", VERSIONS)
     def test_partials_byte_identical(self, demo_project, engine,
@@ -92,6 +122,82 @@ class TestBatchVsSequential:
             f"{region}/{version}: batch and sequential partials diverge "
             f"({len(batch.result.data)} vs {len(sequential.data)} bytes)"
         )
+
+
+class TestBackendConformance:
+    """Every execution backend must emit the sequential path's exact bytes."""
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_backend_partials_byte_identical(self, demo_project,
+                                             sequential_partials, backend):
+        engine = BatchJpg("XCV50", demo_project.base_bitfile, backend=backend)
+        try:
+            report = engine.run(_items(demo_project), max_workers=2)
+        finally:
+            engine.close()
+        assert report.ok, [f.error for f in report.failures]
+        partials = report.partials()
+        assert set(partials) == set(sequential_partials)
+        for name, reference in sequential_partials.items():
+            assert partials[name].data == reference, (
+                f"{backend}: {name} diverges from the sequential partial "
+                f"({len(partials[name].data)} vs {len(reference)} bytes)"
+            )
+        # shared-clear accounting: every item cleared its region exactly
+        # once (lookups == items).  In-process backends share one cache, so
+        # misses == regions; process workers each keep their own cache, so
+        # misses depend on how the pool distributed the items — bounded by
+        # regions below and lookups above, never more.
+        cs = report.cache_stats
+        assert cs.lookups == len(VERSIONS)
+        if backend == "process":
+            assert 2 <= cs.misses <= len(VERSIONS)
+        else:
+            assert cs.misses == 2 and cs.hits == 2
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_applied_state_matches_base_plus_module(self, demo_project,
+                                                    base_frames, backend):
+        """Applying a backend's partial on the base reproduces the merged
+        configuration, frame for frame."""
+        engine = BatchJpg("XCV50", demo_project.base_bitfile, backend=backend)
+        try:
+            report = engine.run(_items(demo_project))
+        finally:
+            engine.close()
+        mv = demo_project.versions[("r1", "down")]
+        applied = base_frames.clone()
+        apply_bitstream(applied, report.partials()["r1/down"].data)
+        jpg = Jpg("XCV50", demo_project.base_bitfile)
+        jpg.make_partial(mv.xdl, region=demo_project.regions["r1"], ucf=mv.ucf)
+        after, _ = parse_bitstream(demo_project.device, jpg.full_bitstream())
+        assert_frame_identical(
+            applied, after,
+            label_a=f"base+{backend} partial",
+            label_b="Jpg merged full configuration",
+        )
+
+    def test_worker_crash_fails_the_whole_batch(self, demo_project, monkeypatch):
+        """A dying worker process aborts the run with ExecError; the engine
+        never returns a report with silently missing items."""
+        from repro.errors import ExecError
+
+        monkeypatch.setenv("JPG_EXEC_CRASH", "r2/left")
+        engine = BatchJpg("XCV50", demo_project.base_bitfile, backend="process")
+        try:
+            with pytest.raises(ExecError, match="lost a worker"):
+                engine.run(_items(demo_project))
+        finally:
+            engine.close()
+            monkeypatch.delenv("JPG_EXEC_CRASH", raising=False)
+        # the backend recovers once the fault is gone: a fresh pool serves
+        # the same manifest to completion
+        engine = BatchJpg("XCV50", demo_project.base_bitfile, backend="process")
+        try:
+            report = engine.run(_items(demo_project))
+        finally:
+            engine.close()
+        assert report.ok and len(report.results) == len(VERSIONS)
 
 
 class TestBatchVsJBitsDiff:

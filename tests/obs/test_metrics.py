@@ -142,3 +142,67 @@ class TestPipelineInstrumentation:
         jpg.make_partial(mv.design, region=demo_project.regions["r1"],)
         assert NULL_METRICS.counters == {}
         assert NULL_METRICS.events == []
+
+
+class TestMerge:
+    """Metrics.merge: folding worker snapshots into the parent registry."""
+
+    def test_counters_add(self):
+        parent, worker = Metrics(), Metrics()
+        parent.count("jpg.partials", 2)
+        worker.count("jpg.partials", 3)
+        worker.count("framecache.miss")
+        parent.merge(worker.snapshot())
+        assert parent.counter("jpg.partials") == 5
+        assert parent.counter("framecache.miss") == 1
+
+    def test_timers_combine_count_total_extremes(self):
+        parent, worker = Metrics(), Metrics()
+        parent.record("jpg.emit", 0.2)
+        worker.record("jpg.emit", 0.1)
+        worker.record("jpg.emit", 0.5)
+        worker.record("assemble.partial_stream", 0.05)
+        parent.merge(worker.snapshot())
+        t = parent.timers["jpg.emit"]
+        assert t.count == 3
+        assert t.total == pytest.approx(0.8)
+        assert t.min == pytest.approx(0.1)
+        assert t.max == pytest.approx(0.5)
+        assert t.mean == pytest.approx(0.8 / 3)
+        assert parent.timers["assemble.partial_stream"].count == 1
+
+    def test_gauges_keep_last_and_combine_extremes(self):
+        parent, worker = Metrics(), Metrics()
+        parent.gauge("exec.shm_bytes", 100.0)
+        worker.gauge("exec.shm_bytes", 50.0)
+        worker.gauge("exec.shm_bytes", 400.0)
+        parent.merge(worker.snapshot())
+        g = parent.gauges["exec.shm_bytes"]
+        assert g.last == 400.0
+        assert g.min == 50.0
+        assert g.max == 400.0
+        assert g.updates == 3
+
+    def test_merge_into_empty_registry_copies_the_snapshot(self):
+        worker = Metrics()
+        worker.count("exec.tasks", 4)
+        worker.record("exec.task", 0.25)
+        worker.gauge("exec.pool_workers", 2.0)
+        parent = Metrics()
+        parent.merge(worker.snapshot())
+        assert parent.snapshot() == worker.snapshot()
+
+    def test_events_do_not_travel(self):
+        worker = Metrics()
+        with worker.stage("jpg.emit"):
+            pass
+        parent = Metrics()
+        parent.merge(worker.snapshot())
+        assert parent.events == []
+        assert parent.timers["jpg.emit"].count == 1
+
+    def test_null_metrics_merge_is_a_no_op(self):
+        worker = Metrics()
+        worker.count("a", 7)
+        NullMetrics().merge(worker.snapshot())
+        assert NULL_METRICS.counters == {}

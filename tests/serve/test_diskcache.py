@@ -153,12 +153,16 @@ class TestPersistentFrameCache:
         assert all(r[0] is results[0][0] for r in results)
 
     def test_disk_backed_thread_stress_two_caches(self, tmp_path):
-        """Same stress, but threads split across two cache instances sharing
-        one disk root: still exactly one compute (the file lock arbitrates)."""
+        """Same stress, threads split across two cache instances sharing one
+        disk root.  The file lock covers only fetch/store — never the
+        compute — so each *instance* runs at most one compute (its entry
+        lock), the instances may duplicate (at most one compute each), and
+        stores re-verify so both converge on one on-disk entry."""
         caches = [PersistentFrameCache(DiskCache(str(tmp_path)))
                   for _ in range(2)]
         computes = []
         gate = threading.Barrier(6)
+        results = []
 
         def worker(i):
             def factory():
@@ -167,16 +171,48 @@ class TestPersistentFrameCache:
                 return _frames(4), frozenset()
 
             gate.wait()
-            caches[i % 2].cleared(KEY, REGION, factory)
+            results.append(caches[i % 2].cleared(KEY, REGION, factory))
 
         threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
         for t in threads:
             t.start()
         for t in threads:
             t.join()
-        assert len(computes) == 1
+        assert 1 <= len(computes) <= 2          # at most one per instance
         total = sum(c.stats.hits + c.stats.misses for c in caches)
         assert total == 6
+        # every caller, whichever instance it went through, got the same state
+        assert all(r[0] == results[0][0] and r[1] == results[0][1]
+                   for r in results)
+        # and the disk holds exactly one converged entry
+        disk = DiskCache(str(tmp_path))
+        assert disk.load_cleared(KEY, REGION) is not None
+
+    def test_factory_runs_outside_the_file_lock(self, tmp_path):
+        """The cross-process lock must be *released* during the compute: a
+        slow factory in one cache cannot block another process's fetch.
+        Proven directly: while the factory runs, taking the same file lock
+        from another thread must succeed immediately."""
+        disk = DiskCache(str(tmp_path))
+        cache = PersistentFrameCache(disk)
+        lock_name = f"cleared-{KEY[:32]}-{region_tag(REGION)}"
+        lock_free_during_compute = []
+
+        def factory():
+            acquired = []
+
+            def try_lock():
+                with disk.lock(lock_name):
+                    acquired.append(True)
+
+            t = threading.Thread(target=try_lock)
+            t.start()
+            t.join(timeout=5)   # would deadlock-wait if cleared() held it
+            lock_free_during_compute.append(bool(acquired))
+            return _frames(5), frozenset({2})
+
+        cache.cleared(KEY, REGION, factory)
+        assert lock_free_during_compute == [True]
 
 
 WORKER_SCRIPT = """
@@ -204,9 +240,11 @@ print("done", cache.stats.hits, cache.stats.misses)
 
 class TestCrossProcess:
     @pytest.mark.serve
-    def test_two_processes_single_flight(self, tmp_path):
-        """Two processes race one key: the file lock admits one compute;
-        the loser fetches the winner's spill from disk."""
+    def test_two_processes_converge_without_blocking(self, tmp_path):
+        """Two processes race one key.  The file lock is released during
+        the compute, so either process may compute (1 or 2 computes, never
+        more), neither ever blocks behind the other's 0.4 s factory, and
+        re-verified stores leave exactly one entry both agree on."""
         script = tmp_path / "worker.py"
         script.write_text(WORKER_SCRIPT.format(src=os.path.abspath(SRC)))
         marker = str(tmp_path / "computes.log")
@@ -222,9 +260,13 @@ class TestCrossProcess:
             assert out.decode().startswith("done")
         with open(marker) as f:
             computes = f.read().splitlines()
-        assert computes == ["compute"], (
-            f"expected exactly one cross-process compute, got {len(computes)}"
+        assert 1 <= len(computes) <= 2, (
+            f"expected 1-2 cross-process computes, got {len(computes)}"
         )
+        # duplicates converged: one valid entry serves both processes
+        disk = DiskCache(root)
+        loaded = disk.load_cleared("k" * 64, RegionRect(0, 2, 15, 11))
+        assert loaded is not None and loaded[1] == frozenset({7})
 
     @pytest.mark.serve
     def test_cache_survives_kill_minus_nine(self, tmp_path):

@@ -138,3 +138,49 @@ class TestCfgStrings:
     def test_comments_ignored(self, counter_flow):
         text = "# a comment line\n" + write_xdl(counter_flow.design)
         parse_xdl(text)
+
+
+class TestParseCache:
+    """parse_xdl_cached: the content-hash memo the batch/serve hot paths use."""
+
+    def test_identical_text_returns_the_shared_design(self, counter_flow):
+        from repro.xdl.parser import clear_parse_cache, parse_xdl_cached
+
+        clear_parse_cache()
+        text = write_xdl(counter_flow.design)
+        first = parse_xdl_cached(text)
+        assert parse_xdl_cached(text) is first
+        # the memoized design is a real parse, not a stand-in
+        assert first.slices.keys() == parse_xdl(text).slices.keys()
+
+    def test_different_text_parses_fresh(self, counter_flow):
+        from repro.xdl.parser import clear_parse_cache, parse_xdl_cached
+
+        clear_parse_cache()
+        text = write_xdl(counter_flow.design)
+        a = parse_xdl_cached(text)
+        b = parse_xdl_cached("# different content\n" + text)
+        assert a is not b
+
+    def test_clear_parse_cache_drops_entries(self, counter_flow):
+        from repro.xdl.parser import clear_parse_cache, parse_xdl_cached
+
+        clear_parse_cache()
+        text = write_xdl(counter_flow.design)
+        first = parse_xdl_cached(text)
+        clear_parse_cache()
+        assert parse_xdl_cached(text) is not first
+
+    def test_lru_evicts_past_the_cap(self, counter_flow):
+        from repro.xdl import parser as parser_mod
+        from repro.xdl.parser import clear_parse_cache, parse_xdl_cached
+
+        clear_parse_cache()
+        text = write_xdl(counter_flow.design)
+        first = parse_xdl_cached(text)
+        for i in range(parser_mod._PARSE_CACHE_MAX):
+            parse_xdl_cached(f"# filler {i}\n" + text)
+        assert len(parser_mod._parse_cache) == parser_mod._PARSE_CACHE_MAX
+        # the original entry was the least recently used -> evicted
+        assert parse_xdl_cached(text) is not first
+        clear_parse_cache()

@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Backend performance gate: time the Figure-4 workload on every backend.
+
+Runs the paper's §4.1 manifest (10 partials against one base) through each
+execution backend (serial, thread, process), records wall-clock and
+throughput, and writes the results to a JSON report (``BENCH_5.json`` by
+default)::
+
+    {
+      "workload": "fig4-XCV100-10-partials",
+      "cpu_count": 8,
+      "enforced": true,
+      "results": [
+        {"backend": "serial", "wall_clock_s": 0.91, "frames_per_s": 5200.0},
+        ...
+      ]
+    }
+
+**Gate policy.**  The process backend amortises pool start-up and shared-
+memory publication across the batch, but on a starved runner (CI boxes
+frequently expose 1-2 cores) there is nothing to amortise *into* and the
+fork cost makes it honestly slower.  So:
+
+* ``cpu_count() >= 4``: enforce — the process backend must not be slower
+  than serial beyond ``--tolerance`` (default 1.25x), or the gate exits 1.
+* fewer cores: report-only — results are still written, the exit code is 0,
+  and the report says so (``"enforced": false``).
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_gate.py [--out BENCH_5.json]
+        [--part XCV100] [--repeats 3] [--tolerance 1.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.batch import BatchJpg, items_from_project  # noqa: E402
+from repro.exec import BACKEND_NAMES  # noqa: E402
+from repro.workloads import figure4_plan, make_project  # noqa: E402
+
+ENFORCE_MIN_CPUS = 4
+
+
+def time_backend(project, backend: str, *, repeats: int) -> dict:
+    """Best-of-``repeats`` wall-clock for one backend on the workload.
+
+    A fresh engine per repeat, so every run pays its own pool start-up and
+    base-bitstream init: the gate measures what a cold ``jpg batch
+    --backend X`` invocation costs, not a warmed steady state.
+    """
+    best = None
+    frames = 0
+    partials = None
+    for _ in range(repeats):
+        engine = BatchJpg(
+            project.part,
+            project.base_bitfile,
+            base_design=project.base_flow.design,
+            backend=backend,
+        )
+        try:
+            t0 = time.perf_counter()
+            report = engine.run(items_from_project(project))
+            elapsed = time.perf_counter() - t0
+        finally:
+            engine.close()
+        if not report.ok:
+            raise SystemExit(
+                f"perf gate: {backend} backend failed: "
+                f"{[f.error for f in report.failures]}"
+            )
+        frames = sum(len(r.result.frames) for r in report.results)
+        partials = {k: v.data for k, v in report.partials().items()}
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "backend": backend,
+        "wall_clock_s": round(best, 4),
+        "frames_per_s": round(frames / best, 1),
+        "frames": frames,
+        "partials": partials,  # stripped before writing; used for identity
+    }
+
+
+def run_gate(args: argparse.Namespace) -> int:
+    cpus = os.cpu_count() or 1
+    enforced = args.enforce or (args.enforce is None and cpus >= ENFORCE_MIN_CPUS)
+    project = make_project(
+        "fig4", args.part, figure4_plan(args.part), seed=args.seed
+    )
+    workload = f"fig4-{args.part}-10-partials"
+    print(f"perf gate: {workload} on {cpus} cpu(s), "
+          f"{'enforcing' if enforced else 'report-only'}")
+
+    results = [
+        time_backend(project, name, repeats=args.repeats)
+        for name in BACKEND_NAMES
+    ]
+
+    reference = results[0]["partials"]
+    for row in results:
+        if row["partials"] != reference:
+            print(f"perf gate: FAIL — {row['backend']} output diverges "
+                  f"from serial (speed means nothing if the bytes differ)")
+            return 1
+        del row["partials"]
+        print(f"  {row['backend']:<8} {row['wall_clock_s']:>8.3f} s  "
+              f"{row['frames_per_s']:>10.1f} frames/s")
+
+    by_name = {row["backend"]: row for row in results}
+    serial_t = by_name["serial"]["wall_clock_s"]
+    process_t = by_name["process"]["wall_clock_s"]
+    verdict = 0
+    if process_t > serial_t * args.tolerance:
+        line = (f"process backend is {process_t / serial_t:.2f}x serial "
+                f"(tolerance {args.tolerance:.2f}x)")
+        if enforced:
+            print(f"perf gate: FAIL — {line}")
+            verdict = 1
+        else:
+            print(f"perf gate: note — {line}; not enforced on {cpus} cpu(s)")
+
+    report = {
+        "workload": workload,
+        "cpu_count": cpus,
+        "enforced": enforced,
+        "tolerance": args.tolerance,
+        "repeats": args.repeats,
+        "results": results,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"perf gate: wrote {args.out}")
+    return verdict
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_5.json",
+                        help="report path (default: %(default)s)")
+    parser.add_argument("--part", default="XCV100",
+                        help="device to build the workload on")
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per backend; best-of wins")
+    parser.add_argument("--tolerance", type=float, default=1.25,
+                        help="max allowed process/serial wall-clock ratio")
+    enforce = parser.add_mutually_exclusive_group()
+    enforce.add_argument("--enforce", dest="enforce", action="store_true",
+                         default=None, help="enforce regardless of CPU count")
+    enforce.add_argument("--no-enforce", dest="enforce", action="store_false",
+                         help="never fail, only report")
+    return run_gate(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
