@@ -118,9 +118,17 @@ def pytest_addoption(parser):
     )
 
 
+#: The marker expression ``addopts`` applies to tier-1 runs; a different
+#: one (``-m warmpool``, ``-m serve``) selects a subset and must not be
+#: held to full-suite coverage.
+_DEFAULT_MARKEXPR = "not slow and not bench"
+
+
 def _is_full_suite(config) -> bool:
     testpaths = [str(p) for p in config.getini("testpaths")]
-    return bool(testpaths) and sorted(config.args) == sorted(testpaths)
+    if not testpaths or sorted(config.args) != sorted(testpaths):
+        return False
+    return getattr(config.option, "markexpr", "") == _DEFAULT_MARKEXPR
 
 
 def pytest_configure(config):

@@ -58,6 +58,37 @@ EXIT_FAILURE = 1
 EXIT_USAGE = 2
 EXIT_UNAVAILABLE = 3
 
+#: Backends with a sizable worker pool (--pool-size targets).
+_POOLED_BACKENDS = ("thread", "process", "warm")
+
+
+def _resolve_backend(args):
+    """Turn the backend flags into a ``BatchJpg``/service backend argument.
+
+    ``--warm-pool`` is shorthand for ``--backend warm``.  ``--pool-size N``
+    pins the pool's worker count, taking precedence over ``JPG_WORKERS``
+    and the CPU-count default (it constructs the backend instance
+    explicitly, so the sizing policy in ``default_workers`` never runs).
+    """
+    backend = args.backend
+    if getattr(args, "warm_pool", False):
+        backend = "warm"
+    pool_size = getattr(args, "pool_size", None)
+    if pool_size is None:
+        return backend
+    if pool_size < 1:
+        raise UsageError(f"--pool-size must be >= 1, got {pool_size}")
+    if backend not in _POOLED_BACKENDS:
+        raise UsageError(
+            f"--pool-size needs a pooled backend ({', '.join(_POOLED_BACKENDS)}), "
+            f"not {backend!r}"
+        )
+    from ..exec import ProcessBackend, ThreadBackend, WarmPoolBackend
+
+    cls = {"thread": ThreadBackend, "process": ProcessBackend,
+           "warm": WarmPoolBackend}[backend]
+    return cls(pool_size)
+
 
 def _cmd_info(args) -> int:
     dev = get_device(args.part)
@@ -163,7 +194,7 @@ def _cmd_batch(args) -> int:
         items.append(BatchItem(name, xdl, region=region, ucf=ucf, options=options))
 
     engine = BatchJpg(args.part, base, base_design=base_design,
-                      max_workers=args.jobs, backend=args.backend)
+                      max_workers=args.jobs, backend=_resolve_backend(args))
     plan = engine.plan(items)
     print(
         f"batch: {plan.total} module(s) in {len(plan.groups)} region group(s), "
@@ -410,7 +441,7 @@ def _cmd_serve(args) -> int:
         max_cache_bytes=args.max_cache_bytes,
         xhwif=xhwif,
         lint=args.lint,
-        backend=args.backend,
+        backend=_resolve_backend(args),
     )
     server = JpgServer(service, max_queue=args.max_queue, workers=args.workers)
     if args.stdio:
@@ -594,11 +625,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output-dir", help="save each partial as NAME.bit here")
     p.add_argument("-j", "--jobs", type=int,
                    help="pool workers (default: auto — JPG_WORKERS, then CPU count)")
-    p.add_argument("--backend", choices=["serial", "thread", "process"],
+    p.add_argument("--backend", choices=["serial", "thread", "process", "warm"],
                    default="thread",
                    help="execution backend: serial (inline), thread (GIL-bound "
                         "pool, default), process (scales with cores; base "
-                        "shared zero-copy via shared memory)")
+                        "shared zero-copy via shared memory), warm (persistent "
+                        "worker pool + shared output arena)")
+    p.add_argument("--warm-pool", action="store_true",
+                   help="shorthand for --backend warm")
+    p.add_argument("--pool-size", type=int, metavar="N",
+                   help="worker count for pooled backends (overrides "
+                        "JPG_WORKERS and the CPU-count default)")
     p.add_argument("--granularity", choices=["column", "frame"], default="column")
     p.add_argument("--no-checks", action="store_true", help="skip region containment checks")
     p.add_argument("--metrics", action="store_true",
@@ -691,10 +728,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int,
                    help="concurrent generations (default: auto — JPG_WORKERS, "
                         "then CPU count)")
-    p.add_argument("--backend", choices=["serial", "thread", "process"],
+    p.add_argument("--backend", choices=["serial", "thread", "process", "warm"],
                    default="thread",
                    help="execution backend for generations (process = a "
-                        "worker-process pool over a shared-memory base)")
+                        "worker-process pool over a shared-memory base; warm = "
+                        "that pool kept hot across requests, replies through a "
+                        "shared output arena)")
+    p.add_argument("--warm-pool", action="store_true",
+                   help="shorthand for --backend warm")
+    p.add_argument("--pool-size", type=int, metavar="N",
+                   help="worker count for pooled backends (overrides "
+                        "JPG_WORKERS and the CPU-count default)")
     p.add_argument("--deploy-sim", action="store_true",
                    help="deploy each served partial onto a simulated board")
     p.add_argument("--lint", action="store_true",

@@ -24,19 +24,31 @@ from .backend import (
     in_worker_process,
     mark_worker_process,
 )
-from .shm import FrameDelta, SharedFrames, ShmSpec, attach_frames
+from .pool import WarmPool, WarmPoolBackend
+from .shm import (
+    ArenaSpec,
+    FrameDelta,
+    OutputArena,
+    SharedFrames,
+    ShmSpec,
+    attach_frames,
+)
 
 __all__ = [
+    "ArenaSpec",
     "BACKEND_NAMES",
     "MAX_DEFAULT_WORKERS",
     "Backend",
     "ExecError",
     "FrameDelta",
+    "OutputArena",
     "ProcessBackend",
     "SerialBackend",
     "SharedFrames",
     "ShmSpec",
     "ThreadBackend",
+    "WarmPool",
+    "WarmPoolBackend",
     "attach_frames",
     "default_workers",
     "get_backend",

@@ -16,6 +16,12 @@ with three implementations:
   pickles, and cleared-region states come home as dirty-frame deltas
   that re-seed the parent's cache.  This is the backend that scales with
   cores.
+* ``"warm"`` — :class:`~repro.exec.pool.WarmPoolBackend`, the warm
+  worker-pool daemon: the process backend's shared-base design with the
+  per-batch costs (fork, attach, pipe-pickled replies) amortized into a
+  persistent :class:`~repro.exec.pool.WarmPool` whose workers write
+  results into a preallocated shared output arena.  Registered here by
+  name but defined in :mod:`repro.exec.pool`.
 
 Backends are engine-agnostic objects: ``run(engine, items)`` executes a
 manifest for one :class:`~repro.batch.engine.BatchJpg` and returns results
@@ -37,10 +43,10 @@ from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING
 
-from ..batch.cache import CacheStats
 from ..errors import ExecError
 
 if TYPE_CHECKING:
+    from ..batch.cache import CacheStats
     from ..batch.engine import BatchItem, BatchItemResult, BatchJpg
 
 #: Worker cap when sizing from the CPU count (a generation pipeline stops
@@ -60,6 +66,7 @@ def mark_worker_process() -> None:
 
 
 def in_worker_process() -> bool:
+    """True when running inside a pool worker process."""
     return _IN_WORKER
 
 
@@ -109,11 +116,17 @@ class Backend(ABC):
         inline on the calling thread."""
         return engine.generate_one(item)
 
-    def cache_stats(self, engine: "BatchJpg") -> CacheStats:
+    def cache_stats(self, engine: "BatchJpg") -> "CacheStats":
         """Frame-cache accounting for a finished run.  In-process backends
         read the engine's cache; the process backend aggregates what its
         workers reported."""
         return engine.cache.stats
+
+    def planned_workers(self) -> int | None:
+        """The worker count this backend runs with, if it owns a pool of
+        known size (``None`` otherwise).  Lets the serve scheduler size
+        its shepherd threads to match."""
+        return None
 
     def close(self) -> None:
         """Release pools / shared memory.  Idempotent."""
@@ -125,6 +138,7 @@ class SerialBackend(Backend):
     name = "serial"
 
     def run(self, engine, items, workers=None):
+        """Generate every item inline on the calling thread, in order."""
         return [engine.generate_one(item) for item in items]
 
 
@@ -137,6 +151,8 @@ class ThreadBackend(Backend):
         self.workers = workers
 
     def run(self, engine, items, workers=None):
+        """Fan items out over a fresh thread pool sized by the usual
+        worker policy; results come back in manifest order."""
         if not items:
             return []
         n = workers or self.workers or default_workers(limit=len(items))
@@ -214,6 +230,7 @@ class ProcessBackend(Backend):
         engine.metrics.gauge("exec.shm_bytes", shared.nbytes)
 
     def close(self) -> None:
+        """Shut the pool down and unlink the shared base.  Idempotent."""
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
@@ -225,6 +242,8 @@ class ProcessBackend(Backend):
     # -- execution ------------------------------------------------------------
 
     def run(self, engine, items, workers=None):
+        """Map the manifest over the worker pool; a dead worker aborts
+        the whole batch with :class:`ExecError` (no silent losses)."""
         if not items:
             return []
         from concurrent.futures.process import BrokenProcessPool
@@ -248,6 +267,7 @@ class ProcessBackend(Backend):
         return [self._ingest(engine, r) for r in raw]
 
     def run_one(self, engine, item):
+        """Generate a single item on the pool (the serving path)."""
         from concurrent.futures.process import BrokenProcessPool
 
         from .worker import worker_task
@@ -262,22 +282,38 @@ class ProcessBackend(Backend):
         return self._ingest(engine, raw)
 
     def _ingest(self, engine, raw):
-        """Fold one worker reply into the parent: merge its metrics
-        snapshot, re-seed the cache from its cleared-state deltas, and
-        hand back the plain result."""
-        result, snapshot, cleared = raw
-        counters = snapshot.get("counters", {})
-        self._worker_hits += counters.get("framecache.hit", 0)
-        self._worker_misses += counters.get("framecache.miss", 0)
-        engine.metrics.merge(snapshot)
-        for base_key, region, dirty, delta in cleared:
-            state = (delta.apply(engine.base_frames), frozenset(dirty))
-            engine.cache.put(base_key, region, state)
+        """Fold one worker reply into the parent (see :func:`_ingest_reply`)
+        and accumulate its frame-cache counters."""
+        result, hits, misses = _ingest_reply(engine, raw)
+        self._worker_hits += hits
+        self._worker_misses += misses
         return result
 
     def cache_stats(self, engine):
         """Hits/misses as the workers saw them (their caches did the work)."""
+        from ..batch.cache import CacheStats
+
         return CacheStats(self._worker_hits, self._worker_misses)
+
+
+def _ingest_reply(engine: "BatchJpg", raw) -> tuple:
+    """Fold one worker reply into the parent engine.
+
+    Merges the worker's metrics snapshot, re-seeds the parent's frame
+    cache from the reply's cleared-state deltas, and returns
+    ``(result, cache_hits, cache_misses)`` — the caller accumulates the
+    counters into whatever owns the pool.  Shared by the process backend
+    and the warm pool, so the reply protocol has exactly one reader.
+    """
+    result, snapshot, cleared = raw
+    counters = snapshot.get("counters", {})
+    hits = counters.get("framecache.hit", 0)
+    misses = counters.get("framecache.miss", 0)
+    engine.metrics.merge(snapshot)
+    for base_key, region, dirty, delta in cleared:
+        state = (delta.apply(engine.base_frames), frozenset(dirty))
+        engine.cache.put(base_key, region, state)
+    return result, hits, misses
 
 
 def _cache_spec(engine: "BatchJpg"):
@@ -291,10 +327,20 @@ def _cache_spec(engine: "BatchJpg"):
     return None
 
 
+def _warm_backend():
+    """Construct a :class:`~repro.exec.pool.WarmPoolBackend` (imported
+    lazily: pool.py imports this module, so a top-level import would be
+    circular)."""
+    from .pool import WarmPoolBackend
+
+    return WarmPoolBackend()
+
+
 _BACKENDS = {
     "serial": SerialBackend,
     "thread": ThreadBackend,
     "process": ProcessBackend,
+    "warm": _warm_backend,
 }
 
 #: Names accepted by ``--backend`` / ``backend=``.
@@ -306,9 +352,9 @@ def get_backend(backend: str | Backend) -> Backend:
     through, a name constructs the matching class."""
     if isinstance(backend, Backend):
         return backend
-    cls = _BACKENDS.get(backend)
-    if cls is None:
+    factory = _BACKENDS.get(backend)
+    if factory is None:
         raise ExecError(
             f"unknown backend {backend!r} (expected one of {', '.join(_BACKENDS)})"
         )
-    return cls()
+    return factory()

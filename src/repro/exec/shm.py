@@ -75,9 +75,11 @@ class SharedFrames:
 
     @property
     def nbytes(self) -> int:
+        """Size of the shared segment in bytes."""
         return self._shm.size
 
     def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
         self._shm.close()
 
     def unlink(self) -> None:
@@ -108,6 +110,114 @@ def attach_frames(spec: ShmSpec) -> tuple[FrameMemory, shared_memory.SharedMemor
     view = np.ndarray((spec.frames, spec.words), dtype=np.uint32, buffer=shm.buf)
     view.setflags(write=False)
     return FrameMemory(device, view), shm
+
+
+@dataclass(frozen=True)
+class ArenaSpec:
+    """Everything a warm-pool worker needs to attach the output arena.
+
+    Picklable and tiny — it rides in the worker's start-up arguments next
+    to the :class:`ShmSpec` of the base frames.
+    """
+
+    name: str        # shared-memory segment name
+    slots: int       # one slot per worker
+    slot_bytes: int  # fixed slot capacity
+
+
+class OutputArena:
+    """A preallocated shared-memory result buffer for the warm pool.
+
+    One fixed-size slot per worker: a worker serializes its reply into its
+    own slot and sends only the byte count over the control pipe, so
+    results cross the process boundary through memory the parent already
+    mapped instead of being pickled through a pipe.  Slots are exclusive
+    to their worker and the parent reads a slot only after the worker's
+    reply message lands, so no locking is needed.
+
+    A reply larger than ``slot_bytes`` falls back to inline pipe transport
+    (the pool counts these as ``exec.pool.arena_spills``); the arena is a
+    fast path, never a correctness constraint.
+
+    Lifecycle mirrors :class:`SharedFrames`: the parent creates and
+    eventually unlinks; workers attach (with the same resource-tracker
+    unregistration wart) and only ever close.
+    """
+
+    #: Default slot capacity.  An XCV1000-scale reply (result + metrics
+    #: snapshot + cleared-region deltas) pickles to ~100-300 KiB; 2 MiB
+    #: leaves generous headroom without a meaningful footprint.
+    DEFAULT_SLOT_BYTES = 2 * 1024 * 1024
+
+    def __init__(self, shm: shared_memory.SharedMemory, spec: ArenaSpec,
+                 *, owner: bool):
+        self._shm = shm
+        self.spec = spec
+        self._owner = owner
+
+    @classmethod
+    def create(cls, slots: int, slot_bytes: int = DEFAULT_SLOT_BYTES) -> "OutputArena":
+        """Allocate an arena with ``slots`` fixed-size slots (parent side)."""
+        size = max(1, slots) * slot_bytes
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=size)
+        except OSError as exc:  # pragma: no cover - /dev/shm full or absent
+            raise ExecError(f"cannot create output arena: {exc}") from exc
+        return cls(shm, ArenaSpec(shm.name, slots, slot_bytes), owner=True)
+
+    @classmethod
+    def attach(cls, spec: ArenaSpec) -> "OutputArena":
+        """Attach to an existing arena (worker side; never unlinks)."""
+        try:
+            shm = shared_memory.SharedMemory(name=spec.name)
+        except FileNotFoundError as exc:
+            raise ExecError(f"output arena {spec.name!r} is gone: {exc}") from exc
+        if multiprocessing.get_start_method(allow_none=True) != "fork":
+            try:  # pragma: no cover - spawn-only path (see attach_frames)
+                resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+            except Exception:
+                pass
+        return cls(shm, spec, owner=False)
+
+    @property
+    def nbytes(self) -> int:
+        """Total arena size in bytes (slots x slot capacity)."""
+        return self._shm.size
+
+    def write(self, slot: int, payload: bytes) -> int | None:
+        """Copy ``payload`` into ``slot``; its length on success, ``None``
+        if the payload exceeds the slot capacity (caller spills inline)."""
+        if len(payload) > self.spec.slot_bytes:
+            return None
+        start = slot * self.spec.slot_bytes
+        self._shm.buf[start:start + len(payload)] = payload
+        return len(payload)
+
+    def read(self, slot: int, nbytes: int) -> bytes:
+        """The first ``nbytes`` of ``slot``, copied out of the segment."""
+        if nbytes > self.spec.slot_bytes:
+            raise ExecError(
+                f"arena read of {nbytes} bytes exceeds slot capacity "
+                f"{self.spec.slot_bytes}"
+            )
+        start = slot * self.spec.slot_bytes
+        return bytes(self._shm.buf[start:start + nbytes])
+
+    def close(self) -> None:
+        """Drop this process's mapping (both sides; idempotent)."""
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - live exported views
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (parent only, after the pool is gone)."""
+        self.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
 
 
 @dataclass(frozen=True)
@@ -143,4 +253,5 @@ class FrameDelta:
 
     @property
     def nbytes(self) -> int:
+        """Payload size of the delta in bytes."""
         return len(self.words)

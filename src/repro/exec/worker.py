@@ -21,7 +21,15 @@ filesystem instead and the delta list stays empty.
 Both functions are module-level so they pickle by reference under the
 ``spawn`` start method.  ``JPG_EXEC_CRASH=<item name>`` (or ``*``) makes a
 worker die mid-task with ``os._exit`` — the hook the crash tests use to
-prove a broken pool aborts the batch loudly.
+prove a broken pool aborts the batch loudly.  ``JPG_EXEC_CRASH_ONCE=
+<flag-file>[:<item name>]`` crashes only while the flag file exists and
+deletes it first, so exactly one worker dies — the hook the warm pool's
+recycle-and-retry tests use.
+
+:func:`warm_worker_main` is the warm-pool flavor of the same worker: the
+same engine-over-shared-base setup, but a persistent request/reply loop
+over a pipe, with replies serialized into this worker's slot of a shared
+:class:`~repro.exec.shm.OutputArena` instead of pickled through the pipe.
 """
 
 from __future__ import annotations
@@ -100,14 +108,34 @@ def worker_init(
     _STATE = {"engine": engine, "shm": shm, "cache": cache}
 
 
-def worker_task(item: "BatchItem") -> tuple["BatchItemResult", dict, list[ClearedRecord]]:
-    """Generate one item in this worker; see the module docstring for the
-    reply format."""
-    if _STATE is None:  # pragma: no cover - initializer cannot have failed silently
-        raise ExecError("worker used before worker_init")
+def _maybe_crash(item: "BatchItem") -> None:
+    """Honor the crash-injection hooks (test-only; see module docstring).
+
+    ``JPG_EXEC_CRASH`` kills every worker that touches the named item;
+    ``JPG_EXEC_CRASH_ONCE=<flag-file>[:<name>]`` kills at most one worker —
+    the flag file is consumed (unlinked) before dying, so a retry on a
+    recycled worker succeeds.
+    """
     crash = os.environ.get("JPG_EXEC_CRASH")
     if crash and crash in ("*", item.name):
         os._exit(17)  # simulate a dying worker (OOM kill, segfault)
+    once = os.environ.get("JPG_EXEC_CRASH_ONCE")
+    if once:
+        flag, _, name = once.partition(":")
+        if (not name or name in ("*", item.name)) and os.path.exists(flag):
+            try:
+                os.unlink(flag)
+            except OSError:  # pragma: no cover - lost the unlink race
+                return
+            os._exit(17)
+
+
+def _run_item(item: "BatchItem") -> tuple["BatchItemResult", dict, list[ClearedRecord]]:
+    """Generate one item on this worker's engine and package the reply
+    (result, metrics snapshot, cleared-region deltas)."""
+    if _STATE is None:  # pragma: no cover - initializer cannot have failed silently
+        raise ExecError("worker used before worker_init")
+    _maybe_crash(item)
     engine = _STATE["engine"]
     cache = _STATE["cache"]
     # fresh per-task registry: a worker runs tasks one at a time, so
@@ -118,3 +146,76 @@ def worker_task(item: "BatchItem") -> tuple["BatchItemResult", dict, list[Cleare
         result = engine.generate_one(item)
     cleared = cache.drain() if isinstance(cache, _RecordingCache) else []
     return result, metrics.snapshot(), cleared
+
+
+def worker_task(item: "BatchItem") -> tuple["BatchItemResult", dict, list[ClearedRecord]]:
+    """Generate one item in this worker; see the module docstring for the
+    reply format.  (The :class:`ProcessBackend` task function.)"""
+    return _run_item(item)
+
+
+def warm_worker_main(
+    idx: int,
+    conn,
+    part: str,
+    spec: ShmSpec,
+    base_design: "NcdDesign | None",
+    full_size: int,
+    cache_spec: tuple | None,
+    arena_spec,
+) -> None:
+    """Entry point of one warm-pool worker process.
+
+    Performs the same one-time setup as :func:`worker_init` (attach shared
+    base, build a serial engine), attaches slot ``idx`` of the shared
+    output arena, then serves a message loop on ``conn`` until told to
+    stop:
+
+    * ``("task", item)`` — run the item; pickle the reply and write it
+      into this worker's arena slot, answering ``("arena", nbytes)``; if
+      the reply outgrows the slot, answer ``("inline", payload)`` instead
+      (the spill fallback).  Unexpected in-worker exceptions answer
+      ``("err", traceback_text)`` — the worker survives, the parent
+      raises.
+    * ``("ping", None)`` — health check; answers ``("pong", pid)``.
+    * ``("stop", None)`` — clean shutdown: close mappings and return.
+
+    A worker that dies mid-task simply drops the pipe; the parent sees
+    ``EOFError`` and recycles the seat.
+    """
+    import pickle
+    import traceback
+
+    from .shm import OutputArena
+
+    worker_init(part, spec, base_design, full_size, cache_spec)
+    arena = OutputArena.attach(arena_spec)
+    try:
+        while True:
+            try:
+                kind, payload = conn.recv()
+            except (EOFError, OSError):  # parent died or closed our pipe
+                break
+            if kind == "stop":
+                break
+            if kind == "ping":
+                conn.send(("pong", os.getpid()))
+                continue
+            try:
+                reply = pickle.dumps(_run_item(payload), protocol=pickle.HIGHEST_PROTOCOL)
+            except SystemExit:  # os._exit never gets here; belt and braces
+                raise
+            except BaseException:
+                conn.send(("err", traceback.format_exc()))
+                continue
+            nbytes = arena.write(idx, reply)
+            if nbytes is None:
+                conn.send(("inline", reply))
+            else:
+                conn.send(("arena", nbytes))
+    finally:
+        arena.close()
+        conn.close()
+        shm = _STATE["shm"] if _STATE else None
+        if shm is not None:
+            shm.close()

@@ -119,6 +119,7 @@ class DiskCache:
     # -- paths / locks --------------------------------------------------------
 
     def cleared_path(self, base_key: str, region: RegionRect) -> str:
+        """On-disk path of one cleared-region state."""
         return os.path.join(
             self.root, "cleared", f"{base_key[:32]}-{region_tag(region)}.npz"
         )
@@ -126,6 +127,7 @@ class DiskCache:
     def partial_path(
         self, base_key: str, region: RegionRect | None, module_digest: str
     ) -> str:
+        """On-disk path of one finished partial bitstream."""
         return os.path.join(
             self.root, "partials",
             f"{base_key[:32]}-{region_tag(region)}-{module_digest[:32]}.bit",
@@ -139,6 +141,7 @@ class DiskCache:
 
     @property
     def stats(self) -> DiskCacheStats:
+        """Hit/miss/store/eviction counters (thread-safe snapshot)."""
         with self._lock:
             return DiskCacheStats(self._hits, self._misses,
                                   self._stores, self._evictions)
@@ -168,6 +171,7 @@ class DiskCache:
 
     def store_cleared(self, base_key: str, region: RegionRect,
                       value: ClearedState) -> None:
+        """Persist one cleared-region state (atomic write-then-rename)."""
         frames, dirty = value
         path = self.cleared_path(base_key, region)
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
@@ -203,6 +207,7 @@ class DiskCache:
 
     def store_partial(self, base_key: str, region: RegionRect | None,
                       module_digest: str, data: bytes) -> None:
+        """Persist one finished partial (atomic write-then-rename)."""
         path = self.partial_path(base_key, region, module_digest)
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
         try:

@@ -252,6 +252,7 @@ class ServeClient:
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
+        """Close the socket (safe to call twice)."""
         with contextlib.suppress(OSError):
             self._file.close()
         with contextlib.suppress(OSError):
@@ -288,12 +289,15 @@ class ServeClient:
             ) from exc
 
     def ping(self) -> dict:
+        """Liveness probe (the ``ping`` op)."""
         return self.request({"op": "ping"})
 
     def stats(self) -> dict:
+        """Server counters and cache stats (the ``stats`` op)."""
         return self.request({"op": "stats"})
 
     def shutdown(self) -> dict:
+        """Ask the server to drain and exit (the ``shutdown`` op)."""
         return self.request({"op": "shutdown"})
 
     def submit(

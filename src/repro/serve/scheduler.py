@@ -44,11 +44,14 @@ class Scheduler:
 
     All methods must be called from one running event loop (the server's);
     the blocking generation work happens on the internal thread pool.
-    ``workers=None`` sizes that pool with :func:`repro.exec.default_workers`
-    (``JPG_WORKERS``, then CPU count) — the same policy the batch engine
-    uses.  When the service runs a process backend, these threads only
-    shepherd requests into the worker pool; the event loop itself stays
-    single-threaded either way.
+    ``workers=None`` sizes that pool from the service's execution backend
+    when it owns a pool of known size (``backend.planned_workers()`` — so
+    a warm pool gets exactly one shepherd thread per pool worker), falling
+    back to :func:`repro.exec.default_workers` (``JPG_WORKERS``, then CPU
+    count) — the same policy the batch engine uses.  When the service
+    runs a process or warm backend, these threads only shepherd requests
+    into the worker pool; the event loop itself stays single-threaded
+    either way.
     """
 
     def __init__(
@@ -61,7 +64,7 @@ class Scheduler:
         if max_queue < 1:
             raise QueueFullError(f"max_queue must be >= 1, got {max_queue}")
         if workers is None:
-            workers = default_workers()
+            workers = service.engine.backend.planned_workers() or default_workers()
         self.service = service
         self.metrics = service.metrics
         self.max_queue = max_queue
@@ -85,6 +88,7 @@ class Scheduler:
 
     @property
     def draining(self) -> bool:
+        """True once shutdown began (new submits are rejected)."""
         return self._draining
 
     async def submit(self, request: GenRequest) -> ServeResult:

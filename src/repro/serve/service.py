@@ -78,6 +78,7 @@ class GenRequest:
         return RegionRect.from_ucf(self.region)
 
     def to_item(self, *, check_interface: bool) -> BatchItem:
+        """The engine-level :class:`BatchItem` this request describes."""
         if self.granularity not in ("column", "frame"):
             raise UsageError(
                 f"granularity must be 'column' or 'frame', got {self.granularity!r}"
@@ -108,10 +109,12 @@ class ServeResult:
 
     @property
     def ok(self) -> bool:
+        """True when the request produced bytes (no error)."""
         return self.error is None
 
     @property
     def size(self) -> int:
+        """Size of the served partial in bytes (0 on error)."""
         return len(self.data) if self.data is not None else 0
 
 
@@ -165,10 +168,12 @@ class GenerationService:
 
     @property
     def full_size(self) -> int:
+        """Byte size of a complete configuration for this base."""
         return self.engine.full_size
 
     @property
     def cache_stats(self):
+        """The engine's frame-cache hit/miss counters."""
         return self.engine.cache.stats
 
     def partial_key(self, request: GenRequest) -> tuple[str, str, str]:
@@ -291,7 +296,7 @@ class GenerationService:
             "frame_cache": {"hits": cs.hits, "misses": cs.misses},
             "counters": {
                 k: v for k, v in sorted(snap["counters"].items())
-                if k.startswith(("serve.", "framecache.", "batch.", "analyze."))
+                if k.startswith(("serve.", "framecache.", "batch.", "analyze.", "exec."))
             },
             "gauges": snap["gauges"],
         }

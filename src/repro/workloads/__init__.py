@@ -5,6 +5,7 @@ from .designs import (
     build_base_netlist,
     figure4_plan,
     make_project,
+    scale_plan,
     slab_regions,
     version_name,
 )
@@ -13,5 +14,5 @@ from .generators import GENERATORS, ModuleSpec, attach_module, build_module_netl
 __all__ = [
     "GENERATORS", "ModuleSpec", "RegionPlan", "attach_module",
     "build_base_netlist", "build_module_netlist", "figure4_plan",
-    "make_project", "slab_regions", "version_name",
+    "make_project", "scale_plan", "slab_regions", "version_name",
 ]

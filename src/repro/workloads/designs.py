@@ -89,6 +89,43 @@ def figure4_plan(part: str = "XCV300", width: int = 4) -> list[RegionPlan]:
     ]
 
 
+def scale_plan(part: str = "XCV1000", *, regions: int = 12, variants: int = 9,
+               width: int = 4) -> list[RegionPlan]:
+    """A large-device stress plan: ``regions`` slabs x ``variants`` module
+    versions each (default 12 x 9 = 108 partials on an XCV1000).
+
+    This is the workload axis where parallel backends have room to pay:
+    enough independent partials to amortize pool start-up, on a geometry
+    (64 x 96 CLBs) whose frame count makes each generation meaningfully
+    expensive.  Regions alternate between counter variants (``up``,
+    ``down``, ``step2``...) and bit-serial matcher patterns so adjacent
+    slabs never share module internals.
+    """
+    if variants < 1:
+        raise JpgError(f"scale_plan needs >= 1 variant, got {variants}")
+    names = [f"r{i + 1}" for i in range(regions)]
+    rects = slab_regions(part, names)
+    counter_variants = ["up", "down"] + [f"step{n}" for n in range(2, variants)]
+    matcher_patterns = [
+        format(p % (1 << width), f"0{width}b")
+        for p in (1, 2, 3, 5, 6, 9, 10, 12, 15, 4, 7, 8, 11, 13, 14)
+    ]
+    plans = []
+    for i, (name, rect) in enumerate(zip(names, rects)):
+        if i % 2 == 0:
+            specs = tuple(
+                ModuleSpec("counter", width, v)
+                for v in counter_variants[:variants]
+            )
+        else:
+            specs = tuple(
+                ModuleSpec("matcher", width, p)
+                for p in matcher_patterns[:variants]
+            )
+        plans.append(RegionPlan(name, rect, specs[0], specs))
+    return plans
+
+
 def build_base_netlist(name: str, plans: list[RegionPlan], *, clock_port: str = "clk") -> Netlist:
     """Phase 1: the base design — one module per region, shared clock."""
     b = NetlistBuilder(name)

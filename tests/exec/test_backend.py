@@ -30,10 +30,17 @@ class TestGetBackend:
             get_backend("gpu")
 
     def test_names_list_is_complete(self):
-        assert set(BACKEND_NAMES) == {"serial", "thread", "process"}
+        assert set(BACKEND_NAMES) == {"serial", "thread", "process", "warm"}
         for name in BACKEND_NAMES:
             assert isinstance(get_backend(name), Backend)
             assert get_backend(name).name == name
+
+    def test_warm_resolves_to_pool_backend(self):
+        from repro.exec import WarmPoolBackend
+
+        be = get_backend("warm")
+        assert isinstance(be, WarmPoolBackend)
+        assert get_backend(be) is be
 
 
 class TestDefaultWorkers:

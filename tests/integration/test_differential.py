@@ -150,7 +150,7 @@ class TestBackendConformance:
         # regions below and lookups above, never more.
         cs = report.cache_stats
         assert cs.lookups == len(VERSIONS)
-        if backend == "process":
+        if backend in ("process", "warm"):
             assert 2 <= cs.misses <= len(VERSIONS)
         else:
             assert cs.misses == 2 and cs.hits == 2

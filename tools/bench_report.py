@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""bench-report: render the newest BENCH_*.json into Markdown tables.
+
+The benchmark gate (``tools/perf_gate.py``) writes machine-readable
+``BENCH_<n>.json`` reports; this tool turns the newest one (highest
+``<n>``) into a Markdown table and embeds it in the docs between marker
+comments, so the numbers readers see are always the numbers the gate
+measured::
+
+    <!-- bench:start -->
+    ...generated, do not edit by hand...
+    <!-- bench:end -->
+
+Usage::
+
+    python tools/bench_report.py            # print the table
+    python tools/bench_report.py --write    # refresh README.md + docs/PERFORMANCE.md
+    python tools/bench_report.py --check    # exit 1 if an embedded table is stale
+
+``--check`` is wired into ``tools/docs_check.py`` (and therefore CI), so
+regenerating a BENCH file without refreshing the docs fails loudly.
+
+Both report schemas are understood: the flat ``results`` list BENCH_5
+used and the ``workloads`` list of BENCH_6+ (cold/warm per backend).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Documents carrying an embedded benchmark table.
+EMBED_DOCS = ["README.md", "docs/PERFORMANCE.md"]
+
+START = "<!-- bench:start -->"
+END = "<!-- bench:end -->"
+
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def newest_bench(root: Path = REPO_ROOT) -> Path | None:
+    """The BENCH_<n>.json with the highest ``n`` (None when there is none)."""
+    best: tuple[int, Path] | None = None
+    for path in root.glob("BENCH_*.json"):
+        m = _BENCH_RE.match(path.name)
+        if m:
+            n = int(m.group(1))
+            if best is None or n > best[0]:
+                best = (n, path)
+    return best[1] if best else None
+
+
+def _fmt_s(value) -> str:
+    return f"{value:.3f}" if isinstance(value, (int, float)) else "—"
+
+
+def render_table(report: dict, source: str) -> str:
+    """The Markdown block embedded between the bench markers."""
+    lines = [
+        f"*Measured by [`tools/perf_gate.py`](tools/perf_gate.py) on "
+        f"{report.get('cpu_count', '?')} CPU(s) "
+        f"({'enforcing' if report.get('enforced') else 'report-only'}); "
+        f"source: `{source}`.  Regenerate with "
+        f"`python tools/bench_report.py --write`.*",
+        "",
+    ]
+    if "workloads" in report:
+        for wl in report["workloads"]:
+            lines.append(f"**{wl['workload']}** ({wl['items']} partials)")
+            lines.append("")
+            lines.append("| backend | cold (s) | warm (s) | frames/s (warm) |")
+            lines.append("|---|---:|---:|---:|")
+            for row in wl["results"]:
+                lines.append(
+                    f"| {row['backend']} | {_fmt_s(row.get('cold_s'))} "
+                    f"| {_fmt_s(row.get('warm_s'))} "
+                    f"| {row.get('frames_per_s', '—')} |"
+                )
+            lines.append("")
+    else:  # legacy flat schema (BENCH_5 and earlier)
+        lines.append(f"**{report.get('workload', 'benchmark')}**")
+        lines.append("")
+        lines.append("| backend | wall clock (s) | frames/s |")
+        lines.append("|---|---:|---:|")
+        for row in report.get("results", []):
+            lines.append(
+                f"| {row['backend']} | {_fmt_s(row.get('wall_clock_s'))} "
+                f"| {row.get('frames_per_s', '—')} |"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def rendered_block(root: Path = REPO_ROOT) -> str | None:
+    """The up-to-date embedded block, or None without a BENCH file."""
+    bench = newest_bench(root)
+    if bench is None:
+        return None
+    report = json.loads(bench.read_text(encoding="utf-8"))
+    # links in the block are written repo-root-relative; documents deeper
+    # in the tree still resolve because docs/ links climb with ../ below
+    return render_table(report, bench.name)
+
+
+def _adjust_links(block: str, doc_rel: Path) -> str:
+    """Re-root the block's repo-relative links for a nested document."""
+    depth = len(doc_rel.parent.parts)
+    if depth == 0:
+        return block
+    prefix = "../" * depth
+    return block.replace("(tools/", f"({prefix}tools/")
+
+
+def embedded_span(text: str) -> tuple[int, int] | None:
+    """(start, end) character span of the block between the markers."""
+    try:
+        a = text.index(START)
+        b = text.index(END)
+    except ValueError:
+        return None
+    return a + len(START), b
+
+
+def refresh_doc(path: Path, block: str, root: Path = REPO_ROOT) -> bool:
+    """Rewrite one document's embedded table; True when it changed."""
+    text = path.read_text(encoding="utf-8")
+    span = embedded_span(text)
+    if span is None:
+        raise SystemExit(f"bench-report: {path} has no {START} / {END} markers")
+    body = "\n" + _adjust_links(block, path.relative_to(root)) + "\n"
+    updated = text[: span[0]] + body + text[span[1]:]
+    if updated == text:
+        return False
+    path.write_text(updated, encoding="utf-8")
+    return True
+
+
+def stale_docs(root: Path = REPO_ROOT) -> list[str]:
+    """Documents whose embedded table disagrees with the newest BENCH file
+    (the docs-check hook).  Missing markers count as stale."""
+    block = rendered_block(root)
+    if block is None:
+        return []
+    problems = []
+    for rel in EMBED_DOCS:
+        path = root / rel
+        if not path.exists():
+            problems.append(f"{rel}: missing (expected an embedded bench table)")
+            continue
+        text = path.read_text(encoding="utf-8")
+        span = embedded_span(text)
+        expected = "\n" + _adjust_links(block, Path(rel)) + "\n"
+        if span is None:
+            problems.append(f"{rel}: no {START} / {END} markers")
+        elif text[span[0]: span[1]] != expected:
+            problems.append(
+                f"{rel}: embedded bench table is stale "
+                f"(run: python tools/bench_report.py --write)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--write", action="store_true",
+                      help="refresh the embedded tables in place")
+    mode.add_argument("--check", action="store_true",
+                      help="exit 1 if any embedded table is stale")
+    args = parser.parse_args(argv)
+
+    block = rendered_block()
+    if block is None:
+        print("bench-report: no BENCH_*.json found", file=sys.stderr)
+        return 1
+    if args.check:
+        problems = stale_docs()
+        for problem in problems:
+            print(f"bench-report: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+    if args.write:
+        for rel in EMBED_DOCS:
+            changed = refresh_doc(REPO_ROOT / rel, block)
+            print(f"bench-report: {rel} {'updated' if changed else 'already current'}")
+        return 0
+    print(block)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

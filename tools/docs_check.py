@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """docs-check: keep the documentation from rotting silently.
 
-Three passes, all stdlib-only:
+Five passes, all stdlib-only:
 
 1. ``python -m compileall`` over ``src/`` — every module must at least
    parse (catches syntax rot in rarely-imported corners);
@@ -12,7 +12,16 @@ Three passes, all stdlib-only:
    stripped, spaces to dashes).  External ``http(s)``/``mailto`` links are
    not fetched;
 3. a rule-catalog check: every analyzer rule id registered in
-   ``src/repro/analyze`` must be documented in ``docs/ANALYSIS.md``.
+   ``src/repro/analyze`` must be documented in ``docs/ANALYSIS.md``;
+4. a docstring-coverage pass over the packages in
+   :data:`DOCSTRING_PACKAGES` (the public-facing execution and serving
+   layers): every public module, class, function, and method must carry a
+   docstring — coverage below :data:`DOCSTRING_THRESHOLD` fails, naming
+   each gap;
+5. a benchmark-table freshness check: the Markdown tables embedded
+   between ``<!-- bench:start/end -->`` markers must match the newest
+   ``BENCH_*.json`` (delegated to ``tools/bench_report.py --check``
+   logic), so measured numbers and published numbers cannot drift apart.
 
 Run from the repository root::
 
@@ -24,12 +33,19 @@ link or a stale file reference fails CI.
 
 from __future__ import annotations
 
+import ast
 import compileall
 import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Packages whose public API must be fully docstring-covered (pass 4).
+DOCSTRING_PACKAGES = ["src/repro/exec", "src/repro/serve"]
+
+#: Minimum acceptable docstring coverage over the packages above.
+DOCSTRING_THRESHOLD = 1.0
 
 #: Markdown files checked for links and anchors.
 DOC_GLOBS = ["README.md", "*.md", "docs/*.md"]
@@ -136,12 +152,83 @@ def check_rule_catalog(root: Path) -> list[str]:
     return problems
 
 
+def _public_defs(tree: ast.Module) -> list[tuple[str, ast.AST]]:
+    """(dotted name, node) for every public def/class in a parsed module:
+    module-level functions and classes plus the methods of public classes,
+    underscore-prefixed names (and private classes' methods) excluded."""
+    out: list[tuple[str, ast.AST]] = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_"):
+                out.append((node.name, node))
+        elif isinstance(node, ast.ClassDef):
+            if node.name.startswith("_"):
+                continue
+            out.append((node.name, node))
+            for sub in node.body:
+                if (isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and not sub.name.startswith("_")):
+                    out.append((f"{node.name}.{sub.name}", sub))
+    return out
+
+
+def check_docstrings(root: Path) -> list[str]:
+    """Docstring-coverage pass over :data:`DOCSTRING_PACKAGES`.
+
+    Counts every public module/class/function/method; coverage below
+    :data:`DOCSTRING_THRESHOLD` is a problem, and each missing docstring
+    is named so the failure is actionable."""
+    total = 0
+    missing: list[str] = []
+    for package in DOCSTRING_PACKAGES:
+        for src in sorted((root / package).glob("*.py")):
+            rel = src.relative_to(root)
+            tree = ast.parse(src.read_text(encoding="utf-8"), filename=str(src))
+            total += 1
+            if ast.get_docstring(tree) is None:
+                missing.append(f"{rel}: module docstring missing")
+            for name, node in _public_defs(tree):
+                total += 1
+                if ast.get_docstring(node) is None:
+                    missing.append(
+                        f"{rel}:{node.lineno}: public `{name}` has no docstring"
+                    )
+    if not total:
+        return []
+    coverage = (total - len(missing)) / total
+    if coverage >= DOCSTRING_THRESHOLD:
+        return []
+    problems = [
+        f"docstring coverage {coverage:.1%} over {', '.join(DOCSTRING_PACKAGES)} "
+        f"is below the {DOCSTRING_THRESHOLD:.0%} threshold "
+        f"({len(missing)} of {total} public names undocumented):"
+    ]
+    problems.extend(f"  {line}" for line in missing)
+    return problems
+
+
+def check_bench_tables(root: Path) -> list[str]:
+    """Embedded benchmark tables must match the newest BENCH file (the
+    ``bench_report`` staleness check, run in-process)."""
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    try:
+        import bench_report
+    finally:
+        sys.path.pop(0)
+    return bench_report.stale_docs(root)
+
+
 def main() -> int:
     ok = True
     if not check_compile(REPO_ROOT):
         print("docs-check: compileall failed over src/", file=sys.stderr)
         ok = False
-    problems = check_links(REPO_ROOT) + check_rule_catalog(REPO_ROOT)
+    problems = (
+        check_links(REPO_ROOT)
+        + check_rule_catalog(REPO_ROOT)
+        + check_docstrings(REPO_ROOT)
+        + check_bench_tables(REPO_ROOT)
+    )
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
     if problems:
@@ -149,7 +236,7 @@ def main() -> int:
     if ok:
         n = len(doc_files(REPO_ROOT))
         print(f"docs-check: OK ({n} Markdown files, src/ compiles, "
-              f"rule catalog complete)")
+              f"rule catalog complete, docstrings covered, bench tables fresh)")
     return 0 if ok else 1
 
 

@@ -1,35 +1,52 @@
 #!/usr/bin/env python
-"""Backend performance gate: time the Figure-4 workload on every backend.
+"""Backend performance gate: cold and warm timings on every backend.
 
-Runs the paper's §4.1 manifest (10 partials against one base) through each
-execution backend (serial, thread, process), records wall-clock and
-throughput, and writes the results to a JSON report (``BENCH_5.json`` by
-default)::
+Two workload axes, selectable with ``--workload``:
+
+* ``small`` — the paper's §4.1 Figure-4 manifest (10 partials against one
+  XCV100-class base).  Pool spin-up dominates here; the gate only checks
+  that pooled backends stay within ``--tolerance`` of serial.
+* ``xcv1000`` — 12 slab regions x 9 module variants = 108 partials on an
+  XCV1000 (:func:`repro.workloads.scale_plan`).  This is where
+  parallelism has room to pay, and where the warm pool must *win*.
+
+Every backend is timed at two temperatures:
+
+* **cold** — a fresh engine per repeat: what a one-shot ``jpg batch
+  --backend X`` costs, pool start-up and shared-memory publication
+  included;
+* **warm** — one engine, a priming run, then best-of-``--repeats`` on the
+  same engine: the steady state a resident ``jpg serve`` pool reaches.
+
+Results land in ``BENCH_6.json``::
 
     {
-      "workload": "fig4-XCV100-10-partials",
       "cpu_count": 8,
       "enforced": true,
-      "results": [
-        {"backend": "serial", "wall_clock_s": 0.91, "frames_per_s": 5200.0},
+      "workloads": [
+        {"workload": "fig4-XCV100-10-partials", "items": 10,
+         "results": [
+           {"backend": "serial", "cold_s": 0.91, "warm_s": 0.30, ...},
+           ...
+         ]},
         ...
       ]
     }
 
-**Gate policy.**  The process backend amortises pool start-up and shared-
-memory publication across the batch, but on a starved runner (CI boxes
-frequently expose 1-2 cores) there is nothing to amortise *into* and the
-fork cost makes it honestly slower.  So:
+**Gate policy.**  Byte-identity across every backend and temperature is
+always checked (speed means nothing if the bytes differ).  The timing
+gate enforces only with ``cpu_count() >= 4`` (or ``--enforce``); starved
+runners report-only (``"enforced": false``):
 
-* ``cpu_count() >= 4``: enforce — the process backend must not be slower
-  than serial beyond ``--tolerance`` (default 1.25x), or the gate exits 1.
-* fewer cores: report-only — results are still written, the exit code is 0,
-  and the report says so (``"enforced": false``).
+* small: pooled backends (process, warm) within ``--tolerance`` of
+  serial, cold and warm;
+* xcv1000: the warm backend's warm time must beat serial's warm time
+  outright — the reason the warm pool exists.
 
 Usage::
 
-    PYTHONPATH=src python tools/perf_gate.py [--out BENCH_5.json]
-        [--part XCV100] [--repeats 3] [--tolerance 1.25]
+    PYTHONPATH=src python tools/perf_gate.py [--workload small|xcv1000|all]
+        [--out BENCH_6.json] [--repeats 3] [--tolerance 1.25]
 """
 
 from __future__ import annotations
@@ -44,96 +61,166 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.batch import BatchJpg, items_from_project  # noqa: E402
 from repro.exec import BACKEND_NAMES  # noqa: E402
-from repro.workloads import figure4_plan, make_project  # noqa: E402
+from repro.workloads import figure4_plan, make_project, scale_plan  # noqa: E402
 
 ENFORCE_MIN_CPUS = 4
 
+WORKLOAD_NAMES = ("small", "xcv1000")
+
+
+def build_workload(name: str, args: argparse.Namespace):
+    """(label, project) for one workload axis."""
+    if name == "small":
+        project = make_project(
+            "fig4", args.part, figure4_plan(args.part), seed=args.seed
+        )
+        return f"fig4-{args.part}-10-partials", project
+    plans = scale_plan("XCV1000", regions=12, variants=9)
+    project = make_project("scale", "XCV1000", plans, seed=args.seed)
+    n = sum(len(p.variants) for p in plans)
+    return f"scale-XCV1000-{n}-partials", project
+
+
+def _run(engine, items) -> tuple[float, dict, int]:
+    """One timed engine.run: (seconds, partial bytes by name, frame count)."""
+    t0 = time.perf_counter()
+    report = engine.run(items)
+    elapsed = time.perf_counter() - t0
+    if not report.ok:
+        raise SystemExit(
+            f"perf gate: {engine.backend.name} backend failed: "
+            f"{[f.error for f in report.failures]}"
+        )
+    partials = {k: v.data for k, v in report.partials().items()}
+    frames = sum(len(r.result.frames) for r in report.results)
+    return elapsed, partials, frames
+
 
 def time_backend(project, backend: str, *, repeats: int) -> dict:
-    """Best-of-``repeats`` wall-clock for one backend on the workload.
+    """Cold and warm best-of-``repeats`` wall-clock for one backend.
 
-    A fresh engine per repeat, so every run pays its own pool start-up and
-    base-bitstream init: the gate measures what a cold ``jpg batch
-    --backend X`` invocation costs, not a warmed steady state.
+    Cold builds a fresh engine per repeat, so every run pays its own pool
+    start-up and base-bitstream init.  Warm keeps one engine, primes it
+    with an untimed run, then times ``repeats`` more — pool hot, caches
+    seeded: the resident-service steady state.
     """
-    best = None
-    frames = 0
-    partials = None
-    for _ in range(repeats):
-        engine = BatchJpg(
+    items = items_from_project(project)
+
+    def fresh_engine():
+        return BatchJpg(
             project.part,
             project.base_bitfile,
             base_design=project.base_flow.design,
             backend=backend,
         )
+
+    cold = None
+    partials = None
+    frames = 0
+    for _ in range(repeats):
+        engine = fresh_engine()
         try:
-            t0 = time.perf_counter()
-            report = engine.run(items_from_project(project))
-            elapsed = time.perf_counter() - t0
+            elapsed, partials, frames = _run(engine, items)
         finally:
             engine.close()
-        if not report.ok:
-            raise SystemExit(
-                f"perf gate: {backend} backend failed: "
-                f"{[f.error for f in report.failures]}"
-            )
-        frames = sum(len(r.result.frames) for r in report.results)
-        partials = {k: v.data for k, v in report.partials().items()}
-        best = elapsed if best is None else min(best, elapsed)
+        cold = elapsed if cold is None else min(cold, elapsed)
+
+    warm = None
+    engine = fresh_engine()
+    try:
+        _run(engine, items)                      # priming run, untimed
+        for _ in range(repeats):
+            elapsed, warm_partials, _ = _run(engine, items)
+            warm = elapsed if warm is None else min(warm, elapsed)
+    finally:
+        engine.close()
+
     return {
         "backend": backend,
-        "wall_clock_s": round(best, 4),
-        "frames_per_s": round(frames / best, 1),
+        "cold_s": round(cold, 4),
+        "warm_s": round(warm, 4),
         "frames": frames,
-        "partials": partials,  # stripped before writing; used for identity
+        "frames_per_s": round(frames / warm, 1),
+        # stripped before writing; used for the byte-identity check
+        "partials": {"cold": partials, "warm": warm_partials},
     }
+
+
+def check_identity(workload: str, results: list[dict]) -> bool:
+    """Every backend and temperature must emit serial's exact bytes."""
+    reference = results[0]["partials"]["cold"]
+    for row in results:
+        for temp in ("cold", "warm"):
+            if row["partials"][temp] != reference:
+                print(
+                    f"perf gate: FAIL — {workload}: {row['backend']}/{temp} "
+                    f"output diverges from serial (speed means nothing if "
+                    f"the bytes differ)"
+                )
+                return False
+    return True
+
+
+def gate_violations(name: str, results: list[dict], tolerance: float) -> list[str]:
+    """Timing-policy violations for one workload (empty = pass)."""
+    by_name = {row["backend"]: row for row in results}
+    serial = by_name["serial"]
+    problems = []
+    if name == "small":
+        for backend in ("process", "warm"):
+            for temp in ("cold_s", "warm_s"):
+                ratio = by_name[backend][temp] / serial[temp]
+                if ratio > tolerance:
+                    problems.append(
+                        f"small: {backend} {temp[:-2]} is {ratio:.2f}x serial "
+                        f"(tolerance {tolerance:.2f}x)"
+                    )
+    else:
+        if by_name["warm"]["warm_s"] > serial["warm_s"]:
+            ratio = by_name["warm"]["warm_s"] / serial["warm_s"]
+            problems.append(
+                f"xcv1000: warm backend does not beat serial warm "
+                f"({ratio:.2f}x; it must be <= 1.00x)"
+            )
+    return problems
 
 
 def run_gate(args: argparse.Namespace) -> int:
     cpus = os.cpu_count() or 1
     enforced = args.enforce or (args.enforce is None and cpus >= ENFORCE_MIN_CPUS)
-    project = make_project(
-        "fig4", args.part, figure4_plan(args.part), seed=args.seed
-    )
-    workload = f"fig4-{args.part}-10-partials"
-    print(f"perf gate: {workload} on {cpus} cpu(s), "
-          f"{'enforcing' if enforced else 'report-only'}")
-
-    results = [
-        time_backend(project, name, repeats=args.repeats)
-        for name in BACKEND_NAMES
-    ]
-
-    reference = results[0]["partials"]
-    for row in results:
-        if row["partials"] != reference:
-            print(f"perf gate: FAIL — {row['backend']} output diverges "
-                  f"from serial (speed means nothing if the bytes differ)")
-            return 1
-        del row["partials"]
-        print(f"  {row['backend']:<8} {row['wall_clock_s']:>8.3f} s  "
-              f"{row['frames_per_s']:>10.1f} frames/s")
-
-    by_name = {row["backend"]: row for row in results}
-    serial_t = by_name["serial"]["wall_clock_s"]
-    process_t = by_name["process"]["wall_clock_s"]
+    names = WORKLOAD_NAMES if args.workload == "all" else (args.workload,)
     verdict = 0
-    if process_t > serial_t * args.tolerance:
-        line = (f"process backend is {process_t / serial_t:.2f}x serial "
-                f"(tolerance {args.tolerance:.2f}x)")
-        if enforced:
-            print(f"perf gate: FAIL — {line}")
-            verdict = 1
-        else:
-            print(f"perf gate: note — {line}; not enforced on {cpus} cpu(s)")
+    workloads = []
+    for name in names:
+        label, project = build_workload(name, args)
+        items = len(items_from_project(project))
+        print(f"perf gate: {label} on {cpus} cpu(s), "
+              f"{'enforcing' if enforced else 'report-only'}")
+        results = [
+            time_backend(project, backend, repeats=args.repeats)
+            for backend in BACKEND_NAMES
+        ]
+        if not check_identity(label, results):
+            return 1
+        for row in results:
+            del row["partials"]
+            print(f"  {row['backend']:<8} cold {row['cold_s']:>8.3f} s   "
+                  f"warm {row['warm_s']:>8.3f} s  "
+                  f"{row['frames_per_s']:>10.1f} frames/s")
+        for line in gate_violations(name, results, args.tolerance):
+            if enforced:
+                print(f"perf gate: FAIL — {line}")
+                verdict = 1
+            else:
+                print(f"perf gate: note — {line}; not enforced on {cpus} cpu(s)")
+        workloads.append({"workload": label, "items": items, "results": results})
 
     report = {
-        "workload": workload,
         "cpu_count": cpus,
         "enforced": enforced,
         "tolerance": args.tolerance,
         "repeats": args.repeats,
-        "results": results,
+        "workloads": workloads,
     }
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
@@ -144,15 +231,19 @@ def run_gate(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_5.json",
+    parser.add_argument("--workload", choices=WORKLOAD_NAMES + ("all",),
+                        default="all",
+                        help="which workload axis to run (default: %(default)s)")
+    parser.add_argument("--out", default="BENCH_6.json",
                         help="report path (default: %(default)s)")
     parser.add_argument("--part", default="XCV100",
-                        help="device to build the workload on")
+                        help="device for the small workload")
     parser.add_argument("--seed", type=int, default=5)
     parser.add_argument("--repeats", type=int, default=3,
-                        help="runs per backend; best-of wins")
+                        help="runs per backend and temperature; best-of wins")
     parser.add_argument("--tolerance", type=float, default=1.25,
-                        help="max allowed process/serial wall-clock ratio")
+                        help="max pooled/serial wall-clock ratio on the "
+                             "small workload")
     enforce = parser.add_mutually_exclusive_group()
     enforce.add_argument("--enforce", dest="enforce", action="store_true",
                          default=None, help="enforce regardless of CPU count")
