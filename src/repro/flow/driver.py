@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..netlist.logical import Netlist
+from ..obs import current_metrics
 from .floorplan import Constraints
 from .ncd import NcdDesign
 from .pack import PackStats, pack
@@ -47,7 +48,7 @@ class FlowResult:
             f"{d['slices']} slices, {d['nets']} nets, {d['pips']} PIPs; "
             f"fmax {self.timing.fmax_mhz:.1f} MHz; "
             f"map {t['techmap'] + t['pack']:.2f}s, place {t['place']:.2f}s, "
-            f"route {t['route']:.2f}s"
+            f"route {t['route']:.2f}s, sta {t['timing']:.2f}s"
         )
 
 
@@ -59,29 +60,45 @@ def run_flow(
     guide: NcdDesign | None = None,
     seed: int | None = 0,
     effort: float = 1.0,
+    engine: str = "array",
     router_opts: dict | None = None,
 ) -> FlowResult:
-    """Run map -> pack -> place -> route -> STA on a copy of ``netlist``."""
+    """Run map -> pack -> place -> route -> STA on a copy of ``netlist``.
+
+    ``engine`` selects the placer/router cost engine (``"array"`` or
+    ``"scalar"``); both produce identical results for a given seed.
+    """
     netlist = copy.deepcopy(netlist)
     times: dict[str, float] = {}
+    metrics = current_metrics()
 
     t = time.perf_counter()
-    tm_stats = techmap(netlist)
+    with metrics.stage("flow.techmap"):
+        tm_stats = techmap(netlist)
     times["techmap"] = time.perf_counter() - t
 
     t = time.perf_counter()
-    design, pk_stats = pack(netlist, part)
+    with metrics.stage("flow.pack"):
+        design, pk_stats = pack(netlist, part)
     times["pack"] = time.perf_counter() - t
 
     t = time.perf_counter()
-    pl_stats = place(design, constraints, guide=guide, seed=seed, effort=effort)
+    with metrics.stage("flow.place"):
+        pl_stats = place(
+            design, constraints, guide=guide, seed=seed, effort=effort, engine=engine
+        )
     times["place"] = time.perf_counter() - t
 
     t = time.perf_counter()
     opts = dict(router_opts or {})
     opts.setdefault("guide", guide)
-    rt_stats = route(design, seed=seed, **opts)
+    opts.setdefault("engine", engine)
+    with metrics.stage("flow.route"):
+        rt_stats = route(design, seed=seed, **opts)
     times["route"] = time.perf_counter() - t
 
-    timing = analyze(design)
+    t = time.perf_counter()
+    with metrics.stage("flow.timing"):
+        timing = analyze(design)
+    times["timing"] = time.perf_counter() - t
     return FlowResult(design, tm_stats, pk_stats, pl_stats, rt_stats, timing, times)

@@ -17,6 +17,26 @@ Constraints honoured (the paper's phase-1/phase-2 floorplanning):
 Runtime scales with the number of movable components — this is what the
 PNR experiment measures when it compares module-sized against full-chip
 place-and-route.
+
+Two cost engines implement the inner loop:
+
+* ``engine="array"`` (the default) keeps component tile positions and
+  per-net HPWL costs in flat arrays with a CSR net→terms index built
+  once per run.  Every move's affected-net working set (gather indices,
+  reduceat boundaries, per-net term tuples) is precomputed per component,
+  so evaluating a move is pure coordinate lookups: wide unions gather the
+  term coordinates in one fancy-indexing pass and reduce them with
+  ``np.minimum.reduceat`` / ``np.maximum.reduceat``, narrow ones walk the
+  precomputed indices directly — neither path re-resolves component
+  objects or net membership the way the scalar engine does per term;
+* ``engine="scalar"`` is the reference implementation (per-net python
+  loops over ``net_terms``), kept as the validation and benchmark
+  baseline.
+
+Both engines draw from the seeded RNG in exactly the same order and
+compute bit-identical (integer) HPWL deltas, so **the same seed produces
+the same placement on either engine** — the equivalence suite in
+``tests/flow/test_vectorized.py`` asserts this site-for-site.
 """
 
 from __future__ import annotations
@@ -30,11 +50,15 @@ import numpy as np
 from ..devices import Device, IobSite, get_device, parse_slice_site
 from ..devices.geometry import NUM_GCLK
 from ..errors import PlacementError
+from ..obs import current_metrics
 from ..utils import make_rng
 from .floorplan import Constraints, RegionRect, full_device_region
 from .ncd import NcdDesign, SliceComp
 
 SliceSite = tuple[int, int, int]
+
+#: Cost-engine names accepted by :class:`Placer`.
+PLACER_ENGINES = ("array", "scalar")
 
 
 @dataclass
@@ -70,7 +94,12 @@ class Placer:
         guide: NcdDesign | None = None,
         seed: int | None = None,
         effort: float = 1.0,
+        engine: str = "array",
     ):
+        if engine not in PLACER_ENGINES:
+            raise PlacementError(
+                f"unknown placer engine {engine!r} (choose from {PLACER_ENGINES})"
+            )
         self.design = design
         self.device: Device = get_device(design.part)
         self.constraints = constraints or Constraints()
@@ -78,7 +107,9 @@ class Placer:
         self.guide = guide
         self.rng = make_rng(seed)
         self.effort = max(0.1, effort)
+        self.engine = engine
         self.stats = PlacementStats()
+        self._clip_cache: dict[RegionRect, RegionRect] = {}
 
     # -- public ------------------------------------------------------------------
 
@@ -87,9 +118,15 @@ class Placer:
         self._assign_gclks()
         self._build_state()
         self._initial_placement()
+        if self.engine == "array":
+            self._build_arrays()
         self._anneal()
         self._commit()
         self.stats.seconds = time.perf_counter() - t0
+        m = current_metrics()
+        m.count("flow.place.moves_attempted", self.stats.moves_attempted)
+        m.count("flow.place.moves_accepted", self.stats.moves_accepted)
+        m.count("flow.place.temperatures", self.stats.temperatures)
         return self.stats
 
     # -- setup ---------------------------------------------------------------------
@@ -158,8 +195,12 @@ class Placer:
         if self.guide is not None:
             self._apply_guide()
 
-        # 2. everything else, randomly within its region
+        # 2. everything else, randomly within its region.  The legal-site
+        # list of each distinct region is enumerated once and filtered per
+        # component, preserving the exact (row-major, slice-minor) order the
+        # per-component enumeration produced.
         all_iob_sites = list(dev.geometry.iob_sites)
+        region_sites: dict[RegionRect, list[SliceSite]] = {}
         for state in self.comps.values():
             if state.site is not None:
                 continue
@@ -169,13 +210,16 @@ class Placer:
                     raise PlacementError("out of IOB sites")
                 self._claim(state, free[int(self.rng.integers(len(free)))])
             else:
-                sites = [
-                    (r, c, s)
-                    for r, c in state.region.clip_to(dev).sites()
-                    if (r, c) not in prohibited
-                    for s in (0, 1)
-                    if (r, c, s) not in self.slice_occ
-                ]
+                pool = region_sites.get(state.region)
+                if pool is None:
+                    pool = [
+                        (r, c, s)
+                        for r, c in state.region.clip_to(dev).sites()
+                        if (r, c) not in prohibited
+                        for s in (0, 1)
+                    ]
+                    region_sites[state.region] = pool
+                sites = [site for site in pool if site not in self.slice_occ]
                 if not sites:
                     raise PlacementError(
                         f"{state.name}: no free slice site in region {state.region} "
@@ -215,6 +259,125 @@ class Placer:
         state.site = site
         state.fixed = state.fixed or fixed
 
+    # -- array state (engine="array") ---------------------------------------------
+
+    #: Affected-term count at which a move evaluation switches from the
+    #: precomputed-index python path to the numpy reduceat path (numpy's
+    #: per-call overhead only pays off on wide unions).
+    _VEC_THRESHOLD = 96
+
+    def _build_arrays(self) -> None:
+        """Mirror component tiles and net incidence into flat arrays.
+
+        * ``_rows``/``_cols`` (numpy) and ``_rows_l``/``_cols_l`` (list
+          mirrors for scalar reads): current tile of component ``i``;
+        * ``_net_ptr``/``_net_flat``: CSR of term component indices per net;
+        * ``_aff_single[i]``: precomputed gather plan covering every net
+          incident to component ``i`` — the whole per-move working set for
+          a move into an empty site (swap plans are built and memoized per
+          component pair on first use).
+
+        Costs are integer HPWLs, so the array engine's deltas are exactly
+        the scalar engine's.
+        """
+        names = list(self.comps)
+        self._comp_idx = {n: i for i, n in enumerate(names)}
+        n = len(names)
+        rows = np.empty(n, np.int64)
+        cols = np.empty(n, np.int64)
+        for i, name in enumerate(names):
+            rows[i], cols[i] = self._tile_of(self.comps[name])
+        self._rows, self._cols = rows, cols
+        self._rows_l = rows.tolist()
+        self._cols_l = cols.tolist()
+
+        net_names = list(self.net_terms)
+        self._net_idx = {nm: j for j, nm in enumerate(net_names)}
+        ptr = [0]
+        flat: list[int] = []
+        for nm in net_names:
+            flat.extend(self._comp_idx[t] for t in self.net_terms[nm])
+            ptr.append(len(flat))
+        self._net_ptr = np.asarray(ptr, np.int64)
+        self._net_flat = np.asarray(flat, np.int64)
+
+        self._comp_nets: list[np.ndarray] = [
+            np.asarray(
+                sorted({self._net_idx[nm] for nm in self.comps[name].nets}),
+                np.int64,
+            )
+            for name in names
+        ]
+        self._aff_single = [self._gather_plan(nets) for nets in self._comp_nets]
+        self._aff_pairs: dict[tuple[int, int], tuple] = {}
+        self._net_costs: list[int] = [0] * len(net_names)
+        # numpy coordinate mirrors are synced lazily: moves record dirty
+        # component indices and the reduceat path flushes them on demand
+        self._dirty: list[int] | None = []
+        self._dirty_cap = max(64, n)
+
+    def _gather_plan(self, nets: np.ndarray) -> tuple:
+        """Precomputed working set for evaluating a set of nets.
+
+        Returns ``(nids, terms_by_net, flat, bounds, vectorize)``: ``nids``
+        are the net ids (for cost-cache reads/writes), ``terms_by_net``
+        holds each net's term component indices for the python path,
+        ``flat``/``bounds`` feed the numpy gather + reduceat path, and
+        ``vectorize`` picks between the paths by total term count.
+        """
+        if nets.size == 0:
+            return (), (), None, None, False
+        starts = self._net_ptr[nets].tolist()
+        ends = self._net_ptr[nets + 1].tolist()
+        flat = np.concatenate(
+            [self._net_flat[s:e] for s, e in zip(starts, ends)]
+        )
+        bounds = np.zeros(nets.size, np.int64)
+        np.cumsum((self._net_ptr[nets + 1] - self._net_ptr[nets])[:-1], out=bounds[1:])
+        terms_by_net = tuple(
+            tuple(self._net_flat[s:e].tolist()) for s, e in zip(starts, ends)
+        )
+        return (
+            tuple(nets.tolist()), terms_by_net, flat, bounds,
+            flat.size >= self._VEC_THRESHOLD,
+        )
+
+    def _affected_plan(self, i: int, j: int | None) -> tuple:
+        """Gather plan for the union of two components' incident nets."""
+        if j is None:
+            return self._aff_single[i]
+        key = (i, j) if i < j else (j, i)
+        plan = self._aff_pairs.get(key)
+        if plan is None:
+            plan = self._gather_plan(
+                np.union1d(self._comp_nets[key[0]], self._comp_nets[key[1]])
+            )
+            self._aff_pairs[key] = plan
+        return plan
+
+    def _mark_dirty(self, i: int) -> None:
+        """Record that component ``i``'s list coordinates changed, so the
+        numpy mirror patches it on the next flush."""
+        d = self._dirty
+        if d is not None:
+            if len(d) < self._dirty_cap:
+                d.append(i)
+            else:
+                self._dirty = None  # too stale to patch; full resync instead
+
+    def _flush_coords(self) -> None:
+        """Bring the numpy coordinate mirrors up to date with the lists."""
+        if self._dirty is None:
+            self._rows = np.asarray(self._rows_l, np.int64)
+            self._cols = np.asarray(self._cols_l, np.int64)
+        elif self._dirty:
+            rows, cols = self._rows, self._cols
+            rl, cl = self._rows_l, self._cols_l
+            for i in self._dirty:
+                rows[i] = rl[i]
+                cols[i] = cl[i]
+        self._dirty = []
+
     # -- cost -------------------------------------------------------------------------
 
     def _tile_of(self, state: _CompState) -> tuple[int, int]:
@@ -232,6 +395,19 @@ class Placer:
         return (max(rows) - min(rows)) + (max(cols) - min(cols))
 
     def _total_cost(self) -> float:
+        if self.engine == "array":
+            if self._net_costs:
+                self._flush_coords()
+                _, _, flat, bounds, _ = self._gather_plan(
+                    np.arange(len(self._net_costs), dtype=np.int64)
+                )
+                r = self._rows[flat]
+                c = self._cols[flat]
+                costs = (
+                    np.maximum.reduceat(r, bounds) - np.minimum.reduceat(r, bounds)
+                ) + (np.maximum.reduceat(c, bounds) - np.minimum.reduceat(c, bounds))
+                self._net_costs = costs.tolist()
+            return sum(self._net_costs)
         self.net_cost = {n: self._net_cost(n) for n in self.net_terms}
         return sum(self.net_cost.values())
 
@@ -247,10 +423,13 @@ class Placer:
             self.stats.final_cost = cost
             return
 
+        try_move = (
+            self._try_move_array if self.engine == "array" else self._try_move
+        )
         # temperature from the spread of a random-move sample
         deltas = []
         for _ in range(min(50, 10 * len(movable))):
-            d = self._try_move(movable, temperature=math.inf, dry=True)
+            d = try_move(movable, temperature=math.inf, dry=True)
             if d is not None:
                 deltas.append(abs(d))
         temp = 2.0 * (float(np.std(deltas)) + 1.0) if deltas else 1.0
@@ -260,7 +439,7 @@ class Placer:
         while stall < 4 and temp > 1e-3:
             accepted = 0
             for _ in range(inner):
-                d = self._try_move(movable, temp)
+                d = try_move(movable, temp)
                 self.stats.moves_attempted += 1
                 if d is not None:
                     accepted += 1
@@ -280,8 +459,13 @@ class Placer:
                 temp *= 0.8
         self.stats.final_cost = cost
 
-    def _try_move(self, movable: list[_CompState], temperature: float, dry: bool = False):
-        """Propose one move; returns the accepted delta or None."""
+    def _propose(self, movable: list[_CompState]):
+        """Draw one candidate move: (state, target site, displaced comp).
+
+        Both engines call this, so the RNG stream is consumed identically
+        regardless of how the cost delta is evaluated.  Returns None for
+        illegal or no-op proposals (still counted as attempts).
+        """
         state = movable[int(self.rng.integers(len(movable)))]
         if state.is_iob:
             target = self._random_iob_site()
@@ -302,24 +486,119 @@ class Placer:
                 r, c, _ = state.site
                 if not other.region.contains(r, c):
                     return None
+        return state, target, other
+
+    def _accept(self, delta, temperature: float) -> bool:
+        """Metropolis criterion; draws from the RNG only for uphill moves."""
+        return delta <= 0 or (
+            temperature > 0
+            and self.rng.random() < math.exp(-delta / temperature)
+        )
+
+    def _try_move(self, movable: list[_CompState], temperature: float, dry: bool = False):
+        """Propose one move (scalar engine); returns the accepted delta or None."""
+        proposal = self._propose(movable)
+        if proposal is None:
+            return None
+        state, target, other = proposal
 
         affected = set(state.nets) | (set(other.nets) if other else set())
         before = sum(self.net_cost[n] for n in affected)
         old_site = state.site
         self._relocate(state, target, other, old_site)
-        after = sum(self._net_cost(n) for n in affected)
+        # one evaluation per affected net: the same values decide the move
+        # and, on acceptance, refresh the cost cache
+        after_costs = {n: self._net_cost(n) for n in affected}
+        after = sum(after_costs.values())
         delta = after - before
 
-        accept = delta <= 0 or (
-            temperature > 0
-            and self.rng.random() < math.exp(-delta / temperature)
-        )
+        accept = self._accept(delta, temperature)
         if accept and not dry:
-            for n in affected:
-                self.net_cost[n] = self._net_cost(n)
+            self.net_cost.update(after_costs)
             return delta
         # revert
         self._relocate(state, old_site, other, target)
+        return delta if dry and accept else None
+
+    def _try_move_array(self, movable: list[_CompState], temperature: float, dry: bool = False):
+        """Propose one move (array engine); returns the accepted delta or None.
+
+        The move is evaluated on hypothetically-patched coordinate lists;
+        occupancy and component state are only touched (one ``_relocate``)
+        when the move is actually committed, so rejected proposals cost no
+        dictionary churn at all.
+        """
+        proposal = self._propose(movable)
+        if proposal is None:
+            return None
+        state, target, other = proposal
+
+        i = self._comp_idx[state.name]
+        j = self._comp_idx[other.name] if other is not None else None
+        nids, terms_by_net, flat, bounds, vectorize = self._affected_plan(i, j)
+        costs = self._net_costs
+        before = 0
+        for nid in nids:
+            before += costs[nid]
+
+        rows_l, cols_l = self._rows_l, self._cols_l
+        old_r, old_c = rows_l[i], cols_l[i]
+        if state.is_iob:
+            new_r, new_c = self.device.geometry.iob_tile(target)
+        else:
+            new_r, new_c = target[0], target[1]
+        rows_l[i], cols_l[i] = new_r, new_c
+        if j is not None:
+            # the displaced comp swaps into state's old tile
+            j_r, j_c = rows_l[j], cols_l[j]
+            rows_l[j], cols_l[j] = old_r, old_c
+
+        if vectorize:
+            self._mark_dirty(i)
+            if j is not None:
+                self._mark_dirty(j)
+            self._flush_coords()
+            r = self._rows[flat]
+            c = self._cols[flat]
+            after_vals = (
+                (np.maximum.reduceat(r, bounds) - np.minimum.reduceat(r, bounds))
+                + (np.maximum.reduceat(c, bounds) - np.minimum.reduceat(c, bounds))
+            ).tolist()
+        else:
+            after_vals = []
+            append = after_vals.append
+            for terms in terms_by_net:
+                if len(terms) == 2:
+                    a, b = terms
+                    dr = rows_l[a] - rows_l[b]
+                    dc = cols_l[a] - cols_l[b]
+                    append((dr if dr >= 0 else -dr) + (dc if dc >= 0 else -dc))
+                else:
+                    rs = [rows_l[t] for t in terms]
+                    cs = [cols_l[t] for t in terms]
+                    append(max(rs) - min(rs) + max(cs) - min(cs))
+        after = sum(after_vals)
+        delta = after - before
+
+        accept = self._accept(delta, temperature)
+        if accept and not dry:
+            self._relocate(state, target, other, state.site)
+            if not vectorize:  # the flush above already synced the mirror
+                self._mark_dirty(i)
+                if j is not None:
+                    self._mark_dirty(j)
+            for nid, v in zip(nids, after_vals):
+                costs[nid] = v
+            return delta
+        # reject (or dry run): restore the hypothetical coordinates
+        rows_l[i], cols_l[i] = old_r, old_c
+        if j is not None:
+            rows_l[j], cols_l[j] = j_r, j_c
+        if vectorize:
+            # the numpy mirror saw the hypothetical values; re-patch it
+            self._mark_dirty(i)
+            if j is not None:
+                self._mark_dirty(j)
         return delta if dry and accept else None
 
     def _relocate(self, state: _CompState, target, other, other_site) -> None:
@@ -337,7 +616,10 @@ class Placer:
             other.site = other_site
 
     def _random_slice_site(self, state: _CompState) -> SliceSite | None:
-        region = state.region.clip_to(self.device)
+        region = self._clip_cache.get(state.region)
+        if region is None:
+            region = state.region.clip_to(self.device)
+            self._clip_cache[state.region] = region
         for _ in range(8):
             r = int(self.rng.integers(region.rmin, region.rmax + 1))
             c = int(self.rng.integers(region.cmin, region.cmax + 1))
@@ -367,6 +649,9 @@ def place(
     guide: NcdDesign | None = None,
     seed: int | None = None,
     effort: float = 1.0,
+    engine: str = "array",
 ) -> PlacementStats:
     """Place ``design`` in place; see :class:`Placer`."""
-    return Placer(design, constraints, guide=guide, seed=seed, effort=effort).run()
+    return Placer(
+        design, constraints, guide=guide, seed=seed, effort=effort, engine=engine
+    ).run()

@@ -13,6 +13,26 @@ recorded and bitgen permutes the truth table accordingly (``pin_map``).
 
 Clock nets do not use the general graph: they ride the dedicated global
 clock lines, activating one ``GCLKg -> Sx_CLK`` PIP per sink slice.
+
+Two congestion engines implement the PathFinder state:
+
+* ``engine="array"`` (the default) keeps per-node present usage and
+  history in flat numpy arrays indexed by node id, with a live python
+  list of each node's full cost (``base * (1 + pres_fac*occ) *
+  (1 + history)``) maintained incrementally as occupancy changes — A*
+  expansion reads one list element per neighbor instead of re-deriving
+  kind/base/occupancy/history per visit.  The overuse sweep and history
+  update at each iteration boundary are single vectorized passes, and
+  per-node adjacency (successor, PIP ref, pin-gating flag) is memoized
+  across searches;
+* ``engine="scalar"`` is the reference implementation (dict congestion
+  maps, per-visit cost closure), kept as the validation and benchmark
+  baseline.
+
+Cost arithmetic is ordered identically in both engines, and the RNG is
+only consumed by the per-iteration net ordering shuffle, so **the same
+seed produces the same routing on either engine** — asserted PIP-for-PIP
+by ``tests/flow/test_vectorized.py``.
 """
 
 from __future__ import annotations
@@ -21,10 +41,13 @@ import heapq
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..devices import Device, get_device
 from ..devices import wires as W
-from ..devices.wires import WIRE_DELAY_NS, WIRE_KIND, WireKind
+from ..devices.wires import NUM_WIRES, WIRE_DELAY_NS, WIRE_KIND, WireKind
 from ..errors import RoutingError
+from ..obs import current_metrics
 from ..utils import make_rng
 from .ncd import NcdDesign, PhysNet, SinkRef
 
@@ -32,6 +55,13 @@ from .ncd import NcdDesign, PhysNet, SinkRef
 _HOP_COST = 0.05
 #: Admissible per-tile lower bound for A* (cheapest way to cross a tile).
 _ASTAR_PER_TILE = 0.20
+
+#: Congestion-engine names accepted by :class:`Router`.
+ROUTER_ENGINES = ("array", "scalar")
+
+#: Wire kinds a search may only enter when they are the sink being aimed
+#: for (never route *through* someone's input pin).
+_GATED_KINDS = frozenset((WireKind.PIN_IN, WireKind.IO_OUT))
 
 
 @dataclass
@@ -44,6 +74,7 @@ class RoutingStats:
     seconds: float = 0.0
     searches: int = 0
     nodes_popped: int = 0
+    rip_ups: int = 0       # established trees torn down for re-route
     nets_reused: int = 0   # guided routing: nets adopted from the guide
 
 
@@ -55,6 +86,7 @@ class _NetTask:
     tree_nodes: list[int] = field(default_factory=list)
     node_prev: dict[int, tuple[int, tuple[int, int, int]]] = field(default_factory=dict)
     sink_paths: dict[int, list[int]] = field(default_factory=dict)  # sink idx -> node path
+    tree_arr: np.ndarray | None = None   # array engine: tree_nodes as an index vector
 
 
 class Router:
@@ -70,7 +102,12 @@ class Router:
         pres_fac_mult: float = 1.8,
         hist_fac: float = 0.4,
         guide: NcdDesign | None = None,
+        engine: str = "array",
     ):
+        if engine not in ROUTER_ENGINES:
+            raise RoutingError(
+                f"unknown router engine {engine!r} (choose from {ROUTER_ENGINES})"
+            )
         if not design.placed():
             raise RoutingError("design is not fully placed")
         self.design = design
@@ -81,12 +118,16 @@ class Router:
         self.pres_fac_mult = pres_fac_mult
         self.hist_fac = hist_fac
         self.guide = guide
+        self.engine = engine
         self.stats = RoutingStats()
         self._base_cost = {
             kind: _HOP_COST + WIRE_DELAY_NS[kind] for kind in WireKind
         }
+        # per-wire-index base cost (array engine node cost = _base_w[w])
+        self._base_w = [_HOP_COST + WIRE_DELAY_NS[WIRE_KIND[w]] for w in range(NUM_WIRES)]
         self._pips_by_src = W.pips_by_src()
         self._locked_nodes: set[int] = set()
+        self._adj: dict[int, tuple] = {}   # array engine: memoized adjacency
 
     # -- public -----------------------------------------------------------------
 
@@ -106,6 +147,12 @@ class Router:
         self._commit_pin_maps()  # covers adopted (guide) nets as well
         self.stats.total_pips = sum(len(n.pips) for n in self.design.nets.values())
         self.stats.seconds = time.perf_counter() - t0
+        m = current_metrics()
+        m.count("flow.route.searches", self.stats.searches)
+        m.count("flow.route.astar_pops", self.stats.nodes_popped)
+        m.count("flow.route.rip_ups", self.stats.rip_ups)
+        m.count("flow.route.iterations", self.stats.iterations)
+        m.count("flow.route.nets_reused", self.stats.nets_reused)
         return self.stats
 
     # -- terminals ----------------------------------------------------------------
@@ -265,9 +312,64 @@ class Router:
             if 0 <= orow < dev.rows and 0 <= ocol < dev.cols:
                 yield dev.node_id(orow, ocol, pip.dst), (orow, ocol, pip.index)
 
+    def _adjacency(self, node: int) -> tuple:
+        """Memoized successor tuple for the array engine's A* expansion.
+
+        Each entry is ``(next node, pip ref, gated)`` where ``gated``
+        pre-answers "is this a pin wire a search may only enter as its
+        own sink?" — the per-visit kind lookup the scalar engine repeats.
+        """
+        entries = tuple(
+            (nxt, pip_ref, WIRE_KIND[nxt % NUM_WIRES] in _GATED_KINDS)
+            for nxt, pip_ref in self._neighbors(node)
+        )
+        self._adj[node] = entries
+        return entries
+
     # -- PathFinder ------------------------------------------------------------------------
 
+    def _sink_heuristic(self, candidates: tuple[int, ...]):
+        """Admissible A* lower bound for one sink's candidate set.
+
+        Distance is measured to the *nearest* candidate tile; with one
+        tile (the common case — a slice's ``F1..F4`` pins share it) that
+        reduces to the plain Manhattan bound.
+        """
+        node_of = self.device.node_of
+        tiles = sorted({node_of(c)[:2] for c in candidates})
+        if len(tiles) == 1:
+            ((tr, tc),) = tiles
+
+            def h(node: int) -> float:
+                r, c, _ = node_of(node)
+                return (abs(r - tr) + abs(c - tc)) * _ASTAR_PER_TILE
+
+        else:
+
+            def h(node: int) -> float:
+                r, c, _ = node_of(node)
+                return min(
+                    abs(r - tr) + abs(c - tc) for tr, tc in tiles
+                ) * _ASTAR_PER_TILE
+
+        return h
+
+    def _unroutable(self, over: list[int]) -> RoutingError:
+        self.stats.overused_final = len(over)
+        names = ", ".join(self.device.node_str(n) for n in over[:8])
+        ellipsis = "..." if len(over) > 8 else ""
+        return RoutingError(
+            f"unroutable after {self.stats.iterations} iterations: "
+            f"{len(over)} overused nodes ({names}{ellipsis})"
+        )
+
     def _pathfinder(self, tasks: list[_NetTask]) -> None:
+        if self.engine == "array":
+            self._pathfinder_array(tasks)
+        else:
+            self._pathfinder_scalar(tasks)
+
+    def _pathfinder_scalar(self, tasks: list[_NetTask]) -> None:
         present: dict[int, int] = {}
         history: dict[int, float] = {}
         pres_fac = self.pres_fac_first
@@ -299,11 +401,59 @@ class Router:
         over = [n for n, occ in present.items() if occ > 1]
         self.stats.overused_final = len(over)
         if over:
-            names = ", ".join(self.device.node_str(n) for n in over[:8])
-            raise RoutingError(
-                f"unroutable after {self.stats.iterations} iterations: "
-                f"{len(over)} overused nodes ({names}...)"
-            )
+            raise self._unroutable(over)
+        for task in tasks:
+            self._commit(task)
+            self.stats.routed += 1
+
+    def _pathfinder_array(self, tasks: list[_NetTask]) -> None:
+        """PathFinder over flat array congestion state (``engine="array"``).
+
+        ``present``/``history`` are dense vectors over the node id space;
+        ``cost`` is a python-list mirror of every node's *full* cost,
+        patched in place wherever occupancy changes (and re-derived for
+        all touched nodes when ``pres_fac`` steps at an iteration
+        boundary), so the A* inner loop is a single list index per
+        neighbor.  The overuse sweep and history bump are one vectorized
+        pass each instead of a walk over the congestion dict.
+        """
+        num_nodes = self.device.num_nodes
+        present = np.zeros(num_nodes, np.int64)
+        history = np.zeros(num_nodes, np.float64)
+        cost = np.tile(np.asarray(self._base_w), num_nodes // NUM_WIRES).tolist()
+        pres_fac = self.pres_fac_first
+
+        order = list(range(len(tasks)))
+        for iteration in range(1, self.max_iterations + 1):
+            self.stats.iterations = iteration
+            self.rng.shuffle(order)
+            for ti in order:
+                task = tasks[ti]
+                if iteration > 1 and not (
+                    task.tree_arr is not None
+                    and bool((present[task.tree_arr] > 1).any())
+                ):
+                    continue
+                self._rip_up_array(task, cost, present, pres_fac, history)
+                self._route_net_array(task, cost, present, pres_fac, history)
+            over = np.flatnonzero(present > 1)
+            if over.size == 0:
+                break
+            history[over] += self.hist_fac * (present[over] - 1)
+            pres_fac *= self.pres_fac_mult
+            # pres_fac changed: every occupied or blamed node's cached
+            # cost is stale; re-derive them (sparse — only touched nodes)
+            touched = np.flatnonzero((present > 0) | (history > 0.0))
+            base_w = self._base_w
+            for i, occ, hist in zip(
+                touched.tolist(), present[touched].tolist(), history[touched].tolist()
+            ):
+                cost[i] = base_w[i % NUM_WIRES] * (1.0 + pres_fac * occ) * (1.0 + hist)
+
+        over = np.flatnonzero(present > 1).tolist()
+        self.stats.overused_final = len(over)
+        if over:
+            raise self._unroutable(over)
         for task in tasks:
             self._commit(task)
             self.stats.routed += 1
@@ -312,6 +462,8 @@ class Router:
         return any(present.get(n, 0) > 1 for n in task.tree_nodes)
 
     def _rip_up(self, task: _NetTask, present: dict[int, int]) -> None:
+        if task.tree_nodes:
+            self.stats.rip_ups += 1
         for n in task.tree_nodes:
             occ = present.get(n, 0) - 1
             if occ > 0:
@@ -321,6 +473,30 @@ class Router:
         task.tree_nodes = []
         task.node_prev = {}
         task.sink_paths = {}
+
+    def _rip_up_array(
+        self,
+        task: _NetTask,
+        cost: list[float],
+        present: np.ndarray,
+        pres_fac: float,
+        history: np.ndarray,
+    ) -> None:
+        if task.tree_nodes:
+            self.stats.rip_ups += 1
+            base_w = self._base_w
+            for n in task.tree_nodes:
+                occ = int(present[n]) - 1
+                present[n] = occ
+                cost[n] = (
+                    base_w[n % NUM_WIRES]
+                    * (1.0 + pres_fac * occ)
+                    * (1.0 + float(history[n]))
+                )
+        task.tree_nodes = []
+        task.node_prev = {}
+        task.sink_paths = {}
+        task.tree_arr = None
 
     def _route_net(self, task: _NetTask, node_cost, present: dict[int, int]) -> None:
         dev = self.device
@@ -336,13 +512,7 @@ class Router:
                     f"net {task.net.name}: no free pin candidate left for "
                     f"{sink.ref.comp}.{sink.ref.pin}"
                 )
-            # A* target: all candidates share a tile
-            tr, tc, _ = dev.node_of(candidates[0])
-
-            def h(node: int) -> float:
-                r, c, _ = dev.node_of(node)
-                return (abs(r - tr) + abs(c - tc)) * _ASTAR_PER_TILE
-
+            h = self._sink_heuristic(candidates)
             dist: dict[int, float] = {}
             came: dict[int, tuple[int, tuple[int, int, int]]] = {}
             heap: list[tuple[float, float, int]] = []
@@ -398,6 +568,111 @@ class Router:
         task.tree_nodes = tree
         task.node_prev = {n: p for n, p in prev.items() if p is not None}
 
+    def _route_net_array(
+        self,
+        task: _NetTask,
+        cost: list[float],
+        present: np.ndarray,
+        pres_fac: float,
+        history: np.ndarray,
+    ) -> None:
+        """Array-engine twin of :meth:`_route_net`: same search, but the
+        per-neighbor cost is one ``cost`` list read and the expansion walks
+        the memoized adjacency tuples instead of re-deriving them."""
+        adj = self._adj
+        adjacency = self._adjacency
+        locked = self._locked_nodes
+        base_w = self._base_w
+        heappush, heappop = heapq.heappush, heapq.heappop
+        inf = float("inf")
+        tree: list[int] = [task.source]
+        tree_set: set[int] = {task.source}
+        prev: dict[int, tuple[int, tuple[int, int, int]] | None] = {task.source: None}
+
+        used_pins: set[int] = set()
+        pops = 0
+        for sink_idx, (sink, candidates) in enumerate(task.sinks):
+            cand_set = set(candidates) - used_pins
+            if not cand_set:
+                raise RoutingError(
+                    f"net {task.net.name}: no free pin candidate left for "
+                    f"{sink.ref.comp}.{sink.ref.pin}"
+                )
+            h = self._sink_heuristic(candidates)
+            dist: dict[int, float] = {}
+            dist_get = dist.get
+            came: dict[int, tuple[int, tuple[int, int, int]]] = {}
+            heap: list[tuple[float, float, int]] = []
+            for n in tree:
+                dist[n] = 0.0
+                heappush(heap, (h(n), 0.0, n))
+            self.stats.searches += 1
+            found = None
+            while heap:
+                f, g, node = heappop(heap)
+                pops += 1
+                if g > dist_get(node, inf):
+                    continue
+                if node in cand_set:
+                    found = node
+                    break
+                nbrs = adj.get(node)
+                if nbrs is None:
+                    nbrs = adjacency(node)
+                for nxt, pip_ref, gated in nbrs:
+                    if nxt in locked:
+                        continue  # wire owned by a guide-adopted route
+                    if gated and nxt not in cand_set:
+                        continue  # never route *through* someone's input pin
+                    ng = g + cost[nxt]
+                    if ng < dist_get(nxt, inf):
+                        dist[nxt] = ng
+                        came[nxt] = (node, pip_ref)
+                        heappush(heap, (ng + h(nxt), ng, nxt))
+            if found is None:
+                self.stats.nodes_popped += pops
+                raise RoutingError(
+                    f"net {task.net.name}: no path to sink "
+                    f"{sink.ref.comp}.{sink.ref.pin} "
+                    f"(candidates {[self.device.node_str(c) for c in candidates]})"
+                )
+            if sink.ref.pin in ("F", "G"):
+                used_pins.add(found)
+            # walk back, add path to tree
+            path: list[int] = [found]
+            node = found
+            while node not in tree_set:
+                pnode, pip_ref = came[node]
+                prev[node] = (pnode, pip_ref)
+                path.append(pnode)
+                node = pnode
+            path.reverse()
+            for n in path:
+                if n not in tree_set:
+                    tree_set.add(n)
+                    tree.append(n)
+                    occ = int(present[n]) + 1
+                    present[n] = occ
+                    cost[n] = (
+                        base_w[n % NUM_WIRES]
+                        * (1.0 + pres_fac * occ)
+                        * (1.0 + float(history[n]))
+                    )
+            task.sink_paths[sink_idx] = self._full_path(prev, found)
+        self.stats.nodes_popped += pops
+        # the source node also occupies its wire
+        src = task.source
+        occ = int(present[src]) + 1
+        present[src] = occ
+        cost[src] = (
+            base_w[src % NUM_WIRES]
+            * (1.0 + pres_fac * occ)
+            * (1.0 + float(history[src]))
+        )
+        task.tree_nodes = tree
+        task.tree_arr = np.asarray(tree, np.int64)
+        task.node_prev = {n: p for n, p in prev.items() if p is not None}
+
     def _full_path(self, prev, node: int) -> list[int]:
         path = [node]
         while prev.get(node) is not None:
@@ -443,6 +718,8 @@ class Router:
                     )
 
 
-def route(design: NcdDesign, *, seed: int | None = None, **kwargs) -> RoutingStats:
+def route(
+    design: NcdDesign, *, seed: int | None = None, engine: str = "array", **kwargs
+) -> RoutingStats:
     """Route ``design`` in place; see :class:`Router`."""
-    return Router(design, seed=seed, **kwargs).run()
+    return Router(design, seed=seed, engine=engine, **kwargs).run()

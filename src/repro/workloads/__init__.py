@@ -4,6 +4,8 @@ from .designs import (
     RegionPlan,
     build_base_netlist,
     figure4_plan,
+    flow_cases,
+    flow_constraints,
     make_project,
     scale_plan,
     slab_regions,
@@ -14,5 +16,6 @@ from .generators import GENERATORS, ModuleSpec, attach_module, build_module_netl
 __all__ = [
     "GENERATORS", "ModuleSpec", "RegionPlan", "attach_module",
     "build_base_netlist", "build_module_netlist", "figure4_plan",
-    "make_project", "scale_plan", "slab_regions", "version_name",
+    "flow_cases", "flow_constraints", "make_project", "scale_plan",
+    "slab_regions", "version_name",
 ]

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from ..core.project import JpgProject
 from ..devices import get_device
 from ..errors import JpgError
-from ..flow.floorplan import RegionRect
+from ..flow.floorplan import AreaGroup, Constraints, RegionRect
 from ..netlist.builder import NetlistBuilder
 from ..netlist.logical import Netlist
 from .generators import ModuleSpec, attach_module, build_module_netlist
@@ -137,6 +137,28 @@ def build_base_netlist(name: str, plans: list[RegionPlan], *, clock_port: str = 
 
 def version_name(spec: ModuleSpec) -> str:
     return spec.variant or spec.kind
+
+
+def flow_constraints(plans: list[RegionPlan]) -> Constraints:
+    """Region constraints for ``plans``, one ``AREA_GROUP`` per region —
+    the same floorplan :meth:`JpgProject.constraints` derives."""
+    cons = Constraints()
+    for plan in plans:
+        cons.groups.append(AreaGroup(f"AG_{plan.name}", [f"{plan.name}/*"], plan.rect))
+    return cons
+
+
+def flow_cases() -> list[tuple[str, str, Netlist, Constraints]]:
+    """The flow-phase benchmark axis: ``(label, part, netlist, constraints)``
+    for the paper's Figure-4 base design and the XCV1000 scale design."""
+    fig4 = figure4_plan("XCV100")
+    scale = scale_plan("XCV1000", regions=12, variants=9)
+    return [
+        ("fig4-XCV100", "XCV100",
+         build_base_netlist("fig4_base", fig4), flow_constraints(fig4)),
+        ("scale-XCV1000", "XCV1000",
+         build_base_netlist("scale_base", scale), flow_constraints(scale)),
+    ]
 
 
 def make_project(

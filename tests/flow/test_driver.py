@@ -7,13 +7,19 @@ from tests.conftest import build_counter_netlist
 class TestRunFlow:
     def test_phases_timed(self, counter_flow):
         times = counter_flow.phase_seconds
-        assert set(times) == {"techmap", "pack", "place", "route"}
+        assert set(times) == {"techmap", "pack", "place", "route", "timing"}
         assert all(t >= 0 for t in times.values())
         assert counter_flow.total_seconds == sum(times.values())
+
+    def test_sta_phase_timed(self, counter_flow):
+        # regression: analyze() used to run outside the timed phases, so
+        # total_seconds under-reported the flow's cost
+        assert counter_flow.phase_seconds["timing"] > 0
 
     def test_summary_text(self, counter_flow):
         text = counter_flow.summary()
         assert "XCV50" in text and "slices" in text and "MHz" in text
+        assert "sta " in text
 
     def test_input_netlist_untouched(self):
         nl, _ = build_counter_netlist()

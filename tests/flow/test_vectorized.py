@@ -1,0 +1,253 @@
+"""Scalar-vs-array flow engine equivalence, plus hot-loop bug regressions.
+
+The array engines are only drop-in replacements if a given seed produces
+the *same* placement and routing as the scalar reference — HPWL costs
+are integers, congestion costs are ordered identically, and both engines
+consume the RNG in the same order, so equality here is exact, not
+approximate.
+"""
+
+import math
+
+import pytest
+
+from repro.devices import wires as W
+from repro.errors import PlacementError, RoutingError
+from repro.flow import run_flow
+from repro.flow.floorplan import AreaGroup, Constraints, RegionRect
+from repro.flow.pack import pack
+from repro.flow.place import PLACER_ENGINES, Placer, place
+from repro.flow.route import ROUTER_ENGINES, Router, route
+from repro.flow.techmap import techmap
+from repro.obs import Metrics, use_metrics
+from tests.conftest import build_counter_netlist
+
+
+def packed_design(width=4):
+    nl, _ = build_counter_netlist(width)
+    techmap(nl)
+    design, _ = pack(nl, "XCV50")
+    return design
+
+
+def placement_of(design):
+    sites = {n: c.site for n, c in design.slices.items()}
+    sites.update({n: str(c.site) for n, c in design.iobs.items()})
+    return sites
+
+
+def routing_of(design):
+    return (
+        {n.name: sorted(n.pips) for n in design.nets.values()},
+        {
+            (n.name, i): (s.phys_pin, round(s.delay_ns, 9))
+            for n in design.nets.values()
+            for i, s in enumerate(n.sinks)
+        },
+    )
+
+
+class TestEngineSelection:
+    def test_unknown_placer_engine_rejected(self):
+        with pytest.raises(PlacementError, match="unknown placer engine"):
+            Placer(packed_design(), engine="bogus")
+
+    def test_unknown_router_engine_rejected(self):
+        design = packed_design()
+        place(design, seed=1)
+        with pytest.raises(RoutingError, match="unknown router engine"):
+            Router(design, engine="bogus")
+
+    def test_engine_lists_exported(self):
+        assert "array" in PLACER_ENGINES and "scalar" in PLACER_ENGINES
+        assert "array" in ROUTER_ENGINES and "scalar" in ROUTER_ENGINES
+
+
+class TestPlacementEquivalence:
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    @pytest.mark.parametrize("width", [4, 8])
+    def test_same_seed_same_placement(self, seed, width):
+        designs, costs = [], []
+        for engine in ("scalar", "array"):
+            design = packed_design(width)
+            stats = place(design, seed=seed, engine=engine)
+            designs.append(placement_of(design))
+            costs.append((stats.initial_cost, stats.final_cost))
+        assert designs[0] == designs[1]
+        assert costs[0] == costs[1]
+
+    def test_constrained_placement_identical(self):
+        cons = Constraints(
+            groups=[AreaGroup("AG", ["u1/*"], RegionRect(0, 2, 15, 7))]
+        )
+        placements = []
+        for engine in ("scalar", "array"):
+            design = packed_design(8)
+            place(design, cons, seed=3, engine=engine)
+            placements.append(placement_of(design))
+        assert placements[0] == placements[1]
+        region = RegionRect(0, 2, 15, 7)
+        for name, site in placements[0].items():
+            if name.startswith("u1/"):
+                assert region.contains(site[0], site[1])
+
+    def test_same_engine_reproducible(self):
+        a, b = packed_design(), packed_design()
+        place(a, seed=9)
+        place(b, seed=9)
+        assert placement_of(a) == placement_of(b)
+
+
+class TestRoutingEquivalence:
+    @pytest.mark.parametrize("seed", [1, 4, 42])
+    def test_same_seed_same_routing(self, seed):
+        routings, stats = [], []
+        for engine in ("scalar", "array"):
+            design = packed_design(8)
+            place(design, seed=seed)
+            st = route(design, seed=seed, engine=engine)
+            routings.append(routing_of(design))
+            stats.append(st)
+        assert routings[0] == routings[1]
+        assert stats[0].nodes_popped == stats[1].nodes_popped
+        assert stats[0].iterations == stats[1].iterations
+        assert stats[0].rip_ups == stats[1].rip_ups
+
+    def test_rip_up_stat_counts_reroutes(self):
+        design = packed_design(8)
+        place(design, seed=1)
+        st = route(design, seed=1)
+        # width-8 at this seed needs multiple PathFinder iterations, so
+        # some established trees must have been torn down and re-routed
+        assert st.iterations > 1
+        assert st.rip_ups > 0
+
+
+class TestFlowEquivalence:
+    def test_full_flow_identical_across_engines(self):
+        nl, _ = build_counter_netlist(6)
+        results = [
+            run_flow(nl, "XCV50", seed=2, engine=engine)
+            for engine in ("scalar", "array")
+        ]
+        assert placement_of(results[0].design) == placement_of(results[1].design)
+        assert routing_of(results[0].design) == routing_of(results[1].design)
+        assert results[0].timing.fmax_mhz == results[1].timing.fmax_mhz
+
+    def test_guide_adoption_unaffected_by_engine(self):
+        nl, _ = build_counter_netlist(6)
+        base = run_flow(nl, "XCV50", seed=2)
+        reused = []
+        for engine in ("scalar", "array"):
+            res = run_flow(nl, "XCV50", guide=base.design, seed=2, engine=engine)
+            reused.append(res.route_stats.nets_reused)
+            assert res.design.routed()
+        assert reused[0] == reused[1]
+        assert reused[0] > 0
+
+
+class TestTryMoveSingleEvaluation:
+    def test_accepted_move_evaluates_each_net_once(self, monkeypatch):
+        """Regression: ``_try_move`` used to recompute every affected
+        net's cost a second time after accepting a move."""
+        design = packed_design(8)
+        placer = Placer(design, seed=3, engine="scalar")
+        placer._assign_gclks()
+        placer._build_state()
+        placer._initial_placement()
+        placer._total_cost()
+        movable = [s for s in placer.comps.values() if not s.fixed]
+
+        calls = []
+        real_net_cost = Placer._net_cost
+        monkeypatch.setattr(
+            Placer, "_net_cost",
+            lambda self, net: calls.append(net) or real_net_cost(self, net),
+        )
+        proposals = []
+        real_propose = Placer._propose
+        monkeypatch.setattr(
+            Placer, "_propose",
+            lambda self, m: proposals.append(real_propose(self, m)) or proposals[-1],
+        )
+
+        accepted = 0
+        for _ in range(200):
+            calls.clear()
+            delta = placer._try_move(movable, temperature=math.inf)
+            if delta is None or proposals[-1] is None:
+                continue
+            accepted += 1
+            state, _, other = proposals[-1]
+            affected = set(state.nets) | (set(other.nets) if other else set())
+            assert len(calls) == len(affected)
+        assert accepted > 0
+
+
+class TestSinkHeuristic:
+    def test_multi_tile_candidates_use_nearest(self):
+        """Regression: the A* heuristic assumed all sink candidates share
+        a tile; with candidates in different tiles it must lower-bound
+        against the *nearest* one to stay admissible."""
+        design = packed_design()
+        place(design, seed=1)
+        router = Router(design, seed=1)
+        dev = router.device
+        w = W.wire_index("S0_F1")   # tile-local wire (no canonicalization)
+        near = dev.node_id(0, 1, w)
+        far = dev.node_id(10, 10, w)
+        h = router._sink_heuristic((far, near))
+        # a node one tile from `near` must be bounded by that distance,
+        # not by its distance to the first-listed candidate
+        probe = dev.node_id(0, 0, w)
+        assert h(probe) == pytest.approx(1 * 0.20)
+        assert h(near) == 0.0
+
+    def test_single_tile_unchanged(self):
+        design = packed_design()
+        place(design, seed=1)
+        router = Router(design, seed=1)
+        dev = router.device
+        w = W.wire_index("S0_F1")
+        cands = tuple(
+            dev.node_id(3, 4, W.wire_index(f"S0_F{k}")) for k in range(1, 5)
+        )
+        h = router._sink_heuristic(cands)
+        assert h(dev.node_id(3, 9, w)) == pytest.approx(5 * 0.20)
+
+
+class TestUnroutableMessage:
+    def _router(self):
+        design = packed_design()
+        place(design, seed=1)
+        return Router(design, seed=1)
+
+    def test_short_list_not_elided(self):
+        router = self._router()
+        err = router._unroutable(list(range(3)))
+        assert "3 overused nodes" in str(err)
+        assert "..." not in str(err)
+
+    def test_long_list_elided(self):
+        router = self._router()
+        err = router._unroutable(list(range(12)))
+        assert "12 overused nodes" in str(err)
+        assert str(err).rstrip(")").endswith("...")
+        # only the first 8 are spelled out
+        assert str(err).count("R1C1.") <= 8
+
+
+class TestFlowMetrics:
+    def test_flow_counters_and_stage_timers(self):
+        nl, _ = build_counter_netlist()
+        metrics = Metrics()
+        with use_metrics(metrics):
+            run_flow(nl, "XCV50", seed=1)
+        assert metrics.counter("flow.place.moves_attempted") > 0
+        assert metrics.counter("flow.place.moves_accepted") > 0
+        assert metrics.counter("flow.place.temperatures") > 0
+        assert metrics.counter("flow.route.searches") > 0
+        assert metrics.counter("flow.route.astar_pops") > 0
+        for stage in ("flow.techmap", "flow.pack", "flow.place",
+                      "flow.route", "flow.timing"):
+            assert stage in metrics.timers, stage

@@ -21,7 +21,8 @@ Usage::
 regenerating a BENCH file without refreshing the docs fails loudly.
 
 Both report schemas are understood: the flat ``results`` list BENCH_5
-used and the ``workloads`` list of BENCH_6+ (cold/warm per backend).
+used and the ``workloads`` list of BENCH_6+ (cold/warm per backend, plus
+the per-engine flow place/route entries BENCH_7 added).
 """
 
 from __future__ import annotations
@@ -71,6 +72,21 @@ def render_table(report: dict, source: str) -> str:
     ]
     if "workloads" in report:
         for wl in report["workloads"]:
+            if wl.get("flow"):
+                lines.append(
+                    f"**{wl['workload']}** (place+route, {wl['items']} comps)"
+                )
+                lines.append("")
+                lines.append("| engine | place (s) | route (s) | place+route (s) |")
+                lines.append("|---|---:|---:|---:|")
+                for row in wl["results"]:
+                    lines.append(
+                        f"| {row['engine']} | {_fmt_s(row.get('place_s'))} "
+                        f"| {_fmt_s(row.get('route_s'))} "
+                        f"| {_fmt_s(row.get('pnr_s'))} |"
+                    )
+                lines.append("")
+                continue
             lines.append(f"**{wl['workload']}** ({wl['items']} partials)")
             lines.append("")
             lines.append("| backend | cold (s) | warm (s) | frames/s (warm) |")

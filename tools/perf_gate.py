@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Backend performance gate: cold and warm timings on every backend.
 
-Two workload axes, selectable with ``--workload``:
+Three workload axes, selectable with ``--workload``:
 
 * ``small`` — the paper's §4.1 Figure-4 manifest (10 partials against one
   XCV100-class base).  Pool spin-up dominates here; the gate only checks
@@ -9,8 +9,14 @@ Two workload axes, selectable with ``--workload``:
 * ``xcv1000`` — 12 slab regions x 9 module variants = 108 partials on an
   XCV1000 (:func:`repro.workloads.scale_plan`).  This is where
   parallelism has room to pay, and where the warm pool must *win*.
+* ``flow`` — the place/route phase axis: run the full flow on the
+  Figure-4 and XCV1000 base designs (:func:`repro.workloads.flow_cases`)
+  with both cost engines (``scalar`` and ``array``) and record per-phase
+  wall clock.  Every repeat's placement and routing must be identical
+  across repeats *and* across engines (seeded determinism — checked
+  unconditionally, like byte identity).
 
-Every backend is timed at two temperatures:
+Batch backends are timed at two temperatures:
 
 * **cold** — a fresh engine per repeat: what a one-shot ``jpg batch
   --backend X`` costs, pool start-up and shared-memory publication
@@ -18,7 +24,7 @@ Every backend is timed at two temperatures:
 * **warm** — one engine, a priming run, then best-of-``--repeats`` on the
   same engine: the steady state a resident ``jpg serve`` pool reaches.
 
-Results land in ``BENCH_6.json``::
+Results land in ``BENCH_7.json``::
 
     {
       "cpu_count": 8,
@@ -29,24 +35,32 @@ Results land in ``BENCH_6.json``::
            {"backend": "serial", "cold_s": 0.91, "warm_s": 0.30, ...},
            ...
          ]},
+        {"workload": "flow-scale-XCV1000", "items": 216, "flow": true,
+         "results": [
+           {"engine": "scalar", "place_s": 0.78, "route_s": 0.75, ...},
+           {"engine": "array", "place_s": 0.62, "route_s": 0.59, ...}
+         ]},
         ...
       ]
     }
 
-**Gate policy.**  Byte-identity across every backend and temperature is
-always checked (speed means nothing if the bytes differ).  The timing
-gate enforces only with ``cpu_count() >= 4`` (or ``--enforce``); starved
-runners report-only (``"enforced": false``):
+**Gate policy.**  Byte-identity across every backend and temperature, and
+site/PIP identity across flow engines and repeats, are always checked
+(speed means nothing if the results differ).  The timing gate enforces
+only with ``cpu_count() >= 4`` (or ``--enforce``); starved runners
+report-only (``"enforced": false``):
 
 * small: pooled backends (process, warm) within ``--tolerance`` of
   serial, cold and warm;
 * xcv1000: the warm backend's warm time must beat serial's warm time
-  outright — the reason the warm pool exists.
+  outright — the reason the warm pool exists;
+* flow: the array engine's place+route time must be <= 1.00x the scalar
+  engine's on the scale design — the reason the array engine exists.
 
 Usage::
 
-    PYTHONPATH=src python tools/perf_gate.py [--workload small|xcv1000|all]
-        [--out BENCH_6.json] [--repeats 3] [--tolerance 1.25]
+    PYTHONPATH=src python tools/perf_gate.py [--workload small|xcv1000|flow|all]
+        [--out BENCH_7.json] [--repeats 3] [--tolerance 1.25]
 """
 
 from __future__ import annotations
@@ -61,11 +75,12 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.batch import BatchJpg, items_from_project  # noqa: E402
 from repro.exec import BACKEND_NAMES  # noqa: E402
-from repro.workloads import figure4_plan, make_project, scale_plan  # noqa: E402
+from repro.flow import PLACER_ENGINES, run_flow  # noqa: E402
+from repro.workloads import figure4_plan, flow_cases, make_project, scale_plan  # noqa: E402
 
 ENFORCE_MIN_CPUS = 4
 
-WORKLOAD_NAMES = ("small", "xcv1000")
+WORKLOAD_NAMES = ("small", "xcv1000", "flow")
 
 
 def build_workload(name: str, args: argparse.Namespace):
@@ -146,6 +161,101 @@ def time_backend(project, backend: str, *, repeats: int) -> dict:
     }
 
 
+def flow_signature(design) -> tuple:
+    """Everything seeded flow determinism promises: sites and routing."""
+    return (
+        tuple(sorted((n, c.site) for n, c in design.slices.items())),
+        tuple(sorted((n, str(c.site)) for n, c in design.iobs.items())),
+        tuple(
+            sorted(
+                (net.name, tuple(sorted(net.pips)))
+                for net in design.nets.values()
+            )
+        ),
+    )
+
+
+def time_flow_engine(case, engine: str, *, repeats: int, seed: int):
+    """Best-of-``repeats`` per-phase times for one flow engine.
+
+    Returns ``(row, signature, items)``; ``row`` is None if two repeats
+    disagreed (seeded determinism broken — an unconditional failure).
+    """
+    label, part, netlist, constraints = case
+    best = None
+    sig = None
+    items = 0
+    for _ in range(repeats):
+        res = run_flow(netlist, part, constraints, seed=seed, engine=engine)
+        this_sig = flow_signature(res.design)
+        if sig is None:
+            sig = this_sig
+            items = len(res.design.slices) + len(res.design.iobs)
+        elif this_sig != sig:
+            print(
+                f"perf gate: FAIL — flow-{label}: {engine} engine is not "
+                f"deterministic across repeats with a fixed seed"
+            )
+            return None, None, 0
+        t = res.phase_seconds
+        row = {
+            "engine": engine,
+            "place_s": round(t["place"], 4),
+            "route_s": round(t["route"], 4),
+            "pnr_s": round(t["place"] + t["route"], 4),
+            "total_s": round(res.total_seconds, 4),
+        }
+        if best is None or row["pnr_s"] < best["pnr_s"]:
+            best = row
+    return best, sig, items
+
+
+def run_flow_axis(args) -> tuple[list[dict] | None, list[str]]:
+    """Time every flow case on both engines; (entries, gate problems).
+
+    Entries is None when a hard check failed: an engine placed/routed
+    differently across repeats, or the two engines disagreed (they must
+    be result-identical for a given seed).
+    """
+    entries = []
+    problems = []
+    for case in flow_cases():
+        label = f"flow-{case[0]}"
+        print(f"perf gate: {label}")
+        rows, sigs = [], {}
+        items = 0
+        for engine in sorted(PLACER_ENGINES, reverse=True):  # scalar first
+            row, sig, n = time_flow_engine(
+                case, engine, repeats=args.repeats, seed=args.seed
+            )
+            if row is None:
+                return None, []
+            rows.append(row)
+            sigs[engine] = sig
+            items = n
+            print(f"  {engine:<8} place {row['place_s']:>8.3f} s   "
+                  f"route {row['route_s']:>8.3f} s   "
+                  f"p+r {row['pnr_s']:>8.3f} s")
+        if sigs["scalar"] != sigs["array"]:
+            print(
+                f"perf gate: FAIL — {label}: array engine's placement/routing "
+                f"diverges from scalar (they must be result-identical)"
+            )
+            return None, []
+        by_engine = {r["engine"]: r for r in rows}
+        if case[0].startswith("scale"):
+            ratio = by_engine["array"]["pnr_s"] / by_engine["scalar"]["pnr_s"]
+            if ratio > 1.0:
+                problems.append(
+                    f"{label}: array engine place+route is {ratio:.2f}x scalar "
+                    f"(it must be <= 1.00x)"
+                )
+        entries.append(
+            {"workload": label, "items": items, "flow": True, "results": rows}
+        )
+    return entries, problems
+
+
 def check_identity(workload: str, results: list[dict]) -> bool:
     """Every backend and temperature must emit serial's exact bytes."""
     reference = results[0]["partials"]["cold"]
@@ -192,6 +302,21 @@ def run_gate(args: argparse.Namespace) -> int:
     verdict = 0
     workloads = []
     for name in names:
+        if name == "flow":
+            print(f"perf gate: flow engines on {cpus} cpu(s), "
+                  f"{'enforcing' if enforced else 'report-only'}")
+            entries, problems = run_flow_axis(args)
+            if entries is None:
+                return 1
+            for line in problems:
+                if enforced:
+                    print(f"perf gate: FAIL — {line}")
+                    verdict = 1
+                else:
+                    print(f"perf gate: note — {line}; "
+                          f"not enforced on {cpus} cpu(s)")
+            workloads.extend(entries)
+            continue
         label, project = build_workload(name, args)
         items = len(items_from_project(project))
         print(f"perf gate: {label} on {cpus} cpu(s), "
@@ -234,7 +359,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workload", choices=WORKLOAD_NAMES + ("all",),
                         default="all",
                         help="which workload axis to run (default: %(default)s)")
-    parser.add_argument("--out", default="BENCH_6.json",
+    parser.add_argument("--out", default="BENCH_7.json",
                         help="report path (default: %(default)s)")
     parser.add_argument("--part", default="XCV100",
                         help="device for the small workload")
