@@ -10,7 +10,10 @@ model:
 * ``X*`` — frame-conflict detection (:mod:`.conflict`): content-aware
   races between partials destined for concurrent deployment;
 * ``N*`` — netlist/constraint lint (:mod:`.netlist`): placements outside
-  their RANGE, unsanctioned region-crossing nets, antenna routes.
+  their RANGE, unsanctioned region-crossing nets, antenna routes;
+* ``T*`` — tamper detection (:mod:`.tamper`): frame writes outside every
+  sanctioned region, routing edits relative to a golden base, and
+  readback-vs-golden drift (needs the ``sanctioned``/``golden`` inputs).
 
 :class:`RuleEngine` runs whatever the available inputs support;
 :class:`PreDeployGate` turns blocking findings into
@@ -25,6 +28,11 @@ from .findings import RULES, AnalysisReport, Finding, Rule, Severity
 from .gate import PreDeployGate
 from .netlist import check_netlist
 from .stream import FrameWrite, StreamModel, decode_stream
+from .tamper import (
+    check_readback_drift,
+    check_routing_tamper,
+    check_sanctioned_writes,
+)
 
 __all__ = [
     "RULES",
@@ -41,6 +49,9 @@ __all__ = [
     "check_containment",
     "check_duplicates",
     "check_netlist",
+    "check_readback_drift",
+    "check_routing_tamper",
+    "check_sanctioned_writes",
     "decode_stream",
     "lint_partial",
     "sanctioned_route_columns",

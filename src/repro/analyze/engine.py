@@ -18,16 +18,22 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from ..bitstream.bitfile import BitFile
+from ..bitstream.frames import FrameMemory
 from ..devices import Device, get_device
 from ..errors import UsageError
 from ..flow.floorplan import Constraints, RegionRect
 from ..flow.ncd import NcdDesign
 from ..obs import current_metrics
-from .containment import check_containment
+from .containment import check_containment, sanctioned_route_columns
 from .conflict import check_conflicts, check_duplicates
 from .findings import AnalysisReport
 from .netlist import check_netlist
 from .stream import StreamModel, decode_stream
+from .tamper import check_routing_tamper, check_sanctioned_writes
+
+#: Anything the engine accepts as a golden base configuration.
+GoldenInput = FrameMemory | BitFile | bytes
 
 
 @dataclass
@@ -53,14 +59,44 @@ class LintTarget:
 
 
 class RuleEngine:
-    """Run every applicable rule family over a set of targets."""
+    """Run every applicable rule family over a set of targets.
+
+    ``sanctioned`` (a deployment policy: the regions partials may touch)
+    enables the T001 unsanctioned-write rule; ``golden`` (the base
+    configuration, as frames / a .bit / raw config bytes) enables the
+    T002 routing-tamper rule for targets whose sanctioned rows are known
+    (the policy, or the target's own declared region).
+    """
 
     def __init__(self, device: Device | str | None = None, *,
-                 conflicts: bool = True):
+                 conflicts: bool = True,
+                 golden: GoldenInput | None = None,
+                 sanctioned: list[RegionRect] | None = None):
         if isinstance(device, str):
             device = get_device(device)
         self.device = device
         self.conflicts = conflicts
+        self.sanctioned = sanctioned
+        self._golden_input = golden
+        self._golden: FrameMemory | None = None
+
+    def golden_frames(self, device: Device) -> FrameMemory | None:
+        """The golden base as frames (parsed once, lazily)."""
+        if self._golden is None and self._golden_input is not None:
+            golden = self._golden_input
+            if isinstance(golden, BitFile):
+                golden = golden.config_bytes
+            if isinstance(golden, bytes):
+                from ..bitstream.reader import parse_bitstream
+
+                golden, _stats = parse_bitstream(device, golden)
+            if golden.device != device:
+                raise UsageError(
+                    f"golden base is for {golden.device.name}, "
+                    f"lint device is {device.name}"
+                )
+            self._golden = golden
+        return self._golden
 
     def _device_for(self, targets: list[LintTarget]) -> Device:
         if self.device is not None:
@@ -94,6 +130,23 @@ class RuleEngine:
                     report.extend(check_containment(
                         device, model, region, target.design
                     ))
+                if self.sanctioned is not None:
+                    route_cols = None
+                    if target.design is not None:
+                        route_cols = sanctioned_route_columns(target.design)
+                    report.extend(check_sanctioned_writes(
+                        device, model, self.sanctioned,
+                        route_cols=route_cols,
+                    ))
+                tamper_rows = self.sanctioned
+                if tamper_rows is None and region is not None:
+                    tamper_rows = [region]
+                if tamper_rows is not None:
+                    golden = self.golden_frames(device)
+                    if golden is not None:
+                        report.extend(check_routing_tamper(
+                            device, model, golden, tamper_rows
+                        ))
             if target.design is not None:
                 report.extend(check_netlist(
                     target.design,

@@ -16,11 +16,14 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from ..bitstream.frames import FrameMemory
 from ..devices import Device
-from ..errors import AnalysisError
+from ..errors import AnalysisError, UsageError
+from ..flow.floorplan import RegionRect
 from ..obs import current_metrics
-from .engine import LintTarget, RuleEngine
+from .engine import GoldenInput, LintTarget, RuleEngine
 from .findings import AnalysisReport
+from .tamper import check_readback_drift
 
 
 def _as_target(item: object) -> LintTarget:
@@ -43,12 +46,26 @@ def _as_target(item: object) -> LintTarget:
 
 
 class PreDeployGate:
-    """Block deployments whose streams fail static analysis."""
+    """Block deployments whose streams fail static analysis.
+
+    With a ``golden`` base and/or ``sanctioned`` regions attached, the
+    tamper (``T*``) rules run too: unsanctioned frame writes and
+    routing edits relative to the golden base block pre-deploy, and
+    :meth:`require_readback` checks a post-deploy readback for drift.
+    """
 
     def __init__(self, device: Device | str, *, strict: bool = False,
-                 conflicts: bool = True):
-        self.engine = RuleEngine(device, conflicts=conflicts)
+                 conflicts: bool = True,
+                 golden: GoldenInput | None = None,
+                 sanctioned: list[RegionRect] | None = None):
+        self.engine = RuleEngine(device, conflicts=conflicts,
+                                 golden=golden, sanctioned=sanctioned)
         self.strict = strict
+
+    @property
+    def drift_enabled(self) -> bool:
+        """True when a golden base is attached (T003 is possible)."""
+        return self.engine._golden_input is not None
 
     def check(self, items: Iterable[object]) -> AnalysisReport:
         """Analyze the streams; never raises on findings."""
@@ -56,7 +73,31 @@ class PreDeployGate:
 
     def require(self, items: Iterable[object]) -> AnalysisReport:
         """Analyze and raise :class:`AnalysisError` on blocking findings."""
-        report = self.check(items)
+        return self._enforce(self.check(items))
+
+    def check_readback(self, observed: FrameMemory,
+                       *, subject: str = "readback") -> AnalysisReport:
+        """T003 readback-drift check against the attached golden base."""
+        device = observed.device
+        golden = self.engine.golden_frames(device)
+        if golden is None:
+            raise UsageError(
+                "readback drift check needs a golden base: construct the "
+                "gate with golden=..."
+            )
+        report = AnalysisReport(targets=[subject])
+        report.extend(check_readback_drift(
+            device, golden, observed, self.engine.sanctioned or [],
+            subject=subject,
+        ))
+        return report
+
+    def require_readback(self, observed: FrameMemory,
+                         *, subject: str = "readback") -> AnalysisReport:
+        """Check a readback and raise :class:`AnalysisError` on drift."""
+        return self._enforce(self.check_readback(observed, subject=subject))
+
+    def _enforce(self, report: AnalysisReport) -> AnalysisReport:
         metrics = current_metrics()
         if not report.ok(strict=self.strict):
             blocking = (report.findings if self.strict else report.errors)

@@ -79,6 +79,7 @@ class FrameWrite:
     major: int
     minor: int
     digest: str                      # content hash of the frame payload
+    payload: bytes = b""             # the frame's words, big-endian
 
     @property
     def address(self) -> str:
@@ -293,9 +294,9 @@ class _Decoder:
         for k in range(nframes):
             index = start + k
             major, minor = g.frame_address(index)
+            frame_payload = payload[k * 4 * fw:(k + 1) * 4 * fw]
             self.model.writes.append(FrameWrite(
-                index, major, minor,
-                _digest(payload[k * 4 * fw:(k + 1) * 4 * fw]),
+                index, major, minor, _digest(frame_payload), frame_payload,
             ))
         self.far_linear = end if end < g.total_frames else 0
 

@@ -1,0 +1,274 @@
+"""Tamper detection (the ``T*`` rule family).
+
+Where the ``C*`` rules check a partial against its *own* declared region,
+the tamper rules check it against an explicit deployment **policy**: a
+list of sanctioned regions (what operators agreed may be reconfigured)
+and a **golden base** configuration (what the rest of the device must
+keep holding).  They exist for the hostile case — a partial that was
+modified after generation, a bitstream of unknown provenance, a board
+whose configuration drifted — in the spirit of hardware-trojan work on
+FPGA bitstreams:
+
+* ``T001`` — the stream writes CLB or BRAM frames no sanctioned region
+  covers (the partial reaches outside the agreed reconfigurable area);
+* ``T002`` — inside a sanctioned column, the stream edits routing-plane
+  frames *outside the sanctioned rows* relative to the golden base
+  (a classic trojan vector: splice a tap into pass-through routing);
+* ``T003`` — a readback diverges from the golden base anywhere the
+  policy does not explain (configuration drift / implant detection).
+
+All three need inputs beyond a lone partial — the policy and/or the
+golden base — so :class:`~repro.analyze.engine.RuleEngine` and
+:class:`~repro.analyze.gate.PreDeployGate` accept ``sanctioned`` and
+``golden`` arguments and run whatever the inputs support, exactly like
+every other family.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..bitstream.frames import FrameMemory
+from ..devices import BITS_PER_ROW, ColumnKind, Device
+from ..devices.resources import PIP_MINOR_BASE
+from ..flow.floorplan import RegionRect
+from .findings import Finding, Severity, rule
+from .stream import FrameWrite, StreamModel
+
+__all__ = [
+    "check_readback_drift",
+    "check_routing_tamper",
+    "check_sanctioned_writes",
+]
+
+T001 = rule("T001", "unsanctioned-frame-write", Severity.ERROR,
+            "the stream writes configuration frames no sanctioned region "
+            "covers; reject it unless the deployment policy is extended")
+T002 = rule("T002", "routing-tamper-vs-golden", Severity.ERROR,
+            "routing-plane bits outside the sanctioned rows differ from "
+            "the golden base; the partial may carry spliced routing")
+T003 = rule("T003", "readback-drift", Severity.ERROR,
+            "the readback diverges from the golden configuration outside "
+            "every sanctioned region; scrub the device and investigate")
+
+
+def _sanctioned_columns(sanctioned: Sequence[RegionRect]) -> set[int]:
+    cols: set[int] = set()
+    for rect in sanctioned:
+        cols.update(rect.clb_columns())
+    return cols
+
+
+def _row_bit_spans(
+    device: Device, sanctioned: Sequence[RegionRect], clb_col: int
+) -> list[tuple[int, int]]:
+    """Frame-bit intervals the policy sanctions in one CLB column."""
+    g = device.geometry
+    spans: list[tuple[int, int]] = []
+    for rect in sanctioned:
+        if clb_col in rect.clb_columns():
+            lo = g.row_bit_offset(rect.rmin)
+            hi = g.row_bit_offset(rect.rmax) + BITS_PER_ROW
+            spans.append((lo, hi))
+    return spans
+
+
+def _allowed_mask(
+    device: Device, spans: Sequence[tuple[int, int]]
+) -> np.ndarray:
+    """Per-word uint32 mask of frame bits the policy sanctions."""
+    g = device.geometry
+    mask = np.zeros(g.frame_words, dtype=np.uint32)
+    for lo, hi in spans:
+        hi = min(hi, g.frame_bits)
+        for b in range(lo, hi):
+            mask[b // 32] |= np.uint32(1 << (31 - b % 32))
+    return mask
+
+
+def _word_view(payload: bytes, frame_words: int) -> np.ndarray | None:
+    if len(payload) != 4 * frame_words:
+        return None
+    return np.frombuffer(payload, dtype=">u4").astype(np.uint32)
+
+
+def _first_diff_bit(diff: np.ndarray) -> int:
+    """Frame-bit position of the first set bit in a diff word array."""
+    for w, word in enumerate(diff):
+        if word:
+            return 32 * w + (31 - int(word).bit_length() + 1)
+    return -1
+
+
+def check_sanctioned_writes(
+    device: Device,
+    model: StreamModel,
+    sanctioned: Sequence[RegionRect],
+    *,
+    route_cols: set[int] | None = None,
+) -> list[Finding]:
+    """T001: every CLB/BRAM frame write must fall in a sanctioned region.
+
+    The clock column is exempt (global clock state rides along with any
+    partial) and so are the IOB edge columns (module IO must reach pads);
+    BRAM interconnect/content writes are never sanctioned by a CLB-rect
+    policy and always flag.
+
+    Boundary routing legitimately spills a column-granularity partial
+    into out-of-policy CLB columns, so those are skipped when the
+    module's design proves them (``route_cols``, see
+    :func:`~.containment.sanctioned_route_columns`) and degrade to
+    warnings when no design is available to prove either way — the same
+    bargain the ``C*`` family strikes.
+    """
+    findings: list[Finding] = []
+    allowed = _sanctioned_columns(sanctioned)
+    clb_writes: dict[int, list[FrameWrite]] = {}
+    kind_writes: dict[str, list[FrameWrite]] = {}
+    for w in model.writes:
+        col = device.geometry.column(w.major)
+        if col.kind in (ColumnKind.CLOCK, ColumnKind.IOB):
+            continue
+        if col.kind is ColumnKind.CLB:
+            assert col.clb_col is not None
+            if col.clb_col in allowed:
+                continue
+            if route_cols is not None and col.clb_col in route_cols:
+                continue             # design-proven boundary routing
+            clb_writes.setdefault(col.clb_col, []).append(w)
+        else:
+            kind_writes.setdefault(
+                f"{col.kind.value} column (major {w.major})", []
+            ).append(w)
+    policy = f"all {len(sanctioned)} sanctioned region(s)"
+    severity = Severity.ERROR if route_cols is not None else Severity.WARNING
+    proof = ("not sanctioned by the design's boundary routing"
+             if route_cols is not None
+             else "possibly boundary routing (no design to prove it)")
+    for clb_col in sorted(clb_writes):
+        writes = clb_writes[clb_col]
+        w = writes[0]
+        findings.append(Finding(
+            T001, model.subject,
+            f"{len(writes)} frame write(s) in CLB column {clb_col + 1}, "
+            f"outside {policy} ({proof})",
+            severity=severity,
+            frame=w.index,
+            address=w.address,
+        ))
+    for key in sorted(kind_writes):
+        writes = kind_writes[key]
+        w = writes[0]
+        findings.append(Finding(
+            T001, model.subject,
+            f"{len(writes)} frame write(s) in {key}, outside {policy}",
+            frame=w.index,
+            address=w.address,
+        ))
+    return findings
+
+
+def check_routing_tamper(
+    device: Device,
+    model: StreamModel,
+    golden: FrameMemory,
+    sanctioned: Sequence[RegionRect],
+) -> list[Finding]:
+    """T002: routing-plane edits must stay inside the sanctioned rows.
+
+    For every written frame in the routing plane (minors >=
+    ``PIP_MINOR_BASE``) of a sanctioned CLB column, the payload must
+    match the golden base everywhere outside the rows the policy
+    sanctions for that column.  Unsanctioned columns are T001's problem
+    and skipped here.
+    """
+    findings: list[Finding] = []
+    g = device.geometry
+    mask_cache: dict[int, np.ndarray] = {}
+    offenders: dict[int, list[int]] = {}
+    first: dict[int, tuple[int, str, int]] = {}
+    for w in model.writes:
+        col = g.column(w.major)
+        if col.kind is not ColumnKind.CLB or w.minor < PIP_MINOR_BASE:
+            continue
+        assert col.clb_col is not None
+        spans = _row_bit_spans(device, sanctioned, col.clb_col)
+        if not spans:
+            continue                     # unsanctioned column: T001 territory
+        words = _word_view(w.payload, g.frame_words)
+        if words is None:
+            continue                     # malformed burst: S004 territory
+        allowed = mask_cache.get(col.clb_col)
+        if allowed is None:
+            allowed = _allowed_mask(device, spans)
+            mask_cache[col.clb_col] = allowed
+        diff = (words ^ golden.data[w.index]) & golden.payload_mask & ~allowed
+        if not diff.any():
+            continue
+        offenders.setdefault(col.clb_col, []).append(w.index)
+        if col.clb_col not in first:
+            first[col.clb_col] = (w.index, w.address, _first_diff_bit(diff))
+    for clb_col in sorted(offenders):
+        frame, address, bit = first[clb_col]
+        findings.append(Finding(
+            T002, model.subject,
+            f"{len(offenders[clb_col])} routing frame(s) of CLB column "
+            f"{clb_col + 1} differ from the golden base outside the "
+            f"sanctioned rows (first at frame bit {bit})",
+            frame=frame,
+            address=address,
+        ))
+    return findings
+
+
+def check_readback_drift(
+    device: Device,
+    golden: FrameMemory,
+    observed: FrameMemory,
+    sanctioned: Sequence[RegionRect],
+    *,
+    subject: str = "readback",
+) -> list[Finding]:
+    """T003: a readback may differ from golden only where policy says so.
+
+    Sanctioned drift: frame bits within the sanctioned rows of sanctioned
+    CLB columns (that is where deployed modules live), the clock column
+    (global clock enables ride with deployments), and the IOB edge
+    columns (module IO enables).  Everything else — unsanctioned CLB
+    columns, out-of-row bits, BRAM columns — must match the golden base
+    bit for bit.
+    """
+    findings: list[Finding] = []
+    g = device.geometry
+    drifted: list[tuple[int, str]] = []
+    mask_cache: dict[int, np.ndarray] = {}
+    for index in golden.diff_frames(observed):
+        major, minor = g.frame_address(index)
+        col = g.column(major)
+        if col.kind in (ColumnKind.CLOCK, ColumnKind.IOB):
+            continue
+        diff = (observed.data[index] ^ golden.data[index]) & golden.payload_mask
+        if col.kind is ColumnKind.CLB:
+            assert col.clb_col is not None
+            allowed = mask_cache.get(col.clb_col)
+            if allowed is None:
+                spans = _row_bit_spans(device, sanctioned, col.clb_col)
+                allowed = _allowed_mask(device, spans)
+                mask_cache[col.clb_col] = allowed
+            diff = diff & ~allowed
+        if diff.any():
+            drifted.append((index, f"{major}.{minor}"))
+    if drifted:
+        frame, address = drifted[0]
+        listing = ", ".join(str(f) for f, _ in drifted[:6])
+        more = "..." if len(drifted) > 6 else ""
+        findings.append(Finding(
+            T003, subject,
+            f"{len(drifted)} frame(s) drifted from the golden base outside "
+            f"every sanctioned region (frames {listing}{more})",
+            frame=frame,
+            address=address,
+        ))
+    return findings

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from ..bitstream.assembler import partial_stream
 from ..bitstream.bitfile import BitFile
 from ..bitstream.reader import parse_bitstream
-from ..devices import Device, get_device
+from ..devices import Device, get_device, packaged_name
 from ..devices.geometry import Side
 from ..errors import ParseError, ReproError
 
@@ -97,8 +97,9 @@ def block_frames(device: Device, opts: ParbitOptions) -> list[int]:
                 f"({device.cols} columns)"
             )
         for col in range(start, end + 1):
-            base = g.frame_base(g.major_of_clb_col(col))
-            frames.extend(range(base, base + 48))
+            major = g.major_of_clb_col(col)
+            base = g.frame_base(major)
+            frames.extend(range(base, base + g.columns[major].frames))
     for side in opts.iob_sides:
         major = g.major_of_iob(side)
         base = g.frame_base(major)
@@ -134,7 +135,7 @@ def parbit(
     data = partial_stream(frames_mem, frames, startup=opts.startup)
     return BitFile(
         design_name="parbit_partial.ncd",
-        part_name=device.name.lower().replace("xcv", "v") + "bg432",
+        part_name=packaged_name(device.name),
         config_bytes=data,
     )
 

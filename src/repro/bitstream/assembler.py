@@ -22,7 +22,7 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Iterable
 
-from ..devices import Device
+from ..devices import Device, packaged_name
 from ..errors import BitstreamError
 from ..obs import current_metrics
 from .bitfile import BitFile
@@ -127,7 +127,7 @@ def full_bitfile(frames: FrameMemory, design_name: str, **kwargs) -> BitFile:
     """Package a complete stream as a .bit file."""
     return BitFile(
         design_name=design_name,
-        part_name=frames.device.name.lower().replace("xcv", "v") + "bg432",
+        part_name=packaged_name(frames.device.name),
         config_bytes=full_stream(frames, **kwargs),
     )
 
@@ -141,6 +141,6 @@ def partial_bitfile(
     """Package a partial stream as a .bit file."""
     return BitFile(
         design_name=design_name,
-        part_name=frames.device.name.lower().replace("xcv", "v") + "bg432",
+        part_name=packaged_name(frames.device.name),
         config_bytes=partial_stream(frames, frame_indices, **kwargs),
     )

@@ -20,7 +20,7 @@ import numpy as np
 
 from .. import utils
 from ..devices import Device
-from ..devices.geometry import IobSite
+from ..devices.geometry import BITS_PER_ROW, IobSite
 from ..devices.resources import BitCoord, Field
 from ..errors import BitstreamError, DeviceError
 
@@ -52,6 +52,11 @@ class FrameMemory:
         if rem:
             mask[full] = np.uint32(((1 << rem) - 1) << (32 - rem))
         return mask
+
+    @property
+    def payload_mask(self) -> np.ndarray:
+        """Per-word mask of bits that belong to the frame payload."""
+        return self._payload_mask
 
     # -- copying / equality ---------------------------------------------------
 
@@ -222,25 +227,28 @@ class FrameMemory:
     # -- bulk decode helpers ---------------------------------------------------------------
 
     def column_bits(self, clb_col: int) -> np.ndarray:
-        """All 48 frames of a CLB column as a (48, frame_bits) bit matrix.
+        """All frames of a CLB column as an (n_frames, frame_bits) bit
+        matrix (48 minors on the classic geometry; specs may carry more).
 
         Vectorized (numpy ``unpackbits``) — this is the hot path of frame
         decoding (readback verify and the hardware functional simulator).
         """
         g = self.device.geometry
-        base = g.frame_base(g.major_of_clb_col(clb_col))
-        block = self.data[base:base + 48]
+        major = g.major_of_clb_col(clb_col)
+        base = g.frame_base(major)
+        n_frames = g.columns[major].frames
+        block = self.data[base:base + n_frames]
         raw = np.ascontiguousarray(block.astype(">u4")).view(np.uint8)
-        bits = np.unpackbits(raw.reshape(48, -1), axis=1)
+        bits = np.unpackbits(raw.reshape(n_frames, -1), axis=1)
         return bits[:, : g.frame_bits]
 
     def tile_bits(self, row: int, col: int, column_bits: np.ndarray | None = None) -> np.ndarray:
-        """One tile's (48, 18) configuration-bit plane."""
+        """One tile's (n_frames, BITS_PER_ROW) configuration-bit plane."""
         g = self.device.geometry
         if column_bits is None:
             column_bits = self.column_bits(col)
         off = g.row_bit_offset(row)
-        return column_bits[:, off:off + 18]
+        return column_bits[:, off:off + BITS_PER_ROW]
 
     # -- iteration ---------------------------------------------------------------------------
 

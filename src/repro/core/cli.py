@@ -252,17 +252,15 @@ def _cmd_deploy(args) -> int:
             f"truncate={args.truncate} seu={args.seu}"
         )
     board = Board(part, fault_plan=plan)
-    gate = None
-    if args.lint:
-        from ..analyze import PreDeployGate
-
-        gate = PreDeployGate(part)
+    sanctioned = ([RegionRect.from_ucf(s) for s in args.sanction]
+                  if args.sanction else None)
     deployer = Deployer(
         SimulatedXhwif(board),
         base,
         retry=RetryPolicy(max_attempts=args.retries),
         scrub=ScrubPolicy(max_rounds=args.max_scrubs),
-        gate=gate,
+        gate=True if (args.lint or sanctioned is not None) else None,
+        sanctioned=sanctioned,
     )
     items = []
     for path in args.partials:
@@ -441,6 +439,8 @@ def _cmd_serve(args) -> int:
         max_cache_bytes=args.max_cache_bytes,
         xhwif=xhwif,
         lint=args.lint,
+        sanctioned=([RegionRect.from_ucf(s) for s in args.sanction]
+                    if args.sanction else None),
         backend=_resolve_backend(args),
     )
     server = JpgServer(service, max_queue=args.max_queue, workers=args.workers)
@@ -516,7 +516,7 @@ def _cmd_lint(args) -> int:
     xdls = args.xdl or []
     ucfs = args.ucf or []
     regions = args.region or []
-    if not files and not xdls:
+    if not files and not xdls and not args.readback:
         raise UsageError("lint needs at least one partial .bit or --xdl design")
     n = max(len(files), len(xdls), 1)
 
@@ -566,8 +566,32 @@ def _cmd_lint(args) -> int:
             name or f"target{i}", data=data, region=region,
             design=design, constraints=constraints,
         ))
-    engine = RuleEngine(part, conflicts=not args.no_conflicts)
+    golden = BitFile.load(args.golden).config_bytes if args.golden else None
+    sanctioned = ([RegionRect.from_ucf(s) for s in args.sanction]
+                  if args.sanction else None)
+    engine = RuleEngine(part, conflicts=not args.no_conflicts,
+                        golden=golden, sanctioned=sanctioned)
     report = engine.run(targets)
+    if args.readback:
+        from ..analyze import check_readback_drift
+        from ..bitstream.reader import parse_bitstream
+        from ..devices import get_device
+
+        if part is None:
+            raise UsageError("--readback needs a device: pass -p PART")
+        if golden is None:
+            raise UsageError("--readback needs --golden BASE.bit to diff against")
+        device = get_device(part) if isinstance(part, str) else part
+        observed, _stats = parse_bitstream(
+            device, BitFile.load(args.readback).config_bytes
+        )
+        golden_frames = engine.golden_frames(device)
+        assert golden_frames is not None
+        subject = os.path.splitext(os.path.basename(args.readback))[0]
+        report.targets.append(subject)
+        report.extend(check_readback_drift(
+            device, golden_frames, observed, sanctioned or [], subject=subject,
+        ))
     if args.json:
         print(report.to_json())
     else:
@@ -597,7 +621,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("info", help="device geometry summary")
-    p.add_argument("part", choices=part_names(), metavar="PART")
+    p.add_argument("part", metavar="PART",
+                   help="device name: a Virtex part (%s) or any registered "
+                        "family variant" % ", ".join(part_names()))
     p.set_defaults(fn=_cmd_info)
 
     p = sub.add_parser("generate", help="XDL+UCF -> partial bitstream (the JPG step)")
@@ -668,6 +694,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="SEU flips armed per completed download (default 1)")
     p.add_argument("--fault-every", type=int, default=1,
                    help="inject on every K-th opportunity (default 1)")
+    p.add_argument("--sanction", action="append", metavar="SITE:SITE",
+                   help="sanctioned region of the deployment policy (repeat "
+                        "per region); arms the tamper rules against the base "
+                        "(T001/T002 pre-deploy, T003 post-deploy readback)")
     p.add_argument("--lint", action="store_true",
                    help="run the static pre-deploy gate; conflicting or "
                         "malformed partials abort before any transfer")
@@ -687,7 +717,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_inspect)
 
     p = sub.add_parser("floorplan", help="ASCII floorplan view (Figure 3)")
-    p.add_argument("part", choices=part_names(), metavar="PART")
+    p.add_argument("part", metavar="PART",
+                   help="device name (any registered spec; see jpg info)")
     p.add_argument("--region", action="append", metavar="NAME=SITE:SITE")
     p.set_defaults(fn=_cmd_floorplan)
 
@@ -744,6 +775,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lint", action="store_true",
                    help="gate every served partial through static analysis; "
                         "requests whose streams fail are answered with an error")
+    p.add_argument("--sanction", action="append", metavar="SITE:SITE",
+                   help="sanctioned region of the service policy (repeat per "
+                        "region, implies --lint); served partials must stay "
+                        "inside these regions (T001/T002 vs the base)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("submit", help="submit one generation request to a "
@@ -779,6 +814,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--region", action="append", metavar="SITE:SITE",
                    help="declared region — once for all targets, or once per "
                         "target (overrides any UCF RANGE)")
+    p.add_argument("--golden", metavar="FILE",
+                   help="golden base .bit: arms the tamper rules (T002 routing "
+                        "edits vs this base; T003 with --readback)")
+    p.add_argument("--sanction", action="append", metavar="SITE:SITE",
+                   help="sanctioned region of the deployment policy (repeat "
+                        "per region); arms T001 unsanctioned-write detection")
+    p.add_argument("--readback", metavar="FILE",
+                   help="readback .bit to diff against --golden for "
+                        "out-of-policy drift (T003)")
     p.add_argument("--json", action="store_true",
                    help="emit the findings as JSON instead of a table")
     p.add_argument("--strict", action="store_true",

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING
 from ..bitstream.bitfile import BitFile
 from ..bitstream.bitgen import generate_frames
 from ..bitstream.frames import FrameMemory
+from ..devices import packaged_name
 from ..errors import JpgError
 from ..flow.floorplan import RegionRect
 from ..flow.ncd import NcdDesign
@@ -72,7 +73,7 @@ class PartialResult:
     def bitfile(self, part: str) -> BitFile:
         return BitFile(
             design_name=f"{self.module_name}_partial.ncd",
-            part_name=part.lower().replace("xcv", "v") + "bg432",
+            part_name=packaged_name(part),
             config_bytes=self.data,
         )
 

@@ -1,10 +1,24 @@
 """Virtex-class device model: parts, geometry, resources, routing fabric.
 
-Public entry point: :func:`get_device` / :class:`Device`.
+Public entry point: :func:`get_device` / :class:`Device`.  Device
+geometries are declarative (:class:`GeometrySpec` loaded from
+``data/families.json``); :func:`random_device` generates seeded valid
+geometries for fuzzing.
 """
 
 from .device import Device, get_device
-from .family import PartInfo, normalize_part_name, part_by_idcode, part_info, part_names
+from .family import (
+    PartInfo,
+    normalize_part_name,
+    packaged_name,
+    part_by_idcode,
+    part_info,
+    part_names,
+    register_spec,
+    spec_names,
+    variant_names,
+)
+from .fuzz import random_device, random_spec
 from .geometry import (
     BITS_PER_ROW,
     CLB_FRAMES,
@@ -21,11 +35,16 @@ from .geometry import (
     slice_site_name,
 )
 from .resources import SLICE, BitCoord, Field, field, pip_coord, pip_index_of
+from .spec import GeometrySpec, load_spec_file
 
 __all__ = [
     "BITS_PER_ROW", "BitCoord", "CLB_FRAMES", "ColumnKind", "ConfigColumn",
-    "Device", "Field", "Geometry", "IobSite", "NUM_GCLK", "PartInfo", "SLICE",
-    "Side", "clb_site_name", "field", "get_device", "normalize_part_name",
-    "parse_clb_site", "parse_iob_site", "parse_slice_site", "part_by_idcode",
-    "part_info", "part_names", "pip_coord", "pip_index_of", "slice_site_name",
+    "Device", "Field", "Geometry", "GeometrySpec", "IobSite", "NUM_GCLK",
+    "PartInfo", "SLICE", "Side", "clb_site_name", "field", "get_device",
+    "load_spec_file", "normalize_part_name", "packaged_name",
+    "parse_clb_site",
+    "parse_iob_site", "parse_slice_site", "part_by_idcode", "part_info",
+    "part_names", "pip_coord", "pip_index_of", "random_device",
+    "random_spec", "register_spec", "slice_site_name", "spec_names",
+    "variant_names",
 ]

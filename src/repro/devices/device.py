@@ -36,6 +36,11 @@ class Device:
     def name(self) -> str:
         return self.part.name
 
+    @property
+    def spec(self) -> PartInfo:
+        """The declarative geometry spec this device was built from."""
+        return self.part
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Device({self.name})"
 

@@ -1,62 +1,37 @@
-"""Virtex family catalog.
+"""Device registry: the shipped catalog plus runtime-registered specs.
 
-Dimensions follow the published Virtex 2.5 V data sheet (DS003): the CLB
-array sizes for XCV50 through XCV1000, two block-RAM columns (one along each
-vertical edge), and per-part JEDEC-style IDCODEs.  Everything else in the
-package derives its geometry from this table, so adding a part here is
-enough to make it usable by the whole flow.
+The shipped catalog is *data* — ``data/families.json`` next to this
+package — parsed into :class:`~repro.devices.spec.GeometrySpec` objects
+at import.  The ``virtex`` family follows the published Virtex 2.5 V
+data sheet (DS003: XCV50 through XCV1000, two block-RAM columns, per-part
+JEDEC-style IDCODEs); the ``variant`` family ships deliberately-irregular
+geometries for the family-parametrized test suites.  Everything else in
+the package derives its geometry from a spec, so adding a part is a data
+edit (or a :func:`register_spec` call, which is how the seeded fuzzer in
+:mod:`repro.devices.fuzz` injects random devices).
+
+``PartInfo`` is the historical name for the catalog entry type; it *is*
+:class:`GeometrySpec` now.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
 
 from ..errors import UnknownPartError
+from .spec import GeometrySpec, load_spec_file
 
+#: Back-compat alias: a part's static description is its geometry spec.
+PartInfo = GeometrySpec
 
-@dataclass(frozen=True)
-class PartInfo:
-    """Static description of one Virtex part."""
+_DATA_FILE = os.path.join(os.path.dirname(__file__), "data", "families.json")
 
-    name: str            # canonical part name, e.g. "XCV300"
-    clb_rows: int        # CLB array height
-    clb_cols: int        # CLB array width
-    bram_cols: int       # number of block-RAM columns (edge columns)
-    idcode: int          # device identification code (readback/IDCODE reg)
-    speed_grades: tuple[str, ...] = ("-4", "-5", "-6")
+#: Every registered spec by canonical name (catalog + runtime additions).
+_SPECS: dict[str, GeometrySpec] = {s.name: s for s in load_spec_file(_DATA_FILE)}
 
-    @property
-    def slices(self) -> int:
-        """Total logic slices (2 per CLB)."""
-        return self.clb_rows * self.clb_cols * 2
-
-    @property
-    def lut4s(self) -> int:
-        """Total 4-input LUTs (2 per slice)."""
-        return self.slices * 2
-
-    @property
-    def bram_blocks(self) -> int:
-        """Block RAMs: one per 4 CLB rows per BRAM column."""
-        return (self.clb_rows // 4) * self.bram_cols
-
-
-# CLB array dimensions from the Virtex data sheet.  IDCODEs use the real
-# Xilinx manufacturer id (0x093) in the low bits with a per-part family code;
-# the exact values only need to be distinct and stable for readback checks.
-_CATALOG: dict[str, PartInfo] = {
-    p.name: p
-    for p in (
-        PartInfo("XCV50", 16, 24, 2, 0x0060_2093),
-        PartInfo("XCV100", 20, 30, 2, 0x0061_0093),
-        PartInfo("XCV150", 24, 36, 2, 0x0061_8093),
-        PartInfo("XCV200", 28, 42, 2, 0x0062_0093),
-        PartInfo("XCV300", 32, 48, 2, 0x0062_8093),
-        PartInfo("XCV400", 40, 60, 2, 0x0063_0093),
-        PartInfo("XCV600", 48, 72, 2, 0x0064_0093),
-        PartInfo("XCV800", 56, 84, 2, 0x0065_0093),
-        PartInfo("XCV1000", 64, 96, 2, 0x0066_0093),
-    )
+#: The classic Virtex catalog (what ``part_names`` reports).
+_CATALOG: dict[str, GeometrySpec] = {
+    name: s for name, s in _SPECS.items() if s.family == "virtex"
 }
 
 #: Package suffixes accepted after a part name (ignored for geometry).
@@ -65,17 +40,57 @@ _PACKAGES = ("bg256", "bg352", "bg432", "bg560", "cs144", "fg256", "fg456",
 
 
 def part_names() -> list[str]:
-    """All catalog part names, smallest to largest."""
+    """All Virtex catalog part names, smallest to largest."""
     return sorted(_CATALOG, key=lambda n: _CATALOG[n].slices)
+
+
+def variant_names() -> list[str]:
+    """The shipped irregular family variants, smallest to largest."""
+    variants = [s for s in _SPECS.values() if s.family == "variant"]
+    return [s.name for s in sorted(variants, key=lambda s: s.slices)]
+
+
+def spec_names() -> list[str]:
+    """Every registered spec name (catalog, variants, runtime additions)."""
+    return sorted(_SPECS)
+
+
+def register_spec(spec: GeometrySpec) -> GeometrySpec:
+    """Register a spec so :func:`part_info` / ``get_device`` resolve it.
+
+    Re-registering an identical spec is a no-op (the registered singleton
+    is returned); a name or IDCODE collision with a *different* spec is
+    an error, so runtime registrations can never shadow the catalog.
+    """
+    existing = _SPECS.get(spec.name)
+    if existing is not None:
+        if existing == spec:
+            return existing
+        raise UnknownPartError(
+            f"spec name {spec.name!r} already registered with a different geometry"
+        )
+    for other in _SPECS.values():
+        if other.idcode == spec.idcode:
+            raise UnknownPartError(
+                f"spec {spec.name!r}: IDCODE 0x{spec.idcode:08x} already "
+                f"belongs to {other.name}"
+            )
+    _SPECS[spec.name] = spec
+    return spec
 
 
 def normalize_part_name(name: str) -> str:
     """Canonicalize a part string.
 
-    Accepts ``XCV300``, ``xcv300``, ``v300`` and package/speed-qualified
-    forms such as ``v300bg432-6`` or ``XCV300-BG432`` (the XDL ``design``
-    statement uses the lowercase short form).
+    Accepts any registered spec name verbatim (case-insensitive) —
+    catalog parts, irregular variants, and fuzzer devices alike — plus
+    the Virtex shorthand and package/speed-qualified forms: ``XCV300``,
+    ``xcv300``, ``v300``, ``v300bg432-6``, ``XCV300-BG432`` (the XDL
+    ``design`` statement uses the lowercase short form).
     """
+    canonical = name.strip().upper()
+    if canonical in _SPECS:
+        return canonical
     s = name.strip().lower()
     if s.startswith("xcv"):
         s = s[3:]
@@ -95,11 +110,25 @@ def normalize_part_name(name: str) -> str:
     return f"XCV{int(s)}"
 
 
-def part_info(name: str) -> PartInfo:
-    """Look up a part by (possibly qualified) name."""
+def packaged_name(name: str) -> str:
+    """The lowercase package-qualified form .bit/XDL headers carry.
+
+    Catalog parts use the classic shorthand (``XCV50`` -> ``v50bg432``);
+    any other registered spec keeps its name verbatim (lowercased), which
+    :func:`normalize_part_name` resolves back via the registry — so the
+    header round-trips for variants and fuzzer devices too.
+    """
+    canonical = normalize_part_name(name)
+    if canonical in _CATALOG:
+        return canonical.lower().replace("xcv", "v") + "bg432"
+    return canonical.lower()
+
+
+def part_info(name: str) -> GeometrySpec:
+    """Look up a registered spec by (possibly qualified) name."""
     canonical = normalize_part_name(name)
     try:
-        return _CATALOG[canonical]
+        return _SPECS[canonical]
     except KeyError:
         raise UnknownPartError(
             f"unknown part {name!r} (canonical {canonical!r}); "
@@ -107,9 +136,9 @@ def part_info(name: str) -> PartInfo:
         ) from None
 
 
-def part_by_idcode(idcode: int) -> PartInfo:
+def part_by_idcode(idcode: int) -> GeometrySpec:
     """Reverse lookup used by bitstream readers/boards."""
-    for p in _CATALOG.values():
+    for p in _SPECS.values():
         if p.idcode == idcode:
             return p
     raise UnknownPartError(f"no part with IDCODE 0x{idcode:08x}")

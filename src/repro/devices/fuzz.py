@@ -1,0 +1,75 @@
+"""Seeded random-device generation.
+
+:func:`random_spec` draws a valid :class:`~repro.devices.spec.GeometrySpec`
+from a seed — non-square CLB arrays, any BRAM edge combination and order,
+irregular frame counts — and :func:`random_device` registers it so the
+whole stack (``get_device``, bitgen, the assembler, the analyzers)
+operates on it exactly like a catalog part.  Determinism is the contract:
+the same seed always yields the same spec, so a failing fuzz case is
+reproducible from its seed alone (the property suites print it).
+
+Draw ranges are chosen so every draw is constructible: the spec
+constructor re-validates everything (FAR field widths, resource-plane
+fit, BRAM interleave fit), making it the oracle for legality; a draw
+that failed validation would be a bug in the ranges below, not something
+to be skipped silently.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .device import Device, get_device
+from .family import register_spec
+from .spec import CLB_FRAMES, GeometrySpec
+
+#: Every BRAM edge arrangement a spec allows, including the empty one and
+#: the reversed major-address order.
+_BRAM_ARRANGEMENTS: tuple[tuple[str, ...], ...] = (
+    (), ("L",), ("R",), ("L", "R"), ("R", "L"),
+)
+
+#: Content-frame counts that divide the 4096-bit block and fit the frame
+#: payload for any array height >= 4 (see GeometrySpec validation).
+_CONTENT_FRAME_CHOICES = (64, 128)
+
+
+def random_spec(
+    seed: int,
+    *,
+    min_rows: int = 8,
+    max_rows: int = 28,
+    min_cols: int = 8,
+    max_cols: int = 32,
+) -> GeometrySpec:
+    """A valid random geometry, fully determined by ``seed``.
+
+    Names are ``XCR<seed>`` and IDCODEs embed the seed (family nibble
+    ``0xF`` keeps them disjoint from the shipped catalog), so specs from
+    different seeds never collide in the registry.
+    """
+    if seed < 0:
+        raise ValueError(f"random_spec seed must be >= 0, got {seed}")
+    rng = random.Random(seed)
+    rows = rng.randrange(min_rows, max_rows + 1)
+    cols = rng.randrange(min_cols, max_cols + 1)
+    return GeometrySpec(
+        name=f"XCR{seed}",
+        clb_rows=rows,
+        clb_cols=cols,
+        idcode=0xF000_0093 | ((seed & 0xFFFF) << 12),
+        bram_sides=rng.choice(_BRAM_ARRANGEMENTS),
+        clock_frames=rng.randrange(2, 17),
+        clb_frames=rng.randrange(CLB_FRAMES, CLB_FRAMES + 9),
+        iob_frames=rng.randrange(20, 81),
+        bram_int_frames=rng.randrange(8, 41),
+        bram_content_frames=rng.choice(_CONTENT_FRAME_CHOICES),
+        family="fuzz",
+        speed_grades=("-5",),
+    )
+
+
+def random_device(seed: int, **ranges: int) -> Device:
+    """Register (idempotently) and return the random device for ``seed``."""
+    spec = register_spec(random_spec(seed, **ranges))
+    return get_device(spec.name)

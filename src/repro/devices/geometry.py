@@ -34,16 +34,16 @@ from functools import cached_property
 
 from ..errors import DeviceError
 from .family import PartInfo, part_info
-
-#: Config bits contributed by one CLB row to one frame of its column.
-BITS_PER_ROW = 18
-
-#: Minor-frame counts per column kind.
-CLOCK_FRAMES = 8
-CLB_FRAMES = 48
-IOB_FRAMES = 54
-BRAM_INT_FRAMES = 27
-BRAM_CONTENT_FRAMES = 64
+from .spec import (  # noqa: F401  (re-exported: historical home of these)
+    BITS_PER_ROW,
+    BRAM_BITS,
+    BRAM_CONTENT_FRAMES,
+    BRAM_INT_FRAMES,
+    CLB_FRAMES,
+    CLOCK_FRAMES,
+    IOB_FRAMES,
+    GeometrySpec,
+)
 
 #: Number of IOB sites per edge position (per CLB row on the left/right
 #: edges; per CLB column on the top/bottom edges).
@@ -54,7 +54,7 @@ NUM_GCLK = 4
 
 
 class ColumnKind(enum.Enum):
-    """Kinds of configuration columns, with their frame counts."""
+    """Kinds of configuration columns, with their classic frame counts."""
 
     CLOCK = "clock"
     CLB = "clb"
@@ -64,12 +64,23 @@ class ColumnKind(enum.Enum):
 
     @property
     def frames(self) -> int:
+        """Classic Virtex frame count (specs may override per device)."""
         return {
             ColumnKind.CLOCK: CLOCK_FRAMES,
             ColumnKind.CLB: CLB_FRAMES,
             ColumnKind.IOB: IOB_FRAMES,
             ColumnKind.BRAM_INT: BRAM_INT_FRAMES,
             ColumnKind.BRAM_CONTENT: BRAM_CONTENT_FRAMES,
+        }[self]
+
+    def spec_frames(self, spec: GeometrySpec) -> int:
+        """Frame count of this column kind on one device."""
+        return {
+            ColumnKind.CLOCK: spec.clock_frames,
+            ColumnKind.CLB: spec.clb_frames,
+            ColumnKind.IOB: spec.iob_frames,
+            ColumnKind.BRAM_INT: spec.bram_int_frames,
+            ColumnKind.BRAM_CONTENT: spec.bram_content_frames,
         }[self]
 
 
@@ -90,10 +101,11 @@ class ConfigColumn:
     kind: ColumnKind
     clb_col: int | None = None  # for CLB columns: 0-based fabric column
     side: Side | None = None    # for IOB/BRAM columns: which edge
+    frames: int = 0             # minor-frame count (0 = classic kind default)
 
-    @property
-    def frames(self) -> int:
-        return self.kind.frames
+    def __post_init__(self) -> None:
+        if self.frames <= 0:
+            object.__setattr__(self, "frames", self.kind.frames)
 
 
 @dataclass(frozen=True)
@@ -110,9 +122,8 @@ class IobSite:
         return f"IOB_{self.side.value}_{axis}{self.position + 1}_{self.index}"
 
 
-#: Bits per block RAM (a RAMB4: 4 kbit, spanning 4 CLB rows).
-BRAM_BITS = 4096
-#: Content bits each block contributes to one of its column's 64 frames.
+#: Content bits each block contributes per content frame on the classic
+#: 64-frame interleave (specs with other frame counts scale accordingly).
 BRAM_BITS_PER_FRAME = BRAM_BITS // BRAM_CONTENT_FRAMES
 
 
@@ -194,20 +205,41 @@ class Geometry:
         self.rows = self.part.clb_rows
         self.cols = self.part.clb_cols
 
+    @property
+    def spec(self) -> GeometrySpec:
+        """The declarative spec this geometry realizes (= :attr:`part`)."""
+        return self.part
+
     # ----- column layout ---------------------------------------------------
 
     @cached_property
+    def _bram_sides(self) -> tuple[Side, ...]:
+        return tuple(Side(s) for s in self.part.bram_sides)
+
+    @cached_property
     def columns(self) -> tuple[ConfigColumn, ...]:
-        """All configuration columns in major-address order."""
-        cols: list[ConfigColumn] = [ConfigColumn(0, ColumnKind.CLOCK)]
+        """All configuration columns in major-address order.
+
+        Layout comes entirely from the spec: clock first, then the CLB
+        columns left to right, the two IOB edge columns, then one BRAM
+        interconnect and one BRAM content column per spec'd edge, in the
+        spec's ``bram_sides`` order.  Frame counts are the spec's.
+        """
+        spec = self.part
+
+        def col(kind: ColumnKind, **kw) -> ConfigColumn:
+            return ConfigColumn(len(cols), kind, frames=kind.spec_frames(spec), **kw)
+
+        cols: list[ConfigColumn] = []
+        cols.append(col(ColumnKind.CLOCK))
         for c in range(self.cols):
-            cols.append(ConfigColumn(len(cols), ColumnKind.CLB, clb_col=c))
+            cols.append(col(ColumnKind.CLB, clb_col=c))
         for side in (Side.LEFT, Side.RIGHT):
-            cols.append(ConfigColumn(len(cols), ColumnKind.IOB, side=side))
-        for side in (Side.LEFT, Side.RIGHT)[: self.part.bram_cols]:
-            cols.append(ConfigColumn(len(cols), ColumnKind.BRAM_INT, side=side))
-        for side in (Side.LEFT, Side.RIGHT)[: self.part.bram_cols]:
-            cols.append(ConfigColumn(len(cols), ColumnKind.BRAM_CONTENT, side=side))
+            cols.append(col(ColumnKind.IOB, side=side))
+        for side in self._bram_sides:
+            cols.append(col(ColumnKind.BRAM_INT, side=side))
+        for side in self._bram_sides:
+            cols.append(col(ColumnKind.BRAM_CONTENT, side=side))
         return tuple(cols)
 
     def column(self, major: int) -> ConfigColumn:
@@ -377,12 +409,16 @@ class Geometry:
 
     @cached_property
     def bram_sites(self) -> tuple[BramSite, ...]:
-        sides = (Side.LEFT, Side.RIGHT)[: self.part.bram_cols]
         return tuple(
             BramSite(side, b)
-            for side in sides
+            for side in self._bram_sides
             for b in range(self.bram_blocks_per_column)
         )
+
+    @property
+    def bram_bits_per_frame(self) -> int:
+        """Content bits each block contributes per content-column frame."""
+        return BRAM_BITS // self.part.bram_content_frames
 
     def major_of_bram_content(self, side: Side) -> int:
         """Major address of a side's BRAM *content* column."""
@@ -394,17 +430,18 @@ class Geometry:
     def bram_bit_location(self, site: BramSite, bit: int) -> tuple[int, int]:
         """(frame, bit offset) of one content bit of a block RAM.
 
-        Each of the content column's 64 frames holds 64 bits per block:
-        frame ``bit // 64``, at offset ``block * 64 + bit % 64`` — the
-        interleave that makes one block's update touch all 64 frames, as
-        on the real part.
+        Each of the content column's N frames holds ``4096 / N`` bits per
+        block: frame ``bit // (4096/N)``, at offset ``block * (4096/N) +
+        bit % (4096/N)`` — the interleave that makes one block's update
+        touch every content frame, as on the real part (classic N = 64).
         """
         if not 0 <= bit < BRAM_BITS:
             raise DeviceError(f"BRAM bit {bit} out of range 0..{BRAM_BITS - 1}")
         if site.block >= self.bram_blocks_per_column:
             raise DeviceError(f"{site.name}: block out of range on {self.part.name}")
-        minor, lane = divmod(bit, BRAM_BITS_PER_FRAME)
-        offset = site.block * BRAM_BITS_PER_FRAME + lane
+        per_frame = self.bram_bits_per_frame
+        minor, lane = divmod(bit, per_frame)
+        offset = site.block * per_frame + lane
         if offset >= self.frame_bits:
             raise DeviceError(
                 f"{site.name}: content does not fit the frame "

@@ -1,0 +1,197 @@
+"""Declarative device geometry: :class:`GeometrySpec`.
+
+A device is *data*, not code: one :class:`GeometrySpec` names everything
+:class:`~repro.devices.geometry.Geometry` needs to lay out the
+configuration address space — CLB array size, which edges carry block-RAM
+columns (and in what major-address order), the frame count of every
+column kind, and the IDCODE.  The shipped catalog lives in
+``data/families.json`` next to this module; :func:`load_spec_file` parses
+it and :mod:`repro.devices.family` registers the result, so adding a part
+(or a deliberately-irregular variant) is a data edit, not a code change.
+
+Validation happens at construction: a spec that passes
+:meth:`GeometrySpec.__post_init__` yields a well-formed geometry — every
+resource coordinate maps to a unique (frame, bit) and back, the FAR
+encoding can address every frame, and BRAM content interleaving fits the
+frame payload.  The seeded fuzzer (:mod:`repro.devices.fuzz`) leans on
+this: it draws random field values and the constructor is the oracle for
+which draws are legal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any
+
+from ..errors import DeviceError
+
+#: Config bits contributed by one CLB row to one frame of its column.
+BITS_PER_ROW = 18
+
+#: Classic Virtex minor-frame counts per column kind (spec defaults).
+CLOCK_FRAMES = 8
+CLB_FRAMES = 48
+IOB_FRAMES = 54
+BRAM_INT_FRAMES = 27
+BRAM_CONTENT_FRAMES = 64
+
+#: Bits per block RAM (a RAMB4: 4 kbit, spanning 4 CLB rows).
+BRAM_BITS = 4096
+
+#: The FAR's minor field is 9 bits, so no column may exceed this.
+MAX_COLUMN_FRAMES = 511
+
+_VALID_SIDES = ("L", "R")
+
+
+@dataclass(frozen=True)
+class GeometrySpec:
+    """Declarative description of one device's configuration geometry.
+
+    The classic Virtex catalog uses the defaults for everything except
+    the array size and IDCODE; irregular variants and fuzzer-generated
+    devices override frame counts and BRAM placement freely.  ``family``
+    tags where a spec came from: ``"virtex"`` (the datasheet catalog),
+    ``"variant"`` (shipped irregular geometries), or ``"fuzz"`` (seeded
+    random devices).
+    """
+
+    name: str             # canonical part name, e.g. "XCV300"
+    clb_rows: int         # CLB array height
+    clb_cols: int         # CLB array width
+    idcode: int           # device identification code (readback/IDCODE reg)
+    #: Edges carrying a BRAM column pair, in major-address order.
+    bram_sides: tuple[str, ...] = ("L", "R")
+    clock_frames: int = CLOCK_FRAMES
+    clb_frames: int = CLB_FRAMES
+    iob_frames: int = IOB_FRAMES
+    bram_int_frames: int = BRAM_INT_FRAMES
+    bram_content_frames: int = BRAM_CONTENT_FRAMES
+    family: str = "virtex"
+    speed_grades: tuple[str, ...] = ("-4", "-5", "-6")
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name != self.name.strip().upper():
+            raise DeviceError(f"spec name {self.name!r} must be non-empty uppercase")
+        if self.clb_rows < 1 or self.clb_cols < 1:
+            raise DeviceError(
+                f"{self.name}: CLB array {self.clb_rows}x{self.clb_cols} is empty"
+            )
+        if not 0 <= self.idcode < 1 << 32:
+            raise DeviceError(f"{self.name}: IDCODE 0x{self.idcode:x} is not 32-bit")
+        sides = tuple(self.bram_sides)
+        if len(set(sides)) != len(sides) or any(s not in _VALID_SIDES for s in sides):
+            raise DeviceError(
+                f"{self.name}: bram_sides {sides!r} must be distinct L/R edges"
+            )
+        object.__setattr__(self, "bram_sides", sides)
+        for label, count in (
+            ("clock_frames", self.clock_frames),
+            ("clb_frames", self.clb_frames),
+            ("iob_frames", self.iob_frames),
+            ("bram_int_frames", self.bram_int_frames),
+            ("bram_content_frames", self.bram_content_frames),
+        ):
+            if not 1 <= count <= MAX_COLUMN_FRAMES:
+                raise DeviceError(
+                    f"{self.name}: {label}={count} outside 1..{MAX_COLUMN_FRAMES} "
+                    f"(the FAR minor field is 9 bits)"
+                )
+        # the CLB resource plane (LUTs/FFs/muxes/PIPs) occupies 48 minors;
+        # a spec may carry spare minors but never fewer
+        if self.clb_frames < CLB_FRAMES:
+            raise DeviceError(
+                f"{self.name}: clb_frames={self.clb_frames} cannot hold the "
+                f"{CLB_FRAMES}-minor CLB resource plane"
+            )
+        if sides:
+            if BRAM_BITS % self.bram_content_frames:
+                raise DeviceError(
+                    f"{self.name}: bram_content_frames={self.bram_content_frames} "
+                    f"does not divide the {BRAM_BITS}-bit block size"
+                )
+            bits_per_frame = BRAM_BITS // self.bram_content_frames
+            frame_bits = BITS_PER_ROW * (self.clb_rows + 2)
+            blocks = self.clb_rows // 4
+            if blocks * bits_per_frame > frame_bits:
+                raise DeviceError(
+                    f"{self.name}: {blocks} BRAM block(s) x {bits_per_frame} "
+                    f"bits/frame exceed the {frame_bits}-bit frame payload"
+                )
+
+    # -- derived capacity (the datasheet numbers) ----------------------------
+
+    @property
+    def bram_cols(self) -> int:
+        """Number of BRAM column pairs (one interconnect + one content)."""
+        return len(self.bram_sides)
+
+    @property
+    def slices(self) -> int:
+        """Total logic slices (2 per CLB)."""
+        return self.clb_rows * self.clb_cols * 2
+
+    @property
+    def lut4s(self) -> int:
+        """Total 4-input LUTs (2 per slice)."""
+        return self.slices * 2
+
+    @property
+    def bram_blocks(self) -> int:
+        """Block RAMs: one per 4 CLB rows per BRAM column."""
+        return (self.clb_rows // 4) * self.bram_cols
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (IDCODE as hex, tuples as lists)."""
+        return {
+            "name": self.name,
+            "clb_rows": self.clb_rows,
+            "clb_cols": self.clb_cols,
+            "idcode": f"0x{self.idcode:08x}",
+            "bram_sides": list(self.bram_sides),
+            "clock_frames": self.clock_frames,
+            "clb_frames": self.clb_frames,
+            "iob_frames": self.iob_frames,
+            "bram_int_frames": self.bram_int_frames,
+            "bram_content_frames": self.bram_content_frames,
+            "family": self.family,
+            "speed_grades": list(self.speed_grades),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "GeometrySpec":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {f.name for f in fields(cls)}
+        extra = set(raw) - known
+        if extra:
+            raise DeviceError(
+                f"spec {raw.get('name', '?')!r}: unknown field(s) {sorted(extra)}"
+            )
+        kwargs = dict(raw)
+        idcode = kwargs.get("idcode")
+        if isinstance(idcode, str):
+            kwargs["idcode"] = int(idcode, 0)
+        for key in ("bram_sides", "speed_grades"):
+            if key in kwargs:
+                kwargs[key] = tuple(kwargs[key])
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise DeviceError(f"spec {raw.get('name', '?')!r}: {exc}") from None
+
+    def with_name(self, name: str) -> "GeometrySpec":
+        return replace(self, name=name)
+
+
+def load_spec_file(path: str) -> list[GeometrySpec]:
+    """Parse a ``families.json`` catalog file into specs."""
+    import json
+
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    entries = doc.get("families") if isinstance(doc, dict) else None
+    if not isinstance(entries, list):
+        raise DeviceError(f"{path}: expected an object with a 'families' list")
+    return [GeometrySpec.from_dict(entry) for entry in entries]

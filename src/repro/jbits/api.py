@@ -20,7 +20,7 @@ from ..bitstream.assembler import full_stream, partial_stream
 from ..bitstream.bitfile import BitFile
 from ..bitstream.frames import FrameMemory
 from ..bitstream.reader import apply_bitstream
-from ..devices import Device, Field, IobSite, get_device
+from ..devices import BITS_PER_ROW, Device, Field, IobSite, get_device
 from ..devices.resources import SLICE
 from ..devices.wires import PipDef, pip_by_wires
 from ..errors import JBitsError
@@ -149,9 +149,12 @@ class JBits:
         numpy pass instead of 864 per-bit accesses."""
         fm = self._require()
         g = self.device.geometry
-        base = g.frame_base(g.major_of_clb_col(col))
+        major = g.major_of_clb_col(col)
+        base = g.frame_base(major)
         off = g.row_bit_offset(row)
-        self._dirty.update(fm.clear_bit_range(base, 48, off, off + 18))
+        self._dirty.update(fm.clear_bit_range(
+            base, g.columns[major].frames, off, off + BITS_PER_ROW
+        ))
 
     # -- convenience (mirrors common JBits idioms) ------------------------------------
 

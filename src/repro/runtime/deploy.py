@@ -41,6 +41,7 @@ from .session import ReconfigSession, RetryPolicy, SendOutcome
 
 if TYPE_CHECKING:
     from ..analyze import PreDeployGate
+    from ..flow.floorplan import RegionRect
 
 
 @dataclass(frozen=True)
@@ -168,15 +169,11 @@ class Deployer:
         scrub: ScrubPolicy | None = None,
         metrics: Metrics | None = None,
         gate: "PreDeployGate | bool | None" = None,
+        sanctioned: "list[RegionRect] | None" = None,
     ):
         self.xhwif = xhwif
         self.metrics = metrics if metrics is not None else Metrics()
         device = get_device(xhwif.get_device_name())
-        if gate is True:
-            from ..analyze import PreDeployGate
-
-            gate = PreDeployGate(device)
-        self.gate = gate or None
         if isinstance(base, BitFile):
             base = base.config_bytes
         if isinstance(base, bytes):
@@ -190,6 +187,16 @@ class Deployer:
                 )
             self.golden = base.clone()
             self._base_stream = full_stream(self.golden)
+        if gate is True:
+            from ..analyze import PreDeployGate
+
+            # with a policy, arm the tamper rules against the pristine base
+            gate = PreDeployGate(
+                device,
+                golden=self.golden.clone() if sanctioned is not None else None,
+                sanctioned=sanctioned,
+            )
+        self.gate = gate or None
         self.session = ReconfigSession(xhwif, policy=retry)
         self.scrubber = Scrubber(self.session, self.golden, policy=scrub)
 
@@ -204,7 +211,11 @@ class Deployer:
         analyzed first — stream lint, duplicate detection, cross-partial
         conflicts — and :class:`~repro.errors.AnalysisError` aborts the
         whole run *before any byte reaches the board* (the base stream is
-        exempt: it writes every frame by construction).
+        exempt: it writes every frame by construction).  A gate armed with
+        a sanctioned-region policy additionally runs the tamper rules
+        (T001/T002) pre-deploy and, once every item is down, reads the
+        whole device back and requires it to match the pristine base
+        outside the policy (T003).
         """
         report = DeployReport(metrics=self.metrics)
         with use_metrics(self.metrics):
@@ -217,6 +228,9 @@ class Deployer:
                 )
             for item in items:
                 report.results.append(self._deploy_one(item))
+            if self.gate is not None and self.gate.drift_enabled:
+                observed = self.session.readback(label="tamper-audit")
+                self.gate.require_readback(observed, subject="post-deploy")
         return report
 
     def _deploy_one(self, item: DeployItem, *, is_base: bool = False) -> DeployResult:

@@ -133,12 +133,16 @@ class GenerationService:
         xhwif=None,
         retry: RetryPolicy | None = None,
         lint: bool = False,
+        sanctioned: list[RegionRect] | None = None,
         backend: str | Backend = "thread",
     ):
         """``backend`` picks how generations execute (see
         :mod:`repro.exec`): ``"thread"`` runs them inline on the
         scheduler's threads, ``"process"`` fans them out to a pool of
-        worker processes over a shared-memory base."""
+        worker processes over a shared-memory base.  ``sanctioned``
+        (with ``lint``) arms the gate's tamper rules: served partials
+        must stay inside the policy regions and must not edit routing
+        relative to the service's own base configuration."""
         self.metrics = metrics if metrics is not None else Metrics(keep_events=False)
         self.disk: DiskCache | None = (
             DiskCache(cache_dir, max_bytes=max_cache_bytes) if cache_dir else None
@@ -161,10 +165,15 @@ class GenerationService:
             ReconfigSession(xhwif, policy=retry) if xhwif is not None else None
         )
         self._gate = None
-        if lint:
+        if lint or sanctioned is not None:
             from ..analyze import PreDeployGate
 
-            self._gate = PreDeployGate(part)
+            self._gate = PreDeployGate(
+                part,
+                golden=(self.engine.base_frames
+                        if sanctioned is not None else None),
+                sanctioned=sanctioned,
+            )
 
     @property
     def full_size(self) -> int:
@@ -263,6 +272,7 @@ class GenerationService:
                 self._gate.require([target])
         except AnalysisError as exc:
             result.error = f"lint: {exc}"
+            result.data = None            # never hand out blocked bytes
             self.metrics.count("serve.lint_blocked")
             return False
         return True

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import io
 
-from ..devices import slice_site_name
+from ..devices import packaged_name, slice_site_name
 from ..devices.wires import PIP_TABLE
 from ..errors import FlowError
 from ..flow.ncd import Bel, NcdDesign, SliceComp
@@ -55,7 +55,7 @@ def physical_init(bel: Bel) -> int:
 def write_xdl(design: NcdDesign) -> str:
     """Serialize a placed (and possibly routed) design to XDL text."""
     out = io.StringIO()
-    part = design.part.lower().replace("xcv", "v") + "bg432"
+    part = packaged_name(design.part)
     out.write(f'design "{design.name}" {part} v1.0 ;\n\n')
 
     for comp in design.slices.values():

@@ -136,3 +136,74 @@ class TestSeededViolationsThroughCli:
             "--no-conflicts",
         ])
         assert rc == 0
+
+
+@pytest.mark.families
+class TestTamperFlagsThroughCli:
+    """--golden / --sanction / --readback: the T rules from the shell."""
+
+    @pytest.fixture()
+    def base_bit(self, lint_files, demo_project):
+        path = lint_files["tmp"] / "base.bit"
+        demo_project.base_bitfile.save(str(path))
+        return str(path)
+
+    def test_full_policy_sweep_is_clean(self, lint_files, base_bit, capsys):
+        # designs attached: boundary-routing spill is proven, zero findings
+        rc = main([
+            "lint", lint_files["r1_up"], lint_files["r2_right"],
+            "--xdl", str(lint_files["tmp"] / "r1_up.xdl"),
+            "--xdl", str(lint_files["tmp"] / "r2_right.xdl"),
+            "--ucf", str(lint_files["tmp"] / "r1_up.ucf"),
+            "--ucf", str(lint_files["tmp"] / "r2_right.ucf"),
+            "--golden", base_bit,
+            "--sanction", lint_files["r1"], "--sanction", lint_files["r2"],
+        ])
+        assert rc == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+    def test_excluded_region_warns_and_strict_blocks(
+        self, lint_files, base_bit, capsys
+    ):
+        args = [
+            "lint", lint_files["r1_up"],
+            "--golden", base_bit,
+            "--sanction", lint_files["r2"],
+        ]
+        assert main(args) == 0                 # bare stream: warnings only
+        assert "T001" in capsys.readouterr().out
+        assert main(args + ["--strict"]) == 1
+
+    def test_readback_drift_exits_one(
+        self, lint_files, base_bit, demo_project, capsys
+    ):
+        from repro.flow.floorplan import RegionRect
+        from repro.jbits import JBits
+
+        r1 = demo_project.regions["r1"]
+        shrunk = RegionRect(r1.rmin + 4, r1.cmin, r1.rmax - 4, r1.cmax)
+        jb = JBits("XCV50")
+        jb.read(demo_project.base_bitfile.config_bytes)
+        jb.set_pip(r1.rmin, r1.cmin, 0, 1)     # inside r1, outside the rows
+        observed = lint_files["tmp"] / "observed.bit"
+        BitFile(
+            design_name="observed.ncd", part_name="v50bg432",
+            config_bytes=jb.write(),
+        ).save(str(observed))
+        rc = main([
+            "lint", "-p", "XCV50",
+            "--readback", str(observed),
+            "--golden", base_bit,
+            "--sanction", shrunk.to_ucf(),
+        ])
+        assert rc == 1
+        assert "T003" in capsys.readouterr().out
+
+    def test_readback_without_golden_is_usage_error(
+        self, lint_files, base_bit, capsys
+    ):
+        rc = main([
+            "lint", "-p", "XCV50", "--readback", base_bit,
+        ])
+        assert rc == 2
+        assert "--golden" in capsys.readouterr().err

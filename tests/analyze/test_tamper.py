@@ -1,0 +1,325 @@
+"""The tamper rule family (T001/T002/T003): zero false positives on
+everything the project ships, guaranteed detection of seeded corruptions.
+
+The sweep half runs the T rules — policy plus golden base attached — over
+every generated partial of the demo project and of each irregular family
+variant, and requires **zero findings**: legitimately generated partials
+must never trip a tamper rule.  The seeded half plants one violation per
+rule (a policy that excludes the partial's region for T001, a JBits PIP
+splice outside the sanctioned rows for T002, a mutated readback for T003)
+and requires exactly that rule to fire.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyze import LintTarget, PreDeployGate, RuleEngine
+from repro.analyze.tamper import check_readback_drift
+from repro.bitstream.reader import parse_bitstream
+from repro.devices import get_device
+from repro.errors import AnalysisError, UsageError
+from repro.flow.floorplan import RegionRect
+from repro.jbits import JBits
+
+from ..conftest import FAMILY_PARTS, family_project, random_family_project
+from .conftest import make_target
+
+pytestmark = [pytest.mark.lint, pytest.mark.families]
+
+
+def tamper_engine(project, *, sanctioned=None, golden=True) -> RuleEngine:
+    """A rule engine armed with the project's own base and policy."""
+    return RuleEngine(
+        project.part,
+        golden=project.base_bitfile if golden else None,
+        sanctioned=(list(project.regions.values())
+                    if sanctioned is None else sanctioned),
+    )
+
+
+def base_frames(project):
+    device = get_device(project.part)
+    fm, _stats = parse_bitstream(device, project.base_bitfile.config_bytes)
+    return fm
+
+
+def shrunk(rect: RegionRect, by: int = 4) -> RegionRect:
+    """The same columns, but ``by`` rows shaved off top and bottom."""
+    return RegionRect(rect.rmin + by, rect.cmin, rect.rmax - by, rect.cmax)
+
+
+class TestZeroFalsePositives:
+    """T rules over everything the repo generates: always clean."""
+
+    def test_demo_partials_pass_full_policy(self, demo_project, demo_partials):
+        engine = tamper_engine(demo_project)
+        for region, version in sorted(demo_partials):
+            target = make_target(demo_project, demo_partials, region, version)
+            report = engine.run([target])
+            assert not report.findings, (
+                f"{region}-{version}: {[str(f) for f in report.findings]}"
+            )
+
+    def test_demo_deployment_set_passes(self, demo_project, demo_partials):
+        # one version per region, linted together (cross-target rules too)
+        engine = tamper_engine(demo_project)
+        report = engine.run([
+            make_target(demo_project, demo_partials, "r1", "up"),
+            make_target(demo_project, demo_partials, "r2", "left"),
+        ])
+        assert not report.findings, [str(f) for f in report.findings]
+
+    @pytest.mark.parametrize("part", FAMILY_PARTS)
+    def test_family_variant_partials_pass(self, part):
+        # scoped to the T family: the tiny variant arrays can carry known
+        # netlist findings (a congested router spills an internal net a
+        # column out, N005) that are not tamper false positives
+        project = family_project(part)
+        engine = tamper_engine(project)
+        partials = project.generate_all_partials()
+        for key in sorted(partials):
+            target = make_target(project, partials, *key)
+            report = engine.run([target])
+            tamper = [f for f in report.findings if f.rule.id.startswith("T")]
+            assert not tamper, f"{part} {key}: {[str(f) for f in tamper]}"
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_device_partials_pass(self, seed):
+        project = random_family_project(seed)
+        engine = tamper_engine(project)
+        partials = project.generate_all_partials()
+        for key in sorted(partials):
+            report = engine.run([make_target(project, partials, *key)])
+            tamper = [f for f in report.findings if f.rule.id.startswith("T")]
+            assert not tamper, (
+                f"seed={seed} {key}: {[str(f) for f in tamper]}; "
+                f"spec={project.device.spec.to_dict()}"
+            )
+
+
+class TestSeededT001:
+    """A partial linted under a policy that does not cover its region."""
+
+    def test_excluded_region_flags_every_column(self, demo_project, demo_partials):
+        engine = tamper_engine(
+            demo_project, sanctioned=[demo_project.regions["r2"]]
+        )
+        target = make_target(demo_project, demo_partials, "r1", "down")
+        report = engine.run([target])
+        t001 = [f for f in report.findings if f.rule.id == "T001"]
+        assert t001, "policy excluding r1 must flag the r1 partial"
+        # with the design attached the spill is disproven: blocking errors
+        assert all(f.severity.name == "ERROR" for f in t001)
+        assert all("outside all 1 sanctioned region(s)" in f.message
+                   for f in t001)
+        # every flagged column really is outside the r2-only policy
+        flagged = {int(f.message.split("CLB column ")[1].split(",")[0]) - 1
+                   for f in t001 if "CLB column" in f.message}
+        assert flagged
+        allowed = set(demo_project.regions["r2"].clb_columns())
+        assert not flagged & allowed
+
+    def test_no_design_degrades_to_warning(self, demo_project, demo_partials):
+        engine = tamper_engine(
+            demo_project, sanctioned=[demo_project.regions["r2"]]
+        )
+        target = make_target(
+            demo_project, demo_partials, "r1", "down",
+            with_design=False, with_ucf=False,
+        )
+        report = engine.run([target])
+        t001 = [f for f in report.findings if f.rule.id == "T001"]
+        assert t001 and all(f.severity.name == "WARNING" for f in t001)
+        assert all("possibly boundary routing" in f.message for f in t001)
+
+    def test_full_policy_is_silent(self, demo_project, demo_partials):
+        engine = tamper_engine(demo_project)
+        target = make_target(demo_project, demo_partials, "r1", "down")
+        report = engine.run([target])
+        assert not [f for f in report.findings if f.rule.id == "T001"]
+
+
+def craft_pip_edit(project, row: int, col: int) -> bytes:
+    """A valid-CRC partial that flips one routing PIP of the base config.
+
+    Byte-flipping an existing stream would break its CRC (S004/S013
+    territory); replaying the edit through JBits produces exactly the
+    artifact an attacker with the toolchain would ship.
+    """
+    jb = JBits(project.part)
+    jb.read(project.base_bitfile.config_bytes)
+    jb.set_pip(row, col, 0, 1)
+    return jb.write_partial()
+
+
+class TestSeededT002:
+    """A routing edit inside a sanctioned column but outside its rows."""
+
+    def test_out_of_row_pip_splice_is_caught(self, demo_project):
+        r1 = demo_project.regions["r1"]
+        policy = [shrunk(r1), demo_project.regions["r2"]]
+        data = craft_pip_edit(demo_project, r1.rmin, r1.cmin)  # shaved row
+        engine = tamper_engine(demo_project, sanctioned=policy)
+        report = engine.run([LintTarget("spliced", data=data)])
+        t002 = [f for f in report.findings if f.rule.id == "T002"]
+        assert len(t002) == 1, [str(f) for f in report.findings]
+        assert "differ from the golden base" in t002[0].message
+
+    def test_in_row_pip_edit_is_sanctioned(self, demo_project):
+        r1 = demo_project.regions["r1"]
+        policy = [shrunk(r1), demo_project.regions["r2"]]
+        mid = (r1.rmin + r1.rmax) // 2                     # inside the rows
+        data = craft_pip_edit(demo_project, mid, r1.cmin)
+        engine = tamper_engine(demo_project, sanctioned=policy)
+        report = engine.run([LintTarget("sanctioned-edit", data=data)])
+        assert not [f for f in report.findings if f.rule.id == "T002"]
+
+    def test_without_golden_t002_cannot_run(self, demo_project):
+        r1 = demo_project.regions["r1"]
+        data = craft_pip_edit(demo_project, r1.rmin, r1.cmin)
+        engine = tamper_engine(demo_project, sanctioned=[shrunk(r1)],
+                               golden=False)
+        report = engine.run([LintTarget("spliced", data=data)])
+        assert not [f for f in report.findings if f.rule.id == "T002"]
+
+
+class TestSeededT003:
+    """Readback drift against the golden base."""
+
+    def gate(self, project, policy=None) -> PreDeployGate:
+        return PreDeployGate(
+            project.part,
+            golden=project.base_bitfile,
+            sanctioned=(list(project.regions.values())
+                        if policy is None else policy),
+        )
+
+    def test_clean_readback_passes(self, demo_project):
+        gate = self.gate(demo_project)
+        report = gate.require_readback(base_frames(demo_project))
+        assert report.ok() and not report.findings
+
+    def test_drift_inside_policy_is_sanctioned(self, demo_project):
+        device = get_device(demo_project.part)
+        observed = base_frames(demo_project)
+        r1 = demo_project.regions["r1"]
+        g = device.geometry
+        frame = g.frame_base(g.major_of_clb_col(r1.cmin)) + 20
+        observed.set_bit(frame, g.row_bit_offset(r1.rmin) + 3, 1)
+        report = self.gate(demo_project).check_readback(observed)
+        assert not report.findings, [str(f) for f in report.findings]
+
+    def test_drift_outside_policy_raises(self, demo_project):
+        device = get_device(demo_project.part)
+        observed = base_frames(demo_project)
+        r1 = demo_project.regions["r1"]
+        g = device.geometry
+        frame = g.frame_base(g.major_of_clb_col(r1.cmin)) + 20
+        gate = self.gate(demo_project, policy=[shrunk(r1)])
+        observed.set_bit(frame, g.row_bit_offset(r1.rmin) + 3, 1)  # shaved row
+        report = gate.check_readback(observed, subject="audit")
+        t003 = [f for f in report.findings if f.rule.id == "T003"]
+        assert len(t003) == 1 and t003[0].subject == "audit"
+        with pytest.raises(AnalysisError) as excinfo:
+            gate.require_readback(observed, subject="audit")
+        assert any(f.rule.id == "T003" for f in excinfo.value.findings)
+
+    def test_direct_rule_reports_one_aggregated_finding(self, demo_project):
+        device = get_device(demo_project.part)
+        golden = base_frames(demo_project)
+        observed = golden.clone()
+        g = device.geometry
+        # corrupt several frames far apart: still a single T003 finding
+        for frame in (10, 60, 120):
+            observed.set_bit(frame, 40, 1)
+        findings = check_readback_drift(device, golden, observed, [])
+        t003 = [f for f in findings if f.rule.id == "T003"]
+        assert len(t003) == 1
+        assert "3 frame(s) drifted" in t003[0].message
+
+    def test_readback_check_needs_a_golden(self, demo_project):
+        gate = PreDeployGate(demo_project.part,
+                             sanctioned=list(demo_project.regions.values()))
+        assert not gate.drift_enabled
+        with pytest.raises(UsageError):
+            gate.check_readback(base_frames(demo_project))
+
+
+class TestRuntimeIntegration:
+    """The tamper rules on the deploy path (Deployer + GenerationService)."""
+
+    def test_deploy_under_full_policy_passes(self, demo_project, demo_partials):
+        from repro.hwsim import Board
+        from repro.jbits import SimulatedXhwif
+        from repro.runtime import Deployer, DeployItem
+
+        deployer = Deployer(
+            SimulatedXhwif(Board(demo_project.part)),
+            demo_project.base_bitfile,
+            gate=True,
+            sanctioned=list(demo_project.regions.values()),
+        )
+        assert deployer.gate is not None and deployer.gate.drift_enabled
+        report = deployer.run([
+            DeployItem("r1-down", demo_partials[("r1", "down")].data),
+            DeployItem("r2-right", demo_partials[("r2", "right")].data),
+        ])
+        assert report.ok and len(report.results) == 3   # base + 2 modules
+
+    def test_deploy_outside_policy_blocks_on_readback(
+        self, demo_project, demo_partials
+    ):
+        from repro.hwsim import Board
+        from repro.jbits import SimulatedXhwif
+        from repro.runtime import Deployer, DeployItem
+
+        # the policy covers r2 only; the r1 partial (no design attached on
+        # the deploy path) passes pre-deploy with warnings, then the
+        # post-deploy readback audit catches the out-of-policy drift
+        deployer = Deployer(
+            SimulatedXhwif(Board(demo_project.part)),
+            demo_project.base_bitfile,
+            gate=True,
+            sanctioned=[demo_project.regions["r2"]],
+        )
+        with pytest.raises(AnalysisError) as excinfo:
+            deployer.run([
+                DeployItem("r1-down", demo_partials[("r1", "down")].data),
+            ])
+        assert any(f.rule.id == "T003" for f in excinfo.value.findings)
+        assert "post-deploy" in str(excinfo.value)
+
+    def test_service_blocks_out_of_policy_request(self, demo_project, tmp_path):
+        from repro.serve import GenRequest, GenerationService
+
+        svc = GenerationService(
+            demo_project.part, demo_project.base_bitfile,
+            cache_dir=str(tmp_path / "cache"),
+            sanctioned=[demo_project.regions["r2"]],
+        )
+        mv = demo_project.versions[("r1", "down")]
+        result = svc.generate(GenRequest(
+            name="r1/down", xdl=mv.xdl, ucf=mv.ucf,
+            region=demo_project.regions["r1"].to_ucf(),
+        ))
+        assert not result.ok and result.data is None
+        assert "T001" in (result.error or "")
+        assert svc.metrics.counter("serve.lint_blocked") == 1
+
+    def test_service_serves_in_policy_request(self, demo_project, tmp_path):
+        from repro.serve import GenRequest, GenerationService
+
+        svc = GenerationService(
+            demo_project.part, demo_project.base_bitfile,
+            cache_dir=str(tmp_path / "cache"),
+            sanctioned=list(demo_project.regions.values()),
+        )
+        mv = demo_project.versions[("r1", "down")]
+        result = svc.generate(GenRequest(
+            name="r1/down", xdl=mv.xdl, ucf=mv.ucf,
+            region=demo_project.regions["r1"].to_ucf(),
+        ))
+        assert result.ok, result.error
+        assert result.size > 0

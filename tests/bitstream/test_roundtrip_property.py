@@ -10,21 +10,26 @@ failing case (fewer frames, then simpler data) before reporting it.
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 import pytest
 
 from repro.bitstream.assembler import full_stream, partial_stream
 from repro.bitstream.frames import FrameMemory, frame_runs
 from repro.bitstream.reader import apply_bitstream, parse_bitstream
-from repro.devices import get_device
+from repro.devices import get_device, random_device
+
+from ..conftest import FAMILY_PARTS
 
 PART = "XCV50"
 SEEDS = range(12)
 
 
-def random_frames(seed: int, *, density: float = 0.5) -> FrameMemory:
+def random_frames(seed: int, *, density: float = 0.5,
+                  part: str = PART) -> FrameMemory:
     """A payload-masked random frame memory, deterministic in ``seed``."""
-    device = get_device(PART)
+    device = get_device(part)
     fm = FrameMemory(device)
     rng = np.random.default_rng(seed)
     raw = rng.integers(0, 2**32, size=fm.data.shape, dtype=np.uint64)
@@ -39,9 +44,9 @@ def random_frame_subset(seed: int, total: int, *, max_frames: int = 64) -> list[
     return sorted(int(i) for i in rng.choice(total, size=count, replace=False))
 
 
-def full_roundtrip_violation(seed: int) -> str | None:
+def full_roundtrip_violation(seed: int, *, part: str = PART) -> str | None:
     """None if the full-stream round trip holds for ``seed``, else why not."""
-    fm = random_frames(seed)
+    fm = random_frames(seed, part=part)
     stream = full_stream(fm)
     parsed, stats = parse_bitstream(fm.device, stream)
     if not stats.started:
@@ -53,9 +58,10 @@ def full_roundtrip_violation(seed: int) -> str | None:
     return None
 
 
-def partial_roundtrip_violation(seed: int, frames: list[int]) -> str | None:
+def partial_roundtrip_violation(seed: int, frames: list[int],
+                                *, part: str = PART) -> str | None:
     """None if the partial round trip holds for (seed, frames)."""
-    fm = random_frames(seed)
+    fm = random_frames(seed, part=part)
     stream = partial_stream(fm, frames)
     target = FrameMemory(fm.device)
     apply_bitstream(target, stream)
@@ -71,7 +77,7 @@ def partial_roundtrip_violation(seed: int, frames: list[int]) -> str | None:
     return None
 
 
-def shrink_frames(seed: int, frames: list[int]) -> list[int]:
+def shrink_frames(seed: int, frames: list[int], *, part: str = PART) -> list[int]:
     """Greedily drop frames while the case still fails (smallest repro)."""
     current = list(frames)
     progress = True
@@ -79,11 +85,29 @@ def shrink_frames(seed: int, frames: list[int]) -> list[int]:
         progress = False
         for i in range(len(current)):
             candidate = current[:i] + current[i + 1:]
-            if candidate and partial_roundtrip_violation(seed, candidate):
+            if candidate and partial_roundtrip_violation(seed, candidate,
+                                                         part=part):
                 current = candidate
                 progress = True
                 break
     return current
+
+
+def assert_partial_roundtrip(part: str, seed: int) -> None:
+    """Partial round trip on one device; a failure shrinks the frame set
+    and reports the offending seed plus the full device spec."""
+    device = get_device(part)
+    total = device.geometry.total_frames
+    frames = random_frame_subset(seed, total)
+    why = partial_roundtrip_violation(seed, frames, part=part)
+    if why is not None:
+        minimal = shrink_frames(seed, frames, part=part)
+        why_min = partial_roundtrip_violation(seed, minimal, part=part)
+        pytest.fail(
+            f"partial round trip failed for part={part} seed={seed}; "
+            f"shrunk from {len(frames)} to {len(minimal)} frame(s): "
+            f"frames={minimal}: {why_min}; spec={device.spec.to_dict()}"
+        )
 
 
 class TestFullStreamRoundtrip:
@@ -104,17 +128,7 @@ class TestFullStreamRoundtrip:
 class TestPartialStreamRoundtrip:
     @pytest.mark.parametrize("seed", SEEDS)
     def test_partial_roundtrip_with_shrinking(self, seed):
-        total = get_device(PART).geometry.total_frames
-        frames = random_frame_subset(seed, total)
-        why = partial_roundtrip_violation(seed, frames)
-        if why is not None:
-            minimal = shrink_frames(seed, frames)
-            why_min = partial_roundtrip_violation(seed, minimal)
-            pytest.fail(
-                f"partial round trip failed for seed={seed}; "
-                f"shrunk from {len(frames)} to {len(minimal)} frame(s): "
-                f"frames={minimal}: {why_min}"
-            )
+        assert_partial_roundtrip(PART, seed)
 
     @pytest.mark.parametrize("seed", [3, 7])
     def test_runs_cover_exactly_the_selection(self, seed):
@@ -133,6 +147,21 @@ class TestPartialStreamRoundtrip:
         assert target.frames_equal(fm, 17)
         assert target.diff_frames(FrameMemory(fm.device)) == [17]
 
+    def test_shrinker_reports_part_and_spec(self):
+        """A planted violation on a variant: the failure message carries
+        the part name, the offending seed, and the device spec."""
+        import unittest.mock as mock
+
+        with mock.patch.object(
+            sys.modules[__name__], "partial_roundtrip_violation",
+            lambda seed, frames, *, part=PART: "boom",
+        ):
+            with pytest.raises(pytest.fail.Exception) as err:
+                assert_partial_roundtrip("XCVZ8", 5)
+        msg = str(err.value)
+        assert "part=XCVZ8" in msg and "seed=5" in msg
+        assert "'clb_frames': 52" in msg      # the spec rides along
+
     def test_shrinker_finds_minimal_case(self):
         """The shrinking loop itself: plant a violation, expect a 1-frame repro.
 
@@ -141,7 +170,7 @@ class TestPartialStreamRoundtrip:
         """
         calls = []
 
-        def failing(seed, frames):
+        def failing(seed, frames, *, part=PART):
             calls.append(tuple(frames))
             return "boom" if 13 in frames else None
 
@@ -153,3 +182,42 @@ class TestPartialStreamRoundtrip:
             globals()["partial_roundtrip_violation"] = original
         assert minimal == [13]
         assert len(calls) > 1
+
+
+@pytest.mark.families
+class TestFamilyRoundtrip:
+    """The same identities on every irregular family variant and a few
+    seeded random devices — different frame lengths, BRAM arrangements,
+    and minor counts must not perturb the byte-level round trip."""
+
+    @pytest.mark.parametrize("part", FAMILY_PARTS)
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_full_roundtrip_on_variant(self, part, seed):
+        why = full_roundtrip_violation(seed, part=part)
+        assert why is None, f"part={part} seed={seed}: {why}"
+
+    @pytest.mark.parametrize("part", FAMILY_PARTS)
+    @pytest.mark.parametrize("seed", [1, 4])
+    def test_partial_roundtrip_on_variant(self, part, seed):
+        assert_partial_roundtrip(part, seed)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_roundtrip_on_random_device(self, seed):
+        device = random_device(seed)
+        why = full_roundtrip_violation(seed, part=device.name)
+        assert why is None, (
+            f"part={device.name} seed={seed}: {why}; "
+            f"spec={device.spec.to_dict()}"
+        )
+        assert_partial_roundtrip(device.name, seed)
+
+
+@pytest.mark.families
+@pytest.mark.slow
+class TestFamilyRoundtripSweep:
+    """Wide seeded sweep over random geometries (deselected by default)."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_device_partial_sweep(self, seed):
+        device = random_device(seed)
+        assert_partial_roundtrip(device.name, seed)

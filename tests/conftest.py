@@ -91,3 +91,38 @@ def two_region_plans():
 def demo_project(two_region_plans):
     """The standard two-region JPG project on XCV50 (base + 4 versions)."""
     return make_project("demo", "XCV50", two_region_plans, seed=3)
+
+
+# -- device-family parametrization (the `families` marker) --------------------
+
+#: The deliberately-irregular declarative variants every family-parametrized
+#: suite runs over: asymmetric BRAM (one side / swapped), non-default clock
+#: and IOB frame counts, spare CLB minors, 128-bit BRAM content interleave.
+FAMILY_PARTS = ("XCVT24", "XCVW12", "XCVZ8")
+
+_family_projects: dict = {}
+
+
+def family_project(part: str):
+    """A small one-region project on ``part`` (session-cached per part).
+
+    Works for catalog parts, the shipped variants, and seeded random
+    devices alike — anything :func:`repro.devices.get_device` resolves.
+    """
+    if part not in _family_projects:
+        rects = slab_regions(part, ["r1"])
+        plans = [RegionPlan(
+            "r1", rects[0],
+            ModuleSpec("counter", 4, "up"),
+            (ModuleSpec("counter", 4, "up"), ModuleSpec("counter", 4, "down")),
+        )]
+        _family_projects[part] = make_project(f"fam-{part}", part, plans, seed=7)
+    return _family_projects[part]
+
+
+def random_family_project(seed: int):
+    """Register the seeded random device and build a project on it."""
+    from repro.devices import random_device
+
+    device = random_device(seed)
+    return family_project(device.name)

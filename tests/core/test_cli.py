@@ -32,9 +32,17 @@ class TestInfo:
         out = capsys.readouterr().out
         assert "32 x 48" in out and "frames" in out
 
-    def test_unknown_part(self):
-        with pytest.raises(SystemExit):
-            main(["info", "XCV9000"])
+    def test_unknown_part(self, capsys):
+        # not an argparse choices error anymore: any registered spec is
+        # accepted, unknown names map to UnknownPartError -> exit 2
+        assert main(["info", "XCV9000"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown part" in err and "XCV50" in err
+
+    def test_info_family_variant(self, capsys):
+        assert main(["info", "XCVT24"]) == 0
+        out = capsys.readouterr().out
+        assert "frames" in out
 
 
 class TestGenerate:

@@ -1,0 +1,214 @@
+"""Seeded geometry fuzzing: bit-location bijections on random devices.
+
+:func:`repro.devices.random_spec` generates legal-by-construction
+geometries (``GeometrySpec.__post_init__`` is the legality oracle); the
+properties here then pin the addressing invariants everything above the
+device layer assumes:
+
+* the config columns partition the linear frame space exactly;
+* every named configuration bit — CLB resource plane, PIPs, IOB enables,
+  global clocks, BRAM content — maps to a **unique** in-range
+  ``(frame, bit)`` location (a collision would silently alias two
+  resources in every reader and writer);
+* specs round-trip through their dict form (the declarative catalog
+  format loses nothing).
+
+Failures report the offending seed plus the full spec, so any case
+reproduces from the log line alone.  A wider sweep is slow-marked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices import (
+    BITS_PER_ROW,
+    ColumnKind,
+    GeometrySpec,
+    get_device,
+    random_device,
+    random_spec,
+)
+from repro.devices.geometry import BRAM_BITS, NUM_GCLK
+from repro.devices.resources import BitCoord, CLB_FRAMES
+from repro.devices.wires import NUM_PIPS
+
+pytestmark = pytest.mark.families
+
+SEEDS = range(6)
+SWEEP_SEEDS = range(40)
+
+
+def sample_tiles(device) -> list[tuple[int, int]]:
+    """Corner tiles, a center tile, and an edge tile of the array."""
+    r, c = device.rows - 1, device.cols - 1
+    tiles = {(0, 0), (0, c), (r, 0), (r, c), (r // 2, c // 2), (0, c // 2)}
+    return sorted(tiles)
+
+
+def assert_frame_partition(device, seed: int) -> None:
+    """The config columns tile the linear frame space with no gap/overlap."""
+    g = device.geometry
+    spec = device.spec
+    cursor = 0
+    for major, col in enumerate(g.columns):
+        base = g.frame_base(major)
+        assert base == cursor, (
+            f"seed={seed}: column {major} starts at frame {base}, "
+            f"expected {cursor}; spec={spec.to_dict()}"
+        )
+        assert col.frames > 0
+        for minor in (0, col.frames - 1):
+            back_major, back_minor = g.frame_address(base + minor)
+            assert (back_major, back_minor) == (major, minor), (
+                f"seed={seed}: frame_address({base + minor}) = "
+                f"({back_major}, {back_minor}), expected ({major}, {minor})"
+            )
+        if col.kind is ColumnKind.CLB:
+            assert col.frames == spec.clb_frames
+        elif col.kind is ColumnKind.CLOCK:
+            assert col.frames == spec.clock_frames
+        cursor += col.frames
+    assert cursor == g.total_frames, (
+        f"seed={seed}: columns cover {cursor} frames, device has "
+        f"{g.total_frames}; spec={spec.to_dict()}"
+    )
+
+
+def assert_bit_bijection(device, seed: int) -> None:
+    """Every addressable configuration bit is unique and in range."""
+    g = device.geometry
+    spec = device.spec
+    seen: dict[tuple[int, int], str] = {}
+
+    def claim(frame: int, bit: int, who: str) -> None:
+        assert 0 <= frame < g.total_frames, f"seed={seed}: {who}: frame {frame}"
+        assert 0 <= bit < g.frame_bits, f"seed={seed}: {who}: bit {bit}"
+        other = seen.setdefault((frame, bit), who)
+        assert other is who, (
+            f"seed={seed}: ({frame}, {bit}) claimed by both {other} and "
+            f"{who}; spec={spec.to_dict()}"
+        )
+
+    # CLB resource plane: all 48 minors x 18 row bits of sampled tiles
+    for row, col in sample_tiles(device):
+        for minor in range(CLB_FRAMES):
+            for rowbit in range(BITS_PER_ROW):
+                frame, bit = device.clb_bit_location(
+                    row, col, BitCoord(minor, rowbit)
+                )
+                claim(frame, bit, f"clb R{row}C{col} {minor}.{rowbit}")
+    # the PIP table is an alias of the routing minors, never outside them
+    row, col = sample_tiles(device)[0]
+    clb_claims = dict(seen)
+    for pip in range(NUM_PIPS):
+        frame, bit = device.pip_bit_location(row, col, pip)
+        assert (frame, bit) in clb_claims, (
+            f"seed={seed}: pip {pip} maps outside the tile's CLB plane"
+        )
+    # global clock enables
+    for i in range(NUM_GCLK):
+        frame, bit = device.gclk_bit_location(i)
+        claim(frame, bit, f"gclk {i}")
+    # IOB enables (both directions) on a sample of sites
+    sites = g.iob_sites
+    for site in (sites[0], sites[len(sites) // 2], sites[-1]):
+        for which in (0, 1):
+            frame, bit = device.iob_bit_location(site, which)
+            claim(frame, bit, f"iob {site} {which}")
+    # BRAM content: every bit of the first and last site
+    bram = g.bram_sites
+    for site in ({bram[0], bram[-1]} if bram else ()):
+        for bit_index in range(BRAM_BITS):
+            frame, bit = g.bram_bit_location(site, bit_index)
+            claim(frame, bit, f"bram {site} bit {bit_index}")
+
+
+def assert_spec_roundtrip(spec: GeometrySpec, seed: int) -> None:
+    clone = GeometrySpec.from_dict(spec.to_dict())
+    assert clone == spec, f"seed={seed}: spec does not round-trip its dict form"
+
+
+class TestSeededBijection:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_device_invariants(self, seed):
+        spec = random_spec(seed)
+        assert_spec_roundtrip(spec, seed)
+        device = random_device(seed)
+        assert device.spec == spec
+        assert_frame_partition(device, seed)
+        assert_bit_bijection(device, seed)
+
+    @pytest.mark.parametrize("part", ["XCV50", "XCVT24", "XCVW12", "XCVZ8"])
+    def test_catalog_and_variant_invariants(self, part):
+        device = get_device(part)
+        assert_frame_partition(device, -1)
+        assert_bit_bijection(device, -1)
+
+    def test_registration_is_idempotent_and_seed_stable(self):
+        a = random_device(3)
+        b = random_device(3)
+        assert a == b and a.spec is b.spec      # registry singleton
+        assert random_spec(3) == random_spec(3)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            random_spec(-1)
+
+
+@pytest.mark.slow
+class TestSeededBijectionSweep:
+    """Wider fuzz sweep (deselected by default; run with -m slow)."""
+
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    def test_sweep(self, seed):
+        device = random_device(seed)
+        assert_frame_partition(device, seed)
+        assert_bit_bijection(device, seed)
+
+
+class TestSpecFramePinning:
+    """Regressions for the once-hardcoded geometry constants: consumers
+    must take frame counts from the column/spec, never from the classic
+    48/54/27/64 literals.  XCVZ8 ships 52 CLB minors on purpose."""
+
+    def test_column_bits_uses_spec_minors(self):
+        from repro.bitstream.frames import FrameMemory
+
+        device = get_device("XCVZ8")
+        fm = FrameMemory(device)
+        bits = fm.column_bits(0)
+        assert bits.shape == (52, device.geometry.frame_bits)
+
+    def test_parbit_block_frames_use_spec_minors(self):
+        from repro.baselines.parbit import block_frames, parse_options
+
+        device = get_device("XCVZ8")
+        opts = parse_options("block clb 1 1")
+        frames = block_frames(device, opts)
+        assert len(frames) == 52
+        g = device.geometry
+        major = g.major_of_clb_col(0)
+        assert frames == list(range(g.frame_base(major), g.frame_base(major) + 52))
+
+    def test_jbits_clear_tile_spans_spec_minors(self):
+        from repro.jbits import JBits
+
+        device = get_device("XCVZ8")
+        jb = JBits("XCVZ8")
+        jb.blank()
+        g = device.geometry
+        major = g.major_of_clb_col(2)
+        base = g.frame_base(major)
+        # light a bit in the spare minor 51, beyond the classic 48
+        fm = jb.frames
+        fm.set_bit(base + 51, g.row_bit_offset(1), 1)
+        jb.clear_tile(1, 2)
+        assert fm.get_bit(base + 51, g.row_bit_offset(1)) == 0
+
+    def test_bram_interleave_follows_content_frames(self):
+        # XCVW12 ships 128 content frames -> 32 bits per frame per block
+        device = get_device("XCVW12")
+        g = device.geometry
+        assert device.spec.bram_content_frames == 128
+        assert g.bram_bits_per_frame == 4096 // 128

@@ -31,6 +31,8 @@ from repro.core.jpg import Jpg
 from repro.exec import BACKEND_NAMES
 from repro.jbits import JBits
 
+from ..conftest import FAMILY_PARTS, family_project, random_family_project
+
 VERSIONS = [("r1", "up"), ("r1", "down"), ("r2", "left"), ("r2", "right")]
 
 
@@ -238,6 +240,84 @@ class TestBatchVsJBitsDiff:
             label_a="base+BatchJpg partial",
             label_b="Jpg merged full configuration",
         )
+
+
+def assert_differential_conformance(project) -> None:
+    """The three-way byte/frame agreement, on any device a project runs on.
+
+    BatchJpg and the sequential Jpg must emit byte-identical partials;
+    applying them to the base must reproduce the merged configuration;
+    and the jbitsdiff tile-bit core replay must land on the same frames.
+    A failure names the device spec so seeded-random cases reproduce from
+    the report alone.
+    """
+    part = project.device.name
+    label = f"[{part}]"
+    mv = project.versions[("r1", "down")]
+    rect = project.regions["r1"]
+    engine = BatchJpg(part, project.base_bitfile)
+    batch = engine.generate_one(
+        BatchItem("r1/down", mv.xdl, region=rect, ucf=mv.ucf)
+    )
+    assert batch.ok, f"{label} batch generation failed: {batch.error}"
+    sequential = Jpg(part, project.base_bitfile).make_partial(
+        mv.xdl, region=rect, ucf=mv.ucf
+    )
+    assert batch.result.data == sequential.data, (
+        f"{label} batch and sequential partials diverge "
+        f"({len(batch.result.data)} vs {len(sequential.data)} bytes); "
+        f"spec={project.device.spec.to_dict()}"
+    )
+
+    base_frames, _ = parse_bitstream(
+        project.device, project.base_bitfile.config_bytes
+    )
+    applied = base_frames.clone()
+    apply_bitstream(applied, batch.result.data)
+    jpg = Jpg(part, project.base_bitfile)
+    jpg.make_partial(mv.xdl, region=rect, ucf=mv.ucf)
+    after, _ = parse_bitstream(project.device, jpg.full_bitstream())
+
+    core = extract_core("r1/down", base_frames, after)
+    assert core, f"{label} core extraction found no edits (dead module?)"
+    jb = JBits(part)
+    jb.read(base_frames.clone())
+    replay_core(core, jb)
+
+    assert_frame_identical(
+        applied, jb.frames,
+        label_a=f"{label} base+BatchJpg partial",
+        label_b=f"{label} jbitsdiff core replay",
+    )
+    assert_frame_identical(
+        applied, after,
+        label_a=f"{label} base+BatchJpg partial",
+        label_b=f"{label} Jpg merged full configuration",
+    )
+
+
+@pytest.mark.families
+class TestFamilyConformance:
+    """The same three-way agreement on every irregular family variant and
+    a handful of seeded random devices (the wide sweep is slow-marked)."""
+
+    @pytest.mark.parametrize("part", FAMILY_PARTS)
+    def test_variant_conformance(self, part):
+        assert_differential_conformance(family_project(part))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_device_conformance(self, seed):
+        assert_differential_conformance(random_family_project(seed))
+
+
+@pytest.mark.families
+@pytest.mark.slow
+class TestRandomDeviceSweep:
+    """20 seeded random geometries; each failure reports seed and spec."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_seeded_sweep(self, seed):
+        assert_differential_conformance(random_family_project(seed))
 
 
 class TestServedVsGenerated:

@@ -24,18 +24,22 @@ Batch backends are timed at two temperatures:
 * **warm** — one engine, a priming run, then best-of-``--repeats`` on the
   same engine: the steady state a resident ``jpg serve`` pool reaches.
 
-Results land in ``BENCH_7.json``::
+Results land in ``BENCH_8.json``; every workload entry names the device
+spec it ran on (``part``/``spec``), so numbers from different declarative
+families are never compared blind::
 
     {
       "cpu_count": 8,
       "enforced": true,
       "workloads": [
         {"workload": "fig4-XCV100-10-partials", "items": 10,
+         "part": "XCV100", "spec": "XCV100",
          "results": [
            {"backend": "serial", "cold_s": 0.91, "warm_s": 0.30, ...},
            ...
          ]},
         {"workload": "flow-scale-XCV1000", "items": 216, "flow": true,
+         "part": "XCV1000", "spec": "XCV1000",
          "results": [
            {"engine": "scalar", "place_s": 0.78, "route_s": 0.75, ...},
            {"engine": "array", "place_s": 0.62, "route_s": 0.59, ...}
@@ -60,7 +64,7 @@ report-only (``"enforced": false``):
 Usage::
 
     PYTHONPATH=src python tools/perf_gate.py [--workload small|xcv1000|flow|all]
-        [--out BENCH_7.json] [--repeats 3] [--tolerance 1.25]
+        [--out BENCH_8.json] [--repeats 3] [--tolerance 1.25]
 """
 
 from __future__ import annotations
@@ -74,6 +78,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.batch import BatchJpg, items_from_project  # noqa: E402
+from repro.devices import get_device  # noqa: E402
 from repro.exec import BACKEND_NAMES  # noqa: E402
 from repro.flow import PLACER_ENGINES, run_flow  # noqa: E402
 from repro.workloads import figure4_plan, flow_cases, make_project, scale_plan  # noqa: E402
@@ -251,7 +256,9 @@ def run_flow_axis(args) -> tuple[list[dict] | None, list[str]]:
                     f"(it must be <= 1.00x)"
                 )
         entries.append(
-            {"workload": label, "items": items, "flow": True, "results": rows}
+            {"workload": label, "items": items, "flow": True,
+             "part": case[1], "spec": get_device(case[1]).spec.name,
+             "results": rows}
         )
     return entries, problems
 
@@ -338,7 +345,11 @@ def run_gate(args: argparse.Namespace) -> int:
                 verdict = 1
             else:
                 print(f"perf gate: note — {line}; not enforced on {cpus} cpu(s)")
-        workloads.append({"workload": label, "items": items, "results": results})
+        workloads.append({
+            "workload": label, "items": items,
+            "part": project.part, "spec": get_device(project.part).spec.name,
+            "results": results,
+        })
 
     report = {
         "cpu_count": cpus,
@@ -359,7 +370,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workload", choices=WORKLOAD_NAMES + ("all",),
                         default="all",
                         help="which workload axis to run (default: %(default)s)")
-    parser.add_argument("--out", default="BENCH_7.json",
+    parser.add_argument("--out", default="BENCH_8.json",
                         help="report path (default: %(default)s)")
     parser.add_argument("--part", default="XCV100",
                         help="device for the small workload")
