@@ -13,7 +13,12 @@ model:
   their RANGE, unsanctioned region-crossing nets, antenna routes;
 * ``T*`` — tamper detection (:mod:`.tamper`): frame writes outside every
   sanctioned region, routing edits relative to a golden base, and
-  readback-vs-golden drift (needs the ``sanctioned``/``golden`` inputs).
+  readback-vs-golden drift (needs the ``sanctioned``/``golden`` inputs);
+* ``R*`` — semantic analysis (:mod:`.semantics`, :mod:`.relocate`): the
+  stream's device-relative frame-state *effect*, with R001
+  relocatability proofs (column-shift invariance + FAR-rewrite
+  relocation), R002 pairwise independence/commutativity, and R003
+  canonicalization (dead/redundant-write elimination with re-CRC).
 
 :class:`RuleEngine` runs whatever the available inputs support;
 :class:`PreDeployGate` turns blocking findings into
@@ -27,6 +32,23 @@ from .engine import LintTarget, RuleEngine, lint_partial
 from .findings import RULES, AnalysisReport, Finding, Rule, Severity
 from .gate import PreDeployGate
 from .netlist import check_netlist
+from .relocate import (
+    RelocationProof,
+    check_relocatable,
+    prove_relocatable,
+    relocate,
+)
+from .semantics import (
+    CanonicalResult,
+    IndependenceProof,
+    StreamEffect,
+    SymbolicAddress,
+    canonicalize,
+    check_canonical,
+    check_independence,
+    compute_effect,
+    prove_independence,
+)
 from .stream import FrameWrite, StreamModel, decode_stream
 from .tamper import (
     check_readback_drift,
@@ -37,22 +59,35 @@ from .tamper import (
 __all__ = [
     "RULES",
     "AnalysisReport",
+    "CanonicalResult",
     "Finding",
     "FrameWrite",
+    "IndependenceProof",
     "LintTarget",
     "PreDeployGate",
+    "RelocationProof",
     "Rule",
     "RuleEngine",
     "Severity",
+    "StreamEffect",
     "StreamModel",
+    "SymbolicAddress",
+    "canonicalize",
+    "check_canonical",
     "check_conflicts",
     "check_containment",
     "check_duplicates",
+    "check_independence",
     "check_netlist",
     "check_readback_drift",
+    "check_relocatable",
     "check_routing_tamper",
     "check_sanctioned_writes",
+    "compute_effect",
     "decode_stream",
     "lint_partial",
+    "prove_independence",
+    "prove_relocatable",
+    "relocate",
     "sanctioned_route_columns",
 ]

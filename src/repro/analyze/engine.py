@@ -29,6 +29,8 @@ from .containment import check_containment, sanctioned_route_columns
 from .conflict import check_conflicts, check_duplicates
 from .findings import AnalysisReport
 from .netlist import check_netlist
+from .relocate import check_relocatable
+from .semantics import check_canonical, check_independence
 from .stream import StreamModel, decode_stream
 from .tamper import check_routing_tamper, check_sanctioned_writes
 
@@ -66,17 +68,29 @@ class RuleEngine:
     configuration, as frames / a .bit / raw config bytes) enables the
     T002 routing-tamper rule for targets whose sanctioned rows are known
     (the policy, or the target's own declared region).
+
+    The semantic rules are opt-in: ``relocatable`` arms R001 (each
+    target must prove column-shift invariance), ``independence`` arms
+    R002 (every pair of targets must prove a commuting effect), and
+    ``canonical`` arms R003 (each target must match its canonical
+    re-assembly) — see :mod:`.semantics` and :mod:`.relocate`.
     """
 
     def __init__(self, device: Device | str | None = None, *,
                  conflicts: bool = True,
                  golden: GoldenInput | None = None,
-                 sanctioned: list[RegionRect] | None = None):
+                 sanctioned: list[RegionRect] | None = None,
+                 relocatable: bool = False,
+                 independence: bool = False,
+                 canonical: bool = False):
         if isinstance(device, str):
             device = get_device(device)
         self.device = device
         self.conflicts = conflicts
         self.sanctioned = sanctioned
+        self.relocatable = relocatable
+        self.independence = independence
+        self.canonical = canonical
         self._golden_input = golden
         self._golden: FrameMemory | None = None
 
@@ -126,6 +140,10 @@ class RuleEngine:
                 models.append(model)
                 report.extend(model.findings)
                 report.extend(check_duplicates(model))
+                if self.relocatable:
+                    report.extend(check_relocatable(device, model))
+                if self.canonical:
+                    report.extend(check_canonical(device, target.data, model))
                 if region is not None:
                     report.extend(check_containment(
                         device, model, region, target.design
@@ -156,6 +174,10 @@ class RuleEngine:
                 ))
         if self.conflicts and len(models) > 1:
             report.extend(check_conflicts(models, regions))
+        if self.independence and len(models) > 1:
+            report.extend(check_independence(
+                self._device_for(targets), models
+            ))
         metrics.count("analyze.runs")
         metrics.count("analyze.targets", len(targets))
         metrics.count("analyze.findings", len(report.findings))

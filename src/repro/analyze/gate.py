@@ -52,14 +52,19 @@ class PreDeployGate:
     tamper (``T*``) rules run too: unsanctioned frame writes and
     routing edits relative to the golden base block pre-deploy, and
     :meth:`require_readback` checks a post-deploy readback for drift.
+    ``independence=True`` additionally requires every pair of streams in
+    a multi-module deployment to prove a commuting effect (R002) —
+    the Deployer's preflight before anything is transferred.
     """
 
     def __init__(self, device: Device | str, *, strict: bool = False,
                  conflicts: bool = True,
                  golden: GoldenInput | None = None,
-                 sanctioned: list[RegionRect] | None = None):
+                 sanctioned: list[RegionRect] | None = None,
+                 independence: bool = False):
         self.engine = RuleEngine(device, conflicts=conflicts,
-                                 golden=golden, sanctioned=sanctioned)
+                                 golden=golden, sanctioned=sanctioned,
+                                 independence=independence)
         self.strict = strict
 
     @property

@@ -1,0 +1,205 @@
+"""R001 relocatability: prove a partial's effect survives a column shift.
+
+A partial bitstream is *relocatable* when its effect is invariant under
+shifting its CLB column span: retargeting it is then a pure FAR-major
+rewrite plus CRC fixup (:mod:`repro.bitstream.relocate`), and the result
+is byte-identical to regenerating the module at the target columns.
+
+The proof obligations, checked against the decoded :class:`StreamModel`
+through the spec's address algebra:
+
+* the stream decodes completely with no blocking (error) findings — an
+  effect recovered from a broken stream proves nothing;
+* every frame write targets a CLB column: the clock column, the IOB edge
+  columns, and the BRAM columns sit at spec-determined absolute
+  positions, so writes there are position-pinned by definition;
+* no written frame sets bits in the top/bottom IOB regions (the first
+  and last 18-bit rows of a CLB frame configure that specific column's
+  top/bottom pads — content there pins the frame to its column).
+
+CLB frame counts are uniform across one device's columns (the spec's
+``clb_frames``), so minors never change under a shift; the legal target
+set is every start column where the span still fits on the fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bitstream.relocate import rewrite_far_majors
+from ..devices import Device
+from ..devices.geometry import BITS_PER_ROW, ColumnKind
+from ..errors import AnalysisError, BitstreamError, UsageError
+from ..obs import current_metrics
+from .findings import Finding, Severity, rule
+from .stream import StreamModel, decode_stream
+
+R001 = rule("R001", "not-relocatable", Severity.ERROR,
+            "the stream's effect depends on its absolute column position "
+            "(non-CLB columns or edge-pad bits); regenerate the module at "
+            "the target region instead of relocating")
+
+
+@dataclass
+class RelocationProof:
+    """Whether (and where) one partial may be relocated.
+
+    ``columns`` is the sorted set of 0-based fabric columns the stream
+    writes; ``legal_targets`` the 0-based start columns its span may be
+    shifted to (including the current one).  ``reasons`` lists every
+    refuted obligation when not relocatable.
+    """
+
+    subject: str
+    relocatable: bool
+    columns: list[int] = field(default_factory=list)
+    legal_targets: list[int] = field(default_factory=list)
+    reasons: list[str] = field(default_factory=list)
+
+    @property
+    def span(self) -> tuple[int, int] | None:
+        """(first, last) written fabric column, when any CLB frame is
+        written."""
+        if not self.columns:
+            return None
+        return self.columns[0], self.columns[-1]
+
+
+def _edge_bits_set(payload: bytes, rows: int) -> list[str]:
+    """Which top/bottom IOB regions of a frame payload hold nonzero bits."""
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+    regions = []
+    if bits[:BITS_PER_ROW].any():
+        regions.append("top")
+    bottom = BITS_PER_ROW * (rows + 1)
+    if bits[bottom:bottom + BITS_PER_ROW].any():
+        regions.append("bottom")
+    return regions
+
+
+def prove_relocatable(device: Device, model: StreamModel) -> RelocationProof:
+    """Prove (or refute) that a decoded partial is column-shift invariant."""
+    g = device.geometry
+    proof = RelocationProof(subject=model.subject, relocatable=False)
+    if not model.decode_complete:
+        proof.reasons.append("stream did not decode completely")
+    if any(f.effective_severity is Severity.ERROR for f in model.findings):
+        proof.reasons.append("stream has blocking lint findings")
+    if not model.writes:
+        proof.reasons.append("stream writes no frames")
+    pinned_kinds: dict[str, int] = {}
+    edge_columns: dict[str, set[int]] = {}
+    columns: set[int] = set()
+    for w in model.writes:
+        col = g.column(w.major)
+        if col.kind is not ColumnKind.CLB:
+            pinned_kinds[col.kind.value] = pinned_kinds.get(col.kind.value, 0) + 1
+            continue
+        assert col.clb_col is not None
+        columns.add(col.clb_col)
+        for region in _edge_bits_set(w.payload, g.rows):
+            edge_columns.setdefault(region, set()).add(col.clb_col)
+    for kind, count in sorted(pinned_kinds.items()):
+        proof.reasons.append(
+            f"writes {count} frame(s) of the position-pinned {kind} column(s)"
+        )
+    for region, cols in sorted(edge_columns.items()):
+        shown = ", ".join(str(c + 1) for c in sorted(cols)[:4])
+        proof.reasons.append(
+            f"{region} IOB pad bits set in CLB column(s) {shown}"
+            + ("..." if len(cols) > 4 else "")
+        )
+    proof.columns = sorted(columns)
+    if not proof.reasons:
+        proof.relocatable = True
+        width = proof.columns[-1] - proof.columns[0] + 1
+        proof.legal_targets = list(range(g.cols - width + 1))
+    current_metrics().count(
+        "analyze.relocate.proved" if proof.relocatable
+        else "analyze.relocate.refuted"
+    )
+    return proof
+
+
+def check_relocatable(device: Device, model: StreamModel) -> list[Finding]:
+    """R001: flag partials whose relocatability cannot be proven."""
+    proof = prove_relocatable(device, model)
+    if proof.relocatable:
+        return []
+    reasons = "; ".join(proof.reasons[:3])
+    more = f" (+{len(proof.reasons) - 3} more)" if len(proof.reasons) > 3 else ""
+    return [Finding(
+        R001, model.subject,
+        f"not relocatable: {reasons}{more}",
+    )]
+
+
+def relocate(device: Device, data: bytes, to_column: int, *,
+             subject: str = "stream",
+             model: StreamModel | None = None,
+             proof: RelocationProof | None = None) -> bytes:
+    """Retarget a proven-relocatable partial to start at ``to_column``.
+
+    ``to_column`` is the 0-based fabric column the written span's first
+    column moves to.  Raises :class:`AnalysisError` (carrying the R001
+    finding) when the proof fails, :class:`UsageError` when the target
+    span falls off the fabric.  The rewrite touches only FAR majors and
+    CRC check words, so the result is byte-identical to regenerating the
+    same frames at the target columns.
+    """
+    if model is None:
+        model = decode_stream(device, data, subject=subject)
+    if proof is None:
+        proof = prove_relocatable(device, model)
+    if not proof.relocatable:
+        findings = check_relocatable(device, model) or [Finding(
+            R001, model.subject, "; ".join(proof.reasons) or "not relocatable",
+        )]
+        raise AnalysisError(
+            f"R001 {model.subject}: {findings[0].message}",
+            findings=findings,
+        )
+    if to_column not in proof.legal_targets:
+        lo, hi = proof.legal_targets[0], proof.legal_targets[-1]
+        raise UsageError(
+            f"target column {to_column + 1} is illegal for a "
+            f"{proof.columns[-1] - proof.columns[0] + 1}-column span; legal "
+            f"start columns are {lo + 1}..{hi + 1}"
+        )
+    g = device.geometry
+    delta = to_column - proof.columns[0]
+    if delta == 0:
+        return data
+    major_map = {
+        g.major_of_clb_col(c): g.major_of_clb_col(c + delta)
+        for c in proof.columns
+    }
+    out = rewrite_far_majors(data, major_map)
+    _verify_relocation(device, model, out, delta)
+    current_metrics().count("analyze.relocate.rewrites")
+    return out
+
+
+def _verify_relocation(device: Device, model: StreamModel, out: bytes,
+                       delta: int) -> None:
+    """Re-decode the rewritten stream and check it is the shifted effect."""
+    shifted = decode_stream(device, out, subject=f"{model.subject}@shift")
+    errors = [f for f in shifted.findings
+              if f.effective_severity is Severity.ERROR]
+    if errors or not shifted.decode_complete:
+        raise BitstreamError(
+            f"relocation produced an invalid stream: "
+            f"{errors[0].message if errors else 'decode stopped early'}"
+        )
+    g = device.geometry
+    expect = sorted(
+        g.frame_index(g.shift_clb_major(w.major, delta), w.minor)
+        for w in model.writes
+    )
+    got = sorted(w.index for w in shifted.writes)
+    if expect != got:
+        raise BitstreamError(
+            "relocation produced an unexpected frame set (internal error)"
+        )

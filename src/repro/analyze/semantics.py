@@ -1,0 +1,310 @@
+"""Semantic stream analysis: device-relative frame effects (R002/R003).
+
+Where :mod:`.stream` checks a configuration stream's *syntax* (packet
+grammar, CRCs, addresses in range), this module recovers its *effect*:
+the final per-frame contents the stream leaves behind, keyed by the
+device-relative address algebra of :meth:`Geometry.symbolic_address`
+(column kind + fabric position + minor) rather than absolute FAR values.
+Two semantic rules build on that abstraction:
+
+* **R002 independence** — two partials are safe to deploy in either
+  order (or concurrently) iff their effects commute: every frame both
+  write must end up with identical content, and disjoint write sets are
+  additionally safe under interleaving.  :func:`prove_independence`
+  produces the proof object; :func:`check_independence` turns refuted
+  pairs into findings.
+* **R003 canonicalization** — a partial is *canonical* when it is byte-
+  identical to re-assembling its own effect: no dead or shadowed frame
+  writes, no redundant duplicates, runs sorted and merged, CRC checked.
+  :func:`canonicalize` emits the minimized stream (with re-computed
+  CRC); :func:`check_canonical` flags streams that differ from their
+  canonical form.
+
+A third semantic rule, R001 relocatability, lives in :mod:`.relocate`
+(it additionally needs the FAR-rewrite mechanics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bitstream.assembler import partial_stream
+from ..bitstream.frames import FrameMemory
+from ..bitstream.packets import Command
+from ..devices import Device
+from ..obs import current_metrics
+from .findings import Finding, Severity, rule
+from .stream import StreamModel, decode_stream
+
+R002 = rule("R002", "not-independent", Severity.ERROR,
+            "the partials disagree on shared frame contents, so deploy "
+            "order changes the configuration; regenerate them against a "
+            "common base or deploy them as one stream")
+R003 = rule("R003", "non-canonical-stream", Severity.WARNING,
+            "the stream carries dead, shadowed, or redundant frame "
+            "writes; re-emit it in canonical form (jpg lint --canonical "
+            "reports the minimized size)")
+
+
+@dataclass(frozen=True)
+class SymbolicAddress:
+    """Device-relative frame address: column kind + position + minor.
+
+    ``position`` follows :meth:`Geometry.symbolic_address`: the 0-based
+    fabric column for CLB columns, the edge letter for IOB/BRAM columns,
+    None for the clock column.  Comparing effects through this key (not
+    the absolute FAR major) is what lets the relocation analysis reason
+    about column shifts.
+    """
+
+    kind: str
+    position: int | str | None
+    minor: int
+
+    def __str__(self) -> str:
+        pos = "" if self.position is None else f"[{self.position}]"
+        return f"{self.kind}{pos}.{self.minor}"
+
+
+@dataclass
+class StreamEffect:
+    """The frame-state effect of one configuration stream.
+
+    ``final`` maps each written linear frame to the content it holds
+    after the stream completes (later writes shadow earlier ones);
+    ``symbolic`` re-keys the same contents by :class:`SymbolicAddress`.
+    ``deterministic`` is False when the decode stopped early or any
+    error-severity stream finding was reported — an effect recovered
+    from a broken stream proves nothing.
+    """
+
+    subject: str
+    device: Device
+    model: StreamModel
+    final: dict[int, bytes] = field(default_factory=dict)
+    symbolic: dict[SymbolicAddress, bytes] = field(default_factory=dict)
+    shadowed: list[int] = field(default_factory=list)
+    startup: bool = False
+    deterministic: bool = True
+
+    def frames(self) -> set[int]:
+        return set(self.final)
+
+
+def compute_effect(device: Device, model: StreamModel) -> StreamEffect:
+    """Abstractly interpret a decoded stream into its frame-state effect."""
+    effect = StreamEffect(
+        subject=model.subject,
+        device=device,
+        model=model,
+        startup=Command.START in model.commands,
+        deterministic=(
+            model.decode_complete
+            and not any(f.effective_severity is Severity.ERROR
+                        for f in model.findings)
+        ),
+    )
+    g = device.geometry
+    for w in model.writes:
+        if w.index in effect.final:
+            effect.shadowed.append(w.index)
+        effect.final[w.index] = w.payload
+    for index, payload in effect.final.items():
+        kind, position, minor = g.symbolic_address(index)
+        effect.symbolic[SymbolicAddress(kind, position, minor)] = payload
+    current_metrics().count("analyze.semantics.effects")
+    return effect
+
+
+# -- R002: independence / commutativity ---------------------------------------
+
+
+@dataclass
+class IndependenceProof:
+    """Whether two streams' effects commute (and how they fail to)."""
+
+    a: str
+    b: str
+    provable: bool                  # both effects deterministic
+    disjoint: bool                  # no shared frames at all
+    commutes: bool                  # shared frames agree on final content
+    shared: list[int] = field(default_factory=list)
+    disagreements: list[int] = field(default_factory=list)
+
+    @property
+    def independent(self) -> bool:
+        """Safe to deploy in either order."""
+        return self.provable and self.commutes
+
+
+def prove_independence(a: StreamEffect, b: StreamEffect) -> IndependenceProof:
+    """Prove (or refute) that two effects commute.
+
+    Deploy order is irrelevant iff every frame both streams write ends
+    up with the same content either way — i.e. their final contents
+    agree on the intersection.  Disjoint write sets are the stronger
+    guarantee (safe even under interleaved transfer).
+    """
+    shared = sorted(a.frames() & b.frames())
+    disagreements = [f for f in shared if a.final[f] != b.final[f]]
+    provable = a.deterministic and b.deterministic
+    current_metrics().count("analyze.independence.pairs")
+    return IndependenceProof(
+        a=a.subject,
+        b=b.subject,
+        provable=provable,
+        disjoint=not shared,
+        commutes=not disagreements,
+        shared=shared,
+        disagreements=disagreements,
+    )
+
+
+def _address_of(device: Device, index: int) -> str:
+    major, minor = device.geometry.frame_address(index)
+    return f"{major}.{minor}"
+
+
+def check_independence(device: Device,
+                       models: list[StreamModel]) -> list[Finding]:
+    """R002 over every pair of decoded streams.
+
+    One finding per pair whose independence cannot be proven: an error
+    when the effects disagree on shared frames (deploy order changes the
+    result) or when either stream decoded non-deterministically, a
+    warning when they agree but overlap (order-safe, yet not safe under
+    interleaved transfer).
+    """
+    effects = [compute_effect(device, m) for m in models]
+    findings: list[Finding] = []
+    for i in range(len(effects)):
+        for j in range(i + 1, len(effects)):
+            proof = prove_independence(effects[i], effects[j])
+            pair = f"{proof.a}+{proof.b}"
+            if not proof.provable:
+                findings.append(Finding(
+                    R002, pair,
+                    "independence is unprovable: a stream failed to decode "
+                    "deterministically",
+                ))
+            elif not proof.commutes:
+                where = ", ".join(
+                    _address_of(device, f) for f in proof.disagreements[:4]
+                )
+                more = (f" (+{len(proof.disagreements) - 4} more)"
+                        if len(proof.disagreements) > 4 else "")
+                findings.append(Finding(
+                    R002, pair,
+                    f"effects disagree on {len(proof.disagreements)} shared "
+                    f"frame(s) at {where}{more}; deploy order changes the "
+                    f"configuration",
+                    frame=proof.disagreements[0],
+                ))
+            elif not proof.disjoint:
+                findings.append(Finding(
+                    R002, pair,
+                    f"effects commute but share {len(proof.shared)} frame(s) "
+                    f"with identical content; safe in either order, unsafe "
+                    f"interleaved",
+                    severity=Severity.WARNING,
+                    frame=proof.shared[0],
+                ))
+    return findings
+
+
+# -- R003: canonicalization ----------------------------------------------------
+
+
+@dataclass
+class CanonicalResult:
+    """Outcome of canonicalizing one stream."""
+
+    subject: str
+    applicable: bool                # stream is a well-formed partial
+    canonical: bytes | None = None  # minimized re-assembled stream
+    changed: bool = False
+    reasons: list[str] = field(default_factory=list)
+
+    @property
+    def saved_bytes(self) -> int:
+        return 0 if self.canonical is None else self._original - len(self.canonical)
+
+    _original: int = 0
+
+
+def canonicalize(device: Device, data: bytes, *,
+                 model: StreamModel | None = None,
+                 subject: str = "stream") -> CanonicalResult:
+    """Re-assemble a partial stream from its own effect.
+
+    The canonical form writes each frame exactly once with its final
+    content, in sorted linear order with runs merged, CRC-checked, with
+    the standard partial preamble/trailer (startup preserved).  A stream
+    produced by this package's assembler is already canonical, so
+    canonicalizing it is byte-identity; anything else — shadowed writes,
+    redundant duplicates, fragmented or unsorted runs — shrinks or
+    reorders, and the difference is what R003 reports.
+
+    Not applicable (no canonical form emitted) for streams that fail to
+    decode cleanly, write no frames, or program the option registers
+    (COR/MASK/CTL — a full-configuration preamble, out of scope for
+    partial canonicalization).
+    """
+    if model is None:
+        model = decode_stream(device, data, subject=subject)
+    result = CanonicalResult(subject=model.subject, applicable=True)
+    result._original = len(data)
+    if not model.decode_complete:
+        result.applicable = False
+        result.reasons.append("decode stopped early")
+    if any(f.effective_severity is Severity.ERROR for f in model.findings):
+        result.applicable = False
+        result.reasons.append("stream has blocking lint findings")
+    if model.option_writes:
+        result.applicable = False
+        result.reasons.append(
+            "programs option registers (full-configuration preamble)"
+        )
+    if not model.writes:
+        result.applicable = False
+        result.reasons.append("writes no frames")
+    if not result.applicable:
+        return result
+    effect = compute_effect(device, model)
+    fm = FrameMemory(device)
+    for index, payload in effect.final.items():
+        fm.set_frame(index, np.frombuffer(payload, dtype=">u4"))
+    result.canonical = partial_stream(
+        fm, sorted(effect.final), startup=effect.startup
+    )
+    result.changed = result.canonical != data
+    if result.changed:
+        if effect.shadowed:
+            result.reasons.append(
+                f"{len(effect.shadowed)} shadowed frame write(s)"
+            )
+        indices = [w.index for w in model.writes]
+        if indices != sorted(set(indices)):
+            result.reasons.append("frame writes out of order or duplicated")
+        if not result.reasons:
+            result.reasons.append("packaging differs from canonical form")
+    current_metrics().count("analyze.canonical.rebuilt")
+    return result
+
+
+def check_canonical(device: Device, data: bytes,
+                    model: StreamModel) -> list[Finding]:
+    """R003: flag streams that differ from their canonical form."""
+    result = canonicalize(device, data, model=model)
+    if not result.applicable or not result.changed:
+        return []
+    assert result.canonical is not None
+    delta = len(data) - len(result.canonical)
+    sign = "saving" if delta >= 0 else "growing"
+    return [Finding(
+        R003, model.subject,
+        f"stream is not canonical ({'; '.join(result.reasons)}); "
+        f"re-assembly {sign} {abs(delta)} byte(s)",
+    )]

@@ -94,6 +94,10 @@ class StreamModel:
     findings: list[Finding] = field(default_factory=list)
     writes: list[FrameWrite] = field(default_factory=list)
     commands: list[Command] = field(default_factory=list)
+    #: Writes to the option registers (COR/MASK/CTL), in stream order.
+    #: Partial streams never program these; their presence marks a
+    #: full-configuration preamble (the semantic analyses key off this).
+    option_writes: list[tuple[Register, int]] = field(default_factory=list)
     packets: int = 0
     crc_checks: int = 0
     synced: bool = False
@@ -250,6 +254,8 @@ class _Decoder:
                     f"IDCODE 0x{value:08x} does not match {self.device.name} "
                     f"(0x{self.device.part.idcode:08x})",
                 )
+        elif reg in (Register.COR, Register.MASK, Register.CTL):
+            self.model.option_writes.append((reg, value))
         elif reg is Register.CRC:
             if value != self.crc.value:
                 self.finding(

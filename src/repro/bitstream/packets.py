@@ -78,20 +78,25 @@ CRC_COVERED: frozenset[Register] = frozenset(
      Register.FLR, Register.MASK, Register.IDCODE}
 )
 
+#: Header layout (UG002): opcode field at bit 27, type-2 word counts
+#: occupy the low 27 bits.  Bit positions, not frame counts.
+_OP_SHIFT = 27                      # not-a-frame-count
+_TYPE2_COUNT_BITS = 27              # not-a-frame-count
+
 _TYPE1_COUNT_MAX = (1 << 11) - 1
-_TYPE2_COUNT_MAX = (1 << 27) - 1
+_TYPE2_COUNT_MAX = (1 << _TYPE2_COUNT_BITS) - 1
 
 
 def type1_header(op: Opcode, reg: Register, count: int) -> int:
     if not 0 <= count <= _TYPE1_COUNT_MAX:
         raise PacketError(f"type-1 word count {count} out of range")
-    return (0b001 << 29) | (int(op) << 27) | (int(reg) << 13) | count
+    return (0b001 << 29) | (int(op) << _OP_SHIFT) | (int(reg) << 13) | count
 
 
 def type2_header(op: Opcode, count: int) -> int:
     if not 0 <= count <= _TYPE2_COUNT_MAX:
         raise PacketError(f"type-2 word count {count} out of range")
-    return (0b010 << 29) | (int(op) << 27) | count
+    return (0b010 << 29) | (int(op) << _OP_SHIFT) | count
 
 
 def nop_word() -> int:
@@ -111,7 +116,7 @@ class Header:
 
 def decode_header(word: int) -> Header:
     ptype = (word >> 29) & 0x7
-    op_bits = (word >> 27) & 0x3
+    op_bits = (word >> _OP_SHIFT) & 0x3
     if op_bits == 0b11:
         raise PacketError(f"reserved opcode in header 0x{word:08x}")
     op = Opcode(op_bits)

@@ -1,0 +1,123 @@
+"""FAR-rewrite relocation of configuration streams (mechanism only).
+
+Relocating a partial bitstream to another column span needs exactly two
+byte-level edits: every FAR write naming a shifted column gets its major
+address remapped, and every CRC check word is recomputed (FAR writes are
+CRC-covered, so shifting an address changes the running CRC).  Everything
+else — packet headers, frame payloads, commands, padding — is preserved
+byte for byte, which is what makes the relocated stream byte-identical
+to regenerating the module at the target span.
+
+The *policy* — whether a stream may be retargeted at all — is the R001
+relocatability proof in :mod:`repro.analyze.relocate`; this module only
+performs the rewrite and assumes the caller proved it safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import utils
+from ..errors import BitstreamError, PacketError
+from .crc import ConfigCrc
+from .packets import (
+    CRC_COVERED,
+    SYNC_WORD,
+    Command,
+    Opcode,
+    Register,
+    decode_header,
+    far_decode,
+    far_encode,
+)
+
+
+def rewrite_far_majors(data: bytes, major_map: dict[int, int]) -> bytes:
+    """Rewrite FAR major addresses per ``major_map`` and fix the CRCs.
+
+    Walks the stream the way the device's config logic would (sync hunt,
+    type-1/type-2 packets, RCRC resets); FAR writes whose major appears in
+    ``major_map`` are re-encoded with the mapped major (minor untouched),
+    the running CRC is recomputed over the rewritten values, and each CRC
+    check word is replaced with the recomputed value.  All other words
+    pass through unchanged.
+
+    Raises :class:`BitstreamError` on streams this walk cannot follow
+    (malformed headers, truncated packets) — relocation must never guess.
+    """
+    trailing = len(data) % 4
+    if trailing:
+        raise BitstreamError(
+            f"cannot relocate: stream length {len(data)} is not word aligned"
+        )
+    words = [int(w) for w in utils.bytes_to_words(data)]
+    out = list(words)
+    crc = ConfigCrc()
+    synced = False
+    i, n = 0, len(words)
+    while i < n:
+        if not synced:
+            if words[i] == SYNC_WORD:
+                synced = True
+            i += 1
+            continue
+        try:
+            hdr = decode_header(words[i])
+        except PacketError as exc:
+            raise BitstreamError(f"cannot relocate: {exc}") from None
+        i += 1
+        count, reg = hdr.count, hdr.reg
+        if hdr.type == 2:
+            raise BitstreamError(
+                "cannot relocate: type-2 packet without a zero-count type-1"
+            )
+        if hdr.op is Opcode.NOP:
+            continue
+        if count == 0 and i < n:
+            try:
+                nxt = decode_header(words[i])
+            except PacketError:
+                nxt = None
+            if nxt is not None and nxt.type == 2:
+                i += 1
+                count = nxt.count
+        if hdr.op is Opcode.READ:
+            continue
+        assert reg is not None
+        if i + count > n:
+            raise BitstreamError(
+                f"cannot relocate: truncated packet ({count} words promised, "
+                f"{n - i} available)"
+            )
+        if reg is Register.FDRI:
+            # frame payloads pass through untouched; fold them into the
+            # running CRC in one vectorized update
+            crc.update_words(
+                int(reg), np.asarray(words[i:i + count], dtype=np.uint32)
+            )
+            i += count
+            continue
+        for j in range(i, i + count):
+            value = words[j]
+            if reg is Register.FAR:
+                major, minor = far_decode(value)
+                target = major_map.get(major)
+                if target is not None:
+                    value = far_encode(target, minor)
+                    out[j] = value
+            if reg is Register.CRC:
+                out[j] = crc.value
+                crc.reset()
+            elif reg in CRC_COVERED:
+                crc.update_word(int(reg), value)
+            if reg is Register.CMD:
+                try:
+                    cmd = Command(value)
+                except ValueError:
+                    cmd = None
+                if cmd is Command.RCRC:
+                    crc.reset()
+                elif cmd is Command.DESYNC:
+                    synced = False
+        i += count
+    return utils.words_to_bytes(np.asarray(out, dtype=np.uint32))

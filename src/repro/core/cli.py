@@ -43,6 +43,7 @@ from ..bitstream.bitfile import BitFile
 from ..bitstream.reader import parse_bitstream
 from ..devices import get_device, part_names
 from ..errors import (
+    BitfileError,
     QueueFullError,
     ReproError,
     ServiceUnavailableError,
@@ -60,6 +61,28 @@ EXIT_UNAVAILABLE = 3
 
 #: Backends with a sizable worker pool (--pool-size targets).
 _POOLED_BACKENDS = ("thread", "process", "warm")
+
+
+def _load_bitfile(path: str) -> BitFile:
+    """Load a .bit argument; corrupt files are usage errors (exit 2).
+
+    Missing/unreadable paths already exit 2 through the ``OSError``
+    handler in :func:`main`; this maps a file that exists but is not a
+    valid .bit (bad magic, truncated header) onto the same contract so a
+    bad input never reads as an operation failure.
+    """
+    try:
+        return BitFile.load(path)
+    except BitfileError as exc:
+        raise UsageError(f"{path}: {exc}") from None
+
+
+def _parse_region(text: str, what: str) -> RegionRect:
+    """Parse a SITE:SITE region argument; malformed values exit 2."""
+    try:
+        return RegionRect.from_ucf(text)
+    except ReproError as exc:
+        raise UsageError(f"{what} {text!r}: {exc}") from None
 
 
 def _resolve_backend(args):
@@ -114,7 +137,7 @@ def _cmd_generate(args) -> int:
     from ..ucf.parser import load_ucf
     from ..xdl.parser import load_xdl
 
-    base = BitFile.load(args.base)
+    base = _load_bitfile(args.base)
     base_design = None
     if args.base_ncd:
         from ..flow.ncd import NcdDesign
@@ -123,7 +146,7 @@ def _cmd_generate(args) -> int:
     jpg = Jpg(args.part, base, base_design=base_design)
     module = load_xdl(args.xdl)
     ucf = load_ucf(args.ucf) if args.ucf else None
-    region = RegionRect.from_ucf(args.region) if args.region else None
+    region = _parse_region(args.region, "--region") if args.region else None
     options = JpgOptions(
         granularity=Granularity(args.granularity),
         check_interface=base_design is not None,
@@ -167,7 +190,7 @@ def _cmd_batch(args) -> int:
         raise UsageError(f"{args.manifest}: manifest needs a non-empty 'modules' list")
     root = os.path.dirname(os.path.abspath(args.manifest))
 
-    base = BitFile.load(args.base)
+    base = _load_bitfile(args.base)
     base_design = None
     if args.base_ncd:
         from ..flow.ncd import NcdDesign
@@ -184,7 +207,8 @@ def _cmd_batch(args) -> int:
         if entry.get("ucf"):
             with open(os.path.join(root, entry["ucf"])) as f:
                 ucf = f.read()
-        region = RegionRect.from_ucf(entry["region"]) if entry.get("region") else None
+        region = (_parse_region(entry["region"], f"modules[{i}].region")
+                  if entry.get("region") else None)
         name = entry.get("name") or os.path.splitext(os.path.basename(entry["xdl"]))[0]
         options = JpgOptions(
             granularity=Granularity(args.granularity),
@@ -227,7 +251,7 @@ def _cmd_deploy(args) -> int:
     from ..jbits import SimulatedXhwif
     from ..runtime import Deployer, DeployItem, FaultPlan, RetryPolicy, ScrubPolicy
 
-    base = BitFile.load(args.base)
+    base = _load_bitfile(args.base)
     part = args.part or normalize_part_name(base.part_name)
     plan = None
     fault_args = (args.send_errors, args.readback_errors, args.corrupt,
@@ -252,7 +276,7 @@ def _cmd_deploy(args) -> int:
             f"truncate={args.truncate} seu={args.seu}"
         )
     board = Board(part, fault_plan=plan)
-    sanctioned = ([RegionRect.from_ucf(s) for s in args.sanction]
+    sanctioned = ([_parse_region(s, "--sanction") for s in args.sanction]
                   if args.sanction else None)
     deployer = Deployer(
         SimulatedXhwif(board),
@@ -266,7 +290,7 @@ def _cmd_deploy(args) -> int:
     for path in args.partials:
         import os
 
-        bf = BitFile.load(path)
+        bf = _load_bitfile(path)
         items.append(DeployItem(os.path.splitext(os.path.basename(path))[0],
                                 bf.config_bytes))
     report = deployer.run(items)
@@ -288,11 +312,11 @@ def _cmd_merge(args) -> int:
     from .merge import merge_partial_into_full, overwrite_base_bitfile
 
     if args.overwrite:
-        out = overwrite_base_bitfile(args.base, BitFile.load(args.partial).config_bytes)
+        out = overwrite_base_bitfile(args.base, _load_bitfile(args.partial).config_bytes)
         print(f"overwrote {args.base} ({utils.si_bytes(out.size)})")
         return 0
-    base = BitFile.load(args.base)
-    partial = BitFile.load(args.partial)
+    base = _load_bitfile(args.base)
+    partial = _load_bitfile(args.partial)
     from ..devices import normalize_part_name
 
     merged = merge_partial_into_full(
@@ -304,7 +328,7 @@ def _cmd_merge(args) -> int:
 
 
 def _cmd_inspect(args) -> int:
-    bf = BitFile.load(args.bitfile)
+    bf = _load_bitfile(args.bitfile)
     print(f"design : {bf.design_name}")
     print(f"part   : {bf.part_name}")
     print(f"date   : {bf.date} {bf.time}")
@@ -321,6 +345,41 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _cmd_relocate(args) -> int:
+    import os
+
+    from ..analyze import decode_stream, prove_relocatable, relocate
+    from ..devices import normalize_part_name
+
+    bf = _load_bitfile(args.bitfile)
+    part = args.part or normalize_part_name(bf.part_name)
+    device = get_device(part)
+    subject = os.path.splitext(os.path.basename(args.bitfile))[0]
+    model = decode_stream(device, bf.config_bytes, subject=subject)
+    proof = prove_relocatable(device, model)
+    if not proof.relocatable:
+        for reason in proof.reasons:
+            print(f"R001 {subject}: {reason}", file=sys.stderr)
+        print(f"error: {subject} is not relocatable", file=sys.stderr)
+        return EXIT_FAILURE
+    out = relocate(device, bf.config_bytes, args.to_column - 1,
+                   subject=subject, model=model, proof=proof)
+    BitFile(
+        design_name=bf.design_name,
+        part_name=bf.part_name,
+        config_bytes=out,
+    ).save(args.output)
+    first, last = proof.span or (0, 0)
+    width = last - first + 1
+    target = args.to_column
+    print(
+        f"relocated columns {first + 1}..{last + 1} -> "
+        f"{target}..{target + width - 1}; wrote {args.output} "
+        f"({utils.si_bytes(len(out))})"
+    )
+    return EXIT_OK
+
+
 def _cmd_floorplan(args) -> int:
     from .floorview import render_floorplan
 
@@ -330,7 +389,7 @@ def _cmd_floorplan(args) -> int:
         name, _, rng = spec.partition("=")
         if not rng:
             raise UsageError(f"--region wants NAME=SITE:SITE, got {spec!r}")
-        regions[name] = RegionRect.from_ucf(rng)
+        regions[name] = _parse_region(rng, "--region")
     print(render_floorplan(dev, regions))
     return 0
 
@@ -375,8 +434,8 @@ def _cmd_flow(args) -> int:
 
 
 def _cmd_diff(args) -> int:
-    a = BitFile.load(args.first)
-    b = BitFile.load(args.second)
+    a = _load_bitfile(args.first)
+    b = _load_bitfile(args.second)
     dev = get_device(a.part_name)
     if get_device(b.part_name) != dev:
         raise UsageError(
@@ -419,7 +478,7 @@ def _cmd_serve(args) -> int:
 
     if bool(args.socket) == bool(args.stdio):
         raise UsageError("serve needs exactly one of --socket PATH or --stdio")
-    base = BitFile.load(args.base)
+    base = _load_bitfile(args.base)
     base_design = None
     if args.base_ncd:
         from ..flow.ncd import NcdDesign
@@ -439,7 +498,7 @@ def _cmd_serve(args) -> int:
         max_cache_bytes=args.max_cache_bytes,
         xhwif=xhwif,
         lint=args.lint,
-        sanctioned=([RegionRect.from_ucf(s) for s in args.sanction]
+        sanctioned=([_parse_region(s, "--sanction") for s in args.sanction]
                     if args.sanction else None),
         backend=_resolve_backend(args),
     )
@@ -547,7 +606,7 @@ def _cmd_lint(args) -> int:
         data = None
         name = None
         if i < len(files):
-            bf = BitFile.load(files[i])
+            bf = _load_bitfile(files[i])
             data = bf.config_bytes
             name = os.path.splitext(os.path.basename(files[i]))[0]
             if part is None:
@@ -561,16 +620,19 @@ def _cmd_lint(args) -> int:
             if name is None:
                 name = os.path.splitext(os.path.basename(xdls[i]))[0]
         constraints = load_ucf(ucfs[i]).constraints if ucfs[i] else None
-        region = RegionRect.from_ucf(regions[i]) if regions[i] else None
+        region = _parse_region(regions[i], "--region") if regions[i] else None
         targets.append(LintTarget(
             name or f"target{i}", data=data, region=region,
             design=design, constraints=constraints,
         ))
-    golden = BitFile.load(args.golden).config_bytes if args.golden else None
-    sanctioned = ([RegionRect.from_ucf(s) for s in args.sanction]
+    golden = _load_bitfile(args.golden).config_bytes if args.golden else None
+    sanctioned = ([_parse_region(s, "--sanction") for s in args.sanction]
                   if args.sanction else None)
     engine = RuleEngine(part, conflicts=not args.no_conflicts,
-                        golden=golden, sanctioned=sanctioned)
+                        golden=golden, sanctioned=sanctioned,
+                        relocatable=args.relocatable,
+                        independence=args.independent,
+                        canonical=args.canonical)
     report = engine.run(targets)
     if args.readback:
         from ..analyze import check_readback_drift
@@ -583,7 +645,7 @@ def _cmd_lint(args) -> int:
             raise UsageError("--readback needs --golden BASE.bit to diff against")
         device = get_device(part) if isinstance(part, str) else part
         observed, _stats = parse_bitstream(
-            device, BitFile.load(args.readback).config_bytes
+            device, _load_bitfile(args.readback).config_bytes
         )
         golden_frames = engine.golden_frames(device)
         assert golden_frames is not None
@@ -606,7 +668,7 @@ def _cmd_parbit(args) -> int:
 
     with open(args.options) as f:
         options = f.read()
-    out = parbit(BitFile.load(args.base), options)
+    out = parbit(_load_bitfile(args.base), options)
     out.save(args.output)
     print(f"wrote {args.output} ({utils.si_bytes(out.size)})")
     return 0
@@ -741,6 +803,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=20, help="max runs to list")
     p.set_defaults(fn=_cmd_diff)
 
+    p = sub.add_parser("relocate", help="retarget a proven-relocatable partial "
+                                        "to another column (R001 + FAR rewrite)")
+    p.add_argument("bitfile", help="partial .bit to relocate")
+    p.add_argument("--to-column", type=int, required=True, metavar="N",
+                   help="1-based fabric column the partial's first written "
+                        "column moves to")
+    p.add_argument("-p", "--part", help="device (default: from the .bit header)")
+    p.add_argument("-o", "--output", required=True,
+                   help="write the relocated partial here")
+    p.set_defaults(fn=_cmd_relocate)
+
     p = sub.add_parser("serve", help="long-lived generation service on a unix "
                                      "socket (persistent cache, coalescing)")
     p.add_argument("-p", "--part", required=True)
@@ -829,6 +902,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit 1 on warnings too, not just errors")
     p.add_argument("--no-conflicts", action="store_true",
                    help="skip cross-partial conflict detection")
+    p.add_argument("--relocatable", action="store_true",
+                   help="require every target to prove column-shift "
+                        "invariance (R001)")
+    p.add_argument("--independent", action="store_true",
+                   help="require every pair of targets to prove a commuting "
+                        "effect (R002)")
+    p.add_argument("--canonical", action="store_true",
+                   help="flag streams that differ from their canonical "
+                        "re-assembly (R003)")
     p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser("parbit", help="PARBIT baseline: extract a region from a full .bit")

@@ -152,7 +152,7 @@ class Device:
         plus per-column command overhead); the exact number comes from the
         assembler, this is for quick capacity planning."""
         payload = self.geometry.config_payload_words()
-        overhead = 64 + 2 * len(self.geometry.columns)
+        overhead = 64 + 2 * len(self.geometry.columns)  # not-a-frame-count
         return 4 * (payload + overhead)
 
 

@@ -21,7 +21,7 @@ import random
 
 from .device import Device, get_device
 from .family import register_spec
-from .spec import CLB_FRAMES, GeometrySpec
+from .spec import BRAM_CONTENT_FRAMES, CLB_FRAMES, GeometrySpec
 
 #: Every BRAM edge arrangement a spec allows, including the empty one and
 #: the reversed major-address order.
@@ -31,7 +31,7 @@ _BRAM_ARRANGEMENTS: tuple[tuple[str, ...], ...] = (
 
 #: Content-frame counts that divide the 4096-bit block and fit the frame
 #: payload for any array height >= 4 (see GeometrySpec validation).
-_CONTENT_FRAME_CHOICES = (64, 128)
+_CONTENT_FRAME_CHOICES = (BRAM_CONTENT_FRAMES, 2 * BRAM_CONTENT_FRAMES)
 
 
 def random_spec(

@@ -319,6 +319,48 @@ class Geometry:
                 return major, index - base
         raise AssertionError("unreachable")
 
+    # ----- device-relative address algebra ----------------------------------
+
+    def clb_col_of_major(self, major: int) -> int | None:
+        """Fabric column of a CLB config column (None for other kinds)."""
+        return self.column(major).clb_col
+
+    def symbolic_address(self, index: int) -> tuple[str, int | str | None, int]:
+        """Device-relative address of a linear frame: ``(kind, position,
+        minor)``.
+
+        ``position`` is the 0-based fabric column for CLB columns, the
+        edge letter (``"L"``/``"R"``) for IOB and BRAM columns, and None
+        for the clock column.  Unlike the absolute FAR major, this key is
+        stable across devices of one spec family and is what the semantic
+        analyses (:mod:`repro.analyze.semantics`) compare.
+        """
+        major, minor = self.frame_address(index)
+        col = self.column(major)
+        if col.kind is ColumnKind.CLB:
+            position: int | str | None = col.clb_col
+        elif col.side is not None:
+            position = col.side.value
+        else:
+            position = None
+        return col.kind.value, position, minor
+
+    def shift_clb_major(self, major: int, delta: int) -> int:
+        """Major address of the CLB column ``delta`` fabric columns over.
+
+        Only CLB columns participate in the relocation algebra: every CLB
+        column of one device has the same frame count (the spec's
+        ``clb_frames``), so shifting the major leaves the minor untouched.
+        """
+        col = self.column(major)
+        if col.kind is not ColumnKind.CLB:
+            raise DeviceError(
+                f"major {major} is a {col.kind.value} column; only CLB "
+                f"columns can be shifted"
+            )
+        assert col.clb_col is not None
+        return self.major_of_clb_col(col.clb_col + delta)
+
     # ----- within-frame bit offsets ----------------------------------------
 
     def row_bit_offset(self, row: int) -> int:

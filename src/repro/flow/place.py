@@ -314,7 +314,7 @@ class Placer:
         # numpy coordinate mirrors are synced lazily: moves record dirty
         # component indices and the reduceat path flushes them on demand
         self._dirty: list[int] | None = []
-        self._dirty_cap = max(64, n)
+        self._dirty_cap = max(64, n)  # not-a-frame-count
 
     def _gather_plan(self, nets: np.ndarray) -> tuple:
         """Precomputed working set for evaluating a set of nets.

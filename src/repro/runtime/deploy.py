@@ -190,11 +190,13 @@ class Deployer:
         if gate is True:
             from ..analyze import PreDeployGate
 
-            # with a policy, arm the tamper rules against the pristine base
+            # with a policy, arm the tamper rules against the pristine base;
+            # multi-module deploys always get the R002 independence preflight
             gate = PreDeployGate(
                 device,
                 golden=self.golden.clone() if sanctioned is not None else None,
                 sanctioned=sanctioned,
+                independence=True,
             )
         self.gate = gate or None
         self.session = ReconfigSession(xhwif, policy=retry)

@@ -338,7 +338,7 @@ def parse_xdl(text: str) -> NcdDesign:
     return XdlParser(text).parse()
 
 
-_PARSE_CACHE_MAX = 64
+_PARSE_CACHE_MAX = 64  # not-a-frame-count
 _parse_cache: OrderedDict[str, NcdDesign] = OrderedDict()
 _parse_lock = threading.Lock()
 

@@ -1,0 +1,184 @@
+"""R001 relocatability: proofs, refutations, and the FAR-rewrite relocation.
+
+The positive cases are crafted JBits partials over a blank base: LUT
+truth tables live at row-determined bit positions inside a CLB frame, so
+the frame *content* of such a partial is column-shift invariant by
+construction, and relocating it must be byte-identical to regenerating
+the same module at the target columns (the differential check).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyze import (
+    check_relocatable,
+    decode_stream,
+    prove_relocatable,
+    relocate,
+)
+from repro.core.partial import clb_column_frames
+from repro.devices import get_device, random_device
+from repro.devices.geometry import Side
+from repro.errors import AnalysisError, UsageError
+from repro.jbits.api import JBits
+
+from ..conftest import FAMILY_PARTS
+
+RANDOM_SEEDS = tuple(range(100, 111))        # >= 10 seeded random devices
+
+
+def lut_partial(device, start_col: int, ncols: int = 2) -> bytes:
+    """A column-aligned partial writing LUTs into ``ncols`` CLB columns.
+
+    Content depends only on the row coordinate, so generating the same
+    module at a different ``start_col`` yields identical frame payloads —
+    the ground truth the relocation rewrite is checked against.
+    """
+    jb = JBits(device)
+    jb.blank()
+    cols = list(range(start_col, start_col + ncols))
+    top = min(5, device.rows - 1)
+    for i, c in enumerate(cols):
+        for r in range(1, top):
+            jb.set_lut(r, c, 0, "F", (0x137F * (i + 1) + r) & 0xFFFF)
+    jb.touch_frames(clb_column_frames(device, cols))
+    return jb.write_partial()
+
+
+def decode(device, data, subject="crafted"):
+    return decode_stream(device, data, subject=subject)
+
+
+class TestProof:
+    def test_crafted_partial_proves_relocatable(self, xcv50):
+        model = decode(xcv50, lut_partial(xcv50, 2))
+        proof = prove_relocatable(xcv50, model)
+        assert proof.relocatable
+        assert proof.columns == [2, 3]
+        assert proof.span == (2, 3)
+        # every start column where the 2-wide span fits, including home
+        assert proof.legal_targets == list(range(xcv50.geometry.cols - 1))
+        assert check_relocatable(xcv50, model) == []
+
+    def test_side_iob_write_is_pinned(self, xcv50):
+        jb = JBits(xcv50)
+        jb.blank()
+        site = next(s for s in xcv50.geometry.iob_sites if s.side is Side.LEFT)
+        jb.set_iob(site, 0, 1)
+        proof = prove_relocatable(xcv50, decode(xcv50, jb.write_partial()))
+        assert not proof.relocatable
+        assert any("position-pinned iob" in r for r in proof.reasons)
+
+    def test_gclk_write_is_pinned(self, xcv50):
+        jb = JBits(xcv50)
+        jb.blank()
+        jb.set_gclk(0, 1)
+        proof = prove_relocatable(xcv50, decode(xcv50, jb.write_partial()))
+        assert not proof.relocatable
+        assert any("clock" in r for r in proof.reasons)
+
+    def test_top_pad_bits_pin_a_clb_column(self, xcv50):
+        # top/bottom edge IOBs configure through the first/last 18-bit
+        # rows of the *CLB* frames -- content there refutes the proof
+        jb = JBits(xcv50)
+        jb.blank()
+        site = next(s for s in xcv50.geometry.iob_sites if s.side is Side.TOP)
+        jb.set_iob(site, 0, 1)
+        proof = prove_relocatable(xcv50, decode(xcv50, jb.write_partial()))
+        assert not proof.relocatable
+        assert any("top IOB pad bits" in r for r in proof.reasons)
+
+    def test_empty_stream_refuted(self, xcv50):
+        from repro.bitstream.assembler import partial_stream
+        from repro.bitstream.frames import FrameMemory
+
+        data = partial_stream(FrameMemory(xcv50), [0])
+        model = decode(xcv50, data)
+        model.writes.clear()        # simulate "no frame writes recovered"
+        proof = prove_relocatable(xcv50, model)
+        assert not proof.relocatable
+        assert any("writes no frames" in r for r in proof.reasons)
+
+    def test_flow_partials_are_not_relocatable(self, xcv50, demo_partials):
+        # real flow partials rewrite edge IOB columns (their region's pads)
+        for (region, version), partial in sorted(demo_partials.items()):
+            model = decode(xcv50, partial.data, subject=f"{region}-{version}")
+            findings = check_relocatable(xcv50, model)
+            assert len(findings) == 1
+            assert findings[0].rule.id == "R001"
+            assert "not relocatable" in findings[0].message
+
+
+class TestRelocate:
+    def test_rewrite_matches_regeneration(self, xcv50):
+        data = lut_partial(xcv50, 2)
+        moved = relocate(xcv50, data, 7)
+        assert moved == lut_partial(xcv50, 7)
+
+    def test_zero_delta_is_identity(self, xcv50):
+        data = lut_partial(xcv50, 2)
+        assert relocate(xcv50, data, 2) == data
+
+    def test_refuted_partial_raises_with_finding(self, xcv50):
+        jb = JBits(xcv50)
+        jb.blank()
+        jb.set_gclk(1, 1)
+        with pytest.raises(AnalysisError) as ei:
+            relocate(xcv50, jb.write_partial(), 3)
+        assert "R001" in str(ei.value)
+        assert ei.value.findings and ei.value.findings[0].rule.id == "R001"
+
+    def test_off_fabric_target_is_usage_error(self, xcv50):
+        data = lut_partial(xcv50, 2)
+        with pytest.raises(UsageError, match="legal start columns"):
+            relocate(xcv50, data, xcv50.geometry.cols - 1)
+
+    def test_relocated_stream_decodes_cleanly(self, xcv50):
+        moved = relocate(xcv50, lut_partial(xcv50, 0, ncols=3), 9)
+        from repro.analyze import Severity
+
+        model = decode(xcv50, moved)
+        assert model.decode_complete
+        assert not [f for f in model.findings
+                    if f.effective_severity is Severity.ERROR]
+        proof = prove_relocatable(xcv50, model)
+        assert proof.relocatable and proof.columns == [9, 10, 11]
+
+
+def pinned_partial(device) -> bytes:
+    """A partial that writes the clock column (seeded R001 positive)."""
+    jb = JBits(device)
+    jb.blank()
+    jb.set_gclk(0, 1)
+    return jb.write_partial()
+
+
+def differential_roundtrip(device):
+    """Zero-FP proof + byte-identical relocation + seeded refutation."""
+    data = lut_partial(device, 0)
+    model = decode(device, data)
+    proof = prove_relocatable(device, model)
+    assert proof.relocatable, proof.reasons        # zero false positives
+    target = device.geometry.cols - 2
+    moved = relocate(device, data, target, model=model, proof=proof)
+    assert moved == lut_partial(device, target)
+    # and the rule still fires on a genuinely pinned stream (positive)
+    refuted = check_relocatable(device, decode(device, pinned_partial(device)))
+    assert [f.rule.id for f in refuted] == ["R001"]
+
+
+@pytest.mark.families
+@pytest.mark.parametrize("part", FAMILY_PARTS)
+def test_differential_across_families(part):
+    """Relocation == regeneration on every declarative family variant."""
+    differential_roundtrip(get_device(part))
+
+
+@pytest.mark.parametrize("seed", RANDOM_SEEDS)
+def test_differential_on_random_devices(seed):
+    """The same invariants hold on seeded random geometries."""
+    device = random_device(seed)
+    if device.geometry.cols < 3:
+        pytest.skip("span does not fit twice")
+    differential_roundtrip(device)

@@ -1,0 +1,310 @@
+"""Semantic effects, R002 independence, and R003 canonicalization.
+
+The zero-false-positive sweeps pin the central invariant: every stream
+this package's own assembler emits is already canonical, and partials
+generated for different regions commute — across the catalog parts, the
+declarative family variants, and seeded random devices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analyze import (
+    LintTarget,
+    RuleEngine,
+    canonicalize,
+    check_canonical,
+    check_independence,
+    compute_effect,
+    decode_stream,
+    prove_independence,
+)
+from repro.bitstream.packets import Command, PacketWriter, Register, far_encode
+from repro.core.partial import clb_column_frames
+from repro.analyze import Severity
+from repro.devices import get_device
+from repro.jbits.api import JBits
+
+from ..conftest import FAMILY_PARTS, family_project, random_family_project
+
+CANONICAL_SEEDS = tuple(range(200, 211))     # >= 10 seeded random devices
+
+
+def column_partial(device, cols, *, value: int = 0x5A5A) -> bytes:
+    """A column-aligned assembler partial writing LUTs in ``cols``."""
+    jb = JBits(device)
+    jb.blank()
+    top = min(5, device.rows - 1)
+    for c in cols:
+        for r in range(1, top):
+            jb.set_lut(r, c, 0, "F", (value + r) & 0xFFFF)
+    jb.touch_frames(clb_column_frames(device, cols))
+    return jb.write_partial()
+
+
+def masked_fill(device, fill: int) -> np.ndarray:
+    """A frame payload filled with ``fill``, masked to real payload bits
+    (bits past ``frame_bits`` and the pad word are don't-care in the
+    device, so a canonical rebuild zeroes them)."""
+    from repro.bitstream.frames import FrameMemory
+
+    fm = FrameMemory(device)
+    fm.set_frame(0, np.full(device.geometry.frame_words, fill, dtype=np.uint32))
+    return fm.data[0].copy()
+
+
+def shadowed_stream(device, major: int = 1) -> bytes:
+    """A hand-packed partial writing the same frame twice (second wins)."""
+    g = device.geometry
+    w = PacketWriter()
+    w.dummy()
+    w.sync()
+    w.command(Command.RCRC)
+    w.write_reg(Register.IDCODE, device.part.idcode)
+    w.write_reg(Register.FLR, g.flr_value)
+    for fill in (0x11111111, 0x22222222):
+        w.write_reg(Register.FAR, far_encode(major, 0))
+        w.command(Command.WCFG)
+        w.write_fdri(masked_fill(device, fill))
+    w.write_crc_check()
+    w.command(Command.LFRM)
+    w.command(Command.DESYNC)
+    w.dummy(2)
+    return w.to_bytes()
+
+
+def effect_of(device, data, subject="stream"):
+    return compute_effect(device, decode_stream(device, data, subject=subject))
+
+
+class TestEffect:
+    def test_effect_recovers_final_contents(self, xcv50):
+        data = column_partial(xcv50, [2])
+        effect = effect_of(xcv50, data, "p")
+        g = xcv50.geometry
+        assert effect.deterministic and not effect.shadowed
+        assert effect.frames() == set(clb_column_frames(xcv50, [2]))
+        # symbolic keys carry the fabric column, not the FAR major
+        assert {a.kind for a in effect.symbolic} == {"clb"}
+        assert {a.position for a in effect.symbolic} == {2}
+        assert len(effect.symbolic) == g.columns[g.major_of_clb_col(2)].frames
+
+    def test_last_write_wins_and_shadowing_recorded(self, xcv50):
+        effect = effect_of(xcv50, shadowed_stream(xcv50), "dup")
+        g = xcv50.geometry
+        index = g.frame_index(1, 0)
+        assert effect.shadowed == [index]
+        words = np.frombuffer(effect.final[index], dtype=">u4")
+        assert words[0] == 0x22222222        # the second write won
+
+    def test_broken_stream_is_nondeterministic(self, xcv50):
+        data = column_partial(xcv50, [1])
+        effect = effect_of(xcv50, data[: len(data) - 12], "trunc")
+        assert not effect.deterministic
+
+
+class TestIndependence:
+    def test_disjoint_columns_are_independent(self, xcv50):
+        a = effect_of(xcv50, column_partial(xcv50, [1]), "a")
+        b = effect_of(xcv50, column_partial(xcv50, [5]), "b")
+        proof = prove_independence(a, b)
+        assert proof.independent and proof.disjoint and not proof.shared
+
+    def test_agreeing_overlap_commutes_but_not_disjoint(self, xcv50):
+        a = effect_of(xcv50, column_partial(xcv50, [1, 2]), "a")
+        b = effect_of(xcv50, column_partial(xcv50, [2, 3]), "b")
+        proof = prove_independence(a, b)
+        assert proof.independent and proof.commutes and not proof.disjoint
+        assert proof.shared == clb_column_frames(xcv50, [2])
+
+    def test_disagreeing_overlap_refuted(self, xcv50):
+        a = effect_of(xcv50, column_partial(xcv50, [2], value=0x1111), "a")
+        b = effect_of(xcv50, column_partial(xcv50, [2], value=0x7777), "b")
+        proof = prove_independence(a, b)
+        assert not proof.independent and proof.disagreements
+
+    def test_findings_error_on_disagreement(self, xcv50):
+        models = [
+            decode_stream(xcv50, column_partial(xcv50, [2], value=v), subject=s)
+            for s, v in (("a", 0x1111), ("b", 0x7777))
+        ]
+        findings = check_independence(xcv50, models)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.rule.id == "R002" and f.subject == "a+b"
+        assert "disagree" in f.message and f.effective_severity is Severity.ERROR
+
+    def test_findings_warn_on_identical_overlap(self, xcv50):
+        models = [
+            decode_stream(xcv50, column_partial(xcv50, cols), subject=s)
+            for s, cols in (("a", [1, 2]), ("b", [2, 3]))
+        ]
+        findings = check_independence(xcv50, models)
+        assert len(findings) == 1
+        assert findings[0].effective_severity is Severity.WARNING
+        assert "commute" in findings[0].message
+
+    def test_findings_error_when_unprovable(self, xcv50):
+        good = column_partial(xcv50, [1])
+        models = [
+            decode_stream(xcv50, good, subject="a"),
+            decode_stream(xcv50, good[:-12], subject="b"),
+        ]
+        findings = check_independence(xcv50, models)
+        assert any("unprovable" in f.message for f in findings)
+
+    def test_demo_partials_pairwise_clean(self, xcv50, demo_partials):
+        # distinct-region partials must never trip R002 (zero FP)
+        models = [
+            decode_stream(xcv50, demo_partials[("r1", "up")].data, subject="r1"),
+            decode_stream(xcv50, demo_partials[("r2", "left")].data, subject="r2"),
+        ]
+        errors = [f for f in check_independence(xcv50, models)
+                  if f.effective_severity is Severity.ERROR]
+        assert errors == []
+
+    def test_engine_wires_independence(self, xcv50, demo_partials):
+        engine = RuleEngine(xcv50, independence=True)
+        targets = [
+            LintTarget("r1", data=demo_partials[("r1", "up")].data),
+            LintTarget("r2", data=demo_partials[("r2", "left")].data),
+        ]
+        report = engine.run(targets)
+        assert not [f for f in report.findings if f.rule.id == "R002"
+                    and f.effective_severity is Severity.ERROR]
+
+
+class TestCanonical:
+    def test_assembler_partial_is_canonical(self, xcv50):
+        data = column_partial(xcv50, [3, 4])
+        result = canonicalize(xcv50, data, subject="p")
+        assert result.applicable and not result.changed
+        assert result.canonical == data        # byte identity
+
+    def test_shadowed_stream_minimizes(self, xcv50):
+        data = shadowed_stream(xcv50)
+        result = canonicalize(xcv50, data, subject="dup")
+        assert result.applicable and result.changed
+        assert any("shadowed" in r for r in result.reasons)
+        assert result.saved_bytes > 0
+        # the canonical form is a fixpoint
+        again = canonicalize(xcv50, result.canonical, subject="dup2")
+        assert not again.changed
+        # and preserves the effect
+        assert (effect_of(xcv50, result.canonical, "c").final
+                == effect_of(xcv50, data, "o").final)
+
+    def test_full_stream_is_out_of_scope(self, xcv50, demo_project):
+        data = demo_project.base_bitfile.config_bytes
+        result = canonicalize(xcv50, data, subject="base")
+        assert not result.applicable
+        assert any("option registers" in r for r in result.reasons)
+
+    def test_truncated_stream_is_out_of_scope(self, xcv50):
+        data = column_partial(xcv50, [1])
+        result = canonicalize(xcv50, data[:-12], subject="trunc")
+        assert not result.applicable
+
+    def test_finding_reports_delta(self, xcv50):
+        data = shadowed_stream(xcv50)
+        model = decode_stream(xcv50, data, subject="dup")
+        findings = check_canonical(xcv50, data, model)
+        assert len(findings) == 1
+        assert findings[0].rule.id == "R003"
+        assert "saving" in findings[0].message
+
+    def test_canonical_stream_yields_no_finding(self, xcv50):
+        data = column_partial(xcv50, [1])
+        model = decode_stream(xcv50, data, subject="p")
+        assert check_canonical(xcv50, data, model) == []
+
+    def test_demo_partials_all_canonical(self, xcv50, demo_partials):
+        for (region, version), partial in sorted(demo_partials.items()):
+            result = canonicalize(
+                xcv50, partial.data, subject=f"{region}-{version}"
+            )
+            assert result.applicable and not result.changed
+
+
+@pytest.mark.families
+@pytest.mark.parametrize("part", FAMILY_PARTS)
+def test_family_partials_canonical_and_independent(part):
+    """R002/R003 behave correctly on every declarative variant.
+
+    Generated partials are canonical (zero R003 FPs); two *versions of
+    the same region* disagree by construction (an R002 true positive),
+    while crafted disjoint-column partials never trip R002 (zero FPs).
+    """
+    project = family_project(part)
+    device = get_device(part)
+    partials = project.generate_all_partials()
+    models = []
+    for (region, version), partial in sorted(partials.items()):
+        subject = f"{region}-{version}"
+        result = canonicalize(device, partial.data, subject=subject)
+        assert result.applicable and not result.changed, result.reasons
+        models.append(decode_stream(device, partial.data, subject=subject))
+    # alternative versions of one region: deploy order must matter
+    findings = check_independence(device, models)
+    assert any(f.effective_severity is Severity.ERROR for f in findings)
+    # crafted partials on disjoint columns: provably independent
+    crafted = [
+        decode_stream(device, column_partial(device, [c]), subject=f"col{c}")
+        for c in (0, device.geometry.cols - 1)
+    ]
+    assert check_independence(device, crafted) == []
+
+
+@pytest.mark.families
+@pytest.mark.parametrize("part", FAMILY_PARTS)
+def test_family_seeded_shadow_detected(part):
+    """The R003 positive fires on every declarative variant."""
+    device = get_device(part)
+    result = canonicalize(device, shadowed_stream(device), subject="dup")
+    assert result.applicable and result.changed
+    assert any("shadowed" in r for r in result.reasons)
+
+
+@pytest.mark.families
+@pytest.mark.parametrize("seed", CANONICAL_SEEDS)
+def test_random_device_partials_canonical(seed):
+    """Assembler partials stay canonical on seeded random geometries."""
+    project = random_family_project(seed)
+    device = project.device
+    partials = project.generate_all_partials()
+    for (region, version), partial in sorted(partials.items()):
+        result = canonicalize(
+            device, partial.data, subject=f"{region}-{version}"
+        )
+        assert result.applicable and not result.changed, result.reasons
+
+
+@pytest.mark.families
+@pytest.mark.parametrize("seed", CANONICAL_SEEDS)
+def test_random_device_semantics_sweep(seed):
+    """R002/R003 positives and zero-FPs on seeded random geometries."""
+    from repro.devices import random_device
+
+    device = random_device(seed)
+    if device.geometry.cols < 2:
+        pytest.skip("needs two distinct columns")
+    last = device.geometry.cols - 1
+    # R002 zero FP: disjoint columns are independent
+    disjoint = [
+        decode_stream(device, column_partial(device, [c]), subject=f"col{c}")
+        for c in (0, last)
+    ]
+    assert check_independence(device, disjoint) == []
+    # R002 positive: same column, different LUT contents
+    clash = [
+        decode_stream(device, column_partial(device, [0], value=v), subject=s)
+        for s, v in (("a", 0x1111), ("b", 0x7777))
+    ]
+    findings = check_independence(device, clash)
+    assert [f.rule.id for f in findings] == ["R002"]
+    assert findings[0].effective_severity is Severity.ERROR
+    # R003 positive: a shadowed write is detected and minimized away
+    result = canonicalize(device, shadowed_stream(device), subject="dup")
+    assert result.applicable and result.changed

@@ -154,6 +154,56 @@ class TestSeededDefects:
         assert rules_of(model) == {"S013"}
 
 
+class TestTolerantDecodeEdges:
+    """Malformed streams must come back as findings, never exceptions."""
+
+    def test_truncated_header_promise_at_eof(self, xcv50):
+        # a type-1 write promising 4 words, then end-of-stream
+        w = PacketWriter()
+        w.dummy()
+        w.sync()
+        w.command(Command.RCRC)
+        w.raw((0b001 << 29) | (0b10 << 27) | (int(Register.COR) << 13) | 4)
+        model = decode_stream(xcv50, w.to_bytes())
+        assert "S012" in rules_of(model)
+        assert not model.decode_complete
+        assert model.writes == []
+
+    def test_unknown_register_write(self, xcv50):
+        # register id 20 exists in no Virtex: malformed header, decode
+        # stops with a finding rather than a raised PacketError
+        w = PacketWriter()
+        w.dummy()
+        w.sync()
+        w.command(Command.RCRC)
+        w.raw((0b001 << 29) | (0b10 << 27) | (20 << 13) | 1)
+        w.raw(0x12345678)
+        model = decode_stream(xcv50, w.to_bytes())
+        assert "S013" in rules_of(model)
+        assert model.writes == []
+
+    def test_zero_length_fdri_payload(self, xcv50):
+        # an FDRI burst of zero words configures nothing and is not an error
+        g = xcv50.geometry
+        w = PacketWriter()
+        w.dummy()
+        w.sync()
+        w.command(Command.RCRC)
+        w.write_reg(Register.IDCODE, xcv50.part.idcode)
+        w.write_reg(Register.FLR, g.flr_value)
+        w.write_reg(Register.FAR, far_encode(1, 0))
+        w.command(Command.WCFG)
+        w.write_fdri(np.zeros(0, dtype=np.uint32))
+        w.write_crc_check()
+        w.command(Command.LFRM)
+        w.command(Command.DESYNC)
+        w.dummy(2)
+        model = decode_stream(xcv50, w.to_bytes())
+        assert model.decode_complete
+        assert model.writes == []
+        assert not any(f.rule.id in ("S012", "S013") for f in model.findings)
+
+
 class TestShippedStreamsAreClean:
     """Zero false positives on everything the repo's own assembler emits."""
 

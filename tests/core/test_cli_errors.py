@@ -1,0 +1,200 @@
+"""CLI file-argument error paths: bad inputs exit 2 with one clean line.
+
+The contract (module docstring of :mod:`repro.core.cli`): missing,
+unreadable, or corrupt file arguments — positional .bit files,
+``--golden``, ``--readback``, batch manifests — and malformed region
+strings are *usage* errors (exit 2), never operation failures (exit 1)
+and never tracebacks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bitstream.bitfile import BitFile
+from repro.core.cli import main
+from repro.core.partial import clb_column_frames
+from repro.devices import get_device
+from repro.jbits.api import JBits
+
+
+@pytest.fixture(scope="module")
+def bits(tmp_path_factory):
+    """A valid partial .bit, a corrupt .bit, and a missing path."""
+    tmp = tmp_path_factory.mktemp("clierr")
+    device = get_device("XCV50")
+    jb = JBits(device)
+    jb.blank()
+    for r in range(1, 5):
+        jb.set_lut(r, 2, 0, "F", 0xBEEF)
+    jb.touch_frames(clb_column_frames(device, [2, 3]))
+    good = tmp / "good.bit"
+    BitFile(design_name="mod", part_name="v50bg256",
+            config_bytes=jb.write_partial()).save(str(good))
+    corrupt = tmp / "corrupt.bit"
+    corrupt.write_bytes(b"this is not a bitfile at all")
+    return {
+        "good": str(good),
+        "corrupt": str(corrupt),
+        "missing": str(tmp / "no-such-file.bit"),
+        "tmp": tmp,
+    }
+
+
+def assert_clean_usage_error(capsys, rc: int):
+    captured = capsys.readouterr()
+    assert rc == 2
+    err = captured.err
+    assert "Traceback" not in err and "Traceback" not in captured.out
+    assert err.startswith("error:")
+    assert len(err.strip().splitlines()) == 1
+    return err
+
+
+class TestBitfileArguments:
+    def test_inspect_missing_file(self, bits, capsys):
+        err = assert_clean_usage_error(capsys, main(["inspect", bits["missing"]]))
+        assert "no-such-file.bit" in err
+
+    def test_inspect_corrupt_file(self, bits, capsys):
+        err = assert_clean_usage_error(capsys, main(["inspect", bits["corrupt"]]))
+        assert "corrupt.bit" in err
+
+    def test_lint_corrupt_target(self, bits, capsys):
+        assert_clean_usage_error(
+            capsys, main(["lint", "-p", "XCV50", bits["corrupt"]])
+        )
+
+    def test_lint_corrupt_golden(self, bits, capsys):
+        err = assert_clean_usage_error(capsys, main(
+            ["lint", "-p", "XCV50", bits["good"], "--golden", bits["corrupt"]]
+        ))
+        assert "corrupt.bit" in err
+
+    def test_lint_missing_readback(self, bits, capsys):
+        assert_clean_usage_error(capsys, main(
+            ["lint", "-p", "XCV50", bits["good"],
+             "--golden", bits["good"], "--readback", bits["missing"]]
+        ))
+
+    def test_lint_corrupt_readback(self, bits, capsys):
+        assert_clean_usage_error(capsys, main(
+            ["lint", "-p", "XCV50", bits["good"],
+             "--golden", bits["good"], "--readback", bits["corrupt"]]
+        ))
+
+    def test_diff_corrupt_operand(self, bits, capsys):
+        assert_clean_usage_error(
+            capsys, main(["diff", bits["good"], bits["corrupt"]])
+        )
+
+    def test_merge_corrupt_partial(self, bits, capsys):
+        out = str(bits["tmp"] / "merged.bit")
+        assert_clean_usage_error(capsys, main(
+            ["merge", "--base", bits["good"],
+             "--partial", bits["corrupt"], "-o", out]
+        ))
+
+
+class TestRegionArguments:
+    def test_lint_malformed_sanction(self, bits, capsys):
+        err = assert_clean_usage_error(capsys, main(
+            ["lint", "-p", "XCV50", bits["good"], "--sanction", "NOTASITE"]
+        ))
+        assert "--sanction" in err and "NOTASITE" in err
+
+    def test_lint_malformed_region(self, bits, capsys):
+        err = assert_clean_usage_error(capsys, main(
+            ["lint", "-p", "XCV50", bits["good"], "--region", "CLB_R1C1:BOGUS"]
+        ))
+        assert "--region" in err
+
+
+class TestBatchManifest:
+    def test_manifest_is_directory(self, bits, capsys):
+        out = str(bits["tmp"] / "outdir")
+        rc = main(["batch", "-p", "XCV50", "--base", bits["good"],
+                   "--manifest", str(bits["tmp"]), "-o", out])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "Traceback" not in captured.err
+
+    def test_corrupt_base(self, bits, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        manifest.write_text('{"modules": [{"xdl": "x.xdl"}]}')
+        assert_clean_usage_error(capsys, main(
+            ["batch", "-p", "XCV50", "--base", bits["corrupt"],
+             "--manifest", str(manifest), "-o", str(tmp_path / "out")]
+        ))
+
+
+class TestRelocateCommand:
+    def test_relocate_roundtrip(self, bits, capsys):
+        out = str(bits["tmp"] / "moved.bit")
+        rc = main(["relocate", bits["good"], "--to-column", "8", "-o", out])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "relocated columns" in captured.out
+        moved = BitFile.load(out)
+        assert moved.part_name == "v50bg256"
+        # moved stream itself relocates back to the original bytes
+        back = str(bits["tmp"] / "back.bit")
+        assert main(["relocate", out, "--to-column", "3", "-o", back]) == 0
+        assert BitFile.load(back).config_bytes == \
+            BitFile.load(bits["good"]).config_bytes
+
+    def test_relocate_refused_cites_r001(self, tmp_path, capsys):
+        device = get_device("XCV50")
+        jb = JBits(device)
+        jb.blank()
+        jb.set_gclk(0, 1)
+        pinned = tmp_path / "pinned.bit"
+        BitFile(design_name="gclk", part_name="v50bg256",
+                config_bytes=jb.write_partial()).save(str(pinned))
+        rc = main(["relocate", str(pinned), "--to-column", "5",
+                   "-o", str(tmp_path / "x.bit")])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "R001" in captured.err and "not relocatable" in captured.err
+
+    def test_relocate_off_fabric_is_usage_error(self, bits, capsys):
+        err = assert_clean_usage_error(capsys, main(
+            ["relocate", bits["good"], "--to-column", "99",
+             "-o", str(bits["tmp"] / "x.bit")]
+        ))
+        assert "legal start columns" in err
+
+    def test_relocate_corrupt_input(self, bits, capsys):
+        assert_clean_usage_error(capsys, main(
+            ["relocate", bits["corrupt"], "--to-column", "2",
+             "-o", str(bits["tmp"] / "x.bit")]
+        ))
+
+
+class TestLintSemanticFlags:
+    def test_relocatable_flag_flags_flow_partial(self, bits, capsys):
+        # crafted LUT partial proves relocatable: no R001, exit 0
+        rc = main(["lint", "-p", "XCV50", bits["good"], "--relocatable"])
+        captured = capsys.readouterr()
+        assert rc == 0 and "R001" not in captured.out
+
+    def test_canonical_flag_quiet_on_assembler_output(self, bits, capsys):
+        rc = main(["lint", "-p", "XCV50", bits["good"], "--canonical"])
+        assert rc == 0
+        assert "R003" not in capsys.readouterr().out
+
+    def test_independent_flag_errors_on_conflict(self, bits, tmp_path, capsys):
+        device = get_device("XCV50")
+        jb = JBits(device)
+        jb.blank()
+        for r in range(1, 5):
+            jb.set_lut(r, 2, 0, "F", 0x0001)   # disagrees with good.bit
+        jb.touch_frames(clb_column_frames(device, [2, 3]))
+        other = tmp_path / "other.bit"
+        BitFile(design_name="other", part_name="v50bg256",
+                config_bytes=jb.write_partial()).save(str(other))
+        rc = main(["lint", "-p", "XCV50", bits["good"], str(other),
+                   "--independent", "--no-conflicts"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "R002" in out and "disagree" in out

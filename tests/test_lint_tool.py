@@ -1,0 +1,69 @@
+"""The repo linter's magic frame-count rule, unit-tested as a pure
+function, plus the end-to-end gate: the tree itself must be clean."""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "repo_lint", REPO_ROOT / "tools" / "lint.py"
+)
+assert _spec is not None and _spec.loader is not None
+repo_lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(repo_lint)
+
+
+def findings(source: str, rel: str = "src/repro/example.py") -> list[str]:
+    tree = ast.parse(source)
+    return repo_lint.check_frame_count_literals(
+        tree, source.splitlines(), rel
+    )
+
+
+class TestFrameCountRule:
+    def test_flags_every_magic_count(self):
+        for literal in (27, 48, 52, 54, 64):
+            out = findings(f"frames = {literal}\n")
+            assert len(out) == 1 and str(literal) in out[0], literal
+
+    def test_ignores_other_integers(self):
+        assert findings("x = 32\ny = 18\nz = 47\nw = 511\n") == []
+
+    def test_waiver_comment_suppresses(self):
+        assert findings("CACHE = 64  # not-a-frame-count\n") == []
+
+    def test_spec_catalog_is_exempt(self):
+        src = "CLB_FRAMES = 48\n"
+        assert findings(src, "src/repro/devices/spec.py") == []
+        assert findings(src, "src/repro/devices/data/gen.py") == []
+
+    def test_only_src_is_swept(self):
+        assert findings("n = 48\n", "tools/helper.py") == []
+        assert findings("n = 48\n", "benchmarks/bench.py") == []
+
+    def test_reports_line_numbers(self):
+        out = findings("a = 1\nb = 54\n")
+        assert len(out) == 1 and ":2:" in out[0]
+
+    def test_nested_expressions_are_caught(self):
+        out = findings("def f(x):\n    return [x] * (48 + 1)\n")
+        assert len(out) == 1
+
+
+def test_repo_lint_passes():
+    """The tree must satisfy its own linter (frame-count rule included)."""
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "lint.py")],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr or proc.stdout
+    assert "fallback OK" in proc.stdout

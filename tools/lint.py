@@ -11,7 +11,11 @@ Runs, in order:
    ships neither ruff nor mypy) still gets the highest-value checks:
    unused imports (F401-style), duplicate imports, and ``== None`` /
    ``!= None`` comparisons (E711-style) across ``src/``, ``tools/``, and
-   ``benchmarks/``.
+   ``benchmarks/``; plus a repo-specific rule flagging **magic
+   frame-count literals** (48/54/27/64/52) in ``src/`` — those numbers
+   are device geometry and must come from ``repro.devices.spec``
+   (suppress a deliberate non-geometry use with a ``not-a-frame-count``
+   line comment).
 
 Run from the repository root::
 
@@ -113,14 +117,59 @@ def _names_in_strings(tree: ast.Module) -> set[str]:
     return names
 
 
+#: Per-kind frame counts (and the XCVZ8 variant) from the device specs.
+#: Bare occurrences of these in src/ are almost always a hardcoded
+#: geometry assumption that breaks on other family members.
+FRAME_COUNT_LITERALS = frozenset({27, 48, 52, 54, 64})
+
+#: Only the spec catalog (and its data files) may spell these out.
+FRAME_COUNT_EXEMPT = ("src/repro/devices/spec.py", "src/repro/devices/data")
+
+#: Line-comment marker acknowledging a literal is not a frame count.
+FRAME_COUNT_WAIVER = "not-a-frame-count"
+
+
+def check_frame_count_literals(tree: ast.Module, lines: list[str],
+                               rel: str) -> list[str]:
+    """Flag magic frame-count literals outside the device-spec catalog.
+
+    Pure function over a parsed tree so the rule is unit-testable: the
+    caller decides which files are swept.  A literal on a line carrying a
+    ``not-a-frame-count`` comment is waived (e.g. a bit position or cache
+    size that coincides with a frame count).
+    """
+    posix = rel.replace("\\", "/")
+    if not posix.startswith("src/") or posix.startswith(FRAME_COUNT_EXEMPT):
+        return []
+    problems = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Constant) and type(node.value) is int):
+            continue
+        if node.value not in FRAME_COUNT_LITERALS:
+            continue
+        line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+        if FRAME_COUNT_WAIVER in line:
+            continue
+        problems.append(
+            f"{rel}:{node.lineno}: magic frame-count literal {node.value}: "
+            f"take it from the device spec (repro.devices.spec) or mark "
+            f"the line '# {FRAME_COUNT_WAIVER}'"
+        )
+    return problems
+
+
 def check_file(path: Path) -> list[str]:
     """Fallback findings for one source file."""
     problems: list[str] = []
     rel = path.relative_to(REPO_ROOT)
     try:
-        tree = ast.parse(path.read_text(encoding="utf-8"))
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source)
     except SyntaxError as exc:
         return [f"{rel}:{exc.lineno}: syntax error: {exc.msg}"]
+    problems.extend(
+        check_frame_count_literals(tree, source.splitlines(), str(rel))
+    )
 
     visitor = _ImportUse()
     visitor.visit(tree)
