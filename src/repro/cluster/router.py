@@ -1,0 +1,471 @@
+"""The cluster front end: consistent-hash routing with failover.
+
+:class:`Router` speaks the same JSON-lines protocol as
+:class:`~repro.serve.protocol.JpgServer` on its client side (``ping`` /
+``stats`` / ``submit`` / ``shutdown``), so ``jpg submit`` and the load
+generator talk to a router and a single node interchangeably.  Behind it,
+every ``submit`` is placed on the :class:`~repro.cluster.ring.HashRing`
+by ``(device, region footprint, request digest)`` and forwarded to the
+owning worker node over a persistent pipelined connection.
+
+Fault model:
+
+* **Health checking** — a per-node loop pings on an interval with a
+  deadline; a missed ping marks the node *down*: it leaves the ring
+  (keys re-hash onto the survivors) and its link is closed.  The loop
+  keeps probing, so a recovered node rejoins automatically.
+* **Request draining on node loss** — in-flight requests to a dying node
+  fail over, they are not lost: closing a link rejects every pending
+  future, and :meth:`Router._dispatch` re-resolves the owner on the
+  *updated* ring and resends.  Generation requests are idempotent
+  (content-addressed, single-flighted on the node), so the retry is safe
+  by construction — a replay through a mid-run node kill completes with
+  zero lost requests and identical bytes.
+* **Re-hash on membership change** — :meth:`add_node` /
+  :meth:`remove_node` (and down/up transitions) mutate the ring only;
+  moved keys land on nodes whose disk caches then self-warm via the
+  peer-fill tier (:mod:`repro.cluster.peers`).
+
+Metrics (``cluster.*`` on the router's registry): ``cluster.routed``,
+``cluster.retries``, ``cluster.node_down`` / ``cluster.node_up``,
+``cluster.no_nodes``, and a ``cluster.route`` latency histogram with
+p50/p95/p99 export.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import hashlib
+import json
+import signal
+import time
+from collections.abc import Mapping
+
+from ..errors import ServeError
+from ..flow.floorplan import RegionRect
+from ..obs import Metrics
+from ..serve.diskcache import region_tag
+from ..serve.protocol import _encode
+from .ring import HashRing, request_key
+
+
+class NodeDownError(ServeError):
+    """A worker link died with requests in flight (they will fail over)."""
+
+
+class NodeLink:
+    """One persistent pipelined connection to a worker node.
+
+    Requests get link-local ids; a reader task matches responses back to
+    their futures, so many router clients share one upstream socket.
+    Any transport error rejects every pending future with
+    :class:`NodeDownError` — the router's dispatch loop then fails the
+    requests over to the re-hashed owner.
+    """
+
+    def __init__(self, name: str, address: str):
+        self.name = name
+        self.address = address
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._pump: asyncio.Task | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._conn_lock = asyncio.Lock()
+
+    @property
+    def connected(self) -> bool:
+        """True while the link has a live (unpumped-out) connection."""
+        return self._writer is not None
+
+    async def _connect(self) -> None:
+        async with self._conn_lock:
+            if self._writer is not None:
+                return
+            host, _, port = self.address.rpartition(":")
+            if port.isdigit() and "/" not in self.address:
+                reader, writer = await asyncio.open_connection(
+                    host or "127.0.0.1", int(port)
+                )
+            else:
+                reader, writer = await asyncio.open_unix_connection(self.address)
+            self._reader, self._writer = reader, writer
+            self._pump = asyncio.get_running_loop().create_task(self._pump_loop())
+
+    async def _pump_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    resp = json.loads(line)
+                except ValueError:
+                    continue
+                future = self._pending.pop(resp.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(resp)
+        except (OSError, asyncio.CancelledError):
+            pass
+        finally:
+            self._fail_pending()
+
+    def _fail_pending(self) -> None:
+        self._writer = None
+        self._reader = None
+        pending, self._pending = dict(self._pending), {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(
+                    NodeDownError(f"node {self.name} ({self.address}) went away")
+                )
+
+    async def request(self, msg: dict, *, timeout: float) -> dict:
+        """Send one op and await its id-matched response (raises
+        :class:`NodeDownError` / ``TimeoutError`` / ``OSError`` on loss)."""
+        await self._connect()
+        assert self._writer is not None
+        self._next_id += 1
+        rid = self._next_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        try:
+            self._writer.write(_encode({**msg, "id": rid}))
+            await self._writer.drain()
+            return await asyncio.wait_for(future, timeout)
+        finally:
+            self._pending.pop(rid, None)
+
+    async def ping(self, *, timeout: float) -> None:
+        """One liveness probe (raises on any failure)."""
+        resp = await self.request({"op": "ping"}, timeout=timeout)
+        if not resp.get("ok"):
+            raise NodeDownError(f"node {self.name} failed ping: {resp}")
+
+    async def close(self) -> None:
+        """Tear the connection down, rejecting anything in flight."""
+        pump, self._pump = self._pump, None
+        writer, self._writer = self._writer, None
+        self._fail_pending()
+        if writer is not None:
+            with contextlib.suppress(Exception):
+                writer.close()
+        if pump is not None:
+            pump.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await pump
+
+
+class Router:
+    """Consistent-hash front end over N worker nodes (one asyncio loop)."""
+
+    def __init__(
+        self,
+        nodes: Mapping[str, str],
+        *,
+        part: str = "",
+        metrics: Metrics | None = None,
+        ping_interval: float = 1.0,
+        ping_timeout: float = 5.0,
+        request_timeout: float = 300.0,
+        stop_nodes: bool = False,
+    ):
+        """``nodes`` maps stable node names to dial addresses
+        (``host:port`` or unix paths).  ``part`` joins the routing key so
+        multi-device fleets shard per device.  ``stop_nodes`` makes the
+        router's ``shutdown`` op also drain and stop every worker."""
+        if not nodes:
+            raise ServeError("a router needs at least one node")
+        self.part = part
+        self.metrics = metrics if metrics is not None else Metrics(keep_events=False)
+        self.ping_interval = ping_interval
+        self.ping_timeout = ping_timeout
+        self.request_timeout = request_timeout
+        self.stop_nodes = stop_nodes
+        self.links = {name: NodeLink(name, addr) for name, addr in nodes.items()}
+        self.ring = HashRing(self.links)
+        self._down: set[str] = set()
+        self._health_tasks: list[asyncio.Task] = []
+        self._shutdown = asyncio.Event()
+        self._stopping = False
+        #: Bound ``(host, port)`` once :meth:`serve_tcp` is listening.
+        self.tcp_address: tuple[str, int] | None = None
+        #: The serving loop, once running — membership mutations from
+        #: other threads go through ``loop.call_soon_threadsafe``.
+        self.loop: asyncio.AbstractEventLoop | None = None
+
+    # -- membership -----------------------------------------------------------
+
+    @property
+    def up_nodes(self) -> frozenset[str]:
+        """Names currently in the ring (health-checked members)."""
+        return self.ring.nodes
+
+    def add_node(self, name: str, address: str) -> None:
+        """Join a node at runtime (keys re-hash; peers self-warm)."""
+        self.links.setdefault(name, NodeLink(name, address)).address = address
+        self._down.discard(name)
+        self.ring.add(name)
+        self.metrics.count("cluster.node_up")
+        self._watch(name)
+
+    def remove_node(self, name: str) -> None:
+        """Remove a node from routing (its link drains via failover)."""
+        self.ring.remove(name)
+        self._down.discard(name)
+        link = self.links.pop(name, None)
+        if link is not None:
+            asyncio.get_running_loop().create_task(link.close())
+
+    def _mark_down(self, name: str) -> None:
+        if name not in self.ring or name in self._down:
+            return
+        self._down.add(name)
+        self.ring.remove(name)
+        self.metrics.count("cluster.node_down")
+        link = self.links.get(name)
+        if link is not None:
+            asyncio.get_running_loop().create_task(link.close())
+
+    def _mark_up(self, name: str) -> None:
+        if name not in self._down:
+            return
+        self._down.discard(name)
+        self.ring.add(name)
+        self.metrics.count("cluster.node_up")
+
+    def _watch(self, name: str) -> None:
+        task = asyncio.get_running_loop().create_task(self._health_loop(name))
+        self._health_tasks.append(task)
+
+    async def _health_loop(self, name: str) -> None:
+        """Ping one node forever: down on a missed deadline, back up on
+        the next success (recovered nodes rejoin automatically)."""
+        while not self._shutdown.is_set():
+            link = self.links.get(name)
+            if link is None:
+                return
+            try:
+                await link.ping(timeout=self.ping_timeout)
+            except Exception:
+                self._mark_down(name)
+            else:
+                self._mark_up(name)
+            await asyncio.sleep(self.ping_interval)
+
+    # -- dispatch -------------------------------------------------------------
+
+    def routing_key(self, msg: dict) -> str:
+        """The ring key of one submit message (device, region, digest).
+
+        Mirrors :meth:`~repro.serve.service.GenRequest.digest` and the
+        disk cache's region tag byte-for-byte, so the router, the owning
+        node's disk cache, and every node's peer-fill probe all agree on
+        placement without coordination.  An unparsable region still
+        routes (the node answers bad-request)."""
+        region = msg.get("region")
+        if region is None:
+            tag = "none"
+        else:
+            try:
+                tag = region_tag(RegionRect.from_ucf(str(region)))
+            except Exception:
+                tag = "unparsed"
+        canonical = json.dumps(
+            {
+                "name": str(msg.get("name") or "module"),
+                "xdl": msg.get("xdl"),
+                "ucf": msg.get("ucf"),
+                "region": msg.get("region"),
+                "granularity": str(msg.get("granularity", "column")),
+            },
+            sort_keys=True,
+        )
+        digest = hashlib.sha256(canonical.encode()).hexdigest()
+        return request_key(self.part, tag, digest)
+
+    async def _dispatch(self, msg: dict) -> dict:
+        """Forward one op to the key's owner, failing over on node loss.
+
+        Every transport failure marks the node down, re-resolves the
+        owner on the updated ring, and resends — an accepted request is
+        answered unless the whole fleet is gone."""
+        client_id = msg.get("id")
+        key = self.routing_key(msg)
+        body = {k: v for k, v in msg.items() if k != "id"}
+        start = time.perf_counter()
+        attempts = len(self.links) + 2
+        for _ in range(attempts):
+            try:
+                name = self.ring.owner(key)
+            except ServeError:
+                break
+            link = self.links.get(name)
+            if link is None:
+                self.ring.remove(name)
+                continue
+            try:
+                resp = await link.request(body, timeout=self.request_timeout)
+            except (NodeDownError, OSError, asyncio.TimeoutError, ValueError):
+                self._mark_down(name)
+                self.metrics.count("cluster.retries")
+                continue
+            resp["id"] = client_id
+            resp.setdefault("node", name)
+            self.metrics.count("cluster.routed")
+            self.metrics.record("cluster.route", time.perf_counter() - start)
+            return resp
+        self.metrics.count("cluster.no_nodes")
+        return {"id": client_id, "ok": False, "code": "no-nodes",
+                "error": "no worker node is reachable for this request"}
+
+    async def _stats_reply(self, rid) -> dict:
+        """Aggregate router + per-node stats (down nodes reported, not
+        awaited)."""
+        nodes: dict[str, dict] = {}
+
+        async def probe(name: str, link: NodeLink) -> None:
+            entry: dict = {"address": link.address, "up": name in self.ring}
+            if name in self.ring:
+                try:
+                    resp = await link.request({"op": "stats"}, timeout=self.ping_timeout)
+                    entry["pending"] = resp.get("pending")
+                    entry["stats"] = resp.get("stats")
+                except Exception:
+                    entry["up"] = False
+            nodes[name] = entry
+
+        await asyncio.gather(*(probe(n, l) for n, l in self.links.items()))
+        snap = self.metrics.snapshot()
+        return {
+            "id": rid, "ok": True, "router": True,
+            "nodes": nodes,
+            "counters": {k: v for k, v in sorted(snap["counters"].items())
+                         if k.startswith("cluster.")},
+            "latency": {
+                name: {k: (round(1e3 * v, 3) if k != "count" else v)
+                       for k, v in row.items()}
+                for name, row in self.metrics.latency_summary("cluster.").items()
+            },
+        }
+
+    # -- client-facing server -------------------------------------------------
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful stop (signal-handler safe, idempotent)."""
+        if self._stopping:
+            return
+        self._stopping = True
+        asyncio.get_running_loop().create_task(self._stop())
+
+    async def _stop(self) -> None:
+        if self.stop_nodes:
+            async def stop_node(link: NodeLink) -> None:
+                with contextlib.suppress(Exception):
+                    await link.request({"op": "shutdown"}, timeout=self.request_timeout)
+
+            await asyncio.gather(*(stop_node(l) for l in self.links.values()))
+        self._shutdown.set()
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        wlock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+
+        async def send(obj: dict) -> None:
+            async with wlock:
+                writer.write(_encode(obj))
+                with contextlib.suppress(ConnectionError):
+                    await writer.drain()
+
+        async def forward(msg: dict) -> None:
+            await send(await self._dispatch(msg))
+
+        try:
+            while not self._shutdown.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    msg = json.loads(line)
+                    if not isinstance(msg, dict):
+                        raise ValueError("message is not an object")
+                except ValueError as exc:
+                    await send({"id": None, "ok": False, "code": "bad-request",
+                                "error": f"malformed request line: {exc}"})
+                    continue
+                op = msg.get("op")
+                if op in ("submit", "fetch"):
+                    task = asyncio.get_running_loop().create_task(forward(msg))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+                elif op == "ping":
+                    await send({"id": msg.get("id"), "ok": True, "op": "pong",
+                                "router": True})
+                elif op == "stats":
+                    await send(await self._stats_reply(msg.get("id")))
+                elif op == "shutdown":
+                    if tasks:
+                        await asyncio.wait(set(tasks))
+                    await send({"id": msg.get("id"), "ok": True})
+                    self.request_shutdown()
+                    break
+                else:
+                    await send({"id": msg.get("id"), "ok": False,
+                                "code": "bad-request",
+                                "error": f"unknown op {op!r}"})
+            if tasks:
+                await asyncio.wait(set(tasks))
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0, *,
+                        handle_signals: bool = False) -> None:
+        """Listen for clients on TCP until shutdown (``port=0`` binds an
+        ephemeral port, published as :attr:`tcp_address`)."""
+        server = await asyncio.start_server(self._handle, host=host, port=port)
+        sockname = server.sockets[0].getsockname()
+        self.tcp_address = (sockname[0], sockname[1])
+        await self._serve(server, handle_signals=handle_signals)
+
+    async def serve_unix(self, path: str, *, handle_signals: bool = False) -> None:
+        """Listen for clients on a unix socket until shutdown."""
+        server = await asyncio.start_unix_server(self._handle, path=path)
+        await self._serve(server, handle_signals=handle_signals)
+
+    async def _serve(self, server: asyncio.AbstractServer, *,
+                     handle_signals: bool) -> None:
+        loop = asyncio.get_running_loop()
+        self.loop = loop
+        installed = False
+        if handle_signals:
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signal.SIGTERM, self.request_shutdown)
+                installed = True
+        for name in self.links:
+            self._watch(name)
+        try:
+            await self._shutdown.wait()
+        finally:
+            if installed:
+                with contextlib.suppress(NotImplementedError, RuntimeError):
+                    loop.remove_signal_handler(signal.SIGTERM)
+            server.close()
+            await server.wait_closed()
+            await self.aclose()
+
+    async def aclose(self) -> None:
+        """Cancel health loops and close every node link (idempotent)."""
+        self._shutdown.set()
+        for task in self._health_tasks:
+            task.cancel()
+        for task in self._health_tasks:
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._health_tasks.clear()
+        await asyncio.gather(*(link.close() for link in self.links.values()))

@@ -12,7 +12,10 @@ helpers::
     jpg floorplan XCV100 --region r1=CLB_R1C3:CLB_R16C12   ASCII Figure 3
     jpg parbit --base b.bit --options o.txt -o out.bit     the baseline
     jpg serve -p XCV100 --base b.bit --socket /tmp/jpg.sock --cache-dir .jpgcache
+    jpg serve -p XCV100 --base b.bit --tcp 0.0.0.0:4100 --cache-dir .jpgcache
     jpg submit --socket /tmp/jpg.sock --xdl m.xdl --ucf m.ucf -o out.bit
+    jpg cluster --spawn 3 -p XCV100 --base b.bit --listen 127.0.0.1:4000
+    jpg loadgen --workload demo -n 1000 --nodes 3 --out BENCH_10.json
 
 ``jpg batch`` is the Figure-4 workflow: a JSON manifest lists N module
 versions (xdl/ucf/region each) and the engine generates all their partials
@@ -473,11 +476,15 @@ def _cmd_diff(args) -> int:
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import os
 
-    from ..serve import GenerationService, JpgServer
+    from ..serve import GenerationService, JpgServer, parse_address
 
-    if bool(args.socket) == bool(args.stdio):
-        raise UsageError("serve needs exactly one of --socket PATH or --stdio")
+    chosen = sum(1 for flag in (args.socket, args.stdio, args.tcp) if flag)
+    if chosen != 1:
+        raise UsageError(
+            "serve needs exactly one of --socket PATH, --tcp HOST:PORT, or --stdio"
+        )
     base = _load_bitfile(args.base)
     base_design = None
     if args.base_ncd:
@@ -490,6 +497,16 @@ def _cmd_serve(args) -> int:
         from ..jbits import SimulatedXhwif
 
         xhwif = SimulatedXhwif(Board(args.part))
+    peer_fetch = None
+    if args.peers_file:
+        if not args.node_id:
+            raise UsageError("--peers-file needs --node-id NAME (this node's "
+                             "name in the fleet file)")
+        from ..cluster import Membership, PeerFiller
+
+        peer_fetch = PeerFiller(
+            Membership(path=args.peers_file), args.node_id, part=args.part
+        )
     service = GenerationService(
         args.part,
         base,
@@ -501,15 +518,145 @@ def _cmd_serve(args) -> int:
         sanctioned=([_parse_region(s, "--sanction") for s in args.sanction]
                     if args.sanction else None),
         backend=_resolve_backend(args),
+        peer_fetch=peer_fetch,
     )
     server = JpgServer(service, max_queue=args.max_queue, workers=args.workers)
-    if args.stdio:
-        asyncio.run(server.serve_stdio())
-    else:
-        print(f"jpg serve: {args.part}, listening on {args.socket}", file=sys.stderr)
-        asyncio.run(server.serve_unix(args.socket))
+
+    async def _serve_tcp() -> None:
+        # publish the bound (possibly ephemeral) port once the listener
+        # is up — this is how a spawned fleet learns its own membership
+        host, port = parse_address(args.tcp)
+        task = asyncio.ensure_future(
+            server.serve_tcp(host, port, handle_signals=True)
+        )
+        while server.tcp_address is None and not task.done():
+            await asyncio.sleep(0.01)
+        if server.tcp_address is not None:
+            bound = server.tcp_address
+            print(f"jpg serve: {args.part}, listening on {bound[0]}:{bound[1]}",
+                  file=sys.stderr)
+            if args.port_file:
+                tmp = args.port_file + ".tmp"
+                with open(tmp, "w", encoding="utf-8") as f:
+                    f.write(str(bound[1]))
+                os.replace(tmp, args.port_file)
+        await task
+
+    try:
+        if args.stdio:
+            asyncio.run(server.serve_stdio())
+        elif args.tcp:
+            asyncio.run(_serve_tcp())
+        else:
+            print(f"jpg serve: {args.part}, listening on {args.socket}",
+                  file=sys.stderr)
+            asyncio.run(server.serve_unix(args.socket, handle_signals=True))
+    finally:
+        if peer_fetch is not None:
+            peer_fetch.close()
     print("jpg serve: drained and stopped", file=sys.stderr)
     return EXIT_OK
+
+
+def _cmd_cluster(args) -> int:
+    import asyncio
+    import os
+
+    from ..cluster import LocalFleet, Router
+    from ..serve import parse_address
+
+    nodes: dict[str, str] = {}
+    for spec in args.node or []:
+        name, _, addr = spec.partition("=")
+        if not addr:
+            raise UsageError(f"--node wants NAME=HOST:PORT, got {spec!r}")
+        nodes[name] = addr
+    if args.peers_file:
+        import json
+
+        with open(args.peers_file, encoding="utf-8") as f:
+            nodes.update({str(k): str(v)
+                          for k, v in json.load(f).get("nodes", {}).items()})
+    fleet = None
+    if args.spawn:
+        if not (args.part and args.base):
+            raise UsageError("cluster --spawn needs -p PART and --base FILE")
+        fleet = LocalFleet(args.part, args.base, nodes=args.spawn,
+                           workdir=args.workdir)
+        nodes.update(fleet.start())
+        print(f"jpg cluster: spawned {args.spawn} worker(s): "
+              + ", ".join(f"{n}={a}" for n, a in sorted(fleet.addresses.items())),
+              file=sys.stderr)
+    if not nodes:
+        raise UsageError("cluster needs worker nodes: --node NAME=ADDR, "
+                         "--peers-file FILE, or --spawn N")
+    router = Router(nodes, part=args.part or "",
+                    stop_nodes=args.stop_nodes or fleet is not None)
+
+    async def _front() -> None:
+        if args.socket:
+            print(f"jpg cluster: routing {len(nodes)} node(s) on {args.socket}",
+                  file=sys.stderr)
+            await router.serve_unix(args.socket, handle_signals=True)
+            return
+        host, port = parse_address(args.listen)
+        task = asyncio.ensure_future(
+            router.serve_tcp(host, port, handle_signals=True)
+        )
+        while router.tcp_address is None and not task.done():
+            await asyncio.sleep(0.01)
+        if router.tcp_address is not None:
+            bound = router.tcp_address
+            print(f"jpg cluster: routing {len(nodes)} node(s) on "
+                  f"{bound[0]}:{bound[1]}", file=sys.stderr)
+            if args.port_file:
+                tmp = args.port_file + ".tmp"
+                with open(tmp, "w", encoding="utf-8") as f:
+                    f.write(f"{bound[1]}\n")
+                os.replace(tmp, args.port_file)
+        await task
+
+    try:
+        asyncio.run(_front())
+    finally:
+        if fleet is not None:
+            fleet.stop()
+    print("jpg cluster: stopped", file=sys.stderr)
+    return EXIT_OK
+
+
+def _cmd_loadgen(args) -> int:
+    import json
+
+    from ..cluster import loadgen
+
+    if args.target:
+        wl = loadgen.build_workload(args.workload, keys=args.keys, seed=3)
+        sequence = loadgen.zipf_sequence(
+            len(wl.keys), args.requests, skew=args.skew, seed=args.seed
+        )
+        stats = loadgen.replay(args.target, wl.keys, sequence,
+                               target=args.target, concurrency=args.concurrency)
+        report = {
+            "workload": args.workload, "cluster": True, "part": wl.part,
+            "keys": args.keys, "requests": args.requests,
+            "concurrency": args.concurrency, "nodes": 0, "skew": args.skew,
+            "results": [stats.to_entry()],
+            "verify": loadgen.verify_keys(wl, stats),
+        }
+    else:
+        report = loadgen.run_harness(
+            workload=args.workload, keys=args.keys, requests=args.requests,
+            concurrency=args.concurrency, nodes=args.nodes, skew=args.skew,
+            seed=args.seed, single_node=not args.no_single,
+            progress=lambda msg: print(f"jpg loadgen: {msg}", file=sys.stderr),
+        )
+    print(loadgen.report_table(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    return EXIT_OK if report["verify"].get("ok") else EXIT_FAILURE
 
 
 def _cmd_submit(args) -> int:
@@ -523,7 +670,14 @@ def _cmd_submit(args) -> int:
         if args.stats:
             import json
 
-            print(json.dumps(client.stats()["stats"], indent=2, sort_keys=True))
+            resp = client.stats()
+            # a single node wraps its stats; a router replies with the
+            # aggregated fleet view at the top level
+            body = resp.get("stats")
+            if body is None:
+                body = {k: v for k, v in resp.items()
+                        if k not in ("id", "op", "ok")}
+            print(json.dumps(body, indent=2, sort_keys=True))
             return EXIT_OK
         if not args.xdl:
             raise UsageError("submit needs --xdl (or --stats / --shutdown)")
@@ -815,11 +969,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_relocate)
 
     p = sub.add_parser("serve", help="long-lived generation service on a unix "
-                                     "socket (persistent cache, coalescing)")
+                                     "socket or TCP port (persistent cache, "
+                                     "coalescing)")
     p.add_argument("-p", "--part", required=True)
     p.add_argument("--base", required=True, help="base design .bit file")
     p.add_argument("--base-ncd", help="base design .ncd (enables interface checks)")
     p.add_argument("--socket", help="unix socket path to listen on")
+    p.add_argument("--tcp", metavar="HOST:PORT",
+                   help="TCP address to listen on instead of a unix socket "
+                        "(port 0 binds an ephemeral port)")
+    p.add_argument("--port-file", metavar="FILE",
+                   help="write the bound TCP port here once listening "
+                        "(fleet bootstrap with --tcp HOST:0)")
+    p.add_argument("--peers-file", metavar="FILE",
+                   help='fleet membership JSON ({"nodes": {name: addr}}); '
+                        "arms peer fill: disk misses ask the key's owning "
+                        "peer before generating (re-read on change)")
+    p.add_argument("--node-id", metavar="NAME",
+                   help="this node's name in the fleet file (required with "
+                        "--peers-file)")
     p.add_argument("--stdio", action="store_true",
                    help="serve one client over stdin/stdout instead of a socket")
     p.add_argument("--cache-dir",
@@ -854,9 +1022,61 @@ def build_parser() -> argparse.ArgumentParser:
                         "inside these regions (T001/T002 vs the base)")
     p.set_defaults(fn=_cmd_serve)
 
+    p = sub.add_parser("cluster", help="front a fleet of jpg serve nodes with "
+                                       "a consistent-hash router")
+    p.add_argument("--listen", metavar="HOST:PORT", default="127.0.0.1:0",
+                   help="TCP address clients connect to (default ephemeral "
+                        "on loopback)")
+    p.add_argument("--socket", help="listen on a unix socket instead of TCP")
+    p.add_argument("--port-file", metavar="FILE",
+                   help="write the bound TCP port here once listening "
+                        "(atomic; for scripted bootstrap)")
+    p.add_argument("--node", action="append", metavar="NAME=HOST:PORT",
+                   help="one worker node (repeat per node)")
+    p.add_argument("--peers-file", metavar="FILE",
+                   help="load worker nodes from a fleet membership JSON")
+    p.add_argument("--spawn", type=int, metavar="N",
+                   help="spawn N loopback worker processes (needs -p and "
+                        "--base), wired for peer fill")
+    p.add_argument("-p", "--part", help="device part (required with --spawn; "
+                                        "also shards routing per device)")
+    p.add_argument("--base", help="base design .bit file for spawned workers")
+    p.add_argument("--workdir", help="fleet working directory for --spawn "
+                                     "(port files, fleet file, caches)")
+    p.add_argument("--stop-nodes", action="store_true",
+                   help="a client 'shutdown' also drains and stops every "
+                        "worker node (implied with --spawn)")
+    p.set_defaults(fn=_cmd_cluster)
+
+    p = sub.add_parser("loadgen", help="fleet-scale load harness: zipf-skewed "
+                                       "replay, latency quantiles, per-tier "
+                                       "hit ratios, byte-identity check")
+    p.add_argument("--workload", choices=["demo", "fig4"], default="demo")
+    p.add_argument("--keys", type=int, default=32,
+                   help="distinct request keys (default 32)")
+    p.add_argument("-n", "--requests", type=int, default=1000,
+                   help="requests per pass (default 1000)")
+    p.add_argument("-c", "--concurrency", type=int, default=4,
+                   help="client threads (default 4)")
+    p.add_argument("--nodes", type=int, default=3,
+                   help="fleet size for the cluster target (default 3)")
+    p.add_argument("--skew", type=float, default=1.1,
+                   help="zipf skew exponent (default 1.1)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-single", action="store_true",
+                   help="skip the single-node baseline target")
+    p.add_argument("--target", metavar="ADDR",
+                   help="replay against this running endpoint instead of "
+                        "spawning a fleet (host:port or socket path)")
+    p.add_argument("--out", metavar="FILE",
+                   help="also write the JSON report here")
+    p.set_defaults(fn=_cmd_loadgen)
+
     p = sub.add_parser("submit", help="submit one generation request to a "
                                       "running jpg serve")
-    p.add_argument("--socket", required=True, help="unix socket of the server")
+    p.add_argument("--socket", required=True,
+                   help="server address: unix socket path or HOST:PORT "
+                        "(a single node or a cluster router)")
     p.add_argument("--xdl", help="module implementation .xdl")
     p.add_argument("--ucf", help="constraints .ucf (provides the region)")
     p.add_argument("--region", help="explicit region SITE:SITE (overrides UCF)")

@@ -14,6 +14,7 @@ from .metrics import (
     GaugeStats,
     Metrics,
     NullMetrics,
+    ReservoirHistogram,
     Sink,
     StageEvent,
     TimerStats,
@@ -23,7 +24,7 @@ from .metrics import (
 )
 
 __all__ = [
-    "NULL_METRICS", "GaugeStats", "Metrics", "NullMetrics", "Sink",
-    "StageEvent", "TimerStats", "current_metrics", "recording_sink",
-    "use_metrics",
+    "NULL_METRICS", "GaugeStats", "Metrics", "NullMetrics",
+    "ReservoirHistogram", "Sink", "StageEvent", "TimerStats",
+    "current_metrics", "recording_sink", "use_metrics",
 ]

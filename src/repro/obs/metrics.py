@@ -29,9 +29,10 @@ unless ``keep_events=False``.
 from __future__ import annotations
 
 import contextlib
+import random
 import threading
 import time
-from collections.abc import Callable, Iterator, Mapping
+from collections.abc import Callable, Iterable, Iterator, Mapping
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 
@@ -89,6 +90,96 @@ class GaugeStats:
         self.updates += 1
 
 
+class ReservoirHistogram:
+    """Bounded-memory value distribution with quantile export.
+
+    Timers (:class:`TimerStats`) only keep totals and extremes, which is
+    useless for tail latency: a p99 needs the *distribution*.  This class
+    keeps a uniform random sample of at most ``capacity`` observations
+    (Vitter's Algorithm R), so memory stays constant however many values
+    stream through, while ``count``/``min``/``max``/``total`` stay exact.
+    Quantiles are computed over the reservoir with linear interpolation —
+    exact below ``capacity`` observations, a tight estimate above.
+
+    The seeded private RNG keeps replacement deterministic for a given
+    observation sequence (reproducible reports).  Instances are *not*
+    internally locked; :class:`Metrics` serializes access under its own
+    registry lock.
+    """
+
+    __slots__ = ("capacity", "count", "min", "max", "total", "_samples", "_rng")
+
+    def __init__(self, capacity: int = 512, *, seed: int = 0):
+        self.capacity = capacity
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.total = 0.0
+        self._samples: list[float] = []
+        self._rng = random.Random(seed)
+
+    def record(self, value: float) -> None:
+        """Observe one value (reservoir-sampled past ``capacity``)."""
+        self.count += 1
+        self.total += value
+        self.min = value if value < self.min else self.min
+        self.max = value if value > self.max else self.max
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                self._samples[slot] = value
+
+    @property
+    def mean(self) -> float:
+        """Exact arithmetic mean of every observation."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) of the sampled distribution (0.0 when
+        empty); ``quantile(0.5)`` is the median, ``quantile(0.99)`` the p99."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        pos = min(max(q, 0.0), 1.0) * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def quantiles(self, qs: Iterable[float] = (0.5, 0.95, 0.99)) -> dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` for the given fractions."""
+        return {f"p{round(100 * q) if q < 1 else 100}": self.quantile(q) for q in qs}
+
+    def samples(self) -> list[float]:
+        """A copy of the current reservoir (for snapshots and merging)."""
+        return list(self._samples)
+
+    def absorb(self, count: int, samples: Iterable[float], *,
+               total: float | None = None, min_value: float | None = None,
+               max_value: float | None = None) -> None:
+        """Fold another reservoir's snapshot into this one.
+
+        The exact aggregates (``count``/``total``/``min``/``max``) add
+        exactly when the caller passes them; the merged reservoir is a
+        seeded uniform downsample of both sample sets — an approximation
+        of the pooled distribution, the accepted trade for bounded memory.
+        """
+        incoming = list(samples)
+        self.count += count
+        self.total += sum(incoming) if total is None else total
+        for value in incoming if min_value is None else (min_value, max_value):
+            self.min = value if value < self.min else self.min
+            self.max = value if value > self.max else self.max
+        pool = self._samples + incoming
+        if len(pool) > self.capacity:
+            pool = self._rng.sample(pool, self.capacity)
+        self._samples = pool
+
+
 class Metrics:
     """Thread-safe registry of counters, timers, gauges, and stage events."""
 
@@ -99,6 +190,7 @@ class Metrics:
         self.counters: dict[str, int] = {}
         self.timers: dict[str, TimerStats] = {}
         self.gauges: dict[str, GaugeStats] = {}
+        self.histograms: dict[str, ReservoirHistogram] = {}
         self.events: list[StageEvent] = []
 
     # -- counters -------------------------------------------------------------
@@ -126,13 +218,42 @@ class Metrics:
             g = self.gauges.get(name)
             return g.last if g is not None else 0.0
 
+    # -- histograms -----------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed one value into histogram ``name`` (latency, sizes, depths)
+        for later quantile export — independent of any timer."""
+        with self._lock:
+            self.histograms.setdefault(name, ReservoirHistogram()).record(value)
+
+    def quantile(self, name: str, q: float) -> float:
+        """The ``q``-quantile of histogram ``name`` (0.0 if never observed)."""
+        with self._lock:
+            h = self.histograms.get(name)
+            return h.quantile(q) if h is not None else 0.0
+
+    def latency_summary(self, prefix: str = "") -> dict[str, dict[str, float]]:
+        """``{name: {count, mean, p50, p95, p99, max}}`` for every histogram
+        whose name starts with ``prefix`` — the quantile view ``stats``
+        endpoints export."""
+        with self._lock:
+            items = [(k, h) for k, h in sorted(self.histograms.items())
+                     if k.startswith(prefix)]
+            return {
+                k: {"count": h.count, "mean": h.mean, **h.quantiles(),
+                    "max": h.max if h.count else 0.0}
+                for k, h in items
+            }
+
     # -- timers / stages ------------------------------------------------------
 
     def record(self, stage: str, seconds: float, **detail: object) -> None:
-        """Record a completed stage: updates the timer and emits an event."""
+        """Record a completed stage: updates the timer, feeds the stage's
+        latency histogram (p50/p95/p99 export), and emits an event."""
         event = StageEvent(stage, seconds, detail)
         with self._lock:
             self.timers.setdefault(stage, TimerStats()).record(seconds)
+            self.histograms.setdefault(stage, ReservoirHistogram()).record(seconds)
             if self.keep_events:
                 self.events.append(event)
             sink = self.sink
@@ -162,6 +283,7 @@ class Metrics:
         counters = snapshot.get("counters", {})
         timers = snapshot.get("timers", {})
         gauges = snapshot.get("gauges", {})
+        histograms = snapshot.get("histograms", {})
         with self._lock:
             for name, n in counters.items():
                 self.counters[name] = self.counters.get(name, 0) + n
@@ -177,6 +299,11 @@ class Metrics:
                 mine.min = min(mine.min, g["min"])
                 mine.max = max(mine.max, g["max"])
                 mine.updates += g["updates"]
+            for name, h in histograms.items():
+                mine = self.histograms.setdefault(name, ReservoirHistogram())
+                mine.absorb(h["count"], h.get("samples", ()),
+                            total=h.get("total"), min_value=h.get("min"),
+                            max_value=h.get("max"))
 
     # -- reporting -----------------------------------------------------------
 
@@ -194,6 +321,11 @@ class Metrics:
                     k: {"last": g.last, "min": g.min, "max": g.max,
                         "updates": g.updates}
                     for k, g in self.gauges.items()
+                },
+                "histograms": {
+                    k: {"count": h.count, "total": h.total, "min": h.min,
+                        "max": h.max, "samples": h.samples(), **h.quantiles()}
+                    for k, h in self.histograms.items()
                 },
             }
 
@@ -215,6 +347,9 @@ class NullMetrics(Metrics):
         pass
 
     def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
         pass
 
     def record(self, stage: str, seconds: float, **detail: object) -> None:

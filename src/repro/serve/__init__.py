@@ -18,7 +18,7 @@ See ``docs/API.md`` ("Generation service") for the full contract.
 """
 
 from .diskcache import DiskCache, DiskCacheStats, PersistentFrameCache, region_tag
-from .protocol import JpgServer, ServeClient, decode_partial
+from .protocol import JpgServer, ServeClient, decode_partial, parse_address
 from .scheduler import Scheduler
 from .service import GenerationService, GenRequest, ServeResult
 
@@ -33,5 +33,6 @@ __all__ = [
     "ServeClient",
     "ServeResult",
     "decode_partial",
+    "parse_address",
     "region_tag",
 ]

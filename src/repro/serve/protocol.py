@@ -16,6 +16,13 @@ One request or response per line, UTF-8 JSON.  Ops:
 ``{"op": "shutdown", "id": 4}``
     → ``{"id": 4, "ok": true}`` after the scheduler drains; the server
     then stops accepting connections.
+``{"op": "fetch", "id": 5, "base": <base key>, "region": <region tag>,
+"digest": <module digest>}``
+    → ``{"id": 5, "ok": true, "found": true, "data": <base64>}`` when the
+    node's disk cache holds the key, ``{"id": 5, "ok": true, "found":
+    false}`` otherwise.  This is the cluster peer-fill op
+    (:mod:`repro.cluster`): strictly cache-to-cache, it never triggers a
+    generation on the answering node.
 
 Submits are pipelined: a client may send many on one connection without
 waiting; responses carry the request's ``id`` and arrive in completion
@@ -23,9 +30,17 @@ order.  Identical concurrent submits — same XDL/UCF/region/granularity
 against the same base — coalesce onto one generation (see
 :mod:`repro.serve.scheduler`).
 
-The server listens on a unix socket (``jpg serve --socket PATH``) or on
-stdin/stdout (``--stdio``, one client);
-:class:`ServeClient` is the blocking client the ``jpg submit`` CLI uses.
+The server listens on a unix socket (``jpg serve --socket PATH``), a TCP
+host:port (``--tcp HOST:PORT`` — the cluster transport; port 0 binds an
+ephemeral port, published via ``JpgServer.tcp_address``), or stdin/stdout
+(``--stdio``, one client).  :class:`ServeClient` is the blocking client
+the ``jpg submit`` CLI uses; it dials either transport
+(:func:`parse_address` decides which form an address string is).
+
+Lifecycle: a stale unix-socket file (left by a killed server) is removed
+on startup instead of failing the bind, and with ``handle_signals=True``
+a ``SIGTERM`` triggers a graceful drain — in-flight requests finish and
+get their responses before the scheduler closes.
 """
 
 from __future__ import annotations
@@ -34,12 +49,15 @@ import asyncio
 import base64
 import contextlib
 import json
+import os
+import signal
 import socket
 import sys
 
 from ..errors import (
     QueueFullError,
     ReproError,
+    ServeError,
     ServiceUnavailableError,
     UsageError,
 )
@@ -49,6 +67,22 @@ from .service import GenerationService, GenRequest
 
 def _encode(obj: dict) -> bytes:
     return json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+
+
+def parse_address(address: str | tuple) -> tuple[str, int] | str:
+    """Classify a dial/listen address: ``(host, port)`` for TCP, a path
+    string for unix sockets.
+
+    ``"host:1234"`` (a numeric port, no path separator) is TCP —
+    ``"127.0.0.1:0"`` and ``":0"`` bind an ephemeral loopback port;
+    anything else is a unix-socket path.
+    """
+    if isinstance(address, tuple):
+        return (str(address[0]), int(address[1]))
+    host, sep, port = address.rpartition(":")
+    if sep and port.isdigit() and os.sep not in address:
+        return (host or "127.0.0.1", int(port))
+    return address
 
 
 class JpgServer:
@@ -64,23 +98,95 @@ class JpgServer:
         self.service = service
         self.scheduler = Scheduler(service, max_queue=max_queue, workers=workers)
         self._shutdown = asyncio.Event()
+        self._stopping = False
+        #: Bound ``(host, port)`` once :meth:`serve_tcp` is listening.
+        self.tcp_address: tuple[str, int] | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain-then-stop from the event-loop thread.
+
+        Safe as an ``add_signal_handler`` callback: intake stops, every
+        in-flight request finishes and is answered, then the listeners
+        close.  Idempotent."""
+        if self._stopping:
+            return
+        self._stopping = True
+        asyncio.get_running_loop().create_task(self._drain_and_stop())
+
+    async def _drain_and_stop(self) -> None:
+        await self.scheduler.drain()
+        self._shutdown.set()
+
+    @staticmethod
+    def _remove_stale_socket(path: str) -> None:
+        """Unlink a socket file no live server answers on.
+
+        A server killed without cleanup (kill -9, OOM) leaves its socket
+        file behind and a naive rebind fails with ``EADDRINUSE``.  Probe
+        it: a live listener means the address is genuinely taken
+        (:class:`~repro.errors.ServeError`); a dead one is removed."""
+        if not os.path.exists(path):
+            return
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        probe.settimeout(1.0)
+        try:
+            probe.connect(path)
+        except OSError:
+            with contextlib.suppress(OSError):
+                os.unlink(path)
+        else:
+            raise ServeError(f"{path} already has a live server listening")
+        finally:
+            probe.close()
 
     # -- transports -----------------------------------------------------------
 
-    async def serve_unix(self, path: str) -> None:
-        """Listen on a unix socket until a ``shutdown`` op arrives."""
+    async def serve_unix(self, path: str, *, handle_signals: bool = False) -> None:
+        """Listen on a unix socket until a ``shutdown`` op (or, with
+        ``handle_signals``, a SIGTERM) arrives; stale socket files from a
+        killed predecessor are removed instead of failing the bind."""
+        self._remove_stale_socket(path)
         server = await asyncio.start_unix_server(self._handle, path=path)
+
+        def cleanup() -> None:
+            with contextlib.suppress(OSError):
+                os.unlink(path)
+
+        await self._serve(server, handle_signals=handle_signals, cleanup=cleanup)
+
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0, *,
+                        handle_signals: bool = False) -> None:
+        """Listen on TCP ``host:port`` (the cluster transport) until a
+        ``shutdown`` op or SIGTERM; ``port=0`` binds an ephemeral port,
+        published as :attr:`tcp_address` before the first connection."""
+        server = await asyncio.start_server(self._handle, host=host, port=port)
+        sockname = server.sockets[0].getsockname()
+        self.tcp_address = (sockname[0], sockname[1])
+        await self._serve(server, handle_signals=handle_signals)
+
+    async def _serve(self, server: asyncio.AbstractServer, *,
+                     handle_signals: bool, cleanup=None) -> None:
+        """Run one listener until shutdown, then tear everything down."""
+        loop = asyncio.get_running_loop()
+        installed = False
+        if handle_signals:
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signal.SIGTERM, self.request_shutdown)
+                installed = True
         try:
             await self._shutdown.wait()
         finally:
+            if installed:
+                with contextlib.suppress(NotImplementedError, RuntimeError):
+                    loop.remove_signal_handler(signal.SIGTERM)
             server.close()
             await server.wait_closed()
             await self.scheduler.aclose()
             self._close_service()
-            with contextlib.suppress(OSError):
-                import os
-
-                os.unlink(path)
+            if cleanup is not None:
+                cleanup()
 
     async def serve_stdio(self) -> None:
         """Serve one client over stdin/stdout (stdout stays protocol-only)."""
@@ -137,6 +243,8 @@ class JpgServer:
                 elif op == "ping":
                     await self._send(writer, wlock,
                                      {"id": msg.get("id"), "ok": True, "op": "pong"})
+                elif op == "fetch":
+                    await self._send(writer, wlock, self._fetch_reply(msg))
                 elif op == "stats":
                     await self._send(writer, wlock, {
                         "id": msg.get("id"), "ok": True,
@@ -205,6 +313,25 @@ class JpgServer:
             "data": base64.b64encode(result.data).decode(),
         })
 
+    def _fetch_reply(self, msg: dict) -> dict:
+        """Answer a peer-fill ``fetch`` op from the local disk cache.
+
+        Tolerates service doubles without ``fetch_partial`` (always a
+        miss), so the op is safe against any node."""
+        rid = msg.get("id")
+        base = msg.get("base")
+        tag = msg.get("region")
+        digest = msg.get("digest")
+        if not all(isinstance(v, str) and v for v in (base, tag, digest)):
+            return {"id": rid, "ok": False, "code": "bad-request",
+                    "error": "fetch needs string 'base', 'region', 'digest'"}
+        fetch = getattr(self.service, "fetch_partial", None)
+        data = fetch(base, tag, digest) if fetch is not None else None
+        if data is None:
+            return {"id": rid, "ok": True, "found": False}
+        return {"id": rid, "ok": True, "found": True,
+                "data": base64.b64encode(data).decode()}
+
     @staticmethod
     def _parse_submit(msg: dict) -> GenRequest:
         xdl = msg.get("xdl")
@@ -234,17 +361,29 @@ class JpgServer:
 
 
 class ServeClient:
-    """Blocking JSON-lines client over a unix socket (``jpg submit``)."""
+    """Blocking JSON-lines client over a unix socket or TCP (``jpg
+    submit``, the cluster router, and peer-fill fetches all dial this).
 
-    def __init__(self, socket_path: str, *, timeout: float = 300.0):
-        self.socket_path = socket_path
+    ``address`` is either a unix-socket path, a ``"host:port"`` string,
+    or a ``(host, port)`` tuple (see :func:`parse_address`).
+    """
+
+    def __init__(self, address: str | tuple, *, timeout: float = 300.0):
+        parsed = parse_address(address)
+        self.address = (f"{parsed[0]}:{parsed[1]}"
+                        if isinstance(parsed, tuple) else parsed)
+        #: Back-compat alias (the pre-TCP attribute name).
+        self.socket_path = self.address
         try:
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
-            self._sock.connect(socket_path)
+            if isinstance(parsed, tuple):
+                self._sock = socket.create_connection(parsed, timeout=timeout)
+            else:
+                self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                self._sock.settimeout(timeout)
+                self._sock.connect(parsed)
         except OSError as exc:
             raise ServiceUnavailableError(
-                f"cannot reach jpg serve at {socket_path}: {exc}"
+                f"cannot reach jpg serve at {self.address}: {exc}"
             ) from exc
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
@@ -299,6 +438,19 @@ class ServeClient:
     def shutdown(self) -> dict:
         """Ask the server to drain and exit (the ``shutdown`` op)."""
         return self.request({"op": "shutdown"})
+
+    def fetch(self, base_key: str, region_tag: str, digest: str) -> bytes | None:
+        """Peer-fill fetch: the node's cached bytes for a key, or None.
+
+        Strictly cache-to-cache — a miss on the peer never triggers a
+        generation there (the ``fetch`` op contract)."""
+        resp = self.request({
+            "op": "fetch", "base": base_key, "region": region_tag,
+            "digest": digest,
+        })
+        if not resp.get("ok") or not resp.get("found"):
+            return None
+        return base64.b64decode(resp["data"])
 
     def submit(
         self,

@@ -102,7 +102,7 @@ class ServeResult:
     request: GenRequest
     data: bytes | None
     seconds: float
-    source: str                       # "generated" | "disk"
+    source: str                       # "generated" | "disk" | "peer"
     frames: int = 0
     error: str | None = None
     deployed: bool = False
@@ -135,6 +135,7 @@ class GenerationService:
         lint: bool = False,
         sanctioned: list[RegionRect] | None = None,
         backend: str | Backend = "thread",
+        peer_fetch=None,
     ):
         """``backend`` picks how generations execute (see
         :mod:`repro.exec`): ``"thread"`` runs them inline on the
@@ -142,7 +143,14 @@ class GenerationService:
         worker processes over a shared-memory base.  ``sanctioned``
         (with ``lint``) arms the gate's tamper rules: served partials
         must stay inside the policy regions and must not edit routing
-        relative to the service's own base configuration."""
+        relative to the service's own base configuration.
+
+        ``peer_fetch`` is the cluster's two-tier cache seam: a callable
+        ``(base_key, region_tag, digest) -> bytes | None`` tried after a
+        local disk miss and *before* generating.  Bytes it returns are
+        stored into the local disk cache (warming tier 1) and served with
+        ``source="peer"``; ``None`` falls through to generation.  See
+        :mod:`repro.cluster`."""
         self.metrics = metrics if metrics is not None else Metrics(keep_events=False)
         self.disk: DiskCache | None = (
             DiskCache(cache_dir, max_bytes=max_cache_bytes) if cache_dir else None
@@ -161,6 +169,7 @@ class GenerationService:
         self.base_design = base_design
         #: content key of the base configuration every request generates against
         self.base_key = fingerprint(self.engine.base_frames)
+        self.peer_fetch = peer_fetch
         self._session = (
             ReconfigSession(xhwif, policy=retry) if xhwif is not None else None
         )
@@ -212,6 +221,15 @@ class GenerationService:
                     if self._lint_ok(result):
                         self._maybe_deploy(result)
                     return result
+            if self.peer_fetch is not None:
+                data = self._try_peer_fill(request, region)
+                if data is not None:
+                    result = ServeResult(
+                        request, data, time.perf_counter() - start, "peer"
+                    )
+                    if self._lint_ok(result):
+                        self._maybe_deploy(result)
+                    return result
             item = request.to_item(check_interface=self.base_design is not None)
             with self.metrics.stage("serve.generate", module=request.name):
                 item_result = self.engine.run_one(item)
@@ -235,6 +253,45 @@ class GenerationService:
             if self._lint_ok(result):
                 self._maybe_deploy(result)
             return result
+
+    def _try_peer_fill(self, request: GenRequest, region) -> bytes | None:
+        """Tier-2 lookup: ask the key's owning peer for its cached bytes.
+
+        A hit warms the local disk cache (tier 1) before being served, so
+        a re-sharded or restarted fleet converges back to disk-speed
+        without regenerating.  Any peer failure degrades to a miss — the
+        generation path below is always available."""
+        from .diskcache import region_tag
+
+        tag = region_tag(region)
+        with self.metrics.stage("serve.peer_fill", module=request.name):
+            try:
+                data = self.peer_fetch(self.base_key, tag, request.digest())
+            except Exception:
+                self.metrics.count("serve.peer_errors")
+                return None
+        if data is None:
+            self.metrics.count("serve.peer_miss")
+            return None
+        self.metrics.count("serve.served_from_peer")
+        if self.disk is not None:
+            self.disk.store_partial_tag(self.base_key, tag, request.digest(), data)
+        return data
+
+    def fetch_partial(self, base_key: str, tag: str, digest: str) -> bytes | None:
+        """Answer a peer's ``fetch`` op from the local disk cache only.
+
+        Never generates: peer fill is strictly a cache-to-cache transfer,
+        so a fleet-wide cold key costs exactly one generation (on the
+        node the router picked), not a fan-out.  Keys against a different
+        base configuration are a miss by definition."""
+        if self.disk is None or base_key != self.base_key:
+            self.metrics.count("serve.fetch_miss")
+            return None
+        data = self.disk.load_partial_tag(base_key, tag, digest)
+        self.metrics.count("serve.fetch_hit" if data is not None
+                           else "serve.fetch_miss")
+        return data
 
     def _lint_ok(self, result: ServeResult) -> bool:
         """Pre-serve gate: statically analyze the bytes about to leave.
@@ -306,9 +363,15 @@ class GenerationService:
             "frame_cache": {"hits": cs.hits, "misses": cs.misses},
             "counters": {
                 k: v for k, v in sorted(snap["counters"].items())
-                if k.startswith(("serve.", "framecache.", "batch.", "analyze.", "exec."))
+                if k.startswith(("serve.", "framecache.", "batch.", "analyze.",
+                                 "exec.", "cluster."))
             },
             "gauges": snap["gauges"],
+            "latency": {
+                name: {k: (round(1e3 * v, 3) if k != "count" else v)
+                       for k, v in row.items()}
+                for name, row in self.metrics.latency_summary("serve.").items()
+            },
         }
         if self.disk is not None:
             ds = self.disk.stats

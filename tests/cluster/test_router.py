@@ -1,0 +1,173 @@
+"""Router: consistent routing, health-driven failover, aggregation.
+
+Workers are real ``JpgServer`` instances over TCP with the fake service
+(fast, deterministic); the router runs on its own loop via
+:class:`RouterThread` — exactly how the CLI and the harness use it.
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cluster import RouterThread
+from repro.serve import JpgServer, ServeClient, decode_partial
+
+from ..serve.test_scheduler import FakeService
+
+pytestmark = [pytest.mark.cluster, pytest.mark.serve]
+
+
+class Worker:
+    """One fake worker node over TCP, stoppable abruptly (for failover)."""
+
+    def __init__(self):
+        self.service = FakeService()
+        self.server = JpgServer(self.service, max_queue=32, workers=2)
+        self.thread = threading.Thread(
+            target=lambda: asyncio.run(self.server.serve_tcp("127.0.0.1", 0)),
+            daemon=True,
+        )
+        self.thread.start()
+        deadline = time.monotonic() + 10
+        while self.server.tcp_address is None:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        host, port = self.server.tcp_address
+        self.address = f"{host}:{port}"
+
+    def stop(self):
+        if not self.thread.is_alive():
+            return
+        try:
+            with ServeClient(self.address, timeout=10) as c:
+                c.shutdown()
+        except Exception:
+            pass
+        self.thread.join(timeout=10)
+
+
+@pytest.fixture()
+def fleet():
+    workers = {f"n{i}": Worker() for i in range(3)}
+    front = RouterThread({n: w.address for n, w in workers.items()},
+                         part="XCV50", ping_interval=0.1)
+    yield {"workers": workers, "front": front,
+           "address": front.address, "router": front.router}
+    front.stop()
+    for w in workers.values():
+        w.stop()
+
+
+class TestRouting:
+    def test_submit_roundtrip_through_router(self, fleet):
+        with ServeClient(fleet["address"]) as client:
+            resp = client.submit("mod", "xdl text")
+        assert resp["ok"]
+        assert decode_partial(resp) == b"data:mod"
+        assert resp["node"] in fleet["workers"]
+
+    def test_same_key_always_same_node(self, fleet):
+        with ServeClient(fleet["address"]) as client:
+            nodes = {client.submit("m", "fixed xdl")["node"] for _ in range(8)}
+        assert len(nodes) == 1
+
+    def test_distinct_keys_spread_across_nodes(self, fleet):
+        with ServeClient(fleet["address"]) as client:
+            nodes = {client.submit(f"m{i}", f"xdl {i}")["node"]
+                     for i in range(40)}
+        assert len(nodes) >= 2                    # the fleet actually shards
+
+    def test_routing_matches_worker_call_counts(self, fleet):
+        with ServeClient(fleet["address"]) as client:
+            for i in range(20):
+                assert client.submit(f"m{i}", f"xdl {i}")["ok"]
+        calls = sum(len(w.service.calls) for w in fleet["workers"].values())
+        assert calls == 20                        # no duplicates, no drops
+
+    def test_ping_and_unknown_op(self, fleet):
+        with ServeClient(fleet["address"]) as client:
+            pong = client.ping()
+            assert pong["ok"] and pong["router"] is True
+            bad = client.request({"op": "frobnicate"})
+        assert not bad["ok"] and bad["code"] == "bad-request"
+
+    def test_malformed_line_is_answered(self, fleet):
+        import socket as socket_mod
+
+        host, port = fleet["address"].rsplit(":", 1)
+        sock = socket_mod.create_connection((host, int(port)), timeout=10)
+        f = sock.makefile("rwb")
+        f.write(b"not json\n")
+        f.flush()
+        resp = json.loads(f.readline())
+        assert not resp["ok"] and resp["code"] == "bad-request"
+        sock.close()
+
+
+class TestStats:
+    def test_aggregated_stats(self, fleet):
+        with ServeClient(fleet["address"]) as client:
+            client.submit("m", "x")
+            resp = client.stats()
+        assert resp["ok"] and resp["router"] is True
+        assert set(resp["nodes"]) == {"n0", "n1", "n2"}
+        for entry in resp["nodes"].values():
+            assert entry["up"] is True
+            assert entry["stats"] == {"calls": entry["stats"]["calls"]}
+        assert resp["counters"]["cluster.routed"] >= 1
+        assert "cluster.route" in resp["latency"]
+
+
+class TestFailover:
+    def test_killed_node_loses_zero_requests(self, fleet):
+        """Requests owned by a dead node fail over to the re-hashed owner:
+        the client sees every response, none errored."""
+        with ServeClient(fleet["address"]) as client:
+            owners = {f"k{i}": client.submit(f"k{i}", f"xdl {i}")["node"]
+                      for i in range(12)}
+            victim = next(iter(owners.values()))
+            fleet["workers"][victim].stop()        # abrupt: no drain
+            for name, owner in owners.items():
+                resp = client.submit(name, f"xdl {name[1:]}")
+                assert resp["ok"], resp
+                assert resp["node"] != victim
+        assert fleet["router"].metrics.counter("cluster.node_down") >= 1
+
+    def test_all_nodes_down_is_an_error_envelope(self):
+        workers = {f"n{i}": Worker() for i in range(2)}
+        front = RouterThread({n: w.address for n, w in workers.items()},
+                             ping_interval=0.1)
+        try:
+            address = front.address
+            for w in workers.values():
+                w.stop()
+            with ServeClient(address) as client:
+                resp = client.submit("m", "x")
+            assert not resp["ok"] and resp["code"] == "no-nodes"
+        finally:
+            front.stop()
+
+    def test_recovered_node_rejoins(self, fleet):
+        router = fleet["router"]
+        assert len(router.up_nodes) == 3
+        fleet["workers"]["n0"].stop()
+        deadline = time.monotonic() + 10
+        while "n0" in router.up_nodes:
+            assert time.monotonic() < deadline, "health check never fired"
+            time.sleep(0.05)
+        # bring a replacement up on a fresh port under the same name;
+        # membership mutations belong to the router's loop
+        replacement = Worker()
+        fleet["workers"]["n0"] = replacement
+        router.loop.call_soon_threadsafe(
+            router.add_node, "n0", replacement.address
+        )
+        deadline = time.monotonic() + 10
+        while "n0" not in router.up_nodes:
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        with ServeClient(fleet["address"]) as client:
+            assert client.submit("after", "x")["ok"]

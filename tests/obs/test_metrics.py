@@ -206,3 +206,105 @@ class TestMerge:
         worker.count("a", 7)
         NullMetrics().merge(worker.snapshot())
         assert NULL_METRICS.counters == {}
+
+
+class TestReservoirHistogram:
+    def test_exact_quantiles_under_capacity(self):
+        from repro.obs import ReservoirHistogram
+
+        h = ReservoirHistogram(capacity=512)
+        for v in range(1, 101):          # 1..100 ms
+            h.record(v / 1000)
+        q = h.quantiles()
+        assert q["p50"] == pytest.approx(0.0505, abs=0.001)
+        assert q["p95"] == pytest.approx(0.095, abs=0.002)
+        assert q["p99"] == pytest.approx(0.099, abs=0.002)
+        assert h.count == 100
+        assert h.mean == pytest.approx(0.0505)
+        assert h.min == pytest.approx(0.001) and h.max == pytest.approx(0.1)
+
+    def test_bounded_memory_past_capacity(self):
+        from repro.obs import ReservoirHistogram
+
+        h = ReservoirHistogram(capacity=64, seed=1)
+        for v in range(10_000):
+            h.record(float(v))
+        assert len(h.samples()) == 64     # reservoir never grows
+        assert h.count == 10_000
+        assert h.min == 0.0 and h.max == 9999.0
+        # quantiles stay statistically sane on a uniform stream
+        assert 3000 < h.quantile(0.5) < 7000
+
+    def test_empty_histogram(self):
+        from repro.obs import ReservoirHistogram
+
+        h = ReservoirHistogram()
+        assert h.quantile(0.5) == 0.0
+        assert h.mean == 0.0
+        assert h.quantiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_absorb_merges_counts_and_extremes(self):
+        from repro.obs import ReservoirHistogram
+
+        a = ReservoirHistogram(capacity=128)
+        b = ReservoirHistogram(capacity=128)
+        for v in range(50):
+            a.record(float(v))
+        for v in range(50, 100):
+            b.record(float(v))
+        a.absorb(b.count, b.samples(), total=b.total,
+                 min_value=b.min, max_value=b.max)
+        assert a.count == 100
+        assert a.min == 0.0 and a.max == 99.0
+        assert a.total == pytest.approx(sum(range(100)))
+        assert 35 < a.quantile(0.5) < 65
+
+    def test_deterministic_given_seed(self):
+        from repro.obs import ReservoirHistogram
+
+        def build():
+            h = ReservoirHistogram(capacity=16, seed=7)
+            for v in range(1000):
+                h.record(float(v))
+            return h.samples()
+
+        assert build() == build()
+
+
+class TestMetricsHistograms:
+    def test_observe_and_latency_summary(self):
+        m = Metrics()
+        for v in (0.010, 0.020, 0.030):
+            m.observe("serve.handle", v)
+        m.observe("other.thing", 1.0)
+        summary = m.latency_summary("serve.")
+        assert set(summary) == {"serve.handle"}
+        row = summary["serve.handle"]
+        assert row["count"] == 3
+        assert row["mean"] == pytest.approx(0.020)
+        assert row["p50"] == pytest.approx(0.020)
+        assert row["max"] == pytest.approx(0.030)
+        assert m.quantile("serve.handle", 0.5) == pytest.approx(0.020)
+
+    def test_stage_records_feed_histograms(self):
+        m = Metrics()
+        with m.stage("serve.generate"):
+            pass
+        assert m.histograms["serve.generate"].count == 1
+
+    def test_snapshot_and_merge_fold_histograms(self):
+        a = Metrics()
+        b = Metrics()
+        for v in (0.1, 0.2):
+            a.observe("lat", v)
+        for v in (0.3, 0.4):
+            b.observe("lat", v)
+        snap = b.snapshot()
+        assert snap["histograms"]["lat"]["count"] == 2
+        a.merge(snap)
+        assert a.histograms["lat"].count == 4
+        assert a.histograms["lat"].min == pytest.approx(0.1)
+        assert a.histograms["lat"].max == pytest.approx(0.4)
+
+    def test_null_metrics_observe_is_noop(self):
+        NULL_METRICS.observe("x", 1.0)  # must not raise or record

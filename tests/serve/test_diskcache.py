@@ -308,3 +308,94 @@ time.sleep(300)   # spin until killed
         frames, dirty = loaded
         assert frames.get_bit(10, 0) == 1 and dirty == frozenset({10})
         assert disk.load_partial("b" * 64, None, "m" * 64) == b"partial-bytes"
+
+
+class TestTagHelpers:
+    def test_tag_and_rect_paths_agree(self, tmp_path):
+        """The wire-facing *_tag helpers address exactly the same entries
+        as the RegionRect-facing ones (the peer-fill contract)."""
+        disk = DiskCache(str(tmp_path))
+        tag = region_tag(REGION)
+        assert disk.partial_path_tag(KEY, tag, DIGEST) == \
+            disk.partial_path(KEY, REGION, DIGEST)
+        disk.store_partial_tag(KEY, tag, DIGEST, b"via-tag")
+        assert disk.load_partial(KEY, REGION, DIGEST) == b"via-tag"
+        assert disk.load_partial_tag(KEY, tag, DIGEST) == b"via-tag"
+
+    def test_tag_none_matches_region_none(self, tmp_path):
+        disk = DiskCache(str(tmp_path))
+        disk.store_partial(KEY, None, DIGEST, b"regionless")
+        assert disk.load_partial_tag(KEY, "none", DIGEST) == b"regionless"
+
+
+PEERFILL_SCRIPT = """
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.serve import DiskCache
+
+root, mode, payload_path = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(payload_path, "rb") as f:
+    payload = f.read()
+disk = DiskCache(root, max_bytes=int(sys.argv[4]))
+key, tag, digest = "c" * 64, "0_2_15_11", "e" * 64
+deadline = time.monotonic() + 5.0
+# both processes hammer the same key concurrently until the deadline:
+# one plays the generate path (store via rect-less tag store), the other
+# the peer-fill path (fetch, store on hit) -- like a node racing a peer
+while time.monotonic() < deadline:
+    if mode == "generate":
+        disk.store_partial_tag(key, tag, digest, payload)
+    else:
+        got = disk.load_partial_tag(key, tag, digest)
+        if got is not None:
+            assert got == payload, "peer read torn or divergent bytes"
+            disk.store_partial_tag(key, tag, digest, got)
+            break
+    time.sleep(0.01)
+print("done", flush=True)
+"""
+
+
+class TestConcurrentPeerFill:
+    @pytest.mark.serve
+    @pytest.mark.cluster
+    def test_fetch_vs_generate_converge_byte_identically(self, tmp_path):
+        """Two processes fill one key concurrently — one generating, one
+        peer-filling (fetch then store) — and must converge on a single
+        byte-identical entry, with the LRU byte cap still honored."""
+        payload = bytes(range(256)) * 8          # 2 KiB, recognizable
+        payload_path = tmp_path / "payload.bin"
+        payload_path.write_bytes(payload)
+        script = tmp_path / "filler.py"
+        script.write_text(PEERFILL_SCRIPT.format(src=os.path.abspath(SRC)))
+        root = str(tmp_path / "cache")
+        cap = 100_000
+        procs = [
+            subprocess.Popen(
+                [sys.executable, str(script), root, mode,
+                 str(payload_path), str(cap)],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+            for mode in ("generate", "peerfill")
+        ]
+        for p in procs:
+            out, err = p.communicate(timeout=60)
+            assert p.returncode == 0, err.decode()
+            assert out.decode().startswith("done")
+        disk = DiskCache(root, max_bytes=cap)
+        assert disk.load_partial_tag("c" * 64, "0_2_15_11", "e" * 64) == payload
+        assert disk.size_bytes() <= cap
+
+    @pytest.mark.serve
+    @pytest.mark.cluster
+    def test_peer_fill_respects_lru_cap(self, tmp_path):
+        """Peer-filled entries are ordinary cache citizens: filling past
+        the byte cap evicts cold entries instead of growing unbounded."""
+        disk = DiskCache(str(tmp_path), max_bytes=3500)
+        for i in range(4):
+            digest = str(i) * 64
+            disk.store_partial_tag(KEY, "none", digest, bytes(1000))
+            os.utime(disk.partial_path_tag(KEY, "none", digest), (i + 1, i + 1))
+        assert disk.size_bytes() <= 3500
+        assert disk.stats.evictions >= 1
+        assert disk.load_partial_tag(KEY, "none", "0" * 64) is None  # coldest
+        assert disk.load_partial_tag(KEY, "none", "3" * 64) is not None

@@ -165,3 +165,179 @@ class TestClient:
     def test_decode_partial_rejects_failures(self):
         with pytest.raises(ServiceUnavailableError):
             decode_partial({"ok": False, "error": "nope"})
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        from repro.serve import parse_address
+
+        assert parse_address("127.0.0.1:4100") == ("127.0.0.1", 4100)
+        assert parse_address("example.com:80") == ("example.com", 80)
+
+    def test_bare_port_defaults_to_loopback(self):
+        from repro.serve import parse_address
+
+        assert parse_address(":0") == ("127.0.0.1", 0)
+
+    def test_paths_stay_paths(self):
+        from repro.serve import parse_address
+
+        assert parse_address("/tmp/jpg.sock") == "/tmp/jpg.sock"
+        assert parse_address("relative.sock") == "relative.sock"
+
+    def test_tuples_pass_through(self):
+        from repro.serve import parse_address
+
+        assert parse_address(("0.0.0.0", 9)) == ("0.0.0.0", 9)
+
+
+@pytest.fixture()
+def tcp_server():
+    service = FakeService()
+    srv = JpgServer(service, max_queue=8, workers=2)
+    thread = threading.Thread(
+        target=lambda: asyncio.run(srv.serve_tcp("127.0.0.1", 0)), daemon=True
+    )
+    thread.start()
+    deadline = time.monotonic() + 10
+    while srv.tcp_address is None:
+        assert time.monotonic() < deadline, "server did not bind"
+        time.sleep(0.01)
+    address = f"{srv.tcp_address[0]}:{srv.tcp_address[1]}"
+    yield {"address": address, "service": service, "thread": thread}
+    if thread.is_alive():
+        try:
+            with ServeClient(address) as c:
+                c.shutdown()
+        except ServiceUnavailableError:
+            pass
+        thread.join(timeout=10)
+
+
+class TestTcpTransport:
+    def test_submit_roundtrip_over_tcp(self, tcp_server):
+        with ServeClient(tcp_server["address"]) as client:
+            assert client.ping()["ok"]
+            resp = client.submit("mod", "xdl text")
+        assert resp["ok"] and decode_partial(resp) == b"data:mod"
+
+    def test_ephemeral_port_is_published(self, tcp_server):
+        host, port = tcp_server["address"].rsplit(":", 1)
+        assert host == "127.0.0.1" and int(port) > 0
+
+    def test_connect_failure_raises_unavailable(self):
+        with pytest.raises(ServiceUnavailableError):
+            ServeClient("127.0.0.1:1")  # reserved port, nothing listens
+
+
+class FetchableService(FakeService):
+    """FakeService plus a peer-fill answer for one known key."""
+
+    def fetch_partial(self, base_key, tag, digest):
+        if (base_key, tag) == ("base", "t1"):
+            return b"cached-bytes"
+        return None
+
+
+class TestFetchOp:
+    @pytest.fixture()
+    def fetch_server(self, tmp_path):
+        service = FetchableService()
+        srv = JpgServer(service, max_queue=8, workers=2)
+        sock = str(tmp_path / "f.sock")
+        thread = threading.Thread(
+            target=lambda: asyncio.run(srv.serve_unix(sock)), daemon=True
+        )
+        thread.start()
+        connect(sock).close()
+        yield sock
+        try:
+            with ServeClient(sock) as c:
+                c.shutdown()
+        except ServiceUnavailableError:
+            pass
+        thread.join(timeout=10)
+
+    def test_fetch_hit_returns_bytes(self, fetch_server):
+        with ServeClient(fetch_server) as client:
+            assert client.fetch("base", "t1", "d") == b"cached-bytes"
+
+    def test_fetch_miss_returns_none(self, fetch_server):
+        with ServeClient(fetch_server) as client:
+            assert client.fetch("base", "other", "d") is None
+
+    def test_fetch_without_service_support_is_a_miss(self, server):
+        # FakeService has no fetch_partial: the op degrades to not-found
+        with ServeClient(server["sock"]) as client:
+            assert client.fetch("base", "t1", "d") is None
+
+    def test_fetch_validates_fields(self, fetch_server):
+        with ServeClient(fetch_server) as client:
+            resp = client.request({"op": "fetch", "base": "", "region": "t",
+                                   "digest": "d"})
+        assert not resp["ok"] and resp["code"] == "bad-request"
+
+
+class TestLifecycle:
+    def test_stale_socket_file_is_replaced(self, tmp_path):
+        """A dead socket file from a crashed server must not block startup."""
+        path = str(tmp_path / "stale.sock")
+        dead = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        dead.bind(path)
+        dead.close()  # closed without listen/accept: connecting now fails
+
+        service = FakeService()
+        srv = JpgServer(service, max_queue=8, workers=2)
+        thread = threading.Thread(
+            target=lambda: asyncio.run(srv.serve_unix(path)), daemon=True
+        )
+        thread.start()
+        connect(path).close()  # wait out the unlink->rebind window
+        with ServeClient(path) as client:
+            assert client.ping()["ok"]
+            client.shutdown()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_live_socket_is_not_stolen(self, server):
+        """A second server on the same path must refuse, not unlink."""
+        from repro.errors import ServeError
+
+        second = JpgServer(FakeService(), max_queue=8, workers=2)
+        with pytest.raises(ServeError, match="live server"):
+            asyncio.run(second.serve_unix(server["sock"]))
+        # the original server is untouched
+        with ServeClient(server["sock"]) as client:
+            assert client.ping()["ok"]
+
+    def test_sigterm_drains_inflight_before_stopping(self, tmp_path):
+        """SIGTERM answers in-flight requests, then stops (no lost work)."""
+        import os
+        import signal as _signal
+
+        service = FakeService(delay=0.3)
+        srv = JpgServer(service, max_queue=8, workers=2)
+        path = str(tmp_path / "term.sock")
+        responses = {}
+
+        def client_side():
+            sock = connect(path)
+            f = sock.makefile("rwb")
+            f.write(b'{"op": "submit", "id": 7, "name": "m", "xdl": "x"}\n')
+            f.flush()
+            time.sleep(0.05)  # let the submit reach the scheduler
+            os.kill(os.getpid(), _signal.SIGTERM)
+            responses[7] = json.loads(f.readline())
+            sock.close()
+
+        client = threading.Thread(target=client_side, daemon=True)
+
+        async def main():
+            client.start()
+            # signal handlers require the main thread's running loop
+            await srv.serve_unix(path, handle_signals=True)
+
+        asyncio.run(main())
+        client.join(timeout=10)
+        assert responses[7]["ok"]
+        assert decode_partial(responses[7]) == b"data:m"

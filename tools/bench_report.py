@@ -21,8 +21,9 @@ Usage::
 regenerating a BENCH file without refreshing the docs fails loudly.
 
 Both report schemas are understood: the flat ``results`` list BENCH_5
-used and the ``workloads`` list of BENCH_6+ (cold/warm per backend, plus
-the per-engine flow place/route entries BENCH_7 added).
+used and the ``workloads`` list of BENCH_6+ (cold/warm per backend, the
+per-engine flow place/route entries BENCH_7 added, and the cluster
+replay entries BENCH_10 added).
 """
 
 from __future__ import annotations
@@ -84,6 +85,35 @@ def render_table(report: dict, source: str) -> str:
                         f"| {row['engine']} | {_fmt_s(row.get('place_s'))} "
                         f"| {_fmt_s(row.get('route_s'))} "
                         f"| {_fmt_s(row.get('pnr_s'))} |"
+                    )
+                lines.append("")
+                continue
+            if wl.get("cluster"):
+                lines.append(
+                    f"**{wl['workload']}** ({wl['requests']} requests, "
+                    f"{wl['items']} keys, zipf {wl['skew']}, "
+                    f"c={wl['concurrency']})"
+                )
+                lines.append("")
+                lines.append("| target | req | err | rps | p50 (ms) "
+                             "| p95 (ms) | p99 (ms) | disk | peer | gen |")
+                lines.append("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|")
+                for row in wl["results"]:
+                    lines.append(
+                        f"| {row['target']} | {row['requests']} "
+                        f"| {row['errors']} | {row['rps']:.1f} "
+                        f"| {row['p50_ms']:.2f} | {row['p95_ms']:.2f} "
+                        f"| {row['p99_ms']:.2f} | {row['hit_disk']:.0%} "
+                        f"| {row['hit_peer']:.0%} | {row['generated']:.0%} |"
+                    )
+                verify = wl.get("verify", {})
+                if verify:
+                    lines.append("")
+                    lines.append(
+                        f"*Byte identity vs direct generation: "
+                        f"{verify.get('identical', 0)}/"
+                        f"{verify.get('sampled', 0)} sampled keys identical "
+                        f"({'pass' if verify.get('ok') else 'FAIL'}).*"
                     )
                 lines.append("")
                 continue

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Backend performance gate: cold and warm timings on every backend.
 
-Three workload axes, selectable with ``--workload``:
+Four workload axes, selectable with ``--workload``:
 
 * ``small`` — the paper's §4.1 Figure-4 manifest (10 partials against one
   XCV100-class base).  Pool spin-up dominates here; the gate only checks
@@ -15,6 +15,12 @@ Three workload axes, selectable with ``--workload``:
   wall clock.  Every repeat's placement and routing must be identical
   across repeats *and* across engines (seeded determinism — checked
   unconditionally, like byte identity).
+* ``cluster`` — the serve/cluster axis (:mod:`repro.cluster.loadgen`):
+  replay a zipf-skewed synthetic stream against a spawned single-node
+  fleet and a 3-node fleet behind the consistent-hash router, cold and
+  warm passes each, recording throughput, p50/p95/p99 latency, and
+  per-tier hit ratios — plus an unconditional byte-identity check of
+  served bytes against direct generation.
 
 Batch backends are timed at two temperatures:
 
@@ -24,7 +30,7 @@ Batch backends are timed at two temperatures:
 * **warm** — one engine, a priming run, then best-of-``--repeats`` on the
   same engine: the steady state a resident ``jpg serve`` pool reaches.
 
-Results land in ``BENCH_8.json``; every workload entry names the device
+Results land in ``BENCH_10.json``; every workload entry names the device
 spec it ran on (``part``/``spec``), so numbers from different declarative
 families are never compared blind::
 
@@ -59,12 +65,16 @@ report-only (``"enforced": false``):
 * xcv1000: the warm backend's warm time must beat serial's warm time
   outright — the reason the warm pool exists;
 * flow: the array engine's place+route time must be <= 1.00x the scalar
-  engine's on the scale design — the reason the array engine exists.
+  engine's on the scale design — the reason the array engine exists;
+* cluster: the 3-node fleet's warm throughput must beat the single
+  node's warm throughput outright, and no replayed request may be lost
+  — the reason the cluster exists.
 
 Usage::
 
-    PYTHONPATH=src python tools/perf_gate.py [--workload small|xcv1000|flow|all]
-        [--out BENCH_8.json] [--repeats 3] [--tolerance 1.25]
+    PYTHONPATH=src python tools/perf_gate.py
+        [--workload small|xcv1000|flow|cluster|all]
+        [--out BENCH_10.json] [--repeats 3] [--tolerance 1.25]
 """
 
 from __future__ import annotations
@@ -85,7 +95,7 @@ from repro.workloads import figure4_plan, flow_cases, make_project, scale_plan  
 
 ENFORCE_MIN_CPUS = 4
 
-WORKLOAD_NAMES = ("small", "xcv1000", "flow")
+WORKLOAD_NAMES = ("small", "xcv1000", "flow", "cluster")
 
 
 def build_workload(name: str, args: argparse.Namespace):
@@ -263,6 +273,66 @@ def run_flow_axis(args) -> tuple[list[dict] | None, list[str]]:
     return entries, problems
 
 
+def run_cluster_axis(args) -> tuple[dict | None, list[str]]:
+    """Run the serve/cluster axis; (entry, gate problems).
+
+    Entry is None when a hard check failed: served bytes diverged from
+    direct generation, or the replay lost requests (both unconditional,
+    like byte identity on the batch axes).  The timing problem — the
+    fleet's warm throughput not beating the single node's — is enforced
+    only on machines with enough cores to give the fleet a chance.
+    """
+    from repro.cluster.loadgen import run_harness  # noqa: E402
+
+    harness = run_harness(
+        workload="demo",
+        keys=args.cluster_keys,
+        requests=args.cluster_requests,
+        concurrency=args.cluster_concurrency,
+        nodes=args.cluster_nodes,
+        seed=args.seed,
+        single_node=True,
+        progress=lambda msg: print(f"  {msg}"),
+    )
+    verify = harness["verify"]
+    if not verify.get("ok"):
+        print(
+            f"perf gate: FAIL — cluster: served bytes diverge from direct "
+            f"generation ({verify}); speed means nothing if the bytes differ"
+        )
+        return None, []
+    lost = sum(e["errors"] for e in harness["results"])
+    if lost:
+        print(f"perf gate: FAIL — cluster: {lost} request(s) lost in replay "
+              f"(zero-loss is unconditional)")
+        return None, []
+    by_target = {e["target"]: e for e in harness["results"]}
+    problems = []
+    single = by_target.get("single-warm")
+    clustered = by_target.get(f"cluster{args.cluster_nodes}-warm")
+    if single and clustered and clustered["rps"] <= single["rps"]:
+        ratio = clustered["rps"] / single["rps"]
+        problems.append(
+            f"cluster: {args.cluster_nodes}-node warm throughput is "
+            f"{ratio:.2f}x single-node ({clustered['rps']:.0f} vs "
+            f"{single['rps']:.0f} rps; it must be > 1.00x)"
+        )
+    entry = {
+        "workload": f"cluster-demo-{args.cluster_nodes}n",
+        "items": harness["keys"],
+        "cluster": True,
+        "part": harness["part"],
+        "spec": get_device(harness["part"]).spec.name,
+        "nodes": harness["nodes"],
+        "requests": harness["requests"],
+        "concurrency": harness["concurrency"],
+        "skew": harness["skew"],
+        "results": harness["results"],
+        "verify": verify,
+    }
+    return entry, problems
+
+
 def check_identity(workload: str, results: list[dict]) -> bool:
     """Every backend and temperature must emit serial's exact bytes."""
     reference = results[0]["partials"]["cold"]
@@ -324,6 +394,27 @@ def run_gate(args: argparse.Namespace) -> int:
                           f"not enforced on {cpus} cpu(s)")
             workloads.extend(entries)
             continue
+        if name == "cluster":
+            print(f"perf gate: cluster fleet on {cpus} cpu(s), "
+                  f"{'enforcing' if enforced else 'report-only'}")
+            entry, problems = run_cluster_axis(args)
+            if entry is None:
+                return 1
+            for row in entry["results"]:
+                hit = row["hit_disk"] + row["hit_peer"]
+                print(f"  {row['target']:<14} {row['rps']:>8.1f} rps   "
+                      f"p50 {row['p50_ms']:>7.2f} ms   "
+                      f"p95 {row['p95_ms']:>7.2f} ms   "
+                      f"cache hit {hit:>4.0%}")
+            for line in problems:
+                if enforced:
+                    print(f"perf gate: FAIL — {line}")
+                    verdict = 1
+                else:
+                    print(f"perf gate: note — {line}; "
+                          f"not enforced on {cpus} cpu(s)")
+            workloads.append(entry)
+            continue
         label, project = build_workload(name, args)
         items = len(items_from_project(project))
         print(f"perf gate: {label} on {cpus} cpu(s), "
@@ -370,7 +461,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workload", choices=WORKLOAD_NAMES + ("all",),
                         default="all",
                         help="which workload axis to run (default: %(default)s)")
-    parser.add_argument("--out", default="BENCH_8.json",
+    parser.add_argument("--out", default="BENCH_10.json",
                         help="report path (default: %(default)s)")
     parser.add_argument("--part", default="XCV100",
                         help="device for the small workload")
@@ -380,6 +471,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=1.25,
                         help="max pooled/serial wall-clock ratio on the "
                              "small workload")
+    parser.add_argument("--cluster-keys", type=int, default=16,
+                        help="distinct keys in the cluster replay stream")
+    parser.add_argument("--cluster-requests", type=int, default=300,
+                        help="requests per cluster replay pass")
+    parser.add_argument("--cluster-concurrency", type=int, default=4,
+                        help="concurrent replay clients on the cluster axis")
+    parser.add_argument("--cluster-nodes", type=int, default=3,
+                        help="worker nodes in the spawned fleet")
     enforce = parser.add_mutually_exclusive_group()
     enforce.add_argument("--enforce", dest="enforce", action="store_true",
                          default=None, help="enforce regardless of CPU count")
